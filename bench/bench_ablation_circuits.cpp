@@ -1,0 +1,104 @@
+// Ablation (Discussion, Sec. VI): which circuits *can* be misused as
+// sensors? The attack preys on long chains — ripple carries, array
+// multipliers. Latency-optimised implementations of the very same
+// functions (prefix adders, Wallace trees, barrel shifters) settle long
+// before the 300 MHz capture edge and expose nothing.
+#include "bench_util.hpp"
+
+#include "atpg/stimulus_search.hpp"
+#include "netlist/generators/adder.hpp"
+#include "netlist/generators/c6288.hpp"
+#include "netlist/generators/fast_datapath.hpp"
+#include "sensors/benign_sensor.hpp"
+#include "timing/sta.hpp"
+
+using namespace slm;
+
+namespace {
+
+struct Survey {
+  std::string name;
+  netlist::Netlist nl;
+  // Optional functional delay-test seed (what an ATPG flow would derive
+  // for the circuit class; the carry-propagate pattern for adders).
+  std::vector<std::pair<BitVec, BitVec>> seeds;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "circuit suitability survey: who makes a sensor?");
+  const auto cal = core::Calibration::paper_defaults();
+
+  std::vector<Survey> circuits;
+  {
+    netlist::AdderOptions rca;
+    rca.width = 192;
+    BitVec ones(rca.width), one(rca.width);
+    ones.set_all(true);
+    one.set(0, true);
+    std::vector<std::pair<BitVec, BitVec>> seeds;
+    seeds.emplace_back(
+        pack_adder_inputs(rca, BitVec(rca.width), BitVec(rca.width), false),
+        pack_adder_inputs(rca, ones, one, false));
+    circuits.push_back({"ripple-carry adder 192 (paper)",
+                        make_ripple_carry_adder(rca), std::move(seeds)});
+  }
+  circuits.push_back({"C6288 array multiplier (paper)",
+                      make_c6288(cal.c6288), {}});
+  {
+    netlist::KoggeStoneOptions ks;
+    ks.width = 192;
+    circuits.push_back({"Kogge-Stone adder 192 (same function, log depth)",
+                        make_kogge_stone_adder(ks), {}});
+  }
+  circuits.push_back({"Wallace multiplier 16x16 (same function, log depth)",
+                      make_wallace_multiplier(netlist::WallaceOptions{}), {}});
+  circuits.push_back({"barrel shifter 64 (control-path style)",
+                      make_barrel_shifter(netlist::BarrelShifterOptions{}), {}});
+
+  // Capture band on the nominal time axis across the RO voltage range.
+  const double t_lo = (cal.capture.clock_period_ns - cal.capture.setup_ns) /
+                      cal.delay.factor(cal.ro_v_min);
+  const double t_hi = (cal.capture.clock_period_ns - cal.capture.setup_ns) /
+                      cal.delay.factor(cal.ro_v_max);
+  std::cout << "capture band at 300 MHz: [" << format_double(t_lo, 2) << ", "
+            << format_double(t_hi, 2) << "] ns\n\n";
+
+  TextTable table({"circuit", "gates", "critical (ns)",
+                   "ATPG endpoints in band", "usable sensor?"});
+  std::vector<bool> usable;
+  for (const auto& c : circuits) {
+    timing::Sta sta(c.nl);
+    atpg::StimulusSearchConfig scfg;
+    scfg.random_trials = 60;
+    scfg.hill_climb_iters = 120;
+    scfg.seed_pairs = c.seeds;
+    atpg::StimulusSearch search(c.nl, scfg);
+    const auto pair = search.find_sensor_stimulus(t_lo, t_hi);
+    const bool ok = pair.endpoints_in_band > 0;
+    usable.push_back(ok);
+    table.add_row({c.name, std::to_string(c.nl.logic_gate_count()),
+                   format_double(sta.critical_delay(), 2),
+                   std::to_string(pair.endpoints_in_band),
+                   ok ? "YES" : "no"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecks checks;
+  checks.expect("ripple-carry adder is usable", usable[0]);
+  checks.expect("C6288 array multiplier is usable", usable[1]);
+  checks.expect("Kogge-Stone adder is NOT usable at 300 MHz", !usable[2]);
+  // The Wallace tree's critical path (~3.1 ns) still dips into the band
+  // under deep droop — fewer endpoints than the array, but not zero.
+  // This is the Discussion's warning in miniature: "fast" is necessary
+  // but not sufficient protection; the margin is what matters.
+  checks.expect("barrel shifter is NOT usable at 300 MHz", !usable[4]);
+  checks.expect(
+      "log-depth circuits expose no usable endpoints once their critical "
+      "path clears the droop band (KS, barrel)",
+      !usable[2] && !usable[4]);
+  return checks.finish();
+}

@@ -1,0 +1,49 @@
+// Ablation: first-order boolean masking of the victim's datapath vs the
+// CPA attack. With a fresh mask per round the register Hamming distance
+// is independent of any unmasked state bit, so the last-round hypothesis
+// decorrelates — even the fast TDC fails at budgets where it broke the
+// unmasked core in hundreds of traces.
+#include "bench_util.hpp"
+
+using namespace slm;
+
+int main() {
+  bench::print_header("Ablation",
+                      "masked vs unmasked victim datapath (TDC CPA)");
+  const std::size_t traces = bench::trace_budget(100000);
+
+  TextTable table({"victim", "key byte", "~MTD", "final corr(correct)",
+                   "best wrong corr"});
+  std::vector<double> margins;
+  std::vector<bool> recovered;
+  for (bool masked : {false, true}) {
+    auto cal = core::Calibration::paper_defaults();
+    cal.aes.masked = masked;
+    core::AttackSetup setup(core::BenignCircuit::kAlu, cal);
+    core::CampaignConfig cfg;
+    cfg.mode = core::SensorMode::kTdcFull;
+    cfg.traces = traces;
+    core::CpaCampaign campaign(setup, cfg);
+    const auto r = campaign.run();
+    recovered.push_back(r.key_recovered && r.mtd.disclosed());
+    margins.push_back(r.mtd.final_margin);
+    table.add_row({masked ? "masked (2 shares, fresh mask/round)"
+                          : "unmasked (paper setup)",
+                   r.key_recovered ? "recovered" : "protected",
+                   r.mtd.disclosed() ? std::to_string(*r.mtd.traces)
+                                     : ">" + std::to_string(traces),
+                   format_double(r.progress.back().correct_corr, 4),
+                   format_double(r.progress.back().best_wrong_corr, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmasking is the algorithmic countermeasure the paper's "
+               "related work points to;\nit defeats the sensor no matter "
+               "how the sensor is built.\n\n";
+
+  bench::ShapeChecks checks;
+  checks.expect("unmasked victim broken quickly", recovered[0]);
+  checks.expect("masked victim survives the same budget", !recovered[1]);
+  checks.expect("masking collapses the correct-key margin",
+                margins[1] < 0.3 * std::max(margins[0], 1e-9));
+  return checks.finish();
+}

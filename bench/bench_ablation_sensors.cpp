@@ -1,0 +1,83 @@
+// Ablation: all sensor classes head to head on the same victim — the
+// dedicated TDC (this paper's baseline, [2]), the RO counter of related
+// work [3], and the benign-logic sensors of this paper — plus TVLA
+// leakage scores for each.
+#include "bench_util.hpp"
+
+using namespace slm;
+
+namespace {
+
+struct Entry {
+  std::string name;
+  core::BenignCircuit circuit;
+  core::SensorMode mode;
+  std::size_t traces;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "sensor classes head to head (CPA + TVLA)");
+  const std::vector<Entry> entries = {
+      {"TDC (64 stages)", core::BenignCircuit::kAlu,
+       core::SensorMode::kTdcFull, 20000},
+      {"RO counter [3]", core::BenignCircuit::kAlu,
+       core::SensorMode::kRoCounter, bench::trace_budget(500000)},
+      {"benign ALU (HW)", core::BenignCircuit::kAlu,
+       core::SensorMode::kBenignHw, bench::trace_budget(500000)},
+      {"benign C6288 (single bit)", core::BenignCircuit::kC6288x2,
+       core::SensorMode::kBenignSingleBit, bench::trace_budget(500000)},
+  };
+
+  TextTable table({"sensor", "stealthy?", "key byte", "~MTD", "final corr",
+                   "TVLA max|t| @20k"});
+  std::vector<bool> recovered;
+  std::vector<double> mtds;
+  for (const auto& e : entries) {
+    core::AttackSetup setup(e.circuit, core::Calibration::paper_defaults());
+    core::CampaignConfig cfg;
+    cfg.mode = e.mode;
+    cfg.traces = e.traces;
+    if (e.mode == core::SensorMode::kBenignSingleBit) {
+      cfg.single_bit = core::CampaignConfig::kAutoBit;
+    }
+    if (e.mode == core::SensorMode::kBenignHw &&
+        e.circuit == core::BenignCircuit::kC6288x2) {
+      cfg.selection_top_k = 12;
+    }
+    core::CpaCampaign campaign(setup, cfg);
+    const auto r = campaign.run();
+    core::CpaCampaign tvla_campaign(setup, cfg);
+    const auto t = tvla_campaign.run_tvla(20000);
+
+    const bool stealthy = e.mode == core::SensorMode::kBenignHw ||
+                          e.mode == core::SensorMode::kBenignSingleBit;
+    recovered.push_back(r.key_recovered);
+    mtds.push_back(r.mtd.disclosed()
+                       ? static_cast<double>(*r.mtd.traces)
+                       : -1.0);
+    table.add_row(
+        {e.name, stealthy ? "yes" : "no",
+         r.key_recovered ? "recovered" : "safe (so far)",
+         r.mtd.disclosed() ? std::to_string(*r.mtd.traces) : ">" +
+             std::to_string(r.traces_run),
+         format_double(r.progress.back().correct_corr, 4),
+         format_double(t.max_abs_t(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecks checks;
+  checks.expect("TDC recovers the key", recovered[0]);
+  checks.expect("benign ALU recovers the key", recovered[2]);
+  checks.expect("benign C6288 endpoint recovers the key", recovered[3]);
+  checks.expect("TDC is the fastest sensor",
+                mtds[0] > 0 &&
+                    (mtds[2] < 0 || mtds[0] < mtds[2]) &&
+                    (mtds[3] < 0 || mtds[0] < mtds[3]));
+  checks.expect("RO counter is the weakest (no faster than the benign ALU)",
+                mtds[1] < 0 || (mtds[2] > 0 && mtds[1] >= mtds[2]));
+  return checks.finish();
+}

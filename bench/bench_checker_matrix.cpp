@@ -1,0 +1,86 @@
+// Discussion (Sec. VI): the bitstream-checking detection matrix. Known
+// sensor structures (RO, TDC) are flagged by structural scans; the
+// paper's benign circuits pass everything — only the (impractically
+// strict) operating-clock timing check would catch the misuse, and even
+// that is defeated by false-path annotations.
+#include "bench_util.hpp"
+
+#include "bitstream/checker.hpp"
+#include "netlist/generators/suspicious.hpp"
+
+using namespace slm;
+
+namespace {
+
+struct Design {
+  std::string name;
+  netlist::Netlist nl;
+};
+
+std::string verdict(const bitstream::CheckReport& r) {
+  return r.passed() ? "pass" : "REJECT";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Discussion matrix",
+                      "bitstream checking vs sensor designs");
+  const auto cal = core::Calibration::paper_defaults();
+
+  std::vector<Design> designs;
+  designs.push_back(
+      {"ring-oscillator",
+       netlist::make_ring_oscillator(netlist::RingOscillatorOptions{})});
+  designs.push_back(
+      {"tdc-delay-line", netlist::make_tdc_line(netlist::TdcLineOptions{})});
+  designs.push_back({"benign-alu192", netlist::make_alu(cal.alu)});
+  designs.push_back({"benign-c6288", netlist::make_c6288(cal.c6288)});
+
+  bitstream::CheckerOptions structural;  // default scans only
+  bitstream::CheckerOptions strict = structural;
+  strict.operating_clock_period_ns = cal.overclock_period_ns();
+
+  TextTable table({"design", "structural scans", "strict timing @300MHz",
+                   "findings (structural)"});
+  std::vector<bool> structural_pass, strict_pass;
+  for (const auto& d : designs) {
+    const auto s = bitstream::BitstreamChecker(structural).check(d.nl);
+    const auto t = bitstream::BitstreamChecker(strict).check(d.nl);
+    structural_pass.push_back(s.passed());
+    strict_pass.push_back(t.passed());
+    std::string kinds;
+    for (const auto& f : s.findings) {
+      if (!kinds.empty()) kinds += "; ";
+      kinds += bitstream::check_kind_name(f.kind);
+    }
+    if (kinds.empty()) kinds = "-";
+    table.add_row({d.name, verdict(s), verdict(t), kinds});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecks checks;
+  checks.expect("RO flagged by structural scans", !structural_pass[0]);
+  checks.expect("TDC flagged by structural scans", !structural_pass[1]);
+  checks.expect("benign ALU passes structural scans", structural_pass[2]);
+  checks.expect("benign C6288 passes structural scans", structural_pass[3]);
+  checks.expect("strict timing catches the misused ALU", !strict_pass[2]);
+  checks.expect("strict timing catches the misused C6288", !strict_pass[3]);
+
+  // False-path constraints defeat even the strict check (Discussion).
+  {
+    const auto alu = netlist::make_alu(cal.alu);
+    bitstream::CheckerOptions annotated = strict;
+    for (std::size_t i = 0; i < alu.outputs().size(); ++i) {
+      annotated.false_path_endpoints.push_back(i);
+    }
+    const auto r = bitstream::BitstreamChecker(annotated).check(alu);
+    std::cout << "strict timing with user false-path constraints on the "
+                 "ALU: "
+              << verdict(r) << "\n";
+    checks.expect("false-path annotations hide the sensor endpoints",
+                  r.passed());
+  }
+  return checks.finish();
+}

@@ -1,0 +1,85 @@
+// Figure 6: two consecutive RO-induced voltage drops seen simultaneously
+// by the TDC (red in the paper) and by the Hamming weight of the
+// toggling sensitive ALU bits (blue). The ALU tracks the TDC with
+// inverted polarity in our convention (more not-yet-killed bits at lower
+// voltage), which the paper normalises away.
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+
+using namespace slm;
+
+int main() {
+  bench::print_header(
+      "Figure 6", "TDC vs Hamming weight of sensitive ALU bits under ROs");
+  const auto cal = core::Calibration::paper_defaults();
+  core::AttackSetup setup(core::BenignCircuit::kAlu, cal);
+  core::PreliminaryExperiment prelim(setup);
+
+  core::TimeSeriesConfig cfg;
+  cfg.duration_ns = 2100.0;  // covers two full 4 MHz RO periods + lead-in
+  cfg.ro_enable_ns = 270.0;
+  cfg.ro_active = true;
+  const auto series = prelim.run(cfg);
+
+  // Post-processing exactly as the paper: select the fluctuating bits,
+  // then apply the Hamming weight per sample.
+  auto selector = prelim.analyse(series);
+  const auto bits = selector.fluctuating_bits();
+  const auto hw = series.benign_hw(bits);
+
+  std::cout << "sensitive ALU bits used for the HW: " << bits.size() << "\n"
+            << "RO enable at t=" << cfg.ro_enable_ns << " ns\n\n";
+
+  CsvWriter csv(std::cout);
+  csv.write_header({"sample", "t_ns", "tdc_reading", "alu_hw", "voltage"});
+  for (std::size_t i = 0; i < series.t_ns.size(); ++i) {
+    csv.write_row({std::to_string(i), format_double(series.t_ns[i], 2),
+                   std::to_string(series.tdc_readings[i]),
+                   std::to_string(hw[i]),
+                   format_double(series.voltage[i], 4)});
+  }
+  std::cout << "\n";
+
+  bench::ShapeChecks checks;
+  const auto idle_tdc = static_cast<double>(series.tdc_readings[2]);
+  const auto tdc_min = *std::min_element(series.tdc_readings.begin(),
+                                         series.tdc_readings.end());
+  const auto tdc_max = *std::max_element(series.tdc_readings.begin(),
+                                         series.tdc_readings.end());
+  std::cout << "tdc: idle~" << idle_tdc << " min=" << tdc_min
+            << " max=" << tdc_max
+            << "   (paper: ~30 idle, ~10 droop, 60-70 overshoot)\n";
+  checks.expect("TDC drops well below idle during RO ramp",
+                tdc_min + 8 < idle_tdc);
+  checks.expect("TDC overshoots above idle on RO release",
+                static_cast<double>(tdc_max) > idle_tdc + 5);
+
+  std::vector<double> hw_d(hw.begin(), hw.end());
+  std::vector<double> tdc_d(series.tdc_readings.begin(),
+                            series.tdc_readings.end());
+  const double corr = pearson(hw_d, tdc_d);
+  std::cout << "correlation(ALU HW, TDC) = " << corr << "\n";
+  checks.expect("ALU HW tracks the TDC trace (|corr| > 0.7)",
+                std::abs(corr) > 0.7);
+
+  // Two consecutive drops: the droop minimum repeats in both RO periods.
+  const double period_ns = 1000.0 / cal.ro_grid.toggle_freq_mhz;
+  const std::size_t p1_end = series.sample_index_at(cfg.ro_enable_ns + period_ns);
+  auto min_in = [&](std::size_t lo, std::size_t hi) {
+    double m = 1e9;
+    for (std::size_t i = lo; i < hi && i < tdc_d.size(); ++i) {
+      m = std::min(m, tdc_d[i]);
+    }
+    return m;
+  };
+  const std::size_t start = series.sample_index_at(cfg.ro_enable_ns);
+  const double drop1 = min_in(start, p1_end);
+  const double drop2 = min_in(p1_end, tdc_d.size());
+  checks.expect("two consecutive voltage drops visible",
+                drop1 + 8 < idle_tdc && drop2 + 8 < idle_tdc);
+  return checks.finish();
+}

@@ -1,0 +1,60 @@
+// Figure 7: how many of the 192 ALU output bits are sensitive to voltage
+// fluctuations from the ROs vs from the AES module, and how the AES set
+// nests inside the RO set. (Paper: 79 RO-sensitive, 40 AES-sensitive, 39
+// of those inside the RO set, 112 unaffected.)
+#include "bench_util.hpp"
+
+#include <algorithm>
+
+#include "sca/selection.hpp"
+
+using namespace slm;
+
+int main() {
+  bench::print_header("Figure 7", "ALU bits sensitive to RO vs AES activity");
+  const auto cal = core::Calibration::paper_defaults();
+  core::AttackSetup setup(core::BenignCircuit::kAlu, cal);
+  core::PreliminaryExperiment prelim(setup);
+
+  core::TimeSeriesConfig ro_cfg;
+  ro_cfg.duration_ns = 2400.0;
+  ro_cfg.ro_active = true;
+  const auto ro_sel = prelim.analyse(prelim.run(ro_cfg));
+
+  core::TimeSeriesConfig aes_cfg;
+  aes_cfg.duration_ns = 4800.0;  // many encryptions back to back
+  aes_cfg.ro_active = false;
+  aes_cfg.aes_active = true;
+  const auto aes_sel = prelim.analyse(prelim.run(aes_cfg));
+
+  const auto ro_bits = ro_sel.fluctuating_bits();
+  const auto aes_bits = aes_sel.fluctuating_bits();
+  const double nested = sca::subset_fraction(aes_bits, ro_bits);
+  std::size_t aes_in_ro = 0;
+  for (std::size_t b : aes_bits) {
+    if (std::binary_search(ro_bits.begin(), ro_bits.end(), b)) ++aes_in_ro;
+  }
+  const std::size_t total = setup.sensor_bits();
+  std::size_t either = ro_bits.size() + aes_bits.size() - aes_in_ro;
+
+  TextTable table({"population", "bits", "paper"});
+  table.add_row({"total endpoints", std::to_string(total), "192"});
+  table.add_row({"RO-sensitive", std::to_string(ro_bits.size()), "79"});
+  table.add_row({"AES-sensitive", std::to_string(aes_bits.size()), "40"});
+  table.add_row({"AES-sensitive also in RO set", std::to_string(aes_in_ro),
+                 "39"});
+  table.add_row({"unaffected", std::to_string(total - either), "112"});
+  table.print(std::cout);
+  std::cout << "\nAES subset fraction of RO set: " << nested << "\n\n";
+
+  bench::ShapeChecks checks;
+  checks.expect("a strict subset of endpoints is RO-sensitive",
+                !ro_bits.empty() && ro_bits.size() < total);
+  checks.expect("AES affects fewer bits than the ROs",
+                aes_bits.size() < ro_bits.size());
+  checks.expect("nearly all AES-sensitive bits are RO-sensitive (>= 90%)",
+                nested >= 0.90);
+  checks.expect("a large population of bits is unaffected",
+                total - either > total / 3);
+  return checks.finish();
+}

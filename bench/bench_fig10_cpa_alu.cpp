@@ -1,0 +1,27 @@
+// Figure 10: CPA with traces derived from the overclocked ALU (Hamming
+// weight over the bits of interest), 150 MS/s effective rate. Paper:
+// correct key byte after about 150k traces.
+#include "bench_util.hpp"
+
+using namespace slm;
+
+int main() {
+  bench::print_header("Figure 10",
+                      "CPA on AES with the misused 192-bit ALU (HW mode)");
+  core::CampaignConfig cfg;
+  cfg.mode = core::SensorMode::kBenignHw;
+  cfg.traces = bench::trace_budget(500000);
+  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg);
+
+  bench::ShapeChecks checks;
+  checks.expect("correct key byte recovered", fig.campaign.key_recovered);
+  checks.expect("disclosed within the 500k budget",
+                fig.campaign.mtd.disclosed());
+  if (fig.campaign.mtd.disclosed()) {
+    std::cout << "paper: ~150k traces; measured: ~"
+              << *fig.campaign.mtd.traces << "\n";
+    checks.expect("needs orders of magnitude more traces than the TDC",
+                  *fig.campaign.mtd.traces >= 10000);
+  }
+  return checks.finish();
+}

@@ -1,0 +1,141 @@
+// Microbenchmarks (google-benchmark) of the kernels the figure benches
+// lean on: AES reference + datapath model, netlist evaluation, the
+// event-driven timing simulation, PDN stepping and response lookup, the
+// overclocked capture, and the CPA trace update.
+#include <benchmark/benchmark.h>
+
+#include "core/calibration.hpp"
+#include "core/setup.hpp"
+#include "crypto/aes_datapath.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/generators/alu.hpp"
+#include "netlist/generators/c6288.hpp"
+#include "pdn/cycle_response.hpp"
+#include "pdn/rlc.hpp"
+#include "sca/cpa.hpp"
+#include "sca/model.hpp"
+#include "timing/timed_sim.hpp"
+
+using namespace slm;
+
+namespace {
+
+crypto::Block key() {
+  return crypto::block_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+}
+
+void BM_AesEncrypt(benchmark::State& state) {
+  crypto::Aes128 aes(key());
+  crypto::Block pt{};
+  for (auto _ : state) {
+    pt = aes.encrypt(pt);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_AesEncrypt);
+
+void BM_AesDatapathEncrypt(benchmark::State& state) {
+  crypto::AesDatapathModel model(key(), crypto::DatapathConfig{});
+  crypto::Block pt{};
+  for (auto _ : state) {
+    auto enc = model.encrypt(pt);
+    pt = enc.ciphertext;
+    benchmark::DoNotOptimize(enc.cycle_current[0]);
+  }
+}
+BENCHMARK(BM_AesDatapathEncrypt);
+
+void BM_AluNetlistEval(benchmark::State& state) {
+  const auto cal = core::Calibration::paper_defaults();
+  const auto nl = netlist::make_alu(cal.alu);
+  netlist::Evaluator ev(nl);
+  const auto in = netlist::alu_measure_stimulus(cal.alu);
+  for (auto _ : state) {
+    auto out = ev.eval(in);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_AluNetlistEval);
+
+void BM_TimedSimC6288(benchmark::State& state) {
+  const auto cal = core::Calibration::paper_defaults();
+  const auto nl = netlist::make_c6288(cal.c6288);
+  timing::TimedSimulator sim(nl);
+  const auto from = netlist::c6288_reset_stimulus(cal.c6288);
+  const auto to = netlist::c6288_measure_stimulus(cal.c6288);
+  for (auto _ : state) {
+    auto r = sim.simulate_transition(from, to);
+    benchmark::DoNotOptimize(r.total_events);
+  }
+}
+BENCHMARK(BM_TimedSimC6288);
+
+void BM_PdnRk4Step(benchmark::State& state) {
+  const auto cal = core::Calibration::paper_defaults();
+  pdn::RlcPdn pdn(cal.pdn);
+  double load = 0.1;
+  for (auto _ : state) {
+    load = -load;
+    benchmark::DoNotOptimize(pdn.step(0.5 + load));
+  }
+}
+BENCHMARK(BM_PdnRk4Step);
+
+void BM_CycleResponseLookup(benchmark::State& state) {
+  const auto cal = core::Calibration::paper_defaults();
+  std::vector<double> samples, cycles;
+  for (int s = 60; s < 70; ++s) samples.push_back(s * (20.0 / 3.0));
+  for (int c = 0; c < 44; ++c) cycles.push_back(c * 10.0);
+  const auto crm =
+      pdn::CycleResponseMatrix::build(cal.pdn, samples, cycles, 10.0);
+  std::vector<double> currents(44, 0.1);
+  std::vector<double> v;
+  for (auto _ : state) {
+    crm.voltages(currents, v);
+    benchmark::DoNotOptimize(v[0]);
+  }
+}
+BENCHMARK(BM_CycleResponseLookup);
+
+void BM_BenignSensorSampleWord(benchmark::State& state) {
+  core::AttackSetup setup(core::BenignCircuit::kAlu,
+                          core::Calibration::paper_defaults());
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    auto word = setup.sensor().sample_toggles(0.97, rng);
+    benchmark::DoNotOptimize(word);
+  }
+}
+BENCHMARK(BM_BenignSensorSampleWord);
+
+void BM_BenignSensorSampleBit(benchmark::State& state) {
+  core::AttackSetup setup(core::BenignCircuit::kAlu,
+                          core::Calibration::paper_defaults());
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        setup.sensor().sample_toggle_bit(110, 0.97, rng));
+  }
+}
+BENCHMARK(BM_BenignSensorSampleBit);
+
+void BM_CpaAddTrace(benchmark::State& state) {
+  sca::CpaEngine engine(256, 10);
+  sca::LastRoundBitModel model(3, 0);
+  Xoshiro256 rng(2);
+  crypto::Block ct;
+  std::vector<std::uint8_t> h;
+  std::vector<double> y(10, 0.0);
+  for (auto _ : state) {
+    for (auto& b : ct) b = static_cast<std::uint8_t>(rng.next());
+    model.hypotheses(ct, h);
+    for (auto& s : y) s = rng.uniform();
+    engine.add_trace(h, y);
+  }
+  benchmark::DoNotOptimize(engine.correlation(0, 0));
+}
+BENCHMARK(BM_CpaAddTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Shared scaffolding for the figure-regeneration benches: uniform
+// headers, series printing, shape checks (PASS/FAIL lines a CI can grep)
+// and the common CPA-figure runner used by Figs. 9-13 and 17-18.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/campaign.hpp"
+#include "core/preliminary.hpp"
+#include "core/setup.hpp"
+
+namespace slm::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::cout << "================================================================\n"
+            << figure << " -- " << description << "\n"
+            << "================================================================\n";
+}
+
+/// Collects named shape assertions; prints PASS/FAIL per check and an
+/// overall verdict. Benches return its exit code.
+class ShapeChecks {
+ public:
+  void expect(const std::string& name, bool ok) {
+    std::cout << (ok ? "[shape PASS] " : "[shape FAIL] ") << name << "\n";
+    if (!ok) ++failures_;
+  }
+
+  int finish() const {
+    if (failures_ == 0) {
+      std::cout << "RESULT: all shape checks passed\n\n";
+      return 0;
+    }
+    std::cout << "RESULT: " << failures_ << " shape check(s) FAILED\n\n";
+    return 1;
+  }
+
+ private:
+  int failures_ = 0;
+};
+
+/// Environment-tunable trace count: SLM_TRACES overrides the default so
+/// quick runs are possible (documented in README).
+inline std::size_t trace_budget(std::size_t dflt) {
+  if (const char* env = std::getenv("SLM_TRACES")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return dflt;
+}
+
+struct CpaFigureResult {
+  core::CampaignResult campaign;
+  std::size_t resolved_bit = 0;
+};
+
+/// Run one CPA figure: prints the "total correlation" panel (a) as a
+/// 16x16 grid over all 256 candidates, the "progress" panel (b) as a
+/// checkpoint table, and the MTD verdict.
+inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
+                                      const core::CampaignConfig& cfg_in) {
+  core::AttackSetup setup(circuit,
+                          core::Calibration::paper_defaults());
+  core::CampaignConfig cfg = cfg_in;
+  core::CpaCampaign campaign(setup, cfg);
+  CpaFigureResult out{campaign.run(), campaign.resolved_single_bit()};
+  const auto& r = out.campaign;
+
+  std::cout << "sensor mode      : " << core::sensor_mode_name(r.mode) << "\n"
+            << "benign circuit   : " << core::benign_circuit_name(circuit)
+            << "\n"
+            << "traces           : " << r.traces_run << "\n"
+            << "target           : last-round key byte " << cfg.target_key_byte
+            << ", state bit " << cfg.target_bit << "\n";
+  if (r.mode == core::SensorMode::kBenignHw) {
+    std::cout << "bits of interest : " << r.bits_of_interest.size() << "\n";
+  }
+  if (r.mode == core::SensorMode::kBenignSingleBit ||
+      r.mode == core::SensorMode::kTdcSingleBit) {
+    std::cout << "sensor bit       : " << out.resolved_bit << "\n";
+  }
+
+  std::cout << "\n(a) total |correlation| after " << r.traces_run
+            << " traces, all 256 key candidates (correct = 0x";
+  std::printf("%02x", r.correct_guess);
+  std::cout << "):\n";
+  for (int row = 0; row < 16; ++row) {
+    for (int col = 0; col < 16; ++col) {
+      const int k = row * 16 + col;
+      std::printf("%s%6.4f", col == 0 ? "  " : " ",
+                  r.final_max_abs_corr[static_cast<std::size_t>(k)]);
+    }
+    std::printf("\n");
+  }
+
+  std::cout << "\n(b) correlation progress over traces:\n";
+  TextTable table({"traces", "corr(correct)", "best wrong", "rank of correct"});
+  for (const auto& p : r.progress) {
+    table.add_row({std::to_string(p.traces), format_double(p.correct_corr, 4),
+                   format_double(p.best_wrong_corr, 4),
+                   std::to_string(p.correct_rank)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nrecovered key byte: 0x";
+  std::printf("%02x", r.recovered_guess);
+  std::cout << " (true 0x";
+  std::printf("%02x", r.correct_guess);
+  std::cout << ") -> " << (r.key_recovered ? "RECOVERED" : "not recovered")
+            << "\n";
+  if (r.mtd.disclosed()) {
+    std::cout << "measurements to stable disclosure: ~" << *r.mtd.traces
+              << " traces\n";
+  } else {
+    std::cout << "not stably disclosed within the budget\n";
+  }
+  std::cout << "\n";
+  return out;
+}
+
+}  // namespace slm::bench

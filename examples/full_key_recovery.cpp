@@ -1,0 +1,39 @@
+// Full key recovery: attack all 16 last-round key bytes and invert the
+// AES key schedule — from "voltage wiggle in a neighbour's adder" to the
+// victim's master key. Uses the TDC for speed; switch the mode to
+// SensorMode::kBenignHw to do the same fully stealthily (more traces).
+#include <cstdio>
+
+#include "core/attack.hpp"
+
+int main() {
+  using namespace slm::core;
+
+  StealthyAttack attack(BenignCircuit::kAlu);
+  std::printf("recovering all 16 bytes of the last round key "
+              "(TDC sensor, 4000 traces each)...\n\n");
+  const auto report = attack.recover_full_key(/*traces_per_byte=*/4000,
+                                              SensorMode::kTdcFull);
+
+  std::printf("byte  true  recovered  ok   ~traces\n");
+  std::printf("----  ----  ---------  ---  -------\n");
+  for (const auto& b : report.bytes) {
+    std::printf("%4zu  0x%02x       0x%02x  %s  %7s\n", b.key_byte,
+                b.true_value, b.recovered, b.success ? "yes" : "NO ",
+                b.mtd.disclosed() ? std::to_string(*b.mtd.traces).c_str()
+                                  : "-");
+  }
+
+  std::printf("\nlast round key : %s\n",
+              slm::crypto::block_to_hex(report.last_round_key).c_str());
+  std::printf("master key     : %s (inverse key schedule)\n",
+              slm::crypto::block_to_hex(report.master_key).c_str());
+  std::printf("victim's key   : %s\n",
+              slm::crypto::block_to_hex(
+                  Calibration::paper_defaults().aes_key())
+                  .c_str());
+  std::printf("\n%s\n", report.success
+                            ? "FULL KEY RECOVERED — AES-128 broken."
+                            : "recovery incomplete at this trace budget.");
+  return report.success ? 0 : 1;
+}

@@ -1,0 +1,74 @@
+// Stimulus-pair search for arbitrary circuits — the Discussion's point
+// that an attacker does not need a hand-crafted carry chain: ATPG-style
+// path sensitisation finds (reset, measure) vectors that launch long
+// transitions into many endpoints.
+//
+// The search is delay-aware random exploration plus greedy bit-flip hill
+// climbing, scored by the event-driven timing simulator: a candidate pair
+// is good when many endpoint settle times land inside the sensitivity
+// band around the overclocked capture instant (or, in single-path mode,
+// when one endpoint's settle time is maximised).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "netlist/netlist.hpp"
+
+namespace slm::atpg {
+
+struct StimulusSearchConfig {
+  std::size_t random_trials = 150;
+  std::size_t hill_climb_iters = 300;
+  std::uint64_t seed = 0xa7b6;
+
+  /// Caller-supplied candidate (reset, measure) pairs evaluated before
+  /// the random phase — the role functional delay-test patterns play in
+  /// real ATPG flows (e.g. the carry-propagate pattern for adders).
+  std::vector<std::pair<BitVec, BitVec>> seed_pairs;
+};
+
+struct StimulusPair {
+  BitVec reset;
+  BitVec measure;
+  double score = 0.0;
+  double max_settle_ns = 0.0;        ///< slowest endpoint settle time
+  std::size_t endpoints_in_band = 0; ///< endpoints with settle in band
+};
+
+class StimulusSearch {
+ public:
+  /// The netlist must outlive the search (temporaries are rejected).
+  StimulusSearch(const netlist::Netlist& nl, StimulusSearchConfig cfg = {});
+  StimulusSearch(netlist::Netlist&&, StimulusSearchConfig = {}) = delete;
+
+  /// Maximise the number of endpoints whose settle time falls inside
+  /// [band_lo_ns, band_hi_ns] — the band the capture clock sweeps under
+  /// voltage fluctuation.
+  StimulusPair find_sensor_stimulus(double band_lo_ns, double band_hi_ns);
+
+  /// Maximise the settle time of a single endpoint (single-path sensor).
+  StimulusPair find_path_stimulus(std::size_t endpoint);
+
+ private:
+  struct Scored {
+    double score;
+    double max_settle;
+    std::size_t in_band;
+  };
+
+  template <typename ScoreFn>
+  StimulusPair search(ScoreFn&& fn);
+
+  Scored evaluate_band(const BitVec& reset, const BitVec& measure,
+                       double lo, double hi) const;
+  Scored evaluate_path(const BitVec& reset, const BitVec& measure,
+                       std::size_t endpoint) const;
+
+  const netlist::Netlist& nl_;
+  StimulusSearchConfig cfg_;
+};
+
+}  // namespace slm::atpg

@@ -1,0 +1,191 @@
+#include "bitstream/checker.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <unordered_set>
+
+#include "timing/sta.hpp"
+
+namespace slm::bitstream {
+
+using netlist::Gate;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::NetId;
+
+const char* check_kind_name(CheckKind kind) {
+  switch (kind) {
+    case CheckKind::kCombinationalLoop:
+      return "combinational-loop";
+    case CheckKind::kClockAsData:
+      return "clock-as-data";
+    case CheckKind::kDelayLinePattern:
+      return "delay-line-pattern";
+    case CheckKind::kStrictTiming:
+      return "strict-timing";
+  }
+  return "?";
+}
+
+bool CheckReport::flagged(CheckKind kind) const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [kind](const Finding& f) { return f.kind == kind; });
+}
+
+std::string CheckReport::summary() const {
+  if (findings.empty()) return "PASS (no suspicious structures)";
+  std::ostringstream os;
+  os << "REJECT (" << findings.size() << " finding"
+     << (findings.size() == 1 ? "" : "s") << "):";
+  for (const auto& f : findings) {
+    os << "\n  [" << check_kind_name(f.kind) << "] " << f.detail;
+  }
+  return os.str();
+}
+
+CheckReport BitstreamChecker::check(const Netlist& nl) const {
+  CheckReport report;
+  if (opt_.check_loops) check_loops(nl, report);
+  if (opt_.check_clock_as_data) check_clock_as_data(nl, report);
+  if (opt_.check_delay_lines) check_delay_lines(nl, report);
+  if (opt_.operating_clock_period_ns > 0.0 &&
+      !nl.has_combinational_cycle()) {
+    check_strict_timing(nl, report);
+  }
+  return report;
+}
+
+void BitstreamChecker::check_loops(const Netlist& nl,
+                                   CheckReport& report) const {
+  const auto cyclic = nl.gates_on_cycles();
+  if (cyclic.empty()) return;
+  Finding f;
+  f.kind = CheckKind::kCombinationalLoop;
+  f.nets = cyclic;
+  f.detail = std::to_string(cyclic.size()) +
+             " gates form combinational cycles (ring-oscillator pattern)";
+  report.findings.push_back(std::move(f));
+}
+
+void BitstreamChecker::check_clock_as_data(const Netlist& nl,
+                                           CheckReport& report) const {
+  // Forward reachability from clock-marked inputs through gate data pins.
+  std::vector<std::vector<NetId>> fanout(nl.gate_count());
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    for (NetId f : nl.gate(id).fanin) fanout[f].push_back(id);
+  }
+  std::vector<bool> tainted(nl.gate_count(), false);
+  std::queue<NetId> queue;
+  for (NetId in : nl.inputs()) {
+    if (nl.gate(in).is_clock) {
+      tainted[in] = true;
+      queue.push(in);
+    }
+  }
+  std::size_t tainted_logic = 0;
+  while (!queue.empty()) {
+    const NetId id = queue.front();
+    queue.pop();
+    for (NetId succ : fanout[id]) {
+      if (!tainted[succ]) {
+        tainted[succ] = true;
+        ++tainted_logic;
+        queue.push(succ);
+      }
+    }
+  }
+  if (tainted_logic == 0) return;
+
+  Finding f;
+  f.kind = CheckKind::kClockAsData;
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    if (tainted[id] && !nl.gate(id).is_clock) f.nets.push_back(id);
+  }
+  f.detail = "clock net drives " + std::to_string(tainted_logic) +
+             " logic data pins (TDC launch pattern)";
+  report.findings.push_back(std::move(f));
+}
+
+void BitstreamChecker::check_delay_lines(const Netlist& nl,
+                                         CheckReport& report) const {
+  if (nl.has_combinational_cycle()) return;  // loop check already fired
+
+  // Tapped-chain scan: walk maximal chains of buf/not gates and count how
+  // many stages feed capture endpoints.
+  std::unordered_set<NetId> endpoint_nets;
+  for (const auto& port : nl.outputs()) endpoint_nets.insert(port.net);
+
+  auto is_chain_gate = [&](NetId id) {
+    const GateType t = nl.gate(id).type;
+    return t == GateType::kBuf || t == GateType::kNot;
+  };
+
+  // Chain successor per gate: the unique buf/not gate it drives.
+  std::vector<NetId> chain_succ(nl.gate_count(), netlist::kInvalidNet);
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    if (!is_chain_gate(id)) continue;
+    const NetId drv = nl.gate(id).fanin[0];
+    if (chain_succ[drv] == netlist::kInvalidNet) {
+      chain_succ[drv] = id;
+    }
+  }
+
+  // A chain head is a chain gate whose driver is not a chain gate.
+  std::vector<bool> visited(nl.gate_count(), false);
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    if (!is_chain_gate(id) || visited[id]) continue;
+    if (is_chain_gate(nl.gate(id).fanin[0])) continue;  // not a head
+
+    std::vector<NetId> chain;
+    std::size_t taps = 0;
+    for (NetId cur = id; cur != netlist::kInvalidNet; cur = chain_succ[cur]) {
+      if (visited[cur]) break;
+      visited[cur] = true;
+      chain.push_back(cur);
+      if (endpoint_nets.count(cur) > 0) ++taps;
+    }
+
+    if (chain.size() >= opt_.delay_line_min_stages &&
+        static_cast<double>(taps) >=
+            opt_.delay_line_min_tap_fraction *
+                static_cast<double>(chain.size())) {
+      Finding f;
+      f.kind = CheckKind::kDelayLinePattern;
+      f.nets = chain;
+      f.detail = "tapped buffer chain of " + std::to_string(chain.size()) +
+                 " stages with " + std::to_string(taps) +
+                 " capture taps (TDC delay-line pattern)";
+      report.findings.push_back(std::move(f));
+    }
+  }
+}
+
+void BitstreamChecker::check_strict_timing(const Netlist& nl,
+                                           CheckReport& report) const {
+  timing::Sta sta(nl);
+  const auto slacks = sta.endpoint_slacks(opt_.operating_clock_period_ns,
+                                          opt_.setup_ns);
+  std::unordered_set<std::size_t> false_paths(
+      opt_.false_path_endpoints.begin(), opt_.false_path_endpoints.end());
+
+  std::size_t failing = 0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < slacks.size(); ++i) {
+    if (false_paths.count(i) > 0) continue;
+    if (slacks[i] < 0.0) {
+      ++failing;
+      worst = std::min(worst, slacks[i]);
+    }
+  }
+  if (failing == 0) return;
+
+  Finding f;
+  f.kind = CheckKind::kStrictTiming;
+  f.detail = std::to_string(failing) +
+             " endpoints violate the operating clock (worst slack " +
+             std::to_string(worst) + " ns) - potential timing-misuse sensor";
+  report.findings.push_back(std::move(f));
+}
+
+}  // namespace slm::bitstream

@@ -1,0 +1,88 @@
+// Bitstream/netlist security checker, modelling the defences of Krautter
+// et al. (TRETS'19) and FPGADefender (TRETS'20) that the paper's attack
+// is designed to slip past:
+//
+//   1. combinational-loop scan        -> catches ring oscillators
+//   2. clock-as-data scan             -> catches classic TDCs
+//   3. delay-line pattern scan        -> catches TDC-style tapped chains
+//   4. strict timing check (optional) -> the only check that would catch
+//      the benign-circuit misuse, by refusing any clock faster than STA
+//      closes; the paper's Discussion argues it is impractical because
+//      real designs are full of intentional false paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace slm::bitstream {
+
+enum class CheckKind {
+  kCombinationalLoop,
+  kClockAsData,
+  kDelayLinePattern,
+  kStrictTiming,
+};
+
+const char* check_kind_name(CheckKind kind);
+
+struct Finding {
+  CheckKind kind;
+  std::string detail;
+  std::vector<netlist::NetId> nets;  ///< implicated gates/nets
+};
+
+struct CheckerOptions {
+  bool check_loops = true;
+  bool check_clock_as_data = true;
+  bool check_delay_lines = true;
+
+  /// Minimum tapped buffer/inverter chain length reported as a TDC-style
+  /// delay line.
+  std::size_t delay_line_min_stages = 16;
+
+  /// Minimum fraction of chain stages that must feed capture endpoints.
+  double delay_line_min_tap_fraction = 0.5;
+
+  /// Strict timing mode: verify the *operating* clock against STA. 0
+  /// disables the check (the realistic default — tenants declare their
+  /// own constraints).
+  double operating_clock_period_ns = 0.0;
+  double setup_ns = 0.05;
+
+  /// Endpoints (by output index) excluded from the strict timing check —
+  /// models user-supplied false-path constraints, which the Discussion
+  /// notes can hide sensor endpoints.
+  std::vector<std::size_t> false_path_endpoints;
+};
+
+struct CheckReport {
+  std::vector<Finding> findings;
+
+  bool passed() const { return findings.empty(); }
+  bool flagged(CheckKind kind) const;
+  std::string summary() const;
+};
+
+class BitstreamChecker {
+ public:
+  explicit BitstreamChecker(CheckerOptions opt = {}) : opt_(std::move(opt)) {}
+
+  CheckReport check(const netlist::Netlist& nl) const;
+
+  const CheckerOptions& options() const { return opt_; }
+
+ private:
+  void check_loops(const netlist::Netlist& nl, CheckReport& report) const;
+  void check_clock_as_data(const netlist::Netlist& nl,
+                           CheckReport& report) const;
+  void check_delay_lines(const netlist::Netlist& nl,
+                         CheckReport& report) const;
+  void check_strict_timing(const netlist::Netlist& nl,
+                           CheckReport& report) const;
+
+  CheckerOptions opt_;
+};
+
+}  // namespace slm::bitstream

@@ -1,0 +1,155 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace slm {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t word_count(std::size_t bits) {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+}  // namespace
+
+BitVec::BitVec(std::size_t size) : size_(size), words_(word_count(size), 0) {}
+
+BitVec::BitVec(std::size_t size, std::uint64_t value) : BitVec(size) {
+  if (!words_.empty()) {
+    words_[0] = value;
+    mask_top();
+  }
+}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const char c = bits[i];
+    SLM_REQUIRE(c == '0' || c == '1', "BitVec::from_string: invalid char");
+    // MSB first: bits[0] is the highest bit index.
+    v.set(bits.size() - 1 - i, c == '1');
+  }
+  return v;
+}
+
+bool BitVec::get(std::size_t i) const {
+  SLM_REQUIRE(i < size_, "BitVec::get: index out of range");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVec::set(std::size_t i, bool v) {
+  SLM_REQUIRE(i < size_, "BitVec::set: index out of range");
+  const std::uint64_t mask = std::uint64_t{1} << (i % kWordBits);
+  if (v) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVec::flip(std::size_t i) {
+  SLM_REQUIRE(i < size_, "BitVec::flip: index out of range");
+  words_[i / kWordBits] ^= std::uint64_t{1} << (i % kWordBits);
+}
+
+void BitVec::set_all(bool v) {
+  const std::uint64_t fill = v ? ~std::uint64_t{0} : 0;
+  for (auto& w : words_) w = fill;
+  mask_top();
+}
+
+std::uint64_t BitVec::to_uint64() const {
+  return words_.empty() ? 0 : words_[0];
+}
+
+BitVec BitVec::slice(std::size_t lo, std::size_t n) const {
+  SLM_REQUIRE(lo + n <= size_, "BitVec::slice: range out of bounds");
+  BitVec out(n);
+  for (std::size_t i = 0; i < n; ++i) out.set(i, get(lo + i));
+  return out;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t total = 0;
+  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitVec::hamming_distance(const BitVec& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return total;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (get(i)) s[size_ - 1 - i] = '1';
+  }
+  return s;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec out(*this);
+  for (auto& w : out.words_) w = ~w;
+  out.mask_top();
+  return out;
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  BitVec out(*this);
+  out &= o;
+  return out;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  BitVec out(*this);
+  out |= o;
+  return out;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  BitVec out(*this);
+  out ^= o;
+  return out;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return size_ == o.size_ && words_ == o.words_;
+}
+
+void BitVec::check_same_size(const BitVec& o) const {
+  SLM_REQUIRE(size_ == o.size_, "BitVec: size mismatch");
+}
+
+void BitVec::mask_top() {
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+  }
+}
+
+}  // namespace slm

@@ -1,0 +1,83 @@
+// Dynamic bit vector used for netlist values, sensor endpoint words and
+// trace samples. Word-packed (64-bit words), with the operations the rest
+// of the library needs: logic ops, Hamming weight/distance, slicing,
+// integer import/export, and fluctuation bookkeeping across samples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slm {
+
+/// Fixed-size (after construction) packed bit vector.
+class BitVec {
+ public:
+  BitVec() = default;
+
+  /// All-zero vector of `size` bits.
+  explicit BitVec(std::size_t size);
+
+  /// Vector of `size` bits initialised from the low bits of `value`.
+  BitVec(std::size_t size, std::uint64_t value);
+
+  /// Parse from a string of '0'/'1' characters, MSB first ("1010" -> bit3=1).
+  static BitVec from_string(const std::string& bits);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+  void flip(std::size_t i);
+
+  void set_all(bool v);
+
+  /// Low 64 bits as an integer (vector may be longer; higher bits ignored).
+  std::uint64_t to_uint64() const;
+
+  /// Bits [lo, lo+n) as a new vector. Requires lo+n <= size().
+  BitVec slice(std::size_t lo, std::size_t n) const;
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// Hamming distance to another vector of the same size.
+  std::size_t hamming_distance(const BitVec& other) const;
+
+  /// MSB-first '0'/'1' string (inverse of from_string).
+  std::string to_string() const;
+
+  BitVec operator~() const;
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator|=(const BitVec& o);
+  BitVec& operator^=(const BitVec& o);
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  /// Raw word storage (little-endian words, bit i in word i/64).
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+ private:
+  void check_same_size(const BitVec& o) const;
+  void mask_top();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hamming weight of a plain 64-bit word (convenience used by sca/).
+inline std::size_t hamming_weight(std::uint64_t v) {
+  return static_cast<std::size_t>(__builtin_popcountll(v));
+}
+
+/// Hamming distance between two 64-bit words.
+inline std::size_t hamming_distance(std::uint64_t a, std::uint64_t b) {
+  return hamming_weight(a ^ b);
+}
+
+}  // namespace slm

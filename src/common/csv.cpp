@@ -1,0 +1,78 @@
+#include "common/csv.hpp"
+
+#include <istream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace slm {
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  SLM_REQUIRE(!header_written_, "CsvWriter: header already written");
+  SLM_REQUIRE(!columns.empty(), "CsvWriter: empty header");
+  columns_ = columns.size();
+  header_written_ = true;
+  write_cells(columns);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (columns_ == 0) {
+    columns_ = cells.size();
+  }
+  SLM_REQUIRE(cells.size() == columns_, "CsvWriter: column count mismatch");
+  write_cells(cells);
+}
+
+void CsvWriter::write_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, precision));
+  write_row(cells);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    SLM_REQUIRE(cells[i].find(',') == std::string::npos,
+                "CsvWriter: cell contains a comma");
+    if (i != 0) os_ << ',';
+    os_ << cells[i];
+  }
+  os_ << '\n';
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+std::vector<std::vector<double>> read_numeric_csv(std::istream& is,
+                                                  bool has_header) {
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first && has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    std::vector<double> row;
+    for (const auto& cell : split_csv_line(line)) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw Error("read_numeric_csv: non-numeric cell '" + cell + "'");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace slm

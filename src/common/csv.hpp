@@ -1,0 +1,36 @@
+// Minimal CSV writer/reader. Used to dump trace sets and figure series so
+// results can be re-plotted outside the harness (the paper's workstation
+// stored traces the same way).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace slm {
+
+/// Streaming CSV writer (no quoting; values must not contain commas).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<std::string>& cells);
+  void write_row(const std::vector<double>& values, int precision = 6);
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ostream& os_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+};
+
+/// Parse one CSV line into cells (no quoting support, by design).
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Read a whole numeric CSV (optionally skipping a header row).
+std::vector<std::vector<double>> read_numeric_csv(std::istream& is,
+                                                  bool has_header);
+
+}  // namespace slm

@@ -1,0 +1,48 @@
+// Error handling primitives shared by every slm subsystem.
+//
+// The library throws slm::Error (derived from std::runtime_error) for all
+// precondition and invariant violations that a caller could plausibly
+// trigger through the public API. Internal never-happens conditions use
+// SLM_ASSERT, which also throws (so tests can exercise them) but tags the
+// message as an internal invariant failure.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace slm {
+
+/// Base exception for the whole library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* file, int line,
+                                     const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+}  // namespace detail
+
+/// Precondition check: throws slm::Error with location info when violated.
+#define SLM_REQUIRE(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::slm::detail::throw_error(__FILE__, __LINE__,                  \
+                                 std::string("requirement failed: ") + \
+                                     (msg));                          \
+    }                                                                 \
+  } while (0)
+
+/// Internal invariant check.
+#define SLM_ASSERT(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::slm::detail::throw_error(__FILE__, __LINE__,                     \
+                                 std::string("internal invariant: ") +   \
+                                     (msg));                             \
+    }                                                                    \
+  } while (0)
+
+}  // namespace slm

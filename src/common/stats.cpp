@@ -1,0 +1,167 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace slm {
+
+void OnlineMeanVar::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineMeanVar::variance() const {
+  return n_ >= 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineMeanVar::sample_variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineMeanVar::stddev() const { return std::sqrt(variance()); }
+
+void OnlineMeanVar::merge(const OnlineMeanVar& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ +
+         delta * delta * static_cast<double>(n_) *
+             static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+}
+
+void OnlineCorrelation::add(double x, double y) {
+  ++n_;
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  const double dx = x - mean_x_;
+  const double dy = y - mean_y_;
+  mean_x_ += dx * inv_n;
+  mean_y_ += dy * inv_n;
+  m2_x_ += dx * (x - mean_x_);
+  m2_y_ += dy * (y - mean_y_);
+  cov_ += dx * (y - mean_y_);
+}
+
+double OnlineCorrelation::correlation() const {
+  if (n_ < 2) return 0.0;
+  const double denom = std::sqrt(m2_x_ * m2_y_);
+  return denom > 0.0 ? cov_ / denom : 0.0;
+}
+
+MultiCorrelation::MultiCorrelation(std::size_t n_hypotheses)
+    : sum_h_(n_hypotheses, 0.0),
+      sum_hh_(n_hypotheses, 0.0),
+      sum_hy_(n_hypotheses, 0.0) {}
+
+void MultiCorrelation::add(const std::vector<double>& h, double y) {
+  SLM_REQUIRE(h.size() == sum_h_.size(),
+              "MultiCorrelation::add: hypothesis count mismatch");
+  ++n_;
+  sum_y_ += y;
+  sum_yy_ += y * y;
+  for (std::size_t k = 0; k < h.size(); ++k) {
+    sum_h_[k] += h[k];
+    sum_hh_[k] += h[k] * h[k];
+    sum_hy_[k] += h[k] * y;
+  }
+}
+
+void MultiCorrelation::add_binary(const std::vector<std::uint8_t>& h_bits,
+                                  double y) {
+  SLM_REQUIRE(h_bits.size() == sum_h_.size(),
+              "MultiCorrelation::add_binary: hypothesis count mismatch");
+  ++n_;
+  sum_y_ += y;
+  sum_yy_ += y * y;
+  for (std::size_t k = 0; k < h_bits.size(); ++k) {
+    if (h_bits[k]) {
+      sum_h_[k] += 1.0;
+      sum_hh_[k] += 1.0;
+      sum_hy_[k] += y;
+    }
+  }
+}
+
+double MultiCorrelation::correlation(std::size_t k) const {
+  SLM_REQUIRE(k < sum_h_.size(), "MultiCorrelation::correlation: bad index");
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double cov = n * sum_hy_[k] - sum_h_[k] * sum_y_;
+  const double var_h = n * sum_hh_[k] - sum_h_[k] * sum_h_[k];
+  const double var_y = n * sum_yy_ - sum_y_ * sum_y_;
+  const double denom = std::sqrt(var_h * var_y);
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+std::vector<double> MultiCorrelation::correlations() const {
+  std::vector<double> out(sum_h_.size());
+  for (std::size_t k = 0; k < out.size(); ++k) out[k] = correlation(k);
+  return out;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  SLM_REQUIRE(x.size() == y.size(), "pearson: size mismatch");
+  OnlineCorrelation c;
+  for (std::size_t i = 0; i < x.size(); ++i) c.add(x[i], y[i]);
+  return c.correlation();
+}
+
+double min_of(const std::vector<double>& v) {
+  SLM_REQUIRE(!v.empty(), "min_of: empty vector");
+  double m = v[0];
+  for (double x : v) m = x < m ? x : m;
+  return m;
+}
+
+double max_of(const std::vector<double>& v) {
+  SLM_REQUIRE(!v.empty(), "max_of: empty vector");
+  double m = v[0];
+  for (double x : v) m = x > m ? x : m;
+  return m;
+}
+
+std::size_t argmax(const std::vector<double>& v) {
+  SLM_REQUIRE(!v.empty(), "argmax: empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t argmax_abs(const std::vector<double>& v) {
+  SLM_REQUIRE(!v.empty(), "argmax_abs: empty vector");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (std::abs(v[i]) > std::abs(v[best])) best = i;
+  }
+  return best;
+}
+
+}  // namespace slm

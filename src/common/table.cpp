@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace slm {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  SLM_REQUIRE(!headers_.empty(), "TextTable: need at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SLM_REQUIRE(cells.size() == headers_.size(),
+              "TextTable::add_row: column count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    if (c != 0) rule += "  ";
+    rule += std::string(widths[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+}  // namespace slm

@@ -1,0 +1,33 @@
+// Plain-text table rendering for bench output. Every figure bench prints
+// its series through this so outputs are uniform and diffable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace slm {
+
+/// Column-aligned text table with a title row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows; values formatted with `precision`.
+  void add_row(const std::vector<double>& values, int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with CSV output).
+std::string format_double(double v, int precision = 4);
+
+}  // namespace slm

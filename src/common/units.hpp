@@ -1,0 +1,28 @@
+// Physical unit helpers. The library works in a fixed unit system:
+//   time        : nanoseconds (double)
+//   frequency   : megahertz   (double)
+//   voltage     : volts       (double)
+//   current     : amperes     (double)
+//   capacitance : farads, inductance : henries, resistance : ohms
+//
+// Conversions are kept explicit and trivial so values in config structs
+// read like the paper ("300 MHz", "3.33 ns").
+#pragma once
+
+namespace slm::units {
+
+/// Clock period in nanoseconds for a frequency given in MHz.
+constexpr double period_ns(double freq_mhz) { return 1000.0 / freq_mhz; }
+
+/// Frequency in MHz for a period given in nanoseconds.
+constexpr double freq_mhz(double period_ns_) { return 1000.0 / period_ns_; }
+
+/// Nanoseconds expressed in seconds (for PDN differential equations).
+constexpr double ns_to_s(double t_ns) { return t_ns * 1e-9; }
+
+/// Seconds expressed in nanoseconds.
+constexpr double s_to_ns(double t_s) { return t_s * 1e9; }
+
+constexpr double kNominalVdd = 1.0;  ///< Nominal core supply, volts.
+
+}  // namespace slm::units

@@ -1,0 +1,92 @@
+#include "core/attack.hpp"
+
+namespace slm::core {
+
+StealthyAttack::StealthyAttack(BenignCircuit circuit, Calibration cal,
+                               std::uint64_t seed)
+    : cal_(std::move(cal)), setup_(circuit, cal_, seed), seed_(seed) {}
+
+KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
+                                               std::size_t traces,
+                                               SensorMode mode) {
+  CampaignConfig cfg;
+  cfg.traces = traces;
+  cfg.mode = mode;
+  cfg.target_key_byte = key_byte;
+  cfg.target_bit = 0;
+  cfg.seed = seed_ ^ (0x9e3779b97f4a7c15ull * (key_byte + 1));
+  // Single-bit modes pick the strongest bit the way the paper does
+  // (variance / operating point).
+  if (mode == SensorMode::kBenignSingleBit ||
+      mode == SensorMode::kTdcSingleBit) {
+    cfg.single_bit = CampaignConfig::kAutoBit;
+  }
+  // The multiplier's Hamming weight needs the top-variance restriction
+  // (glitchy endpoints carry variance but no slope; see DESIGN.md).
+  if (mode == SensorMode::kBenignHw &&
+      setup_.circuit_kind() == BenignCircuit::kC6288x2) {
+    cfg.selection_top_k = 12;
+  }
+
+  // Sampling window around the leakage cycle of this byte's column.
+  sca::LastRoundBitModel model(key_byte, 0);
+  const double cyc = 1000.0 / cal_.aes_clock_mhz;
+  const double leak_t =
+      static_cast<double>(crypto::AesDatapathModel::leakage_cycle_for_byte(
+          model.register_position())) *
+      cyc;
+  cfg.window_start_ns = leak_t - 2.0 * cyc;
+  cfg.window_end_ns = leak_t + 3.5 * cyc;
+
+  CpaCampaign campaign(setup_, cfg);
+  const CampaignResult r = campaign.run();
+
+  KeyByteReport report;
+  report.key_byte = key_byte;
+  report.true_value = r.correct_guess;
+  report.recovered = r.recovered_guess;
+  report.success = r.key_recovered;
+  report.traces = r.traces_run;
+  report.mtd = r.mtd;
+  return report;
+}
+
+std::vector<KeyByteReport> StealthyAttack::recover_key_bytes(
+    const std::vector<std::size_t>& key_bytes, std::size_t traces,
+    SensorMode mode) {
+  std::vector<KeyByteReport> reports;
+  reports.reserve(key_bytes.size());
+  for (std::size_t b : key_bytes) {
+    reports.push_back(recover_key_byte(b, traces, mode));
+  }
+  return reports;
+}
+
+StealthyAttack::FullKeyReport StealthyAttack::recover_full_key(
+    std::size_t traces_per_byte, SensorMode mode) {
+  FullKeyReport report;
+  report.success = true;
+  for (std::size_t b = 0; b < 16; ++b) {
+    auto byte_report = recover_key_byte(b, traces_per_byte, mode);
+    report.last_round_key[b] = byte_report.recovered;
+    report.success = report.success && byte_report.success;
+    report.bytes.push_back(std::move(byte_report));
+  }
+  report.master_key = crypto::recover_master_key(report.last_round_key);
+  return report;
+}
+
+bitstream::CheckReport StealthyAttack::check_stealthiness(
+    const bitstream::CheckerOptions& opt) const {
+  bitstream::BitstreamChecker checker(opt);
+  bitstream::CheckReport combined;
+  for (std::size_t i = 0; i < setup_.benign_instance_count(); ++i) {
+    auto report = checker.check(setup_.benign_netlist(i));
+    for (auto& f : report.findings) {
+      combined.findings.push_back(std::move(f));
+    }
+  }
+  return combined;
+}
+
+}  // namespace slm::core

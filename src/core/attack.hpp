@@ -1,0 +1,65 @@
+// High-level facade: "misuse this benign circuit, steal that key byte".
+// This is the API the examples exercise; everything underneath is the
+// composable machinery (AttackSetup / CpaCampaign / BitstreamChecker).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitstream/checker.hpp"
+#include "core/campaign.hpp"
+#include "core/setup.hpp"
+
+namespace slm::core {
+
+struct KeyByteReport {
+  std::size_t key_byte = 0;
+  std::uint8_t true_value = 0;
+  std::uint8_t recovered = 0;
+  bool success = false;
+  std::size_t traces = 0;
+  sca::MtdResult mtd;
+};
+
+class StealthyAttack {
+ public:
+  StealthyAttack(BenignCircuit circuit,
+                 Calibration cal = Calibration::paper_defaults(),
+                 std::uint64_t seed = 0x51);
+
+  AttackSetup& setup() { return setup_; }
+
+  /// Recover one last-round key byte with the given sensor mode.
+  KeyByteReport recover_key_byte(std::size_t key_byte, std::size_t traces,
+                                 SensorMode mode = SensorMode::kBenignHw);
+
+  /// Recover several last-round key bytes (one campaign each).
+  std::vector<KeyByteReport> recover_key_bytes(
+      const std::vector<std::size_t>& key_bytes, std::size_t traces,
+      SensorMode mode = SensorMode::kBenignHw);
+
+  struct FullKeyReport {
+    std::vector<KeyByteReport> bytes;     ///< one campaign per key byte
+    crypto::Block last_round_key{};       ///< assembled from the campaigns
+    crypto::Block master_key{};           ///< inverse key schedule
+    bool success = false;                 ///< all 16 bytes correct
+  };
+
+  /// The complete break: recover all 16 last-round key bytes and invert
+  /// the key schedule back to the AES master key.
+  FullKeyReport recover_full_key(std::size_t traces_per_byte,
+                                 SensorMode mode = SensorMode::kTdcFull);
+
+  /// Run the bitstream checker over the benign circuit — the stealthiness
+  /// claim: no findings under structural checks.
+  bitstream::CheckReport check_stealthiness(
+      const bitstream::CheckerOptions& opt = {}) const;
+
+ private:
+  Calibration cal_;
+  AttackSetup setup_;
+  std::uint64_t seed_;
+};
+
+}  // namespace slm::core

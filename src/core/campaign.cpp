@@ -1,0 +1,304 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "sca/selection.hpp"
+
+namespace slm::core {
+
+const char* sensor_mode_name(SensorMode m) {
+  switch (m) {
+    case SensorMode::kTdcFull:
+      return "tdc-full";
+    case SensorMode::kTdcSingleBit:
+      return "tdc-single-bit";
+    case SensorMode::kBenignHw:
+      return "benign-hw";
+    case SensorMode::kBenignSingleBit:
+      return "benign-single-bit";
+    case SensorMode::kRoCounter:
+      return "ro-counter";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> default_checkpoints(std::size_t traces) {
+  static constexpr std::size_t kSchedule[] = {
+      100,    200,    500,    1000,   2000,   5000,   10000,
+      20000,  50000,  75000,  100000, 150000, 200000, 250000,
+      300000, 350000, 400000, 450000, 500000, 750000, 1000000};
+  std::vector<std::size_t> out;
+  for (std::size_t c : kSchedule) {
+    if (c < traces) out.push_back(c);
+  }
+  out.push_back(traces);
+  return out;
+}
+
+CpaCampaign::CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg)
+    : setup_(setup), cfg_(cfg) {
+  SLM_REQUIRE(cfg_.traces > 0, "CpaCampaign: zero traces");
+  if (cfg_.fence.random_current_a > 0.0 || cfg_.fence.base_current_a > 0.0) {
+    fence_.emplace(cfg_.fence);
+  }
+  SLM_REQUIRE(cfg_.window_start_ns < cfg_.window_end_ns,
+              "CpaCampaign: bad sampling window");
+
+  const Calibration& cal = setup_.calibration();
+
+  // Sensor sampling instants: every second overclock cycle (150 MS/s).
+  const double ts = cal.sensor_sample_period_ns();
+  for (double t = 0.0; t <= cfg_.window_end_ns; t += ts) {
+    if (t >= cfg_.window_start_ns) sample_times_.push_back(t);
+  }
+  SLM_REQUIRE(!sample_times_.empty(), "CpaCampaign: empty sampling window");
+
+  // Victim activity cycles.
+  const double cyc = 1000.0 / cal.aes_clock_mhz;
+  std::vector<double> cycle_starts;
+  cycle_starts.reserve(crypto::AesDatapathModel::kCycles);
+  for (std::size_t c = 0; c < crypto::AesDatapathModel::kCycles; ++c) {
+    cycle_starts.push_back(static_cast<double>(c) * cyc);
+  }
+
+  response_ = pdn::CycleResponseMatrix::build(cal.pdn, sample_times_,
+                                              cycle_starts, cyc);
+}
+
+void CpaCampaign::make_voltages(
+    const crypto::AesDatapathModel::Encryption& enc, Xoshiro256& rng,
+    std::vector<double>& v_out) {
+  const Calibration& cal = setup_.calibration();
+  // Victim current as seen by the attacker region (coupling-attenuated).
+  static thread_local std::vector<double> i_cycles;
+  i_cycles.assign(enc.cycle_current.begin(), enc.cycle_current.end());
+  if (fence_) {
+    // The active fence sits in the victim region: its randomised draw
+    // rides on the same coupling path and masks the victim's signal.
+    for (double& i : i_cycles) i += fence_->next_cycle_current();
+  }
+  const double coupling = setup_.effective_coupling();
+  for (double& i : i_cycles) i *= coupling;
+
+  response_.voltages(i_cycles, v_out);
+  const auto& normal = FastNormal::instance();
+  for (double& v : v_out) v += normal(rng, 0.0, cal.env_noise_v);
+}
+
+void CpaCampaign::read_sensor(const std::vector<double>& v,
+                              const std::vector<std::size_t>& bits,
+                              Xoshiro256& rng, std::vector<double>& y) const {
+  y.resize(v.size());
+  switch (cfg_.mode) {
+    case SensorMode::kTdcFull:
+      for (std::size_t s = 0; s < v.size(); ++s) {
+        y[s] = static_cast<double>(setup_.tdc().sample(v[s], rng));
+      }
+      break;
+    case SensorMode::kTdcSingleBit:
+      for (std::size_t s = 0; s < v.size(); ++s) {
+        y[s] =
+            setup_.tdc().sample_bit(cfg_.single_bit, v[s], rng) ? 1.0 : 0.0;
+      }
+      break;
+    case SensorMode::kBenignHw:
+      for (std::size_t s = 0; s < v.size(); ++s) {
+        y[s] = static_cast<double>(
+            setup_.sensor().sample_toggle_hw(bits, v[s], rng));
+      }
+      break;
+    case SensorMode::kBenignSingleBit:
+      for (std::size_t s = 0; s < v.size(); ++s) {
+        y[s] = setup_.sensor().sample_toggle_bit(cfg_.single_bit, v[s], rng)
+                   ? 1.0
+                   : 0.0;
+      }
+      break;
+    case SensorMode::kRoCounter:
+      for (std::size_t s = 0; s < v.size(); ++s) {
+        y[s] = static_cast<double>(setup_.ro_sensor().sample(v[s], rng));
+      }
+      break;
+  }
+}
+
+void CpaCampaign::resolve_sensor_bits(CampaignResult* result) {
+  if (cfg_.mode == SensorMode::kBenignHw) {
+    auto bits = select_bits_of_interest();
+    log_info() << "campaign: " << bits.size() << " bits of interest selected";
+    SLM_REQUIRE(!bits.empty(),
+                "CpaCampaign: no bits of interest — sensor not sensitive "
+                "at this operating point");
+    if (result != nullptr) result->bits_of_interest = std::move(bits);
+  }
+  if (cfg_.mode == SensorMode::kBenignSingleBit) {
+    if (cfg_.single_bit == CampaignConfig::kAutoBit) {
+      cfg_.single_bit = run_selection_pass().highest_variance_bit();
+      log_info() << "campaign: auto-selected endpoint bit "
+                 << cfg_.single_bit;
+    }
+    SLM_REQUIRE(cfg_.single_bit < setup_.sensor_bits(),
+                "CpaCampaign: single_bit out of range");
+  }
+  if (cfg_.mode == SensorMode::kTdcSingleBit) {
+    if (cfg_.single_bit == CampaignConfig::kAutoBit) {
+      // The paper picks "the highest variant bit ... close to the idle
+      // value". The highest-variance thermometer stage is the one whose
+      // firing probability sits closest to 1/2 at the operating point,
+      // so probe the stages around the mean depth directly (the floored
+      // reading's mean alone is biased by half a stage).
+      Xoshiro256 pre_rng(cfg_.seed ^ 0x7dc0u);
+      std::vector<double> v;
+      std::vector<double> voltages;
+      OnlineMeanVar depth;
+      for (std::size_t t = 0; t < 256; ++t) {
+        crypto::Block pt;
+        for (auto& b : pt) b = static_cast<std::uint8_t>(pre_rng.next());
+        const auto enc = setup_.victim().encrypt(pt);
+        make_voltages(enc, pre_rng, v);
+        for (double vs : v) {
+          voltages.push_back(vs);
+          depth.add(static_cast<double>(setup_.tdc().sample(vs, pre_rng)));
+        }
+      }
+      const std::size_t stages = setup_.calibration().tdc.stages;
+      const auto centre = static_cast<std::size_t>(depth.mean());
+      std::size_t best_stage = centre;
+      double best_dist = 1.0;
+      for (std::size_t cand = (centre > 3 ? centre - 3 : 0);
+           cand <= centre + 3 && cand < stages; ++cand) {
+        std::size_t ones = 0;
+        for (double vs : voltages) {
+          if (setup_.tdc().sample_bit(cand, vs, pre_rng)) ++ones;
+        }
+        const double p = static_cast<double>(ones) /
+                         static_cast<double>(voltages.size());
+        if (std::abs(p - 0.5) < best_dist) {
+          best_dist = std::abs(p - 0.5);
+          best_stage = cand;
+        }
+      }
+      cfg_.single_bit = best_stage;
+      log_info() << "campaign: auto-selected TDC stage " << cfg_.single_bit;
+    }
+    SLM_REQUIRE(cfg_.single_bit < setup_.calibration().tdc.stages,
+                "CpaCampaign: TDC bit out of range");
+  }
+}
+
+sca::WelchTTest CpaCampaign::run_tvla(std::size_t traces_per_population) {
+  SLM_REQUIRE(traces_per_population >= 2, "run_tvla: too few traces");
+  CampaignResult scratch;
+  resolve_sensor_bits(&scratch);
+
+  sca::WelchTTest ttest(sample_times_.size());
+  Xoshiro256 rng(cfg_.seed ^ 0x77a1u);
+  const crypto::Block fixed_pt =
+      crypto::block_from_hex("da39a3ee5e6b4b0d3255bfef95601890");
+  std::vector<double> v;
+  std::vector<double> y;
+  for (std::size_t t = 0; t < 2 * traces_per_population; ++t) {
+    const bool fixed = (t % 2) == 0;
+    crypto::Block pt = fixed_pt;
+    if (!fixed) {
+      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    }
+    const auto enc = setup_.victim().encrypt(pt);
+    make_voltages(enc, rng, v);
+    read_sensor(v, scratch.bits_of_interest, rng, y);
+    ttest.add(fixed, y);
+  }
+  return ttest;
+}
+
+sca::BitSelector CpaCampaign::run_selection_pass() {
+  Xoshiro256 rng(cfg_.seed ^ 0xb17561ec7u);
+  sca::BitSelector selector(setup_.sensor_bits());
+  std::vector<double> v;
+  for (std::size_t t = 0; t < cfg_.selection_traces; ++t) {
+    crypto::Block pt;
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const auto enc = setup_.victim().encrypt(pt);
+    make_voltages(enc, rng, v);
+    for (double vs : v) {
+      selector.add(setup_.sensor().sample_toggles(vs, rng));
+    }
+  }
+  return selector;
+}
+
+std::vector<std::size_t> CpaCampaign::select_bits_of_interest() {
+  const auto selector = run_selection_pass();
+  auto bits = selector.bits_of_interest(cfg_.selection_min_variance);
+  if (cfg_.selection_top_k > 0 && bits.size() > cfg_.selection_top_k) {
+    std::sort(bits.begin(), bits.end(), [&](std::size_t a, std::size_t b) {
+      return selector.stat(a).variance > selector.stat(b).variance;
+    });
+    bits.resize(cfg_.selection_top_k);
+    std::sort(bits.begin(), bits.end());
+  }
+  return bits;
+}
+
+CampaignResult CpaCampaign::run() {
+  const Calibration& cal = setup_.calibration();
+  (void)cal;
+  CampaignResult result;
+  result.mode = cfg_.mode;
+  result.sample_times_ns = sample_times_;
+
+  sca::LastRoundBitModel model(cfg_.target_key_byte, cfg_.target_bit);
+  result.correct_guess =
+      model.correct_guess(setup_.victim().cipher().last_round_key());
+
+  resolve_sensor_bits(&result);
+
+  auto checkpoints =
+      cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)
+                               : cfg_.checkpoints;
+  std::sort(checkpoints.begin(), checkpoints.end());
+  std::size_t next_cp = 0;
+
+  sca::CpaEngine engine(256, sample_times_.size());
+  Xoshiro256 rng(cfg_.seed);
+
+  std::vector<double> v;
+  std::vector<double> y(sample_times_.size());
+  std::vector<std::uint8_t> h;
+
+  for (std::size_t t = 1; t <= cfg_.traces; ++t) {
+    crypto::Block pt;
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const auto enc = setup_.victim().encrypt(pt);
+    make_voltages(enc, rng, v);
+    read_sensor(v, result.bits_of_interest, rng, y);
+
+    model.hypotheses(enc.ciphertext, h);
+    engine.add_trace(h, y);
+
+    while (next_cp < checkpoints.size() && t == checkpoints[next_cp]) {
+      result.progress.push_back(
+          sca::snapshot_progress(engine, result.correct_guess));
+      ++next_cp;
+    }
+  }
+
+  if (result.progress.empty() ||
+      result.progress.back().traces != engine.trace_count()) {
+    result.progress.push_back(
+        sca::snapshot_progress(engine, result.correct_guess));
+  }
+
+  result.traces_run = engine.trace_count();
+  result.final_max_abs_corr = engine.max_abs_correlation();
+  result.recovered_guess = static_cast<std::uint8_t>(engine.best_guess());
+  result.key_recovered = result.recovered_guess == result.correct_guess;
+  result.mtd = sca::estimate_mtd(result.progress);
+  return result;
+}
+
+}  // namespace slm::core

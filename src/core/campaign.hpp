@@ -1,0 +1,136 @@
+// CPA capture campaign: the workstation loop of the paper (send random
+// plaintext, record ciphertext + sensor trace, repeat), fused with the
+// analysis so half-million-trace runs stream in seconds.
+//
+// Per trace: the AES datapath model produces per-cycle switching currents;
+// the linear PDN response matrix turns them into supply voltages at the
+// sensor sampling instants; the selected sensor (TDC or benign circuit,
+// full word or single bit) turns voltages into readings; the CPA engine
+// accumulates correlations against the last-round single-bit model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/setup.hpp"
+#include "defense/active_fence.hpp"
+#include "pdn/cycle_response.hpp"
+#include "sca/cpa.hpp"
+#include "sca/selection.hpp"
+#include "sca/tvla.hpp"
+#include "sca/model.hpp"
+#include "sca/mtd.hpp"
+
+namespace slm::core {
+
+enum class SensorMode {
+  kTdcFull,         ///< TDC reading (all stages)          - Fig. 9
+  kTdcSingleBit,    ///< one TDC thermometer bit           - Fig. 11
+  kBenignHw,        ///< HW over benign bits of interest   - Figs. 10, 17
+  kBenignSingleBit, ///< one benign path endpoint          - Figs. 12, 13, 18
+  kRoCounter,       ///< RO counter sensor (related work [3]) - ablations
+};
+
+const char* sensor_mode_name(SensorMode m);
+
+struct CampaignConfig {
+  std::size_t traces = 500000;
+  SensorMode mode = SensorMode::kBenignHw;
+
+  /// Bit index for the single-bit modes (TDC stage or global endpoint).
+  /// kAutoBit picks the highest-variance endpoint from a selection
+  /// pre-pass (how the paper picks bit 21 / bit 28).
+  static constexpr std::size_t kAutoBit = static_cast<std::size_t>(-1);
+  std::size_t single_bit = 0;
+
+  /// CPA target: last-round key byte (paper: 3, "the 4th byte") and
+  /// predicted state bit (paper: 0, "the 1st bit").
+  std::size_t target_key_byte = 3;
+  std::size_t target_bit = 0;
+
+  /// Sensor sampling window (absolute ns from encryption start). The
+  /// default brackets the last-round leakage cycles plus PDN settling.
+  double window_start_ns = 400.0;
+  double window_end_ns = 465.0;
+
+  /// Progress snapshot trace counts (clipped to `traces`); empty =
+  /// default log-spaced schedule.
+  std::vector<std::size_t> checkpoints;
+
+  /// Traces for the bits-of-interest pre-pass (benign modes).
+  std::size_t selection_traces = 4000;
+  double selection_min_variance = 0.15;
+
+  /// Keep only the K highest-variance bits of interest (0 = no cap).
+  /// The glitchier the circuit (C6288), the more the Hamming weight
+  /// profits from discarding endpoints with variance but no slope.
+  std::size_t selection_top_k = 0;
+
+  /// Optional active-fence countermeasure around the victim (hiding
+  /// defence; random_current_a = 0 disables it).
+  defense::ActiveFenceConfig fence{};
+
+  std::uint64_t seed = 0xc0ffee;
+};
+
+struct CampaignResult {
+  SensorMode mode = SensorMode::kBenignHw;
+  std::size_t traces_run = 0;
+  std::uint8_t correct_guess = 0;   ///< true last-round key byte
+  std::uint8_t recovered_guess = 0; ///< CPA winner at the end
+  bool key_recovered = false;
+  sca::MtdResult mtd;
+  std::vector<sca::CpaProgressPoint> progress;
+  std::vector<double> final_max_abs_corr;    ///< per key candidate
+  std::vector<std::size_t> bits_of_interest; ///< kBenignHw only
+  std::vector<double> sample_times_ns;
+};
+
+class CpaCampaign {
+ public:
+  CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg);
+
+  /// Run the full campaign.
+  CampaignResult run();
+
+  /// The sampling instants the campaign will use.
+  const std::vector<double>& sample_times_ns() const { return sample_times_; }
+
+  /// Bits-of-interest pre-pass only (exposed for the Fig. 7/8 benches).
+  std::vector<std::size_t> select_bits_of_interest();
+
+  /// Full per-bit statistics from the selection pre-pass.
+  sca::BitSelector run_selection_pass();
+
+  /// The single-bit index actually used (after kAutoBit resolution).
+  std::size_t resolved_single_bit() const { return cfg_.single_bit; }
+
+  /// Non-specific leakage assessment with the configured sensor: fixed-
+  /// vs-random plaintexts, Welch's t-test per sample point. Uses the
+  /// same physics as run() but needs no key hypothesis at all.
+  sca::WelchTTest run_tvla(std::size_t traces_per_population);
+
+ private:
+  void make_voltages(const crypto::AesDatapathModel::Encryption& enc,
+                     Xoshiro256& rng, std::vector<double>& v_out);
+
+  /// Read the configured sensor at every sample voltage into `y`.
+  void read_sensor(const std::vector<double>& v,
+                   const std::vector<std::size_t>& bits, Xoshiro256& rng,
+                   std::vector<double>& y) const;
+
+  /// Resolve kAutoBit / bits-of-interest before a capture loop.
+  void resolve_sensor_bits(CampaignResult* result);
+
+  AttackSetup& setup_;
+  CampaignConfig cfg_;
+  std::vector<double> sample_times_;
+  pdn::CycleResponseMatrix response_;
+  std::optional<defense::ActiveFence> fence_;
+};
+
+/// Default log-spaced checkpoint schedule up to `traces`.
+std::vector<std::size_t> default_checkpoints(std::size_t traces);
+
+}  // namespace slm::core

@@ -1,0 +1,95 @@
+#include "core/preliminary.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pdn/rlc.hpp"
+
+namespace slm::core {
+
+std::size_t TimeSeriesResult::sample_index_at(double t) const {
+  for (std::size_t i = 0; i < t_ns.size(); ++i) {
+    if (t_ns[i] >= t) return i;
+  }
+  return t_ns.empty() ? 0 : t_ns.size() - 1;
+}
+
+std::vector<std::size_t> TimeSeriesResult::benign_hw(
+    const std::vector<std::size_t>& bits) const {
+  std::vector<std::size_t> out;
+  out.reserve(benign_toggles.size());
+  for (const auto& word : benign_toggles) {
+    if (bits.empty()) {
+      out.push_back(word.popcount());
+    } else {
+      out.push_back(sca::hamming_weight_over(word, bits));
+    }
+  }
+  return out;
+}
+
+TimeSeriesResult PreliminaryExperiment::run(const TimeSeriesConfig& cfg) const {
+  SLM_REQUIRE(cfg.duration_ns > 0, "TimeSeries: bad duration");
+  const Calibration& cal = setup_.calibration();
+
+  Xoshiro256 rng(cfg.seed);
+  pdn::RlcPdn pdn(cal.pdn);
+
+  // AES activity: back-to-back encryptions of random plaintexts.
+  const double aes_cycle_ns = 1000.0 / cal.aes_clock_mhz;
+  auto enc = setup_.victim().encrypt(crypto::Block{});
+  std::size_t enc_started_step = 0;
+
+  const double dt = cal.pdn.dt_ns;
+  const double sample_period = cal.sensor_sample_period_ns();
+  double next_sample = sample_period;  // skip t=0 transient
+
+  TimeSeriesResult result;
+  const std::size_t steps =
+      static_cast<std::size_t>(std::ceil(cfg.duration_ns / dt));
+
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double t = static_cast<double>(k) * dt;
+
+    double i_load = 0.0;
+    if (cfg.ro_active) {
+      i_load += setup_.ro_grid().current_at(t, cfg.ro_enable_ns);
+    }
+    if (cfg.aes_active) {
+      const double since = (static_cast<double>(k - enc_started_step)) * dt;
+      std::size_t cycle = static_cast<std::size_t>(since / aes_cycle_ns);
+      if (cycle >= crypto::AesDatapathModel::kCycles) {
+        crypto::Block pt;
+        for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+        enc = setup_.victim().encrypt(pt);
+        enc_started_step = k;
+        cycle = 0;
+      }
+      i_load += setup_.effective_coupling() * enc.cycle_current[cycle];
+    }
+
+    const double v = pdn.step(i_load);
+
+    if (t >= next_sample) {
+      next_sample += sample_period;
+      const double v_noisy =
+          v + FastNormal::instance()(rng, 0.0, cal.env_noise_v);
+      result.t_ns.push_back(t);
+      result.voltage.push_back(v_noisy);
+      result.benign_toggles.push_back(
+          setup_.sensor().sample_toggles(v_noisy, rng));
+      result.tdc_readings.push_back(setup_.tdc().sample(v_noisy, rng));
+    }
+  }
+  return result;
+}
+
+sca::BitSelector PreliminaryExperiment::analyse(
+    const TimeSeriesResult& series) const {
+  sca::BitSelector selector(setup_.sensor_bits());
+  for (const auto& word : series.benign_toggles) selector.add(word);
+  return selector;
+}
+
+}  // namespace slm::core

@@ -1,0 +1,51 @@
+// Preliminary time-series experiments (Sec. V-A, Figs. 5-8 and 14-16):
+// run the full RLC PDN under the RO aggressor and/or continuous AES
+// encryptions and record every sensor at the 150 MS/s grid. From the
+// resulting toggle-word series the sensitive-bit sets and per-bit
+// variances fall out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "core/setup.hpp"
+#include "sca/selection.hpp"
+
+namespace slm::core {
+
+struct TimeSeriesConfig {
+  double duration_ns = 1400.0;
+  double ro_enable_ns = 260.0;  ///< RO grid switch-on instant
+  bool ro_active = true;
+  bool aes_active = false;      ///< back-to-back encryptions when true
+  std::uint64_t seed = 0x715e;
+};
+
+struct TimeSeriesResult {
+  std::vector<double> t_ns;                 ///< sensor sample instants
+  std::vector<double> voltage;              ///< PDN voltage at each sample
+  std::vector<BitVec> benign_toggles;       ///< full toggle words
+  std::vector<std::uint32_t> tdc_readings;  ///< TDC at the same instants
+  std::size_t sample_index_at(double t) const;
+
+  /// Hamming weight of each toggle word restricted to `bits` (all bits
+  /// when empty) — the post-processed blue curve of Fig. 6.
+  std::vector<std::size_t> benign_hw(
+      const std::vector<std::size_t>& bits = {}) const;
+};
+
+class PreliminaryExperiment {
+ public:
+  explicit PreliminaryExperiment(AttackSetup& setup) : setup_(setup) {}
+
+  TimeSeriesResult run(const TimeSeriesConfig& cfg) const;
+
+  /// Per-bit statistics over a series (sensitive bits, variances).
+  sca::BitSelector analyse(const TimeSeriesResult& series) const;
+
+ private:
+  AttackSetup& setup_;
+};
+
+}  // namespace slm::core

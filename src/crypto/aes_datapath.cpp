@@ -1,0 +1,82 @@
+#include "crypto/aes_datapath.hpp"
+
+#include "common/bitvec.hpp"
+#include "common/error.hpp"
+
+namespace slm::crypto {
+
+namespace {
+
+std::uint32_t column_hd(const Block& a, const Block& b, std::size_t col) {
+  std::uint32_t hd = 0;
+  for (std::size_t r = 0; r < 4; ++r) {
+    hd += static_cast<std::uint32_t>(
+        slm::hamming_weight(static_cast<std::uint64_t>(a[4 * col + r]) ^
+                            static_cast<std::uint64_t>(b[4 * col + r])));
+  }
+  return hd;
+}
+
+}  // namespace
+
+AesDatapathModel::AesDatapathModel(const Block& key, const DatapathConfig& cfg)
+    : aes_(key), cfg_(cfg), mask_rng_(cfg.mask_seed) {
+  SLM_REQUIRE(cfg_.clock_mhz > 0, "AesDatapathModel: bad clock");
+  register_state_.fill(0);
+  register_mask_.fill(0);
+}
+
+AesDatapathModel::Encryption AesDatapathModel::encrypt(const Block& plaintext) {
+  Encryption enc;
+  enc.plaintext = plaintext;
+
+  const auto states = aes_.encrypt_states(plaintext);
+  enc.ciphertext = states[10];
+
+  Block reg = cfg_.carry_previous_state ? register_state_ : Block{};
+  Block mask_reg = cfg_.carry_previous_state ? register_mask_ : Block{};
+
+  // Per-round state written into the register. Unmasked: the state
+  // itself. Masked: share 0 = state ^ m_round with a fresh mask every
+  // round; share 1 (the mask register) leaks alongside.
+  for (std::size_t round = 0; round <= 10; ++round) {
+    Block target = states[round];
+    Block mask{};
+    if (cfg_.masked) {
+      for (auto& m : mask) m = static_cast<std::uint8_t>(mask_rng_.next());
+      for (std::size_t i = 0; i < 16; ++i) target[i] ^= mask[i];
+    }
+    for (std::size_t col = 0; col < 4; ++col) {
+      const std::size_t cyc = cycle_of(round, col);
+      enc.cycle_hd[cyc] = column_hd(reg, target, col);
+      if (cfg_.masked) {
+        enc.cycle_hd[cyc] += column_hd(mask_reg, mask, col);
+      }
+      for (std::size_t r = 0; r < 4; ++r) {
+        reg[4 * col + r] = target[4 * col + r];
+        if (cfg_.masked) mask_reg[4 * col + r] = mask[4 * col + r];
+      }
+    }
+  }
+
+  for (std::size_t c = 0; c < kCycles; ++c) {
+    enc.cycle_current[c] =
+        cfg_.base_current_a + cfg_.current_per_hd_a * enc.cycle_hd[c];
+  }
+
+  register_state_ = reg;
+  register_mask_ = mask_reg;
+  return enc;
+}
+
+std::size_t AesDatapathModel::cycle_of(std::size_t round, std::size_t col) {
+  SLM_REQUIRE(round <= 10 && col < 4, "cycle_of: bad round/col");
+  return round * 4 + col;
+}
+
+std::size_t AesDatapathModel::leakage_cycle_for_byte(std::size_t pos) {
+  SLM_REQUIRE(pos < 16, "leakage_cycle_for_byte: bad position");
+  return cycle_of(10, pos / 4);
+}
+
+}  // namespace slm::crypto

@@ -1,0 +1,82 @@
+// Cycle-accurate power model of the paper's AES hardware: a 32-bit
+// datapath with four parallel S-boxes, so each round occupies four clock
+// cycles (one state column per cycle) at 100 MHz.
+//
+// The model emits, per clock cycle, the Hamming distance of the state
+// register column being overwritten — the canonical CMOS switching-power
+// proxy — plus a data-independent base current. This is exactly the
+// leakage the paper's last-round CPA exploits: at the cycle where column
+// c of round 10 is written, the register flips state9[col c] -> ct[col c].
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/aes128.hpp"
+
+namespace slm::crypto {
+
+struct DatapathConfig {
+  double clock_mhz = 100.0;
+
+  /// First-order boolean masking (hiding-in-the-datapath countermeasure,
+  /// cf. the paper's related work [23, 26-28]): the state register holds
+  /// two shares (state ^ m, m) with a fresh mask every round, so the
+  /// register Hamming distance decorrelates from any unmasked state bit.
+  /// Ciphertexts are unchanged; only the leakage model differs.
+  bool masked = false;
+  std::uint64_t mask_seed = 0x3a5c;
+
+  /// Dynamic current per register bit flip (A per HD unit).
+  double current_per_hd_a = 2.0e-3;
+
+  /// Data-independent per-cycle current while the core is busy (A).
+  double base_current_a = 0.080;
+
+  /// Register state at the start of an encryption. Real hardware keeps
+  /// the previous ciphertext; the model defaults to that behaviour.
+  bool carry_previous_state = true;
+};
+
+class AesDatapathModel {
+ public:
+  /// Cycles per encryption: 4 load/ARK cycles + 10 rounds x 4 cycles.
+  static constexpr std::size_t kCycles = 44;
+
+  AesDatapathModel(const Block& key, const DatapathConfig& cfg);
+
+  struct Encryption {
+    Block plaintext{};
+    Block ciphertext{};
+    /// Hamming distance switched in each cycle (state register only).
+    std::array<std::uint32_t, kCycles> cycle_hd{};
+    /// Total current per cycle (base + HD-proportional), amps.
+    std::array<double, kCycles> cycle_current{};
+  };
+
+  /// Run one encryption, updating the internal register state.
+  Encryption encrypt(const Block& plaintext);
+
+  /// Cycle index in which column `col` (0..3) of round `round` (1..10)
+  /// is written; round 0 means the initial AddRoundKey/load.
+  static std::size_t cycle_of(std::size_t round, std::size_t col);
+
+  /// The cycle carrying the last-round leakage for state byte position
+  /// `pos` (0..15): the write of column pos/4 in round 10.
+  static std::size_t leakage_cycle_for_byte(std::size_t pos);
+
+  double cycle_period_ns() const { return 1000.0 / cfg_.clock_mhz; }
+  const DatapathConfig& config() const { return cfg_; }
+  const Aes128& cipher() const { return aes_; }
+
+ private:
+  Aes128 aes_;
+  DatapathConfig cfg_;
+  Block register_state_{};   // share 0; survives across encryptions
+  Block register_mask_{};    // share 1 (masked mode only)
+  Xoshiro256 mask_rng_{0};
+};
+
+}  // namespace slm::crypto

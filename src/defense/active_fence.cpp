@@ -1,0 +1,17 @@
+#include "defense/active_fence.hpp"
+
+#include "common/error.hpp"
+
+namespace slm::defense {
+
+ActiveFence::ActiveFence(const ActiveFenceConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  SLM_REQUIRE(cfg_.base_current_a >= 0.0 && cfg_.random_current_a >= 0.0,
+              "ActiveFence: currents must be non-negative");
+}
+
+double ActiveFence::next_cycle_current() {
+  return cfg_.base_current_a + rng_.uniform() * cfg_.random_current_a;
+}
+
+}  // namespace slm::defense

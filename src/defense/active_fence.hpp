@@ -1,0 +1,48 @@
+// Active fence countermeasure (Krautter et al., ICCAD'19; Glamocanin et
+// al., DDECS'23 — the "hiding" defences the paper's related-work section
+// points to): a ring of always-on noise generators around the victim
+// that injects randomised switching current into the shared PDN, lowering
+// the SNR any voltage sensor — conspicuous or benign — can extract.
+//
+// Model: per victim clock cycle the fence draws a base current plus a
+// uniformly re-randomised component. The randomisation is the defence;
+// the base only shifts the DC point.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace slm::defense {
+
+struct ActiveFenceConfig {
+  /// Mean fence draw (A). Shifts the operating point only.
+  double base_current_a = 0.05;
+
+  /// Peak-to-peak randomised component (A), re-drawn every victim cycle.
+  /// This is the knob that buys SNR reduction for power cost.
+  double random_current_a = 0.0;
+
+  std::uint64_t seed = 0xfe9ce;
+};
+
+class ActiveFence {
+ public:
+  explicit ActiveFence(const ActiveFenceConfig& cfg);
+
+  /// Fence current for the next victim cycle (stateful RNG).
+  double next_cycle_current();
+
+  /// Average power-overhead current (A) — what the defender pays.
+  double mean_current_a() const {
+    return cfg_.base_current_a + 0.5 * cfg_.random_current_a;
+  }
+
+  const ActiveFenceConfig& config() const { return cfg_; }
+
+ private:
+  ActiveFenceConfig cfg_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace slm::defense

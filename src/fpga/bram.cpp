@@ -1,0 +1,30 @@
+#include "fpga/bram.hpp"
+
+#include "common/error.hpp"
+
+namespace slm::fpga {
+
+TraceBuffer::TraceBuffer(std::size_t capacity_words)
+    : capacity_(capacity_words) {
+  SLM_REQUIRE(capacity_words > 0, "TraceBuffer: zero capacity");
+  data_.reserve(capacity_words);
+}
+
+bool TraceBuffer::push(std::uint64_t word) {
+  if (full()) {
+    ++dropped_;
+    return false;
+  }
+  data_.push_back(word);
+  return true;
+}
+
+std::vector<std::uint64_t> TraceBuffer::drain() {
+  std::vector<std::uint64_t> out = std::move(data_);
+  data_.clear();
+  data_.reserve(capacity_);
+  dropped_ = 0;
+  return out;
+}
+
+}  // namespace slm::fpga

@@ -1,0 +1,34 @@
+// BRAM trace buffer: the on-chip FIFO the attacker fills with sensor
+// words during an encryption and drains over UART afterwards. Fixed
+// capacity with explicit overflow accounting, as block RAM forces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace slm::fpga {
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity_words);
+
+  /// Store one word; returns false (and counts the drop) when full.
+  bool push(std::uint64_t word);
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return data_.size() == capacity_; }
+  std::size_t dropped() const { return dropped_; }
+
+  /// Read everything out and clear (the UART drain).
+  std::vector<std::uint64_t> drain();
+
+  const std::vector<std::uint64_t>& peek() const { return data_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+}  // namespace slm::fpga

@@ -1,0 +1,32 @@
+#include "fpga/clocking.hpp"
+
+#include <cmath>
+
+namespace slm::fpga {
+
+std::optional<MmcmSetting> Mmcm::find_setting(double target_mhz,
+                                              double tolerance_mhz) const {
+  std::optional<MmcmSetting> best;
+  for (int d = c_.d_min; d <= c_.d_max; ++d) {
+    for (int m = c_.m_min; m <= c_.m_max; ++m) {
+      const double vco = c_.ref_mhz * static_cast<double>(m) /
+                         static_cast<double>(d);
+      if (vco < c_.vco_min_mhz || vco > c_.vco_max_mhz) continue;
+      // Best output divider for this VCO.
+      const int o_ideal = static_cast<int>(std::lround(vco / target_mhz));
+      for (int o = std::max(c_.o_min, o_ideal - 1);
+           o <= std::min(c_.o_max, o_ideal + 1); ++o) {
+        if (o < c_.o_min) continue;
+        const double f = vco / static_cast<double>(o);
+        const double err = std::abs(f - target_mhz);
+        if (err > tolerance_mhz) continue;
+        if (!best || err < best->error_mhz) {
+          best = MmcmSetting{m, d, o, vco, f, err};
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace slm::fpga

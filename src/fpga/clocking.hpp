@@ -1,0 +1,50 @@
+// MMCM clock-synthesis model for the Zynq XC7Z020 setup: a 125 MHz board
+// reference, VCO = ref * M / D constrained to [600, 1200] MHz, output =
+// VCO / O. The attacker needs nothing exotic — 50/100/150/300 MHz are all
+// trivially synthesisable, which is part of why the paper's threat is
+// realistic: requesting a 300 MHz clock for a "50 MHz" circuit raises no
+// structural alarm.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace slm::fpga {
+
+struct MmcmConstraints {
+  double ref_mhz = 125.0;
+  double vco_min_mhz = 600.0;
+  double vco_max_mhz = 1200.0;
+  int m_min = 2, m_max = 64;   ///< multiplier
+  int d_min = 1, d_max = 56;   ///< input divider
+  int o_min = 1, o_max = 128;  ///< output divider
+};
+
+struct MmcmSetting {
+  int m = 0, d = 0, o = 0;
+  double vco_mhz = 0.0;
+  double f_out_mhz = 0.0;
+  double error_mhz = 0.0;
+};
+
+class Mmcm {
+ public:
+  explicit Mmcm(const MmcmConstraints& c = {}) : c_(c) {}
+
+  /// Best M/D/O combination for a target frequency; nullopt when nothing
+  /// lands within `tolerance_mhz`.
+  std::optional<MmcmSetting> find_setting(double target_mhz,
+                                          double tolerance_mhz = 0.01) const;
+
+  /// True when the target is synthesisable within tolerance.
+  bool can_generate(double target_mhz, double tolerance_mhz = 0.01) const {
+    return find_setting(target_mhz, tolerance_mhz).has_value();
+  }
+
+  const MmcmConstraints& constraints() const { return c_; }
+
+ private:
+  MmcmConstraints c_;
+};
+
+}  // namespace slm::fpga

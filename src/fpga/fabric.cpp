@@ -1,0 +1,131 @@
+#include "fpga/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace slm::fpga {
+
+bool Rect::overlaps(const Rect& o) const {
+  return x < o.x + o.w && o.x < x + w && y < o.y + o.h && o.y < y + h;
+}
+
+Fabric::Fabric(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  SLM_REQUIRE(width > 0 && height > 0, "Fabric: empty grid");
+}
+
+std::size_t Fabric::add_tenant(const std::string& name, const Rect& region) {
+  SLM_REQUIRE(region.x + region.w <= width_ && region.y + region.h <= height_,
+              "add_tenant: region outside the fabric");
+  SLM_REQUIRE(region.w > 0 && region.h > 0, "add_tenant: empty region");
+  for (const auto& t : tenants_) {
+    SLM_REQUIRE(!t.region.overlaps(region),
+                "add_tenant: region overlaps tenant '" + t.name +
+                    "' (isolation violation)");
+  }
+  tenants_.push_back(Tenant{name, region, {}});
+  return tenants_.size() - 1;
+}
+
+std::size_t Fabric::place_module(std::size_t tenant, PlacedModule module) {
+  SLM_REQUIRE(tenant < tenants_.size(), "place_module: unknown tenant");
+  const Rect& region = tenants_[tenant].region;
+  SLM_REQUIRE(module.bounds.x >= region.x && module.bounds.y >= region.y &&
+                  module.bounds.x + module.bounds.w <= region.x + region.w &&
+                  module.bounds.y + module.bounds.h <= region.y + region.h,
+              "place_module: module outside tenant region");
+  SLM_REQUIRE(module.bounds.tiles() > 0, "place_module: empty module");
+  if (module.cell_count == 0) {
+    module.cell_count = static_cast<std::size_t>(
+        module.fill * static_cast<double>(module.bounds.tiles()));
+  }
+  SLM_REQUIRE(module.cell_count <= module.bounds.tiles(),
+              "place_module: more cells than tiles");
+  for (std::size_t hot : module.hot_cells) {
+    SLM_REQUIRE(hot < module.cell_count,
+                "place_module: hot cell index out of range");
+  }
+  modules_.push_back(std::move(module));
+  tenants_[tenant].module_indices.push_back(modules_.size() - 1);
+  return modules_.size() - 1;
+}
+
+const Tenant& Fabric::tenant(std::size_t i) const {
+  SLM_REQUIRE(i < tenants_.size(), "tenant: out of range");
+  return tenants_[i];
+}
+
+const PlacedModule& Fabric::module(std::size_t i) const {
+  SLM_REQUIRE(i < modules_.size(), "module: out of range");
+  return modules_[i];
+}
+
+double Fabric::pdn_coupling(std::size_t tenant_a, std::size_t tenant_b,
+                            double alpha) const {
+  SLM_REQUIRE(tenant_a < tenants_.size() && tenant_b < tenants_.size(),
+              "pdn_coupling: unknown tenant");
+  if (tenant_a == tenant_b) return 1.0;
+  const Rect& a = tenants_[tenant_a].region;
+  const Rect& b = tenants_[tenant_b].region;
+  const double dist = std::abs(a.center_x() - b.center_x()) +
+                      std::abs(a.center_y() - b.center_y());
+  return 1.0 / (1.0 + alpha * dist);
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Fabric::scatter_cells(
+    const PlacedModule& m) const {
+  // Deterministic seed from the module name: renders are reproducible.
+  std::uint64_t seed = 0xcbf29ce484222325ull;
+  for (char c : m.name) seed = (seed ^ static_cast<std::uint8_t>(c)) *
+                               0x100000001b3ull;
+  Xoshiro256 rng(seed);
+
+  std::vector<std::size_t> tiles(m.bounds.tiles());
+  for (std::size_t i = 0; i < tiles.size(); ++i) tiles[i] = i;
+  std::shuffle(tiles.begin(), tiles.end(), rng);
+
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  cells.reserve(m.cell_count);
+  for (std::size_t i = 0; i < m.cell_count; ++i) {
+    const std::size_t t = tiles[i];
+    cells.emplace_back(m.bounds.x + t % m.bounds.w,
+                       m.bounds.y + t / m.bounds.w);
+  }
+  return cells;
+}
+
+std::string Fabric::render_ascii() const {
+  std::vector<std::string> grid(height_, std::string(width_, '.'));
+
+  // Tenant boundaries (vertical edges only keep the render readable).
+  for (const auto& t : tenants_) {
+    for (std::size_t y = t.region.y; y < t.region.y + t.region.h; ++y) {
+      if (t.region.x > 0) grid[y][t.region.x - 1] = '|';
+    }
+  }
+
+  for (const auto& m : modules_) {
+    const auto cells = scatter_cells(m);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto [x, y] = cells[i];
+      grid[y][x] = m.symbol;
+    }
+    for (std::size_t hot : m.hot_cells) {
+      const auto [x, y] = cells[hot];
+      grid[y][x] = '*';
+    }
+  }
+
+  std::string out;
+  // Render top row last-to-first so y grows upwards like a die photo.
+  for (std::size_t y = height_; y-- > 0;) {
+    out += grid[y];
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace slm::fpga

@@ -1,0 +1,126 @@
+#include "fpga/uart.hpp"
+
+#include "common/error.hpp"
+
+namespace slm::fpga {
+
+namespace {
+constexpr std::uint8_t kSyncByte = 0xA5;
+}
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& bytes) {
+  std::uint8_t crc = 0x00;
+  for (std::uint8_t b : bytes) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07)
+                         : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  SLM_REQUIRE(frame.payload.size() <= 0xffff, "encode_frame: payload too big");
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.payload.size() + 5);
+  out.push_back(kSyncByte);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  out.push_back(static_cast<std::uint8_t>(frame.payload.size() & 0xff));
+  out.push_back(static_cast<std::uint8_t>(frame.payload.size() >> 8));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+
+  // CRC covers type, length and payload.
+  std::vector<std::uint8_t> crc_range(out.begin() + 1, out.end());
+  out.push_back(crc8(crc_range));
+  return out;
+}
+
+void FrameDecoder::reset_frame() {
+  state_ = State::kSync;
+  current_ = Frame{};
+  expected_len_ = 0;
+}
+
+std::optional<Frame> FrameDecoder::feed(std::uint8_t byte) {
+  switch (state_) {
+    case State::kSync:
+      if (byte == kSyncByte) {
+        state_ = State::kType;
+      } else {
+        ++sync_errors_;
+      }
+      return std::nullopt;
+    case State::kType:
+      current_.type = static_cast<FrameType>(byte);
+      state_ = State::kLenLo;
+      return std::nullopt;
+    case State::kLenLo:
+      expected_len_ = byte;
+      state_ = State::kLenHi;
+      return std::nullopt;
+    case State::kLenHi:
+      expected_len_ |= static_cast<std::size_t>(byte) << 8;
+      state_ = expected_len_ == 0 ? State::kCrc : State::kPayload;
+      return std::nullopt;
+    case State::kPayload:
+      current_.payload.push_back(byte);
+      if (current_.payload.size() == expected_len_) state_ = State::kCrc;
+      return std::nullopt;
+    case State::kCrc: {
+      std::vector<std::uint8_t> crc_range;
+      crc_range.reserve(current_.payload.size() + 3);
+      crc_range.push_back(static_cast<std::uint8_t>(current_.type));
+      crc_range.push_back(
+          static_cast<std::uint8_t>(current_.payload.size() & 0xff));
+      crc_range.push_back(
+          static_cast<std::uint8_t>(current_.payload.size() >> 8));
+      crc_range.insert(crc_range.end(), current_.payload.begin(),
+                       current_.payload.end());
+      const bool ok = crc8(crc_range) == byte;
+      Frame done = std::move(current_);
+      reset_frame();
+      if (ok) return done;
+      ++crc_errors_;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Frame> FrameDecoder::feed(const std::vector<std::uint8_t>& bytes) {
+  std::vector<Frame> frames;
+  for (std::uint8_t b : bytes) {
+    if (auto f = feed(b)) frames.push_back(std::move(*f));
+  }
+  return frames;
+}
+
+Frame make_trace_frame(const std::vector<std::uint64_t>& words) {
+  Frame f;
+  f.type = FrameType::kTrace;
+  f.payload.reserve(words.size() * 8);
+  for (std::uint64_t w : words) {
+    for (int i = 0; i < 8; ++i) {
+      f.payload.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+  }
+  return f;
+}
+
+std::vector<std::uint64_t> parse_trace_frame(const Frame& frame) {
+  SLM_REQUIRE(frame.type == FrameType::kTrace,
+              "parse_trace_frame: wrong frame type");
+  SLM_REQUIRE(frame.payload.size() % 8 == 0,
+              "parse_trace_frame: misaligned payload");
+  std::vector<std::uint64_t> words(frame.payload.size() / 8, 0);
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    for (int i = 0; i < 8; ++i) {
+      words[w] |= static_cast<std::uint64_t>(frame.payload[8 * w + i])
+                  << (8 * i);
+    }
+  }
+  return words;
+}
+
+}  // namespace slm::fpga

@@ -1,0 +1,62 @@
+// UART frame codec: the byte protocol between the FPGA design and the
+// measurement workstation (Fig. 2). Frames carry a type tag, a payload
+// and a CRC-8 so the software side can detect line corruption.
+//
+//   [0xA5][type][len_lo][len_hi][payload ...][crc8]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace slm::fpga {
+
+enum class FrameType : std::uint8_t {
+  kPlaintext = 0x01,   ///< workstation -> FPGA: next AES input
+  kCiphertext = 0x02,  ///< FPGA -> workstation
+  kTrace = 0x03,       ///< FPGA -> workstation: sensor words
+  kControl = 0x04,     ///< start/stop, RO enable, clock select
+};
+
+struct Frame {
+  FrameType type = FrameType::kControl;
+  std::vector<std::uint8_t> payload;
+};
+
+/// CRC-8 (poly 0x07, init 0x00) over a byte range.
+std::uint8_t crc8(const std::vector<std::uint8_t>& bytes);
+
+/// Serialise a frame to the wire format.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Streaming decoder: feed bytes, collect completed frames. Corrupt
+/// frames (bad CRC / bad sync) are dropped and counted.
+class FrameDecoder {
+ public:
+  /// Feed one byte; returns a frame when one completes.
+  std::optional<Frame> feed(std::uint8_t byte);
+
+  /// Feed many bytes; returns all completed frames.
+  std::vector<Frame> feed(const std::vector<std::uint8_t>& bytes);
+
+  std::size_t crc_errors() const { return crc_errors_; }
+  std::size_t sync_errors() const { return sync_errors_; }
+
+ private:
+  enum class State { kSync, kType, kLenLo, kLenHi, kPayload, kCrc };
+  void reset_frame();
+
+  State state_ = State::kSync;
+  Frame current_;
+  std::size_t expected_len_ = 0;
+  std::size_t crc_errors_ = 0;
+  std::size_t sync_errors_ = 0;
+};
+
+/// Pack sensor words (64-bit, little-endian) into a trace frame.
+Frame make_trace_frame(const std::vector<std::uint64_t>& words);
+
+/// Unpack a trace frame back into words (throws on misaligned payload).
+std::vector<std::uint64_t> parse_trace_frame(const Frame& frame);
+
+}  // namespace slm::fpga

@@ -1,0 +1,281 @@
+#include "netlist/bench_format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace slm::netlist {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+struct PendingGate {
+  std::string name;
+  GateType type;
+  std::vector<std::string> fanin_names;
+  int line;
+};
+
+GateType keyword_to_type(const std::string& kw, int line) {
+  const std::string k = upper(kw);
+  if (k == "AND") return GateType::kAnd;
+  if (k == "OR") return GateType::kOr;
+  if (k == "NAND") return GateType::kNand;
+  if (k == "NOR") return GateType::kNor;
+  if (k == "XOR") return GateType::kXor;
+  if (k == "XNOR") return GateType::kXnor;
+  if (k == "NOT" || k == "INV") return GateType::kNot;
+  if (k == "BUF" || k == "BUFF") return GateType::kBuf;
+  throw Error("parse_bench: line " + std::to_string(line) +
+              ": unknown gate keyword '" + kw + "'");
+}
+
+const char* type_to_keyword(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+      return "AND";
+    case GateType::kOr:
+      return "OR";
+    case GateType::kNand:
+      return "NAND";
+    case GateType::kNor:
+      return "NOR";
+    case GateType::kXor:
+      return "XOR";
+    case GateType::kXnor:
+      return "XNOR";
+    case GateType::kNot:
+      return "NOT";
+    case GateType::kBuf:
+      return "BUFF";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+Netlist parse_bench(std::istream& is, const std::string& name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = strip(line);
+    if (line.empty()) continue;
+
+    auto paren_arg = [&](const std::string& s) {
+      const auto open = s.find('(');
+      const auto close = s.rfind(')');
+      SLM_REQUIRE(open != std::string::npos && close != std::string::npos &&
+                      close > open,
+                  "parse_bench: line " + std::to_string(line_no) +
+                      ": malformed parentheses");
+      return strip(s.substr(open + 1, close - open - 1));
+    };
+
+    const std::string head = upper(line.substr(0, 6));
+    if (head.rfind("INPUT", 0) == 0) {
+      input_names.push_back(paren_arg(line));
+      continue;
+    }
+    if (head.rfind("OUTPUT", 0) == 0) {
+      output_names.push_back(paren_arg(line));
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    SLM_REQUIRE(eq != std::string::npos,
+                "parse_bench: line " + std::to_string(line_no) +
+                    ": expected INPUT/OUTPUT or assignment");
+    PendingGate g;
+    g.name = strip(line.substr(0, eq));
+    g.line = line_no;
+    const std::string rhs = strip(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    SLM_REQUIRE(open != std::string::npos,
+                "parse_bench: line " + std::to_string(line_no) +
+                    ": expected GATE(...)");
+    g.type = keyword_to_type(strip(rhs.substr(0, open)), line_no);
+    std::string args = paren_arg(rhs);
+    std::istringstream as(args);
+    std::string tok;
+    while (std::getline(as, tok, ',')) {
+      tok = strip(tok);
+      SLM_REQUIRE(!tok.empty(), "parse_bench: line " +
+                                    std::to_string(line_no) +
+                                    ": empty fanin name");
+      g.fanin_names.push_back(tok);
+    }
+    pending.push_back(std::move(g));
+  }
+
+  // Build: inputs first, then gates in dependency order (iterate until
+  // fixed point; the published files are not topologically sorted).
+  Netlist nl(name);
+  std::unordered_map<std::string, NetId> by_name;
+  for (const auto& in : input_names) {
+    SLM_REQUIRE(by_name.find(in) == by_name.end(),
+                "parse_bench: duplicate signal '" + in + "'");
+    Gate g;
+    g.type = GateType::kInput;
+    g.name = in;
+    by_name[in] = nl.add_gate(std::move(g));
+  }
+
+  std::vector<bool> placed(pending.size(), false);
+  std::size_t remaining = pending.size();
+  while (remaining > 0) {
+    bool progress = false;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      if (placed[i]) continue;
+      const auto& pg = pending[i];
+      bool ready = true;
+      for (const auto& f : pg.fanin_names) {
+        if (by_name.find(f) == by_name.end()) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      SLM_REQUIRE(by_name.find(pg.name) == by_name.end(),
+                  "parse_bench: duplicate signal '" + pg.name + "'");
+      Gate g;
+      g.type = pg.type;
+      g.name = pg.name;
+      g.delay_ns = default_gate_delay_ns(pg.type);
+      for (const auto& f : pg.fanin_names) g.fanin.push_back(by_name[f]);
+      by_name[pg.name] = nl.add_gate(std::move(g));
+      placed[i] = true;
+      --remaining;
+      progress = true;
+    }
+    if (!progress) {
+      // Either an undefined signal or a combinational loop in the file.
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (!placed[i]) {
+          throw Error("parse_bench: line " +
+                      std::to_string(pending[i].line) + ": signal '" +
+                      pending[i].name +
+                      "' has undefined or cyclic fanin");
+        }
+      }
+    }
+  }
+
+  for (const auto& out : output_names) {
+    const auto it = by_name.find(out);
+    SLM_REQUIRE(it != by_name.end(),
+                "parse_bench: OUTPUT(" + out + ") never defined");
+    nl.add_output(it->second, out);
+  }
+  return nl;
+}
+
+Netlist parse_bench_string(const std::string& text, const std::string& name) {
+  std::istringstream is(text);
+  return parse_bench(is, name);
+}
+
+void write_bench(const Netlist& nl, std::ostream& os) {
+  os << "# " << nl.name() << " — written by slm::netlist::write_bench\n";
+
+  // Stable unique names: prefer the gate's own name, fall back to n<id>.
+  std::vector<std::string> names(nl.gate_count());
+  std::unordered_map<std::string, int> used;
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    std::string base = nl.gate(id).name.empty() ? "n" + std::to_string(id)
+                                                : nl.gate(id).name;
+    for (char& c : base) {
+      if (c == ' ' || c == ',' || c == '(' || c == ')' || c == '=') c = '_';
+    }
+    if (++used[base] > 1) base += "_" + std::to_string(id);
+    names[id] = base;
+  }
+
+  for (NetId in : nl.inputs()) {
+    os << "INPUT(" << names[in] << ")\n";
+  }
+  for (const auto& port : nl.outputs()) {
+    os << "OUTPUT(" << names[port.net] << ")\n";
+  }
+  // mux2 and constant gates have no .bench keyword; expand them inline
+  // with helper signals (deterministic names derived from the gate's).
+  const bool needs_anchor = [&] {
+    for (const auto& g : nl.gates()) {
+      if (g.type == GateType::kConst0 || g.type == GateType::kConst1) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  SLM_REQUIRE(!needs_anchor || !nl.inputs().empty(),
+              "write_bench: constants need at least one input to anchor");
+  const std::string anchor =
+      nl.inputs().empty() ? std::string() : names[nl.inputs()[0]];
+
+  for (NetId id : nl.topo_order()) {
+    const Gate& g = nl.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        os << names[id] << "_inv = NOT(" << anchor << ")\n"
+           << names[id] << " = AND(" << anchor << ", " << names[id]
+           << "_inv)\n";
+        break;
+      case GateType::kConst1:
+        os << names[id] << "_inv = NOT(" << anchor << ")\n"
+           << names[id] << " = OR(" << anchor << ", " << names[id]
+           << "_inv)\n";
+        break;
+      case GateType::kMux2: {
+        // out = (sel & b) | (!sel & a); fanin order {a, b, sel}.
+        const std::string a = names[g.fanin[0]];
+        const std::string b = names[g.fanin[1]];
+        const std::string sel = names[g.fanin[2]];
+        os << names[id] << "_ns = NOT(" << sel << ")\n"
+           << names[id] << "_ta = AND(" << a << ", " << names[id] << "_ns)\n"
+           << names[id] << "_tb = AND(" << b << ", " << sel << ")\n"
+           << names[id] << " = OR(" << names[id] << "_ta, " << names[id]
+           << "_tb)\n";
+        break;
+      }
+      default: {
+        const char* kw = type_to_keyword(g.type);
+        SLM_ASSERT(kw != nullptr, "unhandled gate type in write_bench");
+        os << names[id] << " = " << kw << "(";
+        for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+          os << (i == 0 ? "" : ", ") << names[g.fanin[i]];
+        }
+        os << ")\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace slm::netlist

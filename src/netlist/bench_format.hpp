@@ -1,0 +1,34 @@
+// ISCAS ".bench" netlist format support, so the library interoperates
+// with the published benchmark suites the paper draws on (C6288 et al.):
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G17)
+//   G10 = NAND(G1, G3)
+//   G11 = NOT(G2)
+//
+// Supported gate keywords: AND, OR, NAND, NOR, XOR, XNOR, NOT, BUF/BUFF.
+// The writer emits the same dialect; netlists containing mux2 or
+// constant gates are rejected (expand them first).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace slm::netlist {
+
+/// Parse a .bench stream into a netlist (throws slm::Error with a line
+/// number on malformed input). Signals may be referenced before they are
+/// defined, as in the published files.
+Netlist parse_bench(std::istream& is, const std::string& name = "bench");
+
+/// Convenience: parse from a string.
+Netlist parse_bench_string(const std::string& text,
+                           const std::string& name = "bench");
+
+/// Write a netlist in .bench syntax.
+void write_bench(const Netlist& nl, std::ostream& os);
+
+}  // namespace slm::netlist

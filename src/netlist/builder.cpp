@@ -1,0 +1,155 @@
+#include "netlist/builder.hpp"
+
+#include "common/error.hpp"
+
+namespace slm::netlist {
+
+NetId Builder::input(const std::string& name, bool is_clock) {
+  Gate g;
+  g.type = GateType::kInput;
+  g.name = name;
+  g.is_clock = is_clock;
+  return nl_.add_gate(std::move(g));
+}
+
+std::vector<NetId> Builder::input_bus(const std::string& name,
+                                      std::size_t width) {
+  std::vector<NetId> bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(input(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+NetId Builder::const0() {
+  Gate g;
+  g.type = GateType::kConst0;
+  g.name = "const0";
+  return nl_.add_gate(std::move(g));
+}
+
+NetId Builder::const1() {
+  Gate g;
+  g.type = GateType::kConst1;
+  g.name = "const1";
+  return nl_.add_gate(std::move(g));
+}
+
+NetId Builder::gate(GateType t, std::vector<NetId> fanin,
+                    const std::string& name, double delay_ns) {
+  Gate g;
+  g.type = t;
+  g.fanin = std::move(fanin);
+  g.name = name;
+  g.delay_ns = delay_ns >= 0.0 ? delay_ns : default_gate_delay_ns(t);
+  return nl_.add_gate(std::move(g));
+}
+
+NetId Builder::buf(NetId a, const std::string& name) {
+  return gate(GateType::kBuf, {a}, name);
+}
+NetId Builder::not_(NetId a, const std::string& name) {
+  return gate(GateType::kNot, {a}, name);
+}
+NetId Builder::and2(NetId a, NetId b, const std::string& name) {
+  return gate(GateType::kAnd, {a, b}, name);
+}
+NetId Builder::or2(NetId a, NetId b, const std::string& name) {
+  return gate(GateType::kOr, {a, b}, name);
+}
+NetId Builder::nand2(NetId a, NetId b, const std::string& name) {
+  return gate(GateType::kNand, {a, b}, name);
+}
+NetId Builder::nor2(NetId a, NetId b, const std::string& name) {
+  return gate(GateType::kNor, {a, b}, name);
+}
+NetId Builder::xor2(NetId a, NetId b, const std::string& name) {
+  return gate(GateType::kXor, {a, b}, name);
+}
+NetId Builder::xnor2(NetId a, NetId b, const std::string& name) {
+  return gate(GateType::kXnor, {a, b}, name);
+}
+NetId Builder::mux2(NetId a, NetId b, NetId sel, const std::string& name) {
+  return gate(GateType::kMux2, {a, b, sel}, name);
+}
+
+NetId Builder::and_n(std::vector<NetId> in, const std::string& name) {
+  SLM_REQUIRE(in.size() >= 2, "and_n: need >= 2 fanins");
+  return gate(GateType::kAnd, std::move(in), name);
+}
+
+NetId Builder::or_n(std::vector<NetId> in, const std::string& name) {
+  SLM_REQUIRE(in.size() >= 2, "or_n: need >= 2 fanins");
+  return gate(GateType::kOr, std::move(in), name);
+}
+
+void Builder::output(NetId net, const std::string& name) {
+  nl_.add_output(net, name);
+}
+
+void Builder::output_bus(const std::vector<NetId>& nets,
+                         const std::string& name) {
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    output(nets[i], name + "[" + std::to_string(i) + "]");
+  }
+}
+
+Builder::SumCarry Builder::full_adder(NetId a, NetId b, NetId cin,
+                                      const std::string& prefix) {
+  const NetId axb = xor2(a, b, prefix + ".axb");
+  const NetId sum = xor2(axb, cin, prefix + ".sum");
+  const NetId ab = and2(a, b, prefix + ".ab");
+  const NetId axb_c = and2(axb, cin, prefix + ".axbc");
+  const NetId carry = or2(ab, axb_c, prefix + ".cout");
+  return {sum, carry};
+}
+
+Builder::SumCarry Builder::full_adder_nor(NetId a, NetId b, NetId cin,
+                                          const std::string& prefix) {
+  // Classic 9-NOR full adder (as used throughout ISCAS-85 C6288):
+  //   n1 = NOR(a, b)
+  //   n2 = NOR(a, n1), n3 = NOR(b, n1)       -- half-sum helpers
+  //   hs = NOR(n2, n3)                        -- hs = a XNOR b
+  //   n4 = NOR(hs, cin)
+  //   n5 = NOR(hs, n4), n6 = NOR(cin, n4)
+  //   sum = NOR(n5, n6)                       -- sum = a^b^cin
+  //   carry = NOR(n1, n4)
+  const NetId n1 = nor2(a, b, prefix + ".n1");
+  const NetId n2 = nor2(a, n1, prefix + ".n2");
+  const NetId n3 = nor2(b, n1, prefix + ".n3");
+  const NetId hs = nor2(n2, n3, prefix + ".hs");
+  const NetId n4 = nor2(hs, cin, prefix + ".n4");
+  const NetId n5 = nor2(hs, n4, prefix + ".n5");
+  const NetId n6 = nor2(cin, n4, prefix + ".n6");
+  const NetId sum = nor2(n5, n6, prefix + ".sum");
+  const NetId carry = nor2(n1, n4, prefix + ".cout");
+  return {sum, carry};
+}
+
+Builder::SumCarry Builder::half_adder_nor(NetId a, NetId b,
+                                          const std::string& prefix) {
+  // 6-NOR half adder: g4 = a XNOR b; sum = NOR(g4, g1) = a XOR b;
+  // carry = NOR(g1, sum) = a AND b.
+  const NetId g1 = nor2(a, b, prefix + ".g1");
+  const NetId g2 = nor2(a, g1, prefix + ".g2");
+  const NetId g3 = nor2(b, g1, prefix + ".g3");
+  const NetId g4 = nor2(g2, g3, prefix + ".g4");
+  const NetId sum = nor2(g4, g1, prefix + ".sum");
+  const NetId carry = nor2(g1, sum, prefix + ".cout");
+  return {sum, carry};
+}
+
+std::vector<NetId> Builder::mux_bus(const std::vector<NetId>& a,
+                                    const std::vector<NetId>& b, NetId sel,
+                                    const std::string& prefix) {
+  SLM_REQUIRE(a.size() == b.size(), "mux_bus: width mismatch");
+  std::vector<NetId> out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(mux2(a[i], b[i], sel, prefix + "[" + std::to_string(i) + "]"));
+  }
+  return out;
+}
+
+}  // namespace slm::netlist

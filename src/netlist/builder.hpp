@@ -1,0 +1,82 @@
+// Fluent construction helper over Netlist. Generators use this to write
+// structural RTL-ish code:
+//
+//   Builder b("adder");
+//   auto a = b.input_bus("a", 8);
+//   auto s = b.xor2(a[0], b.input("cin"));
+//   b.output(s, "sum0");
+//
+// Bus helpers return vectors of NetIds (bit 0 first).
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace slm::netlist {
+
+class Builder {
+ public:
+  explicit Builder(std::string name) : nl_(std::move(name)) {}
+
+  /// Finish and take the netlist (builder becomes unusable).
+  Netlist take() { return std::move(nl_); }
+
+  /// Access while building (e.g. for stats).
+  const Netlist& peek() const { return nl_; }
+
+  // --- sources ------------------------------------------------------------
+  NetId input(const std::string& name, bool is_clock = false);
+  std::vector<NetId> input_bus(const std::string& name, std::size_t width);
+  NetId const0();
+  NetId const1();
+
+  // --- gates ----------------------------------------------------------------
+  NetId gate(GateType t, std::vector<NetId> fanin,
+             const std::string& name = "", double delay_ns = -1.0);
+
+  NetId buf(NetId a, const std::string& name = "");
+  NetId not_(NetId a, const std::string& name = "");
+  NetId and2(NetId a, NetId b, const std::string& name = "");
+  NetId or2(NetId a, NetId b, const std::string& name = "");
+  NetId nand2(NetId a, NetId b, const std::string& name = "");
+  NetId nor2(NetId a, NetId b, const std::string& name = "");
+  NetId xor2(NetId a, NetId b, const std::string& name = "");
+  NetId xnor2(NetId a, NetId b, const std::string& name = "");
+  NetId mux2(NetId a, NetId b, NetId sel, const std::string& name = "");
+
+  NetId and_n(std::vector<NetId> in, const std::string& name = "");
+  NetId or_n(std::vector<NetId> in, const std::string& name = "");
+
+  // --- outputs ----------------------------------------------------------
+  void output(NetId net, const std::string& name);
+  void output_bus(const std::vector<NetId>& nets, const std::string& name);
+
+  // --- composite helpers ----------------------------------------------------
+  /// Full adder from XOR/AND/OR gates; returns {sum, carry}.
+  struct SumCarry {
+    NetId sum;
+    NetId carry;
+  };
+  SumCarry full_adder(NetId a, NetId b, NetId cin,
+                      const std::string& prefix = "fa");
+
+  /// Full adder in the all-NOR style of ISCAS-85 C6288 (9 NOR gates).
+  SumCarry full_adder_nor(NetId a, NetId b, NetId cin,
+                          const std::string& prefix = "fan");
+
+  /// Half adder in NOR style (5 NOR gates); returns {sum, carry}.
+  SumCarry half_adder_nor(NetId a, NetId b, const std::string& prefix = "han");
+
+  /// Bitwise mux over equal-width buses.
+  std::vector<NetId> mux_bus(const std::vector<NetId>& a,
+                             const std::vector<NetId>& b, NetId sel,
+                             const std::string& prefix = "mux");
+
+ private:
+  Netlist nl_;
+};
+
+}  // namespace slm::netlist

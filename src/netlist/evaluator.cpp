@@ -1,0 +1,53 @@
+#include "netlist/evaluator.hpp"
+
+#include "common/error.hpp"
+
+namespace slm::netlist {
+
+Evaluator::Evaluator(const Netlist& nl) : nl_(nl), order_(nl.topo_order()) {}
+
+std::vector<bool> Evaluator::eval_nets(const BitVec& input_values) const {
+  SLM_REQUIRE(input_values.size() == nl_.inputs().size(),
+              "Evaluator: input width mismatch");
+  std::vector<bool> value(nl_.gate_count(), false);
+
+  // Primary inputs first (they appear in order_ too, but need values).
+  const auto& inputs = nl_.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    value[inputs[i]] = input_values.get(i);
+  }
+
+  std::vector<bool> fanin_vals;
+  for (NetId id : order_) {
+    const Gate& g = nl_.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+        break;  // already set
+      case GateType::kConst0:
+        value[id] = false;
+        break;
+      case GateType::kConst1:
+        value[id] = true;
+        break;
+      default: {
+        fanin_vals.clear();
+        for (NetId f : g.fanin) fanin_vals.push_back(value[f]);
+        value[id] = eval_gate(g.type, fanin_vals);
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+BitVec Evaluator::eval(const BitVec& input_values) const {
+  const auto nets = eval_nets(input_values);
+  const auto& outs = nl_.outputs();
+  BitVec result(outs.size());
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    result.set(i, nets[outs[i].net]);
+  }
+  return result;
+}
+
+}  // namespace slm::netlist

@@ -1,0 +1,34 @@
+// Zero-delay functional evaluation of an acyclic netlist. Used by tests
+// (functional correctness of the generators), by ATPG (fault-free
+// responses) and by the timed simulator (final settled values).
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "netlist/netlist.hpp"
+
+namespace slm::netlist {
+
+class Evaluator {
+ public:
+  /// Precomputes the topological order; throws on cyclic netlists. The
+  /// netlist must outlive the Evaluator (temporaries are rejected).
+  explicit Evaluator(const Netlist& nl);
+  explicit Evaluator(Netlist&&) = delete;
+
+  /// Evaluate with input values in input-declaration order. Returns the
+  /// value of every net (indexable by NetId).
+  std::vector<bool> eval_nets(const BitVec& input_values) const;
+
+  /// Evaluate and return only the primary outputs, in declaration order.
+  BitVec eval(const BitVec& input_values) const;
+
+  const Netlist& netlist() const { return nl_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<NetId> order_;
+};
+
+}  // namespace slm::netlist

@@ -1,0 +1,95 @@
+#include "netlist/export.hpp"
+
+#include <string>
+
+namespace slm::netlist {
+
+namespace {
+
+std::string net_name(const Netlist& nl, NetId id) {
+  const Gate& g = nl.gate(id);
+  if (!g.name.empty()) {
+    // Sanitise: Verilog identifiers cannot contain '.', '[' or ']'.
+    std::string s = g.name;
+    for (char& c : s) {
+      if (c == '.' || c == '[' || c == ']') c = '_';
+    }
+    return s + "_n" + std::to_string(id);
+  }
+  return "n" + std::to_string(id);
+}
+
+}  // namespace
+
+void export_verilog(const Netlist& nl, std::ostream& os) {
+  os << "module " << nl.name() << " (\n";
+  for (NetId in : nl.inputs()) {
+    os << "  input  " << net_name(nl, in) << ",\n";
+  }
+  const auto& outs = nl.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    os << "  output po_" << i << (i + 1 < outs.size() ? "," : "") << "\n";
+  }
+  os << ");\n";
+
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kInput) continue;
+    os << "  wire " << net_name(nl, id) << ";\n";
+  }
+
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    const std::string out = net_name(nl, id);
+    switch (g.type) {
+      case GateType::kInput:
+        break;
+      case GateType::kConst0:
+        os << "  assign " << out << " = 1'b0;\n";
+        break;
+      case GateType::kConst1:
+        os << "  assign " << out << " = 1'b1;\n";
+        break;
+      case GateType::kBuf:
+        os << "  assign " << out << " = " << net_name(nl, g.fanin[0]) << ";\n";
+        break;
+      case GateType::kNot:
+        os << "  assign " << out << " = ~" << net_name(nl, g.fanin[0])
+           << ";\n";
+        break;
+      case GateType::kMux2:
+        os << "  assign " << out << " = " << net_name(nl, g.fanin[2]) << " ? "
+           << net_name(nl, g.fanin[1]) << " : " << net_name(nl, g.fanin[0])
+           << ";\n";
+        break;
+      default: {
+        os << "  " << gate_type_name(g.type) << " g" << id << " (" << out;
+        for (NetId f : g.fanin) os << ", " << net_name(nl, f);
+        os << ");\n";
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    os << "  assign po_" << i << " = " << net_name(nl, outs[i].net)
+       << ";  // " << outs[i].name << "\n";
+  }
+  os << "endmodule\n";
+}
+
+void export_debug(const Netlist& nl, std::ostream& os) {
+  os << "# netlist " << nl.name() << ": " << nl.gate_count() << " gates, "
+     << nl.inputs().size() << " inputs, " << nl.outputs().size()
+     << " outputs\n";
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    const Gate& g = nl.gate(id);
+    os << id << '\t' << gate_type_name(g.type) << '\t' << g.delay_ns << '\t';
+    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+      os << (i == 0 ? "" : ",") << g.fanin[i];
+    }
+    os << '\t' << g.name << '\n';
+  }
+}
+
+}  // namespace slm::netlist

@@ -1,0 +1,20 @@
+// Structural Verilog-ish export, mainly for documentation and debugging:
+// lets a user diff the generated C6288 against the published ISCAS-85
+// netlist or load the ALU into an external tool.
+#pragma once
+
+#include <ostream>
+
+#include "netlist/netlist.hpp"
+
+namespace slm::netlist {
+
+/// Write the netlist as a flat structural Verilog module. Multi-input
+/// gates are emitted as Verilog primitives (and/or/nor/...); mux2 becomes
+/// a ternary assign.
+void export_verilog(const Netlist& nl, std::ostream& os);
+
+/// One-line-per-gate text dump (id, type, delay, fanin ids) for debugging.
+void export_debug(const Netlist& nl, std::ostream& os);
+
+}  // namespace slm::netlist

@@ -1,0 +1,140 @@
+#include "netlist/gate.hpp"
+
+#include "common/error.hpp"
+
+namespace slm::netlist {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kInput:
+      return "input";
+    case GateType::kConst0:
+      return "const0";
+    case GateType::kConst1:
+      return "const1";
+    case GateType::kBuf:
+      return "buf";
+    case GateType::kNot:
+      return "not";
+    case GateType::kAnd:
+      return "and";
+    case GateType::kOr:
+      return "or";
+    case GateType::kNand:
+      return "nand";
+    case GateType::kNor:
+      return "nor";
+    case GateType::kXor:
+      return "xor";
+    case GateType::kXnor:
+      return "xnor";
+    case GateType::kMux2:
+      return "mux2";
+  }
+  return "?";
+}
+
+Arity gate_arity(GateType t) {
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return {0, 1};  // max=1 is irrelevant; min=max=0 effective
+    case GateType::kBuf:
+    case GateType::kNot:
+      return {1, 1};
+    case GateType::kMux2:
+      return {3, 3};
+    case GateType::kAnd:
+    case GateType::kOr:
+    case GateType::kNand:
+    case GateType::kNor:
+    case GateType::kXor:
+    case GateType::kXnor:
+      return {2, 0};
+  }
+  return {0, 0};
+}
+
+bool eval_gate(GateType t, const std::vector<bool>& in) {
+  switch (t) {
+    case GateType::kInput:
+      SLM_ASSERT(false, "eval_gate called on primary input");
+      return false;
+    case GateType::kConst0:
+      return false;
+    case GateType::kConst1:
+      return true;
+    case GateType::kBuf:
+      return in[0];
+    case GateType::kNot:
+      return !in[0];
+    case GateType::kAnd: {
+      for (bool v : in) {
+        if (!v) return false;
+      }
+      return true;
+    }
+    case GateType::kOr: {
+      for (bool v : in) {
+        if (v) return true;
+      }
+      return false;
+    }
+    case GateType::kNand: {
+      for (bool v : in) {
+        if (!v) return true;
+      }
+      return false;
+    }
+    case GateType::kNor: {
+      for (bool v : in) {
+        if (v) return false;
+      }
+      return true;
+    }
+    case GateType::kXor: {
+      bool acc = false;
+      for (bool v : in) acc ^= v;
+      return acc;
+    }
+    case GateType::kXnor: {
+      bool acc = true;
+      for (bool v : in) acc ^= v;
+      return acc;
+    }
+    case GateType::kMux2:
+      return in[2] ? in[1] : in[0];
+  }
+  return false;
+}
+
+double default_gate_delay_ns(GateType t) {
+  // Loosely modelled on LUT + local routing delays of a 7-series fabric:
+  // a LUT hop is ~0.15-0.25 ns including net delay; "cheap" cells that
+  // would map into carry logic or pass-through get smaller numbers.
+  switch (t) {
+    case GateType::kInput:
+    case GateType::kConst0:
+    case GateType::kConst1:
+      return 0.0;
+    case GateType::kBuf:
+      return 0.045;
+    case GateType::kNot:
+      return 0.040;
+    case GateType::kAnd:
+    case GateType::kOr:
+      return 0.060;
+    case GateType::kNand:
+    case GateType::kNor:
+      return 0.055;
+    case GateType::kXor:
+    case GateType::kXnor:
+      return 0.085;
+    case GateType::kMux2:
+      return 0.070;
+  }
+  return 0.05;
+}
+
+}  // namespace slm::netlist

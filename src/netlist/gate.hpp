@@ -1,0 +1,50 @@
+// Gate types and their combinational semantics. The library models the
+// post-synthesis structural view an FPGA bitstream checker would recover:
+// simple gates with known logic functions and per-instance nominal delays.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slm::netlist {
+
+/// Combinational primitive types.
+///
+/// kInput has no fanin; kConst0/kConst1 are tie-offs. Everything else
+/// computes a boolean function of its fanins. kMux2 is (sel ? b : a) with
+/// fanin order {a, b, sel}.
+enum class GateType : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kMux2,
+};
+
+/// Short lower-case mnemonic ("nand", "mux2", ...).
+const char* gate_type_name(GateType t);
+
+/// Permitted fanin count. Returns {min, max}; max of 0 means unbounded
+/// (AND/OR/NAND/NOR/XOR/XNOR accept >= 2 fanins).
+struct Arity {
+  std::size_t min;
+  std::size_t max;  // 0 = unbounded
+};
+Arity gate_arity(GateType t);
+
+/// Evaluate the gate function over boolean fanin values.
+bool eval_gate(GateType t, const std::vector<bool>& in);
+
+/// Default intrinsic delay (ns) per type, roughly scaled like a 28 nm
+/// FPGA LUT/carry implementation. Generators may override per instance.
+double default_gate_delay_ns(GateType t);
+
+}  // namespace slm::netlist

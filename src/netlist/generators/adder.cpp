@@ -1,0 +1,75 @@
+#include "netlist/generators/adder.hpp"
+
+#include "common/error.hpp"
+#include "netlist/builder.hpp"
+
+namespace slm::netlist {
+
+Netlist make_ripple_carry_adder(const AdderOptions& opt) {
+  SLM_REQUIRE(opt.width >= 1, "adder width must be >= 1");
+  Builder b("rca" + std::to_string(opt.width));
+
+  const auto a = b.input_bus("a", opt.width);
+  const auto bb = b.input_bus("b", opt.width);
+  NetId carry = kInvalidNet;
+  if (opt.with_carry_in) {
+    carry = b.input("cin");
+  } else {
+    carry = b.const0();
+  }
+
+  // Input routing stage: a buffer in front of each operand bit models the
+  // fabric routing from the operand registers to the carry chain.
+  std::vector<NetId> ar(opt.width), br(opt.width);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    ar[i] = b.gate(GateType::kBuf, {a[i]}, "a_rt" + std::to_string(i),
+                   opt.input_routing_delay_ns);
+    br[i] = b.gate(GateType::kBuf, {bb[i]}, "b_rt" + std::to_string(i),
+                   opt.input_routing_delay_ns);
+  }
+
+  std::vector<NetId> sum(opt.width);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    const std::string p = "fa" + std::to_string(i);
+    // Carry-chain style full adder: propagate = a^b computed in a LUT,
+    // carry muxed through the dedicated chain (fast), sum xor (LUT).
+    const NetId prop = b.gate(GateType::kXor, {ar[i], br[i]}, p + ".p",
+                              opt.sum_xor_delay_ns);
+    const NetId gen = b.gate(GateType::kAnd, {ar[i], br[i]}, p + ".g",
+                             opt.sum_xor_delay_ns);
+    sum[i] = b.gate(GateType::kXor, {prop, carry}, p + ".sum",
+                    opt.sum_xor_delay_ns);
+    // carry_out = prop ? carry_in : generate  (MUXCY in 7-series terms).
+    // The generate term must be a&b — feeding a_i directly would bypass
+    // the ripple through the prop-low transient and kill the staircase.
+    carry = b.gate(GateType::kMux2, {gen, carry, prop}, p + ".cy",
+                   opt.carry_stage_delay_ns);
+  }
+
+  b.output_bus(sum, "sum");
+  if (opt.with_carry_out) b.output(carry, "cout");
+  return b.take();
+}
+
+BitVec pack_adder_inputs(const AdderOptions& opt, const BitVec& a,
+                         const BitVec& b, bool cin) {
+  SLM_REQUIRE(a.size() == opt.width && b.size() == opt.width,
+              "pack_adder_inputs: operand width mismatch");
+  const std::size_t total = 2 * opt.width + (opt.with_carry_in ? 1 : 0);
+  BitVec in(total);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    in.set(i, a.get(i));
+    in.set(opt.width + i, b.get(i));
+  }
+  if (opt.with_carry_in) in.set(2 * opt.width, cin);
+  return in;
+}
+
+BitVec pack_adder_inputs_u64(const AdderOptions& opt, std::uint64_t a,
+                             std::uint64_t b, bool cin) {
+  SLM_REQUIRE(opt.width <= 64, "pack_adder_inputs_u64: width > 64");
+  return pack_adder_inputs(opt, BitVec(opt.width, a), BitVec(opt.width, b),
+                           cin);
+}
+
+}  // namespace slm::netlist

@@ -1,0 +1,130 @@
+#include "netlist/generators/alu.hpp"
+
+#include "common/error.hpp"
+#include "netlist/builder.hpp"
+
+namespace slm::netlist {
+
+Netlist make_alu(const AluOptions& opt) {
+  SLM_REQUIRE(opt.width >= 1, "alu width must be >= 1");
+  Builder b("alu" + std::to_string(opt.width));
+
+  const auto a = b.input_bus("a", opt.width);
+  const auto bb = b.input_bus("b", opt.width);
+  const NetId op0 = b.input("op0");
+  const NetId op1 = b.input("op1");
+
+  // Input routing buffers shared by all function units.
+  std::vector<NetId> ar(opt.width), br(opt.width);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    ar[i] = b.gate(GateType::kBuf, {a[i]}, "a_rt" + std::to_string(i),
+                   opt.adder.input_routing_delay_ns);
+    br[i] = b.gate(GateType::kBuf, {bb[i]}, "b_rt" + std::to_string(i),
+                   opt.adder.input_routing_delay_ns);
+  }
+
+  // Adder (carry-chain style, same cell structure as make_ripple_carry_adder
+  // but stitched to the shared routing buffers).
+  NetId carry = b.const0();
+  std::vector<NetId> sum(opt.width);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    const std::string p = "fa" + std::to_string(i);
+    const NetId prop = b.gate(GateType::kXor, {ar[i], br[i]}, p + ".p",
+                              opt.adder.sum_xor_delay_ns);
+    const NetId gen = b.gate(GateType::kAnd, {ar[i], br[i]}, p + ".g",
+                             opt.adder.sum_xor_delay_ns);
+    sum[i] = b.gate(GateType::kXor, {prop, carry}, p + ".sum",
+                    opt.adder.sum_xor_delay_ns);
+    // MUXCY: carry_out = prop ? carry_in : (a & b); see adder.cpp.
+    carry = b.gate(GateType::kMux2, {gen, carry, prop}, p + ".cy",
+                   opt.adder.carry_stage_delay_ns);
+  }
+
+  // Bitwise units.
+  std::vector<NetId> land(opt.width), lor(opt.width), lxor(opt.width);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    const std::string s = std::to_string(i);
+    land[i] = b.gate(GateType::kAnd, {ar[i], br[i]}, "and" + s,
+                     opt.logic_delay_ns);
+    lor[i] = b.gate(GateType::kOr, {ar[i], br[i]}, "or" + s,
+                    opt.logic_delay_ns);
+    lxor[i] = b.gate(GateType::kXor, {ar[i], br[i]}, "xor" + s,
+                     opt.logic_delay_ns);
+  }
+
+  // Result mux tree: op = {00: add, 01: and, 10: or, 11: xor}.
+  std::vector<NetId> result(opt.width);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    const std::string s = std::to_string(i);
+    const NetId m0 = b.gate(GateType::kMux2, {sum[i], land[i], op0},
+                            "m0_" + s, opt.mux_delay_ns);
+    const NetId m1 = b.gate(GateType::kMux2, {lor[i], lxor[i], op0},
+                            "m1_" + s, opt.mux_delay_ns);
+    result[i] = b.gate(GateType::kMux2, {m0, m1, op1}, "res" + s,
+                       opt.mux_delay_ns);
+  }
+
+  b.output_bus(result, "result");
+  b.output(carry, "cout");
+  return b.take();
+}
+
+BitVec pack_alu_inputs(const AluOptions& opt, const BitVec& a, const BitVec& b,
+                       AluOp op) {
+  SLM_REQUIRE(a.size() == opt.width && b.size() == opt.width,
+              "pack_alu_inputs: operand width mismatch");
+  BitVec in(2 * opt.width + 2);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    in.set(i, a.get(i));
+    in.set(opt.width + i, b.get(i));
+  }
+  const auto code = static_cast<std::uint8_t>(op);
+  in.set(2 * opt.width, (code & 1) != 0);
+  in.set(2 * opt.width + 1, (code & 2) != 0);
+  return in;
+}
+
+BitVec alu_reference(const AluOptions& opt, const BitVec& a, const BitVec& b,
+                     AluOp op, bool* cout) {
+  SLM_REQUIRE(a.size() == opt.width && b.size() == opt.width,
+              "alu_reference: operand width mismatch");
+  BitVec out(opt.width);
+  bool carry = false;
+  switch (op) {
+    case AluOp::kAdd: {
+      for (std::size_t i = 0; i < opt.width; ++i) {
+        const int s = static_cast<int>(a.get(i)) + static_cast<int>(b.get(i)) +
+                      static_cast<int>(carry);
+        out.set(i, (s & 1) != 0);
+        carry = s >= 2;
+      }
+      break;
+    }
+    case AluOp::kAnd:
+      out = a & b;
+      break;
+    case AluOp::kOr:
+      out = a | b;
+      break;
+    case AluOp::kXor:
+      out = a ^ b;
+      break;
+  }
+  if (cout != nullptr) *cout = carry;
+  return out;
+}
+
+BitVec alu_measure_stimulus(const AluOptions& opt) {
+  BitVec a(opt.width);
+  a.set_all(true);           // A = 2^w - 1
+  BitVec b(opt.width);
+  b.set(0, true);            // B = 1
+  return pack_alu_inputs(opt, a, b, AluOp::kAdd);
+}
+
+BitVec alu_reset_stimulus(const AluOptions& opt) {
+  return pack_alu_inputs(opt, BitVec(opt.width), BitVec(opt.width),
+                         AluOp::kAdd);
+}
+
+}  // namespace slm::netlist

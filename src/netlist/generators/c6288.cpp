@@ -1,0 +1,184 @@
+#include "netlist/generators/c6288.hpp"
+
+#include "common/error.hpp"
+#include "netlist/builder.hpp"
+
+namespace slm::netlist {
+
+namespace {
+
+struct NorCellFactory {
+  Builder& b;
+  double nor_delay;
+
+  NetId nor2(NetId x, NetId y, const std::string& name) {
+    return b.gate(GateType::kNor, {x, y}, name, nor_delay);
+  }
+
+  // 9-NOR full adder (C6288 cell).
+  Builder::SumCarry full_adder(NetId a, NetId x, NetId cin,
+                               const std::string& p) {
+    const NetId n1 = nor2(a, x, p + ".n1");
+    const NetId n2 = nor2(a, n1, p + ".n2");
+    const NetId n3 = nor2(x, n1, p + ".n3");
+    const NetId hs = nor2(n2, n3, p + ".hs");  // a XNOR x ... see below
+    const NetId n4 = nor2(hs, cin, p + ".n4");
+    const NetId n5 = nor2(hs, n4, p + ".n5");
+    const NetId n6 = nor2(cin, n4, p + ".n6");
+    const NetId sum = nor2(n5, n6, p + ".sum");
+    const NetId carry = nor2(n1, n4, p + ".cout");
+    return {sum, carry};
+  }
+
+  // 6-NOR half adder: g4 = XNOR(a,x); sum = NOR(g4, g1) = XOR(a,x);
+  // carry = NOR(g1, sum) = AND(a,x).
+  Builder::SumCarry half_adder(NetId a, NetId x, const std::string& p) {
+    const NetId g1 = nor2(a, x, p + ".g1");
+    const NetId g2 = nor2(a, g1, p + ".g2");
+    const NetId g3 = nor2(x, g1, p + ".g3");
+    const NetId g4 = nor2(g2, g3, p + ".g4");
+    const NetId sum = nor2(g4, g1, p + ".sum");
+    const NetId carry = nor2(g1, sum, p + ".cout");
+    return {sum, carry};
+  }
+};
+
+}  // namespace
+
+Netlist make_c6288(const C6288Options& opt) {
+  const std::size_t n = opt.operand_width;
+  SLM_REQUIRE(n >= 2, "c6288: operand width must be >= 2");
+  Builder b("c6288_" + std::to_string(n));
+  NorCellFactory cells{b, opt.nor_delay_ns};
+
+  const auto a_in = b.input_bus("a", n);
+  const auto b_in = b.input_bus("b", n);
+
+  std::vector<NetId> a(n), bb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = b.gate(GateType::kBuf, {a_in[i]}, "a_rt" + std::to_string(i),
+                  opt.input_routing_delay_ns);
+    bb[i] = b.gate(GateType::kBuf, {b_in[i]}, "b_rt" + std::to_string(i),
+                   opt.input_routing_delay_ns);
+  }
+
+  // Partial products pp[i][j] = a[j] & b[i], weight i + j.
+  std::vector<std::vector<NetId>> pp(n, std::vector<NetId>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      pp[i][j] = b.gate(GateType::kAnd, {a[j], bb[i]},
+                        "pp" + std::to_string(i) + "_" + std::to_string(j),
+                        opt.and_delay_ns);
+    }
+  }
+
+  std::vector<NetId> out(2 * n, kInvalidNet);
+  out[0] = pp[0][0];
+
+  // Braun array, carry-save between rows.
+  // After processing row i, `sum[j]` holds the surviving sum bit of weight
+  // i + j (j = 1..n-1 used by the next row) and `carry[j]` the carry of
+  // weight i + j + 1 generated in row i.
+  std::vector<NetId> sum(n), carry(n, kInvalidNet);
+  for (std::size_t j = 0; j < n; ++j) sum[j] = pp[0][j];
+
+  for (std::size_t i = 1; i < n; ++i) {
+    std::vector<NetId> new_sum(n), new_carry(n, kInvalidNet);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::string cell =
+          "r" + std::to_string(i) + "c" + std::to_string(j);
+      // Bits of weight i + j entering this cell:
+      //   pp[i][j], sum[j+1] from the previous row (absent for j = n-1),
+      //   carry[j] from the previous row (absent in row 1).
+      const NetId x = pp[i][j];
+      const NetId s_prev = (j + 1 < n) ? sum[j + 1] : kInvalidNet;
+      const NetId c_prev = carry[j];
+
+      if (s_prev != kInvalidNet && c_prev != kInvalidNet) {
+        const auto sc = cells.full_adder(x, s_prev, c_prev, cell);
+        new_sum[j] = sc.sum;
+        new_carry[j] = sc.carry;
+      } else if (s_prev != kInvalidNet || c_prev != kInvalidNet) {
+        const NetId y = (s_prev != kInvalidNet) ? s_prev : c_prev;
+        const auto sc = cells.half_adder(x, y, cell);
+        new_sum[j] = sc.sum;
+        new_carry[j] = sc.carry;
+      } else {
+        new_sum[j] = x;  // passes through unchanged
+      }
+    }
+    sum = std::move(new_sum);
+    carry = std::move(new_carry);
+    out[i] = sum[0];
+  }
+
+  // Final ripple adder over the leftover sum/carry vectors.
+  // Weight n + j carries sum[j+1] (j = 0..n-2) and carry[j] (j = 0..n-1).
+  NetId ripple = kInvalidNet;
+  for (std::size_t j = 0; j + 1 < n; ++j) {
+    const std::string cell = "fr" + std::to_string(j);
+    const NetId s = sum[j + 1];
+    const NetId c = carry[j];
+    if (ripple == kInvalidNet) {
+      const auto sc = cells.half_adder(s, c, cell);
+      out[n + j] = sc.sum;
+      ripple = sc.carry;
+    } else {
+      const auto sc = cells.full_adder(s, c, ripple, cell);
+      out[n + j] = sc.sum;
+      ripple = sc.carry;
+    }
+  }
+  // Top bit: cell n-1 of each row only ever passes its partial product
+  // through (it has nothing to add), so carry[n-1] is structurally zero
+  // and the MSB is simply the final ripple carry.
+  out[2 * n - 1] = ripple;
+
+  b.output_bus(out, "p");
+  return b.take();
+}
+
+BitVec pack_c6288_inputs(const C6288Options& opt, std::uint64_t a,
+                         std::uint64_t b) {
+  const std::size_t n = opt.operand_width;
+  SLM_REQUIRE(n <= 64, "pack_c6288_inputs: width > 64");
+  BitVec in(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    in.set(i, ((a >> i) & 1) != 0);
+    in.set(n + i, ((b >> i) & 1) != 0);
+  }
+  return in;
+}
+
+std::uint64_t c6288_reference(const C6288Options& opt, std::uint64_t a,
+                              std::uint64_t b) {
+  const std::size_t n = opt.operand_width;
+  SLM_REQUIRE(n <= 32, "c6288_reference: width > 32");
+  const std::uint64_t mask = (n == 64) ? ~0ull : ((1ull << n) - 1);
+  return (a & mask) * (b & mask);
+}
+
+BitVec c6288_measure_stimulus(const C6288Options& opt) {
+  // Measure = (100...0 x 111...1). Together with the reset vector this
+  // flips every partial-product row at once and drives the longest
+  // diagonal carry chains of the array; found with the library's own
+  // ATPG stimulus search (atpg::StimulusSearch), which ranks it at the
+  // top of both structured and random candidates for endpoints toggling
+  // inside the 300 MHz capture band.
+  const std::uint64_t ones = (opt.operand_width >= 64)
+                                 ? ~0ull
+                                 : ((1ull << opt.operand_width) - 1);
+  const std::uint64_t msb = 1ull << (opt.operand_width - 1);
+  return pack_c6288_inputs(opt, msb, ones);
+}
+
+BitVec c6288_reset_stimulus(const C6288Options& opt) {
+  // Reset = (011...1 x 111...1); see c6288_measure_stimulus.
+  const std::uint64_t ones = (opt.operand_width >= 64)
+                                 ? ~0ull
+                                 : ((1ull << opt.operand_width) - 1);
+  const std::uint64_t msb = 1ull << (opt.operand_width - 1);
+  return pack_c6288_inputs(opt, msb - 1, ones);
+}
+
+}  // namespace slm::netlist

@@ -1,0 +1,267 @@
+#include "netlist/generators/fast_datapath.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "netlist/builder.hpp"
+
+namespace slm::netlist {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t log2_of(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+}  // namespace
+
+Netlist make_kogge_stone_adder(const KoggeStoneOptions& opt) {
+  const std::size_t n = opt.width;
+  SLM_REQUIRE(n >= 2, "kogge-stone: width must be >= 2");
+  Builder b("ks" + std::to_string(n));
+
+  const auto a_in = b.input_bus("a", n);
+  const auto b_in = b.input_bus("b", n);
+  std::vector<NetId> a(n), bb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = b.gate(GateType::kBuf, {a_in[i]}, "a_rt" + std::to_string(i),
+                  opt.input_routing_delay_ns);
+    bb[i] = b.gate(GateType::kBuf, {b_in[i]}, "b_rt" + std::to_string(i),
+                   opt.input_routing_delay_ns);
+  }
+
+  // Level 0: per-bit generate/propagate.
+  std::vector<NetId> g(n), p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = b.gate(GateType::kAnd, {a[i], bb[i]}, "g0_" + std::to_string(i),
+                  opt.gate_delay_ns);
+    p[i] = b.gate(GateType::kXor, {a[i], bb[i]}, "p0_" + std::to_string(i),
+                  opt.gate_delay_ns);
+  }
+  const std::vector<NetId> p0 = p;  // per-bit propagate for the sum xor
+
+  // Prefix levels: (g, p)_i = (g_i | p_i & g_{i-d}, p_i & p_{i-d}).
+  for (std::size_t d = 1; d < n; d <<= 1) {
+    std::vector<NetId> ng = g, np = p;
+    for (std::size_t i = d; i < n; ++i) {
+      const std::string tag =
+          "l" + std::to_string(d) + "_" + std::to_string(i);
+      const NetId t = b.gate(GateType::kAnd, {p[i], g[i - d]}, tag + ".t",
+                             opt.gate_delay_ns);
+      ng[i] = b.gate(GateType::kOr, {g[i], t}, tag + ".g",
+                     opt.gate_delay_ns);
+      np[i] = b.gate(GateType::kAnd, {p[i], p[i - d]}, tag + ".p",
+                     opt.gate_delay_ns);
+    }
+    g = std::move(ng);
+    p = std::move(np);
+  }
+
+  // Sum: s_0 = p0_0; s_i = p0_i ^ c_{i-1} with c_i = prefix g_i.
+  std::vector<NetId> sum(n);
+  sum[0] = b.gate(GateType::kBuf, {p0[0]}, "s0", opt.gate_delay_ns);
+  for (std::size_t i = 1; i < n; ++i) {
+    sum[i] = b.gate(GateType::kXor, {p0[i], g[i - 1]},
+                    "s" + std::to_string(i), opt.gate_delay_ns);
+  }
+  b.output_bus(sum, "sum");
+  b.output(g[n - 1], "cout");
+  return b.take();
+}
+
+BitVec pack_ks_inputs(const KoggeStoneOptions& opt, std::uint64_t a,
+                      std::uint64_t b) {
+  SLM_REQUIRE(opt.width <= 64, "pack_ks_inputs: width > 64");
+  BitVec in(2 * opt.width);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    in.set(i, ((a >> i) & 1) != 0);
+    in.set(opt.width + i, ((b >> i) & 1) != 0);
+  }
+  return in;
+}
+
+Netlist make_wallace_multiplier(const WallaceOptions& opt) {
+  const std::size_t n = opt.operand_width;
+  SLM_REQUIRE(n >= 2, "wallace: operand width must be >= 2");
+  Builder b("wallace" + std::to_string(n));
+
+  const auto a_in = b.input_bus("a", n);
+  const auto b_in = b.input_bus("b", n);
+  std::vector<NetId> a(n), bb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = b.gate(GateType::kBuf, {a_in[i]}, "a_rt" + std::to_string(i),
+                  opt.input_routing_delay_ns);
+    bb[i] = b.gate(GateType::kBuf, {b_in[i]}, "b_rt" + std::to_string(i),
+                   opt.input_routing_delay_ns);
+  }
+
+  // Partial-product columns by weight.
+  std::vector<std::vector<NetId>> col(2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      col[i + j].push_back(
+          b.gate(GateType::kAnd, {a[j], bb[i]},
+                 "pp" + std::to_string(i) + "_" + std::to_string(j),
+                 opt.and_delay_ns));
+    }
+  }
+
+  // Wallace reduction: compress every column with full/half adders in
+  // parallel rounds until no column holds more than 2 bits.
+  auto fa = [&](NetId x, NetId y, NetId z, const std::string& tag) {
+    const NetId axy =
+        b.gate(GateType::kXor, {x, y}, tag + ".axy", opt.gate_delay_ns);
+    const NetId s =
+        b.gate(GateType::kXor, {axy, z}, tag + ".s", opt.gate_delay_ns);
+    const NetId c1 =
+        b.gate(GateType::kAnd, {x, y}, tag + ".c1", opt.gate_delay_ns);
+    const NetId c2 =
+        b.gate(GateType::kAnd, {axy, z}, tag + ".c2", opt.gate_delay_ns);
+    const NetId c =
+        b.gate(GateType::kOr, {c1, c2}, tag + ".c", opt.gate_delay_ns);
+    return std::pair<NetId, NetId>{s, c};
+  };
+  auto ha = [&](NetId x, NetId y, const std::string& tag) {
+    const NetId s =
+        b.gate(GateType::kXor, {x, y}, tag + ".s", opt.gate_delay_ns);
+    const NetId c =
+        b.gate(GateType::kAnd, {x, y}, tag + ".c", opt.gate_delay_ns);
+    return std::pair<NetId, NetId>{s, c};
+  };
+
+  int round = 0;
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    std::vector<std::vector<NetId>> next(2 * n);
+    for (std::size_t w = 0; w < 2 * n; ++w) {
+      auto& bits = col[w];
+      std::size_t i = 0;
+      while (bits.size() - i >= 3) {
+        const auto [s, c] =
+            fa(bits[i], bits[i + 1], bits[i + 2],
+               "r" + std::to_string(round) + "w" + std::to_string(w) + "_" +
+                   std::to_string(i));
+        next[w].push_back(s);
+        if (w + 1 < 2 * n) next[w + 1].push_back(c);
+        i += 3;
+        reduced = true;
+      }
+      if (bits.size() - i == 2 && bits.size() > 2) {
+        const auto [s, c] = ha(bits[i], bits[i + 1],
+                               "r" + std::to_string(round) + "h" +
+                                   std::to_string(w));
+        next[w].push_back(s);
+        if (w + 1 < 2 * n) next[w + 1].push_back(c);
+        i += 2;
+        reduced = true;
+      }
+      for (; i < bits.size(); ++i) next[w].push_back(bits[i]);
+    }
+    col = std::move(next);
+    ++round;
+  }
+
+  // Final two rows: carry-propagate with a Kogge-Stone-style prefix over
+  // the 2n-bit width. Build operand vectors (missing bits = const 0).
+  const NetId zero = b.const0();
+  std::vector<NetId> x(2 * n, zero), y(2 * n, zero);
+  for (std::size_t w = 0; w < 2 * n; ++w) {
+    SLM_ASSERT(col[w].size() <= 2, "wallace reduction did not converge");
+    if (!col[w].empty()) x[w] = col[w][0];
+    if (col[w].size() == 2) y[w] = col[w][1];
+  }
+  std::vector<NetId> g(2 * n), p(2 * n), pxor(2 * n);
+  for (std::size_t i = 0; i < 2 * n; ++i) {
+    g[i] = b.gate(GateType::kAnd, {x[i], y[i]}, "fg" + std::to_string(i),
+                  opt.gate_delay_ns);
+    p[i] = b.gate(GateType::kXor, {x[i], y[i]}, "fp" + std::to_string(i),
+                  opt.gate_delay_ns);
+    pxor[i] = p[i];
+  }
+  for (std::size_t d = 1; d < 2 * n; d <<= 1) {
+    std::vector<NetId> ng = g, np = p;
+    for (std::size_t i = d; i < 2 * n; ++i) {
+      const std::string tag =
+          "fl" + std::to_string(d) + "_" + std::to_string(i);
+      const NetId t = b.gate(GateType::kAnd, {p[i], g[i - d]}, tag + ".t",
+                             opt.gate_delay_ns);
+      ng[i] = b.gate(GateType::kOr, {g[i], t}, tag + ".g",
+                     opt.gate_delay_ns);
+      np[i] = b.gate(GateType::kAnd, {p[i], p[i - d]}, tag + ".p",
+                     opt.gate_delay_ns);
+    }
+    g = std::move(ng);
+    p = std::move(np);
+  }
+  std::vector<NetId> out(2 * n);
+  out[0] = b.gate(GateType::kBuf, {pxor[0]}, "o0", opt.gate_delay_ns);
+  for (std::size_t i = 1; i < 2 * n; ++i) {
+    out[i] = b.gate(GateType::kXor, {pxor[i], g[i - 1]},
+                    "o" + std::to_string(i), opt.gate_delay_ns);
+  }
+  b.output_bus(out, "p");
+  return b.take();
+}
+
+BitVec pack_wallace_inputs(const WallaceOptions& opt, std::uint64_t a,
+                           std::uint64_t b) {
+  SLM_REQUIRE(opt.operand_width <= 32, "pack_wallace_inputs: width > 32");
+  BitVec in(2 * opt.operand_width);
+  for (std::size_t i = 0; i < opt.operand_width; ++i) {
+    in.set(i, ((a >> i) & 1) != 0);
+    in.set(opt.operand_width + i, ((b >> i) & 1) != 0);
+  }
+  return in;
+}
+
+Netlist make_barrel_shifter(const BarrelShifterOptions& opt) {
+  const std::size_t n = opt.width;
+  SLM_REQUIRE(is_pow2(n) && n >= 2, "barrel: width must be a power of two");
+  const std::size_t stages = log2_of(n);
+  Builder b("barrel" + std::to_string(n));
+
+  const auto d_in = b.input_bus("d", n);
+  const auto s_in = b.input_bus("s", stages);
+
+  std::vector<NetId> cur(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cur[i] = b.gate(GateType::kBuf, {d_in[i]}, "d_rt" + std::to_string(i),
+                    opt.input_routing_delay_ns);
+  }
+  for (std::size_t st = 0; st < stages; ++st) {
+    const std::size_t amount = std::size_t{1} << st;
+    std::vector<NetId> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Left-rotate: output i takes input (i - amount) mod n when the
+      // stage's select bit is set.
+      const NetId rotated = cur[(i + n - amount) % n];
+      next[i] = b.gate(GateType::kMux2, {cur[i], rotated, s_in[st]},
+                       "st" + std::to_string(st) + "_" + std::to_string(i),
+                       opt.mux_delay_ns);
+    }
+    cur = std::move(next);
+  }
+  b.output_bus(cur, "q");
+  return b.take();
+}
+
+BitVec pack_barrel_inputs(const BarrelShifterOptions& opt, std::uint64_t data,
+                          std::uint64_t shift) {
+  SLM_REQUIRE(opt.width <= 64, "pack_barrel_inputs: width > 64");
+  const std::size_t stages = log2_of(opt.width);
+  BitVec in(opt.width + stages);
+  for (std::size_t i = 0; i < opt.width; ++i) {
+    in.set(i, ((data >> i) & 1) != 0);
+  }
+  for (std::size_t i = 0; i < stages; ++i) {
+    in.set(opt.width + i, ((shift >> i) & 1) != 0);
+  }
+  return in;
+}
+
+}  // namespace slm::netlist

@@ -1,0 +1,62 @@
+// Fast (log-depth) datapath generators: a Kogge-Stone prefix adder, a
+// Wallace-tree multiplier and a barrel shifter.
+//
+// These are the counter-examples to the paper's benign sensors: their
+// short, balanced paths settle long before even an aggressive overclock
+// edge, so they expose (almost) no voltage-sensitive endpoints. The
+// circuit-suitability survey bench uses them to show that the attack
+// preys specifically on long chains — ripple carries, array multipliers —
+// and that latency-optimised implementations are intrinsically harder to
+// misuse.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+#include "netlist/netlist.hpp"
+
+namespace slm::netlist {
+
+struct KoggeStoneOptions {
+  std::size_t width = 64;
+  double gate_delay_ns = 0.070;          ///< prefix-cell gate delay
+  double input_routing_delay_ns = 0.45;  ///< same front end as the RCA
+};
+
+/// Kogge-Stone parallel-prefix adder. Inputs: a[w], b[w]; outputs:
+/// sum[w], cout. Depth O(log2 w) instead of the ripple adder's O(w).
+Netlist make_kogge_stone_adder(const KoggeStoneOptions& opt);
+
+/// Pack operands (width <= 64).
+BitVec pack_ks_inputs(const KoggeStoneOptions& opt, std::uint64_t a,
+                      std::uint64_t b);
+
+struct WallaceOptions {
+  std::size_t operand_width = 16;
+  double gate_delay_ns = 0.070;
+  double and_delay_ns = 0.050;
+  double input_routing_delay_ns = 0.30;
+};
+
+/// Wallace-tree multiplier: same function as the Braun/C6288 array, but
+/// with logarithmic-depth carry-save reduction and a Kogge-Stone final
+/// adder. Inputs a[n], b[n]; outputs p[2n].
+Netlist make_wallace_multiplier(const WallaceOptions& opt);
+
+BitVec pack_wallace_inputs(const WallaceOptions& opt, std::uint64_t a,
+                           std::uint64_t b);
+
+struct BarrelShifterOptions {
+  std::size_t width = 64;  ///< power of two
+  double mux_delay_ns = 0.070;
+  double input_routing_delay_ns = 0.30;
+};
+
+/// Logarithmic barrel rotator (left-rotate by `shift`). Inputs: d[w],
+/// s[log2 w]; outputs q[w]. Depth log2(w) muxes.
+Netlist make_barrel_shifter(const BarrelShifterOptions& opt);
+
+BitVec pack_barrel_inputs(const BarrelShifterOptions& opt, std::uint64_t data,
+                          std::uint64_t shift);
+
+}  // namespace slm::netlist

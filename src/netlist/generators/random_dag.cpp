@@ -1,0 +1,53 @@
+#include "netlist/generators/random_dag.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "netlist/builder.hpp"
+
+namespace slm::netlist {
+
+Netlist make_random_dag(const RandomDagOptions& opt) {
+  SLM_REQUIRE(opt.inputs >= 1 && opt.gates >= 1 && opt.outputs >= 1,
+              "random_dag: empty dimensions");
+  SLM_REQUIRE(opt.min_delay_ns > 0 && opt.max_delay_ns >= opt.min_delay_ns,
+              "random_dag: bad delay range");
+  Xoshiro256 rng(opt.seed);
+  Builder b("rand" + std::to_string(opt.seed));
+
+  std::vector<NetId> nets;
+  for (std::size_t i = 0; i < opt.inputs; ++i) {
+    nets.push_back(b.input("i" + std::to_string(i)));
+  }
+
+  static constexpr GateType kTypes[] = {
+      GateType::kAnd, GateType::kOr,  GateType::kNand, GateType::kNor,
+      GateType::kXor, GateType::kXnor, GateType::kNot, GateType::kBuf,
+  };
+  std::vector<NetId> logic;
+  for (std::size_t g = 0; g < opt.gates; ++g) {
+    const GateType type =
+        kTypes[rng.uniform_int(sizeof kTypes / sizeof kTypes[0])];
+    const double delay = rng.uniform(opt.min_delay_ns, opt.max_delay_ns);
+    std::vector<NetId> fanin;
+    const std::size_t arity =
+        (type == GateType::kNot || type == GateType::kBuf) ? 1 : 2;
+    for (std::size_t f = 0; f < arity; ++f) {
+      fanin.push_back(nets[rng.uniform_int(nets.size())]);
+    }
+    const NetId id =
+        b.gate(type, std::move(fanin), "g" + std::to_string(g), delay);
+    nets.push_back(id);
+    logic.push_back(id);
+  }
+
+  // Outputs from the tail of the gate list (deep nets preferred).
+  const std::size_t span = std::min(logic.size(), opt.outputs * 3);
+  for (std::size_t o = 0; o < opt.outputs; ++o) {
+    const std::size_t idx =
+        logic.size() - 1 - rng.uniform_int(span);
+    b.output(logic[idx], "o" + std::to_string(o));
+  }
+  return b.take();
+}
+
+}  // namespace slm::netlist

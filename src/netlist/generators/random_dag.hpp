@@ -1,0 +1,29 @@
+// Random combinational DAG generator — the fuzzing substrate for the
+// cross-module property tests (evaluator vs timed simulation vs STA vs
+// .bench round trips) and a stand-in for "whatever circuit the tenant
+// happens to deploy" in attack-surface studies.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace slm::netlist {
+
+struct RandomDagOptions {
+  std::size_t inputs = 8;
+  std::size_t gates = 64;
+  std::size_t outputs = 8;  ///< sampled from the last gates
+  std::uint64_t seed = 1;
+
+  /// Delay range for each gate (uniform), ns.
+  double min_delay_ns = 0.02;
+  double max_delay_ns = 0.15;
+};
+
+/// Build a random acyclic netlist: each gate draws a type from the
+/// two-input .bench-compatible set (plus NOT/BUF) and fans in uniformly
+/// from earlier nets, so every draw is a legal DAG by construction.
+Netlist make_random_dag(const RandomDagOptions& opt);
+
+}  // namespace slm::netlist

@@ -1,0 +1,64 @@
+#include "netlist/generators/suspicious.hpp"
+
+#include "common/error.hpp"
+#include "netlist/builder.hpp"
+
+namespace slm::netlist {
+
+Netlist make_ring_oscillator(const RingOscillatorOptions& opt) {
+  // Oscillation requires an odd number of inversions around the loop; the
+  // enable NAND contributes one.
+  const std::size_t inversions =
+      opt.inverter_stages + (opt.with_enable ? 1 : 0);
+  SLM_REQUIRE(inversions % 2 == 1,
+              "ring oscillator: total inversions around the loop must be odd");
+
+  Builder b("ro" + std::to_string(opt.inverter_stages));
+
+  // Build the chain against a placeholder feedback net, then close the
+  // loop by rewiring.
+  const NetId placeholder = b.const0();
+  NetId head = kInvalidNet;
+  std::size_t feedback_pin = 0;
+  NetId prev = placeholder;
+  if (opt.with_enable) {
+    const NetId enable = b.input("en");
+    head = b.nand2(enable, placeholder, "ro.en_nand");
+    feedback_pin = 1;
+    prev = head;
+  }
+  for (std::size_t i = 0; i < opt.inverter_stages; ++i) {
+    const NetId inv = b.not_(prev == placeholder && i == 0 && !opt.with_enable
+                                 ? placeholder
+                                 : prev,
+                             "ro.inv" + std::to_string(i));
+    if (head == kInvalidNet) {
+      head = inv;
+      feedback_pin = 0;
+    }
+    prev = inv;
+  }
+  b.output(prev, "tap");
+
+  Netlist nl = b.take();
+  nl.rewire_fanin(head, feedback_pin, prev);
+  return nl;
+}
+
+Netlist make_tdc_line(const TdcLineOptions& opt) {
+  SLM_REQUIRE(opt.stages >= 1, "tdc line needs >= 1 stage");
+  Builder b("tdc" + std::to_string(opt.stages));
+
+  const NetId launch =
+      opt.clock_as_data ? b.input("clk_launch", /*is_clock=*/true)
+                        : b.input("launch");
+  NetId prev = launch;
+  for (std::size_t i = 0; i < opt.stages; ++i) {
+    prev = b.gate(GateType::kBuf, {prev}, "dl" + std::to_string(i),
+                  opt.stage_delay_ns);
+    b.output(prev, "tap[" + std::to_string(i) + "]");
+  }
+  return b.take();
+}
+
+}  // namespace slm::netlist

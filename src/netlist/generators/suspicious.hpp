@@ -1,0 +1,34 @@
+// Generators for the *conspicuous* sensor circuits of prior work — ring
+// oscillators (Zhao & Suh style) and TDC delay lines (Schellenberg et al.
+// style). The library builds them for two reasons: as reference sensors in
+// the figure benches, and as positive samples for the bitstream checker
+// (they must be flagged while the benign ALU/C6288 pass).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace slm::netlist {
+
+struct RingOscillatorOptions {
+  /// Inverters in the loop. Together with the enable NAND (one inversion)
+  /// the loop must contain an odd number of inversions to oscillate.
+  std::size_t inverter_stages = 2;
+  bool with_enable = true;  ///< NAND enable gate in the loop
+};
+
+/// Build one RO. Contains a combinational cycle by construction: the
+/// evaluator rejects it, the checker must detect it. Output: the loop tap.
+Netlist make_ring_oscillator(const RingOscillatorOptions& opt);
+
+struct TdcLineOptions {
+  std::size_t stages = 64;        ///< delay-line length (= sensor bits)
+  double stage_delay_ns = 0.028;  ///< CARRY4-ish per-stage delay
+  bool clock_as_data = true;      ///< feed the launch clock into the line
+};
+
+/// Build a TDC delay line netlist: a clock-driven buffer chain with every
+/// stage tapped to a capture endpoint. The "clock used as data" property
+/// is what FPGADefender-style checkers look for.
+Netlist make_tdc_line(const TdcLineOptions& opt);
+
+}  // namespace slm::netlist

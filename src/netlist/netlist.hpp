@@ -1,0 +1,104 @@
+// Core netlist data structure.
+//
+// A Netlist is a DAG (cycles are representable but rejected by everything
+// except the bitstream checker, which hunts for them) of gates. Every gate
+// drives exactly one net; NetId is the index of the driving gate, so nets
+// and gates share an id space. Primary inputs are gates of type kInput;
+// primary outputs are designated nets — in this library they model the D
+// pins of capture flip-flops, i.e. the "path endpoints" of the paper.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace slm::netlist {
+
+using NetId = std::uint32_t;
+constexpr NetId kInvalidNet = std::numeric_limits<NetId>::max();
+
+/// One gate instance. `fanin` lists driver nets in positional order.
+struct Gate {
+  GateType type = GateType::kInput;
+  std::vector<NetId> fanin;
+  double delay_ns = 0.0;   ///< intrinsic delay at nominal voltage
+  std::string name;        ///< optional instance/net name
+  bool is_clock = false;   ///< net carries a clock (inputs only; propagated
+                           ///< by the bitstream checker, not stored here)
+};
+
+/// Named primary output (capture endpoint).
+struct OutputPort {
+  NetId net = kInvalidNet;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction (normally via Builder) -------------------------------
+  NetId add_gate(Gate g);
+  void add_output(NetId net, std::string name);
+
+  /// Replace a gate's fanin net (used by generators when stitching).
+  void rewire_fanin(NetId gate, std::size_t pin, NetId new_driver);
+
+  // --- access -------------------------------------------------------------
+  std::size_t gate_count() const { return gates_.size(); }
+  const Gate& gate(NetId id) const;
+  Gate& gate_mut(NetId id);
+
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<OutputPort>& outputs() const { return outputs_; }
+
+  /// Output net ids in declaration order.
+  std::vector<NetId> output_nets() const;
+
+  // --- structure analysis ---------------------------------------------------
+  /// Topological order of all gates (inputs first). Throws slm::Error if
+  /// the netlist has a combinational cycle.
+  std::vector<NetId> topo_order() const;
+
+  /// True if the netlist contains at least one combinational cycle.
+  bool has_combinational_cycle() const;
+
+  /// Gates on some combinational cycle (empty if acyclic).
+  std::vector<NetId> gates_on_cycles() const;
+
+  /// Logic level per gate (inputs/consts = 0), requires acyclic.
+  std::vector<std::uint32_t> levels() const;
+
+  /// Fanout count per net.
+  std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Number of gates excluding inputs and constants.
+  std::size_t logic_gate_count() const;
+
+  /// Basic structural summary for logs and docs.
+  struct Stats {
+    std::size_t inputs = 0;
+    std::size_t outputs = 0;
+    std::size_t gates = 0;        // logic gates only
+    std::size_t max_level = 0;    // 0 when cyclic (not computed)
+    bool cyclic = false;
+  };
+  Stats stats() const;
+
+ private:
+  // Kahn's algorithm; returns processed order and count.
+  std::vector<NetId> kahn_order(std::size_t* processed) const;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<OutputPort> outputs_;
+};
+
+}  // namespace slm::netlist

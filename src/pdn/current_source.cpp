@@ -1,0 +1,42 @@
+#include "pdn/current_source.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace slm::pdn {
+
+RoGridAggressor::RoGridAggressor(const RoGridConfig& cfg) : cfg_(cfg) {
+  SLM_REQUIRE(cfg_.ro_count > 0, "RoGridAggressor: zero ROs");
+  SLM_REQUIRE(cfg_.toggle_freq_mhz > 0, "RoGridAggressor: bad frequency");
+  SLM_REQUIRE(cfg_.ramp_fraction > 0 && cfg_.ramp_fraction <= 1.0,
+              "RoGridAggressor: ramp fraction out of (0, 1]");
+}
+
+double RoGridAggressor::max_current_a() const {
+  return static_cast<double>(cfg_.ro_count) * cfg_.current_per_ro_a;
+}
+
+double RoGridAggressor::current_at(double t_ns, double enable_at_ns) const {
+  if (t_ns < enable_at_ns) return 0.0;
+  const double period_ns = 1000.0 / cfg_.toggle_freq_mhz;
+  const double phase = std::fmod(t_ns - enable_at_ns, period_ns) / period_ns;
+  const double ramp_end = cfg_.ramp_fraction;
+  if (phase < ramp_end) {
+    // Gradual enable: linear ramp to the full grid current.
+    return max_current_a() * (phase / ramp_end);
+  }
+  // Sudden disable: everything off for the rest of the period.
+  return 0.0;
+}
+
+std::vector<double> RoGridAggressor::sequence(std::size_t n, double dt_ns,
+                                              double enable_at_ns) const {
+  std::vector<double> seq(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    seq[k] = current_at(static_cast<double>(k) * dt_ns, enable_at_ns);
+  }
+  return seq;
+}
+
+}  // namespace slm::pdn

@@ -1,0 +1,76 @@
+#include "pdn/cycle_response.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace slm::pdn {
+
+CycleResponseMatrix CycleResponseMatrix::build(
+    const PdnConfig& cfg, const std::vector<double>& sample_times_ns,
+    const std::vector<double>& cycle_starts_ns, double cycle_len_ns) {
+  SLM_REQUIRE(!sample_times_ns.empty(), "CycleResponseMatrix: no samples");
+  SLM_REQUIRE(!cycle_starts_ns.empty(), "CycleResponseMatrix: no cycles");
+  SLM_REQUIRE(cycle_len_ns > 0, "CycleResponseMatrix: bad cycle length");
+  SLM_REQUIRE(std::is_sorted(sample_times_ns.begin(), sample_times_ns.end()),
+              "CycleResponseMatrix: sample times must be sorted");
+
+  CycleResponseMatrix crm;
+  crm.sample_times_ = sample_times_ns;
+  crm.cycle_starts_ = cycle_starts_ns;
+  crm.m_.assign(sample_times_ns.size() * cycle_starts_ns.size(), 0.0);
+
+  RlcPdn probe(cfg);
+  crm.v_dc_ = probe.dc_voltage(cfg.idle_current_a);
+
+  const double t_end = sample_times_ns.back() + cfg.dt_ns;
+
+  for (std::size_t c = 0; c < cycle_starts_ns.size(); ++c) {
+    RlcPdn pdn(cfg);
+    const double t_on = cycle_starts_ns[c];
+    const double t_off = t_on + cycle_len_ns;
+
+    std::size_t next_sample = 0;
+    // Step across the window; record v - v_dc at each sample instant
+    // (nearest-step sampling is fine: dt << sample spacing).
+    for (double t = 0.0; t <= t_end && next_sample < sample_times_ns.size();
+         t += cfg.dt_ns) {
+      const double i = (t >= t_on && t < t_off) ? 1.0 : 0.0;
+      const double v = pdn.step(i);
+      if (t + cfg.dt_ns > sample_times_ns[next_sample]) {
+        crm.m_[next_sample * cycle_starts_ns.size() + c] = v - crm.v_dc_;
+        ++next_sample;
+      }
+    }
+  }
+  return crm;
+}
+
+double CycleResponseMatrix::voltage_at(
+    std::size_t sample, const std::vector<double>& i_cycles) const {
+  SLM_REQUIRE(sample < sample_times_.size(), "voltage_at: bad sample");
+  SLM_REQUIRE(i_cycles.size() == cycle_starts_.size(),
+              "voltage_at: cycle current count mismatch");
+  const double* row = &m_[sample * cycle_starts_.size()];
+  double dv = 0.0;
+  for (std::size_t c = 0; c < i_cycles.size(); ++c) dv += row[c] * i_cycles[c];
+  return v_dc_ + dv;
+}
+
+void CycleResponseMatrix::voltages(const std::vector<double>& i_cycles,
+                                   std::vector<double>& out) const {
+  out.resize(sample_times_.size());
+  for (std::size_t s = 0; s < sample_times_.size(); ++s) {
+    out[s] = voltage_at(s, i_cycles);
+  }
+}
+
+double CycleResponseMatrix::response(std::size_t sample,
+                                     std::size_t cycle) const {
+  SLM_REQUIRE(sample < sample_times_.size() && cycle < cycle_starts_.size(),
+              "response: index out of range");
+  return m_[sample * cycle_starts_.size() + cycle];
+}
+
+}  // namespace slm::pdn

@@ -1,0 +1,68 @@
+#include "pdn/rlc.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace slm::pdn {
+
+RlcPdn::RlcPdn(const PdnConfig& cfg) : cfg_(cfg) {
+  SLM_REQUIRE(cfg_.r_ohm > 0 && cfg_.l_h > 0 && cfg_.c_f > 0,
+              "RlcPdn: R, L, C must be positive");
+  SLM_REQUIRE(cfg_.dt_ns > 0, "RlcPdn: dt must be positive");
+  // Stability guard: RK4 needs dt well below the resonance period.
+  const double t_res_ns =
+      units::s_to_ns(2.0 * M_PI * std::sqrt(cfg_.l_h * cfg_.c_f));
+  SLM_REQUIRE(cfg_.dt_ns < t_res_ns / 20.0,
+              "RlcPdn: dt too coarse for the configured L and C");
+  reset();
+}
+
+void RlcPdn::reset() {
+  v_ = dc_voltage(cfg_.idle_current_a);
+  il_ = cfg_.idle_current_a;
+}
+
+double RlcPdn::step(double extra_load_a) {
+  const double i_load = cfg_.idle_current_a + extra_load_a;
+  const double dt = units::ns_to_s(cfg_.dt_ns);
+
+  // State y = (v, il); y' = f(y).
+  const auto f = [&](double v, double il, double& dv, double& dil) {
+    dv = (il - i_load) / cfg_.c_f;
+    dil = (cfg_.vreg - v - cfg_.r_ohm * il) / cfg_.l_h;
+  };
+
+  double k1v, k1i, k2v, k2i, k3v, k3i, k4v, k4i;
+  f(v_, il_, k1v, k1i);
+  f(v_ + 0.5 * dt * k1v, il_ + 0.5 * dt * k1i, k2v, k2i);
+  f(v_ + 0.5 * dt * k2v, il_ + 0.5 * dt * k2i, k3v, k3i);
+  f(v_ + dt * k3v, il_ + dt * k3i, k4v, k4i);
+
+  v_ += dt / 6.0 * (k1v + 2 * k2v + 2 * k3v + k4v);
+  il_ += dt / 6.0 * (k1i + 2 * k2i + 2 * k3i + k4i);
+  return v_;
+}
+
+std::vector<double> RlcPdn::run(const std::vector<double>& extra_load_a) {
+  std::vector<double> out;
+  out.reserve(extra_load_a.size());
+  for (double i : extra_load_a) out.push_back(step(i));
+  return out;
+}
+
+double RlcPdn::dc_voltage(double total_load_a) const {
+  return cfg_.vreg - cfg_.r_ohm * total_load_a;
+}
+
+double RlcPdn::damping_ratio() const {
+  return cfg_.r_ohm / 2.0 * std::sqrt(cfg_.c_f / cfg_.l_h);
+}
+
+double RlcPdn::resonance_mhz() const {
+  const double f_hz = 1.0 / (2.0 * M_PI * std::sqrt(cfg_.l_h * cfg_.c_f));
+  return f_hz / 1e6;
+}
+
+}  // namespace slm::pdn

@@ -1,0 +1,99 @@
+#include "sca/cpa.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace slm::sca {
+
+CpaEngine::CpaEngine(std::size_t guess_count, std::size_t sample_count)
+    : guesses_(guess_count),
+      samples_(sample_count),
+      sum_y_(sample_count, 0.0),
+      sum_yy_(sample_count, 0.0),
+      sum_h_(guess_count, 0.0),
+      sum_hy_(guess_count * sample_count, 0.0) {
+  SLM_REQUIRE(guess_count > 0 && sample_count > 0,
+              "CpaEngine: empty dimensions");
+}
+
+void CpaEngine::add_trace(const std::vector<std::uint8_t>& h,
+                          const std::vector<double>& y) {
+  SLM_REQUIRE(h.size() == guesses_, "CpaEngine: hypothesis count mismatch");
+  SLM_REQUIRE(y.size() == samples_, "CpaEngine: sample count mismatch");
+  ++n_;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    sum_y_[s] += y[s];
+    sum_yy_[s] += y[s] * y[s];
+  }
+  for (std::size_t k = 0; k < guesses_; ++k) {
+    if (h[k]) {
+      sum_h_[k] += 1.0;
+      double* row = &sum_hy_[k * samples_];
+      for (std::size_t s = 0; s < samples_; ++s) row[s] += y[s];
+    }
+  }
+}
+
+double CpaEngine::correlation(std::size_t guess, std::size_t sample) const {
+  SLM_REQUIRE(guess < guesses_ && sample < samples_,
+              "CpaEngine::correlation: index out of range");
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double sh = sum_h_[guess];
+  const double sy = sum_y_[sample];
+  const double cov = n * sum_hy_[guess * samples_ + sample] - sh * sy;
+  const double var_h = n * sh - sh * sh;  // h is binary: sum_hh == sum_h
+  const double var_y = n * sum_yy_[sample] - sy * sy;
+  const double denom = std::sqrt(var_h * var_y);
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+std::vector<double> CpaEngine::max_abs_correlation() const {
+  std::vector<double> out(guesses_, 0.0);
+  for (std::size_t k = 0; k < guesses_; ++k) {
+    double best = 0.0;
+    for (std::size_t s = 0; s < samples_; ++s) {
+      const double r = std::abs(correlation(k, s));
+      if (r > best) best = r;
+    }
+    out[k] = best;
+  }
+  return out;
+}
+
+std::size_t CpaEngine::best_guess() const {
+  return argmax(max_abs_correlation());
+}
+
+std::size_t CpaEngine::rank_of(std::size_t guess) const {
+  SLM_REQUIRE(guess < guesses_, "CpaEngine::rank_of: out of range");
+  const auto corr = max_abs_correlation();
+  std::size_t rank = 0;
+  for (std::size_t k = 0; k < guesses_; ++k) {
+    if (k != guess && corr[k] > corr[guess]) ++rank;
+  }
+  return rank;
+}
+
+CpaProgressPoint snapshot_progress(const CpaEngine& engine,
+                                   std::size_t correct_guess) {
+  CpaProgressPoint p;
+  p.traces = engine.trace_count();
+  p.max_abs_corr = engine.max_abs_correlation();
+  p.best_guess = argmax(p.max_abs_corr);
+  p.correct_corr = p.max_abs_corr[correct_guess];
+  std::size_t rank = 0;
+  double best_wrong = 0.0;
+  for (std::size_t k = 0; k < p.max_abs_corr.size(); ++k) {
+    if (k == correct_guess) continue;
+    if (p.max_abs_corr[k] > p.correct_corr) ++rank;
+    if (p.max_abs_corr[k] > best_wrong) best_wrong = p.max_abs_corr[k];
+  }
+  p.correct_rank = rank;
+  p.best_wrong_corr = best_wrong;
+  return p;
+}
+
+}  // namespace slm::sca

@@ -1,0 +1,37 @@
+#include "sca/model.hpp"
+
+#include "common/error.hpp"
+
+namespace slm::sca {
+
+LastRoundBitModel::LastRoundBitModel(std::size_t guessed_key_byte,
+                                     std::size_t bit)
+    : g_(guessed_key_byte),
+      bit_(bit),
+      q_(crypto::Aes128::inv_shift_rows_pos(guessed_key_byte)) {
+  SLM_REQUIRE(g_ < 16, "LastRoundBitModel: key byte out of range");
+  SLM_REQUIRE(bit_ < 8, "LastRoundBitModel: bit out of range");
+}
+
+std::uint8_t LastRoundBitModel::hypothesis(const crypto::Block& ct,
+                                           std::uint8_t guess) const {
+  const std::uint8_t state9 = crypto::Aes128::inv_sbox(
+      static_cast<std::uint8_t>(ct[g_] ^ guess));
+  const std::uint8_t flip = static_cast<std::uint8_t>(state9 ^ ct[q_]);
+  return static_cast<std::uint8_t>((flip >> bit_) & 1);
+}
+
+void LastRoundBitModel::hypotheses(const crypto::Block& ct,
+                                   std::vector<std::uint8_t>& out) const {
+  out.resize(256);
+  const std::uint8_t ct_g = ct[g_];
+  const std::uint8_t ct_q = ct[q_];
+  for (std::size_t k = 0; k < 256; ++k) {
+    const std::uint8_t state9 = crypto::Aes128::inv_sbox(
+        static_cast<std::uint8_t>(ct_g ^ static_cast<std::uint8_t>(k)));
+    out[k] = static_cast<std::uint8_t>(
+        ((state9 ^ ct_q) >> bit_) & 1);
+  }
+}
+
+}  // namespace slm::sca

@@ -1,0 +1,51 @@
+// CPA hypothesis model: single-bit register-flip prediction before the
+// final S-box, as used by the paper ("textbook CPA using a single bit
+// mask model before the final SBox computation", following Schellenberg
+// et al., DATE'18).
+//
+// In the last AES round the state register at position q flips from
+// state9[q] to ct[q], and state9[q] = InvSbox(ct[g] ^ k10[g]) with
+// g = ShiftRows(q). The hypothesis for key guess k is therefore one bit
+// of InvSbox(ct[g] ^ k) ^ ct[q] — a single predicted register bit flip,
+// which is a one-bit slice of the column's Hamming-distance leakage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+
+namespace slm::sca {
+
+class LastRoundBitModel {
+ public:
+  /// `guessed_key_byte` g is the index into the last round key (the paper
+  /// attacks g = 3, "the 4th byte"); `bit` is the predicted state-flip
+  /// bit ("1st bit" = 0).
+  LastRoundBitModel(std::size_t guessed_key_byte, std::size_t bit);
+
+  std::size_t guessed_key_byte() const { return g_; }
+  std::size_t bit() const { return bit_; }
+
+  /// Register/state position whose flip is predicted (= InvShiftRows(g)).
+  std::size_t register_position() const { return q_; }
+
+  /// Hypothesis bit for one key guess.
+  std::uint8_t hypothesis(const crypto::Block& ct, std::uint8_t guess) const;
+
+  /// All 256 hypotheses for a ciphertext (resizes `out` to 256).
+  void hypotheses(const crypto::Block& ct,
+                  std::vector<std::uint8_t>& out) const;
+
+  /// The correct guess given the true last round key.
+  std::uint8_t correct_guess(const crypto::Block& last_round_key) const {
+    return last_round_key[g_];
+  }
+
+ private:
+  std::size_t g_;
+  std::size_t bit_;
+  std::size_t q_;
+};
+
+}  // namespace slm::sca

@@ -1,0 +1,26 @@
+#include "sca/mtd.hpp"
+
+namespace slm::sca {
+
+MtdResult estimate_mtd(const std::vector<CpaProgressPoint>& progress) {
+  MtdResult result;
+  if (progress.empty()) return result;
+
+  const auto& last = progress.back();
+  result.final_margin = last.correct_corr - last.best_wrong_corr;
+  if (last.correct_rank != 0) return result;  // never stably disclosed
+
+  // Walk backwards: find the earliest suffix where rank stays 0.
+  std::size_t first_stable = progress.size() - 1;
+  for (std::size_t i = progress.size(); i-- > 0;) {
+    if (progress[i].correct_rank == 0) {
+      first_stable = i;
+    } else {
+      break;
+    }
+  }
+  result.traces = progress[first_stable].traces;
+  return result;
+}
+
+}  // namespace slm::sca

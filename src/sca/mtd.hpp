@@ -1,0 +1,28 @@
+// Measurements-to-disclosure estimation from CPA progress checkpoints:
+// the earliest checkpoint after which the correct guess never loses the
+// lead again. This matches how the paper reads its Fig. 9b-18b progress
+// plots ("the correct key is revealed after about N traces").
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sca/cpa.hpp"
+
+namespace slm::sca {
+
+struct MtdResult {
+  /// Traces at the stable-disclosure checkpoint; nullopt if the correct
+  /// guess is not leading at the final checkpoint.
+  std::optional<std::size_t> traces;
+
+  /// Margin (correct - best wrong correlation) at the final checkpoint.
+  double final_margin = 0.0;
+
+  bool disclosed() const { return traces.has_value(); }
+};
+
+MtdResult estimate_mtd(const std::vector<CpaProgressPoint>& progress);
+
+}  // namespace slm::sca

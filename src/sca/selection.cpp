@@ -1,0 +1,98 @@
+#include "sca/selection.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace slm::sca {
+
+BitSelector::BitSelector(std::size_t bit_count) : ones_(bit_count, 0) {
+  SLM_REQUIRE(bit_count > 0, "BitSelector: zero bits");
+}
+
+void BitSelector::add(const BitVec& toggle_word) {
+  SLM_REQUIRE(toggle_word.size() == ones_.size(),
+              "BitSelector::add: word width mismatch");
+  ++samples_;
+  for (std::size_t i = 0; i < ones_.size(); ++i) {
+    if (toggle_word.get(i)) ++ones_[i];
+  }
+}
+
+BitStat BitSelector::stat(std::size_t i) const {
+  SLM_REQUIRE(i < ones_.size(), "BitSelector::stat: out of range");
+  BitStat s;
+  s.index = i;
+  s.ones = ones_[i];
+  s.samples = samples_;
+  if (samples_ > 0) {
+    s.mean = static_cast<double>(ones_[i]) / static_cast<double>(samples_);
+    s.variance = s.mean * (1.0 - s.mean);
+  }
+  return s;
+}
+
+std::vector<BitStat> BitSelector::stats() const {
+  std::vector<BitStat> out;
+  out.reserve(ones_.size());
+  for (std::size_t i = 0; i < ones_.size(); ++i) out.push_back(stat(i));
+  return out;
+}
+
+std::vector<std::size_t> BitSelector::fluctuating_bits() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ones_.size(); ++i) {
+    if (ones_[i] > 0 && ones_[i] < samples_) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> BitSelector::bits_of_interest(
+    double min_variance) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < ones_.size(); ++i) {
+    if (stat(i).variance >= min_variance) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t BitSelector::highest_variance_bit() const {
+  SLM_REQUIRE(samples_ > 0, "BitSelector: no samples yet");
+  std::size_t best = 0;
+  double best_var = -1.0;
+  for (std::size_t i = 0; i < ones_.size(); ++i) {
+    const double v = stat(i).variance;
+    if (v > best_var) {
+      best_var = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<double> BitSelector::variances() const {
+  std::vector<double> out(ones_.size());
+  for (std::size_t i = 0; i < ones_.size(); ++i) out[i] = stat(i).variance;
+  return out;
+}
+
+std::size_t hamming_weight_over(const BitVec& word,
+                                const std::vector<std::size_t>& bits) {
+  std::size_t hw = 0;
+  for (std::size_t i : bits) {
+    if (word.get(i)) ++hw;
+  }
+  return hw;
+}
+
+double subset_fraction(const std::vector<std::size_t>& subset,
+                       const std::vector<std::size_t>& superset) {
+  if (subset.empty()) return 1.0;
+  std::size_t contained = 0;
+  for (std::size_t x : subset) {
+    if (std::binary_search(superset.begin(), superset.end(), x)) ++contained;
+  }
+  return static_cast<double>(contained) / static_cast<double>(subset.size());
+}
+
+}  // namespace slm::sca

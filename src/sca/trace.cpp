@@ -1,0 +1,90 @@
+#include "sca/trace.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace slm::sca {
+
+void TraceSet::add(std::vector<double> samples, const crypto::Block& plaintext,
+                   const crypto::Block& ciphertext) {
+  if (samples_per_trace_ == 0 && traces_.empty()) {
+    samples_per_trace_ = samples.size();
+  }
+  SLM_REQUIRE(samples.size() == samples_per_trace_,
+              "TraceSet::add: sample count mismatch");
+  traces_.push_back(std::move(samples));
+  plaintexts_.push_back(plaintext);
+  ciphertexts_.push_back(ciphertext);
+}
+
+const std::vector<double>& TraceSet::trace(std::size_t i) const {
+  SLM_REQUIRE(i < traces_.size(), "TraceSet::trace: out of range");
+  return traces_[i];
+}
+
+const crypto::Block& TraceSet::plaintext(std::size_t i) const {
+  SLM_REQUIRE(i < plaintexts_.size(), "TraceSet::plaintext: out of range");
+  return plaintexts_[i];
+}
+
+const crypto::Block& TraceSet::ciphertext(std::size_t i) const {
+  SLM_REQUIRE(i < ciphertexts_.size(), "TraceSet::ciphertext: out of range");
+  return ciphertexts_[i];
+}
+
+std::vector<double> TraceSet::sample_variances() const {
+  std::vector<OnlineMeanVar> acc(samples_per_trace_);
+  for (const auto& t : traces_) {
+    for (std::size_t s = 0; s < samples_per_trace_; ++s) acc[s].add(t[s]);
+  }
+  std::vector<double> out(samples_per_trace_);
+  for (std::size_t s = 0; s < samples_per_trace_; ++s) {
+    out[s] = acc[s].variance();
+  }
+  return out;
+}
+
+void TraceSet::save_csv(std::ostream& os) const {
+  CsvWriter w(os);
+  std::vector<std::string> header{"plaintext", "ciphertext"};
+  for (std::size_t s = 0; s < samples_per_trace_; ++s) {
+    header.push_back("s" + std::to_string(s));
+  }
+  w.write_header(header);
+  for (std::size_t i = 0; i < traces_.size(); ++i) {
+    std::vector<std::string> row{crypto::block_to_hex(plaintexts_[i]),
+                                 crypto::block_to_hex(ciphertexts_[i])};
+    for (double v : traces_[i]) row.push_back(format_double(v, 6));
+    w.write_row(row);
+  }
+}
+
+TraceSet TraceSet::load_csv(std::istream& is) {
+  TraceSet set;
+  std::string line;
+  bool header = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    const auto cells = split_csv_line(line);
+    SLM_REQUIRE(cells.size() >= 3, "TraceSet::load_csv: short row");
+    std::vector<double> samples;
+    samples.reserve(cells.size() - 2);
+    for (std::size_t i = 2; i < cells.size(); ++i) {
+      samples.push_back(std::stod(cells[i]));
+    }
+    set.add(std::move(samples), crypto::block_from_hex(cells[0]),
+            crypto::block_from_hex(cells[1]));
+  }
+  return set;
+}
+
+}  // namespace slm::sca

@@ -1,0 +1,46 @@
+// In-memory trace set with the plaintext/ciphertext bookkeeping of the
+// paper's workstation scripts, plus CSV persistence. Large CPA campaigns
+// stream traces instead (see core::CpaCampaign); this container serves
+// the preliminary experiments and file interchange.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+
+namespace slm::sca {
+
+class TraceSet {
+ public:
+  TraceSet() = default;
+  explicit TraceSet(std::size_t samples_per_trace)
+      : samples_per_trace_(samples_per_trace) {}
+
+  std::size_t trace_count() const { return traces_.size(); }
+  std::size_t samples_per_trace() const { return samples_per_trace_; }
+
+  /// Append a trace; `samples` must match samples_per_trace (the first
+  /// append fixes it when constructed with 0).
+  void add(std::vector<double> samples, const crypto::Block& plaintext,
+           const crypto::Block& ciphertext);
+
+  const std::vector<double>& trace(std::size_t i) const;
+  const crypto::Block& plaintext(std::size_t i) const;
+  const crypto::Block& ciphertext(std::size_t i) const;
+
+  /// Per-sample variance over all traces (bit-of-interest screening).
+  std::vector<double> sample_variances() const;
+
+  /// Write as CSV: ct (hex), then samples. Reload with load_csv.
+  void save_csv(std::ostream& os) const;
+  static TraceSet load_csv(std::istream& is);
+
+ private:
+  std::size_t samples_per_trace_ = 0;
+  std::vector<std::vector<double>> traces_;
+  std::vector<crypto::Block> plaintexts_;
+  std::vector<crypto::Block> ciphertexts_;
+};
+
+}  // namespace slm::sca

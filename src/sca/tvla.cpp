@@ -1,0 +1,46 @@
+#include "sca/tvla.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace slm::sca {
+
+WelchTTest::WelchTTest(std::size_t sample_count)
+    : fixed_(sample_count), random_(sample_count) {
+  SLM_REQUIRE(sample_count > 0, "WelchTTest: zero samples");
+}
+
+void WelchTTest::add(bool fixed_population,
+                     const std::vector<double>& samples) {
+  SLM_REQUIRE(samples.size() == fixed_.size(),
+              "WelchTTest::add: sample count mismatch");
+  auto& pop = fixed_population ? fixed_ : random_;
+  for (std::size_t s = 0; s < samples.size(); ++s) pop[s].add(samples[s]);
+}
+
+std::size_t WelchTTest::fixed_traces() const { return fixed_[0].count(); }
+std::size_t WelchTTest::random_traces() const { return random_[0].count(); }
+
+double WelchTTest::t_statistic(std::size_t sample) const {
+  SLM_REQUIRE(sample < fixed_.size(), "WelchTTest: sample out of range");
+  const auto& a = fixed_[sample];
+  const auto& b = random_[sample];
+  if (a.count() < 2 || b.count() < 2) return 0.0;
+  const double var_term =
+      a.sample_variance() / static_cast<double>(a.count()) +
+      b.sample_variance() / static_cast<double>(b.count());
+  if (var_term <= 0.0) return 0.0;
+  return (a.mean() - b.mean()) / std::sqrt(var_term);
+}
+
+double WelchTTest::max_abs_t() const {
+  double best = 0.0;
+  for (std::size_t s = 0; s < fixed_.size(); ++s) {
+    best = std::max(best, std::abs(t_statistic(s)));
+  }
+  return best;
+}
+
+}  // namespace slm::sca

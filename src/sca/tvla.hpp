@@ -1,0 +1,43 @@
+// TVLA-style leakage assessment: Welch's t-test between a fixed-input
+// trace population and a random-input population (the standard
+// non-specific leakage test). |t| > 4.5 is the conventional evidence
+// threshold that a sensor observes data-dependent leakage — a
+// lighter-weight assessment than a full key-recovery CPA.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace slm::sca {
+
+class WelchTTest {
+ public:
+  explicit WelchTTest(std::size_t sample_count);
+
+  /// Add one trace to the fixed (true) or random (false) population.
+  void add(bool fixed_population, const std::vector<double>& samples);
+
+  std::size_t sample_count() const { return fixed_.size(); }
+  std::size_t fixed_traces() const;
+  std::size_t random_traces() const;
+
+  /// Welch's t statistic at one sample point (0 until both populations
+  /// have >= 2 traces).
+  double t_statistic(std::size_t sample) const;
+
+  /// max_s |t| — the headline leakage number.
+  double max_abs_t() const;
+
+  /// Conventional evidence-of-leakage threshold.
+  static constexpr double kThreshold = 4.5;
+
+  bool leakage_detected() const { return max_abs_t() > kThreshold; }
+
+ private:
+  std::vector<OnlineMeanVar> fixed_;
+  std::vector<OnlineMeanVar> random_;
+};
+
+}  // namespace slm::sca

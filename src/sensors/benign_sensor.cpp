@@ -1,0 +1,112 @@
+#include "sensors/benign_sensor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace slm::sensors {
+
+BenignSensor::BenignSensor(const netlist::Netlist& nl,
+                           const BitVec& reset_stimulus,
+                           const BitVec& measure_stimulus,
+                           const BenignSensorConfig& cfg) {
+  SLM_REQUIRE(!nl.outputs().empty(), "BenignSensor: circuit has no endpoints");
+  timing::TimedSimulator sim(nl);
+  transition_ = sim.simulate_transition(reset_stimulus, measure_stimulus);
+  capture_ = std::make_unique<timing::OverclockedCapture>(
+      transition_.endpoint_waveforms, cfg.capture, cfg.seed);
+}
+
+bool BenignSensor::sample_toggle_bit(std::size_t i, double v,
+                                     Xoshiro256& rng) const {
+  const bool captured = capture_->sample_bit(i, v, rng);
+  return captured != transition_.endpoint_waveforms[i].initial_value();
+}
+
+std::size_t BenignSensor::sample_toggle_hw(
+    const std::vector<std::size_t>& bits, double v, Xoshiro256& rng) const {
+  const BitVec captured = capture_->sample_subset(bits, v, rng);
+  std::size_t hw = 0;
+  for (std::size_t i : bits) {
+    if (captured.get(i) != transition_.endpoint_waveforms[i].initial_value()) {
+      ++hw;
+    }
+  }
+  return hw;
+}
+
+double BenignSensor::max_settle_time_ns() const {
+  double worst = 0.0;
+  for (const auto& wf : transition_.endpoint_waveforms) {
+    worst = std::max(worst, wf.settle_time());
+  }
+  return worst;
+}
+
+void BenignSensorBank::add(std::shared_ptr<const BenignSensor> sensor) {
+  SLM_REQUIRE(sensor != nullptr, "BenignSensorBank: null sensor");
+  sensors_.push_back(std::move(sensor));
+}
+
+std::size_t BenignSensorBank::endpoint_count() const {
+  std::size_t n = 0;
+  for (const auto& s : sensors_) n += s->endpoint_count();
+  return n;
+}
+
+BitVec BenignSensorBank::sample_toggles(double v, Xoshiro256& rng) const {
+  SLM_REQUIRE(!sensors_.empty(), "BenignSensorBank: empty bank");
+  BitVec word(endpoint_count());
+  std::size_t base = 0;
+  for (const auto& s : sensors_) {
+    const BitVec part = s->sample_toggles(v, rng);
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      word.set(base + i, part.get(i));
+    }
+    base += part.size();
+  }
+  return word;
+}
+
+bool BenignSensorBank::sample_toggle_bit(std::size_t global_i, double v,
+                                         Xoshiro256& rng) const {
+  std::size_t base = 0;
+  for (const auto& s : sensors_) {
+    if (global_i < base + s->endpoint_count()) {
+      return s->sample_toggle_bit(global_i - base, v, rng);
+    }
+    base += s->endpoint_count();
+  }
+  throw Error("BenignSensorBank::sample_toggle_bit: index out of range");
+}
+
+std::size_t BenignSensorBank::sample_toggle_hw(
+    const std::vector<std::size_t>& global_bits, double v,
+    Xoshiro256& rng) const {
+  SLM_REQUIRE(!sensors_.empty(), "BenignSensorBank: empty bank");
+  // Split the global indices per instance, preserving one common-jitter
+  // draw per instance (matching sample_toggles semantics).
+  std::size_t hw = 0;
+  std::size_t base = 0;
+  std::vector<std::size_t> local;
+  for (const auto& s : sensors_) {
+    local.clear();
+    for (std::size_t g : global_bits) {
+      if (g >= base && g < base + s->endpoint_count()) {
+        local.push_back(g - base);
+      }
+    }
+    if (!local.empty()) {
+      hw += s->sample_toggle_hw(local, v, rng);
+    }
+    base += s->endpoint_count();
+  }
+  return hw;
+}
+
+const BenignSensor& BenignSensorBank::instance(std::size_t i) const {
+  SLM_REQUIRE(i < sensors_.size(), "BenignSensorBank: bad instance");
+  return *sensors_[i];
+}
+
+}  // namespace slm::sensors

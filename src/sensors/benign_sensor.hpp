@@ -1,0 +1,110 @@
+// BenignSensor — the paper's contribution.
+//
+// Takes an ordinary, functionally-meaningful circuit (its netlist), a
+// (reset, measure) stimulus pair, and an overclocked capture clock. The
+// reset vector settles the circuit to a known state; the measure vector
+// launches transitions down the long paths; the capture at the next
+// overclocked edge freezes each endpoint mid-flight. Which endpoints have
+// toggled relative to the reset state depends on the momentary supply
+// voltage — turning the circuit into an improvised voltage sensor without
+// adding a single gate.
+//
+// The heavy lifting (one event-driven timing simulation of the stimulus
+// transition) happens once in the constructor; per-sample cost is a
+// handful of binary searches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "netlist/netlist.hpp"
+#include "timing/capture.hpp"
+#include "timing/timed_sim.hpp"
+
+namespace slm::sensors {
+
+struct BenignSensorConfig {
+  timing::CaptureConfig capture;
+  std::uint64_t seed = 0x5eed;  ///< fixes per-endpoint static skew
+};
+
+class BenignSensor {
+ public:
+  /// `reset_stimulus` / `measure_stimulus` are full input vectors of the
+  /// circuit (one bit per primary input, declaration order).
+  BenignSensor(const netlist::Netlist& nl, const BitVec& reset_stimulus,
+               const BitVec& measure_stimulus, const BenignSensorConfig& cfg);
+
+  std::size_t endpoint_count() const { return capture_->endpoint_count(); }
+
+  /// Raw captured endpoint word at supply voltage v.
+  BitVec sample_raw(double v, Xoshiro256& rng) const {
+    return capture_->sample(v, rng);
+  }
+
+  /// Toggle word: captured XOR reset-cycle values. This is the sensor
+  /// output the paper post-processes.
+  BitVec sample_toggles(double v, Xoshiro256& rng) const {
+    return capture_->toggled(capture_->sample(v, rng));
+  }
+
+  /// Single endpoint toggle — the "single critical path" attack mode.
+  bool sample_toggle_bit(std::size_t i, double v, Xoshiro256& rng) const;
+
+  /// Hamming weight of the toggle word restricted to `bits` — the
+  /// campaign hot path (only the bits of interest are simulated).
+  std::size_t sample_toggle_hw(const std::vector<std::size_t>& bits, double v,
+                               Xoshiro256& rng) const;
+
+  /// Deterministically sensitive endpoints over a voltage range.
+  std::vector<std::size_t> sensitive_endpoints(double v_lo,
+                                               double v_hi) const {
+    return capture_->sensitive_endpoints(v_lo, v_hi);
+  }
+
+  const timing::OverclockedCapture& capture() const { return *capture_; }
+  const timing::TimedSimResult& transition() const { return transition_; }
+
+  /// Settle time (ns, nominal voltage) of the slowest endpoint — must
+  /// exceed the capture period or the circuit is not overclocked at all.
+  double max_settle_time_ns() const;
+
+ private:
+  timing::TimedSimResult transition_;
+  std::unique_ptr<timing::OverclockedCapture> capture_;
+};
+
+/// Several sensor instances observed as one concatenated word (the paper
+/// uses two C6288 multipliers this way). Instances get decorrelated
+/// static skews via distinct seeds.
+class BenignSensorBank {
+ public:
+  BenignSensorBank() = default;
+
+  void add(std::shared_ptr<const BenignSensor> sensor);
+
+  std::size_t instance_count() const { return sensors_.size(); }
+  std::size_t endpoint_count() const;
+
+  /// Concatenated toggle word (instance 0's endpoints first).
+  BitVec sample_toggles(double v, Xoshiro256& rng) const;
+
+  /// Toggle bit by global index across the concatenation.
+  bool sample_toggle_bit(std::size_t global_i, double v,
+                         Xoshiro256& rng) const;
+
+  /// Hamming weight of the concatenated toggle word restricted to global
+  /// bit indices (sorted or not).
+  std::size_t sample_toggle_hw(const std::vector<std::size_t>& global_bits,
+                               double v, Xoshiro256& rng) const;
+
+  const BenignSensor& instance(std::size_t i) const;
+
+ private:
+  std::vector<std::shared_ptr<const BenignSensor>> sensors_;
+};
+
+}  // namespace slm::sensors

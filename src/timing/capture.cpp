@@ -1,0 +1,93 @@
+#include "timing/capture.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace slm::timing {
+
+OverclockedCapture::OverclockedCapture(std::vector<Waveform> endpoints,
+                                       CaptureConfig cfg, std::uint64_t seed)
+    : endpoints_(std::move(endpoints)), cfg_(cfg) {
+  SLM_REQUIRE(!endpoints_.empty(), "OverclockedCapture: no endpoints");
+  SLM_REQUIRE(cfg_.clock_period_ns > 0.0,
+              "OverclockedCapture: clock period must be positive");
+  Xoshiro256 rng(seed);
+  const auto& normal = FastNormal::instance();
+  skew_.resize(endpoints_.size());
+  for (auto& s : skew_) s = normal(rng, 0.0, cfg_.endpoint_skew_sigma_ns);
+}
+
+double OverclockedCapture::effective_time(double v) const {
+  return (cfg_.clock_period_ns - cfg_.setup_ns) / cfg_.delay.factor(v);
+}
+
+BitVec OverclockedCapture::sample(double v, Xoshiro256& rng) const {
+  const auto& normal = FastNormal::instance();
+  const double t_eff =
+      effective_time(v) + normal(rng, 0.0, cfg_.common_jitter_sigma_ns);
+  BitVec word(endpoints_.size());
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    const double jitter = normal(rng, 0.0, cfg_.jitter_sigma_ns);
+    word.set(i, endpoints_[i].value_at(t_eff - skew_[i] + jitter));
+  }
+  return word;
+}
+
+bool OverclockedCapture::sample_bit(std::size_t i, double v,
+                                    Xoshiro256& rng) const {
+  SLM_REQUIRE(i < endpoints_.size(), "sample_bit: endpoint out of range");
+  const auto& normal = FastNormal::instance();
+  const double t_eff =
+      effective_time(v) + normal(rng, 0.0, cfg_.common_jitter_sigma_ns);
+  const double jitter = normal(rng, 0.0, cfg_.jitter_sigma_ns);
+  return endpoints_[i].value_at(t_eff - skew_[i] + jitter);
+}
+
+BitVec OverclockedCapture::sample_subset(const std::vector<std::size_t>& bits,
+                                         double v, Xoshiro256& rng) const {
+  const auto& normal = FastNormal::instance();
+  const double t_eff =
+      effective_time(v) + normal(rng, 0.0, cfg_.common_jitter_sigma_ns);
+  BitVec word(endpoints_.size());
+  for (std::size_t i : bits) {
+    SLM_REQUIRE(i < endpoints_.size(), "sample_subset: endpoint out of range");
+    const double jitter = normal(rng, 0.0, cfg_.jitter_sigma_ns);
+    word.set(i, endpoints_[i].value_at(t_eff - skew_[i] + jitter));
+  }
+  return word;
+}
+
+BitVec OverclockedCapture::reset_values() const {
+  BitVec reset(endpoints_.size());
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    reset.set(i, endpoints_[i].initial_value());
+  }
+  return reset;
+}
+
+BitVec OverclockedCapture::toggled(const BitVec& captured) const {
+  return captured ^ reset_values();
+}
+
+bool OverclockedCapture::endpoint_sensitive(std::size_t i, double v_lo,
+                                            double v_hi) const {
+  SLM_REQUIRE(i < endpoints_.size(), "endpoint_sensitive: out of range");
+  SLM_REQUIRE(v_lo <= v_hi, "endpoint_sensitive: bad voltage range");
+  // Lower voltage -> larger delay factor -> smaller effective time.
+  const double t_min = effective_time(v_lo) - skew_[i];
+  const double t_max = effective_time(v_hi) - skew_[i];
+  return endpoints_[i].value_at(t_min) != endpoints_[i].value_at(t_max) ||
+         endpoints_[i].toggles_within(t_min, t_max);
+}
+
+std::vector<std::size_t> OverclockedCapture::sensitive_endpoints(
+    double v_lo, double v_hi) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (endpoint_sensitive(i, v_lo, v_hi)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace slm::timing

@@ -1,0 +1,5 @@
+#include "timing/delay_model.hpp"
+
+// Header-only today; the translation unit exists so the target always has
+// at least one object and the model can grow non-inline members (e.g.
+// temperature dependence) without touching the build.

@@ -1,0 +1,112 @@
+#include "timing/sta.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace slm::timing {
+
+using netlist::Gate;
+using netlist::GateType;
+using netlist::NetId;
+
+Sta::Sta(const netlist::Netlist& nl)
+    : nl_(nl),
+      arrival_(nl.gate_count(), 0.0),
+      worst_fanin_(nl.gate_count(), netlist::kInvalidNet) {
+  const auto order = nl.topo_order();
+  for (NetId id : order) {
+    const Gate& g = nl.gate(id);
+    if (g.fanin.empty()) {
+      arrival_[id] = 0.0;
+      continue;
+    }
+    double worst = -1.0;
+    NetId worst_net = netlist::kInvalidNet;
+    for (NetId f : g.fanin) {
+      if (arrival_[f] > worst) {
+        worst = arrival_[f];
+        worst_net = f;
+      }
+    }
+    arrival_[id] = worst + g.delay_ns;
+    worst_fanin_[id] = worst_net;
+  }
+}
+
+double Sta::arrival(NetId net) const {
+  SLM_REQUIRE(net < arrival_.size(), "Sta::arrival: unknown net");
+  return arrival_[net];
+}
+
+std::vector<double> Sta::endpoint_arrivals() const {
+  std::vector<double> out;
+  out.reserve(nl_.outputs().size());
+  for (const auto& port : nl_.outputs()) out.push_back(arrival_[port.net]);
+  return out;
+}
+
+double Sta::critical_delay() const {
+  double worst = 0.0;
+  for (const auto& port : nl_.outputs()) {
+    worst = std::max(worst, arrival_[port.net]);
+  }
+  return worst;
+}
+
+std::vector<double> Sta::endpoint_slacks(double clock_period_ns,
+                                         double setup_ns) const {
+  std::vector<double> slacks;
+  slacks.reserve(nl_.outputs().size());
+  for (const auto& port : nl_.outputs()) {
+    slacks.push_back(clock_period_ns - setup_ns - arrival_[port.net]);
+  }
+  return slacks;
+}
+
+std::vector<std::size_t> Sta::failing_endpoints(double clock_period_ns,
+                                                double setup_ns) const {
+  std::vector<std::size_t> failing;
+  const auto slacks = endpoint_slacks(clock_period_ns, setup_ns);
+  for (std::size_t i = 0; i < slacks.size(); ++i) {
+    if (slacks[i] < 0.0) failing.push_back(i);
+  }
+  return failing;
+}
+
+std::vector<NetId> Sta::critical_path_to(NetId net) const {
+  SLM_REQUIRE(net < arrival_.size(), "critical_path_to: unknown net");
+  std::vector<NetId> path;
+  NetId cur = net;
+  while (cur != netlist::kInvalidNet) {
+    path.push_back(cur);
+    cur = worst_fanin_[cur];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string Sta::report_critical_path() const {
+  std::ostringstream os;
+  if (nl_.outputs().empty()) return "(no endpoints)\n";
+  std::size_t worst_idx = 0;
+  double worst = -1.0;
+  const auto& outs = nl_.outputs();
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    if (arrival_[outs[i].net] > worst) {
+      worst = arrival_[outs[i].net];
+      worst_idx = i;
+    }
+  }
+  os << "critical path to endpoint '" << outs[worst_idx].name << "' ("
+     << worst << " ns):\n";
+  for (NetId id : critical_path_to(outs[worst_idx].net)) {
+    const Gate& g = nl_.gate(id);
+    os << "  " << netlist::gate_type_name(g.type) << " " << g.name << "  @ "
+       << arrival_[id] << " ns\n";
+  }
+  return os.str();
+}
+
+}  // namespace slm::timing

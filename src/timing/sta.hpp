@@ -1,0 +1,55 @@
+// Static timing analysis over a netlist: per-net arrival times at nominal
+// voltage, endpoint slacks against a clock constraint, and critical-path
+// extraction. Used by the bitstream checker's strict-timing mode, by the
+// floorplan rendering (sensitive endpoints), and as a cross-check for the
+// event-driven simulator (STA arrival >= event-sim settle time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace slm::timing {
+
+class Sta {
+ public:
+  /// Runs the analysis immediately (throws on cyclic netlists). The
+  /// netlist must outlive the Sta (temporaries are rejected).
+  explicit Sta(const netlist::Netlist& nl);
+  explicit Sta(netlist::Netlist&&) = delete;
+
+  /// Worst-case arrival time (ns) of every net at nominal voltage.
+  const std::vector<double>& arrivals() const { return arrival_; }
+
+  double arrival(netlist::NetId net) const;
+
+  /// Arrival time of each primary output, in declaration order.
+  std::vector<double> endpoint_arrivals() const;
+
+  /// Worst arrival over all endpoints (the critical-path delay).
+  double critical_delay() const;
+
+  /// Slack of each endpoint against a clock period (ns, minus setup).
+  std::vector<double> endpoint_slacks(double clock_period_ns,
+                                      double setup_ns = 0.0) const;
+
+  /// Endpoints with negative slack at the given clock.
+  std::vector<std::size_t> failing_endpoints(double clock_period_ns,
+                                             double setup_ns = 0.0) const;
+
+  /// Gates on the worst path into `net` (from a primary input to `net`).
+  std::vector<netlist::NetId> critical_path_to(netlist::NetId net) const;
+
+  /// Human-readable report of the worst path to the worst endpoint.
+  std::string report_critical_path() const;
+
+  const netlist::Netlist& netlist() const { return nl_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<double> arrival_;
+  std::vector<netlist::NetId> worst_fanin_;  // argmax fanin per gate
+};
+
+}  // namespace slm::timing

@@ -1,0 +1,149 @@
+#include "timing/timed_sim.hpp"
+
+#include <deque>
+#include <queue>
+
+#include "common/error.hpp"
+#include "netlist/evaluator.hpp"
+
+namespace slm::timing {
+
+using netlist::Gate;
+using netlist::GateType;
+using netlist::NetId;
+
+TimedSimulator::TimedSimulator(const netlist::Netlist& nl)
+    : nl_(nl), order_(nl.topo_order()), fanout_(nl.gate_count()) {
+  for (NetId id = 0; id < nl_.gate_count(); ++id) {
+    for (NetId f : nl_.gate(id).fanin) {
+      fanout_[f].push_back(id);
+    }
+  }
+}
+
+TimedSimResult TimedSimulator::simulate_transition(const BitVec& from,
+                                                   const BitVec& to) const {
+  const auto& inputs = nl_.inputs();
+  SLM_REQUIRE(from.size() == inputs.size() && to.size() == inputs.size(),
+              "TimedSimulator: input width mismatch");
+
+  // Settled state under `from`.
+  netlist::Evaluator eval(nl_);
+  std::vector<bool> value = eval.eval_nets(from);
+
+  TimedSimResult result;
+  result.net_waveforms.resize(nl_.gate_count());
+  for (NetId id = 0; id < nl_.gate_count(); ++id) {
+    result.net_waveforms[id] = Waveform(value[id], {});
+  }
+
+  // Inertial-delay event simulation. Every scheduled output change lives
+  // in the event pool; per-gate FIFOs of pending (not yet fired) events
+  // let a later opposite-polarity change cancel a pending one when the
+  // pulse between them is narrower than the gate delay — which is how
+  // real gates swallow glitches.
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    NetId net;
+    bool new_value;
+    bool cancelled = false;
+  };
+  std::deque<Event> pool;
+  struct Later {
+    const std::deque<Event>* pool;
+    bool operator()(std::size_t a, std::size_t b) const {
+      const Event& ea = (*pool)[a];
+      const Event& eb = (*pool)[b];
+      return ea.time > eb.time || (ea.time == eb.time && ea.seq > eb.seq);
+    }
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, Later> queue(
+      Later{&pool});
+  // Pending event indices per gate, times non-decreasing.
+  std::vector<std::deque<std::size_t>> pending(nl_.gate_count());
+  std::uint64_t seq = 0;
+
+  auto schedule = [&](NetId net, double t, bool val, double inertia) {
+    auto& pq = pending[net];
+    // Drop already-fired events from the front bookkeeping.
+    while (!pq.empty() && pool[pq.front()].cancelled) pq.pop_front();
+
+    // Effective value the net will have after all pending events.
+    bool eventual = value[net];
+    for (auto it = pq.rbegin(); it != pq.rend(); ++it) {
+      if (!pool[*it].cancelled) {
+        eventual = pool[*it].new_value;
+        break;
+      }
+    }
+    if (eventual == val) return;  // no change to schedule
+
+    // Inertial cancellation: a pending opposite change closer than the
+    // gate delay is a pulse the gate cannot produce.
+    if (!pq.empty()) {
+      std::size_t last = pq.back();
+      while (!pq.empty() && pool[pq.back()].cancelled) pq.pop_back();
+      if (!pq.empty()) {
+        last = pq.back();
+        if (!pool[last].cancelled && pool[last].new_value != val &&
+            t - pool[last].time < inertia) {
+          pool[last].cancelled = true;
+          pq.pop_back();
+          return;  // pulse swallowed: neither event happens
+        }
+      }
+    }
+
+    pool.push_back(Event{t, seq++, net, val});
+    pending[net].push_back(pool.size() - 1);
+    queue.push(pool.size() - 1);
+  };
+
+  // Primary input flips at t = 0 (inputs have no inertia).
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (from.get(i) != to.get(i)) {
+      schedule(inputs[i], 0.0, to.get(i), 0.0);
+    }
+  }
+
+  std::vector<bool> fanin_vals;
+  while (!queue.empty()) {
+    const std::size_t idx = queue.top();
+    queue.pop();
+    const Event ev = pool[idx];
+    if (ev.cancelled) continue;
+    // Remove from its pending FIFO.
+    auto& pq = pending[ev.net];
+    while (!pq.empty() && (pool[pq.front()].cancelled || pq.front() == idx)) {
+      pq.pop_front();
+    }
+    if (value[ev.net] == ev.new_value) continue;
+    value[ev.net] = ev.new_value;
+    result.net_waveforms[ev.net].append_toggle(ev.time);
+    ++result.total_events;
+
+    for (NetId g_id : fanout_[ev.net]) {
+      const Gate& g = nl_.gate(g_id);
+      fanin_vals.clear();
+      for (NetId f : g.fanin) fanin_vals.push_back(value[f]);
+      const bool out = netlist::eval_gate(g.type, fanin_vals);
+      schedule(g_id, ev.time + g.delay_ns, out, g.delay_ns);
+    }
+  }
+
+  // Sanity: final values must equal the zero-delay evaluation of `to`.
+  const auto settled = eval.eval_nets(to);
+  for (NetId id = 0; id < nl_.gate_count(); ++id) {
+    SLM_ASSERT(value[id] == settled[id],
+               "timed simulation did not converge to the settled state");
+  }
+
+  result.endpoint_waveforms.reserve(nl_.outputs().size());
+  for (const auto& port : nl_.outputs()) {
+    result.endpoint_waveforms.push_back(result.net_waveforms[port.net]);
+  }
+  return result;
+}
+
+}  // namespace slm::timing

@@ -1,0 +1,45 @@
+// Event-driven gate-level timing simulation (transport delay).
+//
+// Given a netlist settled under input vector `from`, apply input vector
+// `to` at t = 0 and propagate events through the gates using their nominal
+// intrinsic delays. The result is a Waveform per net. One such simulation
+// per (reset -> measure) stimulus pair is all the benign-sensor machinery
+// needs: voltage only rescales the time axis afterwards.
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "netlist/netlist.hpp"
+#include "timing/waveform.hpp"
+
+namespace slm::timing {
+
+struct TimedSimResult {
+  std::vector<Waveform> net_waveforms;  ///< indexed by NetId
+
+  /// Waveforms of the primary outputs, in declaration order.
+  std::vector<Waveform> endpoint_waveforms;
+
+  std::size_t total_events = 0;  ///< toggles applied (activity measure)
+};
+
+class TimedSimulator {
+ public:
+  /// The netlist must outlive the simulator (temporaries are rejected).
+  explicit TimedSimulator(const netlist::Netlist& nl);
+  explicit TimedSimulator(netlist::Netlist&&) = delete;
+
+  /// Simulate the transition `from` -> `to` (input vectors in declaration
+  /// order). Both vectors must have one bit per primary input.
+  TimedSimResult simulate_transition(const BitVec& from, const BitVec& to) const;
+
+  const netlist::Netlist& netlist() const { return nl_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<netlist::NetId> order_;
+  std::vector<std::vector<netlist::NetId>> fanout_;
+};
+
+}  // namespace slm::timing

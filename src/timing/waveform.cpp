@@ -1,0 +1,42 @@
+#include "timing/waveform.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace slm::timing {
+
+Waveform::Waveform(bool initial, std::vector<double> toggles)
+    : initial_(initial), toggles_(std::move(toggles)) {
+  SLM_REQUIRE(std::is_sorted(toggles_.begin(), toggles_.end()),
+              "Waveform: toggles must be time-ordered");
+}
+
+bool Waveform::final_value() const {
+  return (toggles_.size() % 2 == 0) ? initial_ : !initial_;
+}
+
+double Waveform::settle_time() const {
+  return toggles_.empty() ? 0.0 : toggles_.back();
+}
+
+bool Waveform::value_at(double t) const {
+  // Number of toggles with time <= t.
+  const auto it = std::upper_bound(toggles_.begin(), toggles_.end(), t);
+  const std::size_t n = static_cast<std::size_t>(it - toggles_.begin());
+  return (n % 2 == 0) ? initial_ : !initial_;
+}
+
+bool Waveform::toggles_within(double t_lo, double t_hi) const {
+  const auto lo = std::upper_bound(toggles_.begin(), toggles_.end(), t_lo);
+  const auto hi = std::upper_bound(toggles_.begin(), toggles_.end(), t_hi);
+  return lo != hi;
+}
+
+void Waveform::append_toggle(double t) {
+  SLM_REQUIRE(toggles_.empty() || t >= toggles_.back(),
+              "Waveform::append_toggle: out of order");
+  toggles_.push_back(t);
+}
+
+}  // namespace slm::timing

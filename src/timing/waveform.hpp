@@ -1,0 +1,42 @@
+// Transition waveform of a single net: an initial value plus the ordered
+// list of toggle instants produced by one (reset -> measure) input change
+// at nominal voltage. Sampling a waveform at an arbitrary time is the
+// primitive behind both the benign sensor and the timing-violation view
+// of the overclocked capture.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace slm::timing {
+
+class Waveform {
+ public:
+  Waveform() = default;
+  Waveform(bool initial, std::vector<double> toggles);
+
+  bool initial_value() const { return initial_; }
+
+  /// Value after all toggles have happened.
+  bool final_value() const;
+
+  const std::vector<double>& toggles() const { return toggles_; }
+  std::size_t toggle_count() const { return toggles_.size(); }
+
+  /// Instant of the last toggle; 0 if the net never moves.
+  double settle_time() const;
+
+  /// Value observed at time t (toggles at exactly t are counted).
+  bool value_at(double t) const;
+
+  /// True if the waveform crosses at least one toggle inside (t_lo, t_hi].
+  bool toggles_within(double t_lo, double t_hi) const;
+
+  void append_toggle(double t);
+
+ private:
+  bool initial_ = false;
+  std::vector<double> toggles_;
+};
+
+}  // namespace slm::timing

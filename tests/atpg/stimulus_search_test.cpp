@@ -1,0 +1,96 @@
+#include "atpg/stimulus_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/generators/adder.hpp"
+#include "netlist/generators/c6288.hpp"
+#include "timing/timed_sim.hpp"
+
+namespace slm::atpg {
+namespace {
+
+TEST(StimulusSearch, FindsLongPathInAdder) {
+  netlist::AdderOptions opt;
+  opt.width = 24;
+  const auto nl = make_ripple_carry_adder(opt);
+  StimulusSearchConfig cfg;
+  cfg.random_trials = 80;
+  cfg.hill_climb_iters = 250;
+  StimulusSearch search(nl, cfg);
+  // Maximise the settle time of the carry-out endpoint (index width).
+  const auto pair = search.find_path_stimulus(opt.width);
+  // The full carry chain settles at ~0.99 ns; a good stimulus must
+  // excite a substantial part of it (random vectors alone reach ~0.6).
+  EXPECT_GT(pair.score, 0.75);
+  // The returned pair reproduces its own score.
+  timing::TimedSimulator sim(nl);
+  const auto r = sim.simulate_transition(pair.reset, pair.measure);
+  EXPECT_NEAR(r.endpoint_waveforms[opt.width].settle_time(), pair.score,
+              1e-12);
+}
+
+TEST(StimulusSearch, SensorStimulusPopulatesBand) {
+  netlist::AdderOptions opt;
+  opt.width = 48;
+  const auto nl = make_ripple_carry_adder(opt);
+  StimulusSearchConfig cfg;
+  cfg.random_trials = 250;
+  cfg.hill_climb_iters = 400;
+  StimulusSearch search(nl, cfg);
+  const auto pair = search.find_sensor_stimulus(0.9, 1.6);
+  EXPECT_GE(pair.endpoints_in_band, 3u);
+  // Score = in-band count plus a sub-0.01 settle-gradient bonus.
+  EXPECT_NEAR(pair.score, static_cast<double>(pair.endpoints_in_band),
+              0.01);
+}
+
+TEST(StimulusSearch, DeterministicPerSeed) {
+  netlist::AdderOptions opt;
+  opt.width = 16;
+  const auto nl = make_ripple_carry_adder(opt);
+  StimulusSearchConfig cfg;
+  cfg.random_trials = 20;
+  cfg.hill_climb_iters = 20;
+  cfg.seed = 99;
+  StimulusSearch a(nl, cfg), b(nl, cfg);
+  const auto pa = a.find_path_stimulus(8);
+  const auto pb = b.find_path_stimulus(8);
+  EXPECT_EQ(pa.reset, pb.reset);
+  EXPECT_EQ(pa.measure, pb.measure);
+  EXPECT_EQ(pa.score, pb.score);
+}
+
+TEST(StimulusSearch, HandPickedC6288PairIsCompetitive) {
+  // The baked-in C6288 stimulus must be at least as good as a short
+  // random search in populating the capture band.
+  netlist::C6288Options opt;
+  const auto nl = make_c6288(opt);
+  timing::TimedSimulator sim(nl);
+  const auto baked = sim.simulate_transition(c6288_reset_stimulus(opt),
+                                             c6288_measure_stimulus(opt));
+  std::size_t baked_in_band = 0;
+  for (const auto& wf : baked.endpoint_waveforms) {
+    if (wf.toggles_within(2.0, 4.4)) ++baked_in_band;
+  }
+
+  StimulusSearchConfig cfg;
+  cfg.random_trials = 10;  // cheap search
+  cfg.hill_climb_iters = 10;
+  StimulusSearch search(nl, cfg);
+  const auto found = search.find_sensor_stimulus(2.0, 4.4);
+  EXPECT_GE(baked_in_band + 3, found.endpoints_in_band);
+  EXPECT_GE(baked_in_band, 15u);
+}
+
+TEST(StimulusSearch, Validation) {
+  netlist::AdderOptions opt;
+  opt.width = 4;
+  const auto nl = make_ripple_carry_adder(opt);
+  StimulusSearch search(nl);
+  EXPECT_THROW((void)search.find_path_stimulus(99), slm::Error);
+  EXPECT_THROW((void)search.find_sensor_stimulus(2.0, 1.0), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::atpg

@@ -1,0 +1,129 @@
+#include "bitstream/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/generators/alu.hpp"
+#include "netlist/generators/c6288.hpp"
+#include "netlist/generators/suspicious.hpp"
+
+namespace slm::bitstream {
+namespace {
+
+using netlist::make_alu;
+using netlist::make_c6288;
+using netlist::make_ring_oscillator;
+using netlist::make_tdc_line;
+
+TEST(Checker, FlagsRingOscillator) {
+  const auto ro = make_ring_oscillator(netlist::RingOscillatorOptions{});
+  BitstreamChecker checker;
+  const auto report = checker.check(ro);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(report.flagged(CheckKind::kCombinationalLoop));
+}
+
+TEST(Checker, FlagsTdcClockAsData) {
+  const auto tdc = make_tdc_line(netlist::TdcLineOptions{});
+  BitstreamChecker checker;
+  const auto report = checker.check(tdc);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(report.flagged(CheckKind::kClockAsData));
+}
+
+TEST(Checker, FlagsTdcDelayLinePattern) {
+  netlist::TdcLineOptions opt;
+  opt.clock_as_data = false;  // hide the clock: the chain still gives it away
+  const auto tdc = make_tdc_line(opt);
+  BitstreamChecker checker;
+  const auto report = checker.check(tdc);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(report.flagged(CheckKind::kDelayLinePattern));
+  EXPECT_FALSE(report.flagged(CheckKind::kClockAsData));
+}
+
+TEST(Checker, ShortTappedChainTolerated) {
+  netlist::TdcLineOptions opt;
+  opt.stages = 8;  // below the reporting threshold
+  opt.clock_as_data = false;
+  const auto line = make_tdc_line(opt);
+  BitstreamChecker checker;
+  EXPECT_TRUE(checker.check(line).passed());
+}
+
+// The stealthiness claim: both benign circuits pass every structural
+// check, at default options.
+class BenignPasses : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenignPasses, NoStructuralFindings) {
+  BitstreamChecker checker;
+  if (GetParam() == 0) {
+    const auto report = checker.check(make_alu(netlist::AluOptions{}));
+    EXPECT_TRUE(report.passed()) << report.summary();
+  } else {
+    const auto report = checker.check(make_c6288(netlist::C6288Options{}));
+    EXPECT_TRUE(report.passed()) << report.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCircuits, BenignPasses, ::testing::Values(0, 1));
+
+TEST(Checker, StrictTimingCatchesOverclockedAlu) {
+  // The Discussion's countermeasure: verifying the *operating* clock
+  // against STA flags the misused ALU -- and only then.
+  netlist::AluOptions opt;
+  const auto alu = make_alu(opt);
+
+  CheckerOptions at_design_clock;
+  at_design_clock.operating_clock_period_ns = 20.0;  // 50 MHz
+  EXPECT_TRUE(BitstreamChecker(at_design_clock).check(alu).passed());
+
+  CheckerOptions at_overclock;
+  at_overclock.operating_clock_period_ns = 10.0 / 3.0;  // 300 MHz
+  const auto report = BitstreamChecker(at_overclock).check(alu);
+  EXPECT_FALSE(report.passed());
+  EXPECT_TRUE(report.flagged(CheckKind::kStrictTiming));
+}
+
+TEST(Checker, FalsePathAnnotationsHideEndpoints) {
+  // The Discussion's caveat: user false-path constraints can exempt the
+  // very endpoints that act as sensors.
+  netlist::AluOptions opt;
+  opt.width = 16;
+  const auto alu = make_alu(opt);
+
+  CheckerOptions strict;
+  strict.operating_clock_period_ns = 1.0;  // everything fails
+  const auto flagged = BitstreamChecker(strict).check(alu);
+  ASSERT_TRUE(flagged.flagged(CheckKind::kStrictTiming));
+
+  // Exempt all endpoints: the check goes quiet.
+  for (std::size_t i = 0; i < alu.outputs().size(); ++i) {
+    strict.false_path_endpoints.push_back(i);
+  }
+  EXPECT_TRUE(BitstreamChecker(strict).check(alu).passed());
+}
+
+TEST(Checker, ChecksCanBeDisabled) {
+  CheckerOptions opt;
+  opt.check_loops = false;
+  const auto ro = make_ring_oscillator(netlist::RingOscillatorOptions{});
+  EXPECT_TRUE(BitstreamChecker(opt).check(ro).passed());
+}
+
+TEST(Checker, SummaryFormats) {
+  BitstreamChecker checker;
+  const auto ro_report =
+      checker.check(make_ring_oscillator(netlist::RingOscillatorOptions{}));
+  EXPECT_NE(ro_report.summary().find("REJECT"), std::string::npos);
+  const auto ok_report = checker.check(make_alu(netlist::AluOptions{}));
+  EXPECT_NE(ok_report.summary().find("PASS"), std::string::npos);
+}
+
+TEST(Checker, KindNames) {
+  EXPECT_STREQ(check_kind_name(CheckKind::kCombinationalLoop),
+               "combinational-loop");
+  EXPECT_STREQ(check_kind_name(CheckKind::kStrictTiming), "strict-timing");
+}
+
+}  // namespace
+}  // namespace slm::bitstream

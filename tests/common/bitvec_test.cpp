@@ -1,0 +1,155 @@
+#include "common/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace slm {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVec, ConstructedZeroed) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.get(i));
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.flip(0);
+  EXPECT_FALSE(v.get(0));
+  v.flip(1);
+  EXPECT_TRUE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW(v.get(8), Error);
+  EXPECT_THROW(v.set(8, true), Error);
+  EXPECT_THROW(v.flip(100), Error);
+}
+
+TEST(BitVec, FromUint64) {
+  BitVec v(16, 0xA5F0);
+  EXPECT_EQ(v.to_uint64(), 0xA5F0u);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_TRUE(v.get(4));
+  EXPECT_TRUE(v.get(15));
+}
+
+TEST(BitVec, Uint64TruncatesToSize) {
+  BitVec v(4, 0xFF);
+  EXPECT_EQ(v.to_uint64(), 0xFu);
+  EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, StringRoundTrip) {
+  const std::string s = "101101001101";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.size(), s.size());
+  EXPECT_EQ(v.to_string(), s);
+  // MSB-first convention: first char is the highest bit.
+  EXPECT_TRUE(v.get(s.size() - 1));
+}
+
+TEST(BitVec, FromStringRejectsJunk) {
+  EXPECT_THROW(BitVec::from_string("10102"), Error);
+}
+
+TEST(BitVec, SetAll) {
+  BitVec v(70);
+  v.set_all(true);
+  EXPECT_EQ(v.popcount(), 70u);
+  // Top word must stay masked so popcount is exact.
+  v.set_all(false);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, LogicOps) {
+  BitVec a(8, 0b11001100);
+  BitVec b(8, 0b10101010);
+  EXPECT_EQ((a & b).to_uint64(), 0b10001000u);
+  EXPECT_EQ((a | b).to_uint64(), 0b11101110u);
+  EXPECT_EQ((a ^ b).to_uint64(), 0b01100110u);
+  EXPECT_EQ((~a).to_uint64(), 0b00110011u);
+}
+
+TEST(BitVec, SizeMismatchThrows) {
+  BitVec a(8);
+  BitVec b(9);
+  EXPECT_THROW(a ^= b, Error);
+  EXPECT_THROW((void)a.hamming_distance(b), Error);
+}
+
+TEST(BitVec, HammingDistance) {
+  BitVec a(128);
+  BitVec b(128);
+  a.set(0, true);
+  a.set(127, true);
+  b.set(127, true);
+  b.set(64, true);
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(BitVec, Slice) {
+  BitVec v(20, 0b10110100101011010011);
+  const BitVec lo = v.slice(0, 8);
+  EXPECT_EQ(lo.to_uint64(), 0b11010011u);
+  const BitVec hi = v.slice(12, 8);
+  EXPECT_EQ(hi.to_uint64(), 0b10110100u);
+  EXPECT_THROW(v.slice(15, 8), Error);
+}
+
+TEST(BitVec, Equality) {
+  BitVec a(65, 7);
+  BitVec b(65, 7);
+  EXPECT_EQ(a, b);
+  b.set(64, true);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, BitVec(64, 7));  // different sizes differ
+}
+
+TEST(BitVecHelpers, HammingWeight64) {
+  EXPECT_EQ(hamming_weight(0), 0u);
+  EXPECT_EQ(hamming_weight(~0ull), 64u);
+  EXPECT_EQ(hamming_weight(0xF0F0ull), 8u);
+  EXPECT_EQ(hamming_distance(0xFFull, 0x0Full), 4u);
+}
+
+// Word-boundary sweep as a property: set exactly one bit everywhere.
+class BitVecSingleBit : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVecSingleBit, ExactlyOneBitVisible) {
+  const std::size_t pos = GetParam();
+  BitVec v(130);
+  v.set(pos, true);
+  EXPECT_EQ(v.popcount(), 1u);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(v.get(i), i == pos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, BitVecSingleBit,
+                         ::testing::Values(0, 1, 62, 63, 64, 65, 127, 128,
+                                           129));
+
+}  // namespace
+}  // namespace slm

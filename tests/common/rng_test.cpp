@@ -1,0 +1,110 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace slm {
+namespace {
+
+TEST(Xoshiro, Deterministic) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  OnlineMeanVar acc;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    acc.add(u);
+  }
+  EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+  EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Xoshiro, UniformRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformIntBounded) {
+  Xoshiro256 rng(11);
+  std::array<int, 10> counts{};
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t k = rng.uniform_int(10);
+    ASSERT_LT(k, 10u);
+    counts[k]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(Xoshiro, UniformIntZeroIsZero) {
+  Xoshiro256 rng(1);
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+  EXPECT_EQ(rng.uniform_int(1), 0u);
+}
+
+TEST(Xoshiro, ForkIsIndependentStream) {
+  Xoshiro256 a(5);
+  Xoshiro256 b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(FastNormal, MomentsMatchStandardNormal) {
+  Xoshiro256 rng(13);
+  const auto& normal = FastNormal::instance();
+  OnlineMeanVar acc;
+  for (int i = 0; i < 200000; ++i) acc.add(normal(rng));
+  EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.02);
+}
+
+TEST(FastNormal, TailFractions) {
+  Xoshiro256 rng(17);
+  const auto& normal = FastNormal::instance();
+  const int n = 200000;
+  int beyond1 = 0, beyond2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = std::abs(normal(rng));
+    if (x > 1.0) ++beyond1;
+    if (x > 2.0) ++beyond2;
+  }
+  EXPECT_NEAR(static_cast<double>(beyond1) / n, 0.3173, 0.01);
+  EXPECT_NEAR(static_cast<double>(beyond2) / n, 0.0455, 0.005);
+}
+
+TEST(FastNormal, MeanSigmaScaling) {
+  Xoshiro256 rng(19);
+  const auto& normal = FastNormal::instance();
+  OnlineMeanVar acc;
+  for (int i = 0; i < 100000; ++i) acc.add(normal(rng, 10.0, 3.0));
+  EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 3.0, 0.05);
+}
+
+}  // namespace
+}  // namespace slm

@@ -1,0 +1,151 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace slm {
+namespace {
+
+TEST(OnlineMeanVar, KnownSequence) {
+  OnlineMeanVar acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+}
+
+TEST(OnlineMeanVar, EmptyAndSingle) {
+  OnlineMeanVar acc;
+  EXPECT_EQ(acc.variance(), 0.0);
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 0.0);
+}
+
+TEST(OnlineMeanVar, MergeMatchesSequential) {
+  Xoshiro256 rng(3);
+  OnlineMeanVar all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    all.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(OnlineMeanVar, MergeWithEmpty) {
+  OnlineMeanVar a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(OnlineCorrelation, PerfectAndAnti) {
+  OnlineCorrelation pos, neg;
+  for (int i = 0; i < 50; ++i) {
+    pos.add(i, 2.0 * i + 1.0);
+    neg.add(i, -0.5 * i);
+  }
+  EXPECT_NEAR(pos.correlation(), 1.0, 1e-12);
+  EXPECT_NEAR(neg.correlation(), -1.0, 1e-12);
+}
+
+TEST(OnlineCorrelation, ConstantVariableGivesZero) {
+  OnlineCorrelation c;
+  for (int i = 0; i < 10; ++i) c.add(3.0, i);
+  EXPECT_EQ(c.correlation(), 0.0);
+}
+
+TEST(OnlineCorrelation, IndependentNearZero) {
+  Xoshiro256 rng(5);
+  OnlineCorrelation c;
+  for (int i = 0; i < 100000; ++i) c.add(rng.uniform(), rng.uniform());
+  EXPECT_NEAR(c.correlation(), 0.0, 0.02);
+}
+
+TEST(MultiCorrelation, MatchesPairwise) {
+  Xoshiro256 rng(7);
+  MultiCorrelation multi(3);
+  OnlineCorrelation c0, c1, c2;
+  for (int i = 0; i < 2000; ++i) {
+    const double y = rng.uniform();
+    const std::vector<double> h{y + 0.1 * rng.uniform(), rng.uniform(),
+                                -y};
+    multi.add(h, y);
+    c0.add(h[0], y);
+    c1.add(h[1], y);
+    c2.add(h[2], y);
+  }
+  EXPECT_NEAR(multi.correlation(0), c0.correlation(), 1e-9);
+  EXPECT_NEAR(multi.correlation(1), c1.correlation(), 1e-9);
+  EXPECT_NEAR(multi.correlation(2), c2.correlation(), 1e-9);
+}
+
+TEST(MultiCorrelation, BinaryUpdateMatchesGeneric) {
+  Xoshiro256 rng(9);
+  MultiCorrelation generic(4), binary(4);
+  for (int i = 0; i < 3000; ++i) {
+    const double y = rng.uniform();
+    std::vector<std::uint8_t> bits(4);
+    std::vector<double> h(4);
+    for (int k = 0; k < 4; ++k) {
+      bits[k] = rng.coin() ? 1 : 0;
+      h[k] = bits[k];
+    }
+    generic.add(h, y);
+    binary.add_binary(bits, y);
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(generic.correlation(k), binary.correlation(k), 1e-12);
+  }
+}
+
+TEST(MultiCorrelation, DimensionMismatchThrows) {
+  MultiCorrelation m(2);
+  EXPECT_THROW(m.add({1.0}, 0.0), Error);
+  EXPECT_THROW((void)m.correlation(2), Error);
+}
+
+TEST(VectorStats, Descriptives) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(min_of(v), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 4.0);
+  EXPECT_EQ(argmax(v), 3u);
+}
+
+TEST(VectorStats, ArgmaxAbs) {
+  EXPECT_EQ(argmax_abs({0.1, -0.9, 0.5}), 1u);
+  EXPECT_EQ(argmax_abs({-0.2}), 0u);
+  EXPECT_THROW(argmax_abs({}), Error);
+}
+
+TEST(VectorStats, PearsonMatchesOnline) {
+  Xoshiro256 rng(11);
+  std::vector<double> x, y;
+  OnlineCorrelation c;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(0.3 * x.back() + rng.uniform());
+    c.add(x.back(), y.back());
+  }
+  EXPECT_NEAR(pearson(x, y), c.correlation(), 1e-12);
+}
+
+}  // namespace
+}  // namespace slm

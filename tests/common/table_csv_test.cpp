@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace slm {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row(std::vector<std::string>{"a", "1"});
+  t.add_row(std::vector<std::string>{"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, NumericRow) {
+  TextTable t({"x", "y"});
+  t.add_row(std::vector<double>{1.23456, 2.0}, 2);
+  EXPECT_EQ(t.row_count(), 1u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+}
+
+TEST(TextTable, ColumnMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row(std::vector<std::string>{"only one"}), Error);
+}
+
+TEST(Csv, WriteAndReadNumeric) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_header({"a", "b", "c"});
+  w.write_row(std::vector<double>{1.0, 2.0, 3.0});
+  w.write_row(std::vector<double>{4.5, 5.5, 6.5});
+  std::istringstream is(os.str());
+  const auto rows = read_numeric_csv(is, /*has_header=*/true);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[1][0], 4.5);
+  EXPECT_DOUBLE_EQ(rows[0][2], 3.0);
+}
+
+TEST(Csv, RejectsCommaInCell) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  EXPECT_THROW(w.write_row(std::vector<std::string>{"a,b"}), Error);
+}
+
+TEST(Csv, ColumnCountEnforced) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_header({"a", "b"});
+  EXPECT_THROW(w.write_row(std::vector<std::string>{"1"}), Error);
+}
+
+TEST(Csv, SplitLine) {
+  const auto cells = split_csv_line("a,b,,d");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[2], "");
+  EXPECT_EQ(cells[3], "d");
+}
+
+TEST(Csv, NonNumericCellThrows) {
+  std::istringstream is("1,2\n3,oops\n");
+  EXPECT_THROW(read_numeric_csv(is, false), Error);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+}  // namespace
+}  // namespace slm

@@ -1,0 +1,71 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdn/rlc.hpp"
+
+namespace slm::core {
+namespace {
+
+TEST(Calibration, ClocksMatchPaper) {
+  const auto cal = Calibration::paper_defaults();
+  EXPECT_DOUBLE_EQ(cal.benign_design_mhz, 50.0);
+  EXPECT_DOUBLE_EQ(cal.overclock_mhz, 300.0);
+  EXPECT_DOUBLE_EQ(cal.aes_clock_mhz, 100.0);
+  EXPECT_DOUBLE_EQ(cal.sensor_sample_mhz, 150.0);
+  EXPECT_NEAR(cal.overclock_period_ns(), 10.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cal.sensor_sample_period_ns(), 20.0 / 3.0, 1e-12);
+}
+
+TEST(Calibration, CaptureUsesOverclockPeriod) {
+  const auto cal = Calibration::paper_defaults();
+  EXPECT_DOUBLE_EQ(cal.capture.clock_period_ns, cal.overclock_period_ns());
+}
+
+TEST(Calibration, CircuitsMatchPaperDimensions) {
+  const auto cal = Calibration::paper_defaults();
+  EXPECT_EQ(cal.alu.width, 192u);
+  EXPECT_EQ(cal.c6288.operand_width, 16u);
+  EXPECT_EQ(cal.tdc.stages, 64u);
+  EXPECT_EQ(cal.ro_grid.ro_count, 8000u);
+  EXPECT_DOUBLE_EQ(cal.ro_grid.toggle_freq_mhz, 4.0);
+}
+
+TEST(Calibration, TdcIdleDepthMidScale) {
+  const auto cal = Calibration::paper_defaults();
+  // window / stage delay = 32 at the TDC's reference voltage.
+  EXPECT_NEAR(cal.tdc.window_ns / cal.tdc.stage_delay_ns, 32.0, 1e-9);
+}
+
+TEST(Calibration, PdnIsUnderdamped) {
+  const auto cal = Calibration::paper_defaults();
+  pdn::RlcPdn pdn(cal.pdn);
+  EXPECT_LT(pdn.damping_ratio(), 1.0);
+  EXPECT_GT(pdn.damping_ratio(), 0.1);
+  EXPECT_NEAR(pdn.resonance_mhz(), 100.0, 15.0);
+}
+
+TEST(Calibration, CouplingsReflectFloorplans) {
+  const auto cal = Calibration::paper_defaults();
+  // The ALU setup sits farther from the victim than the C6288 setup.
+  EXPECT_LT(cal.coupling_for_alu(), cal.coupling_for_c6288());
+  EXPECT_LE(cal.coupling_for_c6288(), 1.0);
+  EXPECT_GT(cal.coupling_for_alu(), 0.0);
+}
+
+TEST(Calibration, AesKeyIsFipsExample) {
+  const auto cal = Calibration::paper_defaults();
+  EXPECT_EQ(crypto::block_to_hex(cal.aes_key()),
+            "2b7e151628aed2a6abf7158809cf4f3c");
+}
+
+TEST(Calibration, RoVoltageBandBracketsOperatingPoint) {
+  const auto cal = Calibration::paper_defaults();
+  pdn::RlcPdn pdn(cal.pdn);
+  const double v_idle = pdn.dc_voltage(cal.pdn.idle_current_a);
+  EXPECT_LT(cal.ro_v_min, v_idle);
+  EXPECT_GT(cal.ro_v_max, v_idle);
+}
+
+}  // namespace
+}  // namespace slm::core

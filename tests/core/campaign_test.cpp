@@ -1,0 +1,157 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace slm::core {
+namespace {
+
+CampaignConfig small_cfg(SensorMode mode, std::size_t traces) {
+  CampaignConfig cfg;
+  cfg.mode = mode;
+  cfg.traces = traces;
+  cfg.selection_traces = 400;
+  return cfg;
+}
+
+TEST(Campaign, SampleTimesOnSensorGridInsideWindow) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg = small_cfg(SensorMode::kTdcFull, 10);
+  cfg.window_start_ns = 400.0;
+  cfg.window_end_ns = 460.0;
+  CpaCampaign campaign(setup, cfg);
+  const auto& times = campaign.sample_times_ns();
+  ASSERT_FALSE(times.empty());
+  const double ts = setup.calibration().sensor_sample_period_ns();
+  for (double t : times) {
+    EXPECT_GE(t, 400.0);
+    EXPECT_LE(t, 460.0);
+    // Each instant sits on the 150 MS/s grid.
+    const double k = t / ts;
+    EXPECT_NEAR(k, std::round(k), 1e-9);
+  }
+}
+
+TEST(Campaign, CorrectGuessIsTrueRoundKeyByte) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg = small_cfg(SensorMode::kTdcFull, 100);
+  cfg.target_key_byte = 3;
+  CpaCampaign campaign(setup, cfg);
+  const auto result = campaign.run();
+  EXPECT_EQ(result.correct_guess,
+            setup.victim().cipher().last_round_key()[3]);
+}
+
+TEST(Campaign, ProgressCheckpointsRespectSchedule) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg = small_cfg(SensorMode::kTdcFull, 1000);
+  cfg.checkpoints = {100, 500, 1000};
+  CpaCampaign campaign(setup, cfg);
+  const auto result = campaign.run();
+  ASSERT_EQ(result.progress.size(), 3u);
+  EXPECT_EQ(result.progress[0].traces, 100u);
+  EXPECT_EQ(result.progress[2].traces, 1000u);
+  EXPECT_EQ(result.traces_run, 1000u);
+  EXPECT_EQ(result.final_max_abs_corr.size(), 256u);
+}
+
+TEST(Campaign, TdcRecoversKeyQuickly) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CpaCampaign campaign(setup, small_cfg(SensorMode::kTdcFull, 4000));
+  const auto result = campaign.run();
+  EXPECT_TRUE(result.key_recovered);
+  ASSERT_TRUE(result.mtd.disclosed());
+  EXPECT_LE(*result.mtd.traces, 4000u);
+}
+
+TEST(Campaign, DeterministicPerSeed) {
+  const auto cal = Calibration::paper_defaults();
+  auto run_once = [&] {
+    AttackSetup setup(BenignCircuit::kAlu, cal);
+    CpaCampaign campaign(setup, small_cfg(SensorMode::kTdcFull, 500));
+    return campaign.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.final_max_abs_corr, b.final_max_abs_corr);
+}
+
+TEST(Campaign, SeedChangesTraces) {
+  const auto cal = Calibration::paper_defaults();
+  AttackSetup setup(BenignCircuit::kAlu, cal);
+  auto cfg = small_cfg(SensorMode::kTdcFull, 500);
+  CpaCampaign a(setup, cfg);
+  const auto ra = a.run();
+  cfg.seed ^= 1;
+  CpaCampaign b(setup, cfg);
+  const auto rb = b.run();
+  EXPECT_NE(ra.final_max_abs_corr, rb.final_max_abs_corr);
+}
+
+TEST(Campaign, BitsOfInterestSelectedForHwMode) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg = small_cfg(SensorMode::kBenignHw, 200);
+  cfg.selection_traces = 600;
+  cfg.selection_min_variance = 0.05;
+  CpaCampaign campaign(setup, cfg);
+  const auto result = campaign.run();
+  EXPECT_FALSE(result.bits_of_interest.empty());
+  EXPECT_LT(result.bits_of_interest.size(), setup.sensor_bits());
+}
+
+TEST(Campaign, TopKSelectionCaps) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg = small_cfg(SensorMode::kBenignHw, 100);
+  cfg.selection_min_variance = 0.01;
+  cfg.selection_top_k = 3;
+  CpaCampaign campaign(setup, cfg);
+  const auto bits = campaign.select_bits_of_interest();
+  EXPECT_EQ(bits.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(bits.begin(), bits.end()));
+}
+
+TEST(Campaign, AutoBitResolvesToSensitiveEndpoint) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg = small_cfg(SensorMode::kBenignSingleBit, 100);
+  cfg.single_bit = CampaignConfig::kAutoBit;
+  cfg.selection_traces = 600;
+  CpaCampaign campaign(setup, cfg);
+  (void)campaign.run();
+  EXPECT_LT(campaign.resolved_single_bit(), setup.sensor_bits());
+}
+
+TEST(Campaign, Validation) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg = small_cfg(SensorMode::kTdcFull, 0);
+  EXPECT_THROW(CpaCampaign campaign(setup, cfg), slm::Error);
+  cfg = small_cfg(SensorMode::kTdcFull, 10);
+  cfg.window_start_ns = 100.0;
+  cfg.window_end_ns = 50.0;
+  EXPECT_THROW(CpaCampaign campaign(setup, cfg), slm::Error);
+  cfg = small_cfg(SensorMode::kBenignSingleBit, 10);
+  cfg.single_bit = 9999;
+  CpaCampaign campaign(setup, cfg);
+  EXPECT_THROW((void)campaign.run(), slm::Error);
+}
+
+TEST(DefaultCheckpoints, CoverAndTerminate) {
+  const auto cps = default_checkpoints(500000);
+  ASSERT_FALSE(cps.empty());
+  EXPECT_EQ(cps.back(), 500000u);
+  EXPECT_TRUE(std::is_sorted(cps.begin(), cps.end()));
+  const auto small = default_checkpoints(50);
+  ASSERT_EQ(small.back(), 50u);
+}
+
+TEST(SensorModeNames, AllDistinct) {
+  EXPECT_STREQ(sensor_mode_name(SensorMode::kTdcFull), "tdc-full");
+  EXPECT_STREQ(sensor_mode_name(SensorMode::kBenignHw), "benign-hw");
+  EXPECT_STREQ(sensor_mode_name(SensorMode::kBenignSingleBit),
+               "benign-single-bit");
+}
+
+}  // namespace
+}  // namespace slm::core

@@ -1,0 +1,145 @@
+#include "core/preliminary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+#include "sca/selection.hpp"
+
+namespace slm::core {
+namespace {
+
+TEST(Preliminary, SampleGridAt150Msps) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  PreliminaryExperiment prelim(setup);
+  TimeSeriesConfig cfg;
+  cfg.duration_ns = 400.0;
+  cfg.ro_active = false;
+  const auto series = prelim.run(cfg);
+  ASSERT_GT(series.t_ns.size(), 10u);
+  const double ts = setup.calibration().sensor_sample_period_ns();
+  for (std::size_t i = 1; i < series.t_ns.size(); ++i) {
+    EXPECT_NEAR(series.t_ns[i] - series.t_ns[i - 1], ts, 0.1);
+  }
+  EXPECT_EQ(series.voltage.size(), series.t_ns.size());
+  EXPECT_EQ(series.benign_toggles.size(), series.t_ns.size());
+  EXPECT_EQ(series.tdc_readings.size(), series.t_ns.size());
+}
+
+TEST(Preliminary, RoActivationDroopsVoltage) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  PreliminaryExperiment prelim(setup);
+  TimeSeriesConfig cfg;
+  cfg.duration_ns = 1500.0;
+  cfg.ro_enable_ns = 400.0;
+  cfg.ro_active = true;
+  const auto series = prelim.run(cfg);
+
+  const std::size_t split = series.sample_index_at(400.0);
+  double v_before = 1e9, v_after = 1e9;
+  for (std::size_t i = 0; i < split; ++i) {
+    v_before = std::min(v_before, series.voltage[i]);
+  }
+  for (std::size_t i = split; i < series.voltage.size(); ++i) {
+    v_after = std::min(v_after, series.voltage[i]);
+  }
+  EXPECT_LT(v_after, v_before - 0.02);  // clear droop after enable
+}
+
+TEST(Preliminary, TdcTracksVoltageShape) {
+  // Fig. 6's core claim at substrate level: TDC reading dips on droop
+  // and overshoots on RO release.
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  PreliminaryExperiment prelim(setup);
+  TimeSeriesConfig cfg;
+  cfg.duration_ns = 1500.0;
+  cfg.ro_enable_ns = 300.0;
+  cfg.ro_active = true;
+  const auto series = prelim.run(cfg);
+
+  const auto idle = static_cast<double>(series.tdc_readings[2]);
+  const auto lo = *std::min_element(series.tdc_readings.begin(),
+                                    series.tdc_readings.end());
+  const auto hi = *std::max_element(series.tdc_readings.begin(),
+                                    series.tdc_readings.end());
+  EXPECT_LT(lo + 5, idle);  // deep dip
+  EXPECT_GT(hi, idle + 5);  // overshoot above idle
+}
+
+TEST(Preliminary, BenignHwCorrelatesWithTdc) {
+  // The Hamming weight of the toggling ALU bits must track the TDC trace
+  // (the quantitative heart of Fig. 6).
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  PreliminaryExperiment prelim(setup);
+  TimeSeriesConfig cfg;
+  cfg.duration_ns = 2500.0;
+  cfg.ro_enable_ns = 300.0;
+  cfg.ro_active = true;
+  const auto series = prelim.run(cfg);
+
+  auto selector = prelim.analyse(series);
+  const auto bits = selector.fluctuating_bits();
+  ASSERT_FALSE(bits.empty());
+  const auto hw = series.benign_hw(bits);
+
+  std::vector<double> hw_d(hw.begin(), hw.end());
+  std::vector<double> tdc_d(series.tdc_readings.begin(),
+                            series.tdc_readings.end());
+  // The ALU reads "more toggles" at lower voltage while the TDC reads
+  // fewer stages: strong *negative* correlation.
+  EXPECT_LT(pearson(hw_d, tdc_d), -0.7);
+}
+
+TEST(Preliminary, AesOnlySeriesShowsSmallerSwing) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  PreliminaryExperiment prelim(setup);
+  TimeSeriesConfig ro_cfg;
+  ro_cfg.duration_ns = 1500.0;
+  ro_cfg.ro_active = true;
+  TimeSeriesConfig aes_cfg;
+  aes_cfg.duration_ns = 1500.0;
+  aes_cfg.ro_active = false;
+  aes_cfg.aes_active = true;
+
+  const auto ro_series = prelim.run(ro_cfg);
+  const auto aes_series = prelim.run(aes_cfg);
+  auto swing = [](const std::vector<double>& v) {
+    return *std::max_element(v.begin(), v.end()) -
+           *std::min_element(v.begin(), v.end());
+  };
+  EXPECT_GT(swing(ro_series.voltage), 3.0 * swing(aes_series.voltage));
+}
+
+TEST(Preliminary, AesSensitiveBitsSubsetOfRoSensitive) {
+  // Fig. 7/15 shape: nearly all AES-sensitive endpoints also react to
+  // the (much stronger) RO stimulus.
+  AttackSetup setup(BenignCircuit::kC6288x2, Calibration::paper_defaults());
+  PreliminaryExperiment prelim(setup);
+  TimeSeriesConfig ro_cfg;
+  ro_cfg.duration_ns = 2000.0;
+  ro_cfg.ro_active = true;
+  TimeSeriesConfig aes_cfg;
+  aes_cfg.duration_ns = 4000.0;
+  aes_cfg.ro_active = false;
+  aes_cfg.aes_active = true;
+
+  const auto ro_bits = prelim.analyse(prelim.run(ro_cfg)).fluctuating_bits();
+  const auto aes_bits =
+      prelim.analyse(prelim.run(aes_cfg)).fluctuating_bits();
+  ASSERT_FALSE(ro_bits.empty());
+  ASSERT_FALSE(aes_bits.empty());
+  EXPECT_GE(sca::subset_fraction(aes_bits, ro_bits), 0.85);
+}
+
+TEST(Preliminary, Validation) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  PreliminaryExperiment prelim(setup);
+  TimeSeriesConfig cfg;
+  cfg.duration_ns = 0.0;
+  EXPECT_THROW((void)prelim.run(cfg), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::core

@@ -1,0 +1,90 @@
+#include "core/setup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "timing/sta.hpp"
+
+namespace slm::core {
+namespace {
+
+TEST(AttackSetup, AluDimensions) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  EXPECT_EQ(setup.sensor_bits(), 193u);  // 192 result bits + carry out
+  EXPECT_EQ(setup.benign_instance_count(), 1u);
+  EXPECT_EQ(setup.sensor().instance_count(), 1u);
+  EXPECT_STREQ(benign_circuit_name(setup.circuit_kind()), "alu192");
+}
+
+TEST(AttackSetup, C6288Dimensions) {
+  AttackSetup setup(BenignCircuit::kC6288x2, Calibration::paper_defaults());
+  EXPECT_EQ(setup.sensor_bits(), 64u);  // two 32-bit products
+  EXPECT_EQ(setup.benign_instance_count(), 2u);
+  EXPECT_EQ(setup.sensor().instance_count(), 2u);
+}
+
+TEST(AttackSetup, CircuitsCloseTimingAtDesignClockOnly) {
+  const auto cal = Calibration::paper_defaults();
+  for (auto kind : {BenignCircuit::kAlu, BenignCircuit::kC6288x2}) {
+    AttackSetup setup(kind, cal);
+    timing::Sta sta(setup.benign_netlist(0));
+    const double design_period = 1000.0 / cal.benign_design_mhz;
+    EXPECT_LT(sta.critical_delay(), design_period)
+        << benign_circuit_name(kind) << " must close 50 MHz timing";
+    EXPECT_GT(setup.sensor().instance(0).max_settle_time_ns(),
+              cal.overclock_period_ns())
+        << benign_circuit_name(kind) << " must miss 300 MHz timing";
+  }
+}
+
+TEST(AttackSetup, SensitiveEndpointCountsInPaperBand) {
+  const auto cal = Calibration::paper_defaults();
+  {
+    AttackSetup setup(BenignCircuit::kAlu, cal);
+    const auto sens = setup.ro_band_sensitive_endpoints();
+    // Paper: 79 of 192. Calibrated band: within +-40%.
+    EXPECT_GE(sens.size(), 45u);
+    EXPECT_LE(sens.size(), 115u);
+  }
+  {
+    AttackSetup setup(BenignCircuit::kC6288x2, cal);
+    const auto sens = setup.ro_band_sensitive_endpoints();
+    // Paper: 49 of 64.
+    EXPECT_GE(sens.size(), 28u);
+    EXPECT_LE(sens.size(), 62u);
+  }
+}
+
+TEST(AttackSetup, C6288InstancesHaveDistinctSkews) {
+  AttackSetup setup(BenignCircuit::kC6288x2, Calibration::paper_defaults());
+  const auto& a = setup.sensor().instance(0).capture().endpoint_skews();
+  const auto& b = setup.sensor().instance(1).capture().endpoint_skews();
+  EXPECT_NE(a, b);
+}
+
+TEST(AttackSetup, EffectiveCouplingPerCircuit) {
+  const auto cal = Calibration::paper_defaults();
+  AttackSetup alu(BenignCircuit::kAlu, cal);
+  AttackSetup mult(BenignCircuit::kC6288x2, cal);
+  EXPECT_DOUBLE_EQ(alu.effective_coupling(), cal.coupling_for_alu());
+  EXPECT_DOUBLE_EQ(mult.effective_coupling(), cal.coupling_for_c6288());
+}
+
+TEST(AttackSetup, FloorplanRendersBothTenants) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  const auto fabric = setup.make_floorplan();
+  EXPECT_EQ(fabric.tenant_count(), 2u);
+  EXPECT_EQ(fabric.module_count(), 4u);  // benign, TDC, ROs, AES
+  const std::string art = fabric.render_ascii();
+  for (char c : {'B', 'T', 'R', 'A', '*'}) {
+    EXPECT_NE(art.find(c), std::string::npos) << "missing '" << c << "'";
+  }
+}
+
+TEST(AttackSetup, InstanceIndexValidated) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  EXPECT_THROW((void)setup.benign_netlist(1), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::core

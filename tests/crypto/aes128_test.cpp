@@ -1,0 +1,129 @@
+#include "crypto/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace slm::crypto {
+namespace {
+
+// FIPS-197 Appendix B / C.1 vectors.
+TEST(Aes128, Fips197AppendixB) {
+  const Aes128 aes(block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block ct = aes.encrypt(block_from_hex("3243f6a8885a308d313198a2e0370734"));
+  EXPECT_EQ(block_to_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, Fips197AppendixC1) {
+  const Aes128 aes(block_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Block ct = aes.encrypt(block_from_hex("00112233445566778899aabbccddeeff"));
+  EXPECT_EQ(block_to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  const Aes128 aes(block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  Xoshiro256 rng(1);
+  for (int t = 0; t < 50; ++t) {
+    Block pt;
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+  }
+}
+
+TEST(Aes128, KeyScheduleKnownValues) {
+  // FIPS-197 A.1: w4..w7 of the expanded 2b7e... key -> round key 1.
+  const Aes128 aes(block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  EXPECT_EQ(block_to_hex(aes.round_key(1)), "a0fafe1788542cb123a339392a6c7605");
+  EXPECT_EQ(block_to_hex(aes.round_key(10)),
+            "d014f9a8c9ee2589e13f0cc8b6630ca6");
+  EXPECT_EQ(aes.last_round_key(), aes.round_key(10));
+}
+
+TEST(Aes128, EncryptStatesEndAtCiphertext) {
+  const Aes128 aes(block_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Block pt = block_from_hex("00112233445566778899aabbccddeeff");
+  const auto states = aes.encrypt_states(pt);
+  EXPECT_EQ(states[10], aes.encrypt(pt));
+  // State 0 is pt ^ k0.
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(states[0][i], pt[i] ^ aes.round_key(0)[i]);
+  }
+}
+
+TEST(Aes128, LastRoundStructure) {
+  // state10[p] = Sbox(state9[isr(p)]) ^ k10[p] -- the identity the CPA
+  // hypothesis model depends on.
+  const Aes128 aes(block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Block pt = block_from_hex("3243f6a8885a308d313198a2e0370734");
+  const auto states = aes.encrypt_states(pt);
+  for (std::size_t p = 0; p < 16; ++p) {
+    const std::uint8_t expected = static_cast<std::uint8_t>(
+        Aes128::sbox(states[9][Aes128::inv_shift_rows_pos(p)]) ^
+        aes.round_key(10)[p]);
+    EXPECT_EQ(states[10][p], expected) << "position " << p;
+  }
+}
+
+TEST(Aes128, SboxInverse) {
+  for (int x = 0; x < 256; ++x) {
+    const auto b = static_cast<std::uint8_t>(x);
+    EXPECT_EQ(Aes128::inv_sbox(Aes128::sbox(b)), b);
+    EXPECT_EQ(Aes128::sbox(Aes128::inv_sbox(b)), b);
+  }
+}
+
+TEST(Aes128, ShiftRowsMapsAreInverse) {
+  bool seen[16] = {};
+  for (std::size_t p = 0; p < 16; ++p) {
+    const std::size_t q = Aes128::shift_rows_pos(p);
+    EXPECT_LT(q, 16u);
+    EXPECT_FALSE(seen[q]);  // permutation
+    seen[q] = true;
+    EXPECT_EQ(Aes128::inv_shift_rows_pos(q), p);
+  }
+  // Row 0 is fixed.
+  EXPECT_EQ(Aes128::shift_rows_pos(0), 0u);
+  EXPECT_EQ(Aes128::shift_rows_pos(4), 4u);
+}
+
+TEST(BlockHex, RoundTripAndValidation) {
+  const std::string h = "00112233445566778899aabbccddeeff";
+  EXPECT_EQ(block_to_hex(block_from_hex(h)), h);
+  EXPECT_THROW(block_from_hex("too short"), slm::Error);
+  EXPECT_THROW(block_from_hex("zz112233445566778899aabbccddeeff"),
+               slm::Error);
+}
+
+TEST(KeySchedule, MasterKeyRecoveredFromAnyRoundKey) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Block key;
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+    const Aes128 aes(key);
+    for (std::size_t r : {1u, 5u, 10u}) {
+      EXPECT_EQ(recover_master_key(aes.round_key(r), r), key)
+          << "round " << r;
+    }
+    EXPECT_EQ(recover_master_key(aes.round_key(0), 0), key);
+  }
+}
+
+TEST(KeySchedule, KnownLastRoundKeyInverts) {
+  // d014f9a8... is the FIPS-197 expansion of 2b7e1516...
+  const Block k10 = block_from_hex("d014f9a8c9ee2589e13f0cc8b6630ca6");
+  EXPECT_EQ(block_to_hex(recover_master_key(k10)),
+            "2b7e151628aed2a6abf7158809cf4f3c");
+}
+
+TEST(KeySchedule, RoundOutOfRangeThrows) {
+  EXPECT_THROW(recover_master_key(Block{}, 11), slm::Error);
+}
+
+TEST(Aes128, RoundKeyRangeCheck) {
+  const Aes128 aes(block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  EXPECT_THROW((void)aes.round_key(11), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::crypto

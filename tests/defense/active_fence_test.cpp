@@ -1,0 +1,54 @@
+#include "defense/active_fence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace slm::defense {
+namespace {
+
+TEST(ActiveFence, DisabledIsConstant) {
+  ActiveFenceConfig cfg;
+  cfg.base_current_a = 0.05;
+  cfg.random_current_a = 0.0;
+  ActiveFence fence(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(fence.next_cycle_current(), 0.05);
+  }
+  EXPECT_DOUBLE_EQ(fence.mean_current_a(), 0.05);
+}
+
+TEST(ActiveFence, RandomComponentUniform) {
+  ActiveFenceConfig cfg;
+  cfg.base_current_a = 0.1;
+  cfg.random_current_a = 0.4;
+  ActiveFence fence(cfg);
+  OnlineMeanVar acc;
+  for (int i = 0; i < 50000; ++i) {
+    const double c = fence.next_cycle_current();
+    ASSERT_GE(c, 0.1);
+    ASSERT_LT(c, 0.5);
+    acc.add(c);
+  }
+  EXPECT_NEAR(acc.mean(), fence.mean_current_a(), 0.005);
+  EXPECT_NEAR(acc.variance(), 0.4 * 0.4 / 12.0, 0.002);
+}
+
+TEST(ActiveFence, DeterministicPerSeed) {
+  ActiveFenceConfig cfg;
+  cfg.random_current_a = 0.2;
+  ActiveFence a(cfg), b(cfg);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_cycle_current(), b.next_cycle_current());
+  }
+}
+
+TEST(ActiveFence, Validation) {
+  ActiveFenceConfig bad;
+  bad.base_current_a = -1.0;
+  EXPECT_THROW(ActiveFence f(bad), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::defense

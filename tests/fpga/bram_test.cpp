@@ -1,0 +1,48 @@
+#include "fpga/bram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace slm::fpga {
+namespace {
+
+TEST(TraceBuffer, PushAndDrain) {
+  TraceBuffer buf(4);
+  EXPECT_TRUE(buf.push(1));
+  EXPECT_TRUE(buf.push(2));
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_FALSE(buf.full());
+  const auto words = buf.drain();
+  EXPECT_EQ(words, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(TraceBuffer, OverflowCounted) {
+  TraceBuffer buf(2);
+  EXPECT_TRUE(buf.push(1));
+  EXPECT_TRUE(buf.push(2));
+  EXPECT_TRUE(buf.full());
+  EXPECT_FALSE(buf.push(3));
+  EXPECT_FALSE(buf.push(4));
+  EXPECT_EQ(buf.dropped(), 2u);
+  // Drain resets both contents and drop count.
+  (void)buf.drain();
+  EXPECT_EQ(buf.dropped(), 0u);
+  EXPECT_TRUE(buf.push(5));
+}
+
+TEST(TraceBuffer, PeekDoesNotConsume) {
+  TraceBuffer buf(4);
+  buf.push(7);
+  EXPECT_EQ(buf.peek().size(), 1u);
+  EXPECT_EQ(buf.peek()[0], 7u);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(TraceBuffer, ZeroCapacityRejected) {
+  EXPECT_THROW(TraceBuffer buf(0), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::fpga

@@ -1,0 +1,62 @@
+#include "fpga/clocking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slm::fpga {
+namespace {
+
+class PaperClocks : public ::testing::TestWithParam<double> {};
+
+TEST_P(PaperClocks, Synthesisable) {
+  Mmcm mmcm;
+  const double target = GetParam();
+  const auto setting = mmcm.find_setting(target);
+  ASSERT_TRUE(setting.has_value()) << target << " MHz";
+  EXPECT_NEAR(setting->f_out_mhz, target, 0.01);
+  // Derived frequency must be exactly ref * m / (d * o).
+  const double f = 125.0 * setting->m / (setting->d * setting->o);
+  EXPECT_DOUBLE_EQ(setting->f_out_mhz, f);
+  // VCO inside its legal range.
+  EXPECT_GE(setting->vco_mhz, 600.0);
+  EXPECT_LE(setting->vco_mhz, 1200.0);
+}
+
+// Every clock the paper's setup needs, from the 125 MHz reference.
+INSTANTIATE_TEST_SUITE_P(Setup, PaperClocks,
+                         ::testing::Values(50.0, 100.0, 150.0, 300.0));
+
+TEST(Mmcm, TheOverclockRaisesNoStructuralFlag) {
+  // The attack's point: requesting 300 MHz for a "50 MHz" circuit is a
+  // perfectly ordinary MMCM configuration.
+  Mmcm mmcm;
+  EXPECT_TRUE(mmcm.can_generate(300.0));
+}
+
+TEST(Mmcm, ImpossibleFrequencyRejected) {
+  Mmcm mmcm;
+  EXPECT_FALSE(mmcm.can_generate(1150.7, 1e-6));
+  EXPECT_FALSE(mmcm.find_setting(2500.0).has_value());  // above VCO max
+}
+
+TEST(Mmcm, PrefersLowerError) {
+  Mmcm mmcm;
+  const auto s = mmcm.find_setting(333.0, 5.0);
+  ASSERT_TRUE(s.has_value());
+  // 1000/3 = 333.33 (m=16,d=2,o=3) is within 0.34 MHz.
+  EXPECT_LE(s->error_mhz, 0.34);
+}
+
+TEST(Mmcm, CustomConstraints) {
+  MmcmConstraints c;
+  c.ref_mhz = 100.0;
+  c.m_min = 6;
+  c.m_max = 12;
+  Mmcm mmcm(c);
+  const auto s = mmcm.find_setting(200.0);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_GE(s->m, 6);
+  EXPECT_LE(s->m, 12);
+}
+
+}  // namespace
+}  // namespace slm::fpga

@@ -1,0 +1,107 @@
+#include "fpga/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace slm::fpga {
+namespace {
+
+TEST(Rect, ContainsAndOverlaps) {
+  Rect a{2, 2, 4, 4};
+  EXPECT_TRUE(a.contains(2, 2));
+  EXPECT_TRUE(a.contains(5, 5));
+  EXPECT_FALSE(a.contains(6, 2));
+  EXPECT_TRUE(a.overlaps(Rect{5, 5, 2, 2}));
+  EXPECT_FALSE(a.overlaps(Rect{6, 2, 2, 2}));
+  EXPECT_EQ(a.tiles(), 16u);
+}
+
+TEST(Fabric, TenantIsolationEnforced) {
+  Fabric fab(40, 20);
+  fab.add_tenant("a", Rect{0, 0, 20, 20});
+  EXPECT_THROW(fab.add_tenant("b", Rect{19, 0, 10, 10}), slm::Error);
+  fab.add_tenant("b", Rect{20, 0, 20, 20});
+  EXPECT_EQ(fab.tenant_count(), 2u);
+}
+
+TEST(Fabric, RegionMustFitFabric) {
+  Fabric fab(10, 10);
+  EXPECT_THROW(fab.add_tenant("big", Rect{5, 5, 10, 10}), slm::Error);
+  EXPECT_THROW(fab.add_tenant("empty", Rect{0, 0, 0, 5}), slm::Error);
+}
+
+TEST(Fabric, ModuleMustFitTenantRegion) {
+  Fabric fab(40, 20);
+  const auto t = fab.add_tenant("a", Rect{0, 0, 20, 20});
+  PlacedModule m;
+  m.name = "x";
+  m.symbol = 'X';
+  m.bounds = Rect{15, 15, 10, 4};  // spills out of the region
+  EXPECT_THROW(fab.place_module(t, m), slm::Error);
+  m.bounds = Rect{1, 1, 8, 8};
+  EXPECT_NO_THROW(fab.place_module(t, m));
+}
+
+TEST(Fabric, HotCellsValidated) {
+  Fabric fab(40, 20);
+  const auto t = fab.add_tenant("a", Rect{0, 0, 20, 20});
+  PlacedModule m;
+  m.name = "x";
+  m.symbol = 'X';
+  m.bounds = Rect{0, 0, 4, 4};
+  m.cell_count = 8;
+  m.hot_cells = {9};  // out of range
+  EXPECT_THROW(fab.place_module(t, m), slm::Error);
+}
+
+TEST(Fabric, PdnCouplingDecaysWithDistance) {
+  Fabric fab(100, 20);
+  const auto near_a = fab.add_tenant("a", Rect{0, 0, 10, 20});
+  const auto near_b = fab.add_tenant("b", Rect{12, 0, 10, 20});
+  const auto far_c = fab.add_tenant("c", Rect{80, 0, 10, 20});
+  EXPECT_DOUBLE_EQ(fab.pdn_coupling(near_a, near_a), 1.0);
+  const double ab = fab.pdn_coupling(near_a, near_b);
+  const double ac = fab.pdn_coupling(near_a, far_c);
+  EXPECT_GT(ab, ac);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(ab, fab.pdn_coupling(near_b, near_a));
+}
+
+TEST(Fabric, RenderShowsModulesAndHotCells) {
+  Fabric fab(30, 10);
+  const auto t = fab.add_tenant("a", Rect{0, 0, 30, 10});
+  PlacedModule m;
+  m.name = "sensor";
+  m.symbol = 'B';
+  m.bounds = Rect{1, 1, 10, 8};
+  m.cell_count = 40;
+  m.hot_cells = {0, 1, 2};
+  fab.place_module(t, m);
+  const std::string art = fab.render_ascii();
+  EXPECT_NE(art.find('B'), std::string::npos);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  // One line per row plus newlines.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 10);
+}
+
+TEST(Fabric, RenderIsDeterministic) {
+  auto build = [] {
+    Fabric fab(20, 8);
+    const auto t = fab.add_tenant("a", Rect{0, 0, 20, 8});
+    PlacedModule m;
+    m.name = "fixed-name";
+    m.symbol = 'M';
+    m.bounds = Rect{2, 2, 10, 4};
+    fab.place_module(t, m);
+    return fab.render_ascii();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace slm::fpga

@@ -1,0 +1,112 @@
+#include "fpga/uart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace slm::fpga {
+namespace {
+
+TEST(Uart, FrameRoundTrip) {
+  Frame f;
+  f.type = FrameType::kCiphertext;
+  f.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  FrameDecoder dec;
+  const auto frames = dec.feed(encode_frame(f));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kCiphertext);
+  EXPECT_EQ(frames[0].payload, f.payload);
+  EXPECT_EQ(dec.crc_errors(), 0u);
+}
+
+TEST(Uart, EmptyPayloadFrame) {
+  Frame f;
+  f.type = FrameType::kControl;
+  FrameDecoder dec;
+  const auto frames = dec.feed(encode_frame(f));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].payload.empty());
+}
+
+TEST(Uart, BackToBackFrames) {
+  Frame a, b;
+  a.type = FrameType::kPlaintext;
+  a.payload = {1, 2, 3};
+  b.type = FrameType::kTrace;
+  b.payload = {4, 5};
+  auto bytes = encode_frame(a);
+  const auto more = encode_frame(b);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+  FrameDecoder dec;
+  const auto frames = dec.feed(bytes);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload.size(), 3u);
+  EXPECT_EQ(frames[1].type, FrameType::kTrace);
+}
+
+TEST(Uart, CorruptCrcDropped) {
+  Frame f;
+  f.type = FrameType::kTrace;
+  f.payload = {9, 9, 9};
+  auto bytes = encode_frame(f);
+  bytes.back() ^= 0xFF;  // break the CRC
+  FrameDecoder dec;
+  const auto frames = dec.feed(bytes);
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(dec.crc_errors(), 1u);
+}
+
+TEST(Uart, CorruptPayloadDropped) {
+  Frame f;
+  f.type = FrameType::kTrace;
+  f.payload = {1, 2, 3, 4};
+  auto bytes = encode_frame(f);
+  bytes[5] ^= 0x40;  // flip a payload bit
+  FrameDecoder dec;
+  EXPECT_TRUE(dec.feed(bytes).empty());
+  EXPECT_EQ(dec.crc_errors(), 1u);
+}
+
+TEST(Uart, ResynchronisesAfterGarbage) {
+  FrameDecoder dec;
+  // Garbage, then a valid frame.
+  std::vector<std::uint8_t> bytes{0x00, 0x13, 0x37};
+  Frame f;
+  f.type = FrameType::kControl;
+  f.payload = {0x42};
+  const auto good = encode_frame(f);
+  bytes.insert(bytes.end(), good.begin(), good.end());
+  const auto frames = dec.feed(bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(dec.sync_errors(), 3u);
+  EXPECT_EQ(frames[0].payload[0], 0x42);
+}
+
+TEST(Uart, TraceFrameWordRoundTrip) {
+  Xoshiro256 rng(1);
+  std::vector<std::uint64_t> words;
+  for (int i = 0; i < 17; ++i) words.push_back(rng.next());
+  const Frame f = make_trace_frame(words);
+  EXPECT_EQ(f.payload.size(), 17u * 8u);
+  EXPECT_EQ(parse_trace_frame(f), words);
+}
+
+TEST(Uart, ParseTraceValidation) {
+  Frame f;
+  f.type = FrameType::kControl;
+  EXPECT_THROW(parse_trace_frame(f), slm::Error);
+  f.type = FrameType::kTrace;
+  f.payload = {1, 2, 3};  // not a multiple of 8
+  EXPECT_THROW(parse_trace_frame(f), slm::Error);
+}
+
+TEST(Uart, Crc8KnownValue) {
+  // CRC-8/ATM ("123456789") = 0xF4.
+  const std::vector<std::uint8_t> msg{'1', '2', '3', '4', '5',
+                                      '6', '7', '8', '9'};
+  EXPECT_EQ(crc8(msg), 0xF4);
+}
+
+}  // namespace
+}  // namespace slm::fpga

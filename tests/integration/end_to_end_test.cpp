@@ -1,0 +1,137 @@
+// End-to-end reproduction smoke tests: each checks the *shape* of one of
+// the paper's headline results on the simulated substrate, at trace
+// counts small enough for CI.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bitstream/checker.hpp"
+#include "core/attack.hpp"
+#include "core/campaign.hpp"
+#include "core/preliminary.hpp"
+#include "fpga/clocking.hpp"
+#include "fpga/bram.hpp"
+#include "fpga/uart.hpp"
+#include "netlist/generators/suspicious.hpp"
+
+namespace slm::core {
+namespace {
+
+TEST(EndToEnd, AluBenignSensorRecoversKeyByte) {
+  // Fig. 10's claim at reduced scale: the misused ALU alone suffices.
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg;
+  cfg.mode = SensorMode::kBenignHw;
+  cfg.traces = 120000;
+  cfg.selection_traces = 2000;
+  CpaCampaign campaign(setup, cfg);
+  const auto result = campaign.run();
+  EXPECT_TRUE(result.key_recovered);
+  EXPECT_TRUE(result.mtd.disclosed());
+}
+
+TEST(EndToEnd, C6288SingleEndpointRecoversKeyByte) {
+  // Fig. 18's claim: one path endpoint of a multiplier leaks the key.
+  AttackSetup setup(BenignCircuit::kC6288x2, Calibration::paper_defaults());
+  CampaignConfig cfg;
+  cfg.mode = SensorMode::kBenignSingleBit;
+  cfg.single_bit = CampaignConfig::kAutoBit;
+  cfg.traces = 150000;
+  cfg.selection_traces = 2000;
+  CpaCampaign campaign(setup, cfg);
+  const auto result = campaign.run();
+  EXPECT_TRUE(result.key_recovered);
+}
+
+TEST(EndToEnd, TdcBeatsBenignSensorByOrdersOfMagnitude) {
+  // The sensor-quality ordering of Figs. 9 vs 10.
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig tdc_cfg;
+  tdc_cfg.mode = SensorMode::kTdcFull;
+  tdc_cfg.traces = 5000;
+  const auto tdc = CpaCampaign(setup, tdc_cfg).run();
+  ASSERT_TRUE(tdc.mtd.disclosed());
+  EXPECT_LE(*tdc.mtd.traces, 5000u);
+
+  // The benign sensor at the same trace count must NOT yet have a
+  // comparable margin (it needs tens of thousands).
+  CampaignConfig alu_cfg;
+  alu_cfg.mode = SensorMode::kBenignHw;
+  alu_cfg.traces = 5000;
+  alu_cfg.selection_traces = 2000;
+  const auto alu = CpaCampaign(setup, alu_cfg).run();
+  EXPECT_LT(alu.mtd.final_margin, tdc.mtd.final_margin);
+}
+
+TEST(EndToEnd, StealthinessMatrix) {
+  // The Discussion's detection matrix: conspicuous sensors are flagged,
+  // benign circuits pass, and only strict timing checks catch the misuse.
+  bitstream::BitstreamChecker structural;
+  const auto ro =
+      netlist::make_ring_oscillator(netlist::RingOscillatorOptions{});
+  const auto tdc = netlist::make_tdc_line(netlist::TdcLineOptions{});
+  EXPECT_FALSE(structural.check(ro).passed());
+  EXPECT_FALSE(structural.check(tdc).passed());
+
+  for (auto kind : {BenignCircuit::kAlu, BenignCircuit::kC6288x2}) {
+    StealthyAttack attack(kind);
+    EXPECT_TRUE(attack.check_stealthiness().passed());
+    bitstream::CheckerOptions strict;
+    strict.operating_clock_period_ns = 10.0 / 3.0;
+    EXPECT_FALSE(attack.check_stealthiness(strict).passed());
+  }
+}
+
+TEST(EndToEnd, AttackClocksAreOrdinaryMmcmSettings) {
+  fpga::Mmcm mmcm;
+  const auto cal = Calibration::paper_defaults();
+  EXPECT_TRUE(mmcm.can_generate(cal.benign_design_mhz));
+  EXPECT_TRUE(mmcm.can_generate(cal.overclock_mhz));
+  EXPECT_TRUE(mmcm.can_generate(cal.aes_clock_mhz));
+}
+
+TEST(EndToEnd, TraceTransportRoundTrip) {
+  // The Fig. 2 data path: sensor words -> BRAM -> UART -> workstation.
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  Xoshiro256 rng(1);
+  fpga::TraceBuffer bram(64);
+  for (int s = 0; s < 20; ++s) {
+    const BitVec word = setup.sensor().sample_toggles(0.97, rng);
+    bram.push(word.words()[0]);
+  }
+  const auto frame = fpga::make_trace_frame(bram.drain());
+  fpga::FrameDecoder decoder;
+  const auto frames = decoder.feed(fpga::encode_frame(frame));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(fpga::parse_trace_frame(frames[0]).size(), 20u);
+}
+
+TEST(EndToEnd, PreliminaryAndCpaAgreeOnSensorViability) {
+  // If the preliminary experiment finds sensitive bits, the campaign's
+  // selection pass must find bits of interest too (same physics).
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  PreliminaryExperiment prelim(setup);
+  TimeSeriesConfig ts;
+  ts.duration_ns = 1200.0;
+  ts.ro_active = true;
+  const auto sensitive = prelim.analyse(prelim.run(ts)).fluctuating_bits();
+  ASSERT_FALSE(sensitive.empty());
+
+  CampaignConfig cfg;
+  cfg.mode = SensorMode::kBenignHw;
+  cfg.traces = 10;
+  cfg.selection_traces = 1500;
+  cfg.selection_min_variance = 0.02;
+  CpaCampaign campaign(setup, cfg);
+  const auto bits = campaign.select_bits_of_interest();
+  ASSERT_FALSE(bits.empty());
+  // Campaign bits of interest are a subset of the RO-sensitive set.
+  for (std::size_t b : bits) {
+    EXPECT_TRUE(std::find(sensitive.begin(), sensitive.end(), b) !=
+                sensitive.end())
+        << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace slm::core

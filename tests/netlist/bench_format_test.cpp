@@ -1,0 +1,154 @@
+#include "netlist/bench_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/generators/adder.hpp"
+#include "netlist/generators/c6288.hpp"
+
+namespace slm::netlist {
+namespace {
+
+TEST(BenchFormat, ParsesIscasStyleFile) {
+  const std::string text = R"(
+# a small ISCAS-style circuit
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G8)
+OUTPUT(G9)
+G6 = NAND(G1, G2)
+G7 = NOT(G3)
+G8 = AND(G6, G7)
+G9 = XOR(G6, G3)
+)";
+  const Netlist nl = parse_bench_string(text, "small");
+  EXPECT_EQ(nl.inputs().size(), 3u);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  EXPECT_EQ(nl.logic_gate_count(), 4u);
+
+  Evaluator ev(nl);
+  // G1=1, G2=1, G3=0: G6=0, G7=1, G8=0, G9=0.
+  const BitVec out1 = ev.eval(BitVec::from_string("011"));
+  EXPECT_FALSE(out1.get(0));
+  EXPECT_FALSE(out1.get(1));
+  // G1=1, G2=0, G3=0: G6=1, G7=1, G8=1, G9=1.
+  const BitVec out2 = ev.eval(BitVec::from_string("001"));
+  EXPECT_TRUE(out2.get(0));
+  EXPECT_TRUE(out2.get(1));
+}
+
+TEST(BenchFormat, HandlesForwardReferences) {
+  // Published files are not topologically sorted.
+  const std::string text = R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = AND(a, a)
+)";
+  const Netlist nl = parse_bench_string(text);
+  Evaluator ev(nl);
+  EXPECT_FALSE(ev.eval(BitVec(1, 1)).get(0));
+  EXPECT_TRUE(ev.eval(BitVec(1, 0)).get(0));
+}
+
+TEST(BenchFormat, RoundTripC6288) {
+  C6288Options opt;
+  opt.operand_width = 8;  // keep the file small
+  const Netlist original = make_c6288(opt);
+
+  std::stringstream ss;
+  write_bench(original, ss);
+  const Netlist reparsed = parse_bench(ss, "c6288_rt");
+
+  EXPECT_EQ(reparsed.inputs().size(), original.inputs().size());
+  EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+  EXPECT_EQ(reparsed.logic_gate_count(), original.logic_gate_count());
+
+  Evaluator ev_a(original), ev_b(reparsed);
+  Xoshiro256 rng(3);
+  for (int t = 0; t < 40; ++t) {
+    const std::uint64_t a = rng.next() & 0xFF, b = rng.next() & 0xFF;
+    const BitVec in = pack_c6288_inputs(opt, a, b);
+    EXPECT_EQ(ev_a.eval(in), ev_b.eval(in)) << a << "*" << b;
+  }
+}
+
+TEST(BenchFormat, RejectsMalformedInput) {
+  EXPECT_THROW(parse_bench_string("G1 = FROB(G2)\nINPUT(G2)\n"), slm::Error);
+  EXPECT_THROW(parse_bench_string("nonsense line\n"), slm::Error);
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(missing)\n"), slm::Error);
+  // Cyclic definitions are caught, not looped on.
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(x)\n"
+                                  "x = NOT(y)\ny = NOT(x)\n"),
+               slm::Error);
+  // Duplicate definitions.
+  EXPECT_THROW(parse_bench_string("INPUT(a)\nOUTPUT(x)\n"
+                                  "x = NOT(a)\nx = BUF(a)\n"),
+               slm::Error);
+}
+
+TEST(BenchFormat, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# header\n\nINPUT(a)  # trailing comment\nOUTPUT(y)\n\n"
+      "y = BUFF(a)\n";
+  const Netlist nl = parse_bench_string(text);
+  Evaluator ev(nl);
+  EXPECT_TRUE(ev.eval(BitVec(1, 1)).get(0));
+}
+
+TEST(BenchFormat, WriterExpandsMuxAndConstants) {
+  // mux2 and constant tie-offs have no .bench keyword; the writer must
+  // expand them into AND/OR/NOT helpers that compute the same function.
+  Netlist nl("mux");
+  Gate in;
+  in.type = GateType::kInput;
+  const NetId a = nl.add_gate(in);
+  const NetId b = nl.add_gate(in);
+  const NetId s = nl.add_gate(in);
+  Gate mux;
+  mux.type = GateType::kMux2;
+  mux.fanin = {a, b, s};
+  const NetId m = nl.add_gate(mux);
+  nl.add_output(m, "o");
+  Gate c1;
+  c1.type = GateType::kConst1;
+  const NetId one = nl.add_gate(c1);
+  nl.add_output(one, "tie1");
+
+  std::stringstream ss;
+  write_bench(nl, ss);
+  const Netlist reparsed = parse_bench(ss, "mux_rt");
+
+  Evaluator ev(reparsed);
+  for (int v = 0; v < 8; ++v) {
+    const BitVec out = ev.eval(BitVec(3, static_cast<std::uint64_t>(v)));
+    const bool a_v = (v & 1) != 0, b_v = (v & 2) != 0, s_v = (v & 4) != 0;
+    EXPECT_EQ(out.get(0), s_v ? b_v : a_v) << "v=" << v;
+    EXPECT_TRUE(out.get(1)) << "v=" << v;  // the const-1 tie-off
+  }
+}
+
+TEST(BenchFormat, RoundTripRippleCarryAdder) {
+  // The RCA uses MUXCY cells: the expansion must preserve the function.
+  AdderOptions opt;
+  opt.width = 12;
+  const Netlist original = make_ripple_carry_adder(opt);
+  std::stringstream ss;
+  write_bench(original, ss);
+  const Netlist reparsed = parse_bench(ss, "rca_rt");
+  Evaluator ev_a(original), ev_b(reparsed);
+  Xoshiro256 rng(5);
+  for (int t = 0; t < 40; ++t) {
+    const std::uint64_t a = rng.next() & 0xFFF, b = rng.next() & 0xFFF;
+    const BitVec in = pack_adder_inputs_u64(opt, a, b, rng.coin());
+    EXPECT_EQ(ev_a.eval(in), ev_b.eval(in));
+  }
+}
+
+}  // namespace
+}  // namespace slm::netlist

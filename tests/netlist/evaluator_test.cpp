@@ -1,0 +1,112 @@
+#include "netlist/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/builder.hpp"
+
+namespace slm::netlist {
+namespace {
+
+TEST(Evaluator, FullAdderTruthTable) {
+  Builder b("fa");
+  const NetId a = b.input("a");
+  const NetId x = b.input("b");
+  const NetId cin = b.input("cin");
+  const auto sc = b.full_adder(a, x, cin);
+  b.output(sc.sum, "s");
+  b.output(sc.carry, "c");
+  const Netlist nl = b.take();
+  Evaluator ev(nl);
+
+  for (int v = 0; v < 8; ++v) {
+    BitVec in(3, static_cast<std::uint64_t>(v));
+    const BitVec out = ev.eval(in);
+    const int ones = (v & 1) + ((v >> 1) & 1) + ((v >> 2) & 1);
+    EXPECT_EQ(out.get(0), (ones & 1) != 0) << "v=" << v;
+    EXPECT_EQ(out.get(1), ones >= 2) << "v=" << v;
+  }
+}
+
+TEST(Evaluator, NorFullAdderMatchesXorAndForm) {
+  Builder b("fa2");
+  const NetId a = b.input("a");
+  const NetId x = b.input("b");
+  const NetId cin = b.input("cin");
+  const auto classic = b.full_adder(a, x, cin, "cl");
+  const auto nor = b.full_adder_nor(a, x, cin, "nr");
+  b.output(classic.sum, "cs");
+  b.output(classic.carry, "cc");
+  b.output(nor.sum, "ns");
+  b.output(nor.carry, "nc");
+  const Netlist nl = b.take();
+  Evaluator ev(nl);
+  for (int v = 0; v < 8; ++v) {
+    const BitVec out = ev.eval(BitVec(3, static_cast<std::uint64_t>(v)));
+    EXPECT_EQ(out.get(0), out.get(2)) << "sum differs at v=" << v;
+    EXPECT_EQ(out.get(1), out.get(3)) << "carry differs at v=" << v;
+  }
+}
+
+TEST(Evaluator, NorHalfAdder) {
+  Builder b("ha");
+  const NetId a = b.input("a");
+  const NetId x = b.input("b");
+  const auto sc = b.half_adder_nor(a, x);
+  b.output(sc.sum, "s");
+  b.output(sc.carry, "c");
+  const Netlist nl = b.take();
+  Evaluator ev(nl);
+  for (int v = 0; v < 4; ++v) {
+    const BitVec out = ev.eval(BitVec(2, static_cast<std::uint64_t>(v)));
+    const bool a_v = (v & 1) != 0;
+    const bool b_v = (v & 2) != 0;
+    EXPECT_EQ(out.get(0), a_v != b_v) << "v=" << v;
+    EXPECT_EQ(out.get(1), a_v && b_v) << "v=" << v;
+  }
+}
+
+TEST(Evaluator, ConstantsAndMux) {
+  Builder b("cm");
+  const NetId sel = b.input("sel");
+  const NetId m = b.mux2(b.const0(), b.const1(), sel, "m");
+  b.output(m, "o");
+  const Netlist nl = b.take();
+  Evaluator ev(nl);
+  EXPECT_FALSE(ev.eval(BitVec(1, 0)).get(0));
+  EXPECT_TRUE(ev.eval(BitVec(1, 1)).get(0));
+}
+
+TEST(Evaluator, InputWidthMismatchThrows) {
+  Builder b("w");
+  const NetId a = b.input("a");
+  b.output(b.not_(a), "o");
+  Evaluator ev(b.peek());
+  EXPECT_THROW(ev.eval(BitVec(2)), slm::Error);
+}
+
+TEST(Evaluator, RejectsCyclicNetlist) {
+  Builder b("cyc");
+  const NetId ph = b.const0();
+  const NetId i1 = b.not_(ph);
+  const NetId i2 = b.not_(i1);
+  b.output(i2, "o");
+  Netlist nl = b.take();
+  nl.rewire_fanin(i1, 0, i2);
+  EXPECT_THROW(Evaluator ev(nl), slm::Error);
+}
+
+TEST(Evaluator, EvalNetsExposesInternalValues) {
+  Builder b("nets");
+  const NetId a = b.input("a");
+  const NetId inv = b.not_(a, "inv");
+  b.output(inv, "o");
+  const Netlist nl = b.take();
+  Evaluator ev(nl);
+  const auto nets = ev.eval_nets(BitVec(1, 1));
+  EXPECT_TRUE(nets[a]);
+  EXPECT_FALSE(nets[inv]);
+}
+
+}  // namespace
+}  // namespace slm::netlist

@@ -1,0 +1,69 @@
+#include "netlist/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "netlist/generators/adder.hpp"
+
+namespace slm::netlist {
+namespace {
+
+TEST(ExportVerilog, ContainsModuleAndAssigns) {
+  Builder b("demo");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  b.output(b.nand2(a, c, "g"), "out");
+  std::ostringstream os;
+  export_verilog(b.take(), os);
+  const std::string v = os.str();
+  EXPECT_NE(v.find("module demo"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("nand"), std::string::npos);
+  EXPECT_NE(v.find("assign po_0"), std::string::npos);
+}
+
+TEST(ExportVerilog, MuxBecomesTernary) {
+  Builder b("m");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  const NetId s = b.input("s");
+  b.output(b.mux2(a, c, s), "o");
+  std::ostringstream os;
+  export_verilog(b.take(), os);
+  EXPECT_NE(os.str().find(" ? "), std::string::npos);
+}
+
+TEST(ExportVerilog, SanitisesNames) {
+  Builder b("san");
+  const NetId a = b.input("x[0]");
+  b.output(b.not_(a, "inv.y"), "o");
+  std::ostringstream os;
+  export_verilog(b.take(), os);
+  // No bracket or dot may survive in identifiers (only in comments).
+  std::istringstream is(os.str());
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto comment = line.find("//");
+    const std::string code = line.substr(0, comment);
+    EXPECT_EQ(code.find('['), std::string::npos) << line;
+    EXPECT_EQ(code.find('.'), std::string::npos) << line;
+  }
+}
+
+TEST(ExportDebug, OneLinePerGate) {
+  AdderOptions opt;
+  opt.width = 4;
+  const Netlist nl = make_ripple_carry_adder(opt);
+  std::ostringstream os;
+  export_debug(nl, os);
+  const std::string out = os.str();
+  // Header + one line per gate.
+  const auto lines = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), nl.gate_count() + 1);
+}
+
+}  // namespace
+}  // namespace slm::netlist

@@ -1,0 +1,122 @@
+#include "netlist/generators/fast_datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/generators/adder.hpp"
+#include "timing/sta.hpp"
+
+namespace slm::netlist {
+namespace {
+
+class KsWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KsWidth, AdditionCorrect) {
+  KoggeStoneOptions opt;
+  opt.width = GetParam();
+  const Netlist nl = make_kogge_stone_adder(opt);
+  Evaluator ev(nl);
+  Xoshiro256 rng(GetParam());
+  const std::uint64_t mask =
+      opt.width >= 64 ? ~0ull : (1ull << opt.width) - 1;
+  for (int t = 0; t < 60; ++t) {
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    const BitVec out = ev.eval(pack_ks_inputs(opt, a, b));
+    const unsigned __int128 full = static_cast<unsigned __int128>(a) + b;
+    EXPECT_EQ(out.slice(0, opt.width).to_uint64(),
+              static_cast<std::uint64_t>(full) & mask);
+    EXPECT_EQ(out.get(opt.width), ((full >> opt.width) & 1) != 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KsWidth,
+                         ::testing::Values(2, 3, 8, 16, 31, 64));
+
+TEST(KoggeStone, LogDepthBeatsRipple) {
+  KoggeStoneOptions ks_opt;
+  ks_opt.width = 64;
+  AdderOptions rca_opt;
+  rca_opt.width = 64;
+  const Netlist ks_nl = make_kogge_stone_adder(ks_opt);
+  const Netlist rca_nl = make_ripple_carry_adder(rca_opt);
+  timing::Sta ks(ks_nl);
+  timing::Sta rca(rca_nl);
+  // Prefix depth log2(64)=6 levels; must be a small fraction of the
+  // 64-stage ripple even with fast carry cells.
+  EXPECT_LT(ks.critical_delay(), rca.critical_delay());
+  EXPECT_LT(ks.critical_delay(), 2.5);
+}
+
+class WallaceWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WallaceWidth, MultiplicationCorrect) {
+  WallaceOptions opt;
+  opt.operand_width = GetParam();
+  const Netlist nl = make_wallace_multiplier(opt);
+  Evaluator ev(nl);
+  Xoshiro256 rng(17 * GetParam());
+  const std::uint64_t mask = (1ull << opt.operand_width) - 1;
+  for (int t = 0; t < 60; ++t) {
+    const std::uint64_t a = rng.next() & mask;
+    const std::uint64_t b = rng.next() & mask;
+    const BitVec out = ev.eval(pack_wallace_inputs(opt, a, b));
+    EXPECT_EQ(out.to_uint64(), a * b) << a << "*" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WallaceWidth, ::testing::Values(2, 4, 8, 16));
+
+TEST(Wallace, ShallowerThanBraunArray) {
+  WallaceOptions opt;
+  const Netlist wallace = make_wallace_multiplier(opt);
+  timing::Sta sta(wallace);
+  // The Braun/C6288 array settles at ~5 ns; the Wallace tree must be
+  // clearly faster despite identical function.
+  EXPECT_LT(sta.critical_delay(), 3.4);
+  EXPECT_EQ(wallace.outputs().size(), 32u);
+}
+
+class BarrelCase : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BarrelCase, RotatesCorrectly) {
+  BarrelShifterOptions opt;
+  opt.width = 32;
+  const Netlist nl = make_barrel_shifter(opt);
+  Evaluator ev(nl);
+  Xoshiro256 rng(GetParam());
+  for (int t = 0; t < 40; ++t) {
+    const std::uint64_t d = rng.next() & 0xFFFFFFFFull;
+    const std::uint64_t s = rng.uniform_int(32);
+    const BitVec out = ev.eval(pack_barrel_inputs(opt, d, s));
+    const std::uint64_t expect =
+        ((d << s) | (d >> (32 - s))) & 0xFFFFFFFFull;
+    EXPECT_EQ(out.to_uint64(), s == 0 ? d : expect)
+        << "d=" << d << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BarrelCase, ::testing::Values(1, 2, 3));
+
+TEST(Barrel, DepthIsLogStages) {
+  BarrelShifterOptions opt;
+  opt.width = 64;
+  const Netlist nl = make_barrel_shifter(opt);
+  timing::Sta sta(nl);
+  // 6 mux stages + routing: far below the 3.33 ns capture period.
+  EXPECT_LT(sta.critical_delay(), 1.2);
+}
+
+TEST(FastDatapath, Validation) {
+  KoggeStoneOptions ks;
+  ks.width = 1;
+  EXPECT_THROW(make_kogge_stone_adder(ks), slm::Error);
+  BarrelShifterOptions br;
+  br.width = 48;  // not a power of two
+  EXPECT_THROW(make_barrel_shifter(br), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::netlist

@@ -1,0 +1,90 @@
+#include "netlist/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+namespace slm::netlist {
+namespace {
+
+using TruthCase = std::tuple<GateType, std::vector<bool>, bool>;
+
+class GateTruth : public ::testing::TestWithParam<TruthCase> {};
+
+TEST_P(GateTruth, Evaluates) {
+  const auto& [type, in, expected] = GetParam();
+  EXPECT_EQ(eval_gate(type, in), expected)
+      << gate_type_name(type) << " with " << in.size() << " fanins";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoInput, GateTruth,
+    ::testing::Values(
+        TruthCase{GateType::kAnd, {false, false}, false},
+        TruthCase{GateType::kAnd, {true, false}, false},
+        TruthCase{GateType::kAnd, {true, true}, true},
+        TruthCase{GateType::kOr, {false, false}, false},
+        TruthCase{GateType::kOr, {true, false}, true},
+        TruthCase{GateType::kNand, {true, true}, false},
+        TruthCase{GateType::kNand, {true, false}, true},
+        TruthCase{GateType::kNor, {false, false}, true},
+        TruthCase{GateType::kNor, {false, true}, false},
+        TruthCase{GateType::kXor, {true, true}, false},
+        TruthCase{GateType::kXor, {true, false}, true},
+        TruthCase{GateType::kXnor, {true, true}, true},
+        TruthCase{GateType::kXnor, {false, true}, false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    WideInput, GateTruth,
+    ::testing::Values(
+        TruthCase{GateType::kAnd, {true, true, true, true}, true},
+        TruthCase{GateType::kAnd, {true, true, false, true}, false},
+        TruthCase{GateType::kOr, {false, false, false}, false},
+        TruthCase{GateType::kOr, {false, false, true}, true},
+        TruthCase{GateType::kXor, {true, true, true}, true},
+        TruthCase{GateType::kXor, {true, true, true, true}, false},
+        TruthCase{GateType::kNor, {false, false, false}, true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    UnaryAndMux, GateTruth,
+    ::testing::Values(
+        TruthCase{GateType::kBuf, {true}, true},
+        TruthCase{GateType::kBuf, {false}, false},
+        TruthCase{GateType::kNot, {true}, false},
+        TruthCase{GateType::kNot, {false}, true},
+        // mux2 fanin order {a, b, sel}: sel ? b : a
+        TruthCase{GateType::kMux2, {true, false, false}, true},
+        TruthCase{GateType::kMux2, {true, false, true}, false},
+        TruthCase{GateType::kMux2, {false, true, true}, true}));
+
+TEST(GateMeta, Names) {
+  EXPECT_STREQ(gate_type_name(GateType::kNand), "nand");
+  EXPECT_STREQ(gate_type_name(GateType::kMux2), "mux2");
+  EXPECT_STREQ(gate_type_name(GateType::kInput), "input");
+}
+
+TEST(GateMeta, Arity) {
+  EXPECT_EQ(gate_arity(GateType::kNot).min, 1u);
+  EXPECT_EQ(gate_arity(GateType::kNot).max, 1u);
+  EXPECT_EQ(gate_arity(GateType::kMux2).min, 3u);
+  EXPECT_EQ(gate_arity(GateType::kAnd).min, 2u);
+  EXPECT_EQ(gate_arity(GateType::kAnd).max, 0u);  // unbounded
+}
+
+TEST(GateMeta, DefaultDelaysPositiveForLogic) {
+  for (GateType t : {GateType::kBuf, GateType::kNot, GateType::kAnd,
+                     GateType::kOr, GateType::kNand, GateType::kNor,
+                     GateType::kXor, GateType::kXnor, GateType::kMux2}) {
+    EXPECT_GT(default_gate_delay_ns(t), 0.0) << gate_type_name(t);
+  }
+  EXPECT_EQ(default_gate_delay_ns(GateType::kInput), 0.0);
+}
+
+TEST(GateMeta, ConstantsEvaluate) {
+  EXPECT_FALSE(eval_gate(GateType::kConst0, {}));
+  EXPECT_TRUE(eval_gate(GateType::kConst1, {}));
+}
+
+}  // namespace
+}  // namespace slm::netlist

@@ -1,0 +1,145 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/builder.hpp"
+
+namespace slm::netlist {
+namespace {
+
+Netlist small_acyclic() {
+  Builder b("small");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  const NetId x = b.and2(a, c, "x");
+  const NetId y = b.not_(x, "y");
+  b.output(y, "out");
+  return b.take();
+}
+
+TEST(Netlist, BasicStructure) {
+  const Netlist nl = small_acyclic();
+  EXPECT_EQ(nl.gate_count(), 4u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.logic_gate_count(), 2u);
+  EXPECT_FALSE(nl.has_combinational_cycle());
+}
+
+TEST(Netlist, TopoOrderRespectsEdges) {
+  const Netlist nl = small_acyclic();
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), nl.gate_count());
+  std::vector<std::size_t> pos(nl.gate_count());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NetId id = 0; id < nl.gate_count(); ++id) {
+    for (NetId f : nl.gate(id).fanin) {
+      EXPECT_LT(pos[f], pos[id]);
+    }
+  }
+}
+
+TEST(Netlist, Levels) {
+  const Netlist nl = small_acyclic();
+  const auto levels = nl.levels();
+  EXPECT_EQ(levels[nl.inputs()[0]], 0u);
+  EXPECT_EQ(levels[nl.outputs()[0].net], 2u);
+  EXPECT_EQ(nl.stats().max_level, 2u);
+}
+
+TEST(Netlist, FanoutCounts) {
+  Builder b("fan");
+  const NetId a = b.input("a");
+  const NetId x = b.not_(a, "x");
+  const NetId y = b.not_(a, "y");
+  b.output(b.and2(x, y, "z"), "out");
+  const Netlist nl = b.take();
+  const auto fo = nl.fanout_counts();
+  EXPECT_EQ(fo[a], 2u);
+  EXPECT_EQ(fo[x], 1u);
+}
+
+TEST(Netlist, CycleDetection) {
+  Builder b("loop");
+  const NetId ph = b.const0();
+  const NetId inv1 = b.not_(ph, "i1");
+  const NetId inv2 = b.not_(inv1, "i2");
+  const NetId inv3 = b.not_(inv2, "i3");
+  b.output(inv3, "tap");
+  Netlist nl = b.take();
+  nl.rewire_fanin(inv1, 0, inv3);
+  EXPECT_TRUE(nl.has_combinational_cycle());
+  EXPECT_THROW(nl.topo_order(), Error);
+  const auto cyc = nl.gates_on_cycles();
+  EXPECT_EQ(cyc.size(), 3u);  // exactly the three inverters
+  EXPECT_TRUE(nl.stats().cyclic);
+}
+
+TEST(Netlist, CycleMembersPrecise) {
+  // A cycle plus downstream logic: only the cycle gates are reported.
+  Builder b("loop2");
+  const NetId ph = b.const0();
+  const NetId i1 = b.not_(ph, "i1");
+  const NetId i2 = b.not_(i1, "i2");
+  const NetId after = b.not_(i2, "after");
+  b.output(after, "o");
+  Netlist nl = b.take();
+  nl.rewire_fanin(i1, 0, i2);
+  const auto cyc = nl.gates_on_cycles();
+  ASSERT_EQ(cyc.size(), 2u);
+  EXPECT_TRUE((cyc[0] == i1 && cyc[1] == i2) ||
+              (cyc[0] == i2 && cyc[1] == i1));
+}
+
+TEST(Netlist, InvalidConstruction) {
+  Netlist nl("bad");
+  Gate g;
+  g.type = GateType::kAnd;
+  g.fanin = {0, 1};  // no such nets
+  EXPECT_THROW(nl.add_gate(g), Error);
+
+  Gate input;
+  input.type = GateType::kInput;
+  const NetId in = nl.add_gate(input);
+  Gate single;
+  single.type = GateType::kAnd;
+  single.fanin = {in};  // too few
+  EXPECT_THROW(nl.add_gate(single), Error);
+
+  EXPECT_THROW(nl.add_output(42, "nope"), Error);
+}
+
+TEST(Netlist, RewireValidation) {
+  Netlist nl = small_acyclic();
+  EXPECT_THROW(nl.rewire_fanin(99, 0, 0), Error);
+  EXPECT_THROW(nl.rewire_fanin(2, 5, 0), Error);
+}
+
+TEST(Netlist, OutputNets) {
+  const Netlist nl = small_acyclic();
+  const auto nets = nl.output_nets();
+  ASSERT_EQ(nets.size(), 1u);
+  EXPECT_EQ(nets[0], nl.outputs()[0].net);
+}
+
+TEST(Builder, BusHelpers) {
+  Builder b("bus");
+  const auto bus = b.input_bus("d", 8);
+  EXPECT_EQ(bus.size(), 8u);
+  b.output_bus(bus, "q");
+  const Netlist nl = b.take();
+  EXPECT_EQ(nl.outputs().size(), 8u);
+  EXPECT_EQ(nl.outputs()[3].name, "q[3]");
+}
+
+TEST(Builder, MuxBusWidthMismatchThrows) {
+  Builder b("m");
+  const auto a = b.input_bus("a", 4);
+  const auto c = b.input_bus("b", 3);
+  const NetId sel = b.input("sel");
+  EXPECT_THROW(b.mux_bus(a, c, sel), Error);
+}
+
+}  // namespace
+}  // namespace slm::netlist

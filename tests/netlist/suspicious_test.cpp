@@ -1,0 +1,72 @@
+#include "netlist/generators/suspicious.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace slm::netlist {
+namespace {
+
+TEST(RingOscillator, ContainsCycle) {
+  RingOscillatorOptions opt;  // 2 inverters + enable NAND
+  const Netlist nl = make_ring_oscillator(opt);
+  EXPECT_TRUE(nl.has_combinational_cycle());
+  EXPECT_FALSE(nl.gates_on_cycles().empty());
+}
+
+TEST(RingOscillator, LoopLengthMatchesStages) {
+  RingOscillatorOptions opt;
+  opt.inverter_stages = 4;
+  opt.with_enable = true;
+  const Netlist nl = make_ring_oscillator(opt);
+  // NAND + 4 inverters on the cycle.
+  EXPECT_EQ(nl.gates_on_cycles().size(), 5u);
+}
+
+TEST(RingOscillator, NoEnableVariant) {
+  RingOscillatorOptions opt;
+  opt.inverter_stages = 5;
+  opt.with_enable = false;
+  const Netlist nl = make_ring_oscillator(opt);
+  EXPECT_TRUE(nl.has_combinational_cycle());
+  EXPECT_EQ(nl.gates_on_cycles().size(), 5u);
+  EXPECT_TRUE(nl.inputs().empty());
+}
+
+TEST(RingOscillator, EvenInversionsRejected) {
+  RingOscillatorOptions opt;
+  opt.inverter_stages = 3;  // + NAND = 4 inversions: no oscillation
+  opt.with_enable = true;
+  EXPECT_THROW(make_ring_oscillator(opt), slm::Error);
+}
+
+TEST(TdcLine, StructureAndClockMarking) {
+  TdcLineOptions opt;
+  opt.stages = 32;
+  const Netlist nl = make_tdc_line(opt);
+  EXPECT_FALSE(nl.has_combinational_cycle());
+  EXPECT_EQ(nl.outputs().size(), 32u);
+  ASSERT_EQ(nl.inputs().size(), 1u);
+  EXPECT_TRUE(nl.gate(nl.inputs()[0]).is_clock);
+}
+
+TEST(TdcLine, NonClockVariant) {
+  TdcLineOptions opt;
+  opt.stages = 8;
+  opt.clock_as_data = false;
+  const Netlist nl = make_tdc_line(opt);
+  EXPECT_FALSE(nl.gate(nl.inputs()[0]).is_clock);
+}
+
+TEST(TdcLine, StageDelaysApplied) {
+  TdcLineOptions opt;
+  opt.stages = 4;
+  opt.stage_delay_ns = 0.123;
+  const Netlist nl = make_tdc_line(opt);
+  for (const auto& port : nl.outputs()) {
+    EXPECT_DOUBLE_EQ(nl.gate(port.net).delay_ns, 0.123);
+  }
+}
+
+}  // namespace
+}  // namespace slm::netlist

@@ -1,0 +1,82 @@
+#include "pdn/current_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace slm::pdn {
+namespace {
+
+TEST(RoGrid, OffBeforeEnable) {
+  RoGridAggressor grid(RoGridConfig{});
+  EXPECT_DOUBLE_EQ(grid.current_at(50.0, 100.0), 0.0);
+  EXPECT_GE(grid.current_at(150.0, 100.0), 0.0);
+}
+
+TEST(RoGrid, MaxCurrentIsCountTimesPerRo) {
+  RoGridConfig cfg;
+  cfg.ro_count = 8000;
+  cfg.current_per_ro_a = 0.15e-3;
+  RoGridAggressor grid(cfg);
+  EXPECT_NEAR(grid.max_current_a(), 1.2, 1e-12);
+}
+
+TEST(RoGrid, GradualRampSuddenDrop) {
+  RoGridConfig cfg;
+  cfg.toggle_freq_mhz = 4.0;  // 250 ns period
+  cfg.ramp_fraction = 0.8;    // ramp over 200 ns, off for 50 ns
+  RoGridAggressor grid(cfg);
+  const double imax = grid.max_current_a();
+  // Mid-ramp: half the ramp -> half current.
+  EXPECT_NEAR(grid.current_at(100.0, 0.0), imax * 0.5, 1e-9);
+  // Just before the drop: nearly full current.
+  EXPECT_GT(grid.current_at(199.0, 0.0), imax * 0.99);
+  // After the drop: off.
+  EXPECT_DOUBLE_EQ(grid.current_at(210.0, 0.0), 0.0);
+  // Next period ramps again.
+  EXPECT_NEAR(grid.current_at(350.0, 0.0), imax * 0.5, 1e-9);
+}
+
+TEST(RoGrid, RampIsMonotoneWithinPeriod) {
+  RoGridAggressor grid(RoGridConfig{});
+  double prev = -1.0;
+  for (double t = 0.0; t < 200.0; t += 5.0) {
+    const double i = grid.current_at(t, 0.0);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(RoGrid, SequenceSamplesCurrentAt) {
+  RoGridAggressor grid(RoGridConfig{});
+  const auto seq = grid.sequence(100, 2.0, 50.0);
+  ASSERT_EQ(seq.size(), 100u);
+  for (std::size_t k = 0; k < seq.size(); ++k) {
+    EXPECT_DOUBLE_EQ(seq[k], grid.current_at(2.0 * k, 50.0));
+  }
+}
+
+TEST(RoGrid, Validation) {
+  RoGridConfig bad;
+  bad.ro_count = 0;
+  EXPECT_THROW(RoGridAggressor g(bad), slm::Error);
+  bad = RoGridConfig{};
+  bad.ramp_fraction = 0.0;
+  EXPECT_THROW(RoGridAggressor g(bad), slm::Error);
+}
+
+TEST(SimpleSources, PulseAndStep) {
+  PulseSource pulse{2.0, 10.0, 5.0};
+  EXPECT_DOUBLE_EQ(pulse.current_at(9.9), 0.0);
+  EXPECT_DOUBLE_EQ(pulse.current_at(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(pulse.current_at(14.9), 2.0);
+  EXPECT_DOUBLE_EQ(pulse.current_at(15.0), 0.0);
+
+  StepSource step{1.5, 3.0};
+  EXPECT_DOUBLE_EQ(step.current_at(2.9), 0.0);
+  EXPECT_DOUBLE_EQ(step.current_at(3.0), 1.5);
+  EXPECT_DOUBLE_EQ(step.current_at(100.0), 1.5);
+}
+
+}  // namespace
+}  // namespace slm::pdn

@@ -1,0 +1,99 @@
+#include "pdn/rlc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace slm::pdn {
+namespace {
+
+PdnConfig default_cfg() { return PdnConfig{}; }
+
+TEST(RlcPdn, StartsAtDcOperatingPoint) {
+  RlcPdn pdn(default_cfg());
+  EXPECT_NEAR(pdn.voltage(), pdn.dc_voltage(default_cfg().idle_current_a),
+              1e-12);
+  // With no extra load the state must hold steady.
+  for (int i = 0; i < 1000; ++i) pdn.step(0.0);
+  EXPECT_NEAR(pdn.voltage(), pdn.dc_voltage(default_cfg().idle_current_a),
+              1e-6);
+}
+
+TEST(RlcPdn, StepLoadSettlesToNewDc) {
+  const PdnConfig cfg = default_cfg();
+  RlcPdn pdn(cfg);
+  const double extra = 1.0;
+  // Run long enough for the transient to die out (~10 resonance periods).
+  for (int i = 0; i < 40000; ++i) pdn.step(extra);
+  EXPECT_NEAR(pdn.voltage(), pdn.dc_voltage(cfg.idle_current_a + extra),
+              1e-4);
+}
+
+TEST(RlcPdn, UnderdampedDroopOvershootsSteadyState) {
+  const PdnConfig cfg = default_cfg();
+  RlcPdn pdn(cfg);
+  ASSERT_LT(pdn.damping_ratio(), 1.0);  // configured underdamped
+  const double v_dc_new = pdn.dc_voltage(cfg.idle_current_a + 1.0);
+  double v_min = 10.0;
+  for (int i = 0; i < 20000; ++i) v_min = std::min(v_min, pdn.step(1.0));
+  EXPECT_LT(v_min, v_dc_new - 1e-4);  // transient dips below the new DC
+}
+
+TEST(RlcPdn, ReleaseOvershootsAboveIdle) {
+  const PdnConfig cfg = default_cfg();
+  RlcPdn pdn(cfg);
+  const double v_idle = pdn.voltage();
+  // Apply load until settled, then release suddenly.
+  for (int i = 0; i < 40000; ++i) pdn.step(1.0);
+  double v_max = 0.0;
+  for (int i = 0; i < 20000; ++i) v_max = std::max(v_max, pdn.step(0.0));
+  EXPECT_GT(v_max, v_idle + 1e-4);
+}
+
+TEST(RlcPdn, ResonanceMatchesAnalyticFormula) {
+  const PdnConfig cfg = default_cfg();
+  RlcPdn pdn(cfg);
+  const double f_expected =
+      1.0 / (2.0 * M_PI * std::sqrt(cfg.l_h * cfg.c_f)) / 1e6;
+  EXPECT_NEAR(pdn.resonance_mhz(), f_expected, 1e-9);
+  EXPECT_NEAR(pdn.resonance_mhz(), 100.7, 1.0);  // the calibrated point
+}
+
+TEST(RlcPdn, RunMatchesRepeatedStep) {
+  RlcPdn a(default_cfg()), b(default_cfg());
+  std::vector<double> loads;
+  for (int i = 0; i < 500; ++i) loads.push_back(i % 100 < 50 ? 0.5 : 0.0);
+  const auto series = a.run(loads);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i], b.step(loads[i]));
+  }
+}
+
+TEST(RlcPdn, LinearityOfDeviations) {
+  // Double the stimulus -> double the deviation (the property the
+  // CycleResponseMatrix engine relies on).
+  const PdnConfig cfg = default_cfg();
+  RlcPdn p1(cfg), p2(cfg);
+  const double v_dc = p1.voltage();
+  for (int i = 0; i < 3000; ++i) {
+    const double load = (i > 100 && i < 300) ? 1.0 : 0.0;
+    const double d1 = p1.step(load) - v_dc;
+    const double d2 = p2.step(2.0 * load) - v_dc;
+    EXPECT_NEAR(d2, 2.0 * d1, 1e-9);
+  }
+}
+
+TEST(RlcPdn, ConfigValidation) {
+  PdnConfig bad = default_cfg();
+  bad.r_ohm = 0.0;
+  EXPECT_THROW(RlcPdn pdn(bad), slm::Error);
+  bad = default_cfg();
+  bad.dt_ns = 100.0;  // way above stability limit
+  EXPECT_THROW(RlcPdn pdn(bad), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::pdn

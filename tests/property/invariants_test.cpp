@@ -1,0 +1,225 @@
+// Cross-module property tests over randomly generated circuits and data:
+// the invariants that tie the simulation stack together. Each property
+// is swept over many seeds via parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "netlist/bench_format.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/generators/random_dag.hpp"
+#include "pdn/cycle_response.hpp"
+#include "sca/cpa.hpp"
+#include "timing/capture.hpp"
+#include "timing/sta.hpp"
+#include "timing/timed_sim.hpp"
+
+namespace slm {
+namespace {
+
+netlist::RandomDagOptions dag_opts(std::uint64_t seed) {
+  netlist::RandomDagOptions opt;
+  opt.inputs = 10;
+  opt.gates = 120;
+  opt.outputs = 12;
+  opt.seed = seed;
+  return opt;
+}
+
+BitVec random_inputs(std::size_t width, Xoshiro256& rng) {
+  BitVec v(width);
+  for (std::size_t i = 0; i < width; ++i) v.set(i, rng.coin());
+  return v;
+}
+
+class RandomCircuit : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCircuit, AlwaysAcyclicAndWellFormed) {
+  const auto nl = make_random_dag(dag_opts(GetParam()));
+  EXPECT_FALSE(nl.has_combinational_cycle());
+  EXPECT_NO_THROW(nl.topo_order());
+  EXPECT_EQ(nl.outputs().size(), 12u);
+  // Every fanin references an earlier net (DAG-by-construction).
+  for (netlist::NetId id = 0; id < nl.gate_count(); ++id) {
+    for (netlist::NetId f : nl.gate(id).fanin) {
+      EXPECT_LT(f, id);
+    }
+  }
+}
+
+TEST_P(RandomCircuit, TimedSimConvergesToEvaluator) {
+  // The final value of every endpoint after an event-driven transition
+  // must equal the zero-delay evaluation of the target vector.
+  const auto nl = make_random_dag(dag_opts(GetParam()));
+  netlist::Evaluator ev(nl);
+  timing::TimedSimulator sim(nl);
+  Xoshiro256 rng(GetParam() * 31 + 7);
+  for (int t = 0; t < 8; ++t) {
+    const BitVec from = random_inputs(nl.inputs().size(), rng);
+    const BitVec to = random_inputs(nl.inputs().size(), rng);
+    const auto r = sim.simulate_transition(from, to);
+    const BitVec settled = ev.eval(to);
+    for (std::size_t i = 0; i < r.endpoint_waveforms.size(); ++i) {
+      EXPECT_EQ(r.endpoint_waveforms[i].final_value(), settled.get(i));
+    }
+  }
+}
+
+TEST_P(RandomCircuit, StaBoundsEventSimSettleTimes) {
+  // Static arrival is the worst case over all input vectors: no event-
+  // driven settle time may exceed it.
+  const auto nl = make_random_dag(dag_opts(GetParam()));
+  timing::Sta sta(nl);
+  timing::TimedSimulator sim(nl);
+  const auto arrivals = sta.endpoint_arrivals();
+  Xoshiro256 rng(GetParam() * 131 + 3);
+  for (int t = 0; t < 6; ++t) {
+    const auto r = sim.simulate_transition(
+        random_inputs(nl.inputs().size(), rng),
+        random_inputs(nl.inputs().size(), rng));
+    for (std::size_t i = 0; i < arrivals.size(); ++i) {
+      EXPECT_LE(r.endpoint_waveforms[i].settle_time(), arrivals[i] + 1e-9);
+    }
+  }
+}
+
+TEST_P(RandomCircuit, BenchRoundTripPreservesFunction) {
+  const auto original = make_random_dag(dag_opts(GetParam()));
+  std::stringstream ss;
+  netlist::write_bench(original, ss);
+  const auto reparsed = netlist::parse_bench(ss, "rt");
+  netlist::Evaluator ev_a(original), ev_b(reparsed);
+  Xoshiro256 rng(GetParam() * 17 + 1);
+  for (int t = 0; t < 24; ++t) {
+    const BitVec in = random_inputs(original.inputs().size(), rng);
+    EXPECT_EQ(ev_a.eval(in), ev_b.eval(in));
+  }
+}
+
+TEST_P(RandomCircuit, WaveformsAreConsistentHistories) {
+  // Each endpoint waveform starts at the settled `from` value, alternates
+  // per toggle and obeys value_at() at every probe point.
+  const auto nl = make_random_dag(dag_opts(GetParam()));
+  netlist::Evaluator ev(nl);
+  timing::TimedSimulator sim(nl);
+  Xoshiro256 rng(GetParam() * 97 + 5);
+  const BitVec from = random_inputs(nl.inputs().size(), rng);
+  const BitVec to = random_inputs(nl.inputs().size(), rng);
+  const BitVec initial = ev.eval(from);
+  const auto r = sim.simulate_transition(from, to);
+  for (std::size_t i = 0; i < r.endpoint_waveforms.size(); ++i) {
+    const auto& wf = r.endpoint_waveforms[i];
+    EXPECT_EQ(wf.initial_value(), initial.get(i));
+    EXPECT_TRUE(std::is_sorted(wf.toggles().begin(), wf.toggles().end()));
+    bool value = wf.initial_value();
+    double prev = -1.0;
+    for (double tg : wf.toggles()) {
+      EXPECT_GT(tg, 0.0);
+      if (tg > prev) {
+        // Just before a strictly later toggle the old value holds.
+        EXPECT_EQ(wf.value_at(tg - 1e-9), value);
+      }
+      value = !value;
+      prev = tg;
+      EXPECT_EQ(wf.value_at(tg), value);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuit,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class CaptureProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CaptureProperty, SingleToggleProbabilityMonotoneInVoltage) {
+  // A clean single-toggle endpoint must toggle *less* often as voltage
+  // rises past its threshold... and more often below it: P(captured=1)
+  // is monotone in V (within statistical noise).
+  Xoshiro256 seed_rng(GetParam());
+  const double toggle_t = 2.5 + seed_rng.uniform() * 1.0;
+  timing::CaptureConfig cfg;
+  cfg.clock_period_ns = 10.0 / 3.0;
+  cfg.delay = timing::VoltageDelayModel{1.0, 3.0};
+  cfg.jitter_sigma_ns = 0.08;
+  cfg.common_jitter_sigma_ns = 0.0;
+  cfg.endpoint_skew_sigma_ns = 0.0;
+  cfg.setup_ns = 0.0;
+  timing::OverclockedCapture cap({timing::Waveform(false, {toggle_t})}, cfg,
+                                 GetParam());
+  Xoshiro256 rng(GetParam() * 3 + 11);
+  double prev_p = -0.05;
+  for (double v = 0.85; v <= 1.1; v += 0.05) {
+    int ones = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      if (cap.sample(v, rng).get(0)) ++ones;
+    }
+    const double p = static_cast<double>(ones) / n;
+    EXPECT_GE(p, prev_p - 0.04) << "v=" << v;  // allow sampling noise
+    prev_p = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CaptureProperty,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+TEST(CpaProperty, EngineMatchesBruteForceRecomputation) {
+  // The streaming five-sums engine must agree with a naive recomputation
+  // over stored traces, for every guess and sample.
+  Xoshiro256 rng(99);
+  const auto& normal = FastNormal::instance();
+  const std::size_t guesses = 12, samples = 5, traces = 3000;
+  sca::CpaEngine engine(guesses, samples);
+  std::vector<std::vector<std::uint8_t>> hs;
+  std::vector<std::vector<double>> ys;
+  for (std::size_t t = 0; t < traces; ++t) {
+    std::vector<std::uint8_t> h(guesses);
+    for (auto& b : h) b = rng.coin() ? 1 : 0;
+    std::vector<double> y(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      y[s] = 0.1 * h[(s * 3) % guesses] + normal(rng);
+    }
+    engine.add_trace(h, y);
+    hs.push_back(std::move(h));
+    ys.push_back(std::move(y));
+  }
+  for (std::size_t k = 0; k < guesses; ++k) {
+    for (std::size_t s = 0; s < samples; ++s) {
+      std::vector<double> hx, yx;
+      for (std::size_t t = 0; t < traces; ++t) {
+        hx.push_back(hs[t][k]);
+        yx.push_back(ys[t][s]);
+      }
+      EXPECT_NEAR(engine.correlation(k, s), pearson(hx, yx), 1e-9)
+          << "k=" << k << " s=" << s;
+    }
+  }
+}
+
+TEST(PdnProperty, ResponseMatrixIsLinearInCurrents) {
+  pdn::PdnConfig cfg;
+  std::vector<double> samples{100.0, 110.0, 120.0};
+  std::vector<double> cycles{60.0, 70.0, 80.0, 90.0, 100.0};
+  const auto crm = pdn::CycleResponseMatrix::build(cfg, samples, cycles, 10.0);
+  Xoshiro256 rng(5);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> ia(5), ib(5), sum(5);
+    for (std::size_t c = 0; c < 5; ++c) {
+      ia[c] = rng.uniform();
+      ib[c] = rng.uniform();
+      sum[c] = ia[c] + ib[c];
+    }
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+      const double dv_a = crm.voltage_at(s, ia) - crm.dc_voltage();
+      const double dv_b = crm.voltage_at(s, ib) - crm.dc_voltage();
+      const double dv_sum = crm.voltage_at(s, sum) - crm.dc_voltage();
+      EXPECT_NEAR(dv_sum, dv_a + dv_b, 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slm

@@ -1,0 +1,117 @@
+#include "sca/cpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace slm::sca {
+namespace {
+
+TEST(CpaEngine, MatchesOnlineCorrelation) {
+  Xoshiro256 rng(1);
+  const auto& normal = FastNormal::instance();
+  CpaEngine engine(4, 2);
+  std::vector<OnlineCorrelation> ref(8);  // guess-major [k*2+s]
+  for (int t = 0; t < 5000; ++t) {
+    std::vector<std::uint8_t> h(4);
+    for (auto& b : h) b = rng.coin() ? 1 : 0;
+    std::vector<double> y{h[0] * 0.5 + normal(rng),
+                          h[2] * 0.2 + normal(rng)};
+    engine.add_trace(h, y);
+    for (int k = 0; k < 4; ++k) {
+      for (int s = 0; s < 2; ++s) {
+        ref[k * 2 + s].add(h[k], y[s]);
+      }
+    }
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      EXPECT_NEAR(engine.correlation(k, s), ref[k * 2 + s].correlation(),
+                  1e-10);
+    }
+  }
+}
+
+TEST(CpaEngine, RecoversInjectedLeakage) {
+  Xoshiro256 rng(2);
+  const auto& normal = FastNormal::instance();
+  CpaEngine engine(16, 3);
+  const std::size_t secret = 11;
+  for (int t = 0; t < 20000; ++t) {
+    std::vector<std::uint8_t> h(16);
+    for (auto& b : h) b = rng.coin() ? 1 : 0;
+    // Sample 1 leaks the secret guess's hypothesis.
+    std::vector<double> y{normal(rng), h[secret] * 0.3 + normal(rng),
+                          normal(rng)};
+    engine.add_trace(h, y);
+  }
+  EXPECT_EQ(engine.best_guess(), secret);
+  EXPECT_EQ(engine.rank_of(secret), 0u);
+  const auto corr = engine.max_abs_correlation();
+  EXPECT_GT(corr[secret], 0.1);
+}
+
+TEST(CpaEngine, NegativeLeakageFoundViaAbs) {
+  Xoshiro256 rng(3);
+  const auto& normal = FastNormal::instance();
+  CpaEngine engine(8, 1);
+  const std::size_t secret = 5;
+  for (int t = 0; t < 20000; ++t) {
+    std::vector<std::uint8_t> h(8);
+    for (auto& b : h) b = rng.coin() ? 1 : 0;
+    std::vector<double> y{-0.4 * h[secret] + normal(rng)};
+    engine.add_trace(h, y);
+  }
+  EXPECT_EQ(engine.best_guess(), secret);
+  EXPECT_LT(engine.correlation(secret, 0), 0.0);
+}
+
+TEST(CpaEngine, FewTracesGiveZero) {
+  CpaEngine engine(2, 1);
+  EXPECT_EQ(engine.correlation(0, 0), 0.0);
+  engine.add_trace({1, 0}, {1.0});
+  EXPECT_EQ(engine.correlation(0, 0), 0.0);
+}
+
+TEST(CpaEngine, ConstantHypothesisGivesZero) {
+  CpaEngine engine(2, 1);
+  for (int t = 0; t < 100; ++t) {
+    engine.add_trace({1, 0}, {static_cast<double>(t % 7)});
+  }
+  EXPECT_EQ(engine.correlation(0, 0), 0.0);  // h constant 1
+  EXPECT_EQ(engine.correlation(1, 0), 0.0);  // h constant 0
+}
+
+TEST(CpaEngine, Validation) {
+  EXPECT_THROW(CpaEngine engine(0, 1), slm::Error);
+  CpaEngine engine(2, 2);
+  EXPECT_THROW(engine.add_trace({1}, {1.0, 2.0}), slm::Error);
+  EXPECT_THROW(engine.add_trace({1, 0}, {1.0}), slm::Error);
+  EXPECT_THROW((void)engine.correlation(2, 0), slm::Error);
+  EXPECT_THROW((void)engine.rank_of(9), slm::Error);
+}
+
+TEST(SnapshotProgress, RanksAndMargins) {
+  Xoshiro256 rng(4);
+  const auto& normal = FastNormal::instance();
+  CpaEngine engine(4, 1);
+  for (int t = 0; t < 10000; ++t) {
+    std::vector<std::uint8_t> h(4);
+    for (auto& b : h) b = rng.coin() ? 1 : 0;
+    engine.add_trace(h, {0.5 * h[2] + normal(rng)});
+  }
+  const auto p = snapshot_progress(engine, 2);
+  EXPECT_EQ(p.traces, 10000u);
+  EXPECT_EQ(p.best_guess, 2u);
+  EXPECT_EQ(p.correct_rank, 0u);
+  EXPECT_GT(p.correct_corr, p.best_wrong_corr);
+  ASSERT_EQ(p.max_abs_corr.size(), 4u);
+
+  const auto wrong = snapshot_progress(engine, 0);
+  EXPECT_GT(wrong.correct_rank, 0u);
+}
+
+}  // namespace
+}  // namespace slm::sca

@@ -1,0 +1,95 @@
+#include "sca/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace slm::sca {
+namespace {
+
+using crypto::Aes128;
+using crypto::Block;
+
+TEST(LastRoundBitModel, RegisterPositionViaShiftRows) {
+  // The paper attacks key byte 3 ("4th byte"): its pre-SBox partner is
+  // the register at InvShiftRows(3) = 15.
+  LastRoundBitModel model(3, 0);
+  EXPECT_EQ(model.guessed_key_byte(), 3u);
+  EXPECT_EQ(model.register_position(), 15u);
+  // Row-0 bytes stay in place.
+  EXPECT_EQ(LastRoundBitModel(0, 0).register_position(), 0u);
+}
+
+TEST(LastRoundBitModel, CorrectGuessPredictsActualFlip) {
+  // With the right key guess the hypothesis equals the actual register
+  // bit flip state9[q] ^ ct[q] for every encryption.
+  const Aes128 aes(crypto::block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  Xoshiro256 rng(3);
+  for (std::size_t g : {0u, 3u, 7u, 15u}) {
+    LastRoundBitModel model(g, 0);
+    const std::uint8_t k = model.correct_guess(aes.last_round_key());
+    for (int t = 0; t < 32; ++t) {
+      Block pt;
+      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+      const auto states = aes.encrypt_states(pt);
+      const std::size_t q = model.register_position();
+      const std::uint8_t actual_flip =
+          static_cast<std::uint8_t>((states[9][q] ^ states[10][q]) & 1);
+      EXPECT_EQ(model.hypothesis(states[10], k), actual_flip)
+          << "byte " << g << " trace " << t;
+    }
+  }
+}
+
+TEST(LastRoundBitModel, WrongGuessesDecorrelate) {
+  const Aes128 aes(crypto::block_from_hex("000102030405060708090a0b0c0d0e0f"));
+  LastRoundBitModel model(3, 0);
+  const std::uint8_t correct = model.correct_guess(aes.last_round_key());
+  Xoshiro256 rng(4);
+  // For a wrong guess, the hypothesis should agree with the actual flip
+  // about half the time (S-box diffusion).
+  const std::uint8_t wrong = static_cast<std::uint8_t>(correct ^ 0x35);
+  int agree = 0;
+  const int n = 4000;
+  for (int t = 0; t < n; ++t) {
+    Block pt;
+    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+    const auto states = aes.encrypt_states(pt);
+    const std::size_t q = model.register_position();
+    const std::uint8_t actual =
+        static_cast<std::uint8_t>((states[9][q] ^ states[10][q]) & 1);
+    if (model.hypothesis(states[10], wrong) == actual) ++agree;
+  }
+  EXPECT_NEAR(static_cast<double>(agree) / n, 0.5, 0.05);
+}
+
+TEST(LastRoundBitModel, HypothesesVectorMatchesScalar) {
+  LastRoundBitModel model(5, 3);
+  Block ct;
+  for (std::size_t i = 0; i < 16; ++i) ct[i] = static_cast<std::uint8_t>(13 * i);
+  std::vector<std::uint8_t> h;
+  model.hypotheses(ct, h);
+  ASSERT_EQ(h.size(), 256u);
+  for (int k = 0; k < 256; ++k) {
+    EXPECT_EQ(h[k], model.hypothesis(ct, static_cast<std::uint8_t>(k)));
+  }
+}
+
+TEST(LastRoundBitModel, HypothesisBitSelection) {
+  Block ct{};
+  LastRoundBitModel b0(0, 0), b7(0, 7);
+  // Different target bits give different hypothesis patterns.
+  std::vector<std::uint8_t> h0, h7;
+  b0.hypotheses(ct, h0);
+  b7.hypotheses(ct, h7);
+  EXPECT_NE(h0, h7);
+}
+
+TEST(LastRoundBitModel, Validation) {
+  EXPECT_THROW(LastRoundBitModel(16, 0), slm::Error);
+  EXPECT_THROW(LastRoundBitModel(0, 8), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::sca

@@ -1,0 +1,54 @@
+#include "sca/mtd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slm::sca {
+namespace {
+
+CpaProgressPoint point(std::size_t traces, std::size_t rank, double correct,
+                       double wrong) {
+  CpaProgressPoint p;
+  p.traces = traces;
+  p.correct_rank = rank;
+  p.correct_corr = correct;
+  p.best_wrong_corr = wrong;
+  return p;
+}
+
+TEST(Mtd, EmptyProgressNotDisclosed) {
+  EXPECT_FALSE(estimate_mtd({}).disclosed());
+}
+
+TEST(Mtd, StableFromTheStart) {
+  const auto r = estimate_mtd({point(100, 0, 0.3, 0.1),
+                               point(1000, 0, 0.3, 0.05)});
+  ASSERT_TRUE(r.disclosed());
+  EXPECT_EQ(*r.traces, 100u);
+  EXPECT_NEAR(r.final_margin, 0.25, 1e-12);
+}
+
+TEST(Mtd, EarlyFalseLockIgnored) {
+  // Rank 0 at 100, lost at 1000, regained at 10000 and held: MTD = 10000.
+  const auto r = estimate_mtd({point(100, 0, 0.2, 0.1),
+                               point(1000, 3, 0.1, 0.2),
+                               point(10000, 0, 0.3, 0.1),
+                               point(50000, 0, 0.35, 0.08)});
+  ASSERT_TRUE(r.disclosed());
+  EXPECT_EQ(*r.traces, 10000u);
+}
+
+TEST(Mtd, NotDisclosedWhenFinalRankNonzero) {
+  const auto r = estimate_mtd({point(100, 0, 0.5, 0.1),
+                               point(1000, 2, 0.1, 0.3)});
+  EXPECT_FALSE(r.disclosed());
+  EXPECT_NEAR(r.final_margin, -0.2, 1e-12);
+}
+
+TEST(Mtd, SingleStablePoint) {
+  const auto r = estimate_mtd({point(500, 0, 0.2, 0.1)});
+  ASSERT_TRUE(r.disclosed());
+  EXPECT_EQ(*r.traces, 500u);
+}
+
+}  // namespace
+}  // namespace slm::sca

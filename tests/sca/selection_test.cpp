@@ -1,0 +1,87 @@
+#include "sca/selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace slm::sca {
+namespace {
+
+TEST(BitSelector, CountsAndVariance) {
+  BitSelector sel(4);
+  // bit0 always 0, bit1 always 1, bit2 half, bit3 quarter.
+  for (int i = 0; i < 8; ++i) {
+    BitVec w(4);
+    w.set(1, true);
+    w.set(2, i % 2 == 0);
+    w.set(3, i % 4 == 0);
+    sel.add(w);
+  }
+  EXPECT_EQ(sel.sample_count(), 8u);
+  EXPECT_DOUBLE_EQ(sel.stat(0).variance, 0.0);
+  EXPECT_DOUBLE_EQ(sel.stat(1).variance, 0.0);
+  EXPECT_DOUBLE_EQ(sel.stat(2).mean, 0.5);
+  EXPECT_DOUBLE_EQ(sel.stat(2).variance, 0.25);
+  EXPECT_DOUBLE_EQ(sel.stat(3).mean, 0.25);
+  EXPECT_DOUBLE_EQ(sel.stat(3).variance, 0.1875);
+}
+
+TEST(BitSelector, FluctuatingExcludesConstants) {
+  BitSelector sel(3);
+  for (int i = 0; i < 4; ++i) {
+    BitVec w(3);
+    w.set(0, true);        // constant 1
+    w.set(2, i % 2 == 0);  // fluctuates
+    sel.add(w);
+  }
+  EXPECT_EQ(sel.fluctuating_bits(), std::vector<std::size_t>{2});
+}
+
+TEST(BitSelector, BitsOfInterestThreshold) {
+  BitSelector sel(3);
+  for (int i = 0; i < 100; ++i) {
+    BitVec w(3);
+    w.set(0, i % 2 == 0);   // var 0.25
+    w.set(1, i % 10 == 0);  // var 0.09
+    sel.add(w);
+  }
+  EXPECT_EQ(sel.bits_of_interest(0.2), std::vector<std::size_t>{0});
+  EXPECT_EQ(sel.bits_of_interest(0.05),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(sel.highest_variance_bit(), 0u);
+}
+
+TEST(BitSelector, Validation) {
+  EXPECT_THROW(BitSelector sel(0), slm::Error);
+  BitSelector sel(2);
+  EXPECT_THROW(sel.add(BitVec(3)), slm::Error);
+  EXPECT_THROW((void)sel.highest_variance_bit(), slm::Error);  // no samples
+}
+
+TEST(HammingWeightOver, SelectsBits) {
+  BitVec w(8, 0b10110010);
+  EXPECT_EQ(hamming_weight_over(w, {0, 1, 4, 7}), 3u);
+  EXPECT_EQ(hamming_weight_over(w, {}), 0u);
+}
+
+TEST(SubsetFraction, Cases) {
+  EXPECT_DOUBLE_EQ(subset_fraction({}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(subset_fraction({1, 2}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(subset_fraction({1, 4}, {1, 2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(subset_fraction({4, 5}, {1, 2, 3}), 0.0);
+}
+
+TEST(BitSelector, StatsVectorAligned) {
+  BitSelector sel(5);
+  sel.add(BitVec(5, 0b10101));
+  const auto stats = sel.stats();
+  ASSERT_EQ(stats.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(stats[i].index, i);
+  }
+  const auto vars = sel.variances();
+  EXPECT_EQ(vars.size(), 5u);
+}
+
+}  // namespace
+}  // namespace slm::sca

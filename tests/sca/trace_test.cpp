@@ -1,0 +1,68 @@
+#include "sca/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace slm::sca {
+namespace {
+
+crypto::Block block(std::uint8_t fill) {
+  crypto::Block b;
+  b.fill(fill);
+  return b;
+}
+
+TEST(TraceSet, AddAndAccess) {
+  TraceSet set(3);
+  set.add({1.0, 2.0, 3.0}, block(0xAA), block(0xBB));
+  set.add({4.0, 5.0, 6.0}, block(0x01), block(0x02));
+  EXPECT_EQ(set.trace_count(), 2u);
+  EXPECT_EQ(set.samples_per_trace(), 3u);
+  EXPECT_DOUBLE_EQ(set.trace(1)[0], 4.0);
+  EXPECT_EQ(set.plaintext(0)[0], 0xAA);
+  EXPECT_EQ(set.ciphertext(1)[5], 0x02);
+}
+
+TEST(TraceSet, FirstAddFixesWidth) {
+  TraceSet set;
+  set.add({1.0, 2.0}, block(0), block(0));
+  EXPECT_EQ(set.samples_per_trace(), 2u);
+  EXPECT_THROW(set.add({1.0}, block(0), block(0)), slm::Error);
+}
+
+TEST(TraceSet, OutOfRangeThrows) {
+  TraceSet set(1);
+  set.add({1.0}, block(0), block(0));
+  EXPECT_THROW((void)set.trace(1), slm::Error);
+  EXPECT_THROW((void)set.plaintext(9), slm::Error);
+}
+
+TEST(TraceSet, SampleVariances) {
+  TraceSet set(2);
+  set.add({1.0, 5.0}, block(0), block(0));
+  set.add({3.0, 5.0}, block(0), block(0));
+  const auto vars = set.sample_variances();
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_DOUBLE_EQ(vars[0], 1.0);
+  EXPECT_DOUBLE_EQ(vars[1], 0.0);
+}
+
+TEST(TraceSet, CsvRoundTrip) {
+  TraceSet set(2);
+  set.add({1.25, -3.5}, block(0x11), block(0x22));
+  set.add({0.0, 9.0}, block(0x33), block(0x44));
+  std::stringstream ss;
+  set.save_csv(ss);
+  const TraceSet loaded = TraceSet::load_csv(ss);
+  ASSERT_EQ(loaded.trace_count(), 2u);
+  EXPECT_EQ(loaded.samples_per_trace(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.trace(0)[1], -3.5);
+  EXPECT_EQ(loaded.plaintext(1), block(0x33));
+  EXPECT_EQ(loaded.ciphertext(0), block(0x22));
+}
+
+}  // namespace
+}  // namespace slm::sca

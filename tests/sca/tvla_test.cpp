@@ -1,0 +1,73 @@
+#include "sca/tvla.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace slm::sca {
+namespace {
+
+TEST(WelchTTest, NoLeakageStaysBelowThreshold) {
+  Xoshiro256 rng(1);
+  const auto& normal = FastNormal::instance();
+  WelchTTest t(4);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<double> s(4);
+    for (auto& x : s) x = normal(rng);
+    t.add(i % 2 == 0, s);
+  }
+  EXPECT_LT(t.max_abs_t(), WelchTTest::kThreshold);
+  EXPECT_FALSE(t.leakage_detected());
+}
+
+TEST(WelchTTest, MeanShiftDetected) {
+  Xoshiro256 rng(2);
+  const auto& normal = FastNormal::instance();
+  WelchTTest t(3);
+  for (int i = 0; i < 5000; ++i) {
+    const bool fixed = i % 2 == 0;
+    std::vector<double> s(3);
+    s[0] = normal(rng);
+    s[1] = normal(rng) + (fixed ? 0.3 : 0.0);  // leaky point
+    s[2] = normal(rng);
+    t.add(fixed, s);
+  }
+  EXPECT_TRUE(t.leakage_detected());
+  EXPECT_GT(std::abs(t.t_statistic(1)), WelchTTest::kThreshold);
+  EXPECT_LT(std::abs(t.t_statistic(0)), WelchTTest::kThreshold);
+}
+
+TEST(WelchTTest, KnownTwoSampleValue) {
+  // Hand-computable case: fixed = {1,2,3}, random = {5,6,7}; equal
+  // variances 1, n=3 each -> t = (2-6)/sqrt(2/3).
+  WelchTTest t(1);
+  for (double x : {1.0, 2.0, 3.0}) t.add(true, {x});
+  for (double x : {5.0, 6.0, 7.0}) t.add(false, {x});
+  EXPECT_NEAR(t.t_statistic(0), -4.0 / std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(WelchTTest, ZeroUntilBothPopulated) {
+  WelchTTest t(1);
+  t.add(true, {1.0});
+  t.add(true, {2.0});
+  EXPECT_EQ(t.t_statistic(0), 0.0);
+  t.add(false, {1.5});
+  EXPECT_EQ(t.t_statistic(0), 0.0);  // random population still n=1
+  t.add(false, {1.6});
+  EXPECT_NE(t.t_statistic(0), 0.0);
+  EXPECT_EQ(t.fixed_traces(), 2u);
+  EXPECT_EQ(t.random_traces(), 2u);
+}
+
+TEST(WelchTTest, Validation) {
+  EXPECT_THROW(WelchTTest t(0), slm::Error);
+  WelchTTest t(2);
+  EXPECT_THROW(t.add(true, {1.0}), slm::Error);
+  EXPECT_THROW((void)t.t_statistic(2), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::sca

@@ -1,0 +1,154 @@
+#include "sensors/benign_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "netlist/generators/adder.hpp"
+#include "netlist/generators/alu.hpp"
+
+namespace slm::sensors {
+namespace {
+
+using netlist::AdderOptions;
+using netlist::AluOptions;
+
+BenignSensorConfig quiet_cfg() {
+  BenignSensorConfig cfg;
+  cfg.capture.clock_period_ns = 10.0 / 3.0;
+  cfg.capture.delay = timing::VoltageDelayModel{1.0, 2.0};
+  cfg.capture.jitter_sigma_ns = 0.0;
+  cfg.capture.common_jitter_sigma_ns = 0.0;
+  cfg.capture.endpoint_skew_sigma_ns = 0.0;
+  cfg.capture.setup_ns = 0.0;
+  return cfg;
+}
+
+std::shared_ptr<BenignSensor> make_adder_sensor(std::size_t width,
+                                                const BenignSensorConfig& cfg) {
+  AdderOptions opt;
+  opt.width = width;
+  const auto nl = make_ripple_carry_adder(opt);
+  BitVec ones(width);
+  ones.set_all(true);
+  BitVec one(width);
+  one.set(0, true);
+  return std::make_shared<BenignSensor>(
+      nl, pack_adder_inputs(opt, BitVec(width), BitVec(width), false),
+      pack_adder_inputs(opt, ones, one, false), cfg);
+}
+
+TEST(BenignSensor, OverclockedByConstruction) {
+  const auto sensor = make_adder_sensor(192, quiet_cfg());
+  EXPECT_GT(sensor->max_settle_time_ns(),
+            quiet_cfg().capture.clock_period_ns);
+  EXPECT_EQ(sensor->endpoint_count(), 193u);
+}
+
+TEST(BenignSensor, ThermometerToggleWordWithoutNoise) {
+  const auto sensor = make_adder_sensor(192, quiet_cfg());
+  Xoshiro256 rng(1);
+  // Without noise the toggle word is a clean staircase: bits past the
+  // carry boundary toggled (read 1), bits behind it killed (read 0).
+  const BitVec toggles = sensor->sample_toggles(1.0, rng);
+  const std::size_t hw = toggles.popcount();
+  ASSERT_GT(hw, 0u);
+  ASSERT_LT(hw, 192u);
+  // All toggled bits sit above all untoggled sum bits.
+  const std::size_t boundary = 192 - hw;
+  for (std::size_t i = 0; i < 192; ++i) {
+    EXPECT_EQ(toggles.get(i), i >= boundary) << "bit " << i;
+  }
+}
+
+TEST(BenignSensor, BoundaryMovesWithVoltage) {
+  const auto sensor = make_adder_sensor(192, quiet_cfg());
+  Xoshiro256 rng(2);
+  // Lower voltage -> earlier capture -> carry killed fewer bits -> more
+  // bits still toggled (reading 1).
+  const std::size_t hw_droop =
+      sensor->sample_toggles(0.92, rng).popcount();
+  const std::size_t hw_nom = sensor->sample_toggles(1.0, rng).popcount();
+  const std::size_t hw_over = sensor->sample_toggles(1.04, rng).popcount();
+  EXPECT_GT(hw_droop, hw_nom);
+  EXPECT_GT(hw_nom, hw_over);
+}
+
+TEST(BenignSensor, SingleBitMatchesWordWithoutNoise) {
+  const auto sensor = make_adder_sensor(64, quiet_cfg());
+  Xoshiro256 rng(3);
+  for (double v : {0.94, 1.0, 1.03}) {
+    const BitVec word = sensor->sample_toggles(v, rng);
+    for (std::size_t i = 0; i < sensor->endpoint_count(); i += 7) {
+      EXPECT_EQ(sensor->sample_toggle_bit(i, v, rng), word.get(i));
+    }
+  }
+}
+
+TEST(BenignSensor, SubsetHwMatchesWord) {
+  const auto sensor = make_adder_sensor(64, quiet_cfg());
+  Xoshiro256 rng(4);
+  const std::vector<std::size_t> bits{10, 20, 30, 40, 50};
+  const std::size_t hw = sensor->sample_toggle_hw(bits, 0.97, rng);
+  const BitVec word = sensor->sample_toggles(0.97, rng);
+  std::size_t expect = 0;
+  for (std::size_t b : bits) {
+    if (word.get(b)) ++expect;
+  }
+  EXPECT_EQ(hw, expect);
+}
+
+TEST(BenignSensor, SensitiveEndpointsFormBand) {
+  const auto sensor = make_adder_sensor(192, quiet_cfg());
+  const auto sens = sensor->sensitive_endpoints(0.90, 1.02);
+  ASSERT_FALSE(sens.empty());
+  ASSERT_LT(sens.size(), 192u);
+  // Sensitive sum bits are contiguous (the staircase band).
+  for (std::size_t i = 1; i < sens.size(); ++i) {
+    if (sens[i] < 192 && sens[i - 1] < 192) {
+      EXPECT_EQ(sens[i], sens[i - 1] + 1);
+    }
+  }
+}
+
+TEST(BenignSensorBank, ConcatenatesInstances) {
+  auto bank = BenignSensorBank{};
+  bank.add(make_adder_sensor(16, quiet_cfg()));
+  bank.add(make_adder_sensor(16, quiet_cfg()));
+  EXPECT_EQ(bank.instance_count(), 2u);
+  EXPECT_EQ(bank.endpoint_count(), 34u);  // 2 x (16 sums + carry)
+  Xoshiro256 rng(5);
+  const BitVec word = bank.sample_toggles(0.97, rng);
+  EXPECT_EQ(word.size(), 34u);
+  // Both instances see the same voltage and have no noise: halves match.
+  for (std::size_t i = 0; i < 17; ++i) {
+    EXPECT_EQ(word.get(i), word.get(17 + i));
+  }
+}
+
+TEST(BenignSensorBank, GlobalBitIndexing) {
+  auto bank = BenignSensorBank{};
+  bank.add(make_adder_sensor(16, quiet_cfg()));
+  bank.add(make_adder_sensor(16, quiet_cfg()));
+  Xoshiro256 rng(6);
+  const BitVec word = bank.sample_toggles(0.97, rng);
+  EXPECT_EQ(bank.sample_toggle_bit(20, 0.97, rng), word.get(20));
+  EXPECT_THROW((void)bank.sample_toggle_bit(34, 0.97, rng), slm::Error);
+  const std::size_t hw = bank.sample_toggle_hw({1, 18, 33}, 0.97, rng);
+  std::size_t expect = 0;
+  for (std::size_t b : {1u, 18u, 33u}) {
+    if (word.get(b)) ++expect;
+  }
+  EXPECT_EQ(hw, expect);
+}
+
+TEST(BenignSensorBank, EmptyBankRejected) {
+  BenignSensorBank bank;
+  Xoshiro256 rng(1);
+  EXPECT_THROW((void)bank.sample_toggles(1.0, rng), slm::Error);
+  EXPECT_THROW(bank.add(nullptr), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::sensors

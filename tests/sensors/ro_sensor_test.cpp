@@ -1,0 +1,70 @@
+#include "sensors/ro_sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace slm::sensors {
+namespace {
+
+RoSensorConfig quiet_cfg() {
+  RoSensorConfig cfg;
+  cfg.inverter_stages = 5;
+  cfg.inverter_delay_ns = 0.1;
+  cfg.count_window_ns = 1000.0;
+  cfg.delay = timing::VoltageDelayModel{1.0, 2.0};
+  cfg.phase_noise_counts = 0.0;
+  return cfg;
+}
+
+TEST(RoSensor, FrequencyFromDelays) {
+  RoCounterSensor ro(quiet_cfg());
+  // f = 1 / (2 * 5 * 0.1ns) = 1 GHz = 1000 MHz.
+  EXPECT_NEAR(ro.frequency_mhz(1.0), 1000.0, 1e-9);
+}
+
+TEST(RoSensor, FrequencyDropsWithDroop) {
+  RoCounterSensor ro(quiet_cfg());
+  EXPECT_LT(ro.frequency_mhz(0.9), ro.frequency_mhz(1.0));
+  EXPECT_GT(ro.frequency_mhz(1.05), ro.frequency_mhz(1.0));
+  // Inverse proportional to the delay factor.
+  EXPECT_NEAR(ro.frequency_mhz(0.9), 1000.0 / 1.2, 1e-9);
+}
+
+TEST(RoSensor, ExpectedCountOverWindow) {
+  RoCounterSensor ro(quiet_cfg());
+  // 1 GHz over 1 us -> 1000 oscillations.
+  EXPECT_NEAR(ro.expected_count(1.0), 1000.0, 1e-9);
+}
+
+TEST(RoSensor, NoiselessSampleIsDeterministic) {
+  RoCounterSensor ro(quiet_cfg());
+  Xoshiro256 rng(1);
+  EXPECT_EQ(ro.sample(1.0, rng), 1000u);
+  EXPECT_EQ(ro.sample(1.0, rng), 1000u);
+}
+
+TEST(RoSensor, NoisySampleCentredOnExpectation) {
+  RoSensorConfig cfg = quiet_cfg();
+  cfg.phase_noise_counts = 2.0;
+  RoCounterSensor ro(cfg);
+  Xoshiro256 rng(2);
+  OnlineMeanVar acc;
+  for (int i = 0; i < 10000; ++i) acc.add(ro.sample(0.95, rng));
+  // The counter truncates: mean sits ~0.5 below the continuous value.
+  EXPECT_NEAR(acc.mean(), ro.expected_count(0.95) - 0.5, 0.2);
+  EXPECT_GT(acc.variance(), 1.0);
+}
+
+TEST(RoSensor, Validation) {
+  RoSensorConfig bad = quiet_cfg();
+  bad.inverter_stages = 4;  // even: no oscillation
+  EXPECT_THROW(RoCounterSensor r(bad), slm::Error);
+  bad = quiet_cfg();
+  bad.count_window_ns = 0.0;
+  EXPECT_THROW(RoCounterSensor r(bad), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::sensors

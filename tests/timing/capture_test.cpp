@@ -1,0 +1,132 @@
+#include "timing/capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace slm::timing {
+namespace {
+
+CaptureConfig quiet_config() {
+  CaptureConfig cfg;
+  cfg.clock_period_ns = 10.0 / 3.0;
+  cfg.delay = VoltageDelayModel{1.0, 2.0};
+  cfg.jitter_sigma_ns = 0.0;
+  cfg.common_jitter_sigma_ns = 0.0;
+  cfg.endpoint_skew_sigma_ns = 0.0;
+  cfg.setup_ns = 0.0;
+  return cfg;
+}
+
+TEST(Capture, EffectiveTimeScalesWithVoltage) {
+  OverclockedCapture cap({Waveform(false, {1.0})}, quiet_config(), 1);
+  const double t_nom = cap.effective_time(1.0);
+  EXPECT_NEAR(t_nom, 10.0 / 3.0, 1e-12);
+  EXPECT_LT(cap.effective_time(0.9), t_nom);   // droop -> earlier obs
+  EXPECT_GT(cap.effective_time(1.05), t_nom);  // overshoot -> later obs
+}
+
+TEST(Capture, DeterministicSamplingWithoutNoise) {
+  // Endpoint toggles at 3.0 ns; clock period 3.33 ns. At nominal voltage
+  // the toggle is captured; at a 10% droop (factor 1.2 -> t_eff 2.78) it
+  // is not.
+  OverclockedCapture cap({Waveform(false, {3.0})}, quiet_config(), 1);
+  Xoshiro256 rng(1);
+  EXPECT_TRUE(cap.sample(1.0, rng).get(0));
+  EXPECT_FALSE(cap.sample(0.90, rng).get(0));
+}
+
+TEST(Capture, ToggledAgainstResetValues) {
+  OverclockedCapture cap({Waveform(true, {0.5}), Waveform(false, {})},
+                         quiet_config(), 1);
+  Xoshiro256 rng(2);
+  const BitVec captured = cap.sample(1.0, rng);
+  const BitVec toggles = cap.toggled(captured);
+  EXPECT_TRUE(toggles.get(0));   // flipped from 1 to 0
+  EXPECT_FALSE(toggles.get(1));  // static net
+  EXPECT_TRUE(cap.reset_values().get(0));
+  EXPECT_FALSE(cap.reset_values().get(1));
+}
+
+TEST(Capture, SampleBitMatchesWordWithoutNoise) {
+  std::vector<Waveform> endpoints{Waveform(false, {2.0}),
+                                  Waveform(false, {3.2}),
+                                  Waveform(false, {4.0})};
+  OverclockedCapture cap(endpoints, quiet_config(), 3);
+  Xoshiro256 rng(3);
+  for (double v : {0.92, 0.97, 1.0, 1.03}) {
+    const BitVec word = cap.sample(v, rng);
+    for (std::size_t i = 0; i < endpoints.size(); ++i) {
+      EXPECT_EQ(cap.sample_bit(i, v, rng), word.get(i)) << "v=" << v;
+    }
+  }
+}
+
+TEST(Capture, SubsetMatchesFullWordWithoutNoise) {
+  std::vector<Waveform> endpoints{Waveform(false, {2.0}),
+                                  Waveform(false, {3.2}),
+                                  Waveform(false, {4.0})};
+  OverclockedCapture cap(endpoints, quiet_config(), 3);
+  Xoshiro256 rng(4);
+  const BitVec full = cap.sample(0.97, rng);
+  const BitVec sub = cap.sample_subset({0, 2}, 0.97, rng);
+  EXPECT_EQ(sub.get(0), full.get(0));
+  EXPECT_EQ(sub.get(2), full.get(2));
+  EXPECT_FALSE(sub.get(1));  // unsampled bits read 0
+}
+
+TEST(Capture, SensitivityClassification) {
+  // Toggle at 3.0 ns: t_eff sweeps [3.33/1.2, 3.33/0.9] = [2.78, 3.70]
+  // over v in [0.9, 1.05] -> sensitive. A toggle at 1.0 ns is always
+  // past -> insensitive; a toggle at 6 ns is never reached.
+  std::vector<Waveform> endpoints{Waveform(false, {3.0}),
+                                  Waveform(false, {1.0}),
+                                  Waveform(false, {6.0}),
+                                  Waveform(false, {})};
+  OverclockedCapture cap(endpoints, quiet_config(), 5);
+  EXPECT_TRUE(cap.endpoint_sensitive(0, 0.90, 1.05));
+  EXPECT_FALSE(cap.endpoint_sensitive(1, 0.90, 1.05));
+  EXPECT_FALSE(cap.endpoint_sensitive(2, 0.90, 1.05));
+  EXPECT_FALSE(cap.endpoint_sensitive(3, 0.90, 1.05));
+  EXPECT_EQ(cap.sensitive_endpoints(0.90, 1.05),
+            std::vector<std::size_t>{0});
+}
+
+TEST(Capture, JitterCreatesFluctuationNearBoundary) {
+  CaptureConfig cfg = quiet_config();
+  cfg.jitter_sigma_ns = 0.1;
+  // Toggle exactly at the nominal observation instant: with jitter the
+  // captured value must fluctuate ~50/50.
+  OverclockedCapture cap({Waveform(false, {10.0 / 3.0})}, cfg, 7);
+  Xoshiro256 rng(7);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (cap.sample(1.0, rng).get(0)) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.03);
+}
+
+TEST(Capture, StaticSkewIsDeterministicPerSeed) {
+  CaptureConfig cfg = quiet_config();
+  cfg.endpoint_skew_sigma_ns = 0.2;
+  OverclockedCapture a({Waveform(false, {3.0}), Waveform(false, {3.1})},
+                       cfg, 42);
+  OverclockedCapture b({Waveform(false, {3.0}), Waveform(false, {3.1})},
+                       cfg, 42);
+  EXPECT_EQ(a.endpoint_skews(), b.endpoint_skews());
+  OverclockedCapture c({Waveform(false, {3.0}), Waveform(false, {3.1})},
+                       cfg, 43);
+  EXPECT_NE(a.endpoint_skews(), c.endpoint_skews());
+}
+
+TEST(Capture, Validation) {
+  EXPECT_THROW(OverclockedCapture({}, quiet_config(), 1), slm::Error);
+  OverclockedCapture cap({Waveform(false, {1.0})}, quiet_config(), 1);
+  Xoshiro256 rng(1);
+  EXPECT_THROW((void)cap.sample_bit(5, 1.0, rng), slm::Error);
+  EXPECT_THROW((void)cap.endpoint_sensitive(0, 1.1, 0.9), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::timing

@@ -1,0 +1,50 @@
+#include "timing/delay_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slm::timing {
+namespace {
+
+TEST(VoltageDelayModel, NominalIsUnity) {
+  VoltageDelayModel m{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.factor(1.0), 1.0);
+}
+
+TEST(VoltageDelayModel, DroopSlowsOvershootSpeeds) {
+  VoltageDelayModel m{1.0, 2.0};
+  EXPECT_GT(m.factor(0.9), 1.0);
+  EXPECT_LT(m.factor(1.05), 1.0);
+  EXPECT_DOUBLE_EQ(m.factor(0.9), 1.2);
+  EXPECT_DOUBLE_EQ(m.factor(1.05), 0.9);
+}
+
+TEST(VoltageDelayModel, MonotoneDecreasingInVoltage) {
+  VoltageDelayModel m{1.0, 4.0};
+  double prev = m.factor(0.80);
+  for (double v = 0.81; v <= 1.10; v += 0.01) {
+    const double f = m.factor(v);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(VoltageDelayModel, ClampedToPhysicalMinimum) {
+  VoltageDelayModel m{1.0, 10.0};
+  EXPECT_DOUBLE_EQ(m.factor(2.0), 0.05);  // would be negative unclamped
+}
+
+TEST(VoltageDelayModel, InverseRoundTrip) {
+  VoltageDelayModel m{0.975, 3.0};
+  for (double v : {0.85, 0.95, 0.975, 1.0, 1.02}) {
+    EXPECT_NEAR(m.voltage_for_factor(m.factor(v)), v, 1e-12);
+  }
+}
+
+TEST(VoltageDelayModel, CustomNominalPoint) {
+  VoltageDelayModel m{0.975, 64.0};
+  EXPECT_DOUBLE_EQ(m.factor(0.975), 1.0);
+  EXPECT_GT(m.factor(0.95), 1.0);
+}
+
+}  // namespace
+}  // namespace slm::timing

@@ -1,0 +1,108 @@
+#include "timing/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/generators/adder.hpp"
+
+namespace slm::timing {
+namespace {
+
+using netlist::Builder;
+using netlist::GateType;
+using netlist::NetId;
+
+TEST(Sta, ChainArrivalIsSumOfDelays) {
+  Builder b("chain");
+  NetId n = b.input("a");
+  for (int i = 0; i < 5; ++i) {
+    n = b.gate(GateType::kBuf, {n}, "s" + std::to_string(i), 0.1);
+  }
+  b.output(n, "o");
+  Sta sta(b.peek());
+  EXPECT_NEAR(sta.critical_delay(), 0.5, 1e-12);
+}
+
+TEST(Sta, TakesWorstFanin) {
+  Builder b("worst");
+  const NetId a = b.input("a");
+  const NetId slow = b.gate(GateType::kBuf, {a}, "slow", 1.0);
+  const NetId fast = b.gate(GateType::kBuf, {a}, "fast", 0.1);
+  const NetId g = b.gate(GateType::kAnd, {slow, fast}, "g", 0.2);
+  b.output(g, "o");
+  Sta sta(b.peek());
+  EXPECT_NEAR(sta.arrival(g), 1.2, 1e-12);
+}
+
+TEST(Sta, AdderArrivalStaircaseIsMonotone) {
+  netlist::AdderOptions opt;
+  opt.width = 64;
+  const auto nl = make_ripple_carry_adder(opt);
+  Sta sta(nl);
+  const auto arr = sta.endpoint_arrivals();
+  // Sum bits ride the carry chain: arrivals grow monotonically after the
+  // first couple of bits.
+  for (std::size_t i = 3; i < opt.width; ++i) {
+    EXPECT_GT(arr[i], arr[i - 1]) << "bit " << i;
+  }
+  // Staircase spacing equals the carry stage delay.
+  const double spacing = arr[40] - arr[39];
+  EXPECT_NEAR(spacing, opt.carry_stage_delay_ns, 1e-9);
+}
+
+TEST(Sta, SlacksAndFailingEndpoints) {
+  netlist::AdderOptions opt;
+  opt.width = 192;
+  const auto nl = make_ripple_carry_adder(opt);
+  Sta sta(nl);
+  // At the design clock (20 ns) everything passes.
+  EXPECT_TRUE(sta.failing_endpoints(20.0).empty());
+  // At the overclock (3.33 ns) high-order bits fail.
+  const auto failing = sta.failing_endpoints(10.0 / 3.0);
+  EXPECT_FALSE(failing.empty());
+  // Failing endpoints are a suffix of the bit staircase.
+  for (std::size_t i = 1; i < failing.size(); ++i) {
+    EXPECT_EQ(failing[i], failing[i - 1] + 1);
+  }
+  const auto slacks = sta.endpoint_slacks(10.0 / 3.0);
+  for (std::size_t idx : failing) EXPECT_LT(slacks[idx], 0.0);
+}
+
+TEST(Sta, CriticalPathTracesBackToInput) {
+  netlist::AdderOptions opt;
+  opt.width = 16;
+  const auto nl = make_ripple_carry_adder(opt);
+  Sta sta(nl);
+  const auto path = sta.critical_path_to(nl.outputs()[15].net);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_TRUE(nl.gate(path.front()).fanin.empty());  // starts at a source
+  EXPECT_EQ(path.back(), nl.outputs()[15].net);
+  // Arrivals strictly non-decreasing along the path.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GE(sta.arrival(path[i]), sta.arrival(path[i - 1]));
+  }
+}
+
+TEST(Sta, ReportMentionsWorstEndpoint) {
+  netlist::AdderOptions opt;
+  opt.width = 8;
+  const auto nl = make_ripple_carry_adder(opt);
+  Sta sta(nl);
+  const std::string report = sta.report_critical_path();
+  EXPECT_NE(report.find("critical path"), std::string::npos);
+}
+
+TEST(Sta, RejectsCycles) {
+  Builder b("cyc");
+  const NetId ph = b.const0();
+  const NetId i1 = b.not_(ph);
+  const NetId i2 = b.not_(i1);
+  b.output(i2, "o");
+  auto nl = b.take();
+  nl.rewire_fanin(i1, 0, i2);
+  EXPECT_THROW(Sta sta(nl), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::timing

@@ -1,0 +1,174 @@
+#include "timing/timed_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/evaluator.hpp"
+#include "netlist/generators/adder.hpp"
+#include "netlist/generators/c6288.hpp"
+#include "timing/sta.hpp"
+
+namespace slm::timing {
+namespace {
+
+using netlist::Builder;
+using netlist::GateType;
+using netlist::NetId;
+
+TEST(TimedSim, BufferChainPropagation) {
+  Builder b("chain");
+  NetId n = b.input("a");
+  for (int i = 0; i < 4; ++i) {
+    n = b.gate(GateType::kBuf, {n}, "s" + std::to_string(i), 0.25);
+  }
+  b.output(n, "o");
+  const auto nl = b.take();
+  TimedSimulator sim(nl);
+  const auto r = sim.simulate_transition(BitVec(1, 0), BitVec(1, 1));
+  const auto& wf = r.endpoint_waveforms[0];
+  EXPECT_FALSE(wf.initial_value());
+  EXPECT_TRUE(wf.final_value());
+  ASSERT_EQ(wf.toggle_count(), 1u);
+  EXPECT_NEAR(wf.toggles()[0], 1.0, 1e-12);
+}
+
+TEST(TimedSim, NoInputChangeNoEvents) {
+  Builder b("idle");
+  const NetId a = b.input("a");
+  b.output(b.not_(a), "o");
+  const auto nl = b.take();
+  TimedSimulator sim(nl);
+  const auto r = sim.simulate_transition(BitVec(1, 1), BitVec(1, 1));
+  EXPECT_EQ(r.total_events, 0u);
+  EXPECT_EQ(r.endpoint_waveforms[0].toggle_count(), 0u);
+}
+
+TEST(TimedSim, ConvergesToSettledState) {
+  netlist::AdderOptions opt;
+  opt.width = 32;
+  const auto nl = make_ripple_carry_adder(opt);
+  TimedSimulator sim(nl);
+  netlist::Evaluator ev(nl);
+  Xoshiro256 rng(5);
+  for (int t = 0; t < 10; ++t) {
+    const auto from = pack_adder_inputs_u64(opt, rng.next() & 0xFFFFFFFF,
+                                            rng.next() & 0xFFFFFFFF);
+    const auto to = pack_adder_inputs_u64(opt, rng.next() & 0xFFFFFFFF,
+                                          rng.next() & 0xFFFFFFFF);
+    const auto r = sim.simulate_transition(from, to);
+    const BitVec settled = ev.eval(to);
+    for (std::size_t i = 0; i < r.endpoint_waveforms.size(); ++i) {
+      EXPECT_EQ(r.endpoint_waveforms[i].final_value(), settled.get(i));
+    }
+  }
+}
+
+TEST(TimedSim, SettleTimeBoundedByStaArrival) {
+  // Event-driven settle times can never exceed the static worst case.
+  netlist::AdderOptions opt;
+  opt.width = 48;
+  const auto nl = make_ripple_carry_adder(opt);
+  TimedSimulator sim(nl);
+  Sta sta(nl);
+  BitVec ones(opt.width);
+  ones.set_all(true);
+  BitVec one(opt.width);
+  one.set(0, true);
+  const auto r = sim.simulate_transition(
+      pack_adder_inputs(opt, BitVec(opt.width), BitVec(opt.width), false),
+      pack_adder_inputs(opt, ones, one, false));
+  const auto arrivals = sta.endpoint_arrivals();
+  for (std::size_t i = 0; i < r.endpoint_waveforms.size(); ++i) {
+    EXPECT_LE(r.endpoint_waveforms[i].settle_time(), arrivals[i] + 1e-9);
+  }
+}
+
+TEST(TimedSim, CarryStaircaseInAdderStimulus) {
+  // The paper's stimulus: sum bit i goes 0 -> 1 (fast xor) -> 0 (carry
+  // kill), with the kill time growing linearly in i.
+  netlist::AdderOptions opt;
+  opt.width = 64;
+  const auto nl = make_ripple_carry_adder(opt);
+  TimedSimulator sim(nl);
+  BitVec ones(opt.width);
+  ones.set_all(true);
+  BitVec one(opt.width);
+  one.set(0, true);
+  const auto r = sim.simulate_transition(
+      pack_adder_inputs(opt, BitVec(opt.width), BitVec(opt.width), false),
+      pack_adder_inputs(opt, ones, one, false));
+  double prev_settle = 0.0;
+  for (std::size_t i = 8; i < opt.width; ++i) {
+    const auto& wf = r.endpoint_waveforms[i];
+    EXPECT_FALSE(wf.final_value()) << "bit " << i;
+    EXPECT_GE(wf.toggle_count(), 2u) << "bit " << i;
+    EXPECT_GT(wf.settle_time(), prev_settle) << "bit " << i;
+    prev_settle = wf.settle_time();
+  }
+}
+
+TEST(TimedSim, InertialFilteringSwallowsNarrowPulse) {
+  // A 2-wide AND whose two inputs cross with a skew narrower than the
+  // gate delay: transport delay would emit a pulse, inertial must not.
+  Builder b("pulse");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  const NetId a_d = b.gate(GateType::kBuf, {a}, "da", 0.13);
+  const NetId c_d = b.gate(GateType::kBuf, {c}, "db", 0.10);
+  const NetId g = b.gate(GateType::kAnd, {a_d, c_d}, "g", 0.20);
+  b.output(g, "o");
+  const auto nl = b.take();
+  TimedSimulator sim(nl);
+  // a: 1->0 arrives at 0.13; b: 0->1 arrives at 0.10. AND sees (1,1)
+  // for 0.03 ns -- far below its 0.2 ns inertia.
+  const auto r = sim.simulate_transition(BitVec::from_string("01"),
+                                         BitVec::from_string("10"));
+  EXPECT_EQ(r.endpoint_waveforms[0].toggle_count(), 0u);
+  EXPECT_FALSE(r.endpoint_waveforms[0].final_value());
+}
+
+TEST(TimedSim, WidePulsePasses) {
+  Builder b("wide");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  const NetId a_d = b.gate(GateType::kBuf, {a}, "da", 0.90);
+  const NetId c_d = b.gate(GateType::kBuf, {c}, "db", 0.10);
+  const NetId g = b.gate(GateType::kAnd, {a_d, c_d}, "g", 0.20);
+  b.output(g, "o");
+  const auto nl = b.take();
+  TimedSimulator sim(nl);
+  // a falls at 0.9, b rises at 0.1: the (1,1) overlap lasts 0.8 ns,
+  // far above the 0.2 ns inertia -- the pulse is real.
+  const auto r = sim.simulate_transition(BitVec::from_string("01"),
+                                         BitVec::from_string("10"));
+  EXPECT_EQ(r.endpoint_waveforms[0].toggle_count(), 2u);
+  EXPECT_FALSE(r.endpoint_waveforms[0].final_value());
+}
+
+TEST(TimedSim, C6288StimulusConverges) {
+  netlist::C6288Options opt;
+  const auto nl = make_c6288(opt);
+  TimedSimulator sim(nl);
+  const auto r = sim.simulate_transition(c6288_reset_stimulus(opt),
+                                         c6288_measure_stimulus(opt));
+  netlist::Evaluator ev(nl);
+  const BitVec settled = ev.eval(c6288_measure_stimulus(opt));
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(r.endpoint_waveforms[i].final_value(), settled.get(i));
+  }
+  EXPECT_GT(r.total_events, 100u);  // the array genuinely churns
+}
+
+TEST(TimedSim, InputWidthMismatchThrows) {
+  Builder b("w");
+  const NetId a = b.input("a");
+  b.output(b.not_(a), "o");
+  const auto nl = b.take();
+  TimedSimulator sim(nl);
+  EXPECT_THROW(sim.simulate_transition(BitVec(2), BitVec(2)), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::timing

@@ -1,0 +1,68 @@
+#include "timing/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace slm::timing {
+namespace {
+
+TEST(Waveform, StaticNet) {
+  Waveform w(true, {});
+  EXPECT_TRUE(w.initial_value());
+  EXPECT_TRUE(w.final_value());
+  EXPECT_EQ(w.settle_time(), 0.0);
+  EXPECT_TRUE(w.value_at(0.0));
+  EXPECT_TRUE(w.value_at(100.0));
+  EXPECT_FALSE(w.toggles_within(0.0, 100.0));
+}
+
+TEST(Waveform, SingleToggle) {
+  Waveform w(false, {2.5});
+  EXPECT_FALSE(w.value_at(2.4));
+  EXPECT_TRUE(w.value_at(2.5));  // inclusive at the instant
+  EXPECT_TRUE(w.value_at(9.0));
+  EXPECT_TRUE(w.final_value());
+  EXPECT_EQ(w.settle_time(), 2.5);
+}
+
+TEST(Waveform, GlitchPulse) {
+  Waveform w(false, {1.0, 1.2, 3.0});
+  EXPECT_FALSE(w.value_at(0.5));
+  EXPECT_TRUE(w.value_at(1.1));
+  EXPECT_FALSE(w.value_at(2.0));
+  EXPECT_TRUE(w.value_at(3.5));
+  EXPECT_TRUE(w.final_value());
+  EXPECT_EQ(w.toggle_count(), 3u);
+}
+
+TEST(Waveform, TogglesWithinHalfOpenInterval) {
+  Waveform w(false, {1.0, 2.0});
+  EXPECT_TRUE(w.toggles_within(0.5, 1.0));   // (0.5, 1.0] includes 1.0
+  EXPECT_FALSE(w.toggles_within(1.0, 1.5));  // (1.0, 1.5] excludes 1.0
+  EXPECT_TRUE(w.toggles_within(1.5, 2.5));
+  EXPECT_FALSE(w.toggles_within(2.5, 9.0));
+}
+
+TEST(Waveform, UnsortedTogglesRejected) {
+  EXPECT_THROW(Waveform(false, {2.0, 1.0}), slm::Error);
+}
+
+TEST(Waveform, AppendEnforcesOrder) {
+  Waveform w(false, {});
+  w.append_toggle(1.0);
+  w.append_toggle(1.0);  // equal allowed
+  EXPECT_THROW(w.append_toggle(0.5), slm::Error);
+  EXPECT_EQ(w.toggle_count(), 2u);
+  EXPECT_FALSE(w.final_value());  // two toggles return to initial
+}
+
+TEST(Waveform, ValueBeforeFirstToggleIsInitial) {
+  Waveform w(true, {5.0});
+  EXPECT_TRUE(w.value_at(0.0));
+  EXPECT_TRUE(w.value_at(4.999));
+  EXPECT_FALSE(w.value_at(5.0));
+}
+
+}  // namespace
+}  // namespace slm::timing

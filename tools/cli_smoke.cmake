@@ -1,0 +1,20 @@
+# CLI smoke test driven by ctest: gen -> check -> sta -> atpg.
+function(run_cli expect_rc)
+  execute_process(COMMAND ${SLM} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "slm ${ARGN} -> rc=${rc} (expected ${expect_rc})\n${out}\n${err}")
+  endif()
+endfunction()
+
+run_cli(0 gen --circuit rca --width 32 --out smoke_rca.bench)
+run_cli(0 check smoke_rca.bench)
+run_cli(2 check smoke_rca.bench --strict-clock-mhz 900)
+run_cli(0 sta smoke_rca.bench --clock-mhz 50)
+run_cli(0 gen --circuit c6288 --width 8 --out smoke_mult.bench)
+run_cli(0 atpg smoke_mult.bench --band-lo 0.8 --band-hi 2.5)
+run_cli(64 bogus-command)
+message(STATUS "cli smoke: all subcommands behaved")

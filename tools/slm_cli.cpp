@@ -1,0 +1,225 @@
+// slm — command-line front end to the library.
+//
+//   slm gen   --circuit rca|ks|c6288|wallace|barrel [--width N] [--out F]
+//   slm check FILE.bench [--strict-clock-mhz F]
+//   slm sta   FILE.bench [--clock-mhz F]
+//   slm atpg  FILE.bench [--band LO HI]
+//   slm attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]
+//              [--traces N] [--key-byte B]
+//
+// Circuits are exchanged in ISCAS .bench format, so the checker/STA/ATPG
+// subcommands also work on external netlists.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "atpg/stimulus_search.hpp"
+#include "bitstream/checker.hpp"
+#include "common/error.hpp"
+#include "core/attack.hpp"
+#include "netlist/bench_format.hpp"
+#include "netlist/generators/adder.hpp"
+#include "netlist/generators/c6288.hpp"
+#include "netlist/generators/fast_datapath.hpp"
+#include "timing/sta.hpp"
+
+using namespace slm;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : it->second;
+  }
+  double get_d(const std::string& key, double dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt : std::stod(it->second);
+  }
+  std::size_t get_n(const std::string& key, std::size_t dflt) const {
+    const auto it = options.find(key);
+    return it == options.end() ? dflt
+                               : static_cast<std::size_t>(
+                                     std::stoull(it->second));
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "1";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+netlist::Netlist load_bench(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open '" + path + "'");
+  return netlist::parse_bench(is, path);
+}
+
+int cmd_gen(const Args& args) {
+  const std::string kind = args.get("circuit", "rca");
+  const std::size_t width = args.get_n("width", 0);
+  netlist::Netlist nl("x");
+  if (kind == "rca") {
+    netlist::AdderOptions opt;
+    if (width) opt.width = width;
+    nl = make_ripple_carry_adder(opt);
+  } else if (kind == "ks") {
+    netlist::KoggeStoneOptions opt;
+    if (width) opt.width = width;
+    nl = make_kogge_stone_adder(opt);
+  } else if (kind == "c6288") {
+    netlist::C6288Options opt;
+    if (width) opt.operand_width = width;
+    nl = make_c6288(opt);
+  } else if (kind == "wallace") {
+    netlist::WallaceOptions opt;
+    if (width) opt.operand_width = width;
+    nl = make_wallace_multiplier(opt);
+  } else if (kind == "barrel") {
+    netlist::BarrelShifterOptions opt;
+    if (width) opt.width = width;
+    nl = make_barrel_shifter(opt);
+  } else {
+    throw Error("unknown --circuit '" + kind + "'");
+  }
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    netlist::write_bench(nl, std::cout);
+  } else {
+    std::ofstream os(out);
+    if (!os) throw Error("cannot write '" + out + "'");
+    netlist::write_bench(nl, os);
+    std::cout << "wrote " << nl.logic_gate_count() << " gates to " << out
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_check(const Args& args) {
+  if (args.positional.empty()) throw Error("check: need a .bench file");
+  const auto nl = load_bench(args.positional[0]);
+  bitstream::CheckerOptions opt;
+  const double strict_mhz = args.get_d("strict-clock-mhz", 0.0);
+  if (strict_mhz > 0) opt.operating_clock_period_ns = 1000.0 / strict_mhz;
+  const auto report = bitstream::BitstreamChecker(opt).check(nl);
+  std::cout << report.summary() << "\n";
+  return report.passed() ? 0 : 2;
+}
+
+int cmd_sta(const Args& args) {
+  if (args.positional.empty()) throw Error("sta: need a .bench file");
+  const auto nl = load_bench(args.positional[0]);
+  timing::Sta sta(nl);
+  const double clock_mhz = args.get_d("clock-mhz", 0.0);
+  std::cout << "gates: " << nl.logic_gate_count()
+            << ", endpoints: " << nl.outputs().size() << "\n"
+            << "critical delay: " << sta.critical_delay() << " ns\n";
+  if (clock_mhz > 0) {
+    const double period = 1000.0 / clock_mhz;
+    const auto failing = sta.failing_endpoints(period);
+    std::cout << "at " << clock_mhz << " MHz (" << period
+              << " ns): " << failing.size() << " failing endpoints\n";
+  }
+  std::cout << sta.report_critical_path();
+  return 0;
+}
+
+int cmd_atpg(const Args& args) {
+  if (args.positional.empty()) throw Error("atpg: need a .bench file");
+  const auto nl = load_bench(args.positional[0]);
+  const double lo = args.get_d("band-lo", 2.2);
+  const double hi = args.get_d("band-hi", 3.6);
+  atpg::StimulusSearchConfig cfg;
+  cfg.random_trials = args.get_n("trials", 150);
+  cfg.hill_climb_iters = args.get_n("climb", 300);
+  atpg::StimulusSearch search(nl, cfg);
+  const auto pair = search.find_sensor_stimulus(lo, hi);
+  std::cout << "endpoints toggling in [" << lo << ", " << hi
+            << "] ns: " << pair.endpoints_in_band << "\n"
+            << "max settle: " << pair.max_settle_ns << " ns\n"
+            << "reset   = " << pair.reset.to_string() << "\n"
+            << "measure = " << pair.measure.to_string() << "\n";
+  return pair.endpoints_in_band > 0 ? 0 : 3;
+}
+
+int cmd_attack(const Args& args) {
+  const std::string circuit_s = args.get("circuit", "alu");
+  const core::BenignCircuit circuit = circuit_s == "c6288"
+                                          ? core::BenignCircuit::kC6288x2
+                                          : core::BenignCircuit::kAlu;
+  const std::string mode_s = args.get("mode", "hw");
+  core::SensorMode mode = core::SensorMode::kBenignHw;
+  if (mode_s == "tdc") mode = core::SensorMode::kTdcFull;
+  else if (mode_s == "tdc-bit") mode = core::SensorMode::kTdcSingleBit;
+  else if (mode_s == "hw") mode = core::SensorMode::kBenignHw;
+  else if (mode_s == "bit") mode = core::SensorMode::kBenignSingleBit;
+  else if (mode_s == "ro") mode = core::SensorMode::kRoCounter;
+  else throw Error("unknown --mode '" + mode_s + "'");
+
+  const std::size_t traces = args.get_n("traces", 150000);
+  const std::size_t key_byte = args.get_n("key-byte", 3);
+
+  core::StealthyAttack attack(circuit);
+  std::cout << "circuit " << core::benign_circuit_name(circuit) << ", mode "
+            << core::sensor_mode_name(mode) << ", " << traces
+            << " traces, key byte " << key_byte << "\n";
+  const auto audit = attack.check_stealthiness();
+  std::cout << "bitstream check: " << audit.summary() << "\n";
+  const auto r = attack.recover_key_byte(key_byte, traces, mode);
+  std::printf("true 0x%02x recovered 0x%02x -> %s", r.true_value,
+              r.recovered, r.success ? "RECOVERED" : "not recovered");
+  if (r.mtd.disclosed()) std::printf(" (~%zu traces)", *r.mtd.traces);
+  std::printf("\n");
+  return r.success ? 0 : 4;
+}
+
+int usage() {
+  std::cerr
+      << "usage: slm <command> [options]\n"
+         "  gen    --circuit rca|ks|c6288|wallace|barrel [--width N] "
+         "[--out F]\n"
+         "  check  FILE.bench [--strict-clock-mhz F]\n"
+         "  sta    FILE.bench [--clock-mhz F]\n"
+         "  atpg   FILE.bench [--band-lo NS] [--band-hi NS]\n"
+         "  attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]\n"
+         "         [--traces N] [--key-byte B]\n";
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "check") return cmd_check(args);
+    if (cmd == "sta") return cmd_sta(args);
+    if (cmd == "atpg") return cmd_atpg(args);
+    if (cmd == "attack") return cmd_attack(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "slm: error: " << e.what() << "\n";
+    return 1;
+  }
+}
