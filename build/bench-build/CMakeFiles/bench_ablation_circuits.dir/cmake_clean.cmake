@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_circuits"
+  "../bench/bench_ablation_circuits.pdb"
+  "CMakeFiles/bench_ablation_circuits.dir/bench_ablation_circuits.cpp.o"
+  "CMakeFiles/bench_ablation_circuits.dir/bench_ablation_circuits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

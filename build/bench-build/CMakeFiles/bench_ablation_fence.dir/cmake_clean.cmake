@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fence"
+  "../bench/bench_ablation_fence.pdb"
+  "CMakeFiles/bench_ablation_fence.dir/bench_ablation_fence.cpp.o"
+  "CMakeFiles/bench_ablation_fence.dir/bench_ablation_fence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_overclock"
+  "../bench/bench_ablation_overclock.pdb"
+  "CMakeFiles/bench_ablation_overclock.dir/bench_ablation_overclock.cpp.o"
+  "CMakeFiles/bench_ablation_overclock.dir/bench_ablation_overclock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

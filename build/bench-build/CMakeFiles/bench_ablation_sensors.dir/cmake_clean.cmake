@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sensors"
+  "../bench/bench_ablation_sensors.pdb"
+  "CMakeFiles/bench_ablation_sensors.dir/bench_ablation_sensors.cpp.o"
+  "CMakeFiles/bench_ablation_sensors.dir/bench_ablation_sensors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03_04_floorplans.cpp" "bench-build/CMakeFiles/bench_fig03_04_floorplans.dir/bench_fig03_04_floorplans.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig03_04_floorplans.dir/bench_fig03_04_floorplans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/slm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/slm_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/slm_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/slm_sca.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/slm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/slm_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpga/CMakeFiles/slm_fpga.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/slm_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/slm_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/slm_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/slm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/slm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

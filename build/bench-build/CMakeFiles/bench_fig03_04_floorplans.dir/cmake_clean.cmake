@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_04_floorplans"
+  "../bench/bench_fig03_04_floorplans.pdb"
+  "CMakeFiles/bench_fig03_04_floorplans.dir/bench_fig03_04_floorplans.cpp.o"
+  "CMakeFiles/bench_fig03_04_floorplans.dir/bench_fig03_04_floorplans.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_04_floorplans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig05_alu_raw"
+  "../bench/bench_fig05_alu_raw.pdb"
+  "CMakeFiles/bench_fig05_alu_raw.dir/bench_fig05_alu_raw.cpp.o"
+  "CMakeFiles/bench_fig05_alu_raw.dir/bench_fig05_alu_raw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_alu_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

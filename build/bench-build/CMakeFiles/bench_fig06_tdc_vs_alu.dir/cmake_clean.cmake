@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_tdc_vs_alu"
+  "../bench/bench_fig06_tdc_vs_alu.pdb"
+  "CMakeFiles/bench_fig06_tdc_vs_alu.dir/bench_fig06_tdc_vs_alu.cpp.o"
+  "CMakeFiles/bench_fig06_tdc_vs_alu.dir/bench_fig06_tdc_vs_alu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_tdc_vs_alu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_cpa_tdc"
+  "../bench/bench_fig09_cpa_tdc.pdb"
+  "CMakeFiles/bench_fig09_cpa_tdc.dir/bench_fig09_cpa_tdc.cpp.o"
+  "CMakeFiles/bench_fig09_cpa_tdc.dir/bench_fig09_cpa_tdc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_cpa_tdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

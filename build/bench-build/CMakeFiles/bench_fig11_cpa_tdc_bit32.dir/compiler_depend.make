@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_cpa_tdc_bit32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_cpa_alu_bit21"
+  "../bench/bench_fig12_cpa_alu_bit21.pdb"
+  "CMakeFiles/bench_fig12_cpa_alu_bit21.dir/bench_fig12_cpa_alu_bit21.cpp.o"
+  "CMakeFiles/bench_fig12_cpa_alu_bit21.dir/bench_fig12_cpa_alu_bit21.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cpa_alu_bit21.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

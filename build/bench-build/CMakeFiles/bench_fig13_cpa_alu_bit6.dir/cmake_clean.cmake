@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_cpa_alu_bit6"
+  "../bench/bench_fig13_cpa_alu_bit6.pdb"
+  "CMakeFiles/bench_fig13_cpa_alu_bit6.dir/bench_fig13_cpa_alu_bit6.cpp.o"
+  "CMakeFiles/bench_fig13_cpa_alu_bit6.dir/bench_fig13_cpa_alu_bit6.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cpa_alu_bit6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

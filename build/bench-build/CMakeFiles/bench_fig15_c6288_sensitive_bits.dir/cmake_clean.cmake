@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_c6288_sensitive_bits"
+  "../bench/bench_fig15_c6288_sensitive_bits.pdb"
+  "CMakeFiles/bench_fig15_c6288_sensitive_bits.dir/bench_fig15_c6288_sensitive_bits.cpp.o"
+  "CMakeFiles/bench_fig15_c6288_sensitive_bits.dir/bench_fig15_c6288_sensitive_bits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_c6288_sensitive_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig18_cpa_c6288_bit28.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atpg_stimulus.dir/atpg_stimulus.cpp.o"
+  "CMakeFiles/atpg_stimulus.dir/atpg_stimulus.cpp.o.d"
+  "atpg_stimulus"
+  "atpg_stimulus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atpg_stimulus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_audit.dir/bitstream_audit.cpp.o"
+  "CMakeFiles/bitstream_audit.dir/bitstream_audit.cpp.o.d"
+  "bitstream_audit"
+  "bitstream_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_attack.dir/multi_tenant_attack.cpp.o"
+  "CMakeFiles/multi_tenant_attack.dir/multi_tenant_attack.cpp.o.d"
+  "multi_tenant_attack"
+  "multi_tenant_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_characterization.dir/sensor_characterization.cpp.o"
+  "CMakeFiles/sensor_characterization.dir/sensor_characterization.cpp.o.d"
+  "sensor_characterization"
+  "sensor_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

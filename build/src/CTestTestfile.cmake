@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("netlist")
+subdirs("timing")
+subdirs("pdn")
+subdirs("crypto")
+subdirs("sensors")
+subdirs("fpga")
+subdirs("sca")
+subdirs("bitstream")
+subdirs("defense")
+subdirs("atpg")
+subdirs("core")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_atpg.dir/stimulus_search.cpp.o"
+  "CMakeFiles/slm_atpg.dir/stimulus_search.cpp.o.d"
+  "libslm_atpg.a"
+  "libslm_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

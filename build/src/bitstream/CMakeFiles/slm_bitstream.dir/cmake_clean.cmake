@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_bitstream.dir/checker.cpp.o"
+  "CMakeFiles/slm_bitstream.dir/checker.cpp.o.d"
+  "libslm_bitstream.a"
+  "libslm_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

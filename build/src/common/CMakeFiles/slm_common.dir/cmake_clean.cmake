@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_common.dir/bitvec.cpp.o"
+  "CMakeFiles/slm_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/slm_common.dir/csv.cpp.o"
+  "CMakeFiles/slm_common.dir/csv.cpp.o.d"
+  "CMakeFiles/slm_common.dir/log.cpp.o"
+  "CMakeFiles/slm_common.dir/log.cpp.o.d"
+  "CMakeFiles/slm_common.dir/rng.cpp.o"
+  "CMakeFiles/slm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/slm_common.dir/stats.cpp.o"
+  "CMakeFiles/slm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/slm_common.dir/table.cpp.o"
+  "CMakeFiles/slm_common.dir/table.cpp.o.d"
+  "libslm_common.a"
+  "libslm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_core.dir/attack.cpp.o"
+  "CMakeFiles/slm_core.dir/attack.cpp.o.d"
+  "CMakeFiles/slm_core.dir/calibration.cpp.o"
+  "CMakeFiles/slm_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/slm_core.dir/campaign.cpp.o"
+  "CMakeFiles/slm_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/slm_core.dir/preliminary.cpp.o"
+  "CMakeFiles/slm_core.dir/preliminary.cpp.o.d"
+  "CMakeFiles/slm_core.dir/setup.cpp.o"
+  "CMakeFiles/slm_core.dir/setup.cpp.o.d"
+  "libslm_core.a"
+  "libslm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

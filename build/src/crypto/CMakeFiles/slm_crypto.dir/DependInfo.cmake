@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/crypto/CMakeFiles/slm_crypto.dir/aes128.cpp.o" "gcc" "src/crypto/CMakeFiles/slm_crypto.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypto/aes_datapath.cpp" "src/crypto/CMakeFiles/slm_crypto.dir/aes_datapath.cpp.o" "gcc" "src/crypto/CMakeFiles/slm_crypto.dir/aes_datapath.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/slm_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/slm_crypto.dir/aes_datapath.cpp.o"
+  "CMakeFiles/slm_crypto.dir/aes_datapath.cpp.o.d"
+  "libslm_crypto.a"
+  "libslm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_defense.dir/active_fence.cpp.o"
+  "CMakeFiles/slm_defense.dir/active_fence.cpp.o.d"
+  "libslm_defense.a"
+  "libslm_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

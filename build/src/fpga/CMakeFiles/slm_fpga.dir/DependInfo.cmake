@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/bram.cpp" "src/fpga/CMakeFiles/slm_fpga.dir/bram.cpp.o" "gcc" "src/fpga/CMakeFiles/slm_fpga.dir/bram.cpp.o.d"
+  "/root/repo/src/fpga/clocking.cpp" "src/fpga/CMakeFiles/slm_fpga.dir/clocking.cpp.o" "gcc" "src/fpga/CMakeFiles/slm_fpga.dir/clocking.cpp.o.d"
+  "/root/repo/src/fpga/fabric.cpp" "src/fpga/CMakeFiles/slm_fpga.dir/fabric.cpp.o" "gcc" "src/fpga/CMakeFiles/slm_fpga.dir/fabric.cpp.o.d"
+  "/root/repo/src/fpga/uart.cpp" "src/fpga/CMakeFiles/slm_fpga.dir/uart.cpp.o" "gcc" "src/fpga/CMakeFiles/slm_fpga.dir/uart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/slm_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/slm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/slm_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

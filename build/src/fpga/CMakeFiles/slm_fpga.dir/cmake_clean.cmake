@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_fpga.dir/bram.cpp.o"
+  "CMakeFiles/slm_fpga.dir/bram.cpp.o.d"
+  "CMakeFiles/slm_fpga.dir/clocking.cpp.o"
+  "CMakeFiles/slm_fpga.dir/clocking.cpp.o.d"
+  "CMakeFiles/slm_fpga.dir/fabric.cpp.o"
+  "CMakeFiles/slm_fpga.dir/fabric.cpp.o.d"
+  "CMakeFiles/slm_fpga.dir/uart.cpp.o"
+  "CMakeFiles/slm_fpga.dir/uart.cpp.o.d"
+  "libslm_fpga.a"
+  "libslm_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_format.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/bench_format.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/bench_format.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/builder.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/builder.cpp.o.d"
+  "/root/repo/src/netlist/evaluator.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/evaluator.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/evaluator.cpp.o.d"
+  "/root/repo/src/netlist/export.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/export.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/export.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/gate.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/gate.cpp.o.d"
+  "/root/repo/src/netlist/generators/adder.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/generators/adder.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/generators/adder.cpp.o.d"
+  "/root/repo/src/netlist/generators/alu.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/generators/alu.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/generators/alu.cpp.o.d"
+  "/root/repo/src/netlist/generators/c6288.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/generators/c6288.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/generators/c6288.cpp.o.d"
+  "/root/repo/src/netlist/generators/fast_datapath.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/generators/fast_datapath.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/generators/fast_datapath.cpp.o.d"
+  "/root/repo/src/netlist/generators/random_dag.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/generators/random_dag.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/generators/random_dag.cpp.o.d"
+  "/root/repo/src/netlist/generators/suspicious.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/generators/suspicious.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/generators/suspicious.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/slm_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/slm_netlist.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

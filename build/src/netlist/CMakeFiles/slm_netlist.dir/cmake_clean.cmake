@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_netlist.dir/bench_format.cpp.o"
+  "CMakeFiles/slm_netlist.dir/bench_format.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/builder.cpp.o"
+  "CMakeFiles/slm_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/evaluator.cpp.o"
+  "CMakeFiles/slm_netlist.dir/evaluator.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/export.cpp.o"
+  "CMakeFiles/slm_netlist.dir/export.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/gate.cpp.o"
+  "CMakeFiles/slm_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/generators/adder.cpp.o"
+  "CMakeFiles/slm_netlist.dir/generators/adder.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/generators/alu.cpp.o"
+  "CMakeFiles/slm_netlist.dir/generators/alu.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/generators/c6288.cpp.o"
+  "CMakeFiles/slm_netlist.dir/generators/c6288.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/generators/fast_datapath.cpp.o"
+  "CMakeFiles/slm_netlist.dir/generators/fast_datapath.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/generators/random_dag.cpp.o"
+  "CMakeFiles/slm_netlist.dir/generators/random_dag.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/generators/suspicious.cpp.o"
+  "CMakeFiles/slm_netlist.dir/generators/suspicious.cpp.o.d"
+  "CMakeFiles/slm_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/slm_netlist.dir/netlist.cpp.o.d"
+  "libslm_netlist.a"
+  "libslm_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdn/current_source.cpp" "src/pdn/CMakeFiles/slm_pdn.dir/current_source.cpp.o" "gcc" "src/pdn/CMakeFiles/slm_pdn.dir/current_source.cpp.o.d"
+  "/root/repo/src/pdn/cycle_response.cpp" "src/pdn/CMakeFiles/slm_pdn.dir/cycle_response.cpp.o" "gcc" "src/pdn/CMakeFiles/slm_pdn.dir/cycle_response.cpp.o.d"
+  "/root/repo/src/pdn/rlc.cpp" "src/pdn/CMakeFiles/slm_pdn.dir/rlc.cpp.o" "gcc" "src/pdn/CMakeFiles/slm_pdn.dir/rlc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/slm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_pdn.dir/current_source.cpp.o"
+  "CMakeFiles/slm_pdn.dir/current_source.cpp.o.d"
+  "CMakeFiles/slm_pdn.dir/cycle_response.cpp.o"
+  "CMakeFiles/slm_pdn.dir/cycle_response.cpp.o.d"
+  "CMakeFiles/slm_pdn.dir/rlc.cpp.o"
+  "CMakeFiles/slm_pdn.dir/rlc.cpp.o.d"
+  "libslm_pdn.a"
+  "libslm_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sca/cpa.cpp" "src/sca/CMakeFiles/slm_sca.dir/cpa.cpp.o" "gcc" "src/sca/CMakeFiles/slm_sca.dir/cpa.cpp.o.d"
+  "/root/repo/src/sca/model.cpp" "src/sca/CMakeFiles/slm_sca.dir/model.cpp.o" "gcc" "src/sca/CMakeFiles/slm_sca.dir/model.cpp.o.d"
+  "/root/repo/src/sca/mtd.cpp" "src/sca/CMakeFiles/slm_sca.dir/mtd.cpp.o" "gcc" "src/sca/CMakeFiles/slm_sca.dir/mtd.cpp.o.d"
+  "/root/repo/src/sca/selection.cpp" "src/sca/CMakeFiles/slm_sca.dir/selection.cpp.o" "gcc" "src/sca/CMakeFiles/slm_sca.dir/selection.cpp.o.d"
+  "/root/repo/src/sca/trace.cpp" "src/sca/CMakeFiles/slm_sca.dir/trace.cpp.o" "gcc" "src/sca/CMakeFiles/slm_sca.dir/trace.cpp.o.d"
+  "/root/repo/src/sca/tvla.cpp" "src/sca/CMakeFiles/slm_sca.dir/tvla.cpp.o" "gcc" "src/sca/CMakeFiles/slm_sca.dir/tvla.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/slm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/slm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_sca.dir/cpa.cpp.o"
+  "CMakeFiles/slm_sca.dir/cpa.cpp.o.d"
+  "CMakeFiles/slm_sca.dir/model.cpp.o"
+  "CMakeFiles/slm_sca.dir/model.cpp.o.d"
+  "CMakeFiles/slm_sca.dir/mtd.cpp.o"
+  "CMakeFiles/slm_sca.dir/mtd.cpp.o.d"
+  "CMakeFiles/slm_sca.dir/selection.cpp.o"
+  "CMakeFiles/slm_sca.dir/selection.cpp.o.d"
+  "CMakeFiles/slm_sca.dir/trace.cpp.o"
+  "CMakeFiles/slm_sca.dir/trace.cpp.o.d"
+  "CMakeFiles/slm_sca.dir/tvla.cpp.o"
+  "CMakeFiles/slm_sca.dir/tvla.cpp.o.d"
+  "libslm_sca.a"
+  "libslm_sca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_sensors.dir/benign_sensor.cpp.o"
+  "CMakeFiles/slm_sensors.dir/benign_sensor.cpp.o.d"
+  "CMakeFiles/slm_sensors.dir/ro_sensor.cpp.o"
+  "CMakeFiles/slm_sensors.dir/ro_sensor.cpp.o.d"
+  "CMakeFiles/slm_sensors.dir/tdc.cpp.o"
+  "CMakeFiles/slm_sensors.dir/tdc.cpp.o.d"
+  "libslm_sensors.a"
+  "libslm_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm_timing.dir/capture.cpp.o"
+  "CMakeFiles/slm_timing.dir/capture.cpp.o.d"
+  "CMakeFiles/slm_timing.dir/delay_model.cpp.o"
+  "CMakeFiles/slm_timing.dir/delay_model.cpp.o.d"
+  "CMakeFiles/slm_timing.dir/sta.cpp.o"
+  "CMakeFiles/slm_timing.dir/sta.cpp.o.d"
+  "CMakeFiles/slm_timing.dir/timed_sim.cpp.o"
+  "CMakeFiles/slm_timing.dir/timed_sim.cpp.o.d"
+  "CMakeFiles/slm_timing.dir/waveform.cpp.o"
+  "CMakeFiles/slm_timing.dir/waveform.cpp.o.d"
+  "libslm_timing.a"
+  "libslm_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

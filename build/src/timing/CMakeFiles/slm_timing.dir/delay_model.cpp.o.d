@@ -1,0 +1,3 @@
+src/timing/CMakeFiles/slm_timing.dir/delay_model.cpp.o: \
+ /root/repo/src/timing/delay_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/timing/delay_model.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_fence_test.dir/defense/active_fence_test.cpp.o"
+  "CMakeFiles/active_fence_test.dir/defense/active_fence_test.cpp.o.d"
+  "active_fence_test"
+  "active_fence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_fence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_datapath_test.dir/crypto/aes_datapath_test.cpp.o"
+  "CMakeFiles/aes_datapath_test.dir/crypto/aes_datapath_test.cpp.o.d"
+  "aes_datapath_test"
+  "aes_datapath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_datapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_test.dir/netlist/alu_test.cpp.o"
+  "CMakeFiles/alu_test.dir/netlist/alu_test.cpp.o.d"
+  "alu_test"
+  "alu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_format_test.dir/netlist/bench_format_test.cpp.o"
+  "CMakeFiles/bench_format_test.dir/netlist/bench_format_test.cpp.o.d"
+  "bench_format_test"
+  "bench_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

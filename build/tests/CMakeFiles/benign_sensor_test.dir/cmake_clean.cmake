@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benign_sensor_test.dir/sensors/benign_sensor_test.cpp.o"
+  "CMakeFiles/benign_sensor_test.dir/sensors/benign_sensor_test.cpp.o.d"
+  "benign_sensor_test"
+  "benign_sensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benign_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

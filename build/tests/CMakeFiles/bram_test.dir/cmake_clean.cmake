@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bram_test.dir/fpga/bram_test.cpp.o"
+  "CMakeFiles/bram_test.dir/fpga/bram_test.cpp.o.d"
+  "bram_test"
+  "bram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

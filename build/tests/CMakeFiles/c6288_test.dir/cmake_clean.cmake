@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c6288_test.dir/netlist/c6288_test.cpp.o"
+  "CMakeFiles/c6288_test.dir/netlist/c6288_test.cpp.o.d"
+  "c6288_test"
+  "c6288_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c6288_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

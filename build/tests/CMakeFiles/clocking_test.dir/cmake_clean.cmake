@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clocking_test.dir/fpga/clocking_test.cpp.o"
+  "CMakeFiles/clocking_test.dir/fpga/clocking_test.cpp.o.d"
+  "clocking_test"
+  "clocking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpa_test.dir/sca/cpa_test.cpp.o"
+  "CMakeFiles/cpa_test.dir/sca/cpa_test.cpp.o.d"
+  "cpa_test"
+  "cpa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/current_source_test.dir/pdn/current_source_test.cpp.o"
+  "CMakeFiles/current_source_test.dir/pdn/current_source_test.cpp.o.d"
+  "current_source_test"
+  "current_source_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/current_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

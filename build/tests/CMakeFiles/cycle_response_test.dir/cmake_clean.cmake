@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycle_response_test.dir/pdn/cycle_response_test.cpp.o"
+  "CMakeFiles/cycle_response_test.dir/pdn/cycle_response_test.cpp.o.d"
+  "cycle_response_test"
+  "cycle_response_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycle_response_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

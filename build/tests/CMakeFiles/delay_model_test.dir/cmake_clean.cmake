@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_model_test.dir/timing/delay_model_test.cpp.o"
+  "CMakeFiles/delay_model_test.dir/timing/delay_model_test.cpp.o.d"
+  "delay_model_test"
+  "delay_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fast_datapath_test.dir/netlist/fast_datapath_test.cpp.o"
+  "CMakeFiles/fast_datapath_test.dir/netlist/fast_datapath_test.cpp.o.d"
+  "fast_datapath_test"
+  "fast_datapath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fast_datapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

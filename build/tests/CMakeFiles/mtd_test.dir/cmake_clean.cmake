@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtd_test.dir/sca/mtd_test.cpp.o"
+  "CMakeFiles/mtd_test.dir/sca/mtd_test.cpp.o.d"
+  "mtd_test"
+  "mtd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

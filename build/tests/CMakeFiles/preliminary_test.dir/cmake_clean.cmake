@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preliminary_test.dir/core/preliminary_test.cpp.o"
+  "CMakeFiles/preliminary_test.dir/core/preliminary_test.cpp.o.d"
+  "preliminary_test"
+  "preliminary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preliminary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rlc_test.dir/pdn/rlc_test.cpp.o"
+  "CMakeFiles/rlc_test.dir/pdn/rlc_test.cpp.o.d"
+  "rlc_test"
+  "rlc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rlc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ro_sensor_test.dir/sensors/ro_sensor_test.cpp.o"
+  "CMakeFiles/ro_sensor_test.dir/sensors/ro_sensor_test.cpp.o.d"
+  "ro_sensor_test"
+  "ro_sensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ro_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setup_test.dir/core/setup_test.cpp.o"
+  "CMakeFiles/setup_test.dir/core/setup_test.cpp.o.d"
+  "setup_test"
+  "setup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stimulus_search_test.dir/atpg/stimulus_search_test.cpp.o"
+  "CMakeFiles/stimulus_search_test.dir/atpg/stimulus_search_test.cpp.o.d"
+  "stimulus_search_test"
+  "stimulus_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stimulus_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suspicious_test.dir/netlist/suspicious_test.cpp.o"
+  "CMakeFiles/suspicious_test.dir/netlist/suspicious_test.cpp.o.d"
+  "suspicious_test"
+  "suspicious_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suspicious_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

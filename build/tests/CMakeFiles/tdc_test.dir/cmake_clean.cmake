@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdc_test.dir/sensors/tdc_test.cpp.o"
+  "CMakeFiles/tdc_test.dir/sensors/tdc_test.cpp.o.d"
+  "tdc_test"
+  "tdc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

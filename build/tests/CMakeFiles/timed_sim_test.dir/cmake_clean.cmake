@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timed_sim_test.dir/timing/timed_sim_test.cpp.o"
+  "CMakeFiles/timed_sim_test.dir/timing/timed_sim_test.cpp.o.d"
+  "timed_sim_test"
+  "timed_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timed_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

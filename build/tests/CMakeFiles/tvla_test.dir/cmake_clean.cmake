@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvla_test.dir/sca/tvla_test.cpp.o"
+  "CMakeFiles/tvla_test.dir/sca/tvla_test.cpp.o.d"
+  "tvla_test"
+  "tvla_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

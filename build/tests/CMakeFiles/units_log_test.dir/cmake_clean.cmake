@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/units_log_test.dir/common/units_log_test.cpp.o"
+  "CMakeFiles/units_log_test.dir/common/units_log_test.cpp.o.d"
+  "units_log_test"
+  "units_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/units_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

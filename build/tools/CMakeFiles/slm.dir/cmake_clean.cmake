@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slm.dir/slm_cli.cpp.o"
+  "CMakeFiles/slm.dir/slm_cli.cpp.o.d"
+  "slm"
+  "slm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
