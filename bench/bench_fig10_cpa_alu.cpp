@@ -5,13 +5,14 @@
 
 using namespace slm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = bench::thread_budget(argc, argv);
   bench::print_header("Figure 10",
                       "CPA on AES with the misused 192-bit ALU (HW mode)");
   core::CampaignConfig cfg;
   cfg.mode = core::SensorMode::kBenignHw;
   cfg.traces = bench::trace_budget(500000);
-  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg);
+  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg, threads);
 
   bench::ShapeChecks checks;
   checks.expect("correct key byte recovered", fig.campaign.key_recovered);

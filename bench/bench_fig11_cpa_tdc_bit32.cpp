@@ -6,13 +6,14 @@
 
 using namespace slm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = bench::thread_budget(argc, argv);
   bench::print_header("Figure 11", "CPA with a single TDC thermometer bit");
   core::CampaignConfig cfg;
   cfg.mode = core::SensorMode::kTdcSingleBit;
   cfg.single_bit = core::CampaignConfig::kAutoBit;
   cfg.traces = bench::trace_budget(500000);
-  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg);
+  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg, threads);
 
   std::cout << "selected TDC stage: " << fig.resolved_bit
             << " (paper: bit 32 at its idle depth)\n";

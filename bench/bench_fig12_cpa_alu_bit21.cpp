@@ -6,14 +6,15 @@
 
 using namespace slm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = bench::thread_budget(argc, argv);
   bench::print_header("Figure 12",
                       "CPA with a single ALU path endpoint (top variance)");
   core::CampaignConfig cfg;
   cfg.mode = core::SensorMode::kBenignSingleBit;
   cfg.single_bit = core::CampaignConfig::kAutoBit;
   cfg.traces = bench::trace_budget(500000);
-  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg);
+  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg, threads);
 
   std::cout << "selected endpoint: bit " << fig.resolved_bit
             << " (paper: bit 21 under its mapping)\n";

@@ -8,7 +8,8 @@
 
 using namespace slm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = bench::thread_budget(argc, argv);
   bench::print_header(
       "Figure 13", "CPA with an alternate single ALU endpoint (2nd variance)");
 
@@ -35,7 +36,7 @@ int main() {
   cfg.mode = core::SensorMode::kBenignSingleBit;
   cfg.single_bit = alternate;
   cfg.traces = bench::trace_budget(500000);
-  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg);
+  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kAlu, cfg, threads);
 
   bench::ShapeChecks checks;
   checks.expect("alternate endpoint also recovers the key byte",

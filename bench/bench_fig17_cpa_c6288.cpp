@@ -6,7 +6,8 @@
 
 using namespace slm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = bench::thread_budget(argc, argv);
   bench::print_header("Figure 17",
                       "CPA on AES with two C6288 multipliers (HW mode)");
   core::CampaignConfig cfg;
@@ -15,7 +16,7 @@ int main() {
   // The multiplier's glitchy endpoints carry variance without slope, so
   // the HW is restricted to the top bits of interest (see DESIGN.md).
   cfg.selection_top_k = 12;
-  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kC6288x2, cfg);
+  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kC6288x2, cfg, threads);
 
   bench::ShapeChecks checks;
   checks.expect("correct key byte recovered from the combined multipliers",

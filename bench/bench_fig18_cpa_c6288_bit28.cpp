@@ -5,14 +5,15 @@
 
 using namespace slm;
 
-int main() {
+int main(int argc, char** argv) {
+  const unsigned threads = bench::thread_budget(argc, argv);
   bench::print_header("Figure 18",
                       "CPA with a single C6288 path endpoint (top variance)");
   core::CampaignConfig cfg;
   cfg.mode = core::SensorMode::kBenignSingleBit;
   cfg.single_bit = core::CampaignConfig::kAutoBit;
   cfg.traces = bench::trace_budget(500000);
-  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kC6288x2, cfg);
+  const auto fig = bench::run_cpa_figure(core::BenignCircuit::kC6288x2, cfg, threads);
 
   std::cout << "selected endpoint: bit " << fig.resolved_bit
             << " of the 64-bit concatenation (paper: bit 28)\n";
@@ -32,7 +33,7 @@ int main() {
   hw_cfg.mode = core::SensorMode::kBenignHw;
   hw_cfg.traces = bench::trace_budget(500000);
   hw_cfg.selection_top_k = 12;
-  const auto hw = bench::run_cpa_figure(core::BenignCircuit::kC6288x2, hw_cfg);
+  const auto hw = bench::run_cpa_figure(core::BenignCircuit::kC6288x2, hw_cfg, threads);
   if (hw.campaign.mtd.disclosed()) {
     std::cout << "single-bit MTD ~" << *fig.campaign.mtd.traces
               << " vs combined-HW MTD ~" << *hw.campaign.mtd.traces << "\n";

@@ -4,12 +4,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/campaign.hpp"
+#include "core/parallel.hpp"
 #include "core/preliminary.hpp"
 #include "core/setup.hpp"
 
@@ -45,13 +47,30 @@ class ShapeChecks {
 };
 
 /// Environment-tunable trace count: SLM_TRACES overrides the default so
-/// quick runs are possible (documented in README).
+/// quick runs are possible (documented in README and docs/BENCHMARKS.md).
 inline std::size_t trace_budget(std::size_t dflt) {
   if (const char* env = std::getenv("SLM_TRACES")) {
     const long v = std::atol(env);
     if (v > 0) return static_cast<std::size_t>(v);
   }
   return dflt;
+}
+
+/// Worker count for the CPA figure benches: `--threads N` on the command
+/// line beats the SLM_THREADS environment variable beats the serial
+/// default. The default stays 1 so the published figure tables are
+/// bit-reproducible; pass --threads 0 for all hardware threads.
+inline unsigned thread_budget(int argc = 0, char** argv = nullptr) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      return core::resolve_threads(
+          static_cast<unsigned>(std::atoi(argv[i + 1])));
+    }
+  }
+  if (const char* env = std::getenv("SLM_THREADS")) {
+    return core::resolve_threads(static_cast<unsigned>(std::atoi(env)));
+  }
+  return 1;
 }
 
 struct CpaFigureResult {
@@ -63,12 +82,14 @@ struct CpaFigureResult {
 /// 16x16 grid over all 256 candidates, the "progress" panel (b) as a
 /// checkpoint table, and the MTD verdict.
 inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
-                                      const core::CampaignConfig& cfg_in) {
+                                      const core::CampaignConfig& cfg_in,
+                                      unsigned threads = 1) {
   core::AttackSetup setup(circuit,
                           core::Calibration::paper_defaults());
   core::CampaignConfig cfg = cfg_in;
-  core::CpaCampaign campaign(setup, cfg);
-  CpaFigureResult out{campaign.run(), campaign.resolved_single_bit()};
+  core::ParallelCampaign campaign(setup, cfg, threads);
+  CpaFigureResult out{campaign.run(), 0};
+  out.resolved_bit = out.campaign.single_bit;
   const auto& r = out.campaign;
 
   std::cout << "sensor mode      : " << core::sensor_mode_name(r.mode) << "\n"
@@ -76,7 +97,13 @@ inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
             << "\n"
             << "traces           : " << r.traces_run << "\n"
             << "target           : last-round key byte " << cfg.target_key_byte
-            << ", state bit " << cfg.target_bit << "\n";
+            << ", state bit " << cfg.target_bit << "\n"
+            << "threads          : " << r.threads_used << "\n";
+  if (r.capture_seconds > 0.0) {
+    std::printf("throughput       : %.0f traces/sec (%.2f s)\n",
+                static_cast<double>(r.traces_run) / r.capture_seconds,
+                r.capture_seconds);
+  }
   if (r.mode == core::SensorMode::kBenignHw) {
     std::cout << "bits of interest : " << r.bits_of_interest.size() << "\n";
   }

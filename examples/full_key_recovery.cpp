@@ -3,17 +3,30 @@
 // victim's master key. Uses the TDC for speed; switch the mode to
 // SensorMode::kBenignHw to do the same fully stealthily (more traces).
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/attack.hpp"
+#include "core/parallel.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace slm::core;
+
+  // The 16 byte-campaigns are farmed across all hardware threads by
+  // default; pass `--threads 1` for the legacy serial run.
+  unsigned threads = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+    }
+  }
 
   StealthyAttack attack(BenignCircuit::kAlu);
   std::printf("recovering all 16 bytes of the last round key "
-              "(TDC sensor, 4000 traces each)...\n\n");
+              "(TDC sensor, 4000 traces each, %u thread(s))...\n\n",
+              resolve_threads(threads));
   const auto report = attack.recover_full_key(/*traces_per_byte=*/4000,
-                                              SensorMode::kTdcFull);
+                                              SensorMode::kTdcFull, threads);
 
   std::printf("byte  true  recovered  ok   ~traces\n");
   std::printf("----  ----  ---------  ---  -------\n");

@@ -94,6 +94,14 @@ Xoshiro256 Xoshiro256::fork() {
   return Xoshiro256(next() ^ 0xd1b54a32d192ed03ull);
 }
 
+Xoshiro256 Xoshiro256::stream(std::uint64_t seed, std::uint64_t stream_index) {
+  // Mix the index through splitmix before folding it into the seed so
+  // that consecutive indices do not produce correlated xoshiro states
+  // (the constructor splitmixes again, giving two rounds total).
+  std::uint64_t x = stream_index ^ 0xd1b54a32d192ed03ull;
+  return Xoshiro256(seed ^ splitmix64(x));
+}
+
 FastNormal::FastNormal() {
   // quantile_[i] = Phi^-1((i + 0.5) / kTableSize) at bucket centres; the
   // +1 guard entry mirrors the last bucket for interpolation at the edge.

@@ -34,6 +34,14 @@ class Xoshiro256 {
   /// Split off an independent stream (jump-free: reseeds via splitmix).
   Xoshiro256 fork();
 
+  /// Deterministic independent stream for shard `stream_index` of a
+  /// campaign seeded with `seed`: the same (seed, index) pair always
+  /// yields the same stream, and distinct indices land in decorrelated
+  /// regions of the state space (splitmix-mixed before seeding, same
+  /// machinery as fork()). This is what sharded campaigns use so that
+  /// results depend only on (seed, shard count), never on scheduling.
+  static Xoshiro256 stream(std::uint64_t seed, std::uint64_t stream_index);
+
   // UniformRandomBitGenerator interface (usable with <random> and
   // std::shuffle).
   using result_type = std::uint64_t;

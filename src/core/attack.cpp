@@ -1,14 +1,35 @@
 #include "core/attack.hpp"
 
+#include <algorithm>
+
+#include "core/parallel.hpp"
+
 namespace slm::core {
+
+namespace {
+
+KeyByteReport report_from(std::size_t key_byte, const CampaignResult& r) {
+  KeyByteReport report;
+  report.key_byte = key_byte;
+  report.true_value = r.correct_guess;
+  report.recovered = r.recovered_guess;
+  report.success = r.key_recovered;
+  report.traces = r.traces_run;
+  report.mtd = r.mtd;
+  report.threads_used = r.threads_used;
+  report.capture_seconds = r.capture_seconds;
+  return report;
+}
+
+}  // namespace
 
 StealthyAttack::StealthyAttack(BenignCircuit circuit, Calibration cal,
                                std::uint64_t seed)
     : cal_(std::move(cal)), setup_(circuit, cal_, seed), seed_(seed) {}
 
-KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
-                                               std::size_t traces,
-                                               SensorMode mode) {
+CampaignConfig StealthyAttack::byte_campaign_config(std::size_t key_byte,
+                                                    std::size_t traces,
+                                                    SensorMode mode) const {
   CampaignConfig cfg;
   cfg.traces = traces;
   cfg.mode = mode;
@@ -37,40 +58,61 @@ KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
       cyc;
   cfg.window_start_ns = leak_t - 2.0 * cyc;
   cfg.window_end_ns = leak_t + 3.5 * cyc;
+  return cfg;
+}
 
-  CpaCampaign campaign(setup_, cfg);
-  const CampaignResult r = campaign.run();
-
-  KeyByteReport report;
-  report.key_byte = key_byte;
-  report.true_value = r.correct_guess;
-  report.recovered = r.recovered_guess;
-  report.success = r.key_recovered;
-  report.traces = r.traces_run;
-  report.mtd = r.mtd;
-  return report;
+KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
+                                               std::size_t traces,
+                                               SensorMode mode,
+                                               unsigned threads) {
+  const CampaignConfig cfg = byte_campaign_config(key_byte, traces, mode);
+  ParallelCampaign campaign(setup_, cfg, threads);
+  return report_from(key_byte, campaign.run());
 }
 
 std::vector<KeyByteReport> StealthyAttack::recover_key_bytes(
     const std::vector<std::size_t>& key_bytes, std::size_t traces,
-    SensorMode mode) {
+    SensorMode mode, unsigned threads) {
   std::vector<KeyByteReport> reports;
   reports.reserve(key_bytes.size());
   for (std::size_t b : key_bytes) {
-    reports.push_back(recover_key_byte(b, traces, mode));
+    reports.push_back(recover_key_byte(b, traces, mode, threads));
   }
   return reports;
 }
 
 StealthyAttack::FullKeyReport StealthyAttack::recover_full_key(
-    std::size_t traces_per_byte, SensorMode mode) {
+    std::size_t traces_per_byte, SensorMode mode, unsigned threads) {
   FullKeyReport report;
   report.success = true;
-  for (std::size_t b = 0; b < 16; ++b) {
-    auto byte_report = recover_key_byte(b, traces_per_byte, mode);
-    report.last_round_key[b] = byte_report.recovered;
-    report.success = report.success && byte_report.success;
-    report.bytes.push_back(std::move(byte_report));
+  const unsigned t = resolve_threads(threads);
+  if (t <= 1) {
+    // Exact legacy behaviour: the 16 campaigns run back to back on the
+    // shared platform (the victim's register state carries over).
+    for (std::size_t b = 0; b < 16; ++b) {
+      auto byte_report = recover_key_byte(b, traces_per_byte, mode, 1);
+      report.last_round_key[b] = byte_report.recovered;
+      report.success = report.success && byte_report.success;
+      report.bytes.push_back(std::move(byte_report));
+    }
+  } else {
+    // Farm the 16 byte-campaigns across the pool. Every campaign gets a
+    // fresh, identically-seeded platform replica, so each byte's result
+    // is independent of which worker runs it and of the other bytes —
+    // deterministic for any thread count >= 2.
+    report.bytes.resize(16);
+    ThreadPool pool(std::min(t, 16u));
+    pool.run_indexed(16, [&](std::size_t b) {
+      AttackSetup local(setup_.circuit_kind(), cal_, seed_);
+      const CampaignConfig cfg =
+          byte_campaign_config(b, traces_per_byte, mode);
+      CpaCampaign campaign(local, cfg);
+      report.bytes[b] = report_from(b, campaign.run());
+    });
+    for (std::size_t b = 0; b < 16; ++b) {
+      report.last_round_key[b] = report.bytes[b].recovered;
+      report.success = report.success && report.bytes[b].success;
+    }
   }
   report.master_key = crypto::recover_master_key(report.last_round_key);
   return report;

@@ -20,6 +20,8 @@ struct KeyByteReport {
   bool success = false;
   std::size_t traces = 0;
   sca::MtdResult mtd;
+  unsigned threads_used = 0;     ///< workers the campaign ran on
+  double capture_seconds = 0.0;  ///< campaign wall time (traces/sec)
 };
 
 class StealthyAttack {
@@ -30,14 +32,21 @@ class StealthyAttack {
 
   AttackSetup& setup() { return setup_; }
 
+  // All recover_* calls take a `threads` knob: 0 (the default) uses
+  // hardware_concurrency, 1 is the exact pre-sharding serial behaviour
+  // (bit-identical results), and N > 1 shards the trace capture across
+  // N workers. Same seed + same threads => identical results; see
+  // DESIGN.md for the full determinism contract.
+
   /// Recover one last-round key byte with the given sensor mode.
   KeyByteReport recover_key_byte(std::size_t key_byte, std::size_t traces,
-                                 SensorMode mode = SensorMode::kBenignHw);
+                                 SensorMode mode = SensorMode::kBenignHw,
+                                 unsigned threads = 0);
 
   /// Recover several last-round key bytes (one campaign each).
   std::vector<KeyByteReport> recover_key_bytes(
       const std::vector<std::size_t>& key_bytes, std::size_t traces,
-      SensorMode mode = SensorMode::kBenignHw);
+      SensorMode mode = SensorMode::kBenignHw, unsigned threads = 0);
 
   struct FullKeyReport {
     std::vector<KeyByteReport> bytes;     ///< one campaign per key byte
@@ -47,9 +56,13 @@ class StealthyAttack {
   };
 
   /// The complete break: recover all 16 last-round key bytes and invert
-  /// the key schedule back to the AES master key.
+  /// the key schedule back to the AES master key. With threads > 1 the
+  /// 16 byte-campaigns are farmed across the pool, each on its own
+  /// deterministic platform replica, so the result depends only on
+  /// (seed, threads), never on scheduling.
   FullKeyReport recover_full_key(std::size_t traces_per_byte,
-                                 SensorMode mode = SensorMode::kTdcFull);
+                                 SensorMode mode = SensorMode::kTdcFull,
+                                 unsigned threads = 0);
 
   /// Run the bitstream checker over the benign circuit — the stealthiness
   /// claim: no findings under structural checks.
@@ -57,6 +70,12 @@ class StealthyAttack {
       const bitstream::CheckerOptions& opt = {}) const;
 
  private:
+  /// Campaign configuration for one byte campaign (shared between the
+  /// serial path and the farmed full-key path).
+  CampaignConfig byte_campaign_config(std::size_t key_byte,
+                                      std::size_t traces,
+                                      SensorMode mode) const;
+
   Calibration cal_;
   AttackSetup setup_;
   std::uint64_t seed_;

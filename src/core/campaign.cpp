@@ -71,15 +71,15 @@ CpaCampaign::CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg)
 
 void CpaCampaign::make_voltages(
     const crypto::AesDatapathModel::Encryption& enc, Xoshiro256& rng,
-    std::vector<double>& v_out) {
+    std::vector<double>& v_out, defense::ActiveFence* fence) const {
   const Calibration& cal = setup_.calibration();
   // Victim current as seen by the attacker region (coupling-attenuated).
   static thread_local std::vector<double> i_cycles;
   i_cycles.assign(enc.cycle_current.begin(), enc.cycle_current.end());
-  if (fence_) {
+  if (fence != nullptr) {
     // The active fence sits in the victim region: its randomised draw
     // rides on the same coupling path and masks the victim's signal.
-    for (double& i : i_cycles) i += fence_->next_cycle_current();
+    for (double& i : i_cycles) i += fence->next_cycle_current();
   }
   const double coupling = setup_.effective_coupling();
   for (double& i : i_cycles) i *= coupling;
@@ -256,6 +256,7 @@ CampaignResult CpaCampaign::run() {
       model.correct_guess(setup_.victim().cipher().last_round_key());
 
   resolve_sensor_bits(&result);
+  result.single_bit = cfg_.single_bit;
 
   auto checkpoints =
       cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)

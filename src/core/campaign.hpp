@@ -85,6 +85,16 @@ struct CampaignResult {
   std::vector<double> final_max_abs_corr;    ///< per key candidate
   std::vector<std::size_t> bits_of_interest; ///< kBenignHw only
   std::vector<double> sample_times_ns;
+
+  /// Single-bit index actually used after kAutoBit resolution (single-
+  /// bit modes only; 0 otherwise).
+  std::size_t single_bit = 0;
+
+  /// Filled by ParallelCampaign (0 when run through CpaCampaign::run
+  /// directly): workers used and capture-loop wall time, for traces/sec
+  /// reporting in the benches and the CLI.
+  unsigned threads_used = 0;
+  double capture_seconds = 0.0;
 };
 
 class CpaCampaign {
@@ -112,8 +122,18 @@ class CpaCampaign {
   sca::WelchTTest run_tvla(std::size_t traces_per_population);
 
  private:
+  friend class ParallelCampaign;  // reuses the capture path, shard-wise
+
   void make_voltages(const crypto::AesDatapathModel::Encryption& enc,
-                     Xoshiro256& rng, std::vector<double>& v_out);
+                     Xoshiro256& rng, std::vector<double>& v_out) {
+    make_voltages(enc, rng, v_out, fence_ ? &*fence_ : nullptr);
+  }
+
+  /// Same physics with an explicit fence instance — sharded campaigns
+  /// give every worker its own stateful fence stream.
+  void make_voltages(const crypto::AesDatapathModel::Encryption& enc,
+                     Xoshiro256& rng, std::vector<double>& v_out,
+                     defense::ActiveFence* fence) const;
 
   /// Read the configured sensor at every sample voltage into `y`.
   void read_sensor(const std::vector<double>& v,

@@ -1,0 +1,233 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sca/model.hpp"
+
+namespace slm::core {
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::size_t shard_quota(std::size_t total, std::size_t shard,
+                        std::size_t shards) {
+  SLM_REQUIRE(shards > 0 && shard < shards, "shard_quota: bad shard index");
+  // Round-robin: 1-based trace t belongs to shard (t - 1) % shards, so
+  // shard i has seen floor((total - i + shards - 1) / shards) traces.
+  if (total <= shard) return 0;
+  return (total - shard + shards - 1) / shards;
+}
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex m;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::size_t workers_done = 0;
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::exception_ptr error;
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lk(m);
+      cv_work.wait(lk, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      lk.unlock();
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> g(m);
+          if (!error) error = std::current_exception();
+        }
+      }
+      lk.lock();
+      if (++workers_done == workers.size()) cv_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl) {
+  SLM_REQUIRE(threads > 0, "ThreadPool: zero threads");
+  impl_->workers.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> g(impl_->m);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+unsigned ThreadPool::size() const {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+void ThreadPool::run_indexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lk(impl_->m);
+  impl_->fn = &fn;
+  impl_->n = n;
+  impl_->next.store(0, std::memory_order_relaxed);
+  impl_->workers_done = 0;
+  impl_->error = nullptr;
+  ++impl_->generation;
+  impl_->cv_work.notify_all();
+  impl_->cv_done.wait(
+      lk, [&] { return impl_->workers_done == impl_->workers.size(); });
+  impl_->fn = nullptr;
+  if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+ParallelCampaign::ParallelCampaign(AttackSetup& setup,
+                                   const CampaignConfig& cfg,
+                                   unsigned threads)
+    : setup_(setup), cfg_(cfg), threads_(resolve_threads(threads)) {
+  // Never spin up more shards than traces: each shard must own at least
+  // one trace or its CpaEngine would merge as an empty no-op anyway.
+  threads_ = static_cast<unsigned>(std::min<std::size_t>(
+      threads_, std::max<std::size_t>(1, cfg_.traces)));
+}
+
+CampaignResult ParallelCampaign::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  CampaignResult result;
+  if (threads_ <= 1) {
+    // Exact legacy behaviour: same code path, same RNG consumption order
+    // as every pre-sharding release.
+    CpaCampaign campaign(setup_, cfg_);
+    result = campaign.run();
+  } else {
+    result = run_sharded();
+  }
+  result.threads_used = threads_;
+  result.capture_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+CampaignResult ParallelCampaign::run_sharded() {
+  CpaCampaign campaign(setup_, cfg_);
+  CampaignResult result;
+  result.mode = cfg_.mode;
+  result.sample_times_ns = campaign.sample_times_;
+
+  sca::LastRoundBitModel model(cfg_.target_key_byte, cfg_.target_bit);
+  result.correct_guess =
+      model.correct_guess(setup_.victim().cipher().last_round_key());
+
+  // Selection pre-pass runs serially, exactly as in the serial campaign;
+  // it resolves kAutoBit into campaign.cfg_ for read_sensor below.
+  campaign.resolve_sensor_bits(&result);
+  result.single_bit = campaign.cfg_.single_bit;
+
+  auto schedule = cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)
+                                           : cfg_.checkpoints;
+  std::sort(schedule.begin(), schedule.end());
+  std::vector<std::size_t> checkpoints;
+  for (std::size_t c : schedule) {
+    if (c > 0 && c <= cfg_.traces) checkpoints.push_back(c);
+  }
+  if (checkpoints.empty() || checkpoints.back() != cfg_.traces) {
+    checkpoints.push_back(cfg_.traces);
+  }
+
+  const std::size_t samples = campaign.sample_times_.size();
+  const unsigned T = threads_;
+
+  // The mutable half of the capture pipeline, one copy per shard.
+  struct Shard {
+    crypto::AesDatapathModel victim;
+    std::optional<defense::ActiveFence> fence;
+    Xoshiro256 rng;
+    sca::CpaEngine engine;
+    std::size_t position = 0;
+    std::vector<double> v;
+    std::vector<double> y;
+    std::vector<std::uint8_t> h;
+  };
+  std::vector<Shard> shards;
+  shards.reserve(T);
+  const bool fenced = cfg_.fence.random_current_a > 0.0 ||
+                      cfg_.fence.base_current_a > 0.0;
+  for (unsigned i = 0; i < T; ++i) {
+    Shard sh{setup_.victim(),
+             std::nullopt,
+             Xoshiro256::stream(cfg_.seed, i),
+             sca::CpaEngine(256, samples),
+             0,
+             {},
+             {},
+             {}};
+    if (fenced) {
+      defense::ActiveFenceConfig fc = cfg_.fence;
+      fc.seed ^= 0x9e3779b97f4a7c15ull * (i + 1);
+      sh.fence.emplace(fc);
+    }
+    shards.push_back(std::move(sh));
+  }
+
+  ThreadPool pool(T);
+  sca::CpaEngine merged(256, samples);
+  for (std::size_t cp : checkpoints) {
+    pool.run_indexed(T, [&](std::size_t i) {
+      Shard& sh = shards[i];
+      const std::size_t target = shard_quota(cp, i, T);
+      for (; sh.position < target; ++sh.position) {
+        crypto::Block pt;
+        for (auto& b : pt) b = static_cast<std::uint8_t>(sh.rng.next());
+        const auto enc = sh.victim.encrypt(pt);
+        campaign.make_voltages(enc, sh.rng, sh.v,
+                               sh.fence ? &*sh.fence : nullptr);
+        campaign.read_sensor(sh.v, result.bits_of_interest, sh.rng, sh.y);
+        model.hypotheses(enc.ciphertext, sh.h);
+        sh.engine.add_trace(sh.h, sh.y);
+      }
+    });
+    // Re-merge from scratch in fixed shard order: deterministic and,
+    // because sensor readings are integer-valued, bit-exact vs. any
+    // other summation order.
+    merged = sca::CpaEngine(256, samples);
+    for (const Shard& sh : shards) merged.merge(sh.engine);
+    result.progress.push_back(
+        sca::snapshot_progress(merged, result.correct_guess));
+  }
+
+  result.traces_run = merged.trace_count();
+  result.final_max_abs_corr = merged.max_abs_correlation();
+  result.recovered_guess = static_cast<std::uint8_t>(merged.best_guess());
+  result.key_recovered = result.recovered_guess == result.correct_guess;
+  result.mtd = sca::estimate_mtd(result.progress);
+  return result;
+}
+
+}  // namespace slm::core

@@ -1,0 +1,85 @@
+// Sharded, deterministic, multi-threaded CPA campaigns.
+//
+// ParallelCampaign splits a trace budget across worker shards. Every
+// shard owns the mutable half of the capture pipeline — a copy of the
+// AES victim model, its own active-fence stream, an independent RNG
+// stream derived from (seed, shard_index) — and feeds a private
+// CpaEngine. The immutable half (netlists, sensors, the PDN response
+// matrix) is shared read-only. At every checkpoint the shard engines
+// are merged (the running sums are plain sums) and a CpaProgressPoint
+// is snapshotted, so the convergence curves of Figs. 9b-18b survive
+// sharding.
+//
+// Determinism contract (see DESIGN.md §"Determinism"):
+//   * same seed + same thread count  => bit-identical results, always,
+//     regardless of OS scheduling (shard i's traces depend only on
+//     (seed, i), and merges happen in fixed shard order);
+//   * threads == 1                   => the exact legacy serial path
+//     (same RNG consumption order as CpaCampaign::run);
+//   * different thread counts        => statistically equivalent but
+//     not bitwise identical (different shard streams).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/setup.hpp"
+
+namespace slm::core {
+
+/// Resolve a user-facing thread knob: 0 = all hardware threads.
+unsigned resolve_threads(unsigned requested);
+
+/// Minimal fork-join pool: run_indexed(n, fn) executes fn(0..n-1) across
+/// the workers and blocks until all are done. Reused across checkpoint
+/// segments so a 20-checkpoint campaign spawns its threads once.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const;
+
+  /// Run fn(i) for every i in [0, n); rethrows the first worker
+  /// exception (remaining tasks still drain).
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Traces shard `shard` (of `shards`) has captured once `total` traces
+/// are done overall: round-robin assignment (trace t goes to shard
+/// t % shards), so per-shard positions grow monotonically through the
+/// checkpoint schedule and always sum to `total`.
+std::size_t shard_quota(std::size_t total, std::size_t shard,
+                        std::size_t shards);
+
+class ParallelCampaign {
+ public:
+  /// `threads` = 0 picks hardware_concurrency; 1 runs the exact serial
+  /// CpaCampaign path.
+  ParallelCampaign(AttackSetup& setup, const CampaignConfig& cfg,
+                   unsigned threads = 0);
+
+  unsigned threads() const { return threads_; }
+
+  /// Run the campaign; result.threads_used / capture_seconds report the
+  /// realised parallelism and capture-loop throughput.
+  CampaignResult run();
+
+ private:
+  CampaignResult run_sharded();
+
+  AttackSetup& setup_;
+  CampaignConfig cfg_;
+  unsigned threads_;
+};
+
+}  // namespace slm::core

@@ -36,6 +36,20 @@ void CpaEngine::add_trace(const std::vector<std::uint8_t>& h,
   }
 }
 
+void CpaEngine::merge(const CpaEngine& other) {
+  SLM_REQUIRE(other.guesses_ == guesses_ && other.samples_ == samples_,
+              "CpaEngine::merge: dimension mismatch");
+  n_ += other.n_;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    sum_y_[s] += other.sum_y_[s];
+    sum_yy_[s] += other.sum_yy_[s];
+  }
+  for (std::size_t k = 0; k < guesses_; ++k) sum_h_[k] += other.sum_h_[k];
+  for (std::size_t i = 0; i < sum_hy_.size(); ++i) {
+    sum_hy_[i] += other.sum_hy_[i];
+  }
+}
+
 double CpaEngine::correlation(std::size_t guess, std::size_t sample) const {
   SLM_REQUIRE(guess < guesses_ && sample < samples_,
               "CpaEngine::correlation: index out of range");

@@ -24,6 +24,12 @@ class CpaEngine {
   void add_trace(const std::vector<std::uint8_t>& h,
                  const std::vector<double>& y);
 
+  /// Fold another engine's traces into this one. The running sums are
+  /// plain sums, so merging N shard engines that together saw the same
+  /// traces as one serial engine reproduces the serial sums exactly
+  /// (same additions, shard-major order). Dimensions must match.
+  void merge(const CpaEngine& other);
+
   /// Pearson r for (guess, sample); 0 until enough traces.
   double correlation(std::size_t guess, std::size_t sample) const;
 

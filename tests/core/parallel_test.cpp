@@ -1,0 +1,193 @@
+#include "core/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/attack.hpp"
+
+namespace slm::core {
+namespace {
+
+CampaignConfig small_cfg(SensorMode mode, std::size_t traces) {
+  CampaignConfig cfg;
+  cfg.mode = mode;
+  cfg.traces = traces;
+  cfg.selection_traces = 400;
+  return cfg;
+}
+
+TEST(ShardQuota, SumsToTotalAndMonotone) {
+  for (std::size_t shards : {1u, 3u, 4u, 7u}) {
+    std::vector<std::size_t> prev(shards, 0);
+    for (std::size_t total : {0u, 1u, 5u, 99u, 100u, 1234u}) {
+      std::size_t sum = 0;
+      for (std::size_t i = 0; i < shards; ++i) {
+        const std::size_t q = shard_quota(total, i, shards);
+        EXPECT_GE(q, prev[i]) << "shard " << i << " total " << total;
+        prev[i] = q;
+        sum += q;
+      }
+      EXPECT_EQ(sum, total) << "shards " << shards;
+    }
+  }
+  EXPECT_THROW((void)shard_quota(10, 2, 2), slm::Error);
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexAcrossWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  for (int round = 0; round < 3; ++round) {
+    pool.run_indexed(100, [&](std::size_t i) { ++hits[i]; });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 3);
+}
+
+TEST(ThreadPoolTest, RethrowsWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_indexed(8,
+                                [](std::size_t i) {
+                                  if (i == 5) throw slm::Error("boom");
+                                }),
+               slm::Error);
+  // Pool stays usable after an exception.
+  std::atomic<int> n{0};
+  pool.run_indexed(4, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(ParallelCampaignTest, ThreadsOneIsBitIdenticalToSerial) {
+  const auto cal = Calibration::paper_defaults();
+  const auto cfg = small_cfg(SensorMode::kTdcFull, 500);
+
+  AttackSetup serial_setup(BenignCircuit::kAlu, cal);
+  CpaCampaign serial(serial_setup, cfg);
+  const auto a = serial.run();
+
+  AttackSetup parallel_setup(BenignCircuit::kAlu, cal);
+  ParallelCampaign wrapped(parallel_setup, cfg, 1);
+  const auto b = wrapped.run();
+
+  EXPECT_EQ(a.final_max_abs_corr, b.final_max_abs_corr);
+  EXPECT_EQ(a.recovered_guess, b.recovered_guess);
+  ASSERT_EQ(a.progress.size(), b.progress.size());
+  for (std::size_t i = 0; i < a.progress.size(); ++i) {
+    EXPECT_EQ(a.progress[i].max_abs_corr, b.progress[i].max_abs_corr);
+  }
+  EXPECT_EQ(b.threads_used, 1u);
+}
+
+// TSan-friendly smoke test: 4 workers, small budget, checkpointed.
+TEST(ParallelCampaignTest, FourWorkerSmoke) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  auto cfg = small_cfg(SensorMode::kTdcFull, 400);
+  cfg.checkpoints = {100, 250, 400};
+  ParallelCampaign campaign(setup, cfg, 4);
+  const auto r = campaign.run();
+  EXPECT_EQ(r.threads_used, 4u);
+  EXPECT_EQ(r.traces_run, 400u);
+  ASSERT_EQ(r.progress.size(), 3u);
+  EXPECT_EQ(r.progress[0].traces, 100u);
+  EXPECT_EQ(r.progress[1].traces, 250u);
+  EXPECT_EQ(r.progress[2].traces, 400u);
+  EXPECT_EQ(r.final_max_abs_corr.size(), 256u);
+  EXPECT_GT(r.capture_seconds, 0.0);
+}
+
+TEST(ParallelCampaignTest, ShardedRecoversKey) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  ParallelCampaign campaign(setup, small_cfg(SensorMode::kTdcFull, 4000), 4);
+  const auto r = campaign.run();
+  EXPECT_TRUE(r.key_recovered);
+  ASSERT_TRUE(r.mtd.disclosed());
+}
+
+TEST(ParallelCampaignTest, SameSeedSameThreadsIsDeterministic) {
+  const auto cal = Calibration::paper_defaults();
+  auto run_once = [&] {
+    AttackSetup setup(BenignCircuit::kAlu, cal);
+    ParallelCampaign campaign(setup, small_cfg(SensorMode::kTdcFull, 600), 3);
+    return campaign.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.final_max_abs_corr, b.final_max_abs_corr);
+  EXPECT_EQ(a.recovered_guess, b.recovered_guess);
+  ASSERT_EQ(a.progress.size(), b.progress.size());
+  for (std::size_t i = 0; i < a.progress.size(); ++i) {
+    EXPECT_EQ(a.progress[i].traces, b.progress[i].traces);
+    EXPECT_EQ(a.progress[i].max_abs_corr, b.progress[i].max_abs_corr);
+  }
+}
+
+TEST(ParallelCampaignTest, ThreadCountsAreStatisticallyNotBitwiseEqual) {
+  const auto cal = Calibration::paper_defaults();
+  auto run_with = [&](unsigned threads) {
+    AttackSetup setup(BenignCircuit::kAlu, cal);
+    ParallelCampaign campaign(setup, small_cfg(SensorMode::kTdcFull, 2000),
+                              threads);
+    return campaign.run();
+  };
+  const auto two = run_with(2);
+  const auto three = run_with(3);
+  // Different shard streams: bitwise different...
+  EXPECT_NE(two.final_max_abs_corr, three.final_max_abs_corr);
+  // ...but the physics is the same: both disclose the same key byte.
+  EXPECT_TRUE(two.key_recovered);
+  EXPECT_TRUE(three.key_recovered);
+  EXPECT_EQ(two.recovered_guess, three.recovered_guess);
+}
+
+TEST(ParallelCampaignTest, MoreShardsThanTracesClamps) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  ParallelCampaign campaign(setup, small_cfg(SensorMode::kTdcFull, 3), 8);
+  EXPECT_LE(campaign.threads(), 3u);
+  const auto r = campaign.run();
+  EXPECT_EQ(r.traces_run, 3u);
+}
+
+TEST(StealthyAttackThreads, KeyByteReportDeterministicPerSeedAndThreads) {
+  auto run_once = [] {
+    StealthyAttack attack(BenignCircuit::kAlu);
+    return attack.recover_key_byte(3, 2000, SensorMode::kTdcFull, 2);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.true_value, b.true_value);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.mtd.disclosed(), b.mtd.disclosed());
+  if (a.mtd.disclosed()) EXPECT_EQ(*a.mtd.traces, *b.mtd.traces);
+  EXPECT_EQ(a.threads_used, 2u);
+}
+
+TEST(StealthyAttackThreads, ShardedKeyByteRecovery) {
+  StealthyAttack attack(BenignCircuit::kAlu);
+  const auto r = attack.recover_key_byte(3, 4000, SensorMode::kTdcFull, 4);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.threads_used, 4u);
+}
+
+TEST(StealthyAttackThreads, FarmedFullKeyMatchesItself) {
+  // The farmed path gives every byte an independent platform replica, so
+  // the result is identical for any thread count >= 2 and any schedule.
+  auto run_with = [](unsigned threads) {
+    StealthyAttack attack(BenignCircuit::kAlu);
+    return attack.recover_full_key(600, SensorMode::kTdcFull, threads);
+  };
+  const auto a = run_with(2);
+  const auto b = run_with(4);
+  EXPECT_EQ(a.last_round_key, b.last_round_key);
+  EXPECT_EQ(a.master_key, b.master_key);
+  ASSERT_EQ(a.bytes.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.bytes[i].recovered, b.bytes[i].recovered);
+  }
+}
+
+}  // namespace
+}  // namespace slm::core

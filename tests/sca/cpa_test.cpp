@@ -93,6 +93,65 @@ TEST(CpaEngine, Validation) {
   EXPECT_THROW((void)engine.rank_of(9), slm::Error);
 }
 
+// N shard engines fed round-robin must merge to the exact serial
+// engine. Measurements are integer-valued (as every campaign sensor
+// mode produces), so the running sums are exact regardless of addition
+// order and the equality is bit-for-bit.
+TEST(CpaEngine, ShardsMergeToSerialBitForBit) {
+  constexpr std::size_t kGuesses = 16;
+  constexpr std::size_t kSamples = 5;
+  constexpr std::size_t kShards = 4;
+  constexpr int kTraces = 3000;
+
+  Xoshiro256 rng(7);
+  CpaEngine serial(kGuesses, kSamples);
+  std::vector<CpaEngine> shards(kShards, CpaEngine(kGuesses, kSamples));
+  for (int t = 0; t < kTraces; ++t) {
+    std::vector<std::uint8_t> h(kGuesses);
+    for (auto& b : h) b = rng.coin() ? 1 : 0;
+    std::vector<double> y(kSamples);
+    for (auto& v : y) {
+      // Integer-valued like a TDC reading or a Hamming weight.
+      v = static_cast<double>(rng.uniform_int(64)) + h[3];
+    }
+    serial.add_trace(h, y);
+    shards[static_cast<std::size_t>(t) % kShards].add_trace(h, y);
+  }
+
+  CpaEngine merged(kGuesses, kSamples);
+  for (const auto& s : shards) merged.merge(s);
+
+  ASSERT_EQ(merged.trace_count(), serial.trace_count());
+  for (std::size_t k = 0; k < kGuesses; ++k) {
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      EXPECT_EQ(merged.correlation(k, s), serial.correlation(k, s))
+          << "guess " << k << " sample " << s;
+    }
+  }
+  EXPECT_EQ(merged.max_abs_correlation(), serial.max_abs_correlation());
+  EXPECT_EQ(merged.best_guess(), serial.best_guess());
+}
+
+TEST(CpaEngine, MergeEmptyIsIdentity) {
+  Xoshiro256 rng(8);
+  CpaEngine engine(4, 2);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<std::uint8_t> h(4);
+    for (auto& b : h) b = rng.coin() ? 1 : 0;
+    engine.add_trace(h, {1.0 * h[0], 2.0});
+  }
+  const auto before = engine.max_abs_correlation();
+  engine.merge(CpaEngine(4, 2));
+  EXPECT_EQ(engine.trace_count(), 50u);
+  EXPECT_EQ(engine.max_abs_correlation(), before);
+}
+
+TEST(CpaEngine, MergeValidatesDimensions) {
+  CpaEngine engine(4, 2);
+  EXPECT_THROW(engine.merge(CpaEngine(4, 3)), slm::Error);
+  EXPECT_THROW(engine.merge(CpaEngine(5, 2)), slm::Error);
+}
+
 TEST(SnapshotProgress, RanksAndMargins) {
   Xoshiro256 rng(4);
   const auto& normal = FastNormal::instance();

@@ -1,0 +1,61 @@
+# Docs-vs-code consistency check, run as a ctest entry (docs_references).
+#
+# Fails when README.md / docs/BENCHMARKS.md / EXPERIMENTS.md reference a
+# bench binary that no longer has a source file, or when BENCHMARKS.md
+# documents a command-line flag or SLM_* knob that no source mentions —
+# so renaming a bench or dropping a flag without updating the docs
+# breaks the build, not the reader.
+#
+# Usage: cmake -DREPO=<source root> -P check_docs.cmake
+
+file(READ ${REPO}/README.md readme)
+file(READ ${REPO}/docs/BENCHMARKS.md benchdoc)
+file(READ ${REPO}/EXPERIMENTS.md experiments)
+set(docs "${readme}\n${benchdoc}\n${experiments}")
+
+set(errors "")
+
+# 1. Every `bench_*` binary named anywhere in the docs must exist as a
+#    source file under bench/.
+string(REGEX MATCHALL "bench_[a-z0-9_]+" doc_benches "${docs}")
+list(REMOVE_DUPLICATES doc_benches)
+foreach(b ${doc_benches})
+  if(NOT EXISTS ${REPO}/bench/${b}.cpp AND NOT EXISTS ${REPO}/bench/${b}.hpp)
+    string(APPEND errors "docs reference '${b}' but bench/${b}.cpp does not exist\n")
+  endif()
+endforeach()
+
+# 2. Every --flag documented in BENCHMARKS.md must appear literally in
+#    the CLI, the bench scaffolding, or an example.
+set(flag_sources "")
+foreach(src tools/slm_cli.cpp bench/bench_util.hpp
+        examples/full_key_recovery.cpp)
+  file(READ ${REPO}/${src} one)
+  string(APPEND flag_sources "${one}\n")
+endforeach()
+string(REGEX MATCHALL "--[a-z][a-z0-9-]+" doc_flags "${benchdoc}")
+list(REMOVE_DUPLICATES doc_flags)
+foreach(f ${doc_flags})
+  string(FIND "${flag_sources}" "${f}" pos)
+  if(pos EQUAL -1)
+    string(APPEND errors "BENCHMARKS.md documents flag '${f}' but no source mentions it\n")
+  endif()
+endforeach()
+
+# 3. Every SLM_* knob documented in README or BENCHMARKS.md must appear
+#    in the bench scaffolding or the build system.
+file(READ ${REPO}/CMakeLists.txt rootcmake)
+string(APPEND flag_sources "${rootcmake}\n")
+string(REGEX MATCHALL "SLM_[A-Z_]+" doc_knobs "${readme}\n${benchdoc}")
+list(REMOVE_DUPLICATES doc_knobs)
+foreach(k ${doc_knobs})
+  string(FIND "${flag_sources}" "${k}" pos)
+  if(pos EQUAL -1)
+    string(APPEND errors "docs document knob '${k}' but neither the benches nor CMake mention it\n")
+  endif()
+endforeach()
+
+if(NOT errors STREQUAL "")
+  message(FATAL_ERROR "stale documentation references:\n${errors}")
+endif()
+message(STATUS "docs check: every referenced bench binary, flag, and knob exists")

@@ -5,7 +5,7 @@
 //   slm sta   FILE.bench [--clock-mhz F]
 //   slm atpg  FILE.bench [--band LO HI]
 //   slm attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]
-//              [--traces N] [--key-byte B]
+//              [--traces N] [--key-byte B] [--threads N]
 //
 // Circuits are exchanged in ISCAS .bench format, so the checker/STA/ATPG
 // subcommands also work on external netlists.
@@ -20,6 +20,7 @@
 #include "bitstream/checker.hpp"
 #include "common/error.hpp"
 #include "core/attack.hpp"
+#include "core/parallel.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/generators/adder.hpp"
 #include "netlist/generators/c6288.hpp"
@@ -177,14 +178,23 @@ int cmd_attack(const Args& args) {
 
   const std::size_t traces = args.get_n("traces", 150000);
   const std::size_t key_byte = args.get_n("key-byte", 3);
+  // 0 = all hardware threads; 1 = the exact legacy serial path.
+  const unsigned threads =
+      static_cast<unsigned>(args.get_n("threads", 0));
 
   core::StealthyAttack attack(circuit);
   std::cout << "circuit " << core::benign_circuit_name(circuit) << ", mode "
             << core::sensor_mode_name(mode) << ", " << traces
-            << " traces, key byte " << key_byte << "\n";
+            << " traces, key byte " << key_byte << ", threads "
+            << core::resolve_threads(threads) << "\n";
   const auto audit = attack.check_stealthiness();
   std::cout << "bitstream check: " << audit.summary() << "\n";
-  const auto r = attack.recover_key_byte(key_byte, traces, mode);
+  const auto r = attack.recover_key_byte(key_byte, traces, mode, threads);
+  if (r.capture_seconds > 0.0) {
+    std::printf("campaign: %u thread(s), %.2f s, %.0f traces/sec\n",
+                r.threads_used, r.capture_seconds,
+                static_cast<double>(r.traces) / r.capture_seconds);
+  }
   std::printf("true 0x%02x recovered 0x%02x -> %s", r.true_value,
               r.recovered, r.success ? "RECOVERED" : "not recovered");
   if (r.mtd.disclosed()) std::printf(" (~%zu traces)", *r.mtd.traces);
@@ -201,7 +211,7 @@ int usage() {
          "  sta    FILE.bench [--clock-mhz F]\n"
          "  atpg   FILE.bench [--band-lo NS] [--band-hi NS]\n"
          "  attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]\n"
-         "         [--traces N] [--key-byte B]\n";
+         "         [--traces N] [--key-byte B] [--threads N]\n";
   return 64;
 }
 
