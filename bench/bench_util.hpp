@@ -3,6 +3,7 @@
 // and the common CPA-figure runner used by Figs. 9-13 and 17-18.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -56,6 +57,16 @@ inline std::size_t trace_budget(std::size_t dflt) {
   return dflt;
 }
 
+/// SLM_COMPILED=0 forces the reference (uncompiled) capture + CPA path in
+/// the figure benches — for before/after throughput measurements; any
+/// other value (or unset) keeps the default compiled kernels.
+inline bool compiled_budget() {
+  if (const char* env = std::getenv("SLM_COMPILED")) {
+    return std::atoi(env) != 0;
+  }
+  return true;
+}
+
 /// Worker count for the CPA figure benches: `--threads N` on the command
 /// line beats the SLM_THREADS environment variable beats the serial
 /// default. The default stays 1 so the published figure tables are
@@ -78,6 +89,128 @@ struct CpaFigureResult {
   std::size_t resolved_bit = 0;
 };
 
+/// The CPA figure benches assert paper-shape properties (key recovered,
+/// MTD in range) that only hold with enough traces; below this budget the
+/// recovery checks are skipped so bench_smoke can run a 2k-trace variant.
+inline bool full_shape_budget(std::size_t traces) { return traces >= 50000; }
+
+/// Compiled-vs-reference kernel comparison: runs the same campaign with
+/// CampaignConfig::compiled_kernels on and off (fresh AttackSetup each,
+/// serial) and checks the results are bit-identical — recovered guess,
+/// every per-candidate |correlation| and every progress point. Each path
+/// is timed over two repetitions and the faster one is reported (min-of-N
+/// damps scheduler noise on shared machines; both repetitions are seeded
+/// identically, so the repeat cannot change the equivalence verdict).
+struct KernelComparison {
+  bool equivalent = false;
+  std::size_t traces = 0;
+  double compiled_tps = 0.0;   ///< traces/sec, compiled path
+  double reference_tps = 0.0;  ///< traces/sec, reference path
+  double speedup() const {
+    return reference_tps > 0.0 ? compiled_tps / reference_tps : 0.0;
+  }
+};
+
+inline KernelComparison compare_kernel_paths(core::BenignCircuit circuit,
+                                             const core::CampaignConfig& cfg_in,
+                                             std::size_t max_traces = 50000) {
+  KernelComparison out;
+  core::CampaignConfig cfg = cfg_in;
+  cfg.traces = std::min(cfg.traces, max_traces);
+  out.traces = cfg.traces;
+
+  core::CampaignResult res[2];
+  double best_seconds[2] = {0.0, 0.0};
+  for (int pass = 0; pass < 2; ++pass) {
+    cfg.compiled_kernels = (pass == 0);
+    for (int rep = 0; rep < 2; ++rep) {
+      core::AttackSetup setup(circuit, core::Calibration::paper_defaults());
+      core::CpaCampaign campaign(setup, cfg);
+      core::CampaignResult r = campaign.run();
+      if (rep == 0 || (r.capture_seconds > 0.0 &&
+                       r.capture_seconds < best_seconds[pass])) {
+        best_seconds[pass] = r.capture_seconds;
+      }
+      if (rep == 0) res[pass] = std::move(r);
+    }
+  }
+  const core::CampaignResult& a = res[0];
+  const core::CampaignResult& b = res[1];
+  if (best_seconds[0] > 0.0) {
+    out.compiled_tps = static_cast<double>(a.traces_run) / best_seconds[0];
+  }
+  if (best_seconds[1] > 0.0) {
+    out.reference_tps = static_cast<double>(b.traces_run) / best_seconds[1];
+  }
+
+  bool eq = a.traces_run == b.traces_run &&
+            a.recovered_guess == b.recovered_guess &&
+            a.single_bit == b.single_bit &&
+            a.bits_of_interest == b.bits_of_interest &&
+            a.final_max_abs_corr == b.final_max_abs_corr &&
+            a.progress.size() == b.progress.size();
+  if (eq) {
+    for (std::size_t i = 0; i < a.progress.size(); ++i) {
+      eq = eq && a.progress[i].traces == b.progress[i].traces &&
+           a.progress[i].correct_corr == b.progress[i].correct_corr &&
+           a.progress[i].best_wrong_corr == b.progress[i].best_wrong_corr &&
+           a.progress[i].correct_rank == b.progress[i].correct_rank;
+    }
+  }
+  out.equivalent = eq;
+
+  std::printf(
+      "kernel equivalence: %s over %zu traces "
+      "(compiled %.0f traces/sec, reference %.0f traces/sec, %.2fx)\n",
+      eq ? "bit-identical" : "MISMATCH", out.traces, out.compiled_tps,
+      out.reference_tps, out.speedup());
+  return out;
+}
+
+/// Machine-readable throughput record next to the human-readable tables:
+/// BENCH_<tag>.json in the working directory.
+inline void write_bench_json(const std::string& tag,
+                             const core::CampaignResult& r,
+                             const core::CampaignConfig& cfg,
+                             const KernelComparison& eq) {
+  const std::string path = "BENCH_" + tag + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cout << "warning: could not write " << path << "\n";
+    return;
+  }
+  const double tps = r.capture_seconds > 0.0
+                         ? static_cast<double>(r.traces_run) /
+                               r.capture_seconds
+                         : 0.0;
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"mode\": \"%s\",\n"
+               "  \"seed\": %llu,\n"
+               "  \"traces\": %zu,\n"
+               "  \"threads\": %u,\n"
+               "  \"capture_seconds\": %.6f,\n"
+               "  \"traces_per_sec\": %.1f,\n"
+               "  \"key_recovered\": %s,\n"
+               "  \"kernel_equivalence\": {\n"
+               "    \"equivalent\": %s,\n"
+               "    \"traces\": %zu,\n"
+               "    \"compiled_traces_per_sec\": %.1f,\n"
+               "    \"reference_traces_per_sec\": %.1f,\n"
+               "    \"speedup\": %.3f\n"
+               "  }\n"
+               "}\n",
+               tag.c_str(), core::sensor_mode_name(r.mode),
+               static_cast<unsigned long long>(cfg.seed), r.traces_run,
+               r.threads_used, r.capture_seconds, tps,
+               r.key_recovered ? "true" : "false",
+               eq.equivalent ? "true" : "false", eq.traces, eq.compiled_tps,
+               eq.reference_tps, eq.speedup());
+  std::fclose(f);
+  std::cout << "wrote " << path << "\n";
+}
+
 /// Run one CPA figure: prints the "total correlation" panel (a) as a
 /// 16x16 grid over all 256 candidates, the "progress" panel (b) as a
 /// checkpoint table, and the MTD verdict.
@@ -87,6 +220,7 @@ inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
   core::AttackSetup setup(circuit,
                           core::Calibration::paper_defaults());
   core::CampaignConfig cfg = cfg_in;
+  cfg.compiled_kernels = cfg.compiled_kernels && compiled_budget();
   core::ParallelCampaign campaign(setup, cfg, threads);
   CpaFigureResult out{campaign.run(), 0};
   out.resolved_bit = out.campaign.single_bit;

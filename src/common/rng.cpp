@@ -125,6 +125,20 @@ double FastNormal::operator()(Xoshiro256& rng) const {
   return lo + (hi - lo) * frac;
 }
 
+void FastNormal::fill(Xoshiro256& rng, double* out, std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = rng.next();
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(r >> (64 - kTableBits));
+    const double frac =
+        static_cast<double>((r >> (64 - kTableBits - 20)) & 0xfffffu) *
+        (1.0 / 1048576.0);
+    const double lo = quantile_[idx];
+    const double hi = quantile_[idx + 1];
+    out[i] = lo + (hi - lo) * frac;
+  }
+}
+
 const FastNormal& FastNormal::instance() {
   static const FastNormal table;
   return table;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace slm {
@@ -65,6 +66,12 @@ class FastNormal {
   double operator()(Xoshiro256& rng, double mean, double sigma) const {
     return mean + sigma * (*this)(rng);
   }
+
+  /// Fill `out[0..n)` with standard normals, consuming exactly n RNG
+  /// draws in order — out[i] is bit-identical to the i-th operator()
+  /// call on the same stream. Batched capture kernels draw their whole
+  /// jitter block through this and stay on the per-call RNG contract.
+  void fill(Xoshiro256& rng, double* out, std::size_t n) const;
 
   /// Shared immutable instance (table is ~8 KiB, build it once).
   static const FastNormal& instance();

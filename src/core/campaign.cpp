@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -85,8 +86,14 @@ void CpaCampaign::make_voltages(
   for (double& i : i_cycles) i *= coupling;
 
   response_.voltages(i_cycles, v_out);
-  const auto& normal = FastNormal::instance();
-  for (double& v : v_out) v += normal(rng, 0.0, cal.env_noise_v);
+  // One batched draw block; identical values and stream order to the
+  // per-sample normal(rng, 0.0, sigma) calls (see FastNormal::fill).
+  static thread_local std::vector<double> z;
+  z.resize(v_out.size());
+  FastNormal::instance().fill(rng, z.data(), z.size());
+  for (std::size_t s = 0; s < v_out.size(); ++s) {
+    v_out[s] += 0.0 + cal.env_noise_v * z[s];
+  }
 }
 
 void CpaCampaign::read_sensor(const std::vector<double>& v,
@@ -123,6 +130,38 @@ void CpaCampaign::read_sensor(const std::vector<double>& v,
         y[s] = static_cast<double>(setup_.ro_sensor().sample(v[s], rng));
       }
       break;
+  }
+}
+
+CpaCampaign::SensorPlan CpaCampaign::make_sensor_plan(
+    const std::vector<std::size_t>& bits) const {
+  SensorPlan plan;
+  if (cfg_.mode == SensorMode::kBenignHw) {
+    plan.hw = setup_.sensor().compile_hw_plan(bits);
+    plan.batched = true;
+  } else if (cfg_.mode == SensorMode::kBenignSingleBit) {
+    plan.bit = setup_.sensor().compile_bit_plan(cfg_.single_bit);
+    plan.batched = true;
+  }
+  return plan;
+}
+
+void CpaCampaign::read_sensor_fast(const SensorPlan& plan,
+                                   const std::vector<double>& v,
+                                   const std::vector<std::size_t>& bits,
+                                   Xoshiro256& rng,
+                                   std::vector<double>& y) const {
+  if (!plan.batched) {
+    read_sensor(v, bits, rng, y);
+    return;
+  }
+  y.resize(v.size());
+  if (cfg_.mode == SensorMode::kBenignHw) {
+    setup_.sensor().toggle_hw_batch(plan.hw, v.data(), v.size(), rng,
+                                    y.data());
+  } else {
+    setup_.sensor().toggle_bit_batch(plan.bit, v.data(), v.size(), rng,
+                                     y.data());
   }
 }
 
@@ -219,6 +258,23 @@ sca::BitSelector CpaCampaign::run_selection_pass() {
   Xoshiro256 rng(cfg_.seed ^ 0xb17561ec7u);
   sca::BitSelector selector(setup_.sensor_bits());
   std::vector<double> v;
+  if (cfg_.compiled_kernels) {
+    // Same draws, same toggle decisions — only the bookkeeping is batched
+    // (per-bit counts instead of per-sample BitVec words).
+    std::vector<std::size_t> ones(setup_.sensor_bits(), 0);
+    std::size_t samples = 0;
+    for (std::size_t t = 0; t < cfg_.selection_traces; ++t) {
+      crypto::Block pt;
+      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+      const auto enc = setup_.victim().encrypt(pt);
+      make_voltages(enc, rng, v);
+      setup_.sensor().toggle_accumulate_batch(v.data(), v.size(), rng,
+                                              ones.data());
+      samples += v.size();
+    }
+    selector.add_batch(ones, samples);
+    return selector;
+  }
   for (std::size_t t = 0; t < cfg_.selection_traces; ++t) {
     crypto::Block pt;
     for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
@@ -245,8 +301,7 @@ std::vector<std::size_t> CpaCampaign::select_bits_of_interest() {
 }
 
 CampaignResult CpaCampaign::run() {
-  const Calibration& cal = setup_.calibration();
-  (void)cal;
+  const auto wall_start = std::chrono::steady_clock::now();
   CampaignResult result;
   result.mode = cfg_.mode;
   result.sample_times_ns = sample_times_;
@@ -264,7 +319,16 @@ CampaignResult CpaCampaign::run() {
   std::sort(checkpoints.begin(), checkpoints.end());
   std::size_t next_cp = 0;
 
+  // The fast path bins traces into (ciphertext-class, base-bit) cells and
+  // folds them into full per-guess CPA sums only at checkpoints; readings
+  // are integer-valued so the regrouped sums are bit-identical to the
+  // reference engine's (see sca::XorClassCpa).
+  const bool fast = cfg_.compiled_kernels;
+  const SensorPlan plan =
+      fast ? make_sensor_plan(result.bits_of_interest) : SensorPlan{};
+
   sca::CpaEngine engine(256, sample_times_.size());
+  sca::XorClassCpa cls(sample_times_.size());
   Xoshiro256 rng(cfg_.seed);
 
   std::vector<double> v;
@@ -276,17 +340,30 @@ CampaignResult CpaCampaign::run() {
     for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
     const auto enc = setup_.victim().encrypt(pt);
     make_voltages(enc, rng, v);
-    read_sensor(v, result.bits_of_interest, rng, y);
-
-    model.hypotheses(enc.ciphertext, h);
-    engine.add_trace(h, y);
+    if (fast) {
+      read_sensor_fast(plan, v, result.bits_of_interest, rng, y);
+      cls.add_trace(model.class_value(enc.ciphertext),
+                    model.class_bit(enc.ciphertext), y);
+    } else {
+      read_sensor(v, result.bits_of_interest, rng, y);
+      model.hypotheses(enc.ciphertext, h);
+      engine.add_trace(h, y);
+    }
 
     while (next_cp < checkpoints.size() && t == checkpoints[next_cp]) {
-      result.progress.push_back(
-          sca::snapshot_progress(engine, result.correct_guess));
+      if (fast) {
+        const sca::CpaEngine folded = cls.fold(model.pattern().data());
+        result.progress.push_back(
+            sca::snapshot_progress(folded, result.correct_guess));
+      } else {
+        result.progress.push_back(
+            sca::snapshot_progress(engine, result.correct_guess));
+      }
       ++next_cp;
     }
   }
+
+  if (fast) engine = cls.fold(model.pattern().data());
 
   if (result.progress.empty() ||
       result.progress.back().traces != engine.trace_count()) {
@@ -299,6 +376,11 @@ CampaignResult CpaCampaign::run() {
   result.recovered_guess = static_cast<std::uint8_t>(engine.best_guess());
   result.key_recovered = result.recovered_guess == result.correct_guess;
   result.mtd = sca::estimate_mtd(result.progress);
+  result.threads_used = 1;
+  result.capture_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   return result;
 }
 

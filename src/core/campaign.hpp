@@ -71,6 +71,14 @@ struct CampaignConfig {
   /// defence; random_current_a = 0 disables it).
   defense::ActiveFenceConfig fence{};
 
+  /// Route capture and CPA accumulation through the compiled fast path
+  /// (timing::CompiledCapture batch kernels + sca::XorClassCpa). Results
+  /// are bit-identical to the reference path (OverclockedCapture +
+  /// CpaEngine::add_trace) — the property suite and the figure benches
+  /// enforce this — so the knob only trades speed; false forces the
+  /// reference implementation.
+  bool compiled_kernels = true;
+
   std::uint64_t seed = 0xc0ffee;
 };
 
@@ -90,9 +98,10 @@ struct CampaignResult {
   /// bit modes only; 0 otherwise).
   std::size_t single_bit = 0;
 
-  /// Filled by ParallelCampaign (0 when run through CpaCampaign::run
-  /// directly): workers used and capture-loop wall time, for traces/sec
-  /// reporting in the benches and the CLI.
+  /// Workers used and campaign wall time (selection pre-pass included),
+  /// for traces/sec reporting in the benches and the CLI. The serial
+  /// CpaCampaign::run fills threads_used = 1; ParallelCampaign overwrites
+  /// with its worker count and its own timer.
   unsigned threads_used = 0;
   double capture_seconds = 0.0;
 };
@@ -135,10 +144,26 @@ class CpaCampaign {
                      Xoshiro256& rng, std::vector<double>& v_out,
                      defense::ActiveFence* fence) const;
 
-  /// Read the configured sensor at every sample voltage into `y`.
+  /// Read the configured sensor at every sample voltage into `y`
+  /// (reference path: per-call sampling).
   void read_sensor(const std::vector<double>& v,
                    const std::vector<std::size_t>& bits, Xoshiro256& rng,
                    std::vector<double>& y) const;
+
+  /// Precompiled dispatch for read_sensor_fast. Benign modes get a batch
+  /// plan; other modes fall back to the reference per-call loop.
+  struct SensorPlan {
+    sensors::BenignSensorBank::CompiledHwPlan hw;
+    sensors::BenignSensorBank::CompiledBitPlan bit;
+    bool batched = false;
+  };
+  SensorPlan make_sensor_plan(const std::vector<std::size_t>& bits) const;
+
+  /// Compiled read_sensor: bit-exact same readings and RNG consumption,
+  /// batched over the whole voltage vector.
+  void read_sensor_fast(const SensorPlan& plan, const std::vector<double>& v,
+                        const std::vector<std::size_t>& bits, Xoshiro256& rng,
+                        std::vector<double>& y) const;
 
   /// Resolve kAutoBit / bits-of-interest before a capture loop.
   void resolve_sensor_bits(CampaignResult* result);

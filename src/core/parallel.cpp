@@ -164,12 +164,22 @@ CampaignResult ParallelCampaign::run_sharded() {
   const std::size_t samples = campaign.sample_times_.size();
   const unsigned T = threads_;
 
+  // Compiled fast path: a read-only sensor plan shared by all shards (the
+  // batch kernels use thread_local scratch, so sharing is safe) and a
+  // per-shard class-sum accumulator folded into full CPA sums only at
+  // checkpoints. Bit-identical to the reference path — see XorClassCpa.
+  const bool fast = cfg_.compiled_kernels;
+  const CpaCampaign::SensorPlan plan =
+      fast ? campaign.make_sensor_plan(result.bits_of_interest)
+           : CpaCampaign::SensorPlan{};
+
   // The mutable half of the capture pipeline, one copy per shard.
   struct Shard {
     crypto::AesDatapathModel victim;
     std::optional<defense::ActiveFence> fence;
     Xoshiro256 rng;
     sca::CpaEngine engine;
+    sca::XorClassCpa cls;
     std::size_t position = 0;
     std::vector<double> v;
     std::vector<double> y;
@@ -184,6 +194,7 @@ CampaignResult ParallelCampaign::run_sharded() {
              std::nullopt,
              Xoshiro256::stream(cfg_.seed, i),
              sca::CpaEngine(256, samples),
+             sca::XorClassCpa(samples),
              0,
              {},
              {},
@@ -208,16 +219,29 @@ CampaignResult ParallelCampaign::run_sharded() {
         const auto enc = sh.victim.encrypt(pt);
         campaign.make_voltages(enc, sh.rng, sh.v,
                                sh.fence ? &*sh.fence : nullptr);
-        campaign.read_sensor(sh.v, result.bits_of_interest, sh.rng, sh.y);
-        model.hypotheses(enc.ciphertext, sh.h);
-        sh.engine.add_trace(sh.h, sh.y);
+        if (fast) {
+          campaign.read_sensor_fast(plan, sh.v, result.bits_of_interest,
+                                    sh.rng, sh.y);
+          sh.cls.add_trace(model.class_value(enc.ciphertext),
+                           model.class_bit(enc.ciphertext), sh.y);
+        } else {
+          campaign.read_sensor(sh.v, result.bits_of_interest, sh.rng, sh.y);
+          model.hypotheses(enc.ciphertext, sh.h);
+          sh.engine.add_trace(sh.h, sh.y);
+        }
       }
     });
     // Re-merge from scratch in fixed shard order: deterministic and,
     // because sensor readings are integer-valued, bit-exact vs. any
     // other summation order.
-    merged = sca::CpaEngine(256, samples);
-    for (const Shard& sh : shards) merged.merge(sh.engine);
+    if (fast) {
+      sca::XorClassCpa merged_cls(samples);
+      for (const Shard& sh : shards) merged_cls.merge(sh.cls);
+      merged = merged_cls.fold(model.pattern().data());
+    } else {
+      merged = sca::CpaEngine(256, samples);
+      for (const Shard& sh : shards) merged.merge(sh.engine);
+    }
     result.progress.push_back(
         sca::snapshot_progress(merged, result.correct_guess));
   }

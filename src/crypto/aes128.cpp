@@ -57,11 +57,11 @@ constexpr std::uint8_t kInvSbox[256] = {
 constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
                                     0x20, 0x40, 0x80, 0x1b, 0x36};
 
-std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
 
-std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+constexpr std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   std::uint8_t p = 0;
   while (b != 0) {
     if (b & 1) p ^= a;
@@ -71,20 +71,54 @@ std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
   return p;
 }
 
-void sub_bytes(Block& s) {
-  for (auto& b : s) b = kSbox[b];
+// Fused SubBytes+MixColumns tables for the encrypt rounds. A state column
+// is packed as a 32-bit word with byte r (FIPS position 4c+r) at bits
+// 8r..8r+7; Te_r[x] holds the column contribution of a post-ShiftRows
+// byte a_r = S(x): byte i of Te_r[x] is gmul(S(x), M[i][r]) for the
+// MixColumns matrix M. All arithmetic is exact GF(2^8), so the states
+// are bit-identical to the byte-wise reference (the NIST vectors in
+// aes128_test pin this).
+struct TeTables {
+  std::uint32_t t[4][256];
+};
+
+constexpr TeTables make_te_tables() {
+  TeTables te{};
+  constexpr std::uint8_t m[4][4] = {
+      {2, 3, 1, 1}, {1, 2, 3, 1}, {1, 1, 2, 3}, {3, 1, 1, 2}};
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t s = kSbox[x];
+    for (int r = 0; r < 4; ++r) {
+      std::uint32_t w = 0;
+      for (int i = 0; i < 4; ++i) {
+        w |= static_cast<std::uint32_t>(gmul(s, m[i][r])) << (8 * i);
+      }
+      te.t[r][x] = w;
+    }
+  }
+  return te;
+}
+
+constexpr TeTables kTe = make_te_tables();
+
+constexpr std::uint32_t pack_column(const Block& b, std::size_t c) {
+  return static_cast<std::uint32_t>(b[4 * c + 0]) |
+         (static_cast<std::uint32_t>(b[4 * c + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[4 * c + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[4 * c + 3]) << 24);
+}
+
+void unpack_columns(const std::uint32_t w[4], Block& b) {
+  for (std::size_t c = 0; c < 4; ++c) {
+    b[4 * c + 0] = static_cast<std::uint8_t>(w[c]);
+    b[4 * c + 1] = static_cast<std::uint8_t>(w[c] >> 8);
+    b[4 * c + 2] = static_cast<std::uint8_t>(w[c] >> 16);
+    b[4 * c + 3] = static_cast<std::uint8_t>(w[c] >> 24);
+  }
 }
 
 void inv_sub_bytes(Block& s) {
   for (auto& b : s) b = kInvSbox[b];
-}
-
-void shift_rows(Block& s) {
-  Block t = s;
-  for (std::size_t pos = 0; pos < 16; ++pos) {
-    t[Aes128::shift_rows_pos(pos)] = s[pos];
-  }
-  s = t;
 }
 
 void inv_shift_rows(Block& s) {
@@ -93,21 +127,6 @@ void inv_shift_rows(Block& s) {
     t[pos] = s[Aes128::shift_rows_pos(pos)];
   }
   s = t;
-}
-
-void mix_columns(Block& s) {
-  for (std::size_t c = 0; c < 4; ++c) {
-    const std::uint8_t a0 = s[4 * c + 0], a1 = s[4 * c + 1],
-                       a2 = s[4 * c + 2], a3 = s[4 * c + 3];
-    s[4 * c + 0] = static_cast<std::uint8_t>(xtime(a0) ^ (xtime(a1) ^ a1) ^
-                                             a2 ^ a3);
-    s[4 * c + 1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^
-                                             (xtime(a2) ^ a2) ^ a3);
-    s[4 * c + 2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^
-                                             (xtime(a3) ^ a3));
-    s[4 * c + 3] = static_cast<std::uint8_t>((xtime(a0) ^ a0) ^ a1 ^ a2 ^
-                                             xtime(a3));
-  }
 }
 
 void inv_mix_columns(Block& s) {
@@ -176,6 +195,11 @@ Aes128::Aes128(const Block& key) {
       rk[i] = static_cast<std::uint8_t>(prev[i] ^ rk[i - 4]);
     }
   }
+  for (std::size_t r = 0; r <= 10; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      round_key_words_[4 * r + c] = pack_column(round_keys_[r], c);
+    }
+  }
 }
 
 Block Aes128::encrypt(const Block& plaintext) const {
@@ -184,20 +208,38 @@ Block Aes128::encrypt(const Block& plaintext) const {
 
 std::array<Block, 11> Aes128::encrypt_states(const Block& plaintext) const {
   std::array<Block, 11> states;
-  Block s = plaintext;
-  add_round_key(s, round_keys_[0]);
-  states[0] = s;
-  for (std::size_t r = 1; r <= 9; ++r) {
-    sub_bytes(s);
-    shift_rows(s);
-    mix_columns(s);
-    add_round_key(s, round_keys_[r]);
-    states[r] = s;
+  std::uint32_t w[4];
+  for (std::size_t c = 0; c < 4; ++c) {
+    w[c] = pack_column(plaintext, c) ^ round_key_words_[c];
   }
-  sub_bytes(s);
-  shift_rows(s);
-  add_round_key(s, round_keys_[10]);
-  states[10] = s;
+  unpack_columns(w, states[0]);
+  for (std::size_t r = 1; r <= 9; ++r) {
+    // Output column c gathers post-ShiftRows byte a_r from pre-round byte
+    // s[4*((c+r)%4)+r] (row r rotates left by r), i.e. byte r of word
+    // w[(c+r)%4].
+    std::uint32_t t[4];
+    for (std::size_t c = 0; c < 4; ++c) {
+      t[c] = kTe.t[0][w[c] & 0xff] ^
+             kTe.t[1][(w[(c + 1) & 3] >> 8) & 0xff] ^
+             kTe.t[2][(w[(c + 2) & 3] >> 16) & 0xff] ^
+             kTe.t[3][(w[(c + 3) & 3] >> 24) & 0xff] ^
+             round_key_words_[4 * r + c];
+    }
+    w[0] = t[0];
+    w[1] = t[1];
+    w[2] = t[2];
+    w[3] = t[3];
+    unpack_columns(w, states[r]);
+  }
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  Block& out = states[10];
+  const Block& k10 = round_keys_[10];
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      out[4 * c + r] = static_cast<std::uint8_t>(
+          kSbox[(w[(c + r) & 3] >> (8 * r)) & 0xff] ^ k10[4 * c + r]);
+    }
+  }
   return states;
 }
 

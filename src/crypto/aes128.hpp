@@ -51,6 +51,9 @@ class Aes128 {
 
  private:
   std::array<Block, 11> round_keys_{};
+  /// Round keys repacked as column words (4 per round, byte r of column c
+  /// at bits 8r) for the T-table encrypt rounds.
+  std::array<std::uint32_t, 44> round_key_words_{};
 };
 
 /// Invert the AES-128 key schedule: reconstruct the master key from any

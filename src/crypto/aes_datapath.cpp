@@ -1,5 +1,7 @@
 #include "crypto/aes_datapath.hpp"
 
+#include <cstring>
+
 #include "common/bitvec.hpp"
 #include "common/error.hpp"
 
@@ -8,13 +10,14 @@ namespace slm::crypto {
 namespace {
 
 std::uint32_t column_hd(const Block& a, const Block& b, std::size_t col) {
-  std::uint32_t hd = 0;
-  for (std::size_t r = 0; r < 4; ++r) {
-    hd += static_cast<std::uint32_t>(
-        slm::hamming_weight(static_cast<std::uint64_t>(a[4 * col + r]) ^
-                            static_cast<std::uint64_t>(b[4 * col + r])));
-  }
-  return hd;
+  // One 32-bit XOR + popcount over the packed column (endianness is
+  // irrelevant for a Hamming distance).
+  std::uint32_t wa;
+  std::uint32_t wb;
+  std::memcpy(&wa, a.data() + 4 * col, 4);
+  std::memcpy(&wb, b.data() + 4 * col, 4);
+  return static_cast<std::uint32_t>(
+      slm::hamming_weight(static_cast<std::uint64_t>(wa ^ wb)));
 }
 
 }  // namespace
@@ -52,9 +55,9 @@ AesDatapathModel::Encryption AesDatapathModel::encrypt(const Block& plaintext) {
       if (cfg_.masked) {
         enc.cycle_hd[cyc] += column_hd(mask_reg, mask, col);
       }
-      for (std::size_t r = 0; r < 4; ++r) {
-        reg[4 * col + r] = target[4 * col + r];
-        if (cfg_.masked) mask_reg[4 * col + r] = mask[4 * col + r];
+      std::memcpy(reg.data() + 4 * col, target.data() + 4 * col, 4);
+      if (cfg_.masked) {
+        std::memcpy(mask_reg.data() + 4 * col, mask.data() + 4 * col, 4);
       }
     }
   }

@@ -60,9 +60,18 @@ double CycleResponseMatrix::voltage_at(
 
 void CycleResponseMatrix::voltages(const std::vector<double>& i_cycles,
                                    std::vector<double>& out) const {
-  out.resize(sample_times_.size());
-  for (std::size_t s = 0; s < sample_times_.size(); ++s) {
-    out[s] = voltage_at(s, i_cycles);
+  SLM_REQUIRE(i_cycles.size() == cycle_starts_.size(),
+              "voltages: cycle current count mismatch");
+  const std::size_t n_samples = sample_times_.size();
+  const std::size_t n_cycles = cycle_starts_.size();
+  out.resize(n_samples);
+  const double* m = m_.data();
+  const double* ic = i_cycles.data();
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    const double* row = m + s * n_cycles;
+    double dv = 0.0;
+    for (std::size_t c = 0; c < n_cycles; ++c) dv += row[c] * ic[c];
+    out[s] = v_dc_ + dv;
   }
 }
 

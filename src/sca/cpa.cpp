@@ -91,6 +91,66 @@ std::size_t CpaEngine::rank_of(std::size_t guess) const {
   return rank;
 }
 
+XorClassCpa::XorClassCpa(std::size_t sample_count)
+    : samples_(sample_count),
+      sum_y_(sample_count, 0.0),
+      sum_yy_(sample_count, 0.0),
+      class_n_(kClasses, 0.0),
+      class_y_(kClasses * sample_count, 0.0) {
+  SLM_REQUIRE(sample_count > 0, "XorClassCpa: empty sample dimension");
+}
+
+void XorClassCpa::add_trace(std::uint8_t v, std::uint8_t b,
+                            const std::vector<double>& y) {
+  SLM_REQUIRE(y.size() == samples_, "XorClassCpa: sample count mismatch");
+  SLM_REQUIRE(b <= 1, "XorClassCpa: class bit must be 0/1");
+  ++n_;
+  const std::size_t cls = (static_cast<std::size_t>(v) << 1) | b;
+  class_n_[cls] += 1.0;
+  double* row = &class_y_[cls * samples_];
+  for (std::size_t s = 0; s < samples_; ++s) {
+    const double ys = y[s];
+    sum_y_[s] += ys;
+    sum_yy_[s] += ys * ys;
+    row[s] += ys;
+  }
+}
+
+void XorClassCpa::merge(const XorClassCpa& other) {
+  SLM_REQUIRE(other.samples_ == samples_, "XorClassCpa::merge: mismatch");
+  n_ += other.n_;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    sum_y_[s] += other.sum_y_[s];
+    sum_yy_[s] += other.sum_yy_[s];
+  }
+  for (std::size_t c = 0; c < kClasses; ++c) class_n_[c] += other.class_n_[c];
+  for (std::size_t i = 0; i < class_y_.size(); ++i) {
+    class_y_[i] += other.class_y_[i];
+  }
+}
+
+CpaEngine XorClassCpa::fold(const std::uint8_t* pattern256) const {
+  CpaEngine e(256, samples_);
+  e.n_ = n_;
+  e.sum_y_ = sum_y_;
+  e.sum_yy_ = sum_yy_;
+  for (std::size_t k = 0; k < 256; ++k) {
+    double sh = 0.0;
+    double* row = &e.sum_hy_[k * samples_];
+    for (std::size_t v = 0; v < 256; ++v) {
+      // h = pattern[v ^ k] ^ b: only the b that makes h == 1 contributes.
+      const std::size_t b = pattern256[v ^ k] ? 0u : 1u;
+      const std::size_t cls = (v << 1) | b;
+      if (class_n_[cls] == 0.0) continue;
+      sh += class_n_[cls];
+      const double* src = &class_y_[cls * samples_];
+      for (std::size_t s = 0; s < samples_; ++s) row[s] += src[s];
+    }
+    e.sum_h_[k] = sh;
+  }
+  return e;
+}
+
 CpaProgressPoint snapshot_progress(const CpaEngine& engine,
                                    std::size_t correct_guess) {
   CpaProgressPoint p;

@@ -44,6 +44,8 @@ class CpaEngine {
   std::size_t rank_of(std::size_t guess) const;
 
  private:
+  friend class XorClassCpa;  // fold() reconstructs the sums directly
+
   std::size_t guesses_;
   std::size_t samples_;
   std::size_t n_ = 0;
@@ -51,6 +53,52 @@ class CpaEngine {
   std::vector<double> sum_yy_;   // [s]
   std::vector<double> sum_h_;    // [k] (h binary: sum_hh == sum_h)
   std::vector<double> sum_hy_;   // [k * samples_ + s]
+};
+
+/// Class-binned CPA accumulator for hypothesis families of the shape
+///
+///   h_k = pattern[v ^ k] ^ b,   v in [0, 256), b in {0, 1}
+///
+/// which every per-byte last-round bit model has (v = the targeted
+/// ciphertext byte, b = the predicted-register ciphertext bit, pattern =
+/// one S-box output bit). Instead of updating ~128 of 256 guess rows per
+/// trace like CpaEngine::add_trace, a trace lands in one of 512 (v, b)
+/// classes: per-class trace counts and per-sample reading sums. fold()
+/// reconstructs the full CpaEngine sums from the class sums in one
+/// 256 x 512 pass per checkpoint.
+///
+/// Exactness: sensor readings are integer-valued (see DESIGN.md's
+/// determinism contract), so every accumulated double is an integer far
+/// below 2^53 and the regrouped summation is bit-identical to the
+/// trace-order sums CpaEngine would have produced — fold() output is
+/// indistinguishable from the reference path.
+class XorClassCpa {
+ public:
+  explicit XorClassCpa(std::size_t sample_count);
+
+  std::size_t sample_count() const { return samples_; }
+  std::size_t trace_count() const { return n_; }
+
+  /// One trace: class value v, class bit b, readings y (size sample_count).
+  void add_trace(std::uint8_t v, std::uint8_t b,
+                 const std::vector<double>& y);
+
+  /// Fold another accumulator's traces into this one (shard merges).
+  void merge(const XorClassCpa& other);
+
+  /// Expand into a full 256-guess CpaEngine under the given 256-entry
+  /// 0/1 pattern table.
+  CpaEngine fold(const std::uint8_t* pattern256) const;
+
+ private:
+  static constexpr std::size_t kClasses = 512;  // (v << 1) | b
+
+  std::size_t samples_;
+  std::size_t n_ = 0;
+  std::vector<double> sum_y_;      // [s]
+  std::vector<double> sum_yy_;     // [s]
+  std::vector<double> class_n_;    // [class]
+  std::vector<double> class_y_;    // [class * samples_ + s]
 };
 
 /// One checkpoint of a CPA campaign's convergence (Figs. 9b-18b).

@@ -11,6 +11,10 @@ LastRoundBitModel::LastRoundBitModel(std::size_t guessed_key_byte,
       q_(crypto::Aes128::inv_shift_rows_pos(guessed_key_byte)) {
   SLM_REQUIRE(g_ < 16, "LastRoundBitModel: key byte out of range");
   SLM_REQUIRE(bit_ < 8, "LastRoundBitModel: bit out of range");
+  for (std::size_t z = 0; z < 256; ++z) {
+    pattern_[z] = static_cast<std::uint8_t>(
+        (crypto::Aes128::inv_sbox(static_cast<std::uint8_t>(z)) >> bit_) & 1);
+  }
 }
 
 std::uint8_t LastRoundBitModel::hypothesis(const crypto::Block& ct,
@@ -25,12 +29,10 @@ void LastRoundBitModel::hypotheses(const crypto::Block& ct,
                                    std::vector<std::uint8_t>& out) const {
   out.resize(256);
   const std::uint8_t ct_g = ct[g_];
-  const std::uint8_t ct_q = ct[q_];
+  const std::uint8_t b = class_bit(ct);
+  // ((InvSbox(ct_g ^ k) ^ ct_q) >> bit) & 1 == pattern_[ct_g ^ k] ^ b.
   for (std::size_t k = 0; k < 256; ++k) {
-    const std::uint8_t state9 = crypto::Aes128::inv_sbox(
-        static_cast<std::uint8_t>(ct_g ^ static_cast<std::uint8_t>(k)));
-    out[k] = static_cast<std::uint8_t>(
-        ((state9 ^ ct_q) >> bit_) & 1);
+    out[k] = static_cast<std::uint8_t>(pattern_[ct_g ^ k] ^ b);
   }
 }
 

@@ -10,6 +10,7 @@
 // which is a one-bit slice of the column's Hamming-distance leakage.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -42,10 +43,25 @@ class LastRoundBitModel {
     return last_round_key[g_];
   }
 
+  // The model factors as hypothesis(ct, k) = pattern()[class_value(ct) ^
+  // k] ^ class_bit(ct) — the shape sca::XorClassCpa bins on.
+
+  /// The ciphertext byte the guess is XORed into.
+  std::uint8_t class_value(const crypto::Block& ct) const { return ct[g_]; }
+
+  /// The predicted-register ciphertext bit.
+  std::uint8_t class_bit(const crypto::Block& ct) const {
+    return static_cast<std::uint8_t>((ct[q_] >> bit_) & 1);
+  }
+
+  /// pattern()[z] = bit `bit` of InvSbox(z).
+  const std::array<std::uint8_t, 256>& pattern() const { return pattern_; }
+
  private:
   std::size_t g_;
   std::size_t bit_;
   std::size_t q_;
+  std::array<std::uint8_t, 256> pattern_{};
 };
 
 }  // namespace slm::sca

@@ -19,6 +19,17 @@ void BitSelector::add(const BitVec& toggle_word) {
   }
 }
 
+void BitSelector::add_batch(const std::vector<std::size_t>& ones,
+                            std::size_t samples) {
+  SLM_REQUIRE(ones.size() == ones_.size(),
+              "BitSelector::add_batch: width mismatch");
+  samples_ += samples;
+  for (std::size_t i = 0; i < ones_.size(); ++i) {
+    SLM_REQUIRE(ones[i] <= samples, "BitSelector::add_batch: count > samples");
+    ones_[i] += ones[i];
+  }
+}
+
 BitStat BitSelector::stat(std::size_t i) const {
   SLM_REQUIRE(i < ones_.size(), "BitSelector::stat: out of range");
   BitStat s;

@@ -27,6 +27,12 @@ class BitSelector {
 
   void add(const BitVec& toggle_word);
 
+  /// Merge a pre-accumulated batch: `ones[i]` one-counts per bit over
+  /// `samples` toggle words. Equivalent to `samples` add() calls — the
+  /// compiled selection pre-pass accumulates counts directly and lands
+  /// them here in one step.
+  void add_batch(const std::vector<std::size_t>& ones, std::size_t samples);
+
   std::size_t bit_count() const { return ones_.size(); }
   std::size_t sample_count() const { return samples_; }
 

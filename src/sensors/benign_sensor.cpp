@@ -15,6 +15,7 @@ BenignSensor::BenignSensor(const netlist::Netlist& nl,
   transition_ = sim.simulate_transition(reset_stimulus, measure_stimulus);
   capture_ = std::make_unique<timing::OverclockedCapture>(
       transition_.endpoint_waveforms, cfg.capture, cfg.seed);
+  compiled_ = std::make_unique<timing::CompiledCapture>(*capture_);
 }
 
 bool BenignSensor::sample_toggle_bit(std::size_t i, double v,
@@ -107,6 +108,112 @@ std::size_t BenignSensorBank::sample_toggle_hw(
 const BenignSensor& BenignSensorBank::instance(std::size_t i) const {
   SLM_REQUIRE(i < sensors_.size(), "BenignSensorBank: bad instance");
   return *sensors_[i];
+}
+
+BenignSensorBank::CompiledHwPlan BenignSensorBank::compile_hw_plan(
+    const std::vector<std::size_t>& global_bits) const {
+  SLM_REQUIRE(!sensors_.empty(), "BenignSensorBank: empty bank");
+  CompiledHwPlan plan;
+  std::size_t base = 0;
+  for (const auto& s : sensors_) {
+    CompiledHwPlan::Part part;
+    for (std::size_t g : global_bits) {
+      if (g >= base && g < base + s->endpoint_count()) {
+        part.idx.push_back(static_cast<std::uint32_t>(g - base));
+      }
+    }
+    if (!part.idx.empty()) {
+      part.packed = s->compiled().pack_subset(part.idx);
+      plan.draws_per_sample += 1 + part.idx.size();
+      plan.parts.push_back(std::move(part));
+    }
+    base += s->endpoint_count();
+  }
+  // One capture clock across all instances (the usual case) lets the
+  // batch kernel divide once per sample and reuse the nominal instant.
+  plan.uniform_clock = true;
+  for (const auto& part : plan.parts) {
+    plan.uniform_clock =
+        plan.uniform_clock && plan.parts.front().packed.same_clock(part.packed);
+  }
+  return plan;
+}
+
+void BenignSensorBank::toggle_hw_batch(const CompiledHwPlan& plan,
+                                       const double* v, std::size_t n,
+                                       Xoshiro256& rng, double* y) const {
+  if (plan.draws_per_sample == 0) {
+    for (std::size_t j = 0; j < n; ++j) y[j] = 0.0;
+    return;
+  }
+  thread_local std::vector<double> z;
+  z.resize(n * plan.draws_per_sample);
+  FastNormal::instance().fill(rng, z.data(), z.size());
+  const double* d = z.data();
+  if (plan.uniform_clock) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double t_nom = plan.parts.front().packed.nominal_time(v[j]);
+      std::uint32_t hw = 0;
+      for (const auto& part : plan.parts) {
+        hw += part.packed.hw_at_nominal(t_nom, d);
+        d += 1 + part.packed.size();
+      }
+      y[j] = static_cast<double>(hw);
+    }
+    return;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    std::uint32_t hw = 0;
+    for (const auto& part : plan.parts) {
+      hw += part.packed.hw_from_draws(v[j], d);
+      d += 1 + part.packed.size();
+    }
+    y[j] = static_cast<double>(hw);
+  }
+}
+
+BenignSensorBank::CompiledBitPlan BenignSensorBank::compile_bit_plan(
+    std::size_t global_i) const {
+  std::size_t base = 0;
+  for (const auto& s : sensors_) {
+    if (global_i < base + s->endpoint_count()) {
+      return CompiledBitPlan{&s->compiled(), global_i - base};
+    }
+    base += s->endpoint_count();
+  }
+  throw Error("BenignSensorBank::compile_bit_plan: index out of range");
+}
+
+void BenignSensorBank::toggle_bit_batch(const CompiledBitPlan& plan,
+                                        const double* v, std::size_t n,
+                                        Xoshiro256& rng, double* y) const {
+  thread_local std::vector<double> z;
+  z.resize(n * 2);
+  FastNormal::instance().fill(rng, z.data(), z.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    y[j] = plan.cap->toggle_from_draws(plan.local, v[j], &z[2 * j]) ? 1.0
+                                                                    : 0.0;
+  }
+}
+
+void BenignSensorBank::toggle_accumulate_batch(const double* v, std::size_t n,
+                                               Xoshiro256& rng,
+                                               std::size_t* ones) const {
+  SLM_REQUIRE(!sensors_.empty(), "BenignSensorBank: empty bank");
+  std::size_t draws_per_sample = 0;
+  for (const auto& s : sensors_) draws_per_sample += 1 + s->endpoint_count();
+  thread_local std::vector<double> z;
+  z.resize(n * draws_per_sample);
+  FastNormal::instance().fill(rng, z.data(), z.size());
+  const double* d = z.data();
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t base = 0;
+    for (const auto& s : sensors_) {
+      s->compiled().toggles_from_draws(v[j], d, ones + base);
+      d += 1 + s->endpoint_count();
+      base += s->endpoint_count();
+    }
+  }
 }
 
 }  // namespace slm::sensors

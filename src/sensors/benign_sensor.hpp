@@ -22,6 +22,7 @@
 #include "common/rng.hpp"
 #include "netlist/netlist.hpp"
 #include "timing/capture.hpp"
+#include "timing/compiled_capture.hpp"
 #include "timing/timed_sim.hpp"
 
 namespace slm::sensors {
@@ -66,6 +67,11 @@ class BenignSensor {
   }
 
   const timing::OverclockedCapture& capture() const { return *capture_; }
+
+  /// The compiled fast-path kernel over the same physics (bit-exact; see
+  /// timing/compiled_capture.hpp).
+  const timing::CompiledCapture& compiled() const { return *compiled_; }
+
   const timing::TimedSimResult& transition() const { return transition_; }
 
   /// Settle time (ns, nominal voltage) of the slowest endpoint — must
@@ -75,6 +81,7 @@ class BenignSensor {
  private:
   timing::TimedSimResult transition_;
   std::unique_ptr<timing::OverclockedCapture> capture_;
+  std::unique_ptr<timing::CompiledCapture> compiled_;
 };
 
 /// Several sensor instances observed as one concatenated word (the paper
@@ -102,6 +109,50 @@ class BenignSensorBank {
                                double v, Xoshiro256& rng) const;
 
   const BenignSensor& instance(std::size_t i) const;
+
+  // --- Compiled batched fast path --------------------------------------
+  //
+  // Plans pre-split global bit indices per instance once; the batch
+  // kernels then process a whole voltage vector with one FastNormal::fill
+  // over a reused scratch block. RNG consumption (count and order) is
+  // identical to the per-call APIs above — including skipping instances
+  // with no listed bit — so readings are bit-exact against them.
+
+  /// Per-instance slice of a global bit list, packed into self-contained
+  /// kernel buffers (timing::PackedToggleSubset). Instances with no
+  /// listed bit are omitted and draw nothing, as in sample_toggle_hw.
+  struct CompiledHwPlan {
+    struct Part {
+      timing::PackedToggleSubset packed;
+      std::vector<std::uint32_t> idx;  ///< local endpoint indices
+    };
+    std::vector<Part> parts;
+    std::size_t draws_per_sample = 0;  ///< sum over parts of 1 + idx size
+    bool uniform_clock = false;  ///< all parts share one capture clock
+  };
+  CompiledHwPlan compile_hw_plan(
+      const std::vector<std::size_t>& global_bits) const;
+
+  /// Batched sample_toggle_hw: y[j] = HW over the planned bits at v[j].
+  void toggle_hw_batch(const CompiledHwPlan& plan, const double* v,
+                       std::size_t n, Xoshiro256& rng, double* y) const;
+
+  /// Owning instance + local index of one global bit.
+  struct CompiledBitPlan {
+    const timing::CompiledCapture* cap = nullptr;
+    std::size_t local = 0;
+  };
+  CompiledBitPlan compile_bit_plan(std::size_t global_i) const;
+
+  /// Batched sample_toggle_bit: y[j] = 0/1 toggle of the planned bit.
+  void toggle_bit_batch(const CompiledBitPlan& plan, const double* v,
+                        std::size_t n, Xoshiro256& rng, double* y) const;
+
+  /// Batched selection pre-pass kernel: for every sample j, add each
+  /// global endpoint's toggle bit into ones[0..endpoint_count()).
+  /// Equivalent to n sample_toggles() calls fed to BitSelector::add.
+  void toggle_accumulate_batch(const double* v, std::size_t n,
+                               Xoshiro256& rng, std::size_t* ones) const;
 
  private:
   std::vector<std::shared_ptr<const BenignSensor>> sensors_;

@@ -152,6 +152,90 @@ TEST(CpaEngine, MergeValidatesDimensions) {
   EXPECT_THROW(engine.merge(CpaEngine(5, 2)), slm::Error);
 }
 
+// XorClassCpa bins traces into 512 (v, b) classes and fold() expands
+// them back into the full 256-guess sums under h_k = pattern[v ^ k] ^ b.
+// With integer-valued readings every sum is exact, so the folded engine
+// must equal the trace-by-trace CpaEngine bit-for-bit.
+TEST(XorClassCpa, FoldMatchesCpaEngineBitForBit) {
+  constexpr std::size_t kSamples = 3;
+  constexpr int kTraces = 4000;
+
+  // A random 0/1 pattern table (stand-in for an S-box output bit).
+  Xoshiro256 rng(21);
+  std::uint8_t pattern[256];
+  for (auto& p : pattern) p = rng.coin() ? 1 : 0;
+
+  CpaEngine ref(256, kSamples);
+  XorClassCpa classes(kSamples);
+  for (int t = 0; t < kTraces; ++t) {
+    const auto v = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto b = static_cast<std::uint8_t>(rng.coin() ? 1 : 0);
+    std::vector<double> y(kSamples);
+    for (auto& s : y) s = static_cast<double>(rng.uniform_int(48));
+    std::vector<std::uint8_t> h(256);
+    for (std::size_t k = 0; k < 256; ++k) {
+      h[k] = static_cast<std::uint8_t>(pattern[v ^ k] ^ b);
+    }
+    ref.add_trace(h, y);
+    classes.add_trace(v, b, y);
+  }
+
+  const CpaEngine folded = classes.fold(pattern);
+  ASSERT_EQ(folded.trace_count(), ref.trace_count());
+  for (std::size_t k = 0; k < 256; ++k) {
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      ASSERT_EQ(folded.correlation(k, s), ref.correlation(k, s))
+          << "guess " << k << " sample " << s;
+    }
+  }
+  EXPECT_EQ(folded.max_abs_correlation(), ref.max_abs_correlation());
+  EXPECT_EQ(folded.best_guess(), ref.best_guess());
+}
+
+// Shard-merged class accumulators fold to the same engine as one serial
+// accumulator — the merge path the parallel campaign uses.
+TEST(XorClassCpa, ShardsMergeThenFoldBitForBit) {
+  constexpr std::size_t kSamples = 2;
+  constexpr std::size_t kShards = 3;
+  constexpr int kTraces = 2000;
+
+  Xoshiro256 rng(22);
+  std::uint8_t pattern[256];
+  for (auto& p : pattern) p = rng.coin() ? 1 : 0;
+
+  XorClassCpa serial(kSamples);
+  std::vector<XorClassCpa> shards(kShards, XorClassCpa(kSamples));
+  for (int t = 0; t < kTraces; ++t) {
+    const auto v = static_cast<std::uint8_t>(rng.uniform_int(256));
+    const auto b = static_cast<std::uint8_t>(rng.coin() ? 1 : 0);
+    std::vector<double> y(kSamples);
+    for (auto& s : y) s = static_cast<double>(rng.uniform_int(64));
+    serial.add_trace(v, b, y);
+    shards[static_cast<std::size_t>(t) % kShards].add_trace(v, b, y);
+  }
+
+  XorClassCpa merged(kSamples);
+  for (const auto& s : shards) merged.merge(s);
+  ASSERT_EQ(merged.trace_count(), serial.trace_count());
+
+  const CpaEngine a = merged.fold(pattern);
+  const CpaEngine b = serial.fold(pattern);
+  EXPECT_EQ(a.max_abs_correlation(), b.max_abs_correlation());
+  for (std::size_t k = 0; k < 256; ++k) {
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      ASSERT_EQ(a.correlation(k, s), b.correlation(k, s));
+    }
+  }
+}
+
+TEST(XorClassCpa, Validation) {
+  EXPECT_THROW(XorClassCpa c(0), slm::Error);
+  XorClassCpa c(2);
+  EXPECT_THROW(c.add_trace(0, 2, {1.0, 2.0}), slm::Error);
+  EXPECT_THROW(c.add_trace(0, 0, {1.0}), slm::Error);
+  EXPECT_THROW(c.merge(XorClassCpa(3)), slm::Error);
+}
+
 TEST(SnapshotProgress, RanksAndMargins) {
   Xoshiro256 rng(4);
   const auto& normal = FastNormal::instance();

@@ -128,5 +128,119 @@ TEST(Capture, Validation) {
   EXPECT_THROW((void)cap.endpoint_sensitive(0, 1.1, 0.9), slm::Error);
 }
 
+// --- sample_subset jitter semantics ----------------------------------
+//
+// The contract the batched kernels (and the campaign RNG accounting)
+// depend on: per call, ONE common-jitter draw shared by every listed
+// endpoint, then one independent jitter draw per listed endpoint in
+// list order; bits not listed stay zero in the returned word.
+
+TEST(Capture, SubsetConsumesOneCommonPlusOnePerListedDraw) {
+  CaptureConfig cfg = quiet_config();
+  cfg.jitter_sigma_ns = 0.05;
+  cfg.common_jitter_sigma_ns = 0.1;
+  std::vector<Waveform> endpoints{
+      Waveform(false, {3.0}), Waveform(false, {3.2}), Waveform(false, {3.3}),
+      Waveform(false, {3.1}), Waveform(false, {2.9})};
+  OverclockedCapture cap(endpoints, cfg, 11);
+  for (const std::vector<std::size_t>& bits :
+       {std::vector<std::size_t>{2}, std::vector<std::size_t>{0, 3},
+        std::vector<std::size_t>{1, 2, 4},
+        std::vector<std::size_t>{0, 1, 2, 3, 4}}) {
+    Xoshiro256 used(99);
+    Xoshiro256 counter(99);
+    (void)cap.sample_subset(bits, 0.97, used);
+    for (std::size_t i = 0; i < 1 + bits.size(); ++i) (void)counter.next();
+    EXPECT_EQ(used.next(), counter.next())
+        << "subset of " << bits.size() << " bits";
+  }
+}
+
+TEST(Capture, SubsetReconstructsFromDocumentedDrawOrder) {
+  // Replay the documented sampling recipe by hand — common draw first,
+  // then per-endpoint jitters in list order — and demand the same word.
+  CaptureConfig cfg = quiet_config();
+  cfg.jitter_sigma_ns = 0.08;
+  cfg.common_jitter_sigma_ns = 0.12;
+  cfg.endpoint_skew_sigma_ns = 0.05;
+  std::vector<Waveform> endpoints{
+      Waveform(false, {3.0}), Waveform(true, {3.2, 3.4}),
+      Waveform(false, {2.8, 3.0, 3.3}), Waveform(false, {3.1})};
+  OverclockedCapture cap(endpoints, cfg, 21);
+  const std::vector<std::size_t> bits{3, 1, 0};  // deliberately unsorted
+  const auto& normal = FastNormal::instance();
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const double v = 0.9 + 0.002 * static_cast<double>(seed);
+    Xoshiro256 ra(seed);
+    Xoshiro256 rb(seed);
+    const BitVec word = cap.sample_subset(bits, v, ra);
+    const double t_eff =
+        cap.effective_time(v) + normal(rb, 0.0, cfg.common_jitter_sigma_ns);
+    for (std::size_t i : bits) {
+      const double jitter = normal(rb, 0.0, cfg.jitter_sigma_ns);
+      const double t = t_eff - cap.endpoint_skews()[i] + jitter;
+      EXPECT_EQ(word.get(i), endpoints[i].value_at(t))
+          << "endpoint " << i << " seed " << seed;
+    }
+    EXPECT_EQ(ra.next(), rb.next()) << "seed " << seed;
+  }
+}
+
+TEST(Capture, SubsetCommonJitterIsSharedAcrossEndpoints) {
+  // Two identical endpoints, no skew, no per-endpoint jitter: the shared
+  // common draw must keep their captured values identical every sample,
+  // while still flipping the pair across samples (toggle at the nominal
+  // observation instant).
+  CaptureConfig cfg = quiet_config();
+  cfg.common_jitter_sigma_ns = 0.1;
+  const Waveform wf(false, {10.0 / 3.0});
+  OverclockedCapture cap({wf, wf}, cfg, 5);
+  Xoshiro256 rng(31);
+  int ones = 0;
+  const int n = 4000;
+  for (int s = 0; s < n; ++s) {
+    const BitVec word = cap.sample_subset({0, 1}, 1.0, rng);
+    ASSERT_EQ(word.get(0), word.get(1)) << "sample " << s;
+    if (word.get(0)) ++ones;
+  }
+  EXPECT_GT(ones, n / 10);      // the common draw really moves the pair
+  EXPECT_LT(ones, n - n / 10);
+}
+
+TEST(Capture, SubsetEndpointJitterIsIndependentPerEndpoint) {
+  // Same two identical endpoints, but now only per-endpoint jitter: the
+  // independent draws must split the pair a nontrivial fraction of the
+  // time (two independent ~50/50 coins disagree half the time).
+  CaptureConfig cfg = quiet_config();
+  cfg.jitter_sigma_ns = 0.1;
+  const Waveform wf(false, {10.0 / 3.0});
+  OverclockedCapture cap({wf, wf}, cfg, 5);
+  Xoshiro256 rng(37);
+  int split = 0;
+  const int n = 4000;
+  for (int s = 0; s < n; ++s) {
+    const BitVec word = cap.sample_subset({0, 1}, 1.0, rng);
+    if (word.get(0) != word.get(1)) ++split;
+  }
+  EXPECT_NEAR(static_cast<double>(split) / n, 0.5, 0.05);
+}
+
+TEST(Capture, SubsetLeavesNonListedBitsZero) {
+  // Endpoint 1 would capture 1 at nominal voltage (initial value true,
+  // no toggles) — but it is not listed, so its bit must stay 0.
+  CaptureConfig cfg = quiet_config();
+  cfg.jitter_sigma_ns = 0.05;
+  std::vector<Waveform> endpoints{Waveform(false, {1.0}),
+                                  Waveform(true, {}), Waveform(true, {0.5})};
+  OverclockedCapture cap(endpoints, cfg, 13);
+  Xoshiro256 rng(41);
+  for (int s = 0; s < 100; ++s) {
+    const BitVec word = cap.sample_subset({0}, 1.0, rng);
+    EXPECT_TRUE(word.get(0));   // toggle at 1.0 ns long captured
+    EXPECT_FALSE(word.get(1));  // not listed: zero despite capturing 1
+    EXPECT_FALSE(word.get(2));
+  }
+}
+
 }  // namespace
 }  // namespace slm::timing
