@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   const auto eq = bench::compare_kernel_paths(core::BenignCircuit::kAlu, cfg);
   checks.expect("compiled kernels bit-identical to reference path",
                 eq.equivalent);
-  bench::write_bench_json("fig10", fig.campaign, cfg, eq);
+  bench::write_bench_json("fig10", fig.campaign, cfg, eq,
+                          fig.observer.get());
   if (bench::full_shape_budget(cfg.traces)) {
     checks.expect("correct key byte recovered", fig.campaign.key_recovered);
     checks.expect("disclosed within the 500k budget",

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
       bench::compare_kernel_paths(core::BenignCircuit::kC6288x2, cfg);
   checks.expect("compiled kernels bit-identical to reference path",
                 eq.equivalent);
-  bench::write_bench_json("fig17", fig.campaign, cfg, eq);
+  bench::write_bench_json("fig17", fig.campaign, cfg, eq,
+                          fig.observer.get());
   if (bench::full_shape_budget(cfg.traces)) {
     checks.expect("correct key byte recovered from the combined multipliers",
                   fig.campaign.key_recovered);

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "core/parallel.hpp"
 #include "core/preliminary.hpp"
 #include "core/setup.hpp"
+#include "obs/observer.hpp"
 
 namespace slm::bench {
 
@@ -87,6 +89,10 @@ inline unsigned thread_budget(int argc = 0, char** argv = nullptr) {
 struct CpaFigureResult {
   core::CampaignResult campaign;
   std::size_t resolved_bit = 0;
+  /// Observer the campaign ran under (metrics always; a JSONL sink when
+  /// SLM_TRACE is set). write_bench_json dumps its registry into the
+  /// BENCH_*.json metrics block.
+  std::shared_ptr<obs::CampaignObserver> observer;
 };
 
 /// The CPA figure benches assert paper-shape properties (key recovered,
@@ -168,11 +174,16 @@ inline KernelComparison compare_kernel_paths(core::BenignCircuit circuit,
 }
 
 /// Machine-readable throughput record next to the human-readable tables:
-/// BENCH_<tag>.json in the working directory.
+/// BENCH_<tag>.json in the working directory. The metrics block splits
+/// campaign wall time into kernel (capture physics + sensor) vs CPA
+/// (accumulate/fold/merge) vs selection vs checkpoint I/O — filled by the
+/// observer-gated phase timers — and, when an observer is supplied, dumps
+/// its full registry (counters/gauges/histograms with p50/p95/p99).
 inline void write_bench_json(const std::string& tag,
                              const core::CampaignResult& r,
                              const core::CampaignConfig& cfg,
-                             const KernelComparison& eq) {
+                             const KernelComparison& eq,
+                             const obs::CampaignObserver* observer = nullptr) {
   const std::string path = "BENCH_" + tag + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -199,6 +210,13 @@ inline void write_bench_json(const std::string& tag,
                "    \"compiled_traces_per_sec\": %.1f,\n"
                "    \"reference_traces_per_sec\": %.1f,\n"
                "    \"speedup\": %.3f\n"
+               "  },\n"
+               "  \"metrics\": {\n"
+               "    \"kernel_seconds\": %.6f,\n"
+               "    \"cpa_seconds\": %.6f,\n"
+               "    \"selection_seconds\": %.6f,\n"
+               "    \"checkpoint_io_seconds\": %.6f,\n"
+               "    \"registry\": %s\n"
                "  }\n"
                "}\n",
                tag.c_str(), core::sensor_mode_name(r.mode),
@@ -206,7 +224,10 @@ inline void write_bench_json(const std::string& tag,
                r.threads_used, r.capture_seconds, tps,
                r.key_recovered ? "true" : "false",
                eq.equivalent ? "true" : "false", eq.traces, eq.compiled_tps,
-               eq.reference_tps, eq.speedup());
+               eq.reference_tps, eq.speedup(), r.kernel_seconds,
+               r.cpa_seconds, r.selection_seconds, r.checkpoint_io_seconds,
+               observer != nullptr ? observer->metrics().to_json().c_str()
+                                   : "{}");
   std::fclose(f);
   std::cout << "wrote " << path << "\n";
 }
@@ -221,8 +242,17 @@ inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
                           core::Calibration::paper_defaults());
   core::CampaignConfig cfg = cfg_in;
   cfg.compiled_kernels = cfg.compiled_kernels && compiled_budget();
+  // Every figure bench runs under an observer: SLM_TRACE attaches a JSONL
+  // event sink, otherwise a metrics-only registry feeds the phase-time
+  // split in the output and the BENCH_*.json metrics block. (The timers
+  // do not perturb results — the determinism contract is RNG-driven.)
+  std::shared_ptr<obs::CampaignObserver> observer = obs::observer_from_env();
+  if (observer == nullptr) {
+    observer = std::make_shared<obs::CampaignObserver>();
+  }
+  cfg.observer = observer.get();
   core::ParallelCampaign campaign(setup, cfg, threads);
-  CpaFigureResult out{campaign.run(), 0};
+  CpaFigureResult out{campaign.run(), 0, observer};
   out.resolved_bit = out.campaign.single_bit;
   const auto& r = out.campaign;
 
@@ -237,6 +267,11 @@ inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
     std::printf("throughput       : %.0f traces/sec (%.2f s)\n",
                 static_cast<double>(r.traces_run) / r.capture_seconds,
                 r.capture_seconds);
+  }
+  if (r.kernel_seconds > 0.0) {
+    std::printf(
+        "phase split      : kernel %.2f s, cpa %.2f s, selection %.2f s\n",
+        r.kernel_seconds, r.cpa_seconds, r.selection_seconds);
   }
   if (r.mode == core::SensorMode::kBenignHw) {
     std::cout << "bits of interest : " << r.bits_of_interest.size() << "\n";
@@ -281,6 +316,18 @@ inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
     std::cout << "not stably disclosed within the budget\n";
   }
   std::cout << "\n";
+
+  if (out.observer->has_sink()) {
+    out.observer->write_manifest(
+        obs::JsonWriter()
+            .field("mode", core::sensor_mode_name(r.mode))
+            .field("circuit", core::benign_circuit_name(circuit))
+            .field("traces", static_cast<std::uint64_t>(r.traces_run))
+            .field("recovered",
+                   static_cast<std::uint64_t>(r.recovered_guess))
+            .field("success", r.key_recovered)
+            .field("threads", static_cast<std::uint64_t>(r.threads_used)));
+  }
   return out;
 }
 

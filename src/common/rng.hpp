@@ -43,6 +43,13 @@ class Xoshiro256 {
   /// results depend only on (seed, shard count), never on scheduling.
   static Xoshiro256 stream(std::uint64_t seed, std::uint64_t stream_index);
 
+  /// The full 256-bit generator state. Saving state() and restoring it
+  /// with set_state() resumes the stream at the exact draw position —
+  /// this is how campaign checkpoints capture "RNG stream positions"
+  /// (see core/checkpoint and docs/OBSERVABILITY.md).
+  std::array<std::uint64_t, 4> state() const { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) { s_ = s; }
+
   // UniformRandomBitGenerator interface (usable with <random> and
   // std::shuffle).
   using result_type = std::uint64_t;

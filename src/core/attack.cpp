@@ -18,6 +18,12 @@ KeyByteReport report_from(std::size_t key_byte, const CampaignResult& r) {
   report.mtd = r.mtd;
   report.threads_used = r.threads_used;
   report.capture_seconds = r.capture_seconds;
+  report.kernel_seconds = r.kernel_seconds;
+  report.cpa_seconds = r.cpa_seconds;
+  report.checkpoint_io_seconds = r.checkpoint_io_seconds;
+  report.selection_seconds = r.selection_seconds;
+  report.resumed_from = r.resumed_from;
+  report.snapshot_path = r.snapshot_path;
   return report;
 }
 
@@ -65,7 +71,19 @@ KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
                                                std::size_t traces,
                                                SensorMode mode,
                                                unsigned threads) {
-  const CampaignConfig cfg = byte_campaign_config(key_byte, traces, mode);
+  return recover_key_byte(key_byte, traces, mode, threads, RunOptions{});
+}
+
+KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
+                                               std::size_t traces,
+                                               SensorMode mode,
+                                               unsigned threads,
+                                               const RunOptions& opts) {
+  CampaignConfig cfg = byte_campaign_config(key_byte, traces, mode);
+  cfg.observer = opts.observer;
+  cfg.checkpoint_dir = opts.checkpoint_dir;
+  cfg.resume = opts.resume;
+  cfg.halt_after_traces = opts.halt_after_traces;
   ParallelCampaign campaign(setup_, cfg, threads);
   return report_from(key_byte, campaign.run());
 }

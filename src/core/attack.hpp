@@ -22,6 +22,25 @@ struct KeyByteReport {
   sca::MtdResult mtd;
   unsigned threads_used = 0;     ///< workers the campaign ran on
   double capture_seconds = 0.0;  ///< campaign wall time (traces/sec)
+
+  /// Observability passthrough (see CampaignResult): observer-gated
+  /// kernel/CPA phase split, snapshot bookkeeping.
+  double kernel_seconds = 0.0;
+  double cpa_seconds = 0.0;
+  double checkpoint_io_seconds = 0.0;
+  double selection_seconds = 0.0;
+  std::size_t resumed_from = 0;
+  std::string snapshot_path;
+};
+
+/// Cross-cutting run options shared by every campaign entry point:
+/// observability hooks and crash-safe checkpoint/resume. Defaults are
+/// all-off — the zero-overhead path.
+struct RunOptions {
+  obs::CampaignObserver* observer = nullptr;  ///< borrowed, may be null
+  std::string checkpoint_dir;                 ///< empty = no snapshots
+  bool resume = false;                        ///< continue from snapshot
+  std::size_t halt_after_traces = 0;          ///< simulated kill (0 = off)
 };
 
 class StealthyAttack {
@@ -38,10 +57,16 @@ class StealthyAttack {
   // N workers. Same seed + same threads => identical results; see
   // DESIGN.md for the full determinism contract.
 
-  /// Recover one last-round key byte with the given sensor mode.
+  /// Recover one last-round key byte with the given sensor mode. The
+  /// RunOptions overload attaches an observer and/or crash-safe
+  /// checkpointing (`slm attack --checkpoint-dir/--resume/--trace-out`
+  /// route through it); the default overload is the zero-overhead path.
   KeyByteReport recover_key_byte(std::size_t key_byte, std::size_t traces,
                                  SensorMode mode = SensorMode::kBenignHw,
                                  unsigned threads = 0);
+  KeyByteReport recover_key_byte(std::size_t key_byte, std::size_t traces,
+                                 SensorMode mode, unsigned threads,
+                                 const RunOptions& opts);
 
   /// Recover several last-round key bytes (one campaign each).
   std::vector<KeyByteReport> recover_key_bytes(

@@ -7,6 +7,8 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "obs/observer.hpp"
 #include "sca/selection.hpp"
 
 namespace slm::core {
@@ -302,6 +304,7 @@ std::vector<std::size_t> CpaCampaign::select_bits_of_interest() {
 
 CampaignResult CpaCampaign::run() {
   const auto wall_start = std::chrono::steady_clock::now();
+  obs::CampaignObserver* const ob = cfg_.observer;
   CampaignResult result;
   result.mode = cfg_.mode;
   result.sample_times_ns = sample_times_;
@@ -310,7 +313,16 @@ CampaignResult CpaCampaign::run() {
   result.correct_guess =
       model.correct_guess(setup_.victim().cipher().last_round_key());
 
-  resolve_sensor_bits(&result);
+  {
+    const auto sel_start = std::chrono::steady_clock::now();
+    std::optional<obs::CampaignObserver::Span> span;
+    if (ob != nullptr) span.emplace(ob->span("selection"));
+    resolve_sensor_bits(&result);
+    result.selection_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sel_start)
+            .count();
+  }
   result.single_bit = cfg_.single_bit;
 
   auto checkpoints =
@@ -331,26 +343,103 @@ CampaignResult CpaCampaign::run() {
   sca::XorClassCpa cls(sample_times_.size());
   Xoshiro256 rng(cfg_.seed);
 
+  // Crash-safe resume: restore the exact capture state the snapshot
+  // froze — accumulator sums, main RNG position, victim register
+  // history, fence stream — and skip the checkpoints already recorded.
+  // The selection pre-pass above re-ran from its own deterministic seed
+  // streams, so it needs no snapshotting.
+  std::size_t start_t = 1;
+  const bool snapshotting = !cfg_.checkpoint_dir.empty();
+  if (cfg_.resume && snapshotting) {
+    if (auto ck = load_checkpoint(cfg_.checkpoint_dir)) {
+      require_checkpoint_matches(*ck, cfg_, 1, sample_times_.size());
+      const CheckpointShard& sh = ck->shard_state[0];
+      SLM_REQUIRE(sh.has_fence == fence_.has_value(),
+                  "resume: fence configuration differs from snapshot");
+      rng.set_state(sh.rng);
+      setup_.victim().restore_registers(sh.victim);
+      if (fence_) fence_->set_rng_state(sh.fence_rng);
+      ByteReader acc(sh.accumulator.data(), sh.accumulator.size());
+      if (fast) {
+        cls.load(acc);
+      } else {
+        engine.load(acc);
+      }
+      SLM_REQUIRE(acc.done(), "resume: trailing accumulator bytes");
+      result.progress = ck->progress;
+      result.resumed_from = static_cast<std::size_t>(ck->traces_done);
+      start_t = result.resumed_from + 1;
+      while (next_cp < checkpoints.size() &&
+             checkpoints[next_cp] <= result.resumed_from) {
+        ++next_cp;
+      }
+      log_info() << "campaign: resumed from "
+                 << checkpoint_file(cfg_.checkpoint_dir) << " at trace "
+                 << result.resumed_from << "/" << cfg_.traces;
+      if (ob != nullptr) {
+        ob->metrics().add("slm.checkpoint.resumes_total");
+        ob->event("resume",
+                  obs::JsonWriter()
+                      .field("traces_done",
+                             static_cast<std::uint64_t>(result.resumed_from))
+                      .field("path", checkpoint_file(cfg_.checkpoint_dir)));
+      }
+    }
+  }
+
+  if (ob != nullptr) {
+    ob->metrics().set("slm.campaign.traces_target",
+                      static_cast<double>(cfg_.traces));
+    ob->event("run_start",
+              obs::JsonWriter()
+                  .field("mode", sensor_mode_name(cfg_.mode))
+                  .field("traces", static_cast<std::uint64_t>(cfg_.traces))
+                  .field("seed", static_cast<std::uint64_t>(cfg_.seed))
+                  .field("threads", static_cast<std::uint64_t>(1))
+                  .field("compiled", fast)
+                  .field("resumed_from",
+                         static_cast<std::uint64_t>(result.resumed_from)));
+  }
+
+  // Per-trace phase timers only exist when an observer is attached; the
+  // disabled path performs no clock reads inside the loop.
+  const bool timed = ob != nullptr;
+  double kernel_s = 0.0;
+  double cpa_s = 0.0;
+  double ckpt_io_s = 0.0;
+  std::size_t seg_traces = start_t - 1;
+  double seg_time = timed ? obs::monotonic_seconds() : 0.0;
+
   std::vector<double> v;
   std::vector<double> y(sample_times_.size());
   std::vector<std::uint8_t> h;
 
-  for (std::size_t t = 1; t <= cfg_.traces; ++t) {
+  for (std::size_t t = start_t; t <= cfg_.traces; ++t) {
+    const double t0 = timed ? obs::monotonic_seconds() : 0.0;
     crypto::Block pt;
     for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
     const auto enc = setup_.victim().encrypt(pt);
     make_voltages(enc, rng, v);
+    double t1 = 0.0;
     if (fast) {
       read_sensor_fast(plan, v, result.bits_of_interest, rng, y);
+      t1 = timed ? obs::monotonic_seconds() : 0.0;
       cls.add_trace(model.class_value(enc.ciphertext),
                     model.class_bit(enc.ciphertext), y);
     } else {
       read_sensor(v, result.bits_of_interest, rng, y);
+      t1 = timed ? obs::monotonic_seconds() : 0.0;
       model.hypotheses(enc.ciphertext, h);
       engine.add_trace(h, y);
     }
+    if (timed) {
+      const double t2 = obs::monotonic_seconds();
+      kernel_s += t1 - t0;
+      cpa_s += t2 - t1;
+    }
 
     while (next_cp < checkpoints.size() && t == checkpoints[next_cp]) {
+      const double f0 = timed ? obs::monotonic_seconds() : 0.0;
       if (fast) {
         const sca::CpaEngine folded = cls.fold(model.pattern().data());
         result.progress.push_back(
@@ -359,11 +448,118 @@ CampaignResult CpaCampaign::run() {
         result.progress.push_back(
             sca::snapshot_progress(engine, result.correct_guess));
       }
+      if (timed) cpa_s += obs::monotonic_seconds() - f0;
+
+      if (ob != nullptr) {
+        const sca::CpaProgressPoint& p = result.progress.back();
+        const double now = obs::monotonic_seconds();
+        const double seg_rate =
+            now > seg_time
+                ? static_cast<double>(t - seg_traces) / (now - seg_time)
+                : 0.0;
+        ob->metrics().add("slm.campaign.checkpoints_total");
+        ob->metrics().set("slm.campaign.traces_done",
+                          static_cast<double>(t));
+        ob->metrics().set("slm.cpa.best_guess",
+                          static_cast<double>(p.best_guess));
+        ob->metrics().set("slm.cpa.correct_corr", p.correct_corr);
+        ob->metrics().set("slm.cpa.corr_margin",
+                          p.correct_corr - p.best_wrong_corr);
+        ob->metrics().observe("slm.campaign.segment_traces_per_sec",
+                              seg_rate);
+        ob->event(
+            "checkpoint",
+            obs::JsonWriter()
+                .field("traces", static_cast<std::uint64_t>(p.traces))
+                .field("best_guess",
+                       static_cast<std::uint64_t>(p.best_guess))
+                .field("correct_rank",
+                       static_cast<std::uint64_t>(p.correct_rank))
+                .field("correct_corr", p.correct_corr)
+                .field("best_wrong_corr", p.best_wrong_corr)
+                .field("corr_margin", p.correct_corr - p.best_wrong_corr)
+                .field("traces_per_sec", seg_rate)
+                .raw("shard_traces",
+                     "[" + std::to_string(t) + "]"));
+        seg_traces = t;
+        seg_time = now;
+      }
+
+      if (snapshotting) {
+        const double s0 = obs::monotonic_seconds();
+        CampaignCheckpoint ck;
+        ck.seed = cfg_.seed;
+        ck.total_traces = cfg_.traces;
+        ck.mode = static_cast<std::uint32_t>(cfg_.mode);
+        ck.shards = 1;
+        ck.samples = sample_times_.size();
+        ck.target_key_byte = cfg_.target_key_byte;
+        ck.target_bit = cfg_.target_bit;
+        ck.single_bit = cfg_.single_bit;
+        ck.compiled = fast;
+        ck.traces_done = t;
+        CheckpointShard sh;
+        sh.position = t;
+        sh.rng = rng.state();
+        sh.victim = setup_.victim().register_snapshot();
+        sh.has_fence = fence_.has_value();
+        if (fence_) sh.fence_rng = fence_->rng_state();
+        ByteWriter acc;
+        if (fast) {
+          cls.save(acc);
+        } else {
+          engine.save(acc);
+        }
+        sh.accumulator = acc.bytes();
+        ck.shard_state.push_back(std::move(sh));
+        ck.progress = result.progress;
+        const std::size_t bytes = save_checkpoint(cfg_.checkpoint_dir, ck);
+        result.snapshot_path = checkpoint_file(cfg_.checkpoint_dir);
+        const double io = obs::monotonic_seconds() - s0;
+        ckpt_io_s += io;
+        if (ob != nullptr) {
+          ob->metrics().add("slm.checkpoint.snapshots_total");
+          ob->metrics().add("slm.checkpoint.bytes_total",
+                            static_cast<double>(bytes));
+          ob->metrics().observe("slm.checkpoint.write_seconds", io);
+          ob->event("snapshot",
+                    obs::JsonWriter()
+                        .field("traces", static_cast<std::uint64_t>(t))
+                        .field("bytes", static_cast<std::uint64_t>(bytes))
+                        .field("seconds", io)
+                        .field("path", result.snapshot_path));
+        }
+      }
       ++next_cp;
+
+      if (cfg_.halt_after_traces > 0 && t >= cfg_.halt_after_traces) {
+        if (ob != nullptr) {
+          ob->event("halt",
+                    obs::JsonWriter()
+                        .field("traces", static_cast<std::uint64_t>(t))
+                        .field("path", result.snapshot_path));
+        }
+        throw CampaignHalted(t, result.snapshot_path);
+      }
     }
   }
 
-  if (fast) engine = cls.fold(model.pattern().data());
+  if (fast) {
+    const double f0 = timed ? obs::monotonic_seconds() : 0.0;
+    engine = cls.fold(model.pattern().data());
+    if (timed) cpa_s += obs::monotonic_seconds() - f0;
+  }
+
+  result.kernel_seconds = kernel_s;
+  result.cpa_seconds = cpa_s;
+  result.checkpoint_io_seconds = ckpt_io_s;
+  if (ob != nullptr) {
+    ob->metrics().set("slm.campaign.kernel_seconds", kernel_s);
+    ob->metrics().set("slm.campaign.cpa_seconds", cpa_s);
+    ob->metrics().set("slm.campaign.checkpoint_io_seconds", ckpt_io_s);
+    ob->metrics().set("slm.campaign.selection_seconds",
+                      result.selection_seconds);
+  }
 
   if (result.progress.empty() ||
       result.progress.back().traces != engine.trace_count()) {

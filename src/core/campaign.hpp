@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/setup.hpp"
@@ -21,6 +22,10 @@
 #include "sca/tvla.hpp"
 #include "sca/model.hpp"
 #include "sca/mtd.hpp"
+
+namespace slm::obs {
+class CampaignObserver;
+}
 
 namespace slm::core {
 
@@ -80,6 +85,31 @@ struct CampaignConfig {
   bool compiled_kernels = true;
 
   std::uint64_t seed = 0xc0ffee;
+
+  /// Optional observability hook (metrics, spans, JSONL events). Null is
+  /// the documented zero-overhead path: the capture loops only ever test
+  /// this pointer, so the no-observer serial run stays byte-identical to
+  /// the pre-observability code (golden_trace_test enforces it). The
+  /// pointer is borrowed — the caller keeps the observer alive for the
+  /// duration of run().
+  obs::CampaignObserver* observer = nullptr;
+
+  /// Directory for crash-safe snapshots (`<dir>/campaign.ckpt`, written
+  /// atomically at every checkpoint). Empty disables checkpointing.
+  std::string checkpoint_dir;
+
+  /// Resume from `<checkpoint_dir>/campaign.ckpt` when it exists: the
+  /// campaign restores accumulators, RNG stream positions, victim
+  /// register history, and fence streams, then continues bit-exactly as
+  /// if never interrupted. Missing file = fresh start; corrupt file or
+  /// mismatched configuration = loud error.
+  bool resume = false;
+
+  /// Ops/testing knob: after the snapshot at the first checkpoint whose
+  /// trace count is >= this value, throw CampaignHalted — a
+  /// deterministic stand-in for kill -9 (snapshots are atomic, so a real
+  /// kill at any instant leaves the same on-disk state). 0 disables.
+  std::size_t halt_after_traces = 0;
 };
 
 struct CampaignResult {
@@ -104,6 +134,23 @@ struct CampaignResult {
   /// with its worker count and its own timer.
   unsigned threads_used = 0;
   double capture_seconds = 0.0;
+
+  /// Phase-time split, filled only when cfg.observer != nullptr (the
+  /// per-trace timers are observer-gated to keep the disabled path
+  /// untouched). kernel = victim + PDN + sensor capture; cpa =
+  /// accumulate / fold / merge; checkpoint_io = snapshot writes. In
+  /// sharded runs kernel/cpa sum worker-thread time (CPU seconds, not
+  /// wall clock). selection_seconds (the bits-of-interest pre-pass) is
+  /// coarse-grained and always filled.
+  double kernel_seconds = 0.0;
+  double cpa_seconds = 0.0;
+  double checkpoint_io_seconds = 0.0;
+  double selection_seconds = 0.0;
+
+  /// Traces restored from a snapshot (0 = fresh run) and the snapshot
+  /// file last written (empty when checkpointing is off).
+  std::size_t resumed_from = 0;
+  std::string snapshot_path;
 };
 
 class CpaCampaign {

@@ -1,0 +1,118 @@
+// Crash-safe campaign snapshots: everything a CPA campaign needs to
+// continue bit-exactly after a kill — per-shard CPA accumulator sums,
+// RNG stream positions, the victim model's register history, fence
+// noise-stream positions, and the progress curve so far.
+//
+// File format (docs/OBSERVABILITY.md documents it for operators):
+//
+//   magic   "SLMCKPT1"                 8 bytes
+//   version u32                        currently 1; readers reject
+//                                      other versions (no silent
+//                                      migration of attack state)
+//   length  u64                        payload byte count
+//   crc     u32                        CRC-32 of the payload
+//   payload                            header + shards + progress,
+//                                      little-endian, raw IEEE-754
+//                                      doubles (see checkpoint.cpp)
+//
+// Durability contract: snapshots are written to `<dir>/campaign.ckpt`
+// via a temp file + atomic rename, so the file is always either the
+// previous complete snapshot or the new complete snapshot — a kill at
+// any instant (including mid-write) never leaves a torn checkpoint.
+// Corruption (bad magic/version/CRC/truncation) fails loudly on load.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "crypto/aes_datapath.hpp"
+#include "sca/cpa.hpp"
+
+namespace slm::core {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Thrown when a campaign with `halt_after_traces` set reaches that
+/// trace count at a checkpoint: the snapshot is on disk, the process
+/// "dies". The kill-at-checkpoint integration tests and the
+/// `slm attack --halt-after` flag use this to simulate a crash
+/// deterministically; a real kill -9 is equivalent because snapshots
+/// are atomic.
+class CampaignHalted : public Error {
+ public:
+  CampaignHalted(std::size_t traces, std::string snapshot_path)
+      : Error("campaign halted after " + std::to_string(traces) +
+              " traces; snapshot at '" + snapshot_path + "'"),
+        traces_(traces),
+        snapshot_path_(std::move(snapshot_path)) {}
+
+  std::size_t traces() const { return traces_; }
+  const std::string& snapshot_path() const { return snapshot_path_; }
+
+ private:
+  std::size_t traces_;
+  std::string snapshot_path_;
+};
+
+/// One shard's mutable capture state. `accumulator` is the opaque
+/// payload of CpaEngine::save (reference path) or XorClassCpa::save
+/// (compiled path) — the `compiled` header flag says which.
+struct CheckpointShard {
+  std::uint64_t position = 0;  ///< traces this shard has captured
+  std::array<std::uint64_t, 4> rng{};
+  crypto::AesDatapathModel::RegisterSnapshot victim{};
+  bool has_fence = false;
+  std::array<std::uint64_t, 4> fence_rng{};
+  std::vector<std::uint8_t> accumulator;
+};
+
+/// A complete, self-validating campaign snapshot.
+struct CampaignCheckpoint {
+  // Identity block — resume refuses to continue under a different
+  // configuration (seed, budget, sensor mode, shard count, sampling
+  // window, kernel path, CPA target), because the result would silently
+  // differ from the uninterrupted run.
+  std::uint64_t seed = 0;
+  std::uint64_t total_traces = 0;
+  std::uint32_t mode = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t target_key_byte = 0;
+  std::uint64_t target_bit = 0;
+  std::uint64_t single_bit = 0;
+  bool compiled = true;
+
+  std::uint64_t traces_done = 0;
+  std::vector<CheckpointShard> shard_state;
+  std::vector<sca::CpaProgressPoint> progress;
+};
+
+/// `<dir>/campaign.ckpt` — the one live snapshot of a campaign.
+std::string checkpoint_file(const std::string& dir);
+
+/// Serialize + CRC + atomically replace `<dir>/campaign.ckpt`
+/// (creating `dir` if needed). Returns the byte size written.
+std::size_t save_checkpoint(const std::string& dir,
+                            const CampaignCheckpoint& ck);
+
+/// Load and verify `<dir>/campaign.ckpt`. Returns nullopt when the file
+/// does not exist (fresh start); throws slm::Error on bad magic,
+/// version mismatch, CRC failure, or truncation.
+std::optional<CampaignCheckpoint> load_checkpoint(const std::string& dir);
+
+struct CampaignConfig;
+
+/// Refuse to resume under a different configuration: seed, trace budget,
+/// sensor mode, shard count, sample count, CPA target, resolved single
+/// bit, and kernel path must all match the snapshot, or the resumed run
+/// would silently diverge from the uninterrupted one. `cfg.single_bit`
+/// must already be resolved (post resolve_sensor_bits).
+void require_checkpoint_matches(const CampaignCheckpoint& ck,
+                                const CampaignConfig& cfg,
+                                std::uint32_t shards, std::size_t samples);
+
+}  // namespace slm::core

@@ -10,8 +10,12 @@
 #include <thread>
 #include <vector>
 
+#include "common/binio.hpp"
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
+#include "core/checkpoint.hpp"
+#include "obs/observer.hpp"
 #include "sca/model.hpp"
 
 namespace slm::core {
@@ -137,6 +141,7 @@ CampaignResult ParallelCampaign::run() {
 
 CampaignResult ParallelCampaign::run_sharded() {
   CpaCampaign campaign(setup_, cfg_);
+  obs::CampaignObserver* const ob = cfg_.observer;
   CampaignResult result;
   result.mode = cfg_.mode;
   result.sample_times_ns = campaign.sample_times_;
@@ -147,7 +152,16 @@ CampaignResult ParallelCampaign::run_sharded() {
 
   // Selection pre-pass runs serially, exactly as in the serial campaign;
   // it resolves kAutoBit into campaign.cfg_ for read_sensor below.
-  campaign.resolve_sensor_bits(&result);
+  {
+    const auto sel_start = std::chrono::steady_clock::now();
+    std::optional<obs::CampaignObserver::Span> span;
+    if (ob != nullptr) span.emplace(ob->span("selection"));
+    campaign.resolve_sensor_bits(&result);
+    result.selection_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sel_start)
+            .count();
+  }
   result.single_bit = campaign.cfg_.single_bit;
 
   auto schedule = cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)
@@ -184,6 +198,11 @@ CampaignResult ParallelCampaign::run_sharded() {
     std::vector<double> v;
     std::vector<double> y;
     std::vector<std::uint8_t> h;
+    // Observer-gated phase timers, accumulated thread-locally and pushed
+    // into the registry only at checkpoint boundaries (workers never
+    // touch the registry mutex mid-segment).
+    double kernel_s = 0.0;
+    double cpa_s = 0.0;
   };
   std::vector<Shard> shards;
   shards.reserve(T);
@@ -207,43 +226,235 @@ CampaignResult ParallelCampaign::run_sharded() {
     shards.push_back(std::move(sh));
   }
 
+  // Crash-safe resume: restore every shard's accumulator, RNG stream,
+  // victim register history, and fence stream; then drop the checkpoints
+  // the snapshot already recorded. Shard count must match — shard i's
+  // traces depend only on (seed, i), so resuming under a different
+  // --threads would be a different campaign.
+  std::size_t traces_done = 0;
+  const bool snapshotting = !cfg_.checkpoint_dir.empty();
+  if (cfg_.resume && snapshotting) {
+    if (auto ck = load_checkpoint(cfg_.checkpoint_dir)) {
+      require_checkpoint_matches(*ck, campaign.cfg_, T, samples);
+      for (unsigned i = 0; i < T; ++i) {
+        const CheckpointShard& cs = ck->shard_state[i];
+        Shard& sh = shards[i];
+        SLM_REQUIRE(cs.has_fence == sh.fence.has_value(),
+                    "resume: fence configuration differs from snapshot");
+        sh.position = static_cast<std::size_t>(cs.position);
+        sh.rng.set_state(cs.rng);
+        sh.victim.restore_registers(cs.victim);
+        if (sh.fence) sh.fence->set_rng_state(cs.fence_rng);
+        ByteReader acc(cs.accumulator.data(), cs.accumulator.size());
+        if (fast) {
+          sh.cls.load(acc);
+        } else {
+          sh.engine.load(acc);
+        }
+        SLM_REQUIRE(acc.done(), "resume: trailing accumulator bytes");
+      }
+      result.progress = ck->progress;
+      traces_done = static_cast<std::size_t>(ck->traces_done);
+      result.resumed_from = traces_done;
+      checkpoints.erase(
+          std::remove_if(checkpoints.begin(), checkpoints.end(),
+                         [&](std::size_t c) { return c <= traces_done; }),
+          checkpoints.end());
+      log_info() << "campaign: resumed from "
+                 << checkpoint_file(cfg_.checkpoint_dir) << " at trace "
+                 << traces_done << "/" << cfg_.traces << " across " << T
+                 << " shards";
+      if (ob != nullptr) {
+        ob->metrics().add("slm.checkpoint.resumes_total");
+        ob->event("resume",
+                  obs::JsonWriter()
+                      .field("traces_done",
+                             static_cast<std::uint64_t>(traces_done))
+                      .field("shards", static_cast<std::uint64_t>(T))
+                      .field("path", checkpoint_file(cfg_.checkpoint_dir)));
+      }
+    }
+  }
+
+  if (ob != nullptr) {
+    ob->metrics().set("slm.campaign.traces_target",
+                      static_cast<double>(cfg_.traces));
+    ob->event("run_start",
+              obs::JsonWriter()
+                  .field("mode", sensor_mode_name(cfg_.mode))
+                  .field("traces", static_cast<std::uint64_t>(cfg_.traces))
+                  .field("seed", static_cast<std::uint64_t>(cfg_.seed))
+                  .field("threads", static_cast<std::uint64_t>(T))
+                  .field("compiled", fast)
+                  .field("resumed_from",
+                         static_cast<std::uint64_t>(result.resumed_from)));
+  }
+
+  const bool timed = ob != nullptr;
+  double ckpt_io_s = 0.0;
+  std::size_t seg_traces = traces_done;
+  double seg_time = timed ? obs::monotonic_seconds() : 0.0;
+
   ThreadPool pool(T);
   sca::CpaEngine merged(256, samples);
   for (std::size_t cp : checkpoints) {
-    pool.run_indexed(T, [&](std::size_t i) {
-      Shard& sh = shards[i];
-      const std::size_t target = shard_quota(cp, i, T);
-      for (; sh.position < target; ++sh.position) {
-        crypto::Block pt;
-        for (auto& b : pt) b = static_cast<std::uint8_t>(sh.rng.next());
-        const auto enc = sh.victim.encrypt(pt);
-        campaign.make_voltages(enc, sh.rng, sh.v,
-                               sh.fence ? &*sh.fence : nullptr);
-        if (fast) {
-          campaign.read_sensor_fast(plan, sh.v, result.bits_of_interest,
-                                    sh.rng, sh.y);
-          sh.cls.add_trace(model.class_value(enc.ciphertext),
-                           model.class_bit(enc.ciphertext), sh.y);
-        } else {
-          campaign.read_sensor(sh.v, result.bits_of_interest, sh.rng, sh.y);
-          model.hypotheses(enc.ciphertext, sh.h);
-          sh.engine.add_trace(sh.h, sh.y);
+    {
+      std::optional<obs::CampaignObserver::Span> capture_span;
+      if (ob != nullptr) capture_span.emplace(ob->span("capture"));
+      pool.run_indexed(T, [&](std::size_t i) {
+        Shard& sh = shards[i];
+        const std::size_t target = shard_quota(cp, i, T);
+        for (; sh.position < target; ++sh.position) {
+          const double t0 = timed ? obs::monotonic_seconds() : 0.0;
+          crypto::Block pt;
+          for (auto& b : pt) b = static_cast<std::uint8_t>(sh.rng.next());
+          const auto enc = sh.victim.encrypt(pt);
+          campaign.make_voltages(enc, sh.rng, sh.v,
+                                 sh.fence ? &*sh.fence : nullptr);
+          double t1 = 0.0;
+          if (fast) {
+            campaign.read_sensor_fast(plan, sh.v, result.bits_of_interest,
+                                      sh.rng, sh.y);
+            t1 = timed ? obs::monotonic_seconds() : 0.0;
+            sh.cls.add_trace(model.class_value(enc.ciphertext),
+                             model.class_bit(enc.ciphertext), sh.y);
+          } else {
+            campaign.read_sensor(sh.v, result.bits_of_interest, sh.rng,
+                                 sh.y);
+            t1 = timed ? obs::monotonic_seconds() : 0.0;
+            model.hypotheses(enc.ciphertext, sh.h);
+            sh.engine.add_trace(sh.h, sh.y);
+          }
+          if (timed) {
+            const double t2 = obs::monotonic_seconds();
+            sh.kernel_s += t1 - t0;
+            sh.cpa_s += t2 - t1;
+          }
         }
-      }
-    });
+      });
+    }
     // Re-merge from scratch in fixed shard order: deterministic and,
     // because sensor readings are integer-valued, bit-exact vs. any
     // other summation order.
-    if (fast) {
-      sca::XorClassCpa merged_cls(samples);
-      for (const Shard& sh : shards) merged_cls.merge(sh.cls);
-      merged = merged_cls.fold(model.pattern().data());
-    } else {
-      merged = sca::CpaEngine(256, samples);
-      for (const Shard& sh : shards) merged.merge(sh.engine);
+    {
+      std::optional<obs::CampaignObserver::Span> merge_span;
+      if (ob != nullptr) merge_span.emplace(ob->span("merge"));
+      const double m0 = timed ? obs::monotonic_seconds() : 0.0;
+      if (fast) {
+        sca::XorClassCpa merged_cls(samples);
+        for (const Shard& sh : shards) merged_cls.merge(sh.cls);
+        merged = merged_cls.fold(model.pattern().data());
+      } else {
+        merged = sca::CpaEngine(256, samples);
+        for (const Shard& sh : shards) merged.merge(sh.engine);
+      }
+      if (timed && !shards.empty()) {
+        // Book merge/fold time against the CPA phase of shard 0 so the
+        // final sum over shards counts it exactly once.
+        shards[0].cpa_s += obs::monotonic_seconds() - m0;
+      }
     }
     result.progress.push_back(
         sca::snapshot_progress(merged, result.correct_guess));
+
+    if (ob != nullptr) {
+      const sca::CpaProgressPoint& p = result.progress.back();
+      const double now = obs::monotonic_seconds();
+      const double seg_rate =
+          now > seg_time
+              ? static_cast<double>(cp - seg_traces) / (now - seg_time)
+              : 0.0;
+      ob->metrics().add("slm.campaign.checkpoints_total");
+      ob->metrics().set("slm.campaign.traces_done", static_cast<double>(cp));
+      ob->metrics().set("slm.cpa.best_guess",
+                        static_cast<double>(p.best_guess));
+      ob->metrics().set("slm.cpa.correct_corr", p.correct_corr);
+      ob->metrics().set("slm.cpa.corr_margin",
+                        p.correct_corr - p.best_wrong_corr);
+      ob->metrics().observe("slm.campaign.segment_traces_per_sec", seg_rate);
+      std::string shard_traces = "[";
+      for (unsigned i = 0; i < T; ++i) {
+        if (i > 0) shard_traces += ',';
+        shard_traces += std::to_string(shards[i].position);
+      }
+      shard_traces += ']';
+      ob->event("checkpoint",
+                obs::JsonWriter()
+                    .field("traces", static_cast<std::uint64_t>(p.traces))
+                    .field("best_guess",
+                           static_cast<std::uint64_t>(p.best_guess))
+                    .field("correct_rank",
+                           static_cast<std::uint64_t>(p.correct_rank))
+                    .field("correct_corr", p.correct_corr)
+                    .field("best_wrong_corr", p.best_wrong_corr)
+                    .field("corr_margin", p.correct_corr - p.best_wrong_corr)
+                    .field("traces_per_sec", seg_rate)
+                    .raw("shard_traces", shard_traces));
+      seg_traces = cp;
+      seg_time = now;
+    }
+
+    if (snapshotting) {
+      std::optional<obs::CampaignObserver::Span> ckpt_span;
+      if (ob != nullptr) ckpt_span.emplace(ob->span("checkpoint"));
+      const double s0 = obs::monotonic_seconds();
+      CampaignCheckpoint ck;
+      ck.seed = cfg_.seed;
+      ck.total_traces = cfg_.traces;
+      ck.mode = static_cast<std::uint32_t>(cfg_.mode);
+      ck.shards = T;
+      ck.samples = samples;
+      ck.target_key_byte = cfg_.target_key_byte;
+      ck.target_bit = cfg_.target_bit;
+      ck.single_bit = campaign.cfg_.single_bit;
+      ck.compiled = fast;
+      ck.traces_done = cp;
+      ck.shard_state.reserve(T);
+      for (unsigned i = 0; i < T; ++i) {
+        const Shard& sh = shards[i];
+        CheckpointShard cs;
+        cs.position = sh.position;
+        cs.rng = sh.rng.state();
+        cs.victim = sh.victim.register_snapshot();
+        cs.has_fence = sh.fence.has_value();
+        if (sh.fence) cs.fence_rng = sh.fence->rng_state();
+        ByteWriter acc;
+        if (fast) {
+          sh.cls.save(acc);
+        } else {
+          sh.engine.save(acc);
+        }
+        cs.accumulator = acc.bytes();
+        ck.shard_state.push_back(std::move(cs));
+      }
+      ck.progress = result.progress;
+      const std::size_t bytes = save_checkpoint(cfg_.checkpoint_dir, ck);
+      result.snapshot_path = checkpoint_file(cfg_.checkpoint_dir);
+      const double io = obs::monotonic_seconds() - s0;
+      ckpt_io_s += io;
+      if (ob != nullptr) {
+        ob->metrics().add("slm.checkpoint.snapshots_total");
+        ob->metrics().add("slm.checkpoint.bytes_total",
+                          static_cast<double>(bytes));
+        ob->metrics().observe("slm.checkpoint.write_seconds", io);
+        ob->event("snapshot",
+                  obs::JsonWriter()
+                      .field("traces", static_cast<std::uint64_t>(cp))
+                      .field("bytes", static_cast<std::uint64_t>(bytes))
+                      .field("seconds", io)
+                      .field("path", result.snapshot_path));
+      }
+    }
+
+    if (cfg_.halt_after_traces > 0 && cp >= cfg_.halt_after_traces) {
+      if (ob != nullptr) {
+        ob->event("halt",
+                  obs::JsonWriter()
+                      .field("traces", static_cast<std::uint64_t>(cp))
+                      .field("path", result.snapshot_path));
+      }
+      throw CampaignHalted(cp, result.snapshot_path);
+    }
   }
 
   result.traces_run = merged.trace_count();
@@ -251,6 +462,18 @@ CampaignResult ParallelCampaign::run_sharded() {
   result.recovered_guess = static_cast<std::uint8_t>(merged.best_guess());
   result.key_recovered = result.recovered_guess == result.correct_guess;
   result.mtd = sca::estimate_mtd(result.progress);
+  result.checkpoint_io_seconds = ckpt_io_s;
+  for (const Shard& sh : shards) {
+    result.kernel_seconds += sh.kernel_s;
+    result.cpa_seconds += sh.cpa_s;
+  }
+  if (ob != nullptr) {
+    ob->metrics().set("slm.campaign.kernel_seconds", result.kernel_seconds);
+    ob->metrics().set("slm.campaign.cpa_seconds", result.cpa_seconds);
+    ob->metrics().set("slm.campaign.checkpoint_io_seconds", ckpt_io_s);
+    ob->metrics().set("slm.campaign.selection_seconds",
+                      result.selection_seconds);
+  }
   return result;
 }
 

@@ -40,6 +40,13 @@ class ActiveFence {
 
   const ActiveFenceConfig& config() const { return cfg_; }
 
+  /// Fence noise-stream position, snapshotted by campaign checkpoints so
+  /// a resumed run draws the identical randomised current sequence.
+  std::array<std::uint64_t, 4> rng_state() const { return rng_.state(); }
+  void set_rng_state(const std::array<std::uint64_t, 4>& s) {
+    rng_.set_state(s);
+  }
+
  private:
   ActiveFenceConfig cfg_;
   Xoshiro256 rng_;

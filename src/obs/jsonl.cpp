@@ -1,0 +1,112 @@
+#include "obs/jsonl.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace slm::obs {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += escape(k);
+  body_ += "\":";
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::string_view v) {
+  key(k);
+  body_ += '"';
+  body_ += escape(v);
+  body_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, const char* v) {
+  return field(k, std::string_view(v));
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, double v) {
+  key(k);
+  if (std::isfinite(v)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    body_ += buf;
+  } else {
+    body_ += "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::uint64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, std::int64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view k, std::string_view json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : path_(path), out_(path, std::ios::app) {
+  if (!out_) throw Error("JsonlSink: cannot open '" + path + "' for append");
+}
+
+void JsonlSink::write(const JsonWriter& event) { write_line(event.str()); }
+
+void JsonlSink::write_line(const std::string& json) {
+  std::lock_guard<std::mutex> g(m_);
+  out_ << json << '\n';
+  out_.flush();
+  ++lines_;
+}
+
+}  // namespace slm::obs

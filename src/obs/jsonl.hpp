@@ -1,0 +1,62 @@
+// Minimal JSON-object builder and append-only JSONL sink.
+//
+// Every campaign event is one self-contained JSON object per line
+// (JSON Lines), so `jq`, `grep`, or a tail -f dashboard can consume a
+// run in flight. The schema is catalogued in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace slm::obs {
+
+/// Builds one flat-or-nested JSON object. Append-only; the caller is
+/// responsible for key uniqueness (events use fixed schemas).
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, bool value);
+  /// Pre-serialized JSON (nested object/array) — inserted verbatim.
+  JsonWriter& raw(std::string_view key, std::string_view json);
+
+  /// The finished object, e.g. {"a":1,"b":"x"}.
+  std::string str() const { return body_.empty() ? "{}" : "{" + body_ + "}"; }
+
+  static std::string escape(std::string_view s);
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// Append-only JSONL file sink; thread-safe, line-buffered (flushes per
+/// event so a killed campaign's stream is still readable up to the last
+/// checkpoint — the durability counterpart of the snapshot files).
+class JsonlSink {
+ public:
+  /// Opens `path` for append. Throws slm::Error if the file cannot be
+  /// opened.
+  explicit JsonlSink(const std::string& path);
+
+  /// Writes one JSON object as a line.
+  void write(const JsonWriter& event);
+  void write_line(const std::string& json);
+
+  const std::string& path() const { return path_; }
+  std::size_t lines_written() const { return lines_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::mutex m_;
+  std::size_t lines_ = 0;
+};
+
+}  // namespace slm::obs

@@ -1,0 +1,206 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace slm::obs {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN -> zero bucket
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant in [0.5,1)
+  if (exp <= kMinExp) return 1;
+  if (exp > kMaxExp) return kBuckets - 1;
+  // Sub-bucket from the mantissa: [0.5, 1) split into 2^kSubBits slots.
+  const int sub = static_cast<int>((mant - 0.5) * 2.0 * (1 << kSubBits));
+  return 1 + (exp - 1 - kMinExp) * (1 << kSubBits) + sub;
+}
+
+double Histogram::bucket_lower_edge(int idx) {
+  if (idx <= 0) return 0.0;
+  if (idx >= kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const int rel = idx - 1;
+  const int exp = kMinExp + rel / (1 << kSubBits);
+  const int sub = rel % (1 << kSubBits);
+  const double mant = 0.5 + 0.5 * static_cast<double>(sub) / (1 << kSubBits);
+  return std::ldexp(mant, exp + 1);
+}
+
+void Histogram::record(double value) {
+  buckets_[static_cast<std::size_t>(bucket_of(value))] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based; ceil so p100 = max bucket.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= target) return bucket_lower_edge(i);
+  }
+  return max_;
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void MetricsRegistry::add(const std::string& name, double delta) {
+  std::lock_guard<std::mutex> g(m_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> g(m_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> g(m_);
+  histograms_[name].record(value);
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> g(m_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> g(m_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+HistogramStats MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> g(m_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramStats{} : it->second.stats();
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::lock_guard<std::mutex> g(m_);
+  std::vector<std::string> out;
+  out.reserve(counters_.size());
+  for (const auto& [k, v] : counters_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  std::lock_guard<std::mutex> g(m_);
+  std::vector<std::string> out;
+  out.reserve(gauges_.size());
+  for (const auto& [k, v] : gauges_) out.push_back(k);
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  std::lock_guard<std::mutex> g(m_);
+  std::vector<std::string> out;
+  out.reserve(histograms_.size());
+  for (const auto& [k, v] : histograms_) out.push_back(k);
+  return out;
+}
+
+namespace {
+
+void append_number(std::ostringstream& os, double v) {
+  // JSON has no inf/nan; clamp to null which every consumer tolerates.
+  if (std::isfinite(v)) {
+    os.precision(12);
+    os << v;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> g(m_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters_) {
+    os << (first ? "" : ",") << "\"" << k << "\":";
+    append_number(os, v);
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges_) {
+    os << (first ? "" : ",") << "\"" << k << "\":";
+    append_number(os, v);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : histograms_) {
+    const HistogramStats s = h.stats();
+    os << (first ? "" : ",") << "\"" << k << "\":{\"count\":" << s.count
+       << ",\"sum\":";
+    append_number(os, s.sum);
+    os << ",\"min\":";
+    append_number(os, s.min);
+    os << ",\"max\":";
+    append_number(os, s.max);
+    os << ",\"p50\":";
+    append_number(os, s.p50);
+    os << ",\"p95\":";
+    append_number(os, s.p95);
+    os << ",\"p99\":";
+    append_number(os, s.p99);
+    os << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry, std::string name)
+    : registry_(registry),
+      name_(std::move(name)),
+      start_ns_(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+double ScopedTimer::elapsed_seconds() const {
+  const auto now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return static_cast<double>(now - start_ns_) * 1e-9;
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ != nullptr) registry_->observe(name_, elapsed_seconds());
+}
+
+}  // namespace slm::obs

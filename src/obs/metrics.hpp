@@ -1,0 +1,128 @@
+// Campaign metrics: counters, gauges, and log-linear histograms with
+// quantile summaries — the numbers behind the JSONL event stream and the
+// BENCH_*.json metrics block.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+//   * zero overhead when disabled: the registry only exists when an
+//     observer is attached; campaign hot loops never touch it otherwise;
+//   * cheap when enabled: one mutex-guarded hash lookup per update, and
+//     the sharded campaign batches per-shard totals so workers touch the
+//     registry only at checkpoint boundaries;
+//   * bounded memory: histograms bucket on a log-linear grid (16 sub-
+//     buckets per power of two) instead of storing samples, so a
+//     500k-trace campaign's per-trace timer stays a few KiB.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slm::obs {
+
+/// Summary of a histogram at read time. Quantiles are bucket lower
+/// edges of the log-linear grid (<= ~4.5% relative error by
+/// construction); count/sum/min/max are exact.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Log-linear bucket histogram for non-negative values (timer seconds,
+/// byte counts). Values spanning 2^-31 .. 2^32 land in dedicated
+/// buckets; anything outside clamps to the edge buckets.
+class Histogram {
+ public:
+  Histogram();
+
+  void record(double value);
+  HistogramStats stats() const;
+  std::uint64_t count() const { return count_; }
+
+  /// Value at quantile q in [0, 1]: lower edge of the bucket holding the
+  /// q-th sample (0 if empty).
+  double quantile(double q) const;
+
+ private:
+  static constexpr int kSubBits = 4;               // 16 sub-buckets / octave
+  static constexpr int kMinExp = -31;              // 2^-31 ~ 0.5 ns
+  static constexpr int kMaxExp = 32;               // 2^32 s ~ forever
+  static constexpr int kBuckets =
+      (kMaxExp - kMinExp) * (1 << kSubBits) + 2;   // + zero & overflow
+
+  static int bucket_of(double v);
+  static double bucket_lower_edge(int idx);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics, one namespace per campaign run. Thread-safe: sharded
+/// campaigns update it from worker threads at checkpoint boundaries.
+/// Metric names follow the `slm.<area>.<name>` convention catalogued in
+/// docs/OBSERVABILITY.md.
+class MetricsRegistry {
+ public:
+  /// Monotonic counter (default delta 1).
+  void add(const std::string& name, double delta = 1.0);
+
+  /// Last-write-wins gauge.
+  void set(const std::string& name, double value);
+
+  /// Histogram / timer observation (seconds, bytes, ...).
+  void observe(const std::string& name, double value);
+
+  double counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  HistogramStats histogram(const std::string& name) const;
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// The whole registry as one JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,...}}}
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// RAII timer: records elapsed seconds into a registry histogram on
+/// destruction. Null registry = inert (the zero-overhead-when-disabled
+/// idiom used by core).
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds since construction (also what gets recorded).
+  double elapsed_seconds() const;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::uint64_t start_ns_;
+};
+
+/// Monotonic wall clock in seconds (steady_clock), shared by timers and
+/// the JSONL event timestamps.
+double monotonic_seconds();
+
+}  // namespace slm::obs

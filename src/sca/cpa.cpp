@@ -91,6 +91,32 @@ std::size_t CpaEngine::rank_of(std::size_t guess) const {
   return rank;
 }
 
+void CpaEngine::save(ByteWriter& out) const {
+  out.put_u64(guesses_);
+  out.put_u64(samples_);
+  out.put_u64(n_);
+  out.put_f64_vector(sum_y_);
+  out.put_f64_vector(sum_yy_);
+  out.put_f64_vector(sum_h_);
+  out.put_f64_vector(sum_hy_);
+}
+
+void CpaEngine::load(ByteReader& in) {
+  const std::uint64_t guesses = in.get_u64();
+  const std::uint64_t samples = in.get_u64();
+  SLM_REQUIRE(guesses == guesses_ && samples == samples_,
+              "CpaEngine::load: dimension mismatch");
+  n_ = in.get_u64();
+  sum_y_ = in.get_f64_vector();
+  sum_yy_ = in.get_f64_vector();
+  sum_h_ = in.get_f64_vector();
+  sum_hy_ = in.get_f64_vector();
+  SLM_REQUIRE(sum_y_.size() == samples_ && sum_yy_.size() == samples_ &&
+                  sum_h_.size() == guesses_ &&
+                  sum_hy_.size() == guesses_ * samples_,
+              "CpaEngine::load: corrupt payload");
+}
+
 XorClassCpa::XorClassCpa(std::size_t sample_count)
     : samples_(sample_count),
       sum_y_(sample_count, 0.0),
@@ -149,6 +175,29 @@ CpaEngine XorClassCpa::fold(const std::uint8_t* pattern256) const {
     e.sum_h_[k] = sh;
   }
   return e;
+}
+
+void XorClassCpa::save(ByteWriter& out) const {
+  out.put_u64(samples_);
+  out.put_u64(n_);
+  out.put_f64_vector(sum_y_);
+  out.put_f64_vector(sum_yy_);
+  out.put_f64_vector(class_n_);
+  out.put_f64_vector(class_y_);
+}
+
+void XorClassCpa::load(ByteReader& in) {
+  const std::uint64_t samples = in.get_u64();
+  SLM_REQUIRE(samples == samples_, "XorClassCpa::load: dimension mismatch");
+  n_ = in.get_u64();
+  sum_y_ = in.get_f64_vector();
+  sum_yy_ = in.get_f64_vector();
+  class_n_ = in.get_f64_vector();
+  class_y_ = in.get_f64_vector();
+  SLM_REQUIRE(sum_y_.size() == samples_ && sum_yy_.size() == samples_ &&
+                  class_n_.size() == kClasses &&
+                  class_y_.size() == kClasses * samples_,
+              "XorClassCpa::load: corrupt payload");
 }
 
 CpaProgressPoint snapshot_progress(const CpaEngine& engine,

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/binio.hpp"
+
 namespace slm::sca {
 
 class CpaEngine {
@@ -42,6 +44,13 @@ class CpaEngine {
 
   /// Rank of a guess under max-abs correlation (0 = best).
   std::size_t rank_of(std::size_t guess) const;
+
+  /// Serialize / restore the running sums bit-exactly (raw IEEE-754
+  /// doubles). load() requires matching dimensions — checkpoints carry
+  /// them in their header — and makes this engine indistinguishable
+  /// from the one that was saved. Used by core/checkpoint.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
 
  private:
   friend class XorClassCpa;  // fold() reconstructs the sums directly
@@ -89,6 +98,10 @@ class XorClassCpa {
   /// Expand into a full 256-guess CpaEngine under the given 256-entry
   /// 0/1 pattern table.
   CpaEngine fold(const std::uint8_t* pattern256) const;
+
+  /// Bit-exact checkpoint serialization, mirror of CpaEngine::save/load.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
 
  private:
   static constexpr std::size_t kClasses = 512;  // (v << 1) | b

@@ -1,0 +1,236 @@
+// Unit tests for the observability subsystem: metrics registry,
+// log-linear histogram quantiles, JSON writer escaping, the JSONL sink,
+// observer spans/events, and the campaign event stream end to end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/campaign.hpp"
+#include "core/setup.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+
+namespace slm::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(HistogramTest, EmptyStatsAreZero) {
+  Histogram h;
+  const auto s = h.stats();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactFieldsAndQuantileTolerance) {
+  Histogram h;
+  double sum = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    const double v = static_cast<double>(i) * 1e-3;  // 1ms .. 1s
+    h.record(v);
+    sum += v;
+  }
+  const auto s = h.stats();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.sum, sum);
+  EXPECT_DOUBLE_EQ(s.min, 1e-3);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  // Log-linear buckets (16 per octave): quantiles are bucket lower
+  // edges, so they sit within ~4.5% below the true value.
+  EXPECT_GT(s.p50, 0.50 * 0.90);
+  EXPECT_LE(s.p50, 0.50 * 1.01);
+  EXPECT_GT(s.p95, 0.95 * 0.90);
+  EXPECT_LE(s.p95, 0.95 * 1.01);
+  EXPECT_GT(s.p99, 0.99 * 0.90);
+  EXPECT_LE(s.p99, 0.99 * 1.01);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(HistogramTest, ZeroAndHugeValuesClampToEdgeBuckets) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-1.0);   // clamps into the zero bucket
+  h.record(1e300);  // clamps into the overflow bucket
+  const auto s = h.stats();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_GT(h.quantile(1.0), 1e9);
+}
+
+TEST(MetricsRegistryTest, CountersGaugesHistograms) {
+  MetricsRegistry reg;
+  reg.add("slm.test.count");
+  reg.add("slm.test.count", 4.0);
+  reg.set("slm.test.gauge", 2.5);
+  reg.set("slm.test.gauge", 7.5);  // last write wins
+  reg.observe("slm.test.timer", 0.25);
+  reg.observe("slm.test.timer", 0.75);
+
+  EXPECT_DOUBLE_EQ(reg.counter("slm.test.count"), 5.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("slm.test.gauge"), 7.5);
+  EXPECT_DOUBLE_EQ(reg.counter("slm.test.absent"), 0.0);
+  const auto hs = reg.histogram("slm.test.timer");
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_DOUBLE_EQ(hs.sum, 1.0);
+
+  EXPECT_EQ(reg.counter_names(),
+            std::vector<std::string>{"slm.test.count"});
+  EXPECT_EQ(reg.gauge_names(), std::vector<std::string>{"slm.test.gauge"});
+  EXPECT_EQ(reg.histogram_names(),
+            std::vector<std::string>{"slm.test.timer"});
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"slm.test.count\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(ScopedTimerTest, RecordsIntoRegistryAndNullIsInert) {
+  MetricsRegistry reg;
+  {
+    ScopedTimer t(&reg, "slm.test.scope_seconds");
+    EXPECT_GE(t.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(reg.histogram("slm.test.scope_seconds").count, 1u);
+  { ScopedTimer inert(nullptr, "never"); }  // must not crash
+}
+
+TEST(JsonWriterTest, TypesAndEscaping) {
+  JsonWriter w;
+  w.field("s", std::string_view("a\"b\\c\n\t"))
+      .field("d", 1.5)
+      .field("u", static_cast<std::uint64_t>(42))
+      .field("i", static_cast<std::int64_t>(-7))
+      .field("b", true)
+      .raw("nested", "{\"x\":1}");
+  const std::string json = w.str();
+  EXPECT_EQ(json,
+            "{\"s\":\"a\\\"b\\\\c\\n\\t\",\"d\":1.5,\"u\":42,\"i\":-7,"
+            "\"b\":true,\"nested\":{\"x\":1}}");
+  EXPECT_EQ(JsonWriter().str(), "{}");
+  // Control characters escape as \u00XX.
+  EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonlSinkTest, AppendsOneObjectPerLine) {
+  const std::string path = temp_path("jsonl_sink_test.jsonl");
+  std::remove(path.c_str());
+  {
+    JsonlSink sink(path);
+    sink.write(JsonWriter().field("n", static_cast<std::uint64_t>(1)));
+    sink.write(JsonWriter().field("n", static_cast<std::uint64_t>(2)));
+    EXPECT_EQ(sink.lines_written(), 2u);
+    EXPECT_EQ(sink.path(), path);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "{\"n\":1}");
+  EXPECT_EQ(lines[1], "{\"n\":2}");
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSinkTest, UnopenablePathThrows) {
+  EXPECT_THROW(JsonlSink("/nonexistent-dir-xyz/out.jsonl"), slm::Error);
+}
+
+TEST(CampaignObserverTest, MetricsOnlyObserverHasNoSink) {
+  CampaignObserver ob;
+  EXPECT_FALSE(ob.has_sink());
+  ob.event("ignored", JsonWriter().field("k", std::string_view("v")));
+  ob.metrics().add("slm.test.events");
+  EXPECT_DOUBLE_EQ(ob.metrics().counter("slm.test.events"), 1.0);
+}
+
+TEST(CampaignObserverTest, EventEnvelopeSpanAndManifest) {
+  const std::string path = temp_path("observer_test.jsonl");
+  std::remove(path.c_str());
+  {
+    CampaignObserver ob(path);
+    ASSERT_TRUE(ob.has_sink());
+    ob.event("hello", JsonWriter().field("x", static_cast<std::uint64_t>(9)));
+    { auto span = ob.span("phase_a"); }
+    ob.write_manifest(JsonWriter().field("ok", true));
+    EXPECT_EQ(ob.metrics().histogram("slm.span.phase_a_seconds").count, 1u);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].find("{\"ev\":\"hello\",\"ts\":"), 0u);
+  EXPECT_NE(lines[0].find("\"x\":9"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ev\":\"span\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"phase_a\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ev\":\"run_end\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ok\":true"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// End-to-end: a small campaign under an observer emits the documented
+// event stream and fills the phase-time split, without changing results
+// vs the no-observer run (the zero-overhead contract's flip side).
+TEST(CampaignObserverTest, CampaignEmitsEventStreamAndIdenticalResults) {
+  const std::string path = temp_path("campaign_events_test.jsonl");
+  std::remove(path.c_str());
+
+  core::CampaignConfig cfg;
+  cfg.mode = core::SensorMode::kTdcFull;
+  cfg.traces = 300;
+  cfg.checkpoints = {100, 300};
+  cfg.selection_traces = 100;
+
+  core::AttackSetup plain_setup(core::BenignCircuit::kAlu,
+                                core::Calibration::paper_defaults());
+  core::CpaCampaign plain(plain_setup, cfg);
+  const auto baseline = plain.run();
+  EXPECT_EQ(baseline.kernel_seconds, 0.0);  // no observer, no timers
+
+  CampaignObserver ob(path);
+  cfg.observer = &ob;
+  core::AttackSetup obs_setup(core::BenignCircuit::kAlu,
+                              core::Calibration::paper_defaults());
+  core::CpaCampaign observed(obs_setup, cfg);
+  const auto r = observed.run();
+
+  EXPECT_EQ(r.final_max_abs_corr, baseline.final_max_abs_corr);
+  EXPECT_EQ(r.recovered_guess, baseline.recovered_guess);
+  EXPECT_GT(r.kernel_seconds, 0.0);
+  EXPECT_GT(r.cpa_seconds, 0.0);
+
+  EXPECT_DOUBLE_EQ(ob.metrics().counter("slm.campaign.checkpoints_total"),
+                   2.0);
+  EXPECT_DOUBLE_EQ(ob.metrics().gauge("slm.campaign.traces_done"), 300.0);
+  EXPECT_EQ(
+      ob.metrics().histogram("slm.campaign.segment_traces_per_sec").count,
+      2u);
+
+  std::ostringstream all;
+  for (const auto& line : read_lines(path)) all << line << "\n";
+  const std::string stream = all.str();
+  EXPECT_NE(stream.find("\"ev\":\"run_start\""), std::string::npos);
+  EXPECT_NE(stream.find("\"ev\":\"checkpoint\""), std::string::npos);
+  EXPECT_NE(stream.find("\"ev\":\"span\""), std::string::npos);
+  EXPECT_NE(stream.find("\"traces_per_sec\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace slm::obs

@@ -1,17 +1,21 @@
 # Docs-vs-code consistency check, run as a ctest entry (docs_references).
 #
-# Fails when README.md / docs/BENCHMARKS.md / EXPERIMENTS.md reference a
-# bench binary that no longer has a source file, or when BENCHMARKS.md
-# documents a command-line flag or SLM_* knob that no source mentions —
-# so renaming a bench or dropping a flag without updating the docs
-# breaks the build, not the reader.
+# Fails when README.md / docs/BENCHMARKS.md / docs/OBSERVABILITY.md /
+# docs/ARCHITECTURE.md / EXPERIMENTS.md reference a bench binary that no
+# longer has a source file, when a documented command-line flag or SLM_*
+# knob is gone from the sources, or when OBSERVABILITY.md catalogs an
+# `slm.` metric name that no source emits — so renaming a bench,
+# dropping a flag, or renaming a metric without updating the docs breaks
+# the build, not the reader.
 #
 # Usage: cmake -DREPO=<source root> -P check_docs.cmake
 
 file(READ ${REPO}/README.md readme)
 file(READ ${REPO}/docs/BENCHMARKS.md benchdoc)
+file(READ ${REPO}/docs/OBSERVABILITY.md obsdoc)
+file(READ ${REPO}/docs/ARCHITECTURE.md archdoc)
 file(READ ${REPO}/EXPERIMENTS.md experiments)
-set(docs "${readme}\n${benchdoc}\n${experiments}")
+set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${experiments}")
 
 set(errors "")
 
@@ -30,37 +34,64 @@ foreach(b ${doc_benches})
   endif()
 endforeach()
 
-# 2. Every --flag documented in BENCHMARKS.md must appear literally in
-#    the CLI, the bench scaffolding, or an example.
+# 2. Every --flag documented in BENCHMARKS.md or OBSERVABILITY.md must
+#    appear literally in the CLI, the bench scaffolding, or an example.
 set(flag_sources "")
 foreach(src tools/slm_cli.cpp bench/bench_util.hpp
         examples/full_key_recovery.cpp)
   file(READ ${REPO}/${src} one)
   string(APPEND flag_sources "${one}\n")
 endforeach()
-string(REGEX MATCHALL "--[a-z][a-z0-9-]+" doc_flags "${benchdoc}")
+string(REGEX MATCHALL "--[a-z][a-z0-9-]+" doc_flags "${benchdoc}\n${obsdoc}")
 list(REMOVE_DUPLICATES doc_flags)
 foreach(f ${doc_flags})
   string(FIND "${flag_sources}" "${f}" pos)
   if(pos EQUAL -1)
-    string(APPEND errors "BENCHMARKS.md documents flag '${f}' but no source mentions it\n")
+    string(APPEND errors "docs document flag '${f}' but no source mentions it\n")
   endif()
 endforeach()
 
-# 3. Every SLM_* knob documented in README or BENCHMARKS.md must appear
-#    in the bench scaffolding or the build system.
+# 3. Every SLM_* knob documented in README, BENCHMARKS, OBSERVABILITY,
+#    or ARCHITECTURE must appear in the sources or the build system.
 file(READ ${REPO}/CMakeLists.txt rootcmake)
-string(APPEND flag_sources "${rootcmake}\n")
-string(REGEX MATCHALL "SLM_[A-Z_]+" doc_knobs "${readme}\n${benchdoc}")
+file(READ ${REPO}/src/obs/observer.cpp obssrc)
+file(READ ${REPO}/tests/regression/golden_trace_test.cpp goldensrc)
+string(APPEND flag_sources "${rootcmake}\n${obssrc}\n${goldensrc}\n")
+string(REGEX MATCHALL "SLM_[A-Z_]+" doc_knobs
+       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}")
 list(REMOVE_DUPLICATES doc_knobs)
 foreach(k ${doc_knobs})
   string(FIND "${flag_sources}" "${k}" pos)
   if(pos EQUAL -1)
-    string(APPEND errors "docs document knob '${k}' but neither the benches nor CMake mention it\n")
+    string(APPEND errors "docs document knob '${k}' but neither the sources nor CMake mention it\n")
+  endif()
+endforeach()
+
+# 4. Every `slm.` metric name cataloged in OBSERVABILITY.md must be
+#    emitted somewhere under src/ (campaigns, observer, checkpointing).
+#    Prefix names ending in '.' (e.g. the slm.span.<name>_seconds
+#    family) are checked as prefixes, which the literal FIND already is.
+set(metric_sources "")
+file(GLOB_RECURSE metric_files ${REPO}/src/obs/*.cpp ${REPO}/src/obs/*.hpp
+     ${REPO}/src/core/*.cpp)
+foreach(src ${metric_files})
+  file(READ ${src} one)
+  string(APPEND metric_sources "${one}\n")
+endforeach()
+string(REGEX MATCHALL "slm\\.[a-z0-9_]+\\.[a-z0-9_.]*[a-z0-9_]" doc_metrics
+       "${obsdoc}")
+list(REMOVE_DUPLICATES doc_metrics)
+foreach(m ${doc_metrics})
+  # Family entries are documented as slm.span.<name>_seconds; match on
+  # the emitting prefix instead of the placeholder.
+  string(REGEX REPLACE "<[a-z]+>.*$" "" m_literal "${m}")
+  string(FIND "${metric_sources}" "${m_literal}" pos)
+  if(pos EQUAL -1)
+    string(APPEND errors "OBSERVABILITY.md catalogs metric '${m}' but src/ never emits it\n")
   endif()
 endforeach()
 
 if(NOT errors STREQUAL "")
   message(FATAL_ERROR "stale documentation references:\n${errors}")
 endif()
-message(STATUS "docs check: every referenced bench binary, flag, and knob exists")
+message(STATUS "docs check: every referenced bench binary, flag, knob, and metric exists")

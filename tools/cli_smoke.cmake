@@ -16,5 +16,10 @@ run_cli(2 check smoke_rca.bench --strict-clock-mhz 900)
 run_cli(0 sta smoke_rca.bench --clock-mhz 50)
 run_cli(0 gen --circuit c6288 --width 8 --out smoke_mult.bench)
 run_cli(0 atpg smoke_mult.bench --band-lo 0.8 --band-hi 2.5)
+# Checkpoint/resume flag validation fails fast, before any capture:
+# resuming without a snapshot and halting without a checkpoint dir are
+# both configuration errors (rc 1), not silent fresh starts.
+run_cli(1 attack --resume smoke-no-such-dir)
+run_cli(1 attack --halt-after 100)
 run_cli(64 bogus-command)
 message(STATUS "cli smoke: all subcommands behaved")

@@ -6,13 +6,18 @@
 //   slm atpg  FILE.bench [--band LO HI]
 //   slm attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]
 //              [--traces N] [--key-byte B] [--threads N]
+//              [--checkpoint-dir D] [--resume D] [--halt-after N]
+//              [--trace-out F.jsonl]
 //
 // Circuits are exchanged in ISCAS .bench format, so the checker/STA/ATPG
 // subcommands also work on external netlists.
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,7 +25,9 @@
 #include "bitstream/checker.hpp"
 #include "common/error.hpp"
 #include "core/attack.hpp"
+#include "core/checkpoint.hpp"
 #include "core/parallel.hpp"
+#include "obs/observer.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/generators/adder.hpp"
 #include "netlist/generators/c6288.hpp"
@@ -182,6 +189,37 @@ int cmd_attack(const Args& args) {
   const unsigned threads =
       static_cast<unsigned>(args.get_n("threads", 0));
 
+  // Crash-safe checkpointing: --checkpoint-dir snapshots at every
+  // checkpoint; --resume <dir> implies it and continues a killed run
+  // bit-exactly. --halt-after simulates the kill for tests/drills.
+  core::RunOptions opts;
+  opts.checkpoint_dir = args.get("checkpoint-dir", "");
+  const std::string resume_dir = args.get("resume", "");
+  if (!resume_dir.empty()) {
+    opts.resume = true;
+    if (opts.checkpoint_dir.empty()) opts.checkpoint_dir = resume_dir;
+    if (!std::filesystem::exists(core::checkpoint_file(resume_dir))) {
+      throw Error("attack --resume: no snapshot at '" +
+                  core::checkpoint_file(resume_dir) + "'");
+    }
+  }
+  opts.halt_after_traces = args.get_n("halt-after", 0);
+  if (opts.halt_after_traces > 0 && opts.checkpoint_dir.empty()) {
+    throw Error("attack --halt-after: needs --checkpoint-dir (nothing to "
+                "resume from otherwise)");
+  }
+
+  // Observability: --trace-out wins over the SLM_TRACE environment knob;
+  // either attaches a metrics registry + JSONL event sink.
+  std::unique_ptr<obs::CampaignObserver> observer;
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    observer = std::make_unique<obs::CampaignObserver>(trace_out);
+  } else {
+    observer = obs::observer_from_env();
+  }
+  opts.observer = observer.get();
+
   core::StealthyAttack attack(circuit);
   std::cout << "circuit " << core::benign_circuit_name(circuit) << ", mode "
             << core::sensor_mode_name(mode) << ", " << traces
@@ -189,16 +227,49 @@ int cmd_attack(const Args& args) {
             << core::resolve_threads(threads) << "\n";
   const auto audit = attack.check_stealthiness();
   std::cout << "bitstream check: " << audit.summary() << "\n";
-  const auto r = attack.recover_key_byte(key_byte, traces, mode, threads);
+
+  core::KeyByteReport r;
+  try {
+    r = attack.recover_key_byte(key_byte, traces, mode, threads, opts);
+  } catch (const core::CampaignHalted& halted) {
+    std::cout << "campaign halted after " << halted.traces()
+              << " traces; snapshot at " << halted.snapshot_path() << "\n"
+              << "resume with: slm attack --resume "
+              << opts.checkpoint_dir << "\n";
+    return 5;
+  }
+
+  if (r.resumed_from > 0) {
+    std::cout << "resumed from trace " << r.resumed_from << "\n";
+  }
   if (r.capture_seconds > 0.0) {
     std::printf("campaign: %u thread(s), %.2f s, %.0f traces/sec\n",
                 r.threads_used, r.capture_seconds,
                 static_cast<double>(r.traces) / r.capture_seconds);
   }
+  if (observer != nullptr && r.kernel_seconds > 0.0) {
+    std::printf("phase split: kernel %.2f s, cpa %.2f s, selection %.2f s, "
+                "checkpoint io %.2f s\n",
+                r.kernel_seconds, r.cpa_seconds, r.selection_seconds,
+                r.checkpoint_io_seconds);
+  }
   std::printf("true 0x%02x recovered 0x%02x -> %s", r.true_value,
               r.recovered, r.success ? "RECOVERED" : "not recovered");
   if (r.mtd.disclosed()) std::printf(" (~%zu traces)", *r.mtd.traces);
   std::printf("\n");
+
+  if (observer != nullptr && observer->has_sink()) {
+    observer->write_manifest(
+        obs::JsonWriter()
+            .field("circuit", core::benign_circuit_name(circuit))
+            .field("mode", core::sensor_mode_name(mode))
+            .field("key_byte", static_cast<std::uint64_t>(key_byte))
+            .field("traces", static_cast<std::uint64_t>(r.traces))
+            .field("recovered", static_cast<std::uint64_t>(r.recovered))
+            .field("success", r.success)
+            .field("threads", static_cast<std::uint64_t>(r.threads_used))
+            .field("capture_seconds", r.capture_seconds));
+  }
   return r.success ? 0 : 4;
 }
 
@@ -211,7 +282,9 @@ int usage() {
          "  sta    FILE.bench [--clock-mhz F]\n"
          "  atpg   FILE.bench [--band-lo NS] [--band-hi NS]\n"
          "  attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]\n"
-         "         [--traces N] [--key-byte B] [--threads N]\n";
+         "         [--traces N] [--key-byte B] [--threads N]\n"
+         "         [--checkpoint-dir D] [--resume D] [--halt-after N]\n"
+         "         [--trace-out F.jsonl]\n";
   return 64;
 }
 
