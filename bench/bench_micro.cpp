@@ -1,11 +1,19 @@
 // Microbenchmarks (google-benchmark) of the kernels the figure benches
 // lean on: AES reference + datapath model, netlist evaluation, the
 // event-driven timing simulation, PDN stepping and response lookup, the
-// overclocked capture, and the CPA trace update.
+// overclocked capture, the CPA trace update, and the block-batched
+// capture/CPA kernels against their per-trace baselines (ns/sample and
+// ns/trace; see items_per_second in the JSON). Unless --benchmark_out is
+// given, results are also written to BENCH_micro.json.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
 #include "core/calibration.hpp"
 #include "core/setup.hpp"
+#include "sensors/benign_sensor.hpp"
 #include "crypto/aes_datapath.hpp"
 #include "netlist/evaluator.hpp"
 #include "netlist/generators/alu.hpp"
@@ -94,8 +102,43 @@ void BM_CycleResponseLookup(benchmark::State& state) {
     crm.voltages(currents, v);
     benchmark::DoNotOptimize(v[0]);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CycleResponseLookup);
+
+// Blocked PDN matvec vs the per-trace voltages() above (items = traces).
+// The scalar voltages() chain accumulates one FP add per cycle into a
+// single running sum, so it is latency-bound; the lane-parallel form
+// pipelines the adds across traces.
+void cycle_response_block_bench(benchmark::State& state, bool simd) {
+  const auto cal = core::Calibration::paper_defaults();
+  std::vector<double> samples, cycles;
+  for (int s = 60; s < 70; ++s) samples.push_back(s * (20.0 / 3.0));
+  for (int c = 0; c < 44; ++c) cycles.push_back(c * 10.0);
+  const auto crm =
+      pdn::CycleResponseMatrix::build(cal.pdn, samples, cycles, 10.0);
+  constexpr std::size_t kBlock = 64;
+  Xoshiro256 rng(9);
+  std::vector<double> ic(cycles.size() * kBlock);
+  for (auto& x : ic) x = 0.05 + 0.1 * rng.uniform();
+  std::vector<double> out(kBlock * samples.size());
+  for (auto _ : state) {
+    crm.voltages_block(ic.data(), kBlock, kBlock, out.data(), simd);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlock));
+}
+
+void BM_CycleResponseBlock(benchmark::State& state) {
+  cycle_response_block_bench(state, true);
+}
+BENCHMARK(BM_CycleResponseBlock);
+
+void BM_CycleResponseBlockScalar(benchmark::State& state) {
+  cycle_response_block_bench(state, false);
+}
+BENCHMARK(BM_CycleResponseBlockScalar);
 
 void BM_BenignSensorSampleWord(benchmark::State& state) {
   core::AttackSetup setup(core::BenignCircuit::kAlu,
@@ -119,6 +162,71 @@ void BM_BenignSensorSampleBit(benchmark::State& state) {
 }
 BENCHMARK(BM_BenignSensorSampleBit);
 
+// --- Block-kernel vs per-trace baselines -------------------------------
+//
+// The three pairs below are the block pipeline's hot kernels (DESIGN.md
+// §11): the compiled capture evaluated per trace (toggle_hw_batch) vs
+// per block of lanes (toggle_hw_block, SIMD and forced-scalar), and the
+// CPA accumulators fed one trace at a time vs one cache-blocked rank-K
+// update. items_per_second is samples/sec for the sensor kernels and
+// traces/sec for the CPA kernels.
+
+constexpr std::size_t kMicroBits = 32;    // planned endpoints
+constexpr std::size_t kMicroSamples = 16; // samples per trace
+constexpr std::size_t kMicroBlock = 64;   // traces per block
+
+sensors::BenignSensorBank::CompiledHwPlan micro_hw_plan(
+    const core::AttackSetup& setup) {
+  std::vector<std::size_t> bits;
+  for (std::size_t i = 0; i < kMicroBits; ++i) bits.push_back(i);
+  return setup.sensor().compile_hw_plan(bits);
+}
+
+void BM_SensorToggleHwBatch(benchmark::State& state) {
+  core::AttackSetup setup(core::BenignCircuit::kAlu,
+                          core::Calibration::paper_defaults());
+  const auto plan = micro_hw_plan(setup);
+  Xoshiro256 rng(7);
+  std::vector<double> v(kMicroSamples, 0.97);
+  std::vector<double> y(kMicroSamples, 0.0);
+  for (auto _ : state) {
+    setup.sensor().toggle_hw_batch(plan, v.data(), v.size(), rng, y.data());
+    benchmark::DoNotOptimize(y[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMicroSamples));
+}
+BENCHMARK(BM_SensorToggleHwBatch);
+
+void toggle_hw_block_bench(benchmark::State& state, bool simd) {
+  core::AttackSetup setup(core::BenignCircuit::kAlu,
+                          core::Calibration::paper_defaults());
+  const auto plan = micro_hw_plan(setup);
+  const std::size_t lanes = kMicroBlock * kMicroSamples;
+  Xoshiro256 rng(7);
+  std::vector<double> v(lanes, 0.97);
+  std::vector<double> z(lanes * plan.draws_per_sample);
+  FastNormal::instance().fill(rng, z.data(), z.size());
+  std::vector<double> y(lanes, 0.0);
+  for (auto _ : state) {
+    setup.sensor().toggle_hw_block(plan, v.data(), lanes, z.data(), y.data(),
+                                   simd);
+    benchmark::DoNotOptimize(y[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+}
+
+void BM_SensorToggleHwBlock(benchmark::State& state) {
+  toggle_hw_block_bench(state, true);
+}
+BENCHMARK(BM_SensorToggleHwBlock);
+
+void BM_SensorToggleHwBlockScalar(benchmark::State& state) {
+  toggle_hw_block_bench(state, false);
+}
+BENCHMARK(BM_SensorToggleHwBlockScalar);
+
 void BM_CpaAddTrace(benchmark::State& state) {
   sca::CpaEngine engine(256, 10);
   sca::LastRoundBitModel model(3, 0);
@@ -136,6 +244,91 @@ void BM_CpaAddTrace(benchmark::State& state) {
 }
 BENCHMARK(BM_CpaAddTrace);
 
+void BM_CpaAddTraces(benchmark::State& state) {
+  constexpr std::size_t kSamples = 10;
+  sca::CpaEngine engine(256, kSamples);
+  sca::LastRoundBitModel model(3, 0);
+  Xoshiro256 rng(2);
+  crypto::Block ct;
+  std::vector<std::uint8_t> h;
+  std::vector<std::uint8_t> hblk(kMicroBlock * 256);
+  std::vector<double> yblk(kMicroBlock * kSamples);
+  for (std::size_t t = 0; t < kMicroBlock; ++t) {
+    for (auto& b : ct) b = static_cast<std::uint8_t>(rng.next());
+    model.hypotheses(ct, h);
+    std::memcpy(hblk.data() + t * 256, h.data(), 256);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      yblk[t * kSamples + s] = rng.uniform();
+    }
+  }
+  for (auto _ : state) {
+    engine.add_traces(hblk.data(), yblk.data(), kMicroBlock);
+  }
+  benchmark::DoNotOptimize(engine.correlation(0, 0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMicroBlock));
+}
+BENCHMARK(BM_CpaAddTraces);
+
+void BM_XorClassAddTrace(benchmark::State& state) {
+  constexpr std::size_t kSamples = 10;
+  sca::XorClassCpa cls(kSamples);
+  Xoshiro256 rng(2);
+  std::vector<double> y(kSamples, 0.0);
+  for (auto _ : state) {
+    const auto v = static_cast<std::uint8_t>(rng.next());
+    const auto b = static_cast<std::uint8_t>(rng.next() & 1u);
+    for (auto& s : y) s = static_cast<double>(rng.next() & 0xffu);
+    cls.add_trace(v, b, y);
+  }
+  benchmark::DoNotOptimize(cls.trace_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_XorClassAddTrace);
+
+void BM_XorClassAddBlock(benchmark::State& state) {
+  constexpr std::size_t kSamples = 10;
+  sca::XorClassCpa cls(kSamples);
+  Xoshiro256 rng(2);
+  std::vector<std::uint8_t> vblk(kMicroBlock), bblk(kMicroBlock);
+  std::vector<double> yblk(kMicroBlock * kSamples);
+  for (std::size_t t = 0; t < kMicroBlock; ++t) {
+    vblk[t] = static_cast<std::uint8_t>(rng.next());
+    bblk[t] = static_cast<std::uint8_t>(rng.next() & 1u);
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      yblk[t * kSamples + s] = static_cast<double>(rng.next() & 0xffu);
+    }
+  }
+  for (auto _ : state) {
+    cls.add_block(vblk.data(), bblk.data(), yblk.data(), kMicroBlock);
+  }
+  benchmark::DoNotOptimize(cls.trace_count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMicroBlock));
+}
+BENCHMARK(BM_XorClassAddBlock);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a default --benchmark_out=BENCH_micro.json so
+// the per-kernel numbers land next to the figure benches' BENCH_*.json
+// records without extra flags (an explicit --benchmark_out still wins).
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  static char out_flag[] = "--benchmark_out=BENCH_micro.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_n = static_cast<int>(args.size());
+  benchmark::Initialize(&args_n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -100,20 +100,33 @@ struct CpaFigureResult {
 /// recovery checks are skipped so bench_smoke can run a 2k-trace variant.
 inline bool full_shape_budget(std::size_t traces) { return traces >= 50000; }
 
-/// Compiled-vs-reference kernel comparison: runs the same campaign with
-/// CampaignConfig::compiled_kernels on and off (fresh AttackSetup each,
-/// serial) and checks the results are bit-identical — recovered guess,
-/// every per-candidate |correlation| and every progress point. Each path
-/// is timed over two repetitions and the faster one is reported (min-of-N
-/// damps scheduler noise on shared machines; both repetitions are seeded
-/// identically, so the repeat cannot change the equivalence verdict).
+/// Three-way kernel comparison: the same serial campaign on (1) the
+/// block-batched compiled path (--block/SLM_BLOCK-resolved size), (2)
+/// the compiled per-trace path (block = 1, the PR 2 baseline), and (3)
+/// the reference path (compiled_kernels = false, block = 1) — fresh
+/// AttackSetup each — and checks all three results are bit-identical:
+/// recovered guess, every per-candidate |correlation| and every progress
+/// point. Each path is timed over three interleaved repetitions and the
+/// fastest is reported (min-of-N damps scheduler noise on shared
+/// machines; all repetitions are seeded identically, so the repeat
+/// cannot change the equivalence verdict). Throughput is computed over the capture phase
+/// only (capture_seconds minus selection_seconds): the selection
+/// pre-pass runs per-trace over every sensor bit in all three paths, so
+/// including it would dilute the ratios with identical common work that
+/// none of the kernel knobs touch.
 struct KernelComparison {
   bool equivalent = false;
   std::size_t traces = 0;
-  double compiled_tps = 0.0;   ///< traces/sec, compiled path
+  std::size_t block_size = 0;  ///< effective block of the blocked pass
+  double block_tps = 0.0;      ///< traces/sec, blocked compiled path
+  double compiled_tps = 0.0;   ///< traces/sec, per-trace compiled path
   double reference_tps = 0.0;  ///< traces/sec, reference path
   double speedup() const {
     return reference_tps > 0.0 ? compiled_tps / reference_tps : 0.0;
+  }
+  /// Block-pipeline win over the per-trace compiled baseline.
+  double block_speedup() const {
+    return compiled_tps > 0.0 ? block_tps / compiled_tps : 0.0;
   }
 };
 
@@ -125,37 +138,54 @@ inline KernelComparison compare_kernel_paths(core::BenignCircuit circuit,
   cfg.traces = std::min(cfg.traces, max_traces);
   out.traces = cfg.traces;
 
-  core::CampaignResult res[2];
-  double best_seconds[2] = {0.0, 0.0};
-  for (int pass = 0; pass < 2; ++pass) {
-    cfg.compiled_kernels = (pass == 0);
-    for (int rep = 0; rep < 2; ++rep) {
+  constexpr int kPasses = 3;
+  constexpr int kReps = 3;
+  core::CampaignResult res[kPasses];
+  double best_seconds[kPasses] = {0.0, 0.0, 0.0};
+  // Rep-major order: each repetition cycles through all three paths
+  // back-to-back, so slow drift in background load (shared machines)
+  // hits every path roughly equally instead of biasing whichever path
+  // happened to run during a quiet stretch.
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int pass = 0; pass < kPasses; ++pass) {
+      cfg.compiled_kernels = (pass != 2);
+      // Pass 0 keeps the caller's block request (0 = auto); the baselines
+      // pin block = 1, which runs the exact per-trace loop.
+      cfg.block = (pass == 0) ? cfg_in.block : 1;
       core::AttackSetup setup(circuit, core::Calibration::paper_defaults());
       core::CpaCampaign campaign(setup, cfg);
       core::CampaignResult r = campaign.run();
-      if (rep == 0 || (r.capture_seconds > 0.0 &&
-                       r.capture_seconds < best_seconds[pass])) {
-        best_seconds[pass] = r.capture_seconds;
+      const double secs = r.capture_seconds - r.selection_seconds;
+      if (rep == 0 || (secs > 0.0 && secs < best_seconds[pass])) {
+        best_seconds[pass] = secs;
       }
       if (rep == 0) res[pass] = std::move(r);
     }
   }
   const core::CampaignResult& a = res[0];
-  const core::CampaignResult& b = res[1];
+  out.block_size = a.block_size;
   if (best_seconds[0] > 0.0) {
-    out.compiled_tps = static_cast<double>(a.traces_run) / best_seconds[0];
+    out.block_tps = static_cast<double>(a.traces_run) / best_seconds[0];
   }
   if (best_seconds[1] > 0.0) {
-    out.reference_tps = static_cast<double>(b.traces_run) / best_seconds[1];
+    out.compiled_tps =
+        static_cast<double>(res[1].traces_run) / best_seconds[1];
+  }
+  if (best_seconds[2] > 0.0) {
+    out.reference_tps =
+        static_cast<double>(res[2].traces_run) / best_seconds[2];
   }
 
-  bool eq = a.traces_run == b.traces_run &&
-            a.recovered_guess == b.recovered_guess &&
-            a.single_bit == b.single_bit &&
-            a.bits_of_interest == b.bits_of_interest &&
-            a.final_max_abs_corr == b.final_max_abs_corr &&
-            a.progress.size() == b.progress.size();
-  if (eq) {
+  bool eq = true;
+  for (int pass = 1; pass < kPasses; ++pass) {
+    const core::CampaignResult& b = res[pass];
+    eq = eq && a.traces_run == b.traces_run &&
+         a.recovered_guess == b.recovered_guess &&
+         a.single_bit == b.single_bit &&
+         a.bits_of_interest == b.bits_of_interest &&
+         a.final_max_abs_corr == b.final_max_abs_corr &&
+         a.progress.size() == b.progress.size();
+    if (!eq) break;
     for (std::size_t i = 0; i < a.progress.size(); ++i) {
       eq = eq && a.progress[i].traces == b.progress[i].traces &&
            a.progress[i].correct_corr == b.progress[i].correct_corr &&
@@ -167,8 +197,10 @@ inline KernelComparison compare_kernel_paths(core::BenignCircuit circuit,
 
   std::printf(
       "kernel equivalence: %s over %zu traces "
-      "(compiled %.0f traces/sec, reference %.0f traces/sec, %.2fx)\n",
-      eq ? "bit-identical" : "MISMATCH", out.traces, out.compiled_tps,
+      "(block=%zu %.0f traces/sec, per-trace compiled %.0f traces/sec "
+      "[%.2fx], reference %.0f traces/sec [%.2fx])\n",
+      eq ? "bit-identical" : "MISMATCH", out.traces, out.block_size,
+      out.block_tps, out.compiled_tps, out.block_speedup(),
       out.reference_tps, out.speedup());
   return out;
 }
@@ -201,12 +233,15 @@ inline void write_bench_json(const std::string& tag,
                "  \"seed\": %llu,\n"
                "  \"traces\": %zu,\n"
                "  \"threads\": %u,\n"
+               "  \"block_size\": %zu,\n"
                "  \"capture_seconds\": %.6f,\n"
                "  \"traces_per_sec\": %.1f,\n"
                "  \"key_recovered\": %s,\n"
                "  \"kernel_equivalence\": {\n"
                "    \"equivalent\": %s,\n"
                "    \"traces\": %zu,\n"
+               "    \"block_traces_per_sec\": %.1f,\n"
+               "    \"block_speedup\": %.3f,\n"
                "    \"compiled_traces_per_sec\": %.1f,\n"
                "    \"reference_traces_per_sec\": %.1f,\n"
                "    \"speedup\": %.3f\n"
@@ -221,9 +256,10 @@ inline void write_bench_json(const std::string& tag,
                "}\n",
                tag.c_str(), core::sensor_mode_name(r.mode),
                static_cast<unsigned long long>(cfg.seed), r.traces_run,
-               r.threads_used, r.capture_seconds, tps,
+               r.threads_used, r.block_size, r.capture_seconds, tps,
                r.key_recovered ? "true" : "false",
-               eq.equivalent ? "true" : "false", eq.traces, eq.compiled_tps,
+               eq.equivalent ? "true" : "false", eq.traces, eq.block_tps,
+               eq.block_speedup(), eq.compiled_tps,
                eq.reference_tps, eq.speedup(), r.kernel_seconds,
                r.cpa_seconds, r.selection_seconds, r.checkpoint_io_seconds,
                observer != nullptr ? observer->metrics().to_json().c_str()
@@ -262,7 +298,8 @@ inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
             << "traces           : " << r.traces_run << "\n"
             << "target           : last-round key byte " << cfg.target_key_byte
             << ", state bit " << cfg.target_bit << "\n"
-            << "threads          : " << r.threads_used << "\n";
+            << "threads          : " << r.threads_used << "\n"
+            << "trace block      : " << r.block_size << "\n";
   if (r.capture_seconds > 0.0) {
     std::printf("throughput       : %.0f traces/sec (%.2f s)\n",
                 static_cast<double>(r.traces_run) / r.capture_seconds,

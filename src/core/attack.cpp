@@ -18,6 +18,7 @@ KeyByteReport report_from(std::size_t key_byte, const CampaignResult& r) {
   report.mtd = r.mtd;
   report.threads_used = r.threads_used;
   report.capture_seconds = r.capture_seconds;
+  report.block_size = r.block_size;
   report.kernel_seconds = r.kernel_seconds;
   report.cpa_seconds = r.cpa_seconds;
   report.checkpoint_io_seconds = r.checkpoint_io_seconds;
@@ -84,6 +85,8 @@ KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
   cfg.checkpoint_dir = opts.checkpoint_dir;
   cfg.resume = opts.resume;
   cfg.halt_after_traces = opts.halt_after_traces;
+  cfg.block = opts.block;
+  cfg.simd = opts.simd;
   ParallelCampaign campaign(setup_, cfg, threads);
   return report_from(key_byte, campaign.run());
 }

@@ -22,6 +22,7 @@ struct KeyByteReport {
   sca::MtdResult mtd;
   unsigned threads_used = 0;     ///< workers the campaign ran on
   double capture_seconds = 0.0;  ///< campaign wall time (traces/sec)
+  std::size_t block_size = 0;    ///< effective trace-block size
 
   /// Observability passthrough (see CampaignResult): observer-gated
   /// kernel/CPA phase split, snapshot bookkeeping.
@@ -41,6 +42,8 @@ struct RunOptions {
   std::string checkpoint_dir;                 ///< empty = no snapshots
   bool resume = false;                        ///< continue from snapshot
   std::size_t halt_after_traces = 0;          ///< simulated kill (0 = off)
+  std::size_t block = 0;   ///< trace-block size (0 = SLM_BLOCK / default)
+  bool simd = true;        ///< false forces the scalar block kernels
 };
 
 class StealthyAttack {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -40,6 +41,21 @@ std::vector<std::size_t> default_checkpoints(std::size_t traces) {
   }
   out.push_back(traces);
   return out;
+}
+
+std::size_t resolve_block(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SLM_BLOCK")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return kDefaultBlockTraces;
+}
+
+bool resolve_simd(bool requested) {
+  if (!requested) return false;
+  if (const char* env = std::getenv("SLM_SIMD")) return std::atoi(env) != 0;
+  return true;
 }
 
 CpaCampaign::CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg)
@@ -387,9 +403,29 @@ CampaignResult CpaCampaign::run() {
     }
   }
 
+  // Block-batched pipeline (DESIGN.md §11): the per-trace RNG-ordered
+  // generation (plaintext draws, victim encrypt, PDN voltages, noise and
+  // jitter fills) stays sequential, and only the RNG-free compute — the
+  // packed sensor kernel and the accumulator update — is deferred to
+  // lane-parallel block kernels. Blocks clamp at checkpoint edges, so
+  // progress points, snapshots, and results are bit-identical for every
+  // block size (block = 1 runs the exact per-trace loop).
+  const std::size_t block = resolve_block(cfg_.block);
+  const bool simd = resolve_simd(cfg_.simd);
+  result.block_size = block;
+  const bool blocked = block > 1;
+  // Only the benign-HW batch plan separates its draws from the compute;
+  // every other sensor consumes RNG inside the read, so those modes
+  // block just the accumulator update.
+  const bool defer_hw = blocked && fast && plan.batched &&
+                        cfg_.mode == SensorMode::kBenignHw;
+  const std::size_t samples = sample_times_.size();
+  const std::size_t dps = plan.hw.draws_per_sample;
+
   if (ob != nullptr) {
     ob->metrics().set("slm.campaign.traces_target",
                       static_cast<double>(cfg_.traces));
+    ob->metrics().set("slm.kernel.block_size", static_cast<double>(block));
     ob->event("run_start",
               obs::JsonWriter()
                   .field("mode", sensor_mode_name(cfg_.mode))
@@ -397,6 +433,7 @@ CampaignResult CpaCampaign::run() {
                   .field("seed", static_cast<std::uint64_t>(cfg_.seed))
                   .field("threads", static_cast<std::uint64_t>(1))
                   .field("compiled", fast)
+                  .field("block", static_cast<std::uint64_t>(block))
                   .field("resumed_from",
                          static_cast<std::uint64_t>(result.resumed_from)));
   }
@@ -410,35 +447,141 @@ CampaignResult CpaCampaign::run() {
   std::size_t seg_traces = start_t - 1;
   double seg_time = timed ? obs::monotonic_seconds() : 0.0;
 
+  // The deferred-HW path also defers the PDN voltage matvec: the
+  // generation pass stages each trace's coupling-scaled per-cycle
+  // currents (cycle-major, so the lane-inner kernel is unit-stride) plus
+  // its env-noise draws, and the compute pass evaluates the whole block
+  // through CycleResponseMatrix::voltages_block. The scalar matvec is a
+  // latency-bound FP-add chain, so this is where blocking pays most.
+  const std::size_t ncyc = response_.cycle_count();
+  const double coupling = setup_.effective_coupling();
+  const double env_noise_v = setup_.calibration().env_noise_v;
   std::vector<double> v;
-  std::vector<double> y(sample_times_.size());
+  std::vector<double> y(samples);
   std::vector<std::uint8_t> h;
+  std::vector<double> vblk;
+  std::vector<double> zblk;
+  std::vector<double> icblk;
+  std::vector<double> zvblk;
+  std::vector<double> yblk;
+  std::vector<std::uint8_t> clsv;
+  std::vector<std::uint8_t> clsb;
+  std::vector<std::uint8_t> hblk;
+  if (blocked) {
+    yblk.resize(block * samples);
+    clsv.resize(block);
+    clsb.resize(block);
+    if (defer_hw) {
+      vblk.resize(block * samples);
+      zblk.resize(block * samples * dps);
+      icblk.resize(ncyc * block);
+      zvblk.resize(block * samples);
+    }
+    if (!fast) hblk.resize(block * 256);
+  }
 
-  for (std::size_t t = start_t; t <= cfg_.traces; ++t) {
+  std::size_t t = start_t;
+  while (t <= cfg_.traces) {
+    // Clamp the block at the next checkpoint so snapshots land on the
+    // same trace counts as the per-trace loop.
+    while (next_cp < checkpoints.size() && checkpoints[next_cp] < t) {
+      ++next_cp;
+    }
+    std::size_t limit = cfg_.traces;
+    if (next_cp < checkpoints.size() && checkpoints[next_cp] < limit) {
+      limit = checkpoints[next_cp];
+    }
+    const std::size_t bn = std::min(block, limit - t + 1);
+
     const double t0 = timed ? obs::monotonic_seconds() : 0.0;
-    crypto::Block pt;
-    for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
-    const auto enc = setup_.victim().encrypt(pt);
-    make_voltages(enc, rng, v);
     double t1 = 0.0;
-    if (fast) {
-      read_sensor_fast(plan, v, result.bits_of_interest, rng, y);
-      t1 = timed ? obs::monotonic_seconds() : 0.0;
-      cls.add_trace(model.class_value(enc.ciphertext),
-                    model.class_bit(enc.ciphertext), y);
+    if (!blocked) {
+      // block == 1: the exact per-trace loop, kept as the dispatchable
+      // baseline the block path is benchmarked (and bit-compared) against.
+      crypto::Block pt;
+      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
+      const auto enc = setup_.victim().encrypt(pt);
+      make_voltages(enc, rng, v);
+      if (fast) {
+        read_sensor_fast(plan, v, result.bits_of_interest, rng, y);
+        t1 = timed ? obs::monotonic_seconds() : 0.0;
+        cls.add_trace(model.class_value(enc.ciphertext),
+                      model.class_bit(enc.ciphertext), y);
+      } else {
+        read_sensor(v, result.bits_of_interest, rng, y);
+        t1 = timed ? obs::monotonic_seconds() : 0.0;
+        model.hypotheses(enc.ciphertext, h);
+        engine.add_trace(h, y);
+      }
     } else {
-      read_sensor(v, result.bits_of_interest, rng, y);
+      // Generation pass: everything that touches the RNG, in the exact
+      // per-trace order (FastNormal::fill is position-wise identical to
+      // per-call draws, so per-trace fills keep the stream bit-exact).
+      for (std::size_t b = 0; b < bn; ++b) {
+        crypto::Block pt;
+        for (auto& pb : pt) pb = static_cast<std::uint8_t>(rng.next());
+        const auto enc = setup_.victim().encrypt(pt);
+        if (defer_hw) {
+          // Stage the scaled currents and this trace's noise draws; the
+          // per-element arithmetic and the fence-stream call order match
+          // make_voltages exactly, only the matvec is deferred.
+          defense::ActiveFence* fence = fence_ ? &*fence_ : nullptr;
+          for (std::size_t c = 0; c < ncyc; ++c) {
+            double i = enc.cycle_current[c];
+            if (fence != nullptr) i += fence->next_cycle_current();
+            i *= coupling;
+            icblk[c * block + b] = i;
+          }
+          FastNormal::instance().fill(rng, zvblk.data() + b * samples,
+                                      samples);
+          FastNormal::instance().fill(rng, zblk.data() + b * samples * dps,
+                                      samples * dps);
+        } else if (fast) {
+          make_voltages(enc, rng, v);
+          read_sensor_fast(plan, v, result.bits_of_interest, rng, y);
+          std::copy(y.begin(), y.end(), yblk.begin() + b * samples);
+        } else {
+          make_voltages(enc, rng, v);
+          read_sensor(v, result.bits_of_interest, rng, y);
+          std::copy(y.begin(), y.end(), yblk.begin() + b * samples);
+          model.hypotheses(enc.ciphertext, h);
+          std::copy(h.begin(), h.end(), hblk.begin() + b * 256);
+        }
+        if (fast) {
+          clsv[b] = model.class_value(enc.ciphertext);
+          clsb[b] = model.class_bit(enc.ciphertext);
+        }
+      }
+      // Compute pass: RNG-free lane-parallel kernels over the block.
+      if (defer_hw) {
+        response_.voltages_block(icblk.data(), bn, block, vblk.data(), simd);
+        for (std::size_t i = 0; i < bn * samples; ++i) {
+          vblk[i] += 0.0 + env_noise_v * zvblk[i];
+        }
+        setup_.sensor().toggle_hw_block(plan.hw, vblk.data(), bn * samples,
+                                        zblk.data(), yblk.data(), simd);
+      }
       t1 = timed ? obs::monotonic_seconds() : 0.0;
-      model.hypotheses(enc.ciphertext, h);
-      engine.add_trace(h, y);
+      if (fast) {
+        cls.add_block(clsv.data(), clsb.data(), yblk.data(), bn);
+      } else {
+        engine.add_traces(hblk.data(), yblk.data(), bn);
+      }
     }
     if (timed) {
       const double t2 = obs::monotonic_seconds();
       kernel_s += t1 - t0;
       cpa_s += t2 - t1;
+      if (blocked) {
+        ob->metrics().add("slm.kernel.blocks_total");
+        ob->metrics().observe("slm.kernel.block_kernel_seconds", t1 - t0);
+        ob->metrics().observe("slm.kernel.block_cpa_seconds", t2 - t1);
+      }
     }
+    t += bn;
+    const std::size_t done = t - 1;
 
-    while (next_cp < checkpoints.size() && t == checkpoints[next_cp]) {
+    while (next_cp < checkpoints.size() && done == checkpoints[next_cp]) {
       const double f0 = timed ? obs::monotonic_seconds() : 0.0;
       if (fast) {
         const sca::CpaEngine folded = cls.fold(model.pattern().data());
@@ -455,11 +598,11 @@ CampaignResult CpaCampaign::run() {
         const double now = obs::monotonic_seconds();
         const double seg_rate =
             now > seg_time
-                ? static_cast<double>(t - seg_traces) / (now - seg_time)
+                ? static_cast<double>(done - seg_traces) / (now - seg_time)
                 : 0.0;
         ob->metrics().add("slm.campaign.checkpoints_total");
         ob->metrics().set("slm.campaign.traces_done",
-                          static_cast<double>(t));
+                          static_cast<double>(done));
         ob->metrics().set("slm.cpa.best_guess",
                           static_cast<double>(p.best_guess));
         ob->metrics().set("slm.cpa.correct_corr", p.correct_corr);
@@ -480,8 +623,8 @@ CampaignResult CpaCampaign::run() {
                 .field("corr_margin", p.correct_corr - p.best_wrong_corr)
                 .field("traces_per_sec", seg_rate)
                 .raw("shard_traces",
-                     "[" + std::to_string(t) + "]"));
-        seg_traces = t;
+                     "[" + std::to_string(done) + "]"));
+        seg_traces = done;
         seg_time = now;
       }
 
@@ -497,9 +640,10 @@ CampaignResult CpaCampaign::run() {
         ck.target_bit = cfg_.target_bit;
         ck.single_bit = cfg_.single_bit;
         ck.compiled = fast;
-        ck.traces_done = t;
+        ck.block = block;
+        ck.traces_done = done;
         CheckpointShard sh;
-        sh.position = t;
+        sh.position = done;
         sh.rng = rng.state();
         sh.victim = setup_.victim().register_snapshot();
         sh.has_fence = fence_.has_value();
@@ -524,7 +668,7 @@ CampaignResult CpaCampaign::run() {
           ob->metrics().observe("slm.checkpoint.write_seconds", io);
           ob->event("snapshot",
                     obs::JsonWriter()
-                        .field("traces", static_cast<std::uint64_t>(t))
+                        .field("traces", static_cast<std::uint64_t>(done))
                         .field("bytes", static_cast<std::uint64_t>(bytes))
                         .field("seconds", io)
                         .field("path", result.snapshot_path));
@@ -532,14 +676,14 @@ CampaignResult CpaCampaign::run() {
       }
       ++next_cp;
 
-      if (cfg_.halt_after_traces > 0 && t >= cfg_.halt_after_traces) {
+      if (cfg_.halt_after_traces > 0 && done >= cfg_.halt_after_traces) {
         if (ob != nullptr) {
           ob->event("halt",
                     obs::JsonWriter()
-                        .field("traces", static_cast<std::uint64_t>(t))
+                        .field("traces", static_cast<std::uint64_t>(done))
                         .field("path", result.snapshot_path));
         }
-        throw CampaignHalted(t, result.snapshot_path);
+        throw CampaignHalted(done, result.snapshot_path);
       }
     }
   }

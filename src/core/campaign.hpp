@@ -84,6 +84,22 @@ struct CampaignConfig {
   /// reference implementation.
   bool compiled_kernels = true;
 
+  /// Trace-block size for the block-batched capture pipeline (see
+  /// DESIGN.md §11): traces are generated RNG-sequentially, then the
+  /// RNG-free kernels (PackedToggleSubset::hw_block, XorClassCpa::
+  /// add_block / CpaEngine::add_traces) run over the whole block. 0 =
+  /// auto (SLM_BLOCK env var, else kDefaultBlockTraces); 1 reproduces
+  /// the exact per-trace loop. Blocks clamp at checkpoint edges, so any
+  /// value yields bit-identical results and snapshots.
+  std::size_t block = 0;
+
+  /// Lane-parallel dispatch for the block kernels. false — or SLM_SIMD=0
+  /// in the environment — forces the per-lane scalar reference loops.
+  /// Results are bit-identical either way (the lanes replay the scalar
+  /// FP expression sequence); the knob exists to isolate vectorizer
+  /// miscompiles and to measure the SIMD win.
+  bool simd = true;
+
   std::uint64_t seed = 0xc0ffee;
 
   /// Optional observability hook (metrics, spans, JSONL events). Null is
@@ -134,6 +150,11 @@ struct CampaignResult {
   /// with its worker count and its own timer.
   unsigned threads_used = 0;
   double capture_seconds = 0.0;
+
+  /// Effective trace-block size after --block / SLM_BLOCK resolution —
+  /// run metadata in the same spirit as threads_used, so bench JSON and
+  /// checkpoint headers report the block the campaign actually ran with.
+  std::size_t block_size = 0;
 
   /// Phase-time split, filled only when cfg.observer != nullptr (the
   /// per-trace timers are observer-gated to keep the disabled path
@@ -224,5 +245,18 @@ class CpaCampaign {
 
 /// Default log-spaced checkpoint schedule up to `traces`.
 std::vector<std::size_t> default_checkpoints(std::size_t traces);
+
+/// Default trace-block size of the block-batched pipeline: big enough to
+/// amortize kernel dispatch and fill the SIMD lanes, small enough that a
+/// block of (readings + draws) stays in L2.
+inline constexpr std::size_t kDefaultBlockTraces = 64;
+
+/// CampaignConfig::block resolution: an explicit request wins, else the
+/// SLM_BLOCK environment variable, else kDefaultBlockTraces.
+std::size_t resolve_block(std::size_t requested);
+
+/// CampaignConfig::simd resolution: an explicit `false` wins, else
+/// SLM_SIMD=0 in the environment forces the scalar fallback.
+bool resolve_simd(bool requested);
 
 }  // namespace slm::core

@@ -55,6 +55,7 @@ ByteWriter serialize_payload(const CampaignCheckpoint& ck) {
   out.put_u64(ck.target_bit);
   out.put_u64(ck.single_bit);
   out.put_u8(ck.compiled ? 1 : 0);
+  out.put_u64(ck.block);
   out.put_u64(ck.traces_done);
 
   out.put_u64(ck.shard_state.size());
@@ -86,6 +87,7 @@ CampaignCheckpoint parse_payload(ByteReader& in) {
   ck.target_bit = in.get_u64();
   ck.single_bit = in.get_u64();
   ck.compiled = in.get_u8() != 0;
+  ck.block = in.get_u64();
   ck.traces_done = in.get_u64();
 
   const std::uint64_t shard_count = in.get_u64();
@@ -211,6 +213,10 @@ void require_checkpoint_matches(const CampaignCheckpoint& ck,
   SLM_REQUIRE(ck.compiled == cfg.compiled_kernels,
               "resume: snapshot was taken on the other kernel path "
               "(SLM_COMPILED mismatch)");
+  // ck.block is deliberately NOT checked: the trace-block size only tiles
+  // the capture loop, so resuming under a different --block / SLM_BLOCK
+  // still reproduces the uninterrupted run bit-for-bit (resume_test and
+  // resume_smoke exercise exactly this).
   SLM_REQUIRE(ck.traces_done < ck.total_traces,
               "resume: snapshot is already complete (" +
                   std::to_string(ck.traces_done) + "/" +

@@ -6,9 +6,11 @@
 // File format (docs/OBSERVABILITY.md documents it for operators):
 //
 //   magic   "SLMCKPT1"                 8 bytes
-//   version u32                        currently 1; readers reject
-//                                      other versions (no silent
-//                                      migration of attack state)
+//   version u32                        currently 2 (v2 added the
+//                                      trace-block size to the header);
+//                                      readers reject other versions
+//                                      (no silent migration of attack
+//                                      state)
 //   length  u64                        payload byte count
 //   crc     u32                        CRC-32 of the payload
 //   payload                            header + shards + progress,
@@ -34,7 +36,7 @@
 
 namespace slm::core {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Thrown when a campaign with `halt_after_traces` set reaches that
 /// trace count at a checkpoint: the snapshot is on disk, the process
@@ -85,6 +87,12 @@ struct CampaignCheckpoint {
   std::uint64_t target_bit = 0;
   std::uint64_t single_bit = 0;
   bool compiled = true;
+
+  /// Effective trace-block size of the run that wrote the snapshot —
+  /// informational run metadata (it matches CampaignResult::block_size
+  /// and the bench JSON). Resume does NOT require it to match: block
+  /// size never affects results, only how the loop is tiled.
+  std::uint64_t block = 0;
 
   std::uint64_t traces_done = 0;
   std::vector<CheckpointShard> shard_state;

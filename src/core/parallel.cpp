@@ -178,6 +178,14 @@ CampaignResult ParallelCampaign::run_sharded() {
   const std::size_t samples = campaign.sample_times_.size();
   const unsigned T = threads_;
 
+  // Block-batched pipeline, one block loop per shard (DESIGN.md §11).
+  // Shards clamp their blocks at per-checkpoint quotas, so shard trace
+  // ownership and RNG streams are independent of the block size.
+  const std::size_t block = resolve_block(cfg_.block);
+  const bool simd = resolve_simd(cfg_.simd);
+  result.block_size = block;
+  const bool blocked = block > 1;
+
   // Compiled fast path: a read-only sensor plan shared by all shards (the
   // batch kernels use thread_local scratch, so sharing is safe) and a
   // per-shard class-sum accumulator folded into full CPA sums only at
@@ -186,6 +194,15 @@ CampaignResult ParallelCampaign::run_sharded() {
   const CpaCampaign::SensorPlan plan =
       fast ? campaign.make_sensor_plan(result.bits_of_interest)
            : CpaCampaign::SensorPlan{};
+  const bool defer_hw = blocked && fast && plan.batched &&
+                        cfg_.mode == SensorMode::kBenignHw;
+  const std::size_t dps = plan.hw.draws_per_sample;
+  // Deferred-HW shards also defer the PDN voltage matvec (see the serial
+  // engine): currents are staged cycle-major per block and evaluated
+  // through CycleResponseMatrix::voltages_block in the compute pass.
+  const std::size_t ncyc = campaign.response_.cycle_count();
+  const double coupling = setup_.effective_coupling();
+  const double env_noise_v = setup_.calibration().env_noise_v;
 
   // The mutable half of the capture pipeline, one copy per shard.
   struct Shard {
@@ -198,11 +215,22 @@ CampaignResult ParallelCampaign::run_sharded() {
     std::vector<double> v;
     std::vector<double> y;
     std::vector<std::uint8_t> h;
+    // Block staging buffers (blocked path only; sized lazily per shard).
+    std::vector<double> vblk;
+    std::vector<double> zblk;
+    std::vector<double> icblk;
+    std::vector<double> zvblk;
+    std::vector<double> yblk;
+    std::vector<std::uint8_t> clsv;
+    std::vector<std::uint8_t> clsb;
+    std::vector<std::uint8_t> hblk;
     // Observer-gated phase timers, accumulated thread-locally and pushed
     // into the registry only at checkpoint boundaries (workers never
-    // touch the registry mutex mid-segment).
+    // touch the registry mutex mid-segment). `blocks` follows the same
+    // batching rule for the slm.kernel.blocks_total counter.
     double kernel_s = 0.0;
     double cpa_s = 0.0;
+    std::size_t blocks = 0;
   };
   std::vector<Shard> shards;
   shards.reserve(T);
@@ -279,6 +307,7 @@ CampaignResult ParallelCampaign::run_sharded() {
   if (ob != nullptr) {
     ob->metrics().set("slm.campaign.traces_target",
                       static_cast<double>(cfg_.traces));
+    ob->metrics().set("slm.kernel.block_size", static_cast<double>(block));
     ob->event("run_start",
               obs::JsonWriter()
                   .field("mode", sensor_mode_name(cfg_.mode))
@@ -286,6 +315,7 @@ CampaignResult ParallelCampaign::run_sharded() {
                   .field("seed", static_cast<std::uint64_t>(cfg_.seed))
                   .field("threads", static_cast<std::uint64_t>(T))
                   .field("compiled", fast)
+                  .field("block", static_cast<std::uint64_t>(block))
                   .field("resumed_from",
                          static_cast<std::uint64_t>(result.resumed_from)));
   }
@@ -304,27 +334,114 @@ CampaignResult ParallelCampaign::run_sharded() {
       pool.run_indexed(T, [&](std::size_t i) {
         Shard& sh = shards[i];
         const std::size_t target = shard_quota(cp, i, T);
-        for (; sh.position < target; ++sh.position) {
-          const double t0 = timed ? obs::monotonic_seconds() : 0.0;
-          crypto::Block pt;
-          for (auto& b : pt) b = static_cast<std::uint8_t>(sh.rng.next());
-          const auto enc = sh.victim.encrypt(pt);
-          campaign.make_voltages(enc, sh.rng, sh.v,
-                                 sh.fence ? &*sh.fence : nullptr);
-          double t1 = 0.0;
-          if (fast) {
-            campaign.read_sensor_fast(plan, sh.v, result.bits_of_interest,
-                                      sh.rng, sh.y);
-            t1 = timed ? obs::monotonic_seconds() : 0.0;
-            sh.cls.add_trace(model.class_value(enc.ciphertext),
-                             model.class_bit(enc.ciphertext), sh.y);
-          } else {
-            campaign.read_sensor(sh.v, result.bits_of_interest, sh.rng,
-                                 sh.y);
-            t1 = timed ? obs::monotonic_seconds() : 0.0;
-            model.hypotheses(enc.ciphertext, sh.h);
-            sh.engine.add_trace(sh.h, sh.y);
+        if (blocked && sh.position < target) {
+          sh.yblk.resize(block * samples);
+          sh.clsv.resize(block);
+          sh.clsb.resize(block);
+          if (defer_hw) {
+            sh.vblk.resize(block * samples);
+            sh.zblk.resize(block * samples * dps);
+            sh.icblk.resize(ncyc * block);
+            sh.zvblk.resize(block * samples);
           }
+          if (!fast) sh.hblk.resize(block * 256);
+        }
+        while (sh.position < target) {
+          const std::size_t bn =
+              blocked ? std::min(block, target - sh.position) : 1;
+          const double t0 = timed ? obs::monotonic_seconds() : 0.0;
+          double t1 = 0.0;
+          if (!blocked) {
+            // block == 1: the exact per-trace shard loop body.
+            crypto::Block pt;
+            for (auto& b : pt) b = static_cast<std::uint8_t>(sh.rng.next());
+            const auto enc = sh.victim.encrypt(pt);
+            campaign.make_voltages(enc, sh.rng, sh.v,
+                                   sh.fence ? &*sh.fence : nullptr);
+            if (fast) {
+              campaign.read_sensor_fast(plan, sh.v, result.bits_of_interest,
+                                        sh.rng, sh.y);
+              t1 = timed ? obs::monotonic_seconds() : 0.0;
+              sh.cls.add_trace(model.class_value(enc.ciphertext),
+                               model.class_bit(enc.ciphertext), sh.y);
+            } else {
+              campaign.read_sensor(sh.v, result.bits_of_interest, sh.rng,
+                                   sh.y);
+              t1 = timed ? obs::monotonic_seconds() : 0.0;
+              model.hypotheses(enc.ciphertext, sh.h);
+              sh.engine.add_trace(sh.h, sh.y);
+            }
+          } else {
+            // Generation pass: all RNG consumption, per-trace order —
+            // identical streams to the per-trace shard loop.
+            for (std::size_t b = 0; b < bn; ++b) {
+              crypto::Block pt;
+              for (auto& pb : pt) {
+                pb = static_cast<std::uint8_t>(sh.rng.next());
+              }
+              const auto enc = sh.victim.encrypt(pt);
+              if (defer_hw) {
+                // Same staging as the serial engine: scaled currents
+                // cycle-major, noise draws in per-trace order, matvec
+                // deferred to the compute pass.
+                defense::ActiveFence* fence =
+                    sh.fence ? &*sh.fence : nullptr;
+                for (std::size_t c = 0; c < ncyc; ++c) {
+                  double i = enc.cycle_current[c];
+                  if (fence != nullptr) i += fence->next_cycle_current();
+                  i *= coupling;
+                  sh.icblk[c * block + b] = i;
+                }
+                FastNormal::instance().fill(
+                    sh.rng, sh.zvblk.data() + b * samples, samples);
+                FastNormal::instance().fill(
+                    sh.rng, sh.zblk.data() + b * samples * dps,
+                    samples * dps);
+              } else if (fast) {
+                campaign.make_voltages(enc, sh.rng, sh.v,
+                                       sh.fence ? &*sh.fence : nullptr);
+                campaign.read_sensor_fast(plan, sh.v,
+                                          result.bits_of_interest, sh.rng,
+                                          sh.y);
+                std::copy(sh.y.begin(), sh.y.end(),
+                          sh.yblk.begin() + b * samples);
+              } else {
+                campaign.make_voltages(enc, sh.rng, sh.v,
+                                       sh.fence ? &*sh.fence : nullptr);
+                campaign.read_sensor(sh.v, result.bits_of_interest, sh.rng,
+                                     sh.y);
+                std::copy(sh.y.begin(), sh.y.end(),
+                          sh.yblk.begin() + b * samples);
+                model.hypotheses(enc.ciphertext, sh.h);
+                std::copy(sh.h.begin(), sh.h.end(),
+                          sh.hblk.begin() + b * 256);
+              }
+              if (fast) {
+                sh.clsv[b] = model.class_value(enc.ciphertext);
+                sh.clsb[b] = model.class_bit(enc.ciphertext);
+              }
+            }
+            // Compute pass: RNG-free lane-parallel kernels.
+            if (defer_hw) {
+              campaign.response_.voltages_block(sh.icblk.data(), bn, block,
+                                                sh.vblk.data(), simd);
+              for (std::size_t i = 0; i < bn * samples; ++i) {
+                sh.vblk[i] += 0.0 + env_noise_v * sh.zvblk[i];
+              }
+              setup_.sensor().toggle_hw_block(plan.hw, sh.vblk.data(),
+                                              bn * samples, sh.zblk.data(),
+                                              sh.yblk.data(), simd);
+            }
+            t1 = timed ? obs::monotonic_seconds() : 0.0;
+            if (fast) {
+              sh.cls.add_block(sh.clsv.data(), sh.clsb.data(),
+                               sh.yblk.data(), bn);
+            } else {
+              sh.engine.add_traces(sh.hblk.data(), sh.yblk.data(), bn);
+            }
+            ++sh.blocks;
+          }
+          sh.position += bn;
           if (timed) {
             const double t2 = obs::monotonic_seconds();
             sh.kernel_s += t1 - t0;
@@ -332,6 +449,16 @@ CampaignResult ParallelCampaign::run_sharded() {
           }
         }
       });
+    }
+    if (ob != nullptr && blocked) {
+      // Per-shard block counts, batched to the checkpoint boundary like
+      // the phase timers (workers never touch the registry mid-segment).
+      double nb = 0.0;
+      for (Shard& sh : shards) {
+        nb += static_cast<double>(sh.blocks);
+        sh.blocks = 0;
+      }
+      if (nb > 0.0) ob->metrics().add("slm.kernel.blocks_total", nb);
     }
     // Re-merge from scratch in fixed shard order: deterministic and,
     // because sensor readings are integer-valued, bit-exact vs. any
@@ -408,6 +535,7 @@ CampaignResult ParallelCampaign::run_sharded() {
       ck.target_bit = cfg_.target_bit;
       ck.single_bit = campaign.cfg_.single_bit;
       ck.compiled = fast;
+      ck.block = block;
       ck.traces_done = cp;
       ck.shard_state.reserve(T);
       for (unsigned i = 0; i < T; ++i) {

@@ -75,6 +75,63 @@ void CycleResponseMatrix::voltages(const std::vector<double>& i_cycles,
   }
 }
 
+void CycleResponseMatrix::voltages_block(const double* ic_t,
+                                         std::size_t lanes,
+                                         std::size_t stride, double* out,
+                                         bool simd) const {
+  SLM_REQUIRE(lanes > 0 && lanes <= stride,
+              "voltages_block: lanes exceed stride");
+  const std::size_t n_samples = sample_times_.size();
+  const std::size_t n_cycles = cycle_starts_.size();
+  const double* m = m_.data();
+  if (!simd) {
+    // Scalar fallback: the exact voltages() loop, one lane at a time.
+    for (std::size_t l = 0; l < lanes; ++l) {
+      for (std::size_t s = 0; s < n_samples; ++s) {
+        const double* row = m + s * n_cycles;
+        double dv = 0.0;
+        for (std::size_t c = 0; c < n_cycles; ++c) {
+          dv += row[c] * ic_t[c * stride + l];
+        }
+        out[l * n_samples + s] = v_dc_ + dv;
+      }
+    }
+    return;
+  }
+  // Lane-tiled: each tile's accumulators live in registers across the
+  // whole cycle loop (no per-cycle load/store of a deviation buffer).
+  // Every lane still accumulates c-ascending into its own running sum —
+  // the exact voltages() order — so results stay bit-identical; the
+  // lanes only pipeline the otherwise latency-bound FP-add chain.
+  constexpr std::size_t kTile = 8;
+  const std::size_t tiled = lanes - lanes % kTile;
+  for (std::size_t l0 = 0; l0 < tiled; l0 += kTile) {
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      const double* __restrict row = m + s * n_cycles;
+      double acc[kTile] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+      for (std::size_t c = 0; c < n_cycles; ++c) {
+        const double rc = row[c];
+        const double* __restrict ic = ic_t + c * stride + l0;
+        for (std::size_t k = 0; k < kTile; ++k) acc[k] += rc * ic[k];
+      }
+      for (std::size_t k = 0; k < kTile; ++k) {
+        out[(l0 + k) * n_samples + s] = v_dc_ + acc[k];
+      }
+    }
+  }
+  // Ragged tail: the scalar per-lane loop (same accumulation order).
+  for (std::size_t l = tiled; l < lanes; ++l) {
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      const double* row = m + s * n_cycles;
+      double dv = 0.0;
+      for (std::size_t c = 0; c < n_cycles; ++c) {
+        dv += row[c] * ic_t[c * stride + l];
+      }
+      out[l * n_samples + s] = v_dc_ + dv;
+    }
+  }
+}
+
 double CycleResponseMatrix::response(std::size_t sample,
                                      std::size_t cycle) const {
   SLM_REQUIRE(sample < sample_times_.size() && cycle < cycle_starts_.size(),

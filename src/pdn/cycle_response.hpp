@@ -44,6 +44,19 @@ class CycleResponseMatrix {
   void voltages(const std::vector<double>& i_cycles,
                 std::vector<double>& out) const;
 
+  /// Blocked voltages(): `lanes` traces evaluated at once. Input currents
+  /// are cycle-major — lane l's current for cycle c lives at
+  /// `ic_t[c * stride + l]` (stride >= lanes) — so the lane-inner loop is
+  /// unit-stride; output voltages are lane-major (`out[l * sample_count()
+  /// + s]`). Each lane accumulates its per-sample dot product in the same
+  /// cycle order as voltages(), so per-lane results are bit-identical to
+  /// `lanes` scalar calls; the scalar voltages() chain is latency-bound
+  /// (one FP add per cycle, no reassociation), which is exactly what the
+  /// lane-parallel form hides. `simd = false` runs the per-lane scalar
+  /// loop instead (same arithmetic, same results).
+  void voltages_block(const double* ic_t, std::size_t lanes,
+                      std::size_t stride, double* out, bool simd) const;
+
   /// Raw response entry: dV at `sample` per amp in `cycle`.
   double response(std::size_t sample, std::size_t cycle) const;
 

@@ -36,6 +36,33 @@ void CpaEngine::add_trace(const std::vector<std::uint8_t>& h,
   }
 }
 
+void CpaEngine::add_traces(const std::uint8_t* h, const double* y,
+                           std::size_t count) {
+  n_ += count;
+  // Trace-major per-sample sums: each sum_y_/sum_yy_ slot accumulates in
+  // block order, exactly as repeated add_trace calls would.
+  for (std::size_t t = 0; t < count; ++t) {
+    const double* yt = y + t * samples_;
+    for (std::size_t s = 0; s < samples_; ++s) {
+      sum_y_[s] += yt[s];
+      sum_yy_[s] += yt[s] * yt[s];
+    }
+  }
+  // Guess-major rank-K update: row k stays hot while the block's
+  // contributing traces are applied in order — same per-slot addition
+  // sequence as the per-trace scatter, ~samples_ doubles of working set.
+  for (std::size_t k = 0; k < guesses_; ++k) {
+    double* row = &sum_hy_[k * samples_];
+    for (std::size_t t = 0; t < count; ++t) {
+      if (h[t * guesses_ + k]) {
+        sum_h_[k] += 1.0;
+        const double* yt = y + t * samples_;
+        for (std::size_t s = 0; s < samples_; ++s) row[s] += yt[s];
+      }
+    }
+  }
+}
+
 void CpaEngine::merge(const CpaEngine& other) {
   SLM_REQUIRE(other.guesses_ == guesses_ && other.samples_ == samples_,
               "CpaEngine::merge: dimension mismatch");
@@ -139,6 +166,53 @@ void XorClassCpa::add_trace(std::uint8_t v, std::uint8_t b,
     sum_y_[s] += ys;
     sum_yy_[s] += ys * ys;
     row[s] += ys;
+  }
+}
+
+void XorClassCpa::add_block(const std::uint8_t* v, const std::uint8_t* b,
+                            const double* y, std::size_t count) {
+  for (std::size_t t = 0; t < count; ++t) {
+    SLM_REQUIRE(b[t] <= 1, "XorClassCpa: class bit must be 0/1");
+  }
+  n_ += count;
+  for (std::size_t t = 0; t < count; ++t) {
+    const double* yt = y + t * samples_;
+    for (std::size_t s = 0; s < samples_; ++s) {
+      const double ys = yt[s];
+      sum_y_[s] += ys;
+      sum_yy_[s] += ys * ys;
+    }
+  }
+  // Stable counting sort of the block's traces by class: head_/next_
+  // style chains would do, but for <= a few hundred traces two passes
+  // over a 512-entry histogram are cheaper and keep block order within
+  // each class — the property bit-exactness needs per-row addition order
+  // to match the per-trace scatter.
+  thread_local std::vector<std::uint32_t> head;
+  thread_local std::vector<std::uint32_t> order;
+  head.assign(kClasses + 1, 0);
+  order.resize(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    const std::size_t cls = (static_cast<std::size_t>(v[t]) << 1) | b[t];
+    ++head[cls + 1];
+  }
+  for (std::size_t c = 0; c < kClasses; ++c) head[c + 1] += head[c];
+  thread_local std::vector<std::uint32_t> cursor;
+  cursor.assign(head.begin(), head.end() - 1);
+  for (std::size_t t = 0; t < count; ++t) {
+    const std::size_t cls = (static_cast<std::size_t>(v[t]) << 1) | b[t];
+    order[cursor[cls]++] = static_cast<std::uint32_t>(t);
+  }
+  for (std::size_t cls = 0; cls < kClasses; ++cls) {
+    const std::uint32_t lo = head[cls];
+    const std::uint32_t hi = head[cls + 1];
+    if (lo == hi) continue;
+    class_n_[cls] += static_cast<double>(hi - lo);
+    double* row = &class_y_[cls * samples_];
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      const double* yt = y + static_cast<std::size_t>(order[i]) * samples_;
+      for (std::size_t s = 0; s < samples_; ++s) row[s] += yt[s];
+    }
   }
 }
 

@@ -26,6 +26,15 @@ class CpaEngine {
   void add_trace(const std::vector<std::uint8_t>& h,
                  const std::vector<double>& y);
 
+  /// A block of `count` traces at once: h is count x guess_count
+  /// hypothesis rows, y is count x sample_count reading rows, both
+  /// trace-major. The per-sample sums stream trace-major and the
+  /// per-guess rank-K update runs guess-major with the block's traces
+  /// applied in order, so every accumulator slot sees the same addition
+  /// sequence as `count` add_trace calls — bit-identical sums, but each
+  /// sum_hy_ row stays cache-resident for the whole block.
+  void add_traces(const std::uint8_t* h, const double* y, std::size_t count);
+
   /// Fold another engine's traces into this one. The running sums are
   /// plain sums, so merging N shard engines that together saw the same
   /// traces as one serial engine reproduces the serial sums exactly
@@ -91,6 +100,17 @@ class XorClassCpa {
   /// One trace: class value v, class bit b, readings y (size sample_count).
   void add_trace(std::uint8_t v, std::uint8_t b,
                  const std::vector<double>& y);
+
+  /// A block of `count` traces at once: per-trace class values/bits and
+  /// trace-major count x sample_count readings. Traces are bucketed by
+  /// class with a stable counting sort, then each touched class row is
+  /// updated once with its traces in block order — every reading sum
+  /// sees the same addition sequence as `count` add_trace calls, and the
+  /// class counts are small integers (exact under any regrouping), so
+  /// the sums are bit-identical while the scatter becomes a cache-blocked
+  /// (class, sample) rank-K update.
+  void add_block(const std::uint8_t* v, const std::uint8_t* b,
+                 const double* y, std::size_t count);
 
   /// Fold another accumulator's traces into this one (shard merges).
   void merge(const XorClassCpa& other);

@@ -172,6 +172,70 @@ void BenignSensorBank::toggle_hw_batch(const CompiledHwPlan& plan,
   }
 }
 
+void BenignSensorBank::toggle_hw_block(const CompiledHwPlan& plan,
+                                       const double* v, std::size_t lanes,
+                                       const double* z, double* y,
+                                       bool simd) const {
+  if (plan.draws_per_sample == 0) {
+    for (std::size_t l = 0; l < lanes; ++l) y[l] = 0.0;
+    return;
+  }
+  if (!simd) {
+    // Scalar reference dispatch (SLM_SIMD=0): the exact per-sample loop
+    // of toggle_hw_batch, just reading caller-provided draws.
+    const double* d = z;
+    if (plan.uniform_clock) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const double t_nom = plan.parts.front().packed.nominal_time(v[l]);
+        std::uint32_t hw = 0;
+        for (const auto& part : plan.parts) {
+          hw += part.packed.hw_at_nominal(t_nom, d);
+          d += 1 + part.packed.size();
+        }
+        y[l] = static_cast<double>(hw);
+      }
+      return;
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      std::uint32_t hw = 0;
+      for (const auto& part : plan.parts) {
+        hw += part.packed.hw_from_draws(v[l], d);
+        d += 1 + part.packed.size();
+      }
+      y[l] = static_cast<double>(hw);
+    }
+    return;
+  }
+  thread_local std::vector<std::uint32_t> hw;
+  thread_local std::vector<double> t_nom;
+  thread_local timing::PackedToggleSubset::BlockScratch scratch;
+  hw.assign(lanes, 0);
+  t_nom.resize(lanes);
+  // nominal_time is the same expression whichever part computes it under
+  // a uniform clock, so one lane-major pass serves every part — exactly
+  // the division-sharing toggle_hw_batch does per sample.
+  std::size_t off = 0;
+  if (plan.uniform_clock) {
+    const auto& front = plan.parts.front().packed;
+    for (std::size_t l = 0; l < lanes; ++l) t_nom[l] = front.nominal_time(v[l]);
+    for (const auto& part : plan.parts) {
+      part.packed.hw_block(t_nom.data(), lanes, z + off, plan.draws_per_sample,
+                           hw.data(), scratch);
+      off += 1 + part.packed.size();
+    }
+  } else {
+    for (const auto& part : plan.parts) {
+      for (std::size_t l = 0; l < lanes; ++l) {
+        t_nom[l] = part.packed.nominal_time(v[l]);
+      }
+      part.packed.hw_block(t_nom.data(), lanes, z + off, plan.draws_per_sample,
+                           hw.data(), scratch);
+      off += 1 + part.packed.size();
+    }
+  }
+  for (std::size_t l = 0; l < lanes; ++l) y[l] = static_cast<double>(hw[l]);
+}
+
 BenignSensorBank::CompiledBitPlan BenignSensorBank::compile_bit_plan(
     std::size_t global_i) const {
   std::size_t base = 0;

@@ -137,6 +137,18 @@ class BenignSensorBank {
   void toggle_hw_batch(const CompiledHwPlan& plan, const double* v,
                        std::size_t n, Xoshiro256& rng, double* y) const;
 
+  /// Pure-compute half of toggle_hw_batch over pre-drawn normals: lane l
+  /// (a whole trace-block worth of samples) reads voltage v[l] and the
+  /// draw slice z[l * draws_per_sample ...] — exactly the layout one
+  /// FastNormal::fill per trace produces when traces are packed
+  /// back-to-back. `simd = false` forces the per-lane scalar reference
+  /// loop (the SLM_SIMD=0 fallback); both paths are bit-exact against
+  /// toggle_hw_batch on the same draws, which the sensor property suite
+  /// enforces.
+  void toggle_hw_block(const CompiledHwPlan& plan, const double* v,
+                       std::size_t lanes, const double* z, double* y,
+                       bool simd = true) const;
+
   /// Owning instance + local index of one global bit.
   struct CompiledBitPlan {
     const timing::CompiledCapture* cap = nullptr;

@@ -84,6 +84,26 @@ class PackedToggleSubset {
     return hw;
   }
 
+  /// Reusable lane buffers for hw_block, owned by the caller so back-to-
+  /// back blocks share one allocation (thread_local at the call sites).
+  struct BlockScratch {
+    std::vector<double> t_eff;  ///< per-lane effective instant
+    std::vector<double> t;      ///< per-lane per-endpoint query instant
+    std::vector<std::uint32_t> c;  ///< per-lane toggle counts
+  };
+
+  /// Lane-parallel hw_at_nominal over a block of `lanes` pre-drawn
+  /// slices: lane l uses nominal instant t_nom[l] and the draw slice
+  /// z[l * stride .. l * stride + size()], and its Hamming weight is
+  /// ADDED into hw[l] (callers zero or chain across parts). Each lane
+  /// executes the exact scalar FP expression sequence of hw_at_nominal —
+  /// the loops are merely endpoint-major so the toggle-run compares
+  /// auto-vectorize across lanes — so every lane is bit-exact against
+  /// hw_at_nominal(t_nom[l], z + l * stride).
+  void hw_block(const double* t_nom, std::size_t lanes, const double* z,
+                std::size_t stride, std::uint32_t* hw,
+                BlockScratch& scratch) const;
+
  private:
   friend class CompiledCapture;
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "common/error.hpp"
 
@@ -121,6 +122,66 @@ TEST(Campaign, AutoBitResolvesToSensitiveEndpoint) {
   CpaCampaign campaign(setup, cfg);
   (void)campaign.run();
   EXPECT_LT(campaign.resolved_single_bit(), setup.sensor_bits());
+}
+
+// The trace-block size only tiles the capture loop — every block size
+// (including ones that straddle checkpoints and leave ragged tails) and
+// the forced-scalar kernel must reproduce the block=1 per-trace results
+// bit for bit, in both the blockable benign-HW mode and the TDC mode
+// whose reads stay per-trace inside the block loop.
+TEST(Campaign, BlockSizeInvariant) {
+  const auto cal = Calibration::paper_defaults();
+  for (const SensorMode mode :
+       {SensorMode::kBenignHw, SensorMode::kTdcFull}) {
+    auto run_once = [&](std::size_t block, bool simd) {
+      AttackSetup setup(BenignCircuit::kAlu, cal);
+      CampaignConfig cfg = small_cfg(mode, 700);
+      cfg.checkpoints = {100, 500, 700};  // 64 and 48 straddle both
+      cfg.block = block;
+      cfg.simd = simd;
+      CpaCampaign campaign(setup, cfg);
+      return campaign.run();
+    };
+    const auto ref = run_once(1, true);
+    for (const std::size_t block : {5u, 48u, 64u, 1024u}) {
+      for (const bool simd : {true, false}) {
+        const auto r = run_once(block, simd);
+        EXPECT_EQ(r.block_size, block);
+        ASSERT_EQ(r.traces_run, ref.traces_run);
+        EXPECT_EQ(r.recovered_guess, ref.recovered_guess);
+        ASSERT_EQ(r.final_max_abs_corr, ref.final_max_abs_corr)
+            << sensor_mode_name(mode) << " block " << block << " simd "
+            << simd;
+        ASSERT_EQ(r.progress.size(), ref.progress.size());
+        for (std::size_t i = 0; i < r.progress.size(); ++i) {
+          EXPECT_EQ(r.progress[i].traces, ref.progress[i].traces);
+          EXPECT_EQ(r.progress[i].correct_corr,
+                    ref.progress[i].correct_corr);
+          EXPECT_EQ(r.progress[i].best_wrong_corr,
+                    ref.progress[i].best_wrong_corr);
+        }
+      }
+    }
+  }
+}
+
+TEST(Campaign, BlockResolutionPrecedence) {
+  // Explicit request wins; 0 falls back to the default (the SLM_BLOCK
+  // env override is exercised by the CLI smoke, not here, to keep the
+  // test environment-independent).
+  EXPECT_EQ(resolve_block(7), 7u);
+  if (std::getenv("SLM_BLOCK") == nullptr) {
+    EXPECT_EQ(resolve_block(0), kDefaultBlockTraces);
+  }
+  EXPECT_FALSE(resolve_simd(false));
+}
+
+TEST(Campaign, ResultReportsEffectiveBlock) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  CampaignConfig cfg = small_cfg(SensorMode::kTdcFull, 50);
+  cfg.block = 5;
+  CpaCampaign campaign(setup, cfg);
+  EXPECT_EQ(campaign.run().block_size, 5u);
 }
 
 TEST(Campaign, Validation) {

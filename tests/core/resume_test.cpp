@@ -212,6 +212,39 @@ TEST(ResumeTest, SerialBenignHwWithFenceResumesBitExact) {
   std::filesystem::remove_all(dir);
 }
 
+// The trace-block size tiles the capture loop but never shifts a
+// checkpoint: a run killed and resumed under block 7 (which divides
+// neither the 200-trace halt nor the trace budget) must match an
+// uninterrupted block-64 run bit for bit — the header records the block
+// informationally and resume deliberately does not require it to match.
+TEST(ResumeTest, BlockSizeSurvivesKillResumeBitExact) {
+  const std::string dir = fresh_dir("ckpt_block");
+  auto cfg = small_cfg(SensorMode::kBenignHw, 500);
+
+  cfg.block = 64;
+  const auto uninterrupted = run_serial(cfg);
+
+  cfg.block = 7;
+  cfg.checkpoint_dir = dir;
+  cfg.halt_after_traces = 200;
+  EXPECT_THROW((void)run_serial(cfg), CampaignHalted);
+  {
+    const auto ck = load_checkpoint(dir);
+    ASSERT_TRUE(ck.has_value());
+    EXPECT_EQ(ck->block, 7u);
+    EXPECT_EQ(ck->traces_done, 200u);
+  }
+
+  cfg.halt_after_traces = 0;
+  cfg.resume = true;
+  cfg.block = 48;  // yet another tiling for the remainder
+  const auto resumed = run_serial(cfg);
+  EXPECT_EQ(resumed.resumed_from, 200u);
+  EXPECT_EQ(resumed.block_size, 48u);
+  expect_bit_identical(uninterrupted, resumed);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ResumeTest, ShardedKillAtCheckpointResumesBitExact) {
   const std::string dir = fresh_dir("ckpt_sharded");
   auto cfg = small_cfg(SensorMode::kTdcFull, 500);

@@ -195,6 +195,33 @@ void check_case(const Fixture& f, double v, std::uint64_t stream_seed) {
     ASSERT_EQ(ra.next(), rb.next());
   }
 
+  // --- hw_block: the lane-parallel kernel over a block of pre-drawn
+  // slices must match hw_at_nominal lane by lane (same draws, same
+  // nominal time per lane — the block pipeline's bit-exactness claim).
+  {
+    std::vector<std::uint32_t> idx(bits.begin(), bits.end());
+    const timing::PackedToggleSubset packed = f.fast.pack_subset(idx);
+    Xoshiro256 rb(stream_seed + 6);
+    const std::size_t lanes = 1 + rb.next() % 17;  // ragged, incl. 1
+    const std::size_t stride = 1 + idx.size();
+    std::vector<double> z(lanes * stride);
+    FastNormal::instance().fill(rb, z.data(), z.size());
+    std::vector<double> t_nom(lanes);
+    std::vector<double> vl(lanes);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      vl[l] = random_voltage(rb);
+      t_nom[l] = packed.nominal_time(vl[l]);
+    }
+    std::vector<std::uint32_t> hw(lanes, 0);
+    timing::PackedToggleSubset::BlockScratch scratch;
+    packed.hw_block(t_nom.data(), lanes, z.data(), stride, hw.data(),
+                    scratch);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ASSERT_EQ(hw[l], packed.hw_at_nominal(t_nom[l], z.data() + l * stride))
+          << "lane " << l << " of " << lanes << " at v=" << vl[l];
+    }
+  }
+
   // --- noise-free threshold queries against a time-domain walk.
   {
     const double t = f.ref.effective_time(v);

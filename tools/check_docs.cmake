@@ -55,8 +55,9 @@ endforeach()
 #    or ARCHITECTURE must appear in the sources or the build system.
 file(READ ${REPO}/CMakeLists.txt rootcmake)
 file(READ ${REPO}/src/obs/observer.cpp obssrc)
+file(READ ${REPO}/src/core/campaign.cpp campaignsrc)
 file(READ ${REPO}/tests/regression/golden_trace_test.cpp goldensrc)
-string(APPEND flag_sources "${rootcmake}\n${obssrc}\n${goldensrc}\n")
+string(APPEND flag_sources "${rootcmake}\n${obssrc}\n${campaignsrc}\n${goldensrc}\n")
 string(REGEX MATCHALL "SLM_[A-Z_]+" doc_knobs
        "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}")
 list(REMOVE_DUPLICATES doc_knobs)

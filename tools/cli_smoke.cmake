@@ -21,5 +21,16 @@ run_cli(0 atpg smoke_mult.bench --band-lo 0.8 --band-hi 2.5)
 # both configuration errors (rc 1), not silent fresh starts.
 run_cli(1 attack --resume smoke-no-such-dir)
 run_cli(1 attack --halt-after 100)
+# Block-pipeline knobs: an odd --block through the TDC campaign (rc 0,
+# key recovered as without the flag), then the env overrides SLM_SIMD=0
+# (forced-scalar block kernels) + SLM_BLOCK=7 through the blockable HW
+# mode — 500 traces cannot recover the byte, so the deterministic
+# outcome is rc 4, proving the fallback path runs end to end.
+run_cli(0 attack --circuit alu --mode tdc --traces 6000 --key-byte 3 --block 5)
+set(ENV{SLM_SIMD} 0)
+set(ENV{SLM_BLOCK} 7)
+run_cli(4 attack --circuit alu --mode hw --traces 500 --key-byte 3)
+unset(ENV{SLM_SIMD})
+unset(ENV{SLM_BLOCK})
 run_cli(64 bogus-command)
 message(STATUS "cli smoke: all subcommands behaved")

@@ -34,8 +34,11 @@ endif()
 
 # 2. Same campaign, snapshotting, killed after the first checkpoint
 #    past 2000 traces. rc 5 is the documented "halted, snapshot on
-#    disk" exit code.
-run_slm(halt_out 5 ${common}
+#    disk" exit code. --block 48 does not divide the 2000-trace halt or
+#    the 6000-trace budget: the block loop must still land exactly on
+#    the checkpoint (the reference run above used the default block, so
+#    the final line comparison also proves block-size invariance).
+run_slm(halt_out 5 ${common} --block 48
         --checkpoint-dir ${ckpt_dir} --halt-after 2000 --trace-out ${events})
 if(NOT halt_out MATCHES "campaign halted after")
   message(FATAL_ERROR "halted run did not announce the snapshot:\n${halt_out}")
@@ -44,8 +47,8 @@ if(NOT EXISTS ${ckpt_dir}/campaign.ckpt)
   message(FATAL_ERROR "halt left no snapshot at ${ckpt_dir}/campaign.ckpt")
 endif()
 
-# 3. Resume and run to completion.
-run_slm(res_out 0 ${common} --resume ${ckpt_dir} --trace-out ${events})
+# 3. Resume and run to completion (still under the odd block size).
+run_slm(res_out 0 ${common} --block 48 --resume ${ckpt_dir} --trace-out ${events})
 if(NOT res_out MATCHES "resumed from trace")
   message(FATAL_ERROR "resumed run did not restore the snapshot:\n${res_out}")
 endif()
@@ -70,4 +73,4 @@ endif()
 
 file(REMOVE_RECURSE ${ckpt_dir})
 file(REMOVE ${events})
-message(STATUS "resume smoke: kill at 2000/6000, bit-identical recovery after resume")
+message(STATUS "resume smoke: kill at 2000/6000 under --block 48, bit-identical recovery after resume")

@@ -208,6 +208,10 @@ int cmd_attack(const Args& args) {
     throw Error("attack --halt-after: needs --checkpoint-dir (nothing to "
                 "resume from otherwise)");
   }
+  // --block tiles the capture loop (0 = SLM_BLOCK env, else the default;
+  // any value is bit-identical, including across a kill/resume pair).
+  // SLM_SIMD=0 in the environment selects the scalar block kernels.
+  opts.block = args.get_n("block", 0);
 
   // Observability: --trace-out wins over the SLM_TRACE environment knob;
   // either attaches a metrics registry + JSONL event sink.
@@ -243,8 +247,9 @@ int cmd_attack(const Args& args) {
     std::cout << "resumed from trace " << r.resumed_from << "\n";
   }
   if (r.capture_seconds > 0.0) {
-    std::printf("campaign: %u thread(s), %.2f s, %.0f traces/sec\n",
-                r.threads_used, r.capture_seconds,
+    std::printf("campaign: %u thread(s), block %zu, %.2f s, "
+                "%.0f traces/sec\n",
+                r.threads_used, r.block_size, r.capture_seconds,
                 static_cast<double>(r.traces) / r.capture_seconds);
   }
   if (observer != nullptr && r.kernel_seconds > 0.0) {
@@ -268,6 +273,7 @@ int cmd_attack(const Args& args) {
             .field("recovered", static_cast<std::uint64_t>(r.recovered))
             .field("success", r.success)
             .field("threads", static_cast<std::uint64_t>(r.threads_used))
+            .field("block", static_cast<std::uint64_t>(r.block_size))
             .field("capture_seconds", r.capture_seconds));
   }
   return r.success ? 0 : 4;
@@ -282,7 +288,7 @@ int usage() {
          "  sta    FILE.bench [--clock-mhz F]\n"
          "  atpg   FILE.bench [--band-lo NS] [--band-hi NS]\n"
          "  attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]\n"
-         "         [--traces N] [--key-byte B] [--threads N]\n"
+         "         [--traces N] [--key-byte B] [--threads N] [--block N]\n"
          "         [--checkpoint-dir D] [--resume D] [--halt-after N]\n"
          "         [--trace-out F.jsonl]\n";
   return 64;
