@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "core/calibration.hpp"
+#include "core/parallel.hpp"
 #include "core/setup.hpp"
 #include "sensors/benign_sensor.hpp"
 #include "crypto/aes_datapath.hpp"
@@ -307,6 +308,130 @@ void BM_XorClassAddBlock(benchmark::State& state) {
                           static_cast<std::int64_t>(kMicroBlock));
 }
 BENCHMARK(BM_XorClassAddBlock);
+
+// --- RNG contract v2: per-trace stream derivation and pipelining -------
+//
+// Contract v2 (DESIGN.md §12) replaces one sequential xoshiro stream
+// with a freshly derived stream per trace. The pairs below price that
+// swap: the sequential baseline draws a trace's worth of randomness
+// from one stream (v1's generation shape), the trace_stream variants
+// pay the splitmix derivation per trace, and the gen/compute pair
+// measures the double-buffered producer/consumer overlap the serial v2
+// engine runs (generation on a 1-worker pool via submit_indexed/wait,
+// compute on the calling thread). items_per_second is traces/sec.
+
+// A trace's draw volume in the blocked benign-HW path: 16 plaintext
+// bytes, one env-noise fill, one jitter fill.
+constexpr std::size_t kMicroDps = 4;  // jitter draws per sample
+
+inline void draw_one_trace(Xoshiro256& rng, double* zv, double* z) {
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 16; ++i) acc ^= rng.next();
+  benchmark::DoNotOptimize(acc);
+  FastNormal::instance().fill(rng, zv, kMicroSamples);
+  FastNormal::instance().fill(rng, z, kMicroSamples * kMicroDps);
+}
+
+void BM_RngSequentialStream(benchmark::State& state) {
+  Xoshiro256 rng(0x51);
+  std::vector<double> zv(kMicroSamples), z(kMicroSamples * kMicroDps);
+  for (auto _ : state) {
+    draw_one_trace(rng, zv.data(), z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngSequentialStream);
+
+void BM_RngTraceStreamDerive(benchmark::State& state) {
+  // Pure derivation cost: two splitmix64 mixes + state expansion.
+  std::uint64_t g = 0;
+  for (auto _ : state) {
+    Xoshiro256 rng =
+        Xoshiro256::trace_stream(0x51, kTraceDomainCapture, g++);
+    benchmark::DoNotOptimize(rng.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngTraceStreamDerive);
+
+void BM_RngTraceStreamPerTrace(benchmark::State& state) {
+  // v2's generation shape: derive + the same per-trace draw volume.
+  std::vector<double> zv(kMicroSamples), z(kMicroSamples * kMicroDps);
+  std::uint64_t g = 0;
+  for (auto _ : state) {
+    Xoshiro256 rng =
+        Xoshiro256::trace_stream(0x51, kTraceDomainCapture, g++);
+    draw_one_trace(rng, zv.data(), z.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngTraceStreamPerTrace);
+
+void gen_compute_bench(benchmark::State& state, bool pipelined) {
+  core::AttackSetup setup(core::BenignCircuit::kAlu,
+                          core::Calibration::paper_defaults());
+  const auto plan = micro_hw_plan(setup);
+  const std::size_t lanes = kMicroBlock * kMicroSamples;
+  const std::size_t dps = plan.draws_per_sample;
+  std::vector<double> v(lanes, 0.97);
+  std::vector<double> y(lanes, 0.0);
+  std::vector<double> z[2] = {std::vector<double>(lanes * dps),
+                              std::vector<double>(lanes * dps)};
+  std::uint64_t g = 0;
+  auto gen_block = [&](std::vector<double>& slab) {
+    for (std::size_t t = 0; t < kMicroBlock; ++t) {
+      Xoshiro256 rng =
+          Xoshiro256::trace_stream(0x51, kTraceDomainCapture, g + t);
+      std::uint64_t acc = 0;
+      for (int i = 0; i < 16; ++i) acc ^= rng.next();
+      benchmark::DoNotOptimize(acc);
+      FastNormal::instance().fill(rng, slab.data() + t * kMicroSamples * dps,
+                                  kMicroSamples * dps);
+    }
+    g += kMicroBlock;
+  };
+  if (!pipelined) {
+    for (auto _ : state) {
+      gen_block(z[0]);
+      setup.sensor().toggle_hw_block(plan, v.data(), lanes, z[0].data(),
+                                     y.data(), true);
+      benchmark::DoNotOptimize(y[0]);
+    }
+  } else {
+    core::ThreadPool pool(1);
+    int cur = 0;
+    gen_block(z[cur]);
+    for (auto _ : state) {
+      // Producer fills the other slab while this thread computes.
+      std::vector<double>* next = &z[1 - cur];
+      pool.submit_indexed(1, [&gen_block, next](std::size_t) {
+        gen_block(*next);
+      });
+      setup.sensor().toggle_hw_block(plan, v.data(), lanes, z[cur].data(),
+                                     y.data(), true);
+      benchmark::DoNotOptimize(y[0]);
+      pool.wait();
+      cur = 1 - cur;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMicroBlock));
+}
+
+// Real time, not CPU time: the pipelined variant spends producer CPU
+// on a second thread, and the honest comparison is wall clock per
+// block. On a single-core machine the pair reports parity-or-worse —
+// which is exactly why the engine gates the overlap on
+// hardware_concurrency (SLM_PIPELINE overrides).
+void BM_GenComputeSerial(benchmark::State& state) {
+  gen_compute_bench(state, false);
+}
+BENCHMARK(BM_GenComputeSerial)->UseRealTime();
+
+void BM_GenComputePipelined(benchmark::State& state) {
+  gen_compute_bench(state, true);
+}
+BENCHMARK(BM_GenComputePipelined)->UseRealTime();
 
 }  // namespace
 

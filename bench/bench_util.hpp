@@ -100,33 +100,45 @@ struct CpaFigureResult {
 /// recovery checks are skipped so bench_smoke can run a 2k-trace variant.
 inline bool full_shape_budget(std::size_t traces) { return traces >= 50000; }
 
-/// Three-way kernel comparison: the same serial campaign on (1) the
-/// block-batched compiled path (--block/SLM_BLOCK-resolved size), (2)
-/// the compiled per-trace path (block = 1, the PR 2 baseline), and (3)
-/// the reference path (compiled_kernels = false, block = 1) — fresh
-/// AttackSetup each — and checks all three results are bit-identical:
-/// recovered guess, every per-candidate |correlation| and every progress
-/// point. Each path is timed over three interleaved repetitions and the
+/// Four-way kernel comparison, serial campaigns with fresh AttackSetups:
+/// (1) the block-batched compiled path under the run's RNG contract
+/// (--block/SLM_BLOCK-resolved size; v2 by default, which also engages
+/// the pipelined generate/compute overlap), (2) the compiled per-trace
+/// path (block = 1, the PR 2 baseline), (3) the reference path
+/// (compiled_kernels = false, block = 1), and (4) the same blocked
+/// compiled campaign pinned to contract v1 — the sequential-stream
+/// serial floor that v2 exists to break. Passes 1–3 share a contract
+/// and must be bit-identical: recovered guess, every per-candidate
+/// |correlation| and every progress point. Pass 4 draws different
+/// randomness by design (DESIGN.md §12), so it is timed, not diffed.
+/// Each path is timed over three interleaved repetitions and the
 /// fastest is reported (min-of-N damps scheduler noise on shared
 /// machines; all repetitions are seeded identically, so the repeat
-/// cannot change the equivalence verdict). Throughput is computed over the capture phase
-/// only (capture_seconds minus selection_seconds): the selection
-/// pre-pass runs per-trace over every sensor bit in all three paths, so
-/// including it would dilute the ratios with identical common work that
-/// none of the kernel knobs touch.
+/// cannot change the equivalence verdict). Throughput is computed over
+/// the capture phase only (capture_seconds minus selection_seconds):
+/// the selection pre-pass runs per-trace over every sensor bit in all
+/// paths, so including it would dilute the ratios with identical
+/// common work that none of the kernel knobs touch.
 struct KernelComparison {
   bool equivalent = false;
   std::size_t traces = 0;
   std::size_t block_size = 0;  ///< effective block of the blocked pass
+  core::RngContract rng_contract = core::RngContract::kV2;
   double block_tps = 0.0;      ///< traces/sec, blocked compiled path
   double compiled_tps = 0.0;   ///< traces/sec, per-trace compiled path
   double reference_tps = 0.0;  ///< traces/sec, reference path
+  double v1_block_tps = 0.0;   ///< traces/sec, blocked path under v1
   double speedup() const {
     return reference_tps > 0.0 ? compiled_tps / reference_tps : 0.0;
   }
   /// Block-pipeline win over the per-trace compiled baseline.
   double block_speedup() const {
     return compiled_tps > 0.0 ? block_tps / compiled_tps : 0.0;
+  }
+  /// Contract v2 (counter-keyed streams + pipelined generation) vs the
+  /// v1 sequential-stream floor, same blocked compiled campaign.
+  double contract_speedup() const {
+    return v1_block_tps > 0.0 ? block_tps / v1_block_tps : 0.0;
   }
 };
 
@@ -137,21 +149,24 @@ inline KernelComparison compare_kernel_paths(core::BenignCircuit circuit,
   core::CampaignConfig cfg = cfg_in;
   cfg.traces = std::min(cfg.traces, max_traces);
   out.traces = cfg.traces;
+  out.rng_contract = core::resolve_contract(cfg_in.rng_contract);
 
-  constexpr int kPasses = 3;
+  constexpr int kPasses = 4;
   constexpr int kReps = 3;
   core::CampaignResult res[kPasses];
-  double best_seconds[kPasses] = {0.0, 0.0, 0.0};
-  // Rep-major order: each repetition cycles through all three paths
+  double best_seconds[kPasses] = {0.0, 0.0, 0.0, 0.0};
+  // Rep-major order: each repetition cycles through all four paths
   // back-to-back, so slow drift in background load (shared machines)
   // hits every path roughly equally instead of biasing whichever path
   // happened to run during a quiet stretch.
   for (int rep = 0; rep < kReps; ++rep) {
     for (int pass = 0; pass < kPasses; ++pass) {
       cfg.compiled_kernels = (pass != 2);
-      // Pass 0 keeps the caller's block request (0 = auto); the baselines
-      // pin block = 1, which runs the exact per-trace loop.
-      cfg.block = (pass == 0) ? cfg_in.block : 1;
+      // Passes 0 and 3 keep the caller's block request (0 = auto); the
+      // baselines pin block = 1, which runs the exact per-trace loop.
+      cfg.block = (pass == 1 || pass == 2) ? 1 : cfg_in.block;
+      cfg.rng_contract =
+          (pass == 3) ? core::RngContract::kV1 : cfg_in.rng_contract;
       core::AttackSetup setup(circuit, core::Calibration::paper_defaults());
       core::CpaCampaign campaign(setup, cfg);
       core::CampaignResult r = campaign.run();
@@ -175,9 +190,13 @@ inline KernelComparison compare_kernel_paths(core::BenignCircuit circuit,
     out.reference_tps =
         static_cast<double>(res[2].traces_run) / best_seconds[2];
   }
+  if (best_seconds[3] > 0.0) {
+    out.v1_block_tps =
+        static_cast<double>(res[3].traces_run) / best_seconds[3];
+  }
 
   bool eq = true;
-  for (int pass = 1; pass < kPasses; ++pass) {
+  for (int pass = 1; pass < 3; ++pass) {
     const core::CampaignResult& b = res[pass];
     eq = eq && a.traces_run == b.traces_run &&
          a.recovered_guess == b.recovered_guess &&
@@ -193,15 +212,21 @@ inline KernelComparison compare_kernel_paths(core::BenignCircuit circuit,
            a.progress[i].correct_rank == b.progress[i].correct_rank;
     }
   }
+  // The v1 pass must at least agree on the physics (same recovered
+  // byte over a full-shape budget is checked by the caller's shape
+  // checks; here we only require the run completed).
+  eq = eq && res[3].traces_run == a.traces_run;
   out.equivalent = eq;
 
   std::printf(
       "kernel equivalence: %s over %zu traces "
       "(block=%zu %.0f traces/sec, per-trace compiled %.0f traces/sec "
-      "[%.2fx], reference %.0f traces/sec [%.2fx])\n",
+      "[%.2fx], reference %.0f traces/sec [%.2fx]; "
+      "v1 blocked %.0f traces/sec -> contract speedup %.2fx)\n",
       eq ? "bit-identical" : "MISMATCH", out.traces, out.block_size,
       out.block_tps, out.compiled_tps, out.block_speedup(),
-      out.reference_tps, out.speedup());
+      out.reference_tps, out.speedup(), out.v1_block_tps,
+      out.contract_speedup());
   return out;
 }
 
@@ -234,6 +259,7 @@ inline void write_bench_json(const std::string& tag,
                "  \"traces\": %zu,\n"
                "  \"threads\": %u,\n"
                "  \"block_size\": %zu,\n"
+               "  \"rng_contract\": \"%s\",\n"
                "  \"capture_seconds\": %.6f,\n"
                "  \"traces_per_sec\": %.1f,\n"
                "  \"key_recovered\": %s,\n"
@@ -244,7 +270,9 @@ inline void write_bench_json(const std::string& tag,
                "    \"block_speedup\": %.3f,\n"
                "    \"compiled_traces_per_sec\": %.1f,\n"
                "    \"reference_traces_per_sec\": %.1f,\n"
-               "    \"speedup\": %.3f\n"
+               "    \"speedup\": %.3f,\n"
+               "    \"v1_traces_per_sec\": %.1f,\n"
+               "    \"contract_speedup\": %.3f\n"
                "  },\n"
                "  \"metrics\": {\n"
                "    \"kernel_seconds\": %.6f,\n"
@@ -256,11 +284,13 @@ inline void write_bench_json(const std::string& tag,
                "}\n",
                tag.c_str(), core::sensor_mode_name(r.mode),
                static_cast<unsigned long long>(cfg.seed), r.traces_run,
-               r.threads_used, r.block_size, r.capture_seconds, tps,
-               r.key_recovered ? "true" : "false",
+               r.threads_used, r.block_size,
+               core::rng_contract_name(r.rng_contract), r.capture_seconds,
+               tps, r.key_recovered ? "true" : "false",
                eq.equivalent ? "true" : "false", eq.traces, eq.block_tps,
                eq.block_speedup(), eq.compiled_tps,
-               eq.reference_tps, eq.speedup(), r.kernel_seconds,
+               eq.reference_tps, eq.speedup(), eq.v1_block_tps,
+               eq.contract_speedup(), r.kernel_seconds,
                r.cpa_seconds, r.selection_seconds, r.checkpoint_io_seconds,
                observer != nullptr ? observer->metrics().to_json().c_str()
                                    : "{}");
@@ -299,7 +329,9 @@ inline CpaFigureResult run_cpa_figure(core::BenignCircuit circuit,
             << "target           : last-round key byte " << cfg.target_key_byte
             << ", state bit " << cfg.target_bit << "\n"
             << "threads          : " << r.threads_used << "\n"
-            << "trace block      : " << r.block_size << "\n";
+            << "trace block      : " << r.block_size << "\n"
+            << "rng contract     : " << core::rng_contract_name(r.rng_contract)
+            << "\n";
   if (r.capture_seconds > 0.0) {
     std::printf("throughput       : %.0f traces/sec (%.2f s)\n",
                 static_cast<double>(r.traces_run) / r.capture_seconds,

@@ -102,6 +102,17 @@ Xoshiro256 Xoshiro256::stream(std::uint64_t seed, std::uint64_t stream_index) {
   return Xoshiro256(seed ^ splitmix64(x));
 }
 
+Xoshiro256 Xoshiro256::trace_stream(std::uint64_t seed,
+                                    std::uint64_t stream_index,
+                                    std::uint64_t trace_index) {
+  // Same two-round mixing as stream(), with the trace counter folded in
+  // through an independently-keyed splitmix so (d, t) and (t, d) land in
+  // unrelated state-space regions.
+  std::uint64_t x = stream_index ^ 0xd1b54a32d192ed03ull;
+  std::uint64_t y = trace_index ^ 0x8cb92ba72f3d8dd7ull;
+  return Xoshiro256(seed ^ splitmix64(x) ^ splitmix64(y));
+}
+
 FastNormal::FastNormal() {
   // quantile_[i] = Phi^-1((i + 0.5) / kTableSize) at bucket centres; the
   // +1 guard entry mirrors the last bucket for interpolation at the edge.

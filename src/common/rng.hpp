@@ -13,6 +13,15 @@
 
 namespace slm {
 
+/// Domain separators for counter-keyed per-trace streams (determinism
+/// contract v2, DESIGN.md §12). Each consumer of per-trace randomness
+/// derives its stream from trace_stream(seed, domain, trace_index) with
+/// its own domain constant, so the capture draws, fence draws, and mask
+/// draws of the same trace never collide.
+inline constexpr std::uint64_t kTraceDomainCapture = 0;
+inline constexpr std::uint64_t kTraceDomainFence = 1;
+inline constexpr std::uint64_t kTraceDomainMask = 2;
+
 /// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
 class Xoshiro256 {
  public:
@@ -42,6 +51,16 @@ class Xoshiro256 {
   /// machinery as fork()). This is what sharded campaigns use so that
   /// results depend only on (seed, shard count), never on scheduling.
   static Xoshiro256 stream(std::uint64_t seed, std::uint64_t stream_index);
+
+  /// Deterministic stateless per-trace stream: the same machinery as
+  /// stream(), keyed on BOTH a stream/domain index and a trace counter.
+  /// trace_stream(seed, d, t) depends only on its three arguments — no
+  /// sequential draw ordering across traces — which is what lets
+  /// determinism contract v2 generate traces in any order, on any lane,
+  /// and still produce bit-identical campaigns (DESIGN.md §12).
+  static Xoshiro256 trace_stream(std::uint64_t seed,
+                                 std::uint64_t stream_index,
+                                 std::uint64_t trace_index);
 
   /// The full 256-bit generator state. Saving state() and restoring it
   /// with set_state() resumes the stream at the exact draw position —

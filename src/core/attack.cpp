@@ -25,6 +25,7 @@ KeyByteReport report_from(std::size_t key_byte, const CampaignResult& r) {
   report.selection_seconds = r.selection_seconds;
   report.resumed_from = r.resumed_from;
   report.snapshot_path = r.snapshot_path;
+  report.rng_contract = r.rng_contract;
   return report;
 }
 
@@ -87,6 +88,7 @@ KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
   cfg.halt_after_traces = opts.halt_after_traces;
   cfg.block = opts.block;
   cfg.simd = opts.simd;
+  cfg.rng_contract = opts.rng_contract;
   ParallelCampaign campaign(setup_, cfg, threads);
   return report_from(key_byte, campaign.run());
 }

@@ -32,6 +32,10 @@ struct KeyByteReport {
   double selection_seconds = 0.0;
   std::size_t resumed_from = 0;
   std::string snapshot_path;
+
+  /// RNG determinism contract the campaign actually ran under (resolved
+  /// from RunOptions::rng_contract / SLM_RNG_CONTRACT; see DESIGN.md §12).
+  RngContract rng_contract = RngContract::kV2;
 };
 
 /// Cross-cutting run options shared by every campaign entry point:
@@ -44,6 +48,9 @@ struct RunOptions {
   std::size_t halt_after_traces = 0;          ///< simulated kill (0 = off)
   std::size_t block = 0;   ///< trace-block size (0 = SLM_BLOCK / default)
   bool simd = true;        ///< false forces the scalar block kernels
+  /// RNG determinism contract (kDefault = SLM_RNG_CONTRACT, else v2);
+  /// `slm attack --rng-contract v1|v2` routes through this.
+  RngContract rng_contract = RngContract::kDefault;
 };
 
 class StealthyAttack {

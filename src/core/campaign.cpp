@@ -4,11 +4,15 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <thread>
+
+#include <string>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "common/rng.hpp"
 #include "core/checkpoint.hpp"
+#include "core/parallel.hpp"
 #include "obs/observer.hpp"
 #include "sca/selection.hpp"
 
@@ -58,6 +62,44 @@ bool resolve_simd(bool requested) {
   return true;
 }
 
+// Whether the serial engine's v2 generate/compute overlap should run.
+// The producer thread only pays off when a second hardware thread can
+// actually run it; on a single-core machine the two threads time-slice
+// and the handoffs are pure overhead, so the default gates on
+// hardware_concurrency. SLM_PIPELINE=0/1 forces it either way (the
+// TSan drill forces it on; results are bit-identical regardless, only
+// throughput moves — Campaign.ThreadAndBlockInvariant pins that).
+bool resolve_pipeline() {
+  if (const char* env = std::getenv("SLM_PIPELINE")) {
+    return std::atoi(env) != 0;
+  }
+  return std::thread::hardware_concurrency() > 1;
+}
+
+const char* rng_contract_name(RngContract c) {
+  switch (c) {
+    case RngContract::kV1:
+      return "v1";
+    case RngContract::kV2:
+      return "v2";
+    case RngContract::kDefault:
+      break;
+  }
+  return "default";
+}
+
+RngContract resolve_contract(RngContract requested) {
+  if (requested != RngContract::kDefault) return requested;
+  if (const char* env = std::getenv("SLM_RNG_CONTRACT")) {
+    const std::string v(env);
+    if (v == "v1" || v == "1") return RngContract::kV1;
+    if (v == "v2" || v == "2") return RngContract::kV2;
+    SLM_REQUIRE(false,
+                "SLM_RNG_CONTRACT must be 'v1' or 'v2' (got '" + v + "')");
+  }
+  return RngContract::kV2;
+}
+
 CpaCampaign::CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg)
     : setup_(setup), cfg_(cfg) {
   SLM_REQUIRE(cfg_.traces > 0, "CpaCampaign: zero traces");
@@ -90,7 +132,8 @@ CpaCampaign::CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg)
 
 void CpaCampaign::make_voltages(
     const crypto::AesDatapathModel::Encryption& enc, Xoshiro256& rng,
-    std::vector<double>& v_out, defense::ActiveFence* fence) const {
+    std::vector<double>& v_out, defense::ActiveFence* fence,
+    Xoshiro256* fence_rng) const {
   const Calibration& cal = setup_.calibration();
   // Victim current as seen by the attacker region (coupling-attenuated).
   static thread_local std::vector<double> i_cycles;
@@ -98,7 +141,13 @@ void CpaCampaign::make_voltages(
   if (fence != nullptr) {
     // The active fence sits in the victim region: its randomised draw
     // rides on the same coupling path and masks the victim's signal.
-    for (double& i : i_cycles) i += fence->next_cycle_current();
+    // Contract v2 passes the trace's counter-keyed fence stream; v1
+    // callers draw from the fence's sequential stream.
+    if (fence_rng != nullptr) {
+      for (double& i : i_cycles) i += fence->cycle_current(*fence_rng);
+    } else {
+      for (double& i : i_cycles) i += fence->next_cycle_current();
+    }
   }
   const double coupling = setup_.effective_coupling();
   for (double& i : i_cycles) i *= coupling;
@@ -347,6 +396,14 @@ CampaignResult CpaCampaign::run() {
   std::sort(checkpoints.begin(), checkpoints.end());
   std::size_t next_cp = 0;
 
+  // RNG determinism contract (DESIGN.md §7/§12). v1: one sequential
+  // stream, strict per-trace draw order. v2 (default): every trace's
+  // draws derive statelessly from (seed, domain, trace index), so
+  // generation order is free and results depend on the seed alone.
+  const RngContract contract = resolve_contract(cfg_.rng_contract);
+  const bool v2 = contract == RngContract::kV2;
+  result.rng_contract = contract;
+
   // The fast path bins traces into (ciphertext-class, base-bit) cells and
   // folds them into full per-guess CPA sums only at checkpoints; readings
   // are integer-valued so the regrouped sums are bit-identical to the
@@ -359,22 +416,32 @@ CampaignResult CpaCampaign::run() {
   sca::XorClassCpa cls(sample_times_.size());
   Xoshiro256 rng(cfg_.seed);
 
+  // Contract v2 victim register chain: starts zeroed at trace 0 and is
+  // advanced by encrypt_stateless trace by trace. On resume it is
+  // re-derived from the previous trace alone (registers_after), so v2
+  // snapshots need no RNG/victim/fence state at all.
+  crypto::AesDatapathModel::RegisterSnapshot v2_regs{};
+
   // Crash-safe resume: restore the exact capture state the snapshot
-  // froze — accumulator sums, main RNG position, victim register
-  // history, fence stream — and skip the checkpoints already recorded.
-  // The selection pre-pass above re-ran from its own deterministic seed
-  // streams, so it needs no snapshotting.
+  // froze — accumulator sums and, under contract v1, the main RNG
+  // position, victim register history, and fence stream — and skip the
+  // checkpoints already recorded. The selection pre-pass above re-ran
+  // from its own deterministic seed streams, so it needs no
+  // snapshotting.
   std::size_t start_t = 1;
   const bool snapshotting = !cfg_.checkpoint_dir.empty();
   if (cfg_.resume && snapshotting) {
     if (auto ck = load_checkpoint(cfg_.checkpoint_dir)) {
-      require_checkpoint_matches(*ck, cfg_, 1, sample_times_.size());
+      require_checkpoint_matches(*ck, cfg_, 1, sample_times_.size(),
+                                 static_cast<std::uint32_t>(contract));
       const CheckpointShard& sh = ck->shard_state[0];
       SLM_REQUIRE(sh.has_fence == fence_.has_value(),
                   "resume: fence configuration differs from snapshot");
-      rng.set_state(sh.rng);
-      setup_.victim().restore_registers(sh.victim);
-      if (fence_) fence_->set_rng_state(sh.fence_rng);
+      if (!v2) {
+        rng.set_state(sh.rng);
+        setup_.victim().restore_registers(sh.victim);
+        if (fence_) fence_->set_rng_state(sh.fence_rng);
+      }
       ByteReader acc(sh.accumulator.data(), sh.accumulator.size());
       if (fast) {
         cls.load(acc);
@@ -385,6 +452,18 @@ CampaignResult CpaCampaign::run() {
       result.progress = ck->progress;
       result.resumed_from = static_cast<std::size_t>(ck->traces_done);
       start_t = result.resumed_from + 1;
+      if (v2 && result.resumed_from > 0) {
+        // Re-derive the register state left behind by the last completed
+        // trace: its plaintext comes from its own counter-keyed stream,
+        // and registers_after needs no earlier history (the register is
+        // fully overwritten every encryption).
+        const std::size_t g = result.resumed_from - 1;
+        Xoshiro256 prev =
+            Xoshiro256::trace_stream(cfg_.seed, kTraceDomainCapture, g);
+        crypto::Block prev_pt;
+        for (auto& b : prev_pt) b = static_cast<std::uint8_t>(prev.next());
+        v2_regs = setup_.victim().registers_after(prev_pt, g);
+      }
       while (next_cp < checkpoints.size() &&
              checkpoints[next_cp] <= result.resumed_from) {
         ++next_cp;
@@ -434,6 +513,7 @@ CampaignResult CpaCampaign::run() {
                   .field("threads", static_cast<std::uint64_t>(1))
                   .field("compiled", fast)
                   .field("block", static_cast<std::uint64_t>(block))
+                  .field("rng_contract", rng_contract_name(contract))
                   .field("resumed_from",
                          static_cast<std::uint64_t>(result.resumed_from)));
   }
@@ -480,6 +560,94 @@ CampaignResult CpaCampaign::run() {
     if (!fast) hblk.resize(block * 256);
   }
 
+  // Double-buffered generate/compute pipeline (contract v2, deferred-HW
+  // path only): a one-worker producer generates block k+1's slab —
+  // plaintexts, victim currents, fence draws, noise/jitter draws, all
+  // from counter-keyed per-trace streams — while the main thread runs
+  // block k's RNG-free compute pass. Contract v1 cannot do this: its
+  // generation is a serial RNG chain (the ~0.8 µs/trace floor DESIGN.md
+  // §11 documents).
+  struct GenSlab {
+    std::vector<double> icblk;
+    std::vector<double> zvblk;
+    std::vector<double> zblk;
+    std::vector<std::uint8_t> clsv;
+    std::vector<std::uint8_t> clsb;
+  };
+  const bool pipelined = v2 && defer_hw && resolve_pipeline();
+  GenSlab slabs[2];
+  if (pipelined) {
+    for (GenSlab& s : slabs) {
+      s.icblk.resize(ncyc * block);
+      s.zvblk.resize(block * samples);
+      s.zblk.resize(block * samples * dps);
+      s.clsv.resize(block);
+      s.clsb.resize(block);
+    }
+  }
+  // Block span starting at 1-based trace t0: clamp at the next
+  // checkpoint, exactly as the main loop does, so the producer and the
+  // consumer tile the trace sequence identically.
+  const auto span_bn = [&](std::size_t t0) {
+    std::size_t limit = cfg_.traces;
+    const auto it =
+        std::lower_bound(checkpoints.begin(), checkpoints.end(), t0);
+    if (it != checkpoints.end() && *it < limit) limit = *it;
+    return std::min(block, limit - t0 + 1);
+  };
+  // Generate one slab: per-trace counter-keyed streams, same expression
+  // order as make_voltages/the v1 staging pass, victim registers carried
+  // sequentially by the (single) producer.
+  const auto gen_slab = [&](GenSlab& slab, std::size_t t0, std::size_t bn) {
+    for (std::size_t b = 0; b < bn; ++b) {
+      const std::size_t g = t0 - 1 + b;
+      Xoshiro256 rng_t =
+          Xoshiro256::trace_stream(cfg_.seed, kTraceDomainCapture, g);
+      crypto::Block pt;
+      for (auto& pb : pt) pb = static_cast<std::uint8_t>(rng_t.next());
+      const auto enc = setup_.victim().encrypt_stateless(pt, g, v2_regs);
+      if (fence_) {
+        Xoshiro256 frng = fence_->trace_rng(g);
+        for (std::size_t c = 0; c < ncyc; ++c) {
+          double i = enc.cycle_current[c];
+          i += fence_->cycle_current(frng);
+          i *= coupling;
+          slab.icblk[c * block + b] = i;
+        }
+      } else {
+        for (std::size_t c = 0; c < ncyc; ++c) {
+          double i = enc.cycle_current[c];
+          i *= coupling;
+          slab.icblk[c * block + b] = i;
+        }
+      }
+      FastNormal::instance().fill(rng_t, slab.zvblk.data() + b * samples,
+                                  samples);
+      FastNormal::instance().fill(rng_t, slab.zblk.data() + b * samples * dps,
+                                  samples * dps);
+      slab.clsv[b] = model.class_value(enc.ciphertext);
+      slab.clsb[b] = model.class_bit(enc.ciphertext);
+    }
+  };
+  // The pool is declared AFTER the slabs and the register chain so its
+  // destructor joins any in-flight producer task before they unwind
+  // (CampaignHalted propagates through here with a task in flight).
+  std::optional<ThreadPool> gen_pool;
+  int cur = 0;
+  std::size_t gen_t = start_t;
+  if (pipelined) {
+    gen_pool.emplace(1);
+    if (gen_t <= cfg_.traces) {
+      GenSlab* s = &slabs[cur];
+      const std::size_t t0 = gen_t;
+      const std::size_t bn0 = span_bn(t0);
+      gen_pool->submit_indexed(
+          1, [&gen_slab, s, t0, bn0](std::size_t) { gen_slab(*s, t0, bn0); });
+      gen_t += bn0;
+    }
+    if (ob != nullptr) ob->metrics().set("slm.pipeline.depth", 2.0);
+  }
+
   std::size_t t = start_t;
   while (t <= cfg_.traces) {
     // Clamp the block at the next checkpoint so snapshots land on the
@@ -497,30 +665,97 @@ CampaignResult CpaCampaign::run() {
     double t1 = 0.0;
     if (!blocked) {
       // block == 1: the exact per-trace loop, kept as the dispatchable
-      // baseline the block path is benchmarked (and bit-compared) against.
+      // baseline the block path is benchmarked (and bit-compared)
+      // against. Contract v2 swaps the sequential stream for the trace's
+      // counter-keyed streams; every expression downstream is identical.
+      std::optional<Xoshiro256> rng_t;
+      std::optional<Xoshiro256> frng;
+      Xoshiro256* r = &rng;
+      Xoshiro256* fr = nullptr;
+      if (v2) {
+        const std::size_t g = t - 1;
+        rng_t.emplace(
+            Xoshiro256::trace_stream(cfg_.seed, kTraceDomainCapture, g));
+        r = &*rng_t;
+        if (fence_) {
+          frng.emplace(fence_->trace_rng(g));
+          fr = &*frng;
+        }
+      }
       crypto::Block pt;
-      for (auto& b : pt) b = static_cast<std::uint8_t>(rng.next());
-      const auto enc = setup_.victim().encrypt(pt);
-      make_voltages(enc, rng, v);
+      for (auto& b : pt) b = static_cast<std::uint8_t>(r->next());
+      const auto enc = v2
+                           ? setup_.victim().encrypt_stateless(pt, t - 1,
+                                                               v2_regs)
+                           : setup_.victim().encrypt(pt);
+      make_voltages(enc, *r, v, fence_ ? &*fence_ : nullptr, fr);
       if (fast) {
-        read_sensor_fast(plan, v, result.bits_of_interest, rng, y);
+        read_sensor_fast(plan, v, result.bits_of_interest, *r, y);
         t1 = timed ? obs::monotonic_seconds() : 0.0;
         cls.add_trace(model.class_value(enc.ciphertext),
                       model.class_bit(enc.ciphertext), y);
       } else {
-        read_sensor(v, result.bits_of_interest, rng, y);
+        read_sensor(v, result.bits_of_interest, *r, y);
         t1 = timed ? obs::monotonic_seconds() : 0.0;
         model.hypotheses(enc.ciphertext, h);
         engine.add_trace(h, y);
       }
+    } else if (pipelined) {
+      // The producer already has (or is still generating) this span's
+      // slab; wait for it, immediately hand the producer the next span,
+      // then run the RNG-free compute pass on the main thread.
+      const double w0 = timed ? obs::monotonic_seconds() : 0.0;
+      gen_pool->wait();
+      const double gen_wait = timed ? obs::monotonic_seconds() - w0 : 0.0;
+      GenSlab& slab = slabs[cur];
+      if (gen_t <= cfg_.traces) {
+        GenSlab* s = &slabs[1 - cur];
+        const std::size_t nt0 = gen_t;
+        const std::size_t nbn = span_bn(nt0);
+        gen_pool->submit_indexed(1, [&gen_slab, s, nt0, nbn](std::size_t) {
+          gen_slab(*s, nt0, nbn);
+        });
+        gen_t += nbn;
+      }
+      cur = 1 - cur;
+      response_.voltages_block(slab.icblk.data(), bn, block, vblk.data(),
+                               simd);
+      for (std::size_t i = 0; i < bn * samples; ++i) {
+        vblk[i] += 0.0 + env_noise_v * slab.zvblk[i];
+      }
+      setup_.sensor().toggle_hw_block(plan.hw, vblk.data(), bn * samples,
+                                      slab.zblk.data(), yblk.data(), simd);
+      t1 = timed ? obs::monotonic_seconds() : 0.0;
+      cls.add_block(slab.clsv.data(), slab.clsb.data(), yblk.data(), bn);
+      if (timed) {
+        ob->metrics().add("slm.pipeline.blocks_total");
+        ob->metrics().observe("slm.pipeline.gen_wait_seconds", gen_wait);
+      }
     } else {
-      // Generation pass: everything that touches the RNG, in the exact
-      // per-trace order (FastNormal::fill is position-wise identical to
-      // per-call draws, so per-trace fills keep the stream bit-exact).
+      // Generation pass: everything that touches the RNG. Contract v1
+      // consumes the sequential stream in exact per-trace order
+      // (FastNormal::fill is position-wise identical to per-call draws);
+      // contract v2 gives every lane its trace's counter-keyed streams.
       for (std::size_t b = 0; b < bn; ++b) {
+        std::optional<Xoshiro256> rng_t;
+        std::optional<Xoshiro256> frng;
+        Xoshiro256* r = &rng;
+        Xoshiro256* fr = nullptr;
+        if (v2) {
+          const std::size_t g = t - 1 + b;
+          rng_t.emplace(
+              Xoshiro256::trace_stream(cfg_.seed, kTraceDomainCapture, g));
+          r = &*rng_t;
+          if (fence_) {
+            frng.emplace(fence_->trace_rng(g));
+            fr = &*frng;
+          }
+        }
         crypto::Block pt;
-        for (auto& pb : pt) pb = static_cast<std::uint8_t>(rng.next());
-        const auto enc = setup_.victim().encrypt(pt);
+        for (auto& pb : pt) pb = static_cast<std::uint8_t>(r->next());
+        const auto enc =
+            v2 ? setup_.victim().encrypt_stateless(pt, t - 1 + b, v2_regs)
+               : setup_.victim().encrypt(pt);
         if (defer_hw) {
           // Stage the scaled currents and this trace's noise draws; the
           // per-element arithmetic and the fence-stream call order match
@@ -528,21 +763,27 @@ CampaignResult CpaCampaign::run() {
           defense::ActiveFence* fence = fence_ ? &*fence_ : nullptr;
           for (std::size_t c = 0; c < ncyc; ++c) {
             double i = enc.cycle_current[c];
-            if (fence != nullptr) i += fence->next_cycle_current();
+            // v2: the fence draws from this trace's counter-keyed
+            // stream (fr), exactly as gen_slab and make_voltages do;
+            // v1 consumes the fence's own sequential stream.
+            if (fence != nullptr) {
+              i += fr != nullptr ? fence->cycle_current(*fr)
+                                 : fence->next_cycle_current();
+            }
             i *= coupling;
             icblk[c * block + b] = i;
           }
-          FastNormal::instance().fill(rng, zvblk.data() + b * samples,
+          FastNormal::instance().fill(*r, zvblk.data() + b * samples,
                                       samples);
-          FastNormal::instance().fill(rng, zblk.data() + b * samples * dps,
+          FastNormal::instance().fill(*r, zblk.data() + b * samples * dps,
                                       samples * dps);
         } else if (fast) {
-          make_voltages(enc, rng, v);
-          read_sensor_fast(plan, v, result.bits_of_interest, rng, y);
+          make_voltages(enc, *r, v, fence_ ? &*fence_ : nullptr, fr);
+          read_sensor_fast(plan, v, result.bits_of_interest, *r, y);
           std::copy(y.begin(), y.end(), yblk.begin() + b * samples);
         } else {
-          make_voltages(enc, rng, v);
-          read_sensor(v, result.bits_of_interest, rng, y);
+          make_voltages(enc, *r, v, fence_ ? &*fence_ : nullptr, fr);
+          read_sensor(v, result.bits_of_interest, *r, y);
           std::copy(y.begin(), y.end(), yblk.begin() + b * samples);
           model.hypotheses(enc.ciphertext, h);
           std::copy(h.begin(), h.end(), hblk.begin() + b * 256);
@@ -641,13 +882,19 @@ CampaignResult CpaCampaign::run() {
         ck.single_bit = cfg_.single_bit;
         ck.compiled = fast;
         ck.block = block;
+        ck.rng_contract = static_cast<std::uint32_t>(contract);
         ck.traces_done = done;
         CheckpointShard sh;
         sh.position = done;
-        sh.rng = rng.state();
-        sh.victim = setup_.victim().register_snapshot();
         sh.has_fence = fence_.has_value();
-        if (fence_) sh.fence_rng = fence_->rng_state();
+        if (!v2) {
+          // Contract v2 re-derives every stream and the register chain
+          // from (seed, trace index) on resume, so only the accumulator
+          // and the trace count matter; the v1-era state stays zeroed.
+          sh.rng = rng.state();
+          sh.victim = setup_.victim().register_snapshot();
+          if (fence_) sh.fence_rng = fence_->rng_state();
+        }
         ByteWriter acc;
         if (fast) {
           cls.save(acc);

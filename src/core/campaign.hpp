@@ -39,6 +39,30 @@ enum class SensorMode {
 
 const char* sensor_mode_name(SensorMode m);
 
+/// RNG determinism contract of a campaign (DESIGN.md §7/§12).
+///
+/// v1 — sequential streams: each shard consumes one xoshiro stream in
+/// strict per-trace order, so results depend on (seed, thread count)
+/// and generation is a serial chain.
+///
+/// v2 (default) — counter-keyed per-trace streams: every trace's draws
+/// derive statelessly from (seed, domain, trace_index) via
+/// Xoshiro256::trace_stream, so results depend on the seed ALONE —
+/// bit-identical across any thread count, block size, and SIMD toggle —
+/// and generation parallelizes/pipelines freely.
+enum class RngContract {
+  kDefault = 0,  ///< resolve via SLM_RNG_CONTRACT, else v2
+  kV1 = 1,
+  kV2 = 2,
+};
+
+const char* rng_contract_name(RngContract c);
+
+/// CampaignConfig::rng_contract resolution: an explicit v1/v2 request
+/// wins, else the SLM_RNG_CONTRACT environment variable ("v1"/"1"/
+/// "v2"/"2"; anything else is a loud error), else kV2.
+RngContract resolve_contract(RngContract requested);
+
 struct CampaignConfig {
   std::size_t traces = 500000;
   SensorMode mode = SensorMode::kBenignHw;
@@ -102,6 +126,12 @@ struct CampaignConfig {
 
   std::uint64_t seed = 0xc0ffee;
 
+  /// RNG determinism contract (see RngContract above). kDefault resolves
+  /// through SLM_RNG_CONTRACT to v2; `--rng-contract v1` / kV1 reruns
+  /// the sequential-stream physics of the PR 4 era (golden fixtures,
+  /// old checkpoints). Checkpoints refuse cross-contract resume.
+  RngContract rng_contract = RngContract::kDefault;
+
   /// Optional observability hook (metrics, spans, JSONL events). Null is
   /// the documented zero-overhead path: the capture loops only ever test
   /// this pointer, so the no-observer serial run stays byte-identical to
@@ -156,6 +186,11 @@ struct CampaignResult {
   /// checkpoint headers report the block the campaign actually ran with.
   std::size_t block_size = 0;
 
+  /// Effective RNG determinism contract after --rng-contract /
+  /// SLM_RNG_CONTRACT resolution — run metadata like block_size, stamped
+  /// into bench JSON, CLI output, and the checkpoint header.
+  RngContract rng_contract = RngContract::kV2;
+
   /// Phase-time split, filled only when cfg.observer != nullptr (the
   /// per-trace timers are observer-gated to keep the disabled path
   /// untouched). kernel = victim + PDN + sensor capture; cpa =
@@ -207,10 +242,14 @@ class CpaCampaign {
   }
 
   /// Same physics with an explicit fence instance — sharded campaigns
-  /// give every worker its own stateful fence stream.
+  /// give every worker its own stateful fence stream. Under contract v2
+  /// the caller passes `fence_rng`, the trace's counter-keyed fence
+  /// stream, and the fence instance is used statelessly; null keeps the
+  /// v1 sequential fence stream.
   void make_voltages(const crypto::AesDatapathModel::Encryption& enc,
                      Xoshiro256& rng, std::vector<double>& v_out,
-                     defense::ActiveFence* fence) const;
+                     defense::ActiveFence* fence,
+                     Xoshiro256* fence_rng = nullptr) const;
 
   /// Read the configured sensor at every sample voltage into `y`
   /// (reference path: per-call sampling).

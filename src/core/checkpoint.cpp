@@ -56,6 +56,7 @@ ByteWriter serialize_payload(const CampaignCheckpoint& ck) {
   out.put_u64(ck.single_bit);
   out.put_u8(ck.compiled ? 1 : 0);
   out.put_u64(ck.block);
+  out.put_u32(ck.rng_contract);
   out.put_u64(ck.traces_done);
 
   out.put_u64(ck.shard_state.size());
@@ -88,6 +89,10 @@ CampaignCheckpoint parse_payload(ByteReader& in) {
   ck.single_bit = in.get_u64();
   ck.compiled = in.get_u8() != 0;
   ck.block = in.get_u64();
+  ck.rng_contract = in.get_u32();
+  SLM_REQUIRE(ck.rng_contract == 1 || ck.rng_contract == 2,
+              "checkpoint: unknown RNG contract " +
+                  std::to_string(ck.rng_contract));
   ck.traces_done = in.get_u64();
 
   const std::uint64_t shard_count = in.get_u64();
@@ -192,7 +197,15 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string& dir) {
 
 void require_checkpoint_matches(const CampaignCheckpoint& ck,
                                 const CampaignConfig& cfg,
-                                std::uint32_t shards, std::size_t samples) {
+                                std::uint32_t shards, std::size_t samples,
+                                std::uint32_t rng_contract) {
+  if (ck.rng_contract != rng_contract) {
+    const auto name = [](std::uint32_t c) {
+      return std::string("v") + std::to_string(c);
+    };
+    throw CheckpointContractMismatch(name(ck.rng_contract),
+                                     name(rng_contract));
+  }
   SLM_REQUIRE(ck.seed == cfg.seed, "resume: snapshot was taken under a "
                                    "different seed");
   SLM_REQUIRE(ck.total_traces == cfg.traces,

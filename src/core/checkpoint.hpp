@@ -6,8 +6,9 @@
 // File format (docs/OBSERVABILITY.md documents it for operators):
 //
 //   magic   "SLMCKPT1"                 8 bytes
-//   version u32                        currently 2 (v2 added the
-//                                      trace-block size to the header);
+//   version u32                        currently 3 (version 2 added the
+//                                      trace-block size, version 3 the
+//                                      RNG determinism contract);
 //                                      readers reject other versions
 //                                      (no silent migration of attack
 //                                      state)
@@ -36,7 +37,7 @@
 
 namespace slm::core {
 
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// Thrown when a campaign with `halt_after_traces` set reaches that
 /// trace count at a checkpoint: the snapshot is on disk, the process
@@ -58,6 +59,22 @@ class CampaignHalted : public Error {
  private:
   std::size_t traces_;
   std::string snapshot_path_;
+};
+
+/// Thrown on a cross-contract resume attempt: a snapshot written under
+/// one RNG determinism contract cannot continue under the other (the
+/// trace streams differ from the first draw), so this must fail loudly
+/// rather than silently diverge. The CLI maps it to its own exit code
+/// (6) so drills and operators can tell "wrong contract" apart from
+/// "halted" (5) or "key not recovered" (4).
+class CheckpointContractMismatch : public Error {
+ public:
+  CheckpointContractMismatch(const std::string& snapshot_contract,
+                             const std::string& run_contract)
+      : Error("resume: snapshot was written under RNG contract " +
+              snapshot_contract + " but this run uses " + run_contract +
+              " — rerun with --rng-contract " + snapshot_contract +
+              " (or start fresh)") {}
 };
 
 /// One shard's mutable capture state. `accumulator` is the opaque
@@ -94,6 +111,12 @@ struct CampaignCheckpoint {
   /// size never affects results, only how the loop is tiled.
   std::uint64_t block = 0;
 
+  /// RNG determinism contract of the run that wrote the snapshot (1 =
+  /// sequential streams, 2 = counter-keyed per-trace streams; see
+  /// core::RngContract and DESIGN.md §12). Resume REQUIRES a match —
+  /// unlike `block`, the contract changes every trace's draws.
+  std::uint32_t rng_contract = 2;
+
   std::uint64_t traces_done = 0;
   std::vector<CheckpointShard> shard_state;
   std::vector<sca::CpaProgressPoint> progress;
@@ -116,11 +139,14 @@ struct CampaignConfig;
 
 /// Refuse to resume under a different configuration: seed, trace budget,
 /// sensor mode, shard count, sample count, CPA target, resolved single
-/// bit, and kernel path must all match the snapshot, or the resumed run
-/// would silently diverge from the uninterrupted one. `cfg.single_bit`
-/// must already be resolved (post resolve_sensor_bits).
+/// bit, kernel path, and RNG contract must all match the snapshot, or
+/// the resumed run would silently diverge from the uninterrupted one.
+/// `cfg.single_bit` must already be resolved (post resolve_sensor_bits)
+/// and `rng_contract` is the RESOLVED contract of this run (1 or 2) —
+/// a mismatch throws CheckpointContractMismatch.
 void require_checkpoint_matches(const CampaignCheckpoint& ck,
                                 const CampaignConfig& cfg,
-                                std::uint32_t shards, std::size_t samples);
+                                std::uint32_t shards, std::size_t samples,
+                                std::uint32_t rng_contract);
 
 }  // namespace slm::core

@@ -47,13 +47,20 @@ struct ThreadPool::Impl {
   std::uint64_t generation = 0;
   bool stop = false;
   std::exception_ptr error;
+  // submit_indexed/wait state: the pool-owned copy of the callable and
+  // whether an async batch is outstanding (wait() without a submit must
+  // return immediately, not deadlock on workers_done).
+  std::function<void(std::size_t)> owned_fn;
+  bool in_flight = false;
 
   void worker_loop() {
     std::uint64_t seen = 0;
     for (;;) {
       std::unique_lock<std::mutex> lk(m);
       cv_work.wait(lk, [&] { return stop || generation != seen; });
-      if (stop) return;
+      // Drain a pending batch before honouring stop: the destructor
+      // must join (not abandon) a batch submitted via submit_indexed.
+      if (generation == seen) return;
       seen = generation;
       lk.unlock();
       for (;;) {
@@ -109,6 +116,37 @@ void ThreadPool::run_indexed(std::size_t n,
       lk, [&] { return impl_->workers_done == impl_->workers.size(); });
   impl_->fn = nullptr;
   if (impl_->error) std::rethrow_exception(impl_->error);
+}
+
+void ThreadPool::submit_indexed(std::size_t n,
+                                std::function<void(std::size_t)> fn) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lk(impl_->m);
+  SLM_REQUIRE(!impl_->in_flight,
+              "ThreadPool: submit_indexed while a batch is in flight");
+  impl_->owned_fn = std::move(fn);
+  impl_->fn = &impl_->owned_fn;
+  impl_->n = n;
+  impl_->next.store(0, std::memory_order_relaxed);
+  impl_->workers_done = 0;
+  impl_->error = nullptr;
+  impl_->in_flight = true;
+  ++impl_->generation;
+  impl_->cv_work.notify_all();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lk(impl_->m);
+  if (!impl_->in_flight) return;
+  impl_->cv_done.wait(
+      lk, [&] { return impl_->workers_done == impl_->workers.size(); });
+  impl_->in_flight = false;
+  impl_->fn = nullptr;
+  if (impl_->error) {
+    const std::exception_ptr e = impl_->error;
+    impl_->error = nullptr;
+    std::rethrow_exception(e);
+  }
 }
 
 ParallelCampaign::ParallelCampaign(AttackSetup& setup,
@@ -177,6 +215,16 @@ CampaignResult ParallelCampaign::run_sharded() {
 
   const std::size_t samples = campaign.sample_times_.size();
   const unsigned T = threads_;
+
+  // RNG determinism contract (DESIGN.md §7/§12). Contract v2 assigns
+  // every shard a contiguous chunk of the global trace sequence per
+  // checkpoint segment and derives each trace's draws statelessly from
+  // (seed, trace index) — results are bit-identical to the serial v2
+  // engine for ANY thread count. Contract v1 keeps the historical
+  // round-robin shard streams (results depend on the thread count).
+  const RngContract contract = resolve_contract(cfg_.rng_contract);
+  const bool v2 = contract == RngContract::kV2;
+  result.rng_contract = contract;
 
   // Block-batched pipeline, one block loop per shard (DESIGN.md §11).
   // Shards clamp their blocks at per-checkpoint quotas, so shard trace
@@ -248,7 +296,12 @@ CampaignResult ParallelCampaign::run_sharded() {
              {}};
     if (fenced) {
       defense::ActiveFenceConfig fc = cfg_.fence;
-      fc.seed ^= 0x9e3779b97f4a7c15ull * (i + 1);
+      // v1 gives every shard its own decorrelated sequential fence
+      // stream. v2 derives fence draws per trace from the UNPERTURBED
+      // fence seed (ActiveFence::trace_rng), so the per-shard seed must
+      // stay the campaign's — otherwise results would depend on which
+      // shard captured a trace.
+      if (!v2) fc.seed ^= 0x9e3779b97f4a7c15ull * (i + 1);
       sh.fence.emplace(fc);
     }
     shards.push_back(std::move(sh));
@@ -263,16 +316,21 @@ CampaignResult ParallelCampaign::run_sharded() {
   const bool snapshotting = !cfg_.checkpoint_dir.empty();
   if (cfg_.resume && snapshotting) {
     if (auto ck = load_checkpoint(cfg_.checkpoint_dir)) {
-      require_checkpoint_matches(*ck, campaign.cfg_, T, samples);
+      require_checkpoint_matches(*ck, campaign.cfg_, T, samples,
+                                 static_cast<std::uint32_t>(contract));
       for (unsigned i = 0; i < T; ++i) {
         const CheckpointShard& cs = ck->shard_state[i];
         Shard& sh = shards[i];
         SLM_REQUIRE(cs.has_fence == sh.fence.has_value(),
                     "resume: fence configuration differs from snapshot");
         sh.position = static_cast<std::size_t>(cs.position);
-        sh.rng.set_state(cs.rng);
-        sh.victim.restore_registers(cs.victim);
-        if (sh.fence) sh.fence->set_rng_state(cs.fence_rng);
+        if (!v2) {
+          // v2 re-derives streams and register chains from (seed, trace
+          // index); only positions and accumulator sums carry over.
+          sh.rng.set_state(cs.rng);
+          sh.victim.restore_registers(cs.victim);
+          if (sh.fence) sh.fence->set_rng_state(cs.fence_rng);
+        }
         ByteReader acc(cs.accumulator.data(), cs.accumulator.size());
         if (fast) {
           sh.cls.load(acc);
@@ -316,6 +374,7 @@ CampaignResult ParallelCampaign::run_sharded() {
                   .field("threads", static_cast<std::uint64_t>(T))
                   .field("compiled", fast)
                   .field("block", static_cast<std::uint64_t>(block))
+                  .field("rng_contract", rng_contract_name(contract))
                   .field("resumed_from",
                          static_cast<std::uint64_t>(result.resumed_from)));
   }
@@ -327,12 +386,157 @@ CampaignResult ParallelCampaign::run_sharded() {
 
   ThreadPool pool(T);
   sca::CpaEngine merged(256, samples);
+  // Contract v2 chunking state: global zero-based traces [0, covered)
+  // are done; each segment [covered, cp) is split into contiguous
+  // per-shard chunks.
+  std::size_t covered = traces_done;
   for (std::size_t cp : checkpoints) {
     {
       std::optional<obs::CampaignObserver::Span> capture_span;
       if (ob != nullptr) capture_span.emplace(ob->span("capture"));
       pool.run_indexed(T, [&](std::size_t i) {
         Shard& sh = shards[i];
+        if (v2) {
+          // Shard i owns global traces [g0, g1) of this segment: lane-
+          // parallel generation with counter-keyed per-trace streams,
+          // no cross-shard RNG ordering at all.
+          const std::size_t n = cp - covered;
+          const std::size_t g0 = covered + i * n / T;
+          const std::size_t g1 = covered + (i + 1) * n / T;
+          if (g0 >= g1) return;
+          if (blocked) {
+            sh.yblk.resize(block * samples);
+            sh.clsv.resize(block);
+            sh.clsb.resize(block);
+            if (defer_hw) {
+              sh.vblk.resize(block * samples);
+              sh.zblk.resize(block * samples * dps);
+              sh.icblk.resize(ncyc * block);
+              sh.zvblk.resize(block * samples);
+            }
+            if (!fast) sh.hblk.resize(block * 256);
+          }
+          // Incoming victim registers: derivable from the previous trace
+          // alone (the state register is fully overwritten every
+          // encryption), so a chunk costs one extra stateless AES.
+          crypto::AesDatapathModel::RegisterSnapshot regs{};
+          if (g0 > 0) {
+            Xoshiro256 prev = Xoshiro256::trace_stream(
+                cfg_.seed, kTraceDomainCapture, g0 - 1);
+            crypto::Block prev_pt;
+            for (auto& b : prev_pt) {
+              b = static_cast<std::uint8_t>(prev.next());
+            }
+            regs = sh.victim.registers_after(prev_pt, g0 - 1);
+          }
+          std::size_t g = g0;
+          while (g < g1) {
+            const std::size_t bn = blocked ? std::min(block, g1 - g) : 1;
+            const double t0 = timed ? obs::monotonic_seconds() : 0.0;
+            double t1 = 0.0;
+            for (std::size_t b = 0; b < bn; ++b) {
+              const std::size_t gb = g + b;
+              Xoshiro256 rng_t = Xoshiro256::trace_stream(
+                  cfg_.seed, kTraceDomainCapture, gb);
+              crypto::Block pt;
+              for (auto& pb : pt) {
+                pb = static_cast<std::uint8_t>(rng_t.next());
+              }
+              const auto enc = sh.victim.encrypt_stateless(pt, gb, regs);
+              if (defer_hw) {
+                // Same staging expressions as the serial v2 producer.
+                if (sh.fence) {
+                  Xoshiro256 frng = sh.fence->trace_rng(gb);
+                  for (std::size_t c = 0; c < ncyc; ++c) {
+                    double cur = enc.cycle_current[c];
+                    cur += sh.fence->cycle_current(frng);
+                    cur *= coupling;
+                    sh.icblk[c * block + b] = cur;
+                  }
+                } else {
+                  for (std::size_t c = 0; c < ncyc; ++c) {
+                    double cur = enc.cycle_current[c];
+                    cur *= coupling;
+                    sh.icblk[c * block + b] = cur;
+                  }
+                }
+                FastNormal::instance().fill(
+                    rng_t, sh.zvblk.data() + b * samples, samples);
+                FastNormal::instance().fill(
+                    rng_t, sh.zblk.data() + b * samples * dps,
+                    samples * dps);
+              } else {
+                std::optional<Xoshiro256> frng;
+                Xoshiro256* fr = nullptr;
+                if (sh.fence) {
+                  frng.emplace(sh.fence->trace_rng(gb));
+                  fr = &*frng;
+                }
+                campaign.make_voltages(enc, rng_t, sh.v,
+                                       sh.fence ? &*sh.fence : nullptr, fr);
+                if (fast) {
+                  campaign.read_sensor_fast(plan, sh.v,
+                                            result.bits_of_interest, rng_t,
+                                            sh.y);
+                } else {
+                  campaign.read_sensor(sh.v, result.bits_of_interest, rng_t,
+                                       sh.y);
+                }
+                if (!blocked) {
+                  t1 = timed ? obs::monotonic_seconds() : 0.0;
+                  if (fast) {
+                    sh.cls.add_trace(model.class_value(enc.ciphertext),
+                                     model.class_bit(enc.ciphertext), sh.y);
+                  } else {
+                    model.hypotheses(enc.ciphertext, sh.h);
+                    sh.engine.add_trace(sh.h, sh.y);
+                  }
+                } else {
+                  std::copy(sh.y.begin(), sh.y.end(),
+                            sh.yblk.begin() + b * samples);
+                  if (!fast) {
+                    model.hypotheses(enc.ciphertext, sh.h);
+                    std::copy(sh.h.begin(), sh.h.end(),
+                              sh.hblk.begin() + b * 256);
+                  }
+                }
+              }
+              if (blocked && fast) {
+                sh.clsv[b] = model.class_value(enc.ciphertext);
+                sh.clsb[b] = model.class_bit(enc.ciphertext);
+              }
+            }
+            if (blocked) {
+              if (defer_hw) {
+                campaign.response_.voltages_block(sh.icblk.data(), bn, block,
+                                                  sh.vblk.data(), simd);
+                for (std::size_t k = 0; k < bn * samples; ++k) {
+                  sh.vblk[k] += 0.0 + env_noise_v * sh.zvblk[k];
+                }
+                setup_.sensor().toggle_hw_block(plan.hw, sh.vblk.data(),
+                                                bn * samples,
+                                                sh.zblk.data(),
+                                                sh.yblk.data(), simd);
+              }
+              t1 = timed ? obs::monotonic_seconds() : 0.0;
+              if (fast) {
+                sh.cls.add_block(sh.clsv.data(), sh.clsb.data(),
+                                 sh.yblk.data(), bn);
+              } else {
+                sh.engine.add_traces(sh.hblk.data(), sh.yblk.data(), bn);
+              }
+              ++sh.blocks;
+            }
+            sh.position += bn;
+            g += bn;
+            if (timed) {
+              const double t2 = obs::monotonic_seconds();
+              sh.kernel_s += t1 - t0;
+              sh.cpa_s += t2 - t1;
+            }
+          }
+          return;
+        }
         const std::size_t target = shard_quota(cp, i, T);
         if (blocked && sh.position < target) {
           sh.yblk.resize(block * samples);
@@ -450,6 +654,7 @@ CampaignResult ParallelCampaign::run_sharded() {
         }
       });
     }
+    covered = cp;
     if (ob != nullptr && blocked) {
       // Per-shard block counts, batched to the checkpoint boundary like
       // the phase timers (workers never touch the registry mid-segment).
@@ -536,16 +741,21 @@ CampaignResult ParallelCampaign::run_sharded() {
       ck.single_bit = campaign.cfg_.single_bit;
       ck.compiled = fast;
       ck.block = block;
+      ck.rng_contract = static_cast<std::uint32_t>(contract);
       ck.traces_done = cp;
       ck.shard_state.reserve(T);
       for (unsigned i = 0; i < T; ++i) {
         const Shard& sh = shards[i];
         CheckpointShard cs;
         cs.position = sh.position;
-        cs.rng = sh.rng.state();
-        cs.victim = sh.victim.register_snapshot();
         cs.has_fence = sh.fence.has_value();
-        if (sh.fence) cs.fence_rng = sh.fence->rng_state();
+        if (!v2) {
+          // v2 snapshots carry no stream state: every stream re-derives
+          // from (seed, trace index) on resume, so the fields stay zero.
+          cs.rng = sh.rng.state();
+          cs.victim = sh.victim.register_snapshot();
+          if (sh.fence) cs.fence_rng = sh.fence->rng_state();
+        }
         ByteWriter acc;
         if (fast) {
           sh.cls.save(acc);

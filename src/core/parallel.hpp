@@ -10,14 +10,18 @@
 // is snapshotted, so the convergence curves of Figs. 9b-18b survive
 // sharding.
 //
-// Determinism contract (see DESIGN.md §"Determinism"):
-//   * same seed + same thread count  => bit-identical results, always,
-//     regardless of OS scheduling (shard i's traces depend only on
-//     (seed, i), and merges happen in fixed shard order);
-//   * threads == 1                   => the exact legacy serial path
-//     (same RNG consumption order as CpaCampaign::run);
-//   * different thread counts        => statistically equivalent but
-//     not bitwise identical (different shard streams).
+// Determinism contract (see DESIGN.md §7/§12):
+//   * contract v2 (default)          => bit-identical results for ANY
+//     thread count, block size, and SIMD toggle: every trace's draws
+//     derive statelessly from (seed, trace index), shards own
+//     contiguous chunks of the global trace sequence, and merges happen
+//     in fixed shard order over integer-exact sums;
+//   * contract v1 (--rng-contract v1):
+//       - same seed + same thread count => bit-identical, regardless of
+//         OS scheduling (shard i's traces depend only on (seed, i));
+//       - threads == 1                  => the exact legacy serial path;
+//       - different thread counts       => statistically equivalent but
+//         not bitwise identical (different shard streams).
 #pragma once
 
 #include <cstdint>
@@ -48,6 +52,19 @@ class ThreadPool {
   /// Run fn(i) for every i in [0, n); rethrows the first worker
   /// exception (remaining tasks still drain).
   void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Asynchronous variant for producer/consumer pipelines: start
+  /// fn(0..n-1) on the workers and return immediately. The pool owns a
+  /// copy of `fn`, so the caller's callable may go out of scope; the
+  /// objects the callable references must outlive the batch (the
+  /// destructor joins an in-flight batch before the threads die). One
+  /// batch may be in flight at a time; submitting while busy is an
+  /// error.
+  void submit_indexed(std::size_t n, std::function<void(std::size_t)> fn);
+
+  /// Block until the submitted batch drains (no-op when nothing is in
+  /// flight); rethrows the first worker exception.
+  void wait();
 
  private:
   struct Impl;

@@ -29,15 +29,14 @@ AesDatapathModel::AesDatapathModel(const Block& key, const DatapathConfig& cfg)
   register_mask_.fill(0);
 }
 
-AesDatapathModel::Encryption AesDatapathModel::encrypt(const Block& plaintext) {
+AesDatapathModel::Encryption AesDatapathModel::encrypt_core(
+    const Block& plaintext, Block& reg, Block& mask_reg,
+    Xoshiro256& mask_rng) const {
   Encryption enc;
   enc.plaintext = plaintext;
 
   const auto states = aes_.encrypt_states(plaintext);
   enc.ciphertext = states[10];
-
-  Block reg = cfg_.carry_previous_state ? register_state_ : Block{};
-  Block mask_reg = cfg_.carry_previous_state ? register_mask_ : Block{};
 
   // Per-round state written into the register. Unmasked: the state
   // itself. Masked: share 0 = state ^ m_round with a fresh mask every
@@ -46,7 +45,7 @@ AesDatapathModel::Encryption AesDatapathModel::encrypt(const Block& plaintext) {
     Block target = states[round];
     Block mask{};
     if (cfg_.masked) {
-      for (auto& m : mask) m = static_cast<std::uint8_t>(mask_rng_.next());
+      for (auto& m : mask) m = static_cast<std::uint8_t>(mask_rng.next());
       for (std::size_t i = 0; i < 16; ++i) target[i] ^= mask[i];
     }
     for (std::size_t col = 0; col < 4; ++col) {
@@ -66,10 +65,42 @@ AesDatapathModel::Encryption AesDatapathModel::encrypt(const Block& plaintext) {
     enc.cycle_current[c] =
         cfg_.base_current_a + cfg_.current_per_hd_a * enc.cycle_hd[c];
   }
+  return enc;
+}
 
+AesDatapathModel::Encryption AesDatapathModel::encrypt(const Block& plaintext) {
+  Block reg = cfg_.carry_previous_state ? register_state_ : Block{};
+  Block mask_reg = cfg_.carry_previous_state ? register_mask_ : Block{};
+  Encryption enc = encrypt_core(plaintext, reg, mask_reg, mask_rng_);
   register_state_ = reg;
   register_mask_ = mask_reg;
   return enc;
+}
+
+AesDatapathModel::Encryption AesDatapathModel::encrypt_stateless(
+    const Block& plaintext, std::uint64_t trace_index,
+    RegisterSnapshot& regs) const {
+  Block reg = cfg_.carry_previous_state ? regs.register_state : Block{};
+  Block mask_reg = cfg_.carry_previous_state ? regs.register_mask : Block{};
+  Xoshiro256 mask_rng =
+      Xoshiro256::trace_stream(cfg_.mask_seed, kTraceDomainMask, trace_index);
+  Encryption enc = encrypt_core(plaintext, reg, mask_reg, mask_rng);
+  regs.register_state = reg;
+  regs.register_mask = mask_reg;
+  // The per-trace stream is re-derived for every trace, so the snapshot
+  // does not need a meaningful stream position; keep it zeroed.
+  regs.mask_rng_state = {};
+  return enc;
+}
+
+AesDatapathModel::RegisterSnapshot AesDatapathModel::registers_after(
+    const Block& plaintext, std::uint64_t trace_index) const {
+  // The state register is fully overwritten through rounds 0..10, so the
+  // outgoing snapshot is independent of the incoming one: a zero snapshot
+  // yields the same result as the true predecessor state.
+  RegisterSnapshot regs{};
+  (void)encrypt_stateless(plaintext, trace_index, regs);
+  return regs;
 }
 
 std::size_t AesDatapathModel::cycle_of(std::size_t round, std::size_t col) {

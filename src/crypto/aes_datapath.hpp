@@ -90,7 +90,32 @@ class AesDatapathModel {
     mask_rng_.set_state(snap.mask_rng_state);
   }
 
+  /// Stateless variant for determinism contract v2 (DESIGN.md §12): run
+  /// one encryption against a caller-owned register snapshot, advancing
+  /// `regs` in place and leaving the model's internal state untouched.
+  /// Mask draws come from the counter-keyed per-trace stream
+  /// trace_stream(mask_seed, kTraceDomainMask, trace_index), so any lane
+  /// can compute any trace's leakage without cross-trace RNG ordering.
+  /// The per-cycle arithmetic is the exact expression sequence encrypt()
+  /// evaluates, so with matching register/mask inputs the two paths are
+  /// bit-identical.
+  Encryption encrypt_stateless(const Block& plaintext,
+                               std::uint64_t trace_index,
+                               RegisterSnapshot& regs) const;
+
+  /// The register snapshot left behind by trace `trace_index` under
+  /// contract v2 (registers start zeroed at trace 0). Because every
+  /// register share is fully overwritten during rounds 0..10, the
+  /// outgoing snapshot depends only on (plaintext, trace_index) — this
+  /// is what lets sharded/pipelined engines derive a chunk's incoming
+  /// register state from the previous trace alone.
+  RegisterSnapshot registers_after(const Block& plaintext,
+                                   std::uint64_t trace_index) const;
+
  private:
+  Encryption encrypt_core(const Block& plaintext, Block& reg, Block& mask_reg,
+                          Xoshiro256& mask_rng) const;
+
   Aes128 aes_;
   DatapathConfig cfg_;
   Block register_state_{};   // share 0; survives across encryptions

@@ -10,8 +10,6 @@ ActiveFence::ActiveFence(const ActiveFenceConfig& cfg)
               "ActiveFence: currents must be non-negative");
 }
 
-double ActiveFence::next_cycle_current() {
-  return cfg_.base_current_a + rng_.uniform() * cfg_.random_current_a;
-}
+double ActiveFence::next_cycle_current() { return cycle_current(rng_); }
 
 }  // namespace slm::defense

@@ -30,8 +30,26 @@ class ActiveFence {
  public:
   explicit ActiveFence(const ActiveFenceConfig& cfg);
 
-  /// Fence current for the next victim cycle (stateful RNG).
+  /// Fence current for the next victim cycle (stateful RNG; determinism
+  /// contract v1 — consecutive traces share one sequential stream).
   double next_cycle_current();
+
+  /// Counter-indexed fence stream for determinism contract v2: the
+  /// stream for trace `trace_index`, derived statelessly from the fence
+  /// seed via Xoshiro256::trace_stream with the fence domain constant.
+  /// Any lane can materialise any trace's fence draws independently.
+  Xoshiro256 trace_rng(std::uint64_t trace_index) const {
+    return Xoshiro256::trace_stream(cfg_.seed, kTraceDomainFence,
+                                    trace_index);
+  }
+
+  /// One cycle's fence current drawn from a caller-owned stream (the
+  /// stateless core both next_cycle_current and the v2 per-trace path
+  /// share, so the per-cycle expression is bit-identical across
+  /// contracts).
+  double cycle_current(Xoshiro256& rng) const {
+    return cfg_.base_current_a + rng.uniform() * cfg_.random_current_a;
+  }
 
   /// Average power-overhead current (A) — what the defender pays.
   double mean_current_a() const {

@@ -5,6 +5,18 @@
 // trace update only touches the guesses whose hypothesis bit is 1, so a
 // 256-guess x S-sample update costs ~128*S additions. 500k-trace
 // campaigns finish in seconds.
+//
+// Partition invariance (load-bearing for RNG contract v2): sensor
+// readings are integer-valued counts, the binary hypotheses are 0/1,
+// and every running sum here is a sum of products of those integers —
+// each partial sum stays an exactly representable integer far below
+// 2^53, so IEEE-754 addition never rounds and the sums are associative
+// in practice. That is why the engines may split a campaign's traces
+// across any thread count, block size or serial/sharded engine and
+// still land on bit-identical accumulators: the set of addends is fixed
+// by (seed, trace_index) under contract v2, and exact integer addition
+// makes the order and grouping irrelevant. Campaign.ThreadAndBlockInvariant
+// pins this property.
 #pragma once
 
 #include <cstdint>

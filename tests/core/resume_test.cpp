@@ -315,6 +315,94 @@ TEST(ResumeTest, MismatchedConfigurationRefusesToResume) {
   std::filesystem::remove_all(dir);
 }
 
+// A snapshot written under one RNG contract must refuse to continue
+// under the other — the trace streams differ from the first draw, so a
+// silent cross-contract resume would diverge from both uninterrupted
+// runs. The refusal is the dedicated CheckpointContractMismatch error
+// (the CLI maps it to exit code 6), in both directions.
+TEST(ResumeTest, CrossContractResumeRefused) {
+  for (const auto written : {RngContract::kV1, RngContract::kV2}) {
+    const std::string dir = fresh_dir("ckpt_contract");
+    auto cfg = small_cfg(SensorMode::kTdcFull, 500);
+    cfg.rng_contract = written;
+    cfg.checkpoint_dir = dir;
+    cfg.halt_after_traces = 200;
+    EXPECT_THROW((void)run_serial(cfg), CampaignHalted);
+    {
+      const auto ck = load_checkpoint(dir);
+      ASSERT_TRUE(ck.has_value());
+      EXPECT_EQ(ck->rng_contract,
+                written == RngContract::kV1 ? 1u : 2u);
+    }
+
+    cfg.halt_after_traces = 0;
+    cfg.resume = true;
+    cfg.rng_contract =
+        written == RngContract::kV1 ? RngContract::kV2 : RngContract::kV1;
+    EXPECT_THROW((void)run_serial(cfg), CheckpointContractMismatch);
+    EXPECT_THROW((void)run_parallel(cfg, 1), CheckpointContractMismatch);
+
+    // Matching the snapshot's contract resumes fine.
+    cfg.rng_contract = written;
+    const auto resumed = run_serial(cfg);
+    EXPECT_EQ(resumed.resumed_from, 200u);
+    EXPECT_EQ(resumed.rng_contract, written);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// v1 snapshots still carry full stream state (RNG, victim registers,
+// fence stream); the legacy kill/resume cycle must stay bit-exact for
+// both engines with the fence's randomised component on.
+TEST(ResumeTest, V1KillResumeStaysBitExact) {
+  for (const unsigned threads : {1u, 3u}) {
+    const std::string dir = fresh_dir("ckpt_v1");
+    auto cfg = small_cfg(SensorMode::kBenignHw, 500);
+    cfg.rng_contract = RngContract::kV1;
+    cfg.fence.random_current_a = 0.02;
+
+    const auto uninterrupted = run_parallel(cfg, threads);
+    EXPECT_EQ(uninterrupted.rng_contract, RngContract::kV1);
+
+    cfg.checkpoint_dir = dir;
+    cfg.halt_after_traces = 200;
+    EXPECT_THROW((void)run_parallel(cfg, threads), CampaignHalted);
+
+    cfg.halt_after_traces = 0;
+    cfg.resume = true;
+    const auto resumed = run_parallel(cfg, threads);
+    EXPECT_EQ(resumed.resumed_from, 200u);
+    expect_bit_identical(uninterrupted, resumed);
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// Under v2 the snapshot carries no stream state at all: a run killed
+// under one thread count / block tiling and resumed under ANOTHER block
+// still reproduces the uninterrupted run bit for bit (thread count must
+// still match — shard accumulator sums are per-shard).
+TEST(ResumeTest, V2KillResumeAcrossBlockSizesBitExact) {
+  const std::string dir = fresh_dir("ckpt_v2_block");
+  auto cfg = small_cfg(SensorMode::kBenignHw, 500);
+  cfg.rng_contract = RngContract::kV2;
+
+  cfg.block = 1;
+  const auto uninterrupted = run_parallel(cfg, 2);
+
+  cfg.block = 48;
+  cfg.checkpoint_dir = dir;
+  cfg.halt_after_traces = 200;
+  EXPECT_THROW((void)run_parallel(cfg, 2), CampaignHalted);
+
+  cfg.halt_after_traces = 0;
+  cfg.resume = true;
+  cfg.block = 64;
+  const auto resumed = run_parallel(cfg, 2);
+  EXPECT_EQ(resumed.resumed_from, 200u);
+  expect_bit_identical(uninterrupted, resumed);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ResumeTest, CompletedRunLeavesNoResumableWork) {
   const std::string dir = fresh_dir("ckpt_complete");
   auto cfg = small_cfg(SensorMode::kTdcFull, 400);

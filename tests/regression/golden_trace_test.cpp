@@ -26,9 +26,14 @@
 namespace slm {
 namespace {
 
-std::string fixture_path() {
+// One fixture file per RNG determinism contract: golden_traces.txt pins
+// the legacy v1 draws byte-identically to the pre-v2 releases, and
+// golden_traces_v2.txt pins the counter-keyed v2 draws (DESIGN.md §12).
+std::string fixture_path(core::RngContract contract) {
   return std::string(SLM_REPO_ROOT) +
-         "/tests/regression/fixtures/golden_traces.txt";
+         (contract == core::RngContract::kV1
+              ? "/tests/regression/fixtures/golden_traces.txt"
+              : "/tests/regression/fixtures/golden_traces_v2.txt");
 }
 
 void append_hex(std::string& out, const char* key, double v) {
@@ -44,12 +49,14 @@ void append_u64(std::string& out, const char* key, std::uint64_t v) {
   out += buf;
 }
 
-core::CampaignConfig golden_cfg(core::SensorMode mode) {
+core::CampaignConfig golden_cfg(core::SensorMode mode,
+                                core::RngContract contract) {
   core::CampaignConfig cfg;
   cfg.mode = mode;
   cfg.traces = 200;
   cfg.checkpoints = {100, 200};
   cfg.selection_traces = 400;
+  cfg.rng_contract = contract;
   if (mode == core::SensorMode::kBenignSingleBit) {
     cfg.single_bit = core::CampaignConfig::kAutoBit;
   }
@@ -57,10 +64,10 @@ core::CampaignConfig golden_cfg(core::SensorMode mode) {
 }
 
 void append_campaign(std::string& out, core::SensorMode mode,
-                     const char* tag) {
+                     core::RngContract contract, const char* tag) {
   core::AttackSetup setup(core::BenignCircuit::kAlu,
                           core::Calibration::paper_defaults());
-  core::CpaCampaign campaign(setup, golden_cfg(mode));
+  core::CpaCampaign campaign(setup, golden_cfg(mode, contract));
   const core::CampaignResult r = campaign.run();
   out += "[campaign ";
   out += tag;
@@ -116,28 +123,29 @@ void append_sensor_words(std::string& out) {
   }
 }
 
-std::string current_snapshot() {
+std::string current_snapshot(core::RngContract contract) {
   std::string out;
   out += "# Golden trace fixtures - regenerate with SLM_REGEN_GOLDEN=1\n";
-  append_campaign(out, core::SensorMode::kBenignHw, "benign_hw");
-  append_campaign(out, core::SensorMode::kBenignSingleBit,
+  append_campaign(out, core::SensorMode::kBenignHw, contract, "benign_hw");
+  append_campaign(out, core::SensorMode::kBenignSingleBit, contract,
                   "benign_single_bit");
-  append_campaign(out, core::SensorMode::kTdcFull, "tdc_full");
+  append_campaign(out, core::SensorMode::kTdcFull, contract, "tdc_full");
   append_sensor_words(out);
   return out;
 }
 
-TEST(GoldenTrace, SnapshotsMatchCheckedInFixtures) {
-  const std::string now = current_snapshot();
+void check_fixture(core::RngContract contract) {
+  const std::string path = fixture_path(contract);
+  const std::string now = current_snapshot(contract);
   if (std::getenv("SLM_REGEN_GOLDEN") != nullptr) {
-    std::ofstream f(fixture_path(), std::ios::trunc);
-    ASSERT_TRUE(f.good()) << "cannot write " << fixture_path();
+    std::ofstream f(path, std::ios::trunc);
+    ASSERT_TRUE(f.good()) << "cannot write " << path;
     f << now;
-    GTEST_SKIP() << "regenerated " << fixture_path();
+    GTEST_SKIP() << "regenerated " << path;
   }
-  std::ifstream f(fixture_path());
+  std::ifstream f(path);
   ASSERT_TRUE(f.good())
-      << "missing fixture " << fixture_path()
+      << "missing fixture " << path
       << " - run this test once with SLM_REGEN_GOLDEN=1 and commit it";
   std::stringstream buf;
   buf << f.rdbuf();
@@ -158,6 +166,16 @@ TEST(GoldenTrace, SnapshotsMatchCheckedInFixtures) {
                       << line;
     ASSERT_EQ(la, lb) << "first divergence at line " << line;
   }
+}
+
+// The v1 fixture is byte-identical to the pre-v2 releases: the legacy
+// contract replays the exact historical RNG consumption order.
+TEST(GoldenTrace, V1SnapshotsMatchCheckedInFixtures) {
+  check_fixture(core::RngContract::kV1);
+}
+
+TEST(GoldenTrace, SnapshotsMatchCheckedInFixtures) {
+  check_fixture(core::RngContract::kV2);
 }
 
 }  // namespace

@@ -92,6 +92,44 @@ foreach(m ${doc_metrics})
   endif()
 endforeach()
 
+# 5. The checkpoint format version documented in OBSERVABILITY.md must
+#    match kCheckpointVersion in src/core/checkpoint.hpp — bumping the
+#    binary format without re-documenting it (or vice versa) fails here.
+file(READ ${REPO}/src/core/checkpoint.hpp ckpthdr)
+string(REGEX MATCH "kCheckpointVersion = ([0-9]+)" _ "${ckpthdr}")
+set(ckpt_version "${CMAKE_MATCH_1}")
+if(ckpt_version STREQUAL "")
+  string(APPEND errors "cannot find kCheckpointVersion in src/core/checkpoint.hpp\n")
+endif()
+string(REGEX MATCHALL "format version [0-9]+" doc_versions "${obsdoc}")
+list(REMOVE_DUPLICATES doc_versions)
+if(doc_versions STREQUAL "")
+  string(APPEND errors "OBSERVABILITY.md no longer documents the checkpoint 'format version N'\n")
+endif()
+foreach(v ${doc_versions})
+  if(NOT v STREQUAL "format version ${ckpt_version}")
+    string(APPEND errors "OBSERVABILITY.md says checkpoint '${v}' but kCheckpointVersion is ${ckpt_version}\n")
+  endif()
+endforeach()
+
+# 6. The RNG determinism contract must stay documented: the CLI exposes
+#    --rng-contract and the engines read SLM_RNG_CONTRACT, so both
+#    BENCHMARKS.md (tuning knob) and OBSERVABILITY.md (repro surface)
+#    must mention the flag, the env knob, and the slm.pipeline metric
+#    family the v2 overlap emits. Forward checks (documented-but-gone)
+#    are sections 2-4; this is the reverse direction.
+foreach(needed "--rng-contract" "SLM_RNG_CONTRACT")
+  if(NOT benchdoc MATCHES "${needed}")
+    string(APPEND errors "BENCHMARKS.md no longer documents '${needed}'\n")
+  endif()
+  if(NOT obsdoc MATCHES "${needed}")
+    string(APPEND errors "OBSERVABILITY.md no longer documents '${needed}'\n")
+  endif()
+endforeach()
+if(NOT obsdoc MATCHES "slm\\.pipeline\\.")
+  string(APPEND errors "OBSERVABILITY.md no longer documents the slm.pipeline.* metrics\n")
+endif()
+
 if(NOT errors STREQUAL "")
   message(FATAL_ERROR "stale documentation references:\n${errors}")
 endif()

@@ -7,7 +7,11 @@
 #
 # Usage: cmake -DSLM=<slm binary> -DWORKDIR=<scratch dir> -P resume_smoke.cmake
 
-set(common attack --circuit alu --mode tdc --traces 6000 --key-byte 3)
+# Pinned to RNG contract v2 (the default, but explicit here so the
+# drill keeps covering the counter-keyed path even if the default ever
+# moves); a cross-contract resume attempt below must be refused.
+set(common attack --circuit alu --mode tdc --traces 6000 --key-byte 3
+    --rng-contract v2)
 set(ckpt_dir ${WORKDIR}/resume_smoke_ckpt)
 set(events ${WORKDIR}/resume_smoke_events.jsonl)
 file(REMOVE_RECURSE ${ckpt_dir})
@@ -22,7 +26,9 @@ function(run_slm out_var expect_rc)
   if(NOT rc EQUAL ${expect_rc})
     message(FATAL_ERROR "slm ${ARGN} -> rc=${rc} (expected ${expect_rc})\n${out}\n${err}")
   endif()
-  set(${out_var} "${out}" PARENT_SCOPE)
+  # stderr included so refusal diagnostics (e.g. the rc 6 contract
+  # mismatch) can be asserted on too.
+  set(${out_var} "${out}${err}" PARENT_SCOPE)
 endfunction()
 
 # 1. Uninterrupted reference run (6000 TDC traces disclose the byte).
@@ -47,14 +53,24 @@ if(NOT EXISTS ${ckpt_dir}/campaign.ckpt)
   message(FATAL_ERROR "halt left no snapshot at ${ckpt_dir}/campaign.ckpt")
 endif()
 
-# 3. Resume and run to completion (still under the odd block size).
+# 3. Cross-contract resume must be refused: the snapshot stamps its
+#    RNG contract (header version 3), and replaying a v2 snapshot's
+#    remaining traces under v1 draws would silently change the physics.
+#    rc 6 is the documented "checkpoint contract mismatch" exit code.
+run_slm(mismatch_out 6 attack --circuit alu --mode tdc --traces 6000
+        --key-byte 3 --rng-contract v1 --block 48 --resume ${ckpt_dir})
+if(NOT mismatch_out MATCHES "RNG contract")
+  message(FATAL_ERROR "cross-contract resume did not explain the refusal:\n${mismatch_out}")
+endif()
+
+# 4. Resume and run to completion (still under the odd block size).
 run_slm(res_out 0 ${common} --block 48 --resume ${ckpt_dir} --trace-out ${events})
 if(NOT res_out MATCHES "resumed from trace")
   message(FATAL_ERROR "resumed run did not restore the snapshot:\n${res_out}")
 endif()
 string(REGEX MATCH "true 0x[0-9a-f]+ recovered 0x[0-9a-f]+[^\n]*" res_line "${res_out}")
 
-# 4. Verify: identical recovery line (same true byte, same recovered
+# 5. Verify: identical recovery line (same true byte, same recovered
 #    byte, same measurements-to-disclosure), and a closed event stream.
 if(NOT ref_line STREQUAL res_line)
   message(FATAL_ERROR "resume diverged from the uninterrupted run:\n"

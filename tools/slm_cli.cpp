@@ -6,6 +6,7 @@
 //   slm atpg  FILE.bench [--band LO HI]
 //   slm attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]
 //              [--traces N] [--key-byte B] [--threads N]
+//              [--rng-contract v1|v2]
 //              [--checkpoint-dir D] [--resume D] [--halt-after N]
 //              [--trace-out F.jsonl]
 //
@@ -213,6 +214,20 @@ int cmd_attack(const Args& args) {
   // SLM_SIMD=0 in the environment selects the scalar block kernels.
   opts.block = args.get_n("block", 0);
 
+  // RNG determinism contract (DESIGN.md §12): v2 (the default) derives
+  // every trace's randomness from (seed, trace index) — bit-identical
+  // for any --threads/--block; v1 is the legacy sequential-stream
+  // contract that reproduces the pre-v2 fixtures.
+  const std::string contract_s = args.get("rng-contract", "");
+  if (contract_s == "v1" || contract_s == "1") {
+    opts.rng_contract = core::RngContract::kV1;
+  } else if (contract_s == "v2" || contract_s == "2") {
+    opts.rng_contract = core::RngContract::kV2;
+  } else if (!contract_s.empty()) {
+    throw Error("unknown --rng-contract '" + contract_s +
+                "' (expected v1 or v2)");
+  }
+
   // Observability: --trace-out wins over the SLM_TRACE environment knob;
   // either attaches a metrics registry + JSONL event sink.
   std::unique_ptr<obs::CampaignObserver> observer;
@@ -241,15 +256,19 @@ int cmd_attack(const Args& args) {
               << "resume with: slm attack --resume "
               << opts.checkpoint_dir << "\n";
     return 5;
+  } catch (const core::CheckpointContractMismatch& mismatch) {
+    std::cerr << "slm: error: " << mismatch.what() << "\n";
+    return 6;
   }
 
   if (r.resumed_from > 0) {
     std::cout << "resumed from trace " << r.resumed_from << "\n";
   }
   if (r.capture_seconds > 0.0) {
-    std::printf("campaign: %u thread(s), block %zu, %.2f s, "
+    std::printf("campaign: %u thread(s), block %zu, contract %s, %.2f s, "
                 "%.0f traces/sec\n",
-                r.threads_used, r.block_size, r.capture_seconds,
+                r.threads_used, r.block_size,
+                core::rng_contract_name(r.rng_contract), r.capture_seconds,
                 static_cast<double>(r.traces) / r.capture_seconds);
   }
   if (observer != nullptr && r.kernel_seconds > 0.0) {
@@ -274,6 +293,7 @@ int cmd_attack(const Args& args) {
             .field("success", r.success)
             .field("threads", static_cast<std::uint64_t>(r.threads_used))
             .field("block", static_cast<std::uint64_t>(r.block_size))
+            .field("rng_contract", core::rng_contract_name(r.rng_contract))
             .field("capture_seconds", r.capture_seconds));
   }
   return r.success ? 0 : 4;
@@ -289,6 +309,7 @@ int usage() {
          "  atpg   FILE.bench [--band-lo NS] [--band-hi NS]\n"
          "  attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]\n"
          "         [--traces N] [--key-byte B] [--threads N] [--block N]\n"
+         "         [--rng-contract v1|v2]\n"
          "         [--checkpoint-dir D] [--resume D] [--halt-after N]\n"
          "         [--trace-out F.jsonl]\n";
   return 64;
