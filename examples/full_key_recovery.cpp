@@ -12,10 +12,11 @@
 int main(int argc, char** argv) {
   using namespace slm::core;
 
-  // The 16 byte-campaigns are farmed across all hardware threads by
-  // default; under the default v2 RNG contract the thread count never
-  // changes the recovered bits, so `--threads 1` is purely a
-  // throughput knob here.
+  // One shared capture pass feeds all 16 byte folds (docs/FULLKEY.md);
+  // the capture itself shards across all hardware threads by default.
+  // Under the default v2 RNG contract the thread count never changes
+  // the recovered bits, so `--threads 1` is purely a throughput knob
+  // here.
   unsigned threads = 0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--threads") {
@@ -25,9 +26,10 @@ int main(int argc, char** argv) {
 
   StealthyAttack attack(BenignCircuit::kAlu);
   std::printf("recovering all 16 bytes of the last round key "
-              "(TDC sensor, 4000 traces each, %u thread(s))...\n\n",
+              "(TDC sensor, one shared 4000-trace capture, "
+              "%u thread(s))...\n\n",
               resolve_threads(threads));
-  const auto report = attack.recover_full_key(/*traces_per_byte=*/4000,
+  const auto report = attack.recover_full_key(/*traces=*/4000,
                                               SensorMode::kTdcFull, threads);
 
   std::printf("byte  true  recovered  ok   ~traces\n");

@@ -1,6 +1,7 @@
 #include "core/attack.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/parallel.hpp"
 
@@ -104,39 +105,125 @@ std::vector<KeyByteReport> StealthyAttack::recover_key_bytes(
   return reports;
 }
 
+CampaignConfig StealthyAttack::fullkey_campaign_config(std::size_t traces,
+                                                       SensorMode mode) const {
+  CampaignConfig cfg;
+  cfg.traces = traces;
+  cfg.mode = mode;
+  cfg.target_key_byte = 0;  // fused engine attacks all 16; farmed overrides
+  cfg.target_bit = 0;
+  // One seed plan for the whole key: every full-key path (fused or
+  // farmed) derives the identical shared capture stream from it.
+  cfg.seed = seed_ ^ (0x9e3779b97f4a7c15ull * 17);
+  if (mode == SensorMode::kBenignSingleBit ||
+      mode == SensorMode::kTdcSingleBit) {
+    cfg.single_bit = CampaignConfig::kAutoBit;
+  }
+  if (mode == SensorMode::kBenignHw &&
+      setup_.circuit_kind() == BenignCircuit::kC6288x2) {
+    cfg.selection_top_k = 12;
+  }
+
+  // The shared window must bracket every byte's leakage cycle — the
+  // last-round columns retire on different cycles, so this is wider
+  // than any single byte_campaign_config window.
+  const double cyc = 1000.0 / cal_.aes_clock_mhz;
+  double leak_lo = 0.0;
+  double leak_hi = 0.0;
+  for (std::size_t b = 0; b < 16; ++b) {
+    sca::LastRoundBitModel model(b, 0);
+    const double leak_t =
+        static_cast<double>(crypto::AesDatapathModel::leakage_cycle_for_byte(
+            model.register_position())) *
+        cyc;
+    if (b == 0 || leak_t < leak_lo) leak_lo = leak_t;
+    if (b == 0 || leak_t > leak_hi) leak_hi = leak_t;
+  }
+  cfg.window_start_ns = leak_lo - 2.0 * cyc;
+  cfg.window_end_ns = leak_hi + 3.5 * cyc;
+  return cfg;
+}
+
 StealthyAttack::FullKeyReport StealthyAttack::recover_full_key(
-    std::size_t traces_per_byte, SensorMode mode, unsigned threads) {
+    std::size_t traces, SensorMode mode, unsigned threads) {
+  return recover_full_key(traces, mode, threads, FullKeyOptions{});
+}
+
+StealthyAttack::FullKeyReport StealthyAttack::recover_full_key(
+    std::size_t traces, SensorMode mode, unsigned threads,
+    const FullKeyOptions& opts) {
   FullKeyReport report;
   report.success = true;
+  report.mode_used = opts.mode;
   const unsigned t = resolve_threads(threads);
-  if (t <= 1) {
-    // Exact legacy behaviour: the 16 campaigns run back to back on the
-    // shared platform (the victim's register state carries over).
+  report.threads_used = t;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (opts.mode == FullKeyMode::kFused) {
+    CampaignConfig cfg = fullkey_campaign_config(traces, mode);
+    cfg.observer = opts.run.observer;
+    cfg.checkpoint_dir = opts.run.checkpoint_dir;
+    cfg.resume = opts.run.resume;
+    cfg.halt_after_traces = opts.run.halt_after_traces;
+    cfg.block = opts.run.block;
+    cfg.simd = opts.run.simd;
+    cfg.rng_contract = opts.run.rng_contract;
+    ParallelCampaign campaign(setup_, cfg, threads);
+    const FullKeyRunResult r = campaign.run_fullkey(opts.fused);
+    report.bytes.reserve(16);
     for (std::size_t b = 0; b < 16; ++b) {
-      auto byte_report = recover_key_byte(b, traces_per_byte, mode, 1);
-      report.last_round_key[b] = byte_report.recovered;
-      report.success = report.success && byte_report.success;
-      report.bytes.push_back(std::move(byte_report));
+      const FullKeyByteResult& br = r.bytes[b];
+      KeyByteReport kb;
+      kb.key_byte = b;
+      kb.true_value = br.correct;
+      kb.recovered = br.recovered;
+      kb.success = br.success;
+      kb.traces = br.traces;
+      kb.early_exited = br.early_exited;
+      kb.mtd = br.mtd;
+      kb.threads_used = r.threads_used;
+      kb.capture_seconds = r.capture_seconds;  // shared capture pass
+      kb.block_size = r.block_size;
+      kb.rng_contract = r.rng_contract;
+      kb.resumed_from = r.resumed_from;
+      kb.snapshot_path = r.snapshot_path;
+      report.last_round_key[b] = kb.recovered;
+      report.success = report.success && kb.success;
+      if (kb.early_exited) ++report.bytes_early_exited;
+      report.bytes.push_back(std::move(kb));
     }
+    report.traces_captured = r.traces_run;
+    report.block_size = r.block_size;
+    report.rng_contract = r.rng_contract;
+    report.resumed_from = r.resumed_from;
+    report.snapshot_path = r.snapshot_path;
   } else {
-    // Farm the 16 byte-campaigns across the pool. Every campaign gets a
-    // fresh, identically-seeded platform replica, so each byte's result
-    // is independent of which worker runs it and of the other bytes —
-    // deterministic for any thread count >= 2.
+    // Farmed oracle: 16 single-byte campaigns over the SAME shared
+    // config, each on a fresh, identically-seeded platform replica —
+    // per-byte results are independent of worker scheduling AND of the
+    // thread count (each campaign is serial on its own replica).
     report.bytes.resize(16);
-    ThreadPool pool(std::min(t, 16u));
+    ThreadPool pool(std::min(std::max(t, 1u), 16u));
     pool.run_indexed(16, [&](std::size_t b) {
       AttackSetup local(setup_.circuit_kind(), cal_, seed_);
-      const CampaignConfig cfg =
-          byte_campaign_config(b, traces_per_byte, mode);
+      CampaignConfig cfg = fullkey_campaign_config(traces, mode);
+      cfg.target_key_byte = b;
+      cfg.block = opts.run.block;
+      cfg.simd = opts.run.simd;
+      cfg.rng_contract = opts.run.rng_contract;
       CpaCampaign campaign(local, cfg);
       report.bytes[b] = report_from(b, campaign.run());
     });
     for (std::size_t b = 0; b < 16; ++b) {
       report.last_round_key[b] = report.bytes[b].recovered;
       report.success = report.success && report.bytes[b].success;
+      report.traces_captured += report.bytes[b].traces;
     }
+    report.block_size = report.bytes[0].block_size;
+    report.rng_contract = report.bytes[0].rng_contract;
   }
+  report.capture_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   report.master_key = crypto::recover_master_key(report.last_round_key);
   return report;
 }

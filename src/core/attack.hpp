@@ -19,6 +19,9 @@ struct KeyByteReport {
   std::uint8_t recovered = 0;
   bool success = false;
   std::size_t traces = 0;
+  /// Fused full-key campaigns only: this byte froze via early exit (its
+  /// guess and margin stabilized before the trace budget ran out).
+  bool early_exited = false;
   sca::MtdResult mtd;
   unsigned threads_used = 0;     ///< workers the campaign ran on
   double capture_seconds = 0.0;  ///< campaign wall time (traces/sec)
@@ -53,6 +56,27 @@ struct RunOptions {
   RngContract rng_contract = RngContract::kDefault;
 };
 
+/// How recover_full_key captures its traces (see docs/FULLKEY.md).
+enum class FullKeyMode {
+  /// One shared capture pass feeds a fused 16-bytes x 256-guesses CPA
+  /// fold (sca::MultiByteCpa) — the default, ~16x less capture work.
+  kFused,
+  /// 16 independent single-byte campaigns over the SAME shared capture
+  /// config, one fresh platform replica each. Kept as the bit-exactness
+  /// oracle: under contract v2 every byte's CPA sums are bit-identical
+  /// to the fused fold's (the capture stream is model-independent).
+  kFarmed,
+};
+
+/// Options for the full-key entry point. `fused` (early-exit knobs) and
+/// `run` (observer / checkpointing) only apply to FullKeyMode::kFused;
+/// the farmed oracle ignores observers and cannot snapshot.
+struct FullKeyOptions {
+  FullKeyMode mode = FullKeyMode::kFused;
+  FullKeyConfig fused;
+  RunOptions run;
+};
+
 class StealthyAttack {
  public:
   StealthyAttack(BenignCircuit circuit,
@@ -84,20 +108,45 @@ class StealthyAttack {
       SensorMode mode = SensorMode::kBenignHw, unsigned threads = 0);
 
   struct FullKeyReport {
-    std::vector<KeyByteReport> bytes;     ///< one campaign per key byte
+    std::vector<KeyByteReport> bytes;     ///< one entry per key byte
     crypto::Block last_round_key{};       ///< assembled from the campaigns
     crypto::Block master_key{};           ///< inverse key schedule
     bool success = false;                 ///< all 16 bytes correct
+    FullKeyMode mode_used = FullKeyMode::kFused;
+    /// Traces actually captured: the shared-pass count for fused, the
+    /// sum over the 16 byte campaigns for farmed (~16x larger at equal
+    /// per-byte budgets — the whole point of the fused engine).
+    std::size_t traces_captured = 0;
+    double capture_seconds = 0.0;  ///< wall time of the capture/attack
+    unsigned threads_used = 0;
+    std::size_t block_size = 0;
+    RngContract rng_contract = RngContract::kV2;
+    std::size_t bytes_early_exited = 0;  ///< fused: frozen before budget
+    std::size_t resumed_from = 0;        ///< fused: snapshot resume point
+    std::string snapshot_path;           ///< fused: last snapshot written
   };
 
   /// The complete break: recover all 16 last-round key bytes and invert
-  /// the key schedule back to the AES master key. With threads > 1 the
-  /// 16 byte-campaigns are farmed across the pool, each on its own
-  /// deterministic platform replica, so the result depends only on
-  /// (seed, threads), never on scheduling.
-  FullKeyReport recover_full_key(std::size_t traces_per_byte,
+  /// the key schedule back to the AES master key. The default (fused)
+  /// engine captures ONE shared trace stream and folds all 16 bytes'
+  /// CPA sums out of it (sca::MultiByteCpa), with per-byte early exit
+  /// once a byte's winning guess and margin stabilize. Under RNG
+  /// contract v2 the result is bit-identical for any thread count,
+  /// block size, and SIMD toggle — and per byte to the farmed oracle.
+  FullKeyReport recover_full_key(std::size_t traces,
                                  SensorMode mode = SensorMode::kTdcFull,
                                  unsigned threads = 0);
+  FullKeyReport recover_full_key(std::size_t traces, SensorMode mode,
+                                 unsigned threads,
+                                 const FullKeyOptions& opts);
+
+  /// The shared capture config every full-key path runs under: one seed
+  /// plan for the whole key and a sampling window bracketing every
+  /// byte's leakage cycle. Farmed byte campaigns override only
+  /// target_key_byte — the capture stream itself is model-independent,
+  /// which is what makes fused and farmed bit-identical per byte.
+  CampaignConfig fullkey_campaign_config(std::size_t traces,
+                                         SensorMode mode) const;
 
   /// Run the bitstream checker over the benign circuit — the stealthiness
   /// claim: no findings under structural checks.

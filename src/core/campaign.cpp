@@ -971,4 +971,484 @@ CampaignResult CpaCampaign::run() {
   return result;
 }
 
+// Attacker-observable winner margin of a progress point: |r| of the
+// leading guess minus |r| of the runner-up. Unlike best_wrong_corr this
+// needs no knowledge of the correct key, so early exit can key off it.
+static double winner_margin(const sca::CpaProgressPoint& p) {
+  const double best = p.max_abs_corr[p.best_guess];
+  double second = 0.0;
+  for (std::size_t k = 0; k < p.max_abs_corr.size(); ++k) {
+    if (k != p.best_guess && p.max_abs_corr[k] > second) {
+      second = p.max_abs_corr[k];
+    }
+  }
+  return best - second;
+}
+
+FullKeyRunResult CpaCampaign::run_fullkey(const FullKeyConfig& fk) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  obs::CampaignObserver* const ob = cfg_.observer;
+  constexpr std::size_t kBytes = sca::MultiByteCpa::kBytes;
+  FullKeyRunResult result;
+  result.mode = cfg_.mode;
+  result.sample_times_ns = sample_times_;
+
+  // One model per last-round key byte. Generation (plaintext draws,
+  // victim encryption, PDN voltages, sensor readings) never consults a
+  // model — only the (v, b) class labels do — so the capture stream below
+  // is the byte-independent stream run() produces under the same config.
+  std::vector<sca::LastRoundBitModel> models;
+  models.reserve(kBytes);
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    models.emplace_back(j, cfg_.target_bit);
+  }
+  const crypto::Block lrk = setup_.victim().cipher().last_round_key();
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    result.bytes[j].correct = models[j].correct_guess(lrk);
+  }
+
+  {
+    const auto sel_start = std::chrono::steady_clock::now();
+    std::optional<obs::CampaignObserver::Span> span;
+    if (ob != nullptr) span.emplace(ob->span("selection"));
+    CampaignResult scratch;
+    resolve_sensor_bits(&scratch);
+    result.bits_of_interest = std::move(scratch.bits_of_interest);
+    result.selection_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sel_start)
+            .count();
+  }
+  result.single_bit = cfg_.single_bit;
+
+  auto checkpoints =
+      cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)
+                               : cfg_.checkpoints;
+  std::sort(checkpoints.begin(), checkpoints.end());
+  std::size_t next_cp = 0;
+
+  const RngContract contract = resolve_contract(cfg_.rng_contract);
+  const bool v2 = contract == RngContract::kV2;
+  result.rng_contract = contract;
+
+  // The fused path always accumulates through MultiByteCpa — folding 16
+  // reference CpaEngines per trace would defeat the point — so
+  // compiled_kernels only selects the sensor read path here. Both sensor
+  // paths produce bit-identical readings (the property suite pins it),
+  // and the per-byte class sums are bit-identical to a standalone
+  // XorClassCpa / reference CpaEngine fed the same stream.
+  const bool fast = cfg_.compiled_kernels;
+  const SensorPlan plan =
+      fast ? make_sensor_plan(result.bits_of_interest) : SensorPlan{};
+
+  const std::size_t samples = sample_times_.size();
+  sca::MultiByteCpa acc(samples);
+  Xoshiro256 rng(cfg_.seed);
+  crypto::AesDatapathModel::RegisterSnapshot v2_regs{};
+
+  // Per-byte early-exit bookkeeping (restored verbatim on resume so a
+  // resumed run freezes the same bytes at the same checkpoints).
+  struct ByteState {
+    bool converged = false;
+    std::size_t stable = 0;
+    std::size_t prev_best = 256;  // 256 = no previous checkpoint yet
+  };
+  std::array<ByteState, kBytes> state;
+
+  std::size_t start_t = 1;
+  const bool snapshotting = !cfg_.checkpoint_dir.empty();
+  if (cfg_.resume && snapshotting) {
+    if (auto ck = load_checkpoint(cfg_.checkpoint_dir)) {
+      require_checkpoint_matches(*ck, cfg_, 1, samples,
+                                 static_cast<std::uint32_t>(contract),
+                                 /*fullkey=*/true);
+      const CheckpointShard& sh = ck->shard_state[0];
+      SLM_REQUIRE(sh.has_fence == fence_.has_value(),
+                  "resume: fence configuration differs from snapshot");
+      if (!v2) {
+        rng.set_state(sh.rng);
+        setup_.victim().restore_registers(sh.victim);
+        if (fence_) fence_->set_rng_state(sh.fence_rng);
+      }
+      ByteReader accr(sh.accumulator.data(), sh.accumulator.size());
+      acc.load(accr);
+      SLM_REQUIRE(accr.done(), "resume: trailing accumulator bytes");
+      for (std::size_t j = 0; j < kBytes; ++j) {
+        const FullKeyByteCheckpoint& fb = ck->fullkey_bytes[j];
+        state[j].converged = fb.converged;
+        state[j].stable = static_cast<std::size_t>(fb.stable);
+        state[j].prev_best = static_cast<std::size_t>(fb.prev_best);
+        result.bytes[j].progress = fb.progress;
+        if (fb.converged) {
+          FullKeyByteResult& br = result.bytes[j];
+          br.recovered = fb.recovered;
+          br.traces = static_cast<std::size_t>(fb.frozen_traces);
+          br.final_max_abs_corr = fb.frozen_corr;
+          br.early_exited = true;
+          br.success = br.recovered == br.correct;
+        }
+      }
+      result.resumed_from = static_cast<std::size_t>(ck->traces_done);
+      start_t = result.resumed_from + 1;
+      if (v2 && result.resumed_from > 0) {
+        const std::size_t g = result.resumed_from - 1;
+        Xoshiro256 prev =
+            Xoshiro256::trace_stream(cfg_.seed, kTraceDomainCapture, g);
+        crypto::Block prev_pt;
+        for (auto& b : prev_pt) b = static_cast<std::uint8_t>(prev.next());
+        v2_regs = setup_.victim().registers_after(prev_pt, g);
+      }
+      while (next_cp < checkpoints.size() &&
+             checkpoints[next_cp] <= result.resumed_from) {
+        ++next_cp;
+      }
+      log_info() << "fullkey: resumed from "
+                 << checkpoint_file(cfg_.checkpoint_dir) << " at trace "
+                 << result.resumed_from << "/" << cfg_.traces;
+      if (ob != nullptr) {
+        ob->metrics().add("slm.checkpoint.resumes_total");
+        ob->event("resume",
+                  obs::JsonWriter()
+                      .field("traces_done",
+                             static_cast<std::uint64_t>(result.resumed_from))
+                      .field("path", checkpoint_file(cfg_.checkpoint_dir)));
+      }
+    }
+  }
+
+  const std::size_t block = resolve_block(cfg_.block);
+  const bool simd = resolve_simd(cfg_.simd);
+  result.block_size = block;
+  const bool blocked = block > 1;
+  const bool defer_hw = blocked && fast && plan.batched &&
+                        cfg_.mode == SensorMode::kBenignHw;
+  const std::size_t dps = plan.hw.draws_per_sample;
+  const std::size_t ncyc = response_.cycle_count();
+  const double coupling = setup_.effective_coupling();
+  const double env_noise_v = setup_.calibration().env_noise_v;
+
+  if (ob != nullptr) {
+    ob->metrics().set("slm.campaign.traces_target",
+                      static_cast<double>(cfg_.traces));
+    ob->metrics().set("slm.kernel.block_size", static_cast<double>(block));
+    ob->metrics().set("slm.fullkey.bytes_total",
+                      static_cast<double>(kBytes));
+    ob->event("run_start",
+              obs::JsonWriter()
+                  .field("mode", sensor_mode_name(cfg_.mode))
+                  .field("fullkey", true)
+                  .field("traces", static_cast<std::uint64_t>(cfg_.traces))
+                  .field("seed", static_cast<std::uint64_t>(cfg_.seed))
+                  .field("threads", static_cast<std::uint64_t>(1))
+                  .field("compiled", fast)
+                  .field("block", static_cast<std::uint64_t>(block))
+                  .field("rng_contract", rng_contract_name(contract))
+                  .field("resumed_from",
+                         static_cast<std::uint64_t>(result.resumed_from)));
+  }
+
+  const bool timed = ob != nullptr;
+  double kernel_s = 0.0;
+  double cpa_s = 0.0;
+  double ckpt_io_s = 0.0;
+  std::size_t seg_traces = start_t - 1;
+  double seg_time = timed ? obs::monotonic_seconds() : 0.0;
+
+  std::vector<double> v;
+  std::vector<double> y(samples);
+  std::vector<double> vblk;
+  std::vector<double> zblk;
+  std::vector<double> icblk;
+  std::vector<double> zvblk;
+  std::vector<double> yblk(block * samples);
+  std::vector<std::uint8_t> clsv(block * kBytes);
+  std::vector<std::uint8_t> clsb(block * kBytes);
+  if (defer_hw) {
+    vblk.resize(block * samples);
+    zblk.resize(block * samples * dps);
+    icblk.resize(ncyc * block);
+    zvblk.resize(block * samples);
+  }
+
+  // Count of converged bytes, for the checkpoint event and so the fold
+  // loop can cheaply skip frozen bytes.
+  std::size_t converged_count = 0;
+  for (const ByteState& s : state) {
+    if (s.converged) ++converged_count;
+  }
+
+  std::size_t t = start_t;
+  while (t <= cfg_.traces) {
+    while (next_cp < checkpoints.size() && checkpoints[next_cp] < t) {
+      ++next_cp;
+    }
+    std::size_t limit = cfg_.traces;
+    if (next_cp < checkpoints.size() && checkpoints[next_cp] < limit) {
+      limit = checkpoints[next_cp];
+    }
+    const std::size_t bn = std::min(block, limit - t + 1);
+
+    const double t0 = timed ? obs::monotonic_seconds() : 0.0;
+    // Generation pass: identical RNG consumption and expression order to
+    // run()'s generation pass — the stream never depends on the model,
+    // only the class labels (16 per trace here instead of 1) do.
+    for (std::size_t b = 0; b < bn; ++b) {
+      std::optional<Xoshiro256> rng_t;
+      std::optional<Xoshiro256> frng;
+      Xoshiro256* r = &rng;
+      Xoshiro256* fr = nullptr;
+      if (v2) {
+        const std::size_t g = t - 1 + b;
+        rng_t.emplace(
+            Xoshiro256::trace_stream(cfg_.seed, kTraceDomainCapture, g));
+        r = &*rng_t;
+        if (fence_) {
+          frng.emplace(fence_->trace_rng(g));
+          fr = &*frng;
+        }
+      }
+      crypto::Block pt;
+      for (auto& pb : pt) pb = static_cast<std::uint8_t>(r->next());
+      const auto enc =
+          v2 ? setup_.victim().encrypt_stateless(pt, t - 1 + b, v2_regs)
+             : setup_.victim().encrypt(pt);
+      if (defer_hw) {
+        defense::ActiveFence* fence = fence_ ? &*fence_ : nullptr;
+        for (std::size_t c = 0; c < ncyc; ++c) {
+          double i = enc.cycle_current[c];
+          if (fence != nullptr) {
+            i += fr != nullptr ? fence->cycle_current(*fr)
+                               : fence->next_cycle_current();
+          }
+          i *= coupling;
+          icblk[c * block + b] = i;
+        }
+        FastNormal::instance().fill(*r, zvblk.data() + b * samples, samples);
+        FastNormal::instance().fill(*r, zblk.data() + b * samples * dps,
+                                    samples * dps);
+      } else {
+        make_voltages(enc, *r, v, fence_ ? &*fence_ : nullptr, fr);
+        if (fast) {
+          read_sensor_fast(plan, v, result.bits_of_interest, *r, y);
+        } else {
+          read_sensor(v, result.bits_of_interest, *r, y);
+        }
+        std::copy(y.begin(), y.end(), yblk.begin() + b * samples);
+      }
+      for (std::size_t j = 0; j < kBytes; ++j) {
+        clsv[b * kBytes + j] = models[j].class_value(enc.ciphertext);
+        clsb[b * kBytes + j] = models[j].class_bit(enc.ciphertext);
+      }
+    }
+    // Compute pass: RNG-free block kernels, then one fused accumulate.
+    if (defer_hw) {
+      response_.voltages_block(icblk.data(), bn, block, vblk.data(), simd);
+      for (std::size_t i = 0; i < bn * samples; ++i) {
+        vblk[i] += 0.0 + env_noise_v * zvblk[i];
+      }
+      setup_.sensor().toggle_hw_block(plan.hw, vblk.data(), bn * samples,
+                                      zblk.data(), yblk.data(), simd);
+    }
+    const double t1 = timed ? obs::monotonic_seconds() : 0.0;
+    acc.add_block(clsv.data(), clsb.data(), yblk.data(), bn);
+    if (timed) {
+      const double t2 = obs::monotonic_seconds();
+      kernel_s += t1 - t0;
+      cpa_s += t2 - t1;
+      if (blocked) {
+        ob->metrics().add("slm.kernel.blocks_total");
+        ob->metrics().observe("slm.kernel.block_kernel_seconds", t1 - t0);
+        ob->metrics().observe("slm.kernel.block_cpa_seconds", t2 - t1);
+      }
+    }
+    t += bn;
+    const std::size_t done = t - 1;
+
+    while (next_cp < checkpoints.size() && done == checkpoints[next_cp]) {
+      const double f0 = timed ? obs::monotonic_seconds() : 0.0;
+      for (std::size_t j = 0; j < kBytes; ++j) {
+        if (state[j].converged) continue;
+        const sca::CpaEngine folded = acc.fold(j, models[j].pattern().data());
+        sca::CpaProgressPoint p =
+            sca::snapshot_progress(folded, result.bytes[j].correct);
+        const double margin = winner_margin(p);
+        const bool qualify = fk.early_exit &&
+                             done >= fk.early_exit_min_traces &&
+                             state[j].prev_best == p.best_guess &&
+                             margin >= fk.early_exit_margin;
+        if (qualify) {
+          ++state[j].stable;
+        } else {
+          state[j].stable = 0;
+        }
+        state[j].prev_best = p.best_guess;
+        result.bytes[j].progress.push_back(std::move(p));
+        if (qualify && state[j].stable >= fk.early_exit_stable) {
+          const sca::CpaProgressPoint& fp = result.bytes[j].progress.back();
+          FullKeyByteResult& br = result.bytes[j];
+          state[j].converged = true;
+          ++converged_count;
+          br.recovered = static_cast<std::uint8_t>(fp.best_guess);
+          br.traces = done;
+          br.final_max_abs_corr = fp.max_abs_corr;
+          br.early_exited = true;
+          br.success = br.recovered == br.correct;
+          if (ob != nullptr) {
+            ob->metrics().add("slm.fullkey.converged_total");
+            ob->metrics().observe("slm.fullkey.convergence_traces",
+                                  static_cast<double>(done));
+            ob->event("fullkey_byte_converged",
+                      obs::JsonWriter()
+                          .field("byte", static_cast<std::uint64_t>(j))
+                          .field("traces", static_cast<std::uint64_t>(done))
+                          .field("guess",
+                                 static_cast<std::uint64_t>(br.recovered))
+                          .field("margin", margin));
+          }
+        }
+      }
+      if (timed) cpa_s += obs::monotonic_seconds() - f0;
+
+      if (ob != nullptr) {
+        const double now = obs::monotonic_seconds();
+        const double seg_rate =
+            now > seg_time
+                ? static_cast<double>(done - seg_traces) / (now - seg_time)
+                : 0.0;
+        ob->metrics().add("slm.campaign.checkpoints_total");
+        ob->metrics().set("slm.campaign.traces_done",
+                          static_cast<double>(done));
+        ob->metrics().set("slm.fullkey.bytes_converged",
+                          static_cast<double>(converged_count));
+        ob->metrics().observe("slm.campaign.segment_traces_per_sec",
+                              seg_rate);
+        ob->event("fullkey_checkpoint",
+                  obs::JsonWriter()
+                      .field("traces", static_cast<std::uint64_t>(done))
+                      .field("bytes_converged",
+                             static_cast<std::uint64_t>(converged_count))
+                      .field("bytes_active",
+                             static_cast<std::uint64_t>(kBytes -
+                                                        converged_count))
+                      .field("traces_per_sec", seg_rate));
+        seg_traces = done;
+        seg_time = now;
+      }
+
+      if (snapshotting) {
+        const double s0 = obs::monotonic_seconds();
+        CampaignCheckpoint ck;
+        ck.seed = cfg_.seed;
+        ck.total_traces = cfg_.traces;
+        ck.mode = static_cast<std::uint32_t>(cfg_.mode);
+        ck.shards = 1;
+        ck.samples = samples;
+        ck.target_key_byte = cfg_.target_key_byte;
+        ck.target_bit = cfg_.target_bit;
+        ck.single_bit = cfg_.single_bit;
+        ck.compiled = fast;
+        ck.block = block;
+        ck.rng_contract = static_cast<std::uint32_t>(contract);
+        ck.fullkey = true;
+        ck.traces_done = done;
+        CheckpointShard sh;
+        sh.position = done;
+        sh.has_fence = fence_.has_value();
+        if (!v2) {
+          sh.rng = rng.state();
+          sh.victim = setup_.victim().register_snapshot();
+          if (fence_) sh.fence_rng = fence_->rng_state();
+        }
+        ByteWriter accw;
+        acc.save(accw);
+        sh.accumulator = accw.bytes();
+        ck.shard_state.push_back(std::move(sh));
+        ck.fullkey_bytes.reserve(kBytes);
+        for (std::size_t j = 0; j < kBytes; ++j) {
+          FullKeyByteCheckpoint fb;
+          fb.converged = state[j].converged;
+          fb.stable = state[j].stable;
+          fb.prev_best = state[j].prev_best;
+          if (state[j].converged) {
+            fb.frozen_traces = result.bytes[j].traces;
+            fb.recovered = result.bytes[j].recovered;
+            fb.frozen_corr = result.bytes[j].final_max_abs_corr;
+          }
+          fb.progress = result.bytes[j].progress;
+          ck.fullkey_bytes.push_back(std::move(fb));
+        }
+        const std::size_t bytes = save_checkpoint(cfg_.checkpoint_dir, ck);
+        result.snapshot_path = checkpoint_file(cfg_.checkpoint_dir);
+        const double io = obs::monotonic_seconds() - s0;
+        ckpt_io_s += io;
+        if (ob != nullptr) {
+          ob->metrics().add("slm.checkpoint.snapshots_total");
+          ob->metrics().add("slm.checkpoint.bytes_total",
+                            static_cast<double>(bytes));
+          ob->metrics().observe("slm.checkpoint.write_seconds", io);
+          ob->event("snapshot",
+                    obs::JsonWriter()
+                        .field("traces", static_cast<std::uint64_t>(done))
+                        .field("bytes", static_cast<std::uint64_t>(bytes))
+                        .field("seconds", io)
+                        .field("path", result.snapshot_path));
+        }
+      }
+      ++next_cp;
+
+      if (cfg_.halt_after_traces > 0 && done >= cfg_.halt_after_traces) {
+        if (ob != nullptr) {
+          ob->event("halt",
+                    obs::JsonWriter()
+                        .field("traces", static_cast<std::uint64_t>(done))
+                        .field("path", result.snapshot_path));
+        }
+        throw CampaignHalted(done, result.snapshot_path);
+      }
+    }
+  }
+
+  // Final folds for the bytes that never froze.
+  {
+    const double f0 = timed ? obs::monotonic_seconds() : 0.0;
+    for (std::size_t j = 0; j < kBytes; ++j) {
+      if (state[j].converged) continue;
+      const sca::CpaEngine folded = acc.fold(j, models[j].pattern().data());
+      FullKeyByteResult& br = result.bytes[j];
+      if (br.progress.empty() ||
+          br.progress.back().traces != folded.trace_count()) {
+        br.progress.push_back(sca::snapshot_progress(folded, br.correct));
+      }
+      const sca::CpaProgressPoint& fp = br.progress.back();
+      br.recovered = static_cast<std::uint8_t>(fp.best_guess);
+      br.traces = folded.trace_count();
+      br.final_max_abs_corr = fp.max_abs_corr;
+      br.success = br.recovered == br.correct;
+    }
+    if (timed) cpa_s += obs::monotonic_seconds() - f0;
+  }
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    result.bytes[j].mtd = sca::estimate_mtd(result.bytes[j].progress);
+  }
+
+  result.kernel_seconds = kernel_s;
+  result.cpa_seconds = cpa_s;
+  result.checkpoint_io_seconds = ckpt_io_s;
+  if (ob != nullptr) {
+    ob->metrics().set("slm.campaign.kernel_seconds", kernel_s);
+    ob->metrics().set("slm.campaign.cpa_seconds", cpa_s);
+    ob->metrics().set("slm.campaign.checkpoint_io_seconds", ckpt_io_s);
+    ob->metrics().set("slm.campaign.selection_seconds",
+                      result.selection_seconds);
+  }
+
+  result.traces_run = acc.trace_count();
+  result.threads_used = 1;
+  result.capture_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return result;
+}
+
 }  // namespace slm::core

@@ -9,6 +9,7 @@
 // accumulates correlations against the last-round single-bit model.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -209,12 +210,89 @@ struct CampaignResult {
   std::string snapshot_path;
 };
 
+/// Knobs of the fused full-key campaign (docs/FULLKEY.md). Early exit is
+/// attacker-observable: a byte "converges" when its CPA winner has been
+/// stable with a sufficient correlation margin over `stable` consecutive
+/// checkpoints. Converged bytes freeze their reported result and stop
+/// paying the per-checkpoint 256 x 512 x S fold; the shared capture keeps
+/// feeding their accumulator slice, so turning early exit off only adds
+/// fold work — the accumulators (and therefore any later fold) are
+/// unchanged.
+struct FullKeyConfig {
+  bool early_exit = true;
+
+  /// Margin |r_best| - |r_second| a byte's winner must hold.
+  double early_exit_margin = 0.08;
+
+  /// Consecutive qualifying checkpoints (same winner as the previous
+  /// checkpoint, margin met) before the byte freezes.
+  std::size_t early_exit_stable = 2;
+
+  /// Never freeze before this many traces (the margin estimate is noise
+  /// at the head of the log-spaced schedule).
+  std::size_t early_exit_min_traces = 1000;
+};
+
+/// Per-byte outcome of a fused full-key campaign. `traces` is the trace
+/// count this byte's reported result was folded at: the shared budget,
+/// or the freeze point when early exit fired.
+struct FullKeyByteResult {
+  std::uint8_t correct = 0;     ///< true last-round key byte
+  std::uint8_t recovered = 0;   ///< CPA winner
+  bool success = false;
+  bool early_exited = false;
+  std::size_t traces = 0;
+  sca::MtdResult mtd;
+  std::vector<sca::CpaProgressPoint> progress;
+  std::vector<double> final_max_abs_corr;  ///< per key candidate
+};
+
+/// Outcome of a fused full-key campaign: one shared capture stream, 16
+/// per-byte CPA results. The shared metadata mirrors CampaignResult.
+struct FullKeyRunResult {
+  SensorMode mode = SensorMode::kBenignHw;
+  std::size_t traces_run = 0;  ///< shared capture traces (not x16)
+  std::array<FullKeyByteResult, 16> bytes;
+  std::vector<std::size_t> bits_of_interest;
+  std::vector<double> sample_times_ns;
+  std::size_t single_bit = 0;
+  unsigned threads_used = 0;
+  double capture_seconds = 0.0;
+  std::size_t block_size = 0;
+  RngContract rng_contract = RngContract::kV2;
+  double kernel_seconds = 0.0;
+  double cpa_seconds = 0.0;
+  double checkpoint_io_seconds = 0.0;
+  double selection_seconds = 0.0;
+  std::size_t resumed_from = 0;
+  std::string snapshot_path;
+
+  bool all_recovered() const {
+    for (const auto& b : bytes) {
+      if (!b.success) return false;
+    }
+    return true;
+  }
+};
+
 class CpaCampaign {
  public:
   CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg);
 
   /// Run the full campaign.
   CampaignResult run();
+
+  /// Run the fused full-key campaign: ONE capture stream (identical
+  /// trace readings to run() under the same config, because generation
+  /// is model-independent), sixteen per-byte class accumulators
+  /// (sca::MultiByteCpa), per-byte folds at checkpoints with optional
+  /// early exit. cfg.target_key_byte is ignored; the sampling window
+  /// must bracket every byte's leakage cycle (StealthyAttack::
+  /// fullkey_campaign_config builds such a config). Supports both RNG
+  /// contracts, checkpoints/resume/halt, and the block-batched pipeline;
+  /// the serial generate/compute overlap (SLM_PIPELINE) is not wired
+  /// into this path — use threads for full-key throughput.
+  FullKeyRunResult run_fullkey(const FullKeyConfig& fk = {});
 
   /// The sampling instants the campaign will use.
   const std::vector<double>& sample_times_ns() const { return sample_times_; }

@@ -57,6 +57,7 @@ ByteWriter serialize_payload(const CampaignCheckpoint& ck) {
   out.put_u8(ck.compiled ? 1 : 0);
   out.put_u64(ck.block);
   out.put_u32(ck.rng_contract);
+  out.put_u8(ck.fullkey ? 1 : 0);
   out.put_u64(ck.traces_done);
 
   out.put_u64(ck.shard_state.size());
@@ -74,6 +75,20 @@ ByteWriter serialize_payload(const CampaignCheckpoint& ck) {
 
   out.put_u64(ck.progress.size());
   for (const auto& p : ck.progress) put_progress_point(out, p);
+
+  if (ck.fullkey) {
+    out.put_u64(ck.fullkey_bytes.size());
+    for (const FullKeyByteCheckpoint& fb : ck.fullkey_bytes) {
+      out.put_u8(fb.converged ? 1 : 0);
+      out.put_u64(fb.stable);
+      out.put_u64(fb.prev_best);
+      out.put_u64(fb.frozen_traces);
+      out.put_u8(fb.recovered);
+      out.put_f64_vector(fb.frozen_corr);
+      out.put_u64(fb.progress.size());
+      for (const auto& p : fb.progress) put_progress_point(out, p);
+    }
+  }
   return out;
 }
 
@@ -93,6 +108,7 @@ CampaignCheckpoint parse_payload(ByteReader& in) {
   SLM_REQUIRE(ck.rng_contract == 1 || ck.rng_contract == 2,
               "checkpoint: unknown RNG contract " +
                   std::to_string(ck.rng_contract));
+  ck.fullkey = in.get_u8() != 0;
   ck.traces_done = in.get_u64();
 
   const std::uint64_t shard_count = in.get_u64();
@@ -120,6 +136,28 @@ CampaignCheckpoint parse_payload(ByteReader& in) {
   ck.progress.reserve(progress_count);
   for (std::uint64_t i = 0; i < progress_count; ++i) {
     ck.progress.push_back(get_progress_point(in));
+  }
+
+  if (ck.fullkey) {
+    const std::uint64_t byte_count = in.get_u64();
+    SLM_REQUIRE(byte_count == 16,
+                "checkpoint: full-key section must carry 16 byte states");
+    ck.fullkey_bytes.reserve(byte_count);
+    for (std::uint64_t i = 0; i < byte_count; ++i) {
+      FullKeyByteCheckpoint fb;
+      fb.converged = in.get_u8() != 0;
+      fb.stable = in.get_u64();
+      fb.prev_best = in.get_u64();
+      fb.frozen_traces = in.get_u64();
+      fb.recovered = in.get_u8();
+      fb.frozen_corr = in.get_f64_vector();
+      const std::uint64_t pc = in.get_u64();
+      fb.progress.reserve(pc);
+      for (std::uint64_t j = 0; j < pc; ++j) {
+        fb.progress.push_back(get_progress_point(in));
+      }
+      ck.fullkey_bytes.push_back(std::move(fb));
+    }
   }
   SLM_REQUIRE(in.done(), "checkpoint: trailing bytes after payload");
   return ck;
@@ -198,7 +236,7 @@ std::optional<CampaignCheckpoint> load_checkpoint(const std::string& dir) {
 void require_checkpoint_matches(const CampaignCheckpoint& ck,
                                 const CampaignConfig& cfg,
                                 std::uint32_t shards, std::size_t samples,
-                                std::uint32_t rng_contract) {
+                                std::uint32_t rng_contract, bool fullkey) {
   if (ck.rng_contract != rng_contract) {
     const auto name = [](std::uint32_t c) {
       return std::string("v") + std::to_string(c);
@@ -206,6 +244,12 @@ void require_checkpoint_matches(const CampaignCheckpoint& ck,
     throw CheckpointContractMismatch(name(ck.rng_contract),
                                      name(rng_contract));
   }
+  SLM_REQUIRE(ck.fullkey == fullkey,
+              ck.fullkey
+                  ? "resume: snapshot is a full-key campaign — resume with "
+                    "--full-key"
+                  : "resume: snapshot is a single-byte campaign, not a "
+                    "full-key one");
   SLM_REQUIRE(ck.seed == cfg.seed, "resume: snapshot was taken under a "
                                    "different seed");
   SLM_REQUIRE(ck.total_traces == cfg.traces,

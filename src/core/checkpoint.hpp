@@ -6,9 +6,10 @@
 // File format (docs/OBSERVABILITY.md documents it for operators):
 //
 //   magic   "SLMCKPT1"                 8 bytes
-//   version u32                        currently 3 (version 2 added the
+//   version u32                        currently 4 (version 2 added the
 //                                      trace-block size, version 3 the
-//                                      RNG determinism contract);
+//                                      RNG determinism contract,
+//                                      version 4 the full-key section);
 //                                      readers reject other versions
 //                                      (no silent migration of attack
 //                                      state)
@@ -37,7 +38,7 @@
 
 namespace slm::core {
 
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /// Thrown when a campaign with `halt_after_traces` set reaches that
 /// trace count at a checkpoint: the snapshot is on disk, the process
@@ -89,6 +90,23 @@ struct CheckpointShard {
   std::vector<std::uint8_t> accumulator;
 };
 
+/// Per-byte convergence state of a fused full-key campaign (see
+/// docs/FULLKEY.md): the progress curve recorded so far, the early-exit
+/// counters, and — once the byte has converged — the frozen result. The
+/// shared capture keeps accumulating for frozen bytes (the accumulator
+/// blob lives in CheckpointShard as usual); only the per-checkpoint fold
+/// stops, so this state is what lets a resumed run report the same
+/// per-byte trace counts as an uninterrupted one.
+struct FullKeyByteCheckpoint {
+  bool converged = false;
+  std::uint64_t stable = 0;          ///< consecutive qualifying checkpoints
+  std::uint64_t prev_best = 256;     ///< best guess last checkpoint; 256 = none
+  std::uint64_t frozen_traces = 0;   ///< trace count at convergence
+  std::uint8_t recovered = 0;        ///< frozen winner (converged only)
+  std::vector<double> frozen_corr;   ///< per-guess |r| at convergence
+  std::vector<sca::CpaProgressPoint> progress;
+};
+
 /// A complete, self-validating campaign snapshot.
 struct CampaignCheckpoint {
   // Identity block — resume refuses to continue under a different
@@ -117,9 +135,17 @@ struct CampaignCheckpoint {
   /// unlike `block`, the contract changes every trace's draws.
   std::uint32_t rng_contract = 2;
 
+  /// Fused full-key snapshot (format version 4): the shard accumulators
+  /// are sca::MultiByteCpa blobs and `fullkey_bytes` carries the 16
+  /// per-byte convergence states; `progress` stays empty. Resume REQUIRES
+  /// a match — a single-byte run cannot continue a full-key snapshot or
+  /// vice versa.
+  bool fullkey = false;
+
   std::uint64_t traces_done = 0;
   std::vector<CheckpointShard> shard_state;
   std::vector<sca::CpaProgressPoint> progress;
+  std::vector<FullKeyByteCheckpoint> fullkey_bytes;  ///< 16 when fullkey
 };
 
 /// `<dir>/campaign.ckpt` — the one live snapshot of a campaign.
@@ -147,6 +173,7 @@ struct CampaignConfig;
 void require_checkpoint_matches(const CampaignCheckpoint& ck,
                                 const CampaignConfig& cfg,
                                 std::uint32_t shards, std::size_t samples,
-                                std::uint32_t rng_contract);
+                                std::uint32_t rng_contract,
+                                bool fullkey = false);
 
 }  // namespace slm::core

@@ -91,8 +91,19 @@ class ParallelCampaign {
   /// realised parallelism and capture-loop throughput.
   CampaignResult run();
 
+  /// Sharded fused full-key campaign: the shared capture stream is split
+  /// across worker shards exactly like run() (contract v2 = contiguous
+  /// per-checkpoint chunks, v1 = round-robin shard streams), each shard
+  /// feeds a private sca::MultiByteCpa, and the coordinator merges in
+  /// fixed shard order and runs the per-byte folds / early-exit logic at
+  /// checkpoints. threads <= 1 delegates to CpaCampaign::run_fullkey.
+  /// Under contract v2 results are bit-identical for any thread count,
+  /// block size, and SIMD toggle — and per byte to the farmed oracle.
+  FullKeyRunResult run_fullkey(const FullKeyConfig& fk = {});
+
  private:
   CampaignResult run_sharded();
+  FullKeyRunResult run_fullkey_sharded(const FullKeyConfig& fk);
 
   AttackSetup& setup_;
   CampaignConfig cfg_;

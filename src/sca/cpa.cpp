@@ -274,6 +274,152 @@ void XorClassCpa::load(ByteReader& in) {
               "XorClassCpa::load: corrupt payload");
 }
 
+MultiByteCpa::MultiByteCpa(std::size_t sample_count)
+    : samples_(sample_count),
+      sum_y_(sample_count, 0.0),
+      sum_yy_(sample_count, 0.0),
+      class_n_(kBytes * kClasses, 0.0),
+      class_y_(kBytes * kClasses * sample_count, 0.0) {
+  SLM_REQUIRE(sample_count > 0, "MultiByteCpa: empty sample dimension");
+}
+
+void MultiByteCpa::add_trace(const std::uint8_t* v16, const std::uint8_t* b16,
+                             const std::vector<double>& y) {
+  SLM_REQUIRE(y.size() == samples_, "MultiByteCpa: sample count mismatch");
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    SLM_REQUIRE(b16[j] <= 1, "MultiByteCpa: class bit must be 0/1");
+  }
+  ++n_;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    const double ys = y[s];
+    sum_y_[s] += ys;
+    sum_yy_[s] += ys * ys;
+  }
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    const std::size_t cls = (static_cast<std::size_t>(v16[j]) << 1) | b16[j];
+    class_n_[j * kClasses + cls] += 1.0;
+    double* row = &class_y_[(j * kClasses + cls) * samples_];
+    for (std::size_t s = 0; s < samples_; ++s) row[s] += y[s];
+  }
+}
+
+void MultiByteCpa::add_block(const std::uint8_t* v, const std::uint8_t* b,
+                             const double* y, std::size_t count) {
+  for (std::size_t i = 0; i < count * kBytes; ++i) {
+    SLM_REQUIRE(b[i] <= 1, "MultiByteCpa: class bit must be 0/1");
+  }
+  n_ += count;
+  for (std::size_t t = 0; t < count; ++t) {
+    const double* yt = y + t * samples_;
+    for (std::size_t s = 0; s < samples_; ++s) {
+      const double ys = yt[s];
+      sum_y_[s] += ys;
+      sum_yy_[s] += ys * ys;
+    }
+  }
+  // Per byte, the same stable counting sort XorClassCpa::add_block runs:
+  // bucket the block's traces by that byte's class, then update each
+  // touched class row once with its traces in block order. Every byte
+  // slice therefore sees the per-trace addition sequence exactly, while
+  // each 512 x S tile stays cache-resident for the whole block.
+  thread_local std::vector<std::uint32_t> head;
+  thread_local std::vector<std::uint32_t> order;
+  thread_local std::vector<std::uint32_t> cursor;
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    head.assign(kClasses + 1, 0);
+    order.resize(count);
+    for (std::size_t t = 0; t < count; ++t) {
+      const std::size_t cls =
+          (static_cast<std::size_t>(v[t * kBytes + j]) << 1) | b[t * kBytes + j];
+      ++head[cls + 1];
+    }
+    for (std::size_t c = 0; c < kClasses; ++c) head[c + 1] += head[c];
+    cursor.assign(head.begin(), head.end() - 1);
+    for (std::size_t t = 0; t < count; ++t) {
+      const std::size_t cls =
+          (static_cast<std::size_t>(v[t * kBytes + j]) << 1) | b[t * kBytes + j];
+      order[cursor[cls]++] = static_cast<std::uint32_t>(t);
+    }
+    double* cn = &class_n_[j * kClasses];
+    double* cy = &class_y_[j * kClasses * samples_];
+    for (std::size_t cls = 0; cls < kClasses; ++cls) {
+      const std::uint32_t lo = head[cls];
+      const std::uint32_t hi = head[cls + 1];
+      if (lo == hi) continue;
+      cn[cls] += static_cast<double>(hi - lo);
+      double* row = cy + cls * samples_;
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        const double* yt = y + static_cast<std::size_t>(order[i]) * samples_;
+        for (std::size_t s = 0; s < samples_; ++s) row[s] += yt[s];
+      }
+    }
+  }
+}
+
+void MultiByteCpa::merge(const MultiByteCpa& other) {
+  SLM_REQUIRE(other.samples_ == samples_, "MultiByteCpa::merge: mismatch");
+  n_ += other.n_;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    sum_y_[s] += other.sum_y_[s];
+    sum_yy_[s] += other.sum_yy_[s];
+  }
+  for (std::size_t c = 0; c < class_n_.size(); ++c) {
+    class_n_[c] += other.class_n_[c];
+  }
+  for (std::size_t i = 0; i < class_y_.size(); ++i) {
+    class_y_[i] += other.class_y_[i];
+  }
+}
+
+CpaEngine MultiByteCpa::fold(std::size_t byte,
+                             const std::uint8_t* pattern256) const {
+  SLM_REQUIRE(byte < kBytes, "MultiByteCpa::fold: byte out of range");
+  CpaEngine e(256, samples_);
+  e.n_ = n_;
+  e.sum_y_ = sum_y_;
+  e.sum_yy_ = sum_yy_;
+  const double* cn = &class_n_[byte * kClasses];
+  const double* cy = &class_y_[byte * kClasses * samples_];
+  for (std::size_t k = 0; k < 256; ++k) {
+    double sh = 0.0;
+    double* row = &e.sum_hy_[k * samples_];
+    for (std::size_t v = 0; v < 256; ++v) {
+      // h = pattern[v ^ k] ^ b: only the b that makes h == 1 contributes.
+      const std::size_t b = pattern256[v ^ k] ? 0u : 1u;
+      const std::size_t cls = (v << 1) | b;
+      if (cn[cls] == 0.0) continue;
+      sh += cn[cls];
+      const double* src = cy + cls * samples_;
+      for (std::size_t s = 0; s < samples_; ++s) row[s] += src[s];
+    }
+    e.sum_h_[k] = sh;
+  }
+  return e;
+}
+
+void MultiByteCpa::save(ByteWriter& out) const {
+  out.put_u64(samples_);
+  out.put_u64(n_);
+  out.put_f64_vector(sum_y_);
+  out.put_f64_vector(sum_yy_);
+  out.put_f64_vector(class_n_);
+  out.put_f64_vector(class_y_);
+}
+
+void MultiByteCpa::load(ByteReader& in) {
+  const std::uint64_t samples = in.get_u64();
+  SLM_REQUIRE(samples == samples_, "MultiByteCpa::load: dimension mismatch");
+  n_ = in.get_u64();
+  sum_y_ = in.get_f64_vector();
+  sum_yy_ = in.get_f64_vector();
+  class_n_ = in.get_f64_vector();
+  class_y_ = in.get_f64_vector();
+  SLM_REQUIRE(sum_y_.size() == samples_ && sum_yy_.size() == samples_ &&
+                  class_n_.size() == kBytes * kClasses &&
+                  class_y_.size() == kBytes * kClasses * samples_,
+              "MultiByteCpa::load: corrupt payload");
+}
+
 CpaProgressPoint snapshot_progress(const CpaEngine& engine,
                                    std::size_t correct_guess) {
   CpaProgressPoint p;

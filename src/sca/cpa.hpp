@@ -74,7 +74,8 @@ class CpaEngine {
   void load(ByteReader& in);
 
  private:
-  friend class XorClassCpa;  // fold() reconstructs the sums directly
+  friend class XorClassCpa;   // fold() reconstructs the sums directly
+  friend class MultiByteCpa;  // per-byte fold(), same mechanism
 
   std::size_t guesses_;
   std::size_t samples_;
@@ -144,6 +145,70 @@ class XorClassCpa {
   std::vector<double> sum_yy_;     // [s]
   std::vector<double> class_n_;    // [class]
   std::vector<double> class_y_;    // [class * samples_ + s]
+};
+
+/// Sixteen XorClassCpa accumulators fused behind one capture stream: the
+/// full-key attack captures each trace once and labels it sixteen times,
+/// one (v, b) class pair per targeted key byte. The reading sums that do
+/// not depend on the byte (sum_y, sum_yy) are shared, so a trace costs
+/// one shared pass plus sixteen class-row updates instead of sixteen
+/// full campaigns.
+///
+/// Layout: the per-byte class tables are tiled byte-major —
+/// class_n_[byte][class] and class_y_[byte][class][sample] — so
+/// fold(byte, ...) reads one contiguous 512 x S tile, the same shape the
+/// cache-blocked XorClassCpa::add_block pass was tuned for.
+///
+/// Exactness: each byte's slice sees exactly the addition sequence a
+/// standalone XorClassCpa fed the same (v, b, y) stream would see, and
+/// all addends are exact integers (see the partition-invariance note at
+/// the top of this header), so fold(byte, pattern) is bit-identical to
+/// the standalone engine's fold — the property the fused-vs-farmed
+/// equivalence tests pin.
+class MultiByteCpa {
+ public:
+  static constexpr std::size_t kBytes = 16;
+
+  explicit MultiByteCpa(std::size_t sample_count);
+
+  std::size_t sample_count() const { return samples_; }
+  std::size_t trace_count() const { return n_; }
+
+  /// One trace: 16 class values, 16 class bits (index = key byte
+  /// position), readings y (size sample_count).
+  void add_trace(const std::uint8_t* v16, const std::uint8_t* b16,
+                 const std::vector<double>& y);
+
+  /// A block of `count` traces: v and b are count x 16 trace-major label
+  /// rows (v[t * 16 + byte]), y is count x sample_count trace-major
+  /// readings. Per byte this runs the same stable counting sort as
+  /// XorClassCpa::add_block, so each byte slice is bit-identical to
+  /// `count` add_trace calls while the (class, sample) scatter stays
+  /// cache-blocked.
+  void add_block(const std::uint8_t* v, const std::uint8_t* b,
+                 const double* y, std::size_t count);
+
+  /// Fold another accumulator's traces into this one (shard merges).
+  void merge(const MultiByteCpa& other);
+
+  /// Expand one byte's slice into a full 256-guess CpaEngine under that
+  /// byte's 256-entry 0/1 pattern table. Bit-identical to the fold of a
+  /// standalone XorClassCpa fed the same per-byte stream.
+  CpaEngine fold(std::size_t byte, const std::uint8_t* pattern256) const;
+
+  /// Bit-exact checkpoint serialization, mirror of XorClassCpa::save/load.
+  void save(ByteWriter& out) const;
+  void load(ByteReader& in);
+
+ private:
+  static constexpr std::size_t kClasses = 512;  // (v << 1) | b
+
+  std::size_t samples_;
+  std::size_t n_ = 0;
+  std::vector<double> sum_y_;      // [s], shared across bytes
+  std::vector<double> sum_yy_;     // [s], shared across bytes
+  std::vector<double> class_n_;    // [byte * kClasses + class]
+  std::vector<double> class_y_;    // [(byte * kClasses + class) * samples_ + s]
 };
 
 /// One checkpoint of a CPA campaign's convergence (Figs. 9b-18b).

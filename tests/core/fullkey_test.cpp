@@ -1,0 +1,221 @@
+// The fused full-key engine's acceptance bar: one shared capture pass
+// feeding all 16 byte folds must be bit-identical (a) per byte to the
+// farmed oracle — 16 independent single-byte campaigns over the SAME
+// shared config on fresh platform replicas — and (b) to itself for any
+// thread count, block size, and SIMD toggle under contract v2, and
+// (c) across a kill/resume pair on a full-key snapshot. Early exit may
+// only ever change WHEN a byte's answer is frozen, never what the
+// accumulators contain. See docs/FULLKEY.md.
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/attack.hpp"
+#include "core/campaign.hpp"
+#include "core/checkpoint.hpp"
+#include "core/parallel.hpp"
+#include "core/setup.hpp"
+
+namespace slm::core {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+CampaignConfig fullkey_cfg(std::size_t traces) {
+  CampaignConfig cfg;
+  cfg.mode = SensorMode::kTdcFull;
+  cfg.traces = traces;
+  cfg.checkpoints = {100, 250, 600, traces};
+  cfg.selection_traces = 300;
+  return cfg;
+}
+
+FullKeyRunResult run_fused(const CampaignConfig& cfg, unsigned threads,
+                           const FullKeyConfig& fk = {}) {
+  AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+  ParallelCampaign campaign(setup, cfg, threads);
+  return campaign.run_fullkey(fk);
+}
+
+void expect_byte_results_identical(const FullKeyRunResult& a,
+                                   const FullKeyRunResult& b) {
+  EXPECT_EQ(a.traces_run, b.traces_run);
+  for (std::size_t j = 0; j < 16; ++j) {
+    const FullKeyByteResult& x = a.bytes[j];
+    const FullKeyByteResult& y = b.bytes[j];
+    EXPECT_EQ(x.correct, y.correct) << "byte " << j;
+    EXPECT_EQ(x.recovered, y.recovered) << "byte " << j;
+    EXPECT_EQ(x.early_exited, y.early_exited) << "byte " << j;
+    EXPECT_EQ(x.traces, y.traces) << "byte " << j;
+    // Bit-exact per-candidate |correlation| — the determinism bar.
+    EXPECT_EQ(x.final_max_abs_corr, y.final_max_abs_corr) << "byte " << j;
+    ASSERT_EQ(x.progress.size(), y.progress.size()) << "byte " << j;
+    for (std::size_t i = 0; i < x.progress.size(); ++i) {
+      EXPECT_EQ(x.progress[i].traces, y.progress[i].traces);
+      EXPECT_EQ(x.progress[i].max_abs_corr, y.progress[i].max_abs_corr);
+      EXPECT_EQ(x.progress[i].correct_rank, y.progress[i].correct_rank);
+    }
+  }
+}
+
+// (a) Farmed oracle: each byte's fused fold must equal, bit for bit, a
+// standalone single-byte campaign over the same shared config on a
+// fresh platform replica — the capture stream is model-independent
+// under contract v2, so regrouping it per byte changes nothing.
+TEST(FullKeyFused, MatchesFarmedOracleBitForBit) {
+  const CampaignConfig shared = fullkey_cfg(1200);
+  FullKeyConfig fk;
+  fk.early_exit = false;  // compare full-budget folds on every byte
+  const FullKeyRunResult fused = run_fused(shared, 2, fk);
+
+  for (std::size_t b = 0; b < 16; ++b) {
+    CampaignConfig cfg = shared;
+    cfg.target_key_byte = b;
+    AttackSetup replica(BenignCircuit::kAlu, Calibration::paper_defaults());
+    CpaCampaign campaign(replica, cfg);
+    const CampaignResult farmed = campaign.run();
+
+    const FullKeyByteResult& fb = fused.bytes[b];
+    EXPECT_EQ(fb.correct, farmed.correct_guess) << "byte " << b;
+    EXPECT_EQ(fb.recovered, farmed.recovered_guess) << "byte " << b;
+    EXPECT_EQ(fb.final_max_abs_corr, farmed.final_max_abs_corr)
+        << "byte " << b;
+    ASSERT_EQ(fb.progress.size(), farmed.progress.size()) << "byte " << b;
+    for (std::size_t i = 0; i < fb.progress.size(); ++i) {
+      EXPECT_EQ(fb.progress[i].traces, farmed.progress[i].traces);
+      EXPECT_EQ(fb.progress[i].max_abs_corr, farmed.progress[i].max_abs_corr);
+      EXPECT_EQ(fb.progress[i].correct_corr, farmed.progress[i].correct_corr);
+      EXPECT_EQ(fb.progress[i].correct_rank, farmed.progress[i].correct_rank);
+    }
+  }
+}
+
+// (b) Contract v2: threads x block x SIMD must never change a bit.
+TEST(FullKeyFused, InvariantUnderThreadsBlockSimd) {
+  CampaignConfig cfg = fullkey_cfg(900);
+  const FullKeyRunResult serial = run_fused(cfg, 1);
+
+  cfg.block = 7;  // ragged blocks
+  cfg.simd = false;
+  const FullKeyRunResult scalar3 = run_fused(cfg, 3);
+  expect_byte_results_identical(serial, scalar3);
+
+  cfg.block = 64;
+  cfg.simd = true;
+  const FullKeyRunResult simd4 = run_fused(cfg, 4);
+  expect_byte_results_identical(serial, simd4);
+}
+
+// The reference (uncompiled) sensor path feeds the same accumulator.
+TEST(FullKeyFused, ReferencePathMatchesCompiledKernels) {
+  CampaignConfig cfg = fullkey_cfg(700);
+  const FullKeyRunResult compiled = run_fused(cfg, 1);
+  cfg.compiled_kernels = false;
+  const FullKeyRunResult reference = run_fused(cfg, 1);
+  expect_byte_results_identical(compiled, reference);
+}
+
+// Early exit freezes answers, never accumulators: the recovered key must
+// match the full-budget run byte for byte, and frozen bytes must report
+// the checkpoint they converged at.
+TEST(FullKeyFused, EarlyExitAgreesOnTheKey) {
+  const CampaignConfig cfg = fullkey_cfg(2500);
+  FullKeyConfig off;
+  off.early_exit = false;
+  const FullKeyRunResult full = run_fused(cfg, 2, off);
+  FullKeyConfig on;
+  on.early_exit = true;
+  const FullKeyRunResult eager = run_fused(cfg, 2, on);
+
+  for (std::size_t b = 0; b < 16; ++b) {
+    EXPECT_EQ(eager.bytes[b].recovered, full.bytes[b].recovered)
+        << "byte " << b;
+    if (eager.bytes[b].early_exited) {
+      EXPECT_LE(eager.bytes[b].traces, cfg.traces);
+      EXPECT_FALSE(eager.bytes[b].progress.empty());
+    } else {
+      EXPECT_EQ(eager.bytes[b].traces, cfg.traces);
+    }
+  }
+}
+
+// (c) Kill/resume on a full-key snapshot, serial and sharded.
+TEST(FullKeyFused, HaltResumeBitForBit) {
+  for (const unsigned threads : {1u, 2u}) {
+    CampaignConfig cfg = fullkey_cfg(900);
+    const FullKeyRunResult uninterrupted = run_fused(cfg, threads);
+
+    const std::string dir =
+        fresh_dir("fullkey_resume_" + std::to_string(threads));
+    cfg.checkpoint_dir = dir;
+    cfg.halt_after_traces = 250;
+    EXPECT_THROW(run_fused(cfg, threads), CampaignHalted);
+
+    cfg.halt_after_traces = 0;
+    cfg.resume = true;
+    const FullKeyRunResult resumed = run_fused(cfg, threads);
+    EXPECT_EQ(resumed.resumed_from, 250u);
+    expect_byte_results_identical(uninterrupted, resumed);
+  }
+}
+
+// A full-key snapshot must refuse to resume as a single-byte campaign
+// and vice versa, and cross-contract resumes must throw the typed
+// mismatch, exactly like the single-byte engine.
+TEST(FullKeyFused, SnapshotIdentityChecks) {
+  CampaignConfig cfg = fullkey_cfg(900);
+  const std::string dir = fresh_dir("fullkey_identity");
+  cfg.checkpoint_dir = dir;
+  cfg.halt_after_traces = 250;
+  EXPECT_THROW(run_fused(cfg, 2), CampaignHalted);
+
+  // Same snapshot, single-byte engine: fullkey flag mismatch.
+  cfg.halt_after_traces = 0;
+  cfg.resume = true;
+  {
+    AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+    ParallelCampaign campaign(setup, cfg, 2);
+    EXPECT_THROW(campaign.run(), slm::Error);
+  }
+  // Cross-contract resume: typed mismatch, exit-code-6 path in the CLI.
+  {
+    CampaignConfig v1 = cfg;
+    v1.rng_contract = RngContract::kV1;
+    AttackSetup setup(BenignCircuit::kAlu, Calibration::paper_defaults());
+    ParallelCampaign campaign(setup, v1, 2);
+    EXPECT_THROW(campaign.run_fullkey(), CheckpointContractMismatch);
+  }
+}
+
+// The facade wires the fused engine by default and the farmed oracle on
+// request; both must hand back the same master key.
+TEST(StealthyAttackFullKey, FusedAndFarmedRecoverTheSameKey) {
+  StealthyAttack fused_attack(BenignCircuit::kAlu);
+  const auto fused =
+      fused_attack.recover_full_key(3000, SensorMode::kTdcFull, 2);
+  EXPECT_EQ(fused.mode_used, FullKeyMode::kFused);
+  EXPECT_TRUE(fused.success);
+  EXPECT_EQ(fused.traces_captured, 3000u);
+
+  StealthyAttack farmed_attack(BenignCircuit::kAlu);
+  FullKeyOptions opts;
+  opts.mode = FullKeyMode::kFarmed;
+  const auto farmed = farmed_attack.recover_full_key(
+      3000, SensorMode::kTdcFull, 2, opts);
+  EXPECT_EQ(farmed.mode_used, FullKeyMode::kFarmed);
+  EXPECT_TRUE(farmed.success);
+  EXPECT_EQ(farmed.traces_captured, 16u * 3000u);
+
+  EXPECT_EQ(fused.last_round_key, farmed.last_round_key);
+  EXPECT_EQ(fused.master_key, farmed.master_key);
+}
+
+}  // namespace
+}  // namespace slm::core

@@ -1,0 +1,219 @@
+// Property tests for the fused multi-byte CPA accumulator: every byte
+// slice of MultiByteCpa must behave exactly like a standalone XorClassCpa
+// fed the same (class value, class bit, readings) stream — fold results
+// bit-identical engine state, add_block bit-identical to add_trace for
+// ragged block sizes, merge exact for integer readings, and save/load a
+// faithful round trip that can keep accumulating. These are the
+// invariants the fused full-key engine's farmed-oracle equivalence
+// stands on (docs/FULLKEY.md, DESIGN.md).
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binio.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sca/cpa.hpp"
+
+namespace slm::sca {
+namespace {
+
+constexpr std::size_t kBytes = MultiByteCpa::kBytes;
+
+std::vector<std::uint8_t> state_bytes(const CpaEngine& e) {
+  ByteWriter w;
+  e.save(w);
+  return w.bytes();
+}
+
+std::vector<std::uint8_t> state_bytes(const MultiByteCpa& m) {
+  ByteWriter w;
+  m.save(w);
+  return w.bytes();
+}
+
+// Trace-major label rows (v[t*16+j], b[t*16+j]) plus readings; readings
+// deliberately non-integer unless `integer` — the blocked paths must
+// match by addition order alone.
+void random_traces(Xoshiro256& rng, std::size_t samples, std::size_t count,
+                   std::vector<std::uint8_t>& v, std::vector<std::uint8_t>& b,
+                   std::vector<double>& y, bool integer = false) {
+  v.resize(count * kBytes);
+  b.resize(count * kBytes);
+  y.resize(count * samples);
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto& x : b) x = rng.coin() ? 1 : 0;
+  for (auto& s : y) {
+    s = integer ? static_cast<double>(rng.uniform_int(96))
+                : rng.uniform() * 5.0 - 2.5;
+  }
+}
+
+TEST(MultiByteCpa, EveryByteFoldsLikeAStandaloneXorClassCpa) {
+  constexpr std::size_t kSamples = 5;
+  constexpr std::size_t kTraces = 700;
+  Xoshiro256 rng(41);
+  std::vector<std::uint8_t> v, b;
+  std::vector<double> y;
+  random_traces(rng, kSamples, kTraces, v, b, y);
+
+  MultiByteCpa mb(kSamples);
+  std::vector<XorClassCpa> singles(kBytes, XorClassCpa(kSamples));
+  std::vector<double> yt(kSamples);
+  for (std::size_t t = 0; t < kTraces; ++t) {
+    std::memcpy(yt.data(), y.data() + t * kSamples,
+                kSamples * sizeof(double));
+    mb.add_trace(v.data() + t * kBytes, b.data() + t * kBytes, yt);
+    for (std::size_t j = 0; j < kBytes; ++j) {
+      singles[j].add_trace(v[t * kBytes + j], b[t * kBytes + j], yt);
+    }
+  }
+  ASSERT_EQ(mb.trace_count(), kTraces);
+
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    std::uint8_t pattern[256];
+    for (auto& p : pattern) p = rng.coin() ? 1 : 0;
+    const CpaEngine fused = mb.fold(j, pattern);
+    const CpaEngine standalone = singles[j].fold(pattern);
+    ASSERT_EQ(state_bytes(fused), state_bytes(standalone)) << "byte " << j;
+  }
+}
+
+TEST(MultiByteCpa, AddBlockMatchesAddTraceBitForBit) {
+  Xoshiro256 rng(42);
+  for (int round = 0; round < 10; ++round) {
+    const std::size_t samples = 1 + rng.uniform_int(10);
+    const std::size_t traces = 1 + rng.uniform_int(400);
+    const std::size_t block = 1 + rng.uniform_int(70);  // rarely divides
+
+    std::vector<std::uint8_t> v, b;
+    std::vector<double> y;
+    random_traces(rng, samples, traces, v, b, y);
+
+    MultiByteCpa ref(samples);
+    std::vector<double> yt(samples);
+    for (std::size_t t = 0; t < traces; ++t) {
+      std::memcpy(yt.data(), y.data() + t * samples,
+                  samples * sizeof(double));
+      ref.add_trace(v.data() + t * kBytes, b.data() + t * kBytes, yt);
+    }
+
+    MultiByteCpa blocked(samples);
+    for (std::size_t t = 0; t < traces; t += block) {
+      const std::size_t bn = std::min(block, traces - t);  // ragged tail
+      blocked.add_block(v.data() + t * kBytes, b.data() + t * kBytes,
+                        y.data() + t * samples, bn);
+    }
+
+    ASSERT_EQ(blocked.trace_count(), ref.trace_count());
+    ASSERT_EQ(state_bytes(blocked), state_bytes(ref))
+        << "round " << round << " samples " << samples << " traces "
+        << traces << " block " << block;
+  }
+}
+
+// Shard halves pushed through different block sizes, merged in both
+// orders, must fold byte-for-byte like the serial accumulator. Integer
+// readings, as in every campaign sensor mode, make the regrouped sums
+// exact — the same argument the sharded full-key engine relies on.
+TEST(MultiByteCpa, MergedShardsFoldBitForBit) {
+  constexpr std::size_t kSamples = 4;
+  constexpr std::size_t kTraces = 900;
+  Xoshiro256 rng(43);
+  std::vector<std::uint8_t> v, b;
+  std::vector<double> y;
+  random_traces(rng, kSamples, kTraces, v, b, y, /*integer=*/true);
+
+  MultiByteCpa serial(kSamples);
+  std::vector<double> yt(kSamples);
+  for (std::size_t t = 0; t < kTraces; ++t) {
+    std::memcpy(yt.data(), y.data() + t * kSamples,
+                kSamples * sizeof(double));
+    serial.add_trace(v.data() + t * kBytes, b.data() + t * kBytes, yt);
+  }
+
+  const std::size_t mid = kTraces / 2;
+  MultiByteCpa lo(kSamples), hi(kSamples);
+  for (std::size_t t = 0; t < mid; t += 7) {
+    const std::size_t bn = std::min<std::size_t>(7, mid - t);
+    lo.add_block(v.data() + t * kBytes, b.data() + t * kBytes,
+                 y.data() + t * kSamples, bn);
+  }
+  for (std::size_t t = mid; t < kTraces; t += 64) {
+    const std::size_t bn = std::min<std::size_t>(64, kTraces - t);
+    hi.add_block(v.data() + t * kBytes, b.data() + t * kBytes,
+                 y.data() + t * kSamples, bn);
+  }
+
+  std::uint8_t pattern[256];
+  for (auto& p : pattern) p = rng.coin() ? 1 : 0;
+  for (const int order : {0, 1}) {
+    MultiByteCpa merged(kSamples);
+    if (order == 0) {
+      merged.merge(lo);
+      merged.merge(hi);
+    } else {
+      merged.merge(hi);
+      merged.merge(lo);
+    }
+    ASSERT_EQ(merged.trace_count(), serial.trace_count());
+    for (std::size_t j = 0; j < kBytes; ++j) {
+      ASSERT_EQ(state_bytes(merged.fold(j, pattern)),
+                state_bytes(serial.fold(j, pattern)))
+          << "merge order " << order << " byte " << j;
+    }
+  }
+}
+
+TEST(MultiByteCpa, SaveLoadRoundTripAndContinue) {
+  constexpr std::size_t kSamples = 3;
+  constexpr std::size_t kTraces = 300;
+  Xoshiro256 rng(44);
+  std::vector<std::uint8_t> v, b;
+  std::vector<double> y;
+  random_traces(rng, kSamples, kTraces, v, b, y);
+
+  MultiByteCpa whole(kSamples);
+  MultiByteCpa first(kSamples);
+  std::vector<double> yt(kSamples);
+  const std::size_t mid = kTraces / 2;
+  for (std::size_t t = 0; t < kTraces; ++t) {
+    std::memcpy(yt.data(), y.data() + t * kSamples,
+                kSamples * sizeof(double));
+    whole.add_trace(v.data() + t * kBytes, b.data() + t * kBytes, yt);
+    if (t < mid) {
+      first.add_trace(v.data() + t * kBytes, b.data() + t * kBytes, yt);
+    }
+  }
+
+  ByteWriter snap;
+  first.save(snap);
+  MultiByteCpa restored(kSamples);
+  ByteReader in(snap.bytes().data(), snap.bytes().size());
+  restored.load(in);
+  EXPECT_TRUE(in.done());
+  EXPECT_EQ(restored.trace_count(), mid);
+  EXPECT_EQ(state_bytes(restored), state_bytes(first));
+
+  for (std::size_t t = mid; t < kTraces; ++t) {
+    std::memcpy(yt.data(), y.data() + t * kSamples,
+                kSamples * sizeof(double));
+    restored.add_trace(v.data() + t * kBytes, b.data() + t * kBytes, yt);
+  }
+  EXPECT_EQ(state_bytes(restored), state_bytes(whole));
+}
+
+TEST(MultiByteCpa, Validation) {
+  MultiByteCpa m(2);
+  std::uint8_t v[kBytes] = {};
+  std::uint8_t bad[kBytes] = {};
+  bad[5] = 2;  // class bit must be 0/1
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW(m.add_trace(v, bad, y), slm::Error);
+  const double yb[4] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(m.add_block(v, bad, yb, 1), slm::Error);
+}
+
+}  // namespace
+}  // namespace slm::sca

@@ -1,12 +1,12 @@
 # Docs-vs-code consistency check, run as a ctest entry (docs_references).
 #
 # Fails when README.md / docs/BENCHMARKS.md / docs/OBSERVABILITY.md /
-# docs/ARCHITECTURE.md / EXPERIMENTS.md reference a bench binary that no
-# longer has a source file, when a documented command-line flag or SLM_*
-# knob is gone from the sources, or when OBSERVABILITY.md catalogs an
-# `slm.` metric name that no source emits — so renaming a bench,
-# dropping a flag, or renaming a metric without updating the docs breaks
-# the build, not the reader.
+# docs/ARCHITECTURE.md / docs/FULLKEY.md / EXPERIMENTS.md reference a
+# bench binary that no longer has a source file, when a documented
+# command-line flag or SLM_* knob is gone from the sources, or when
+# OBSERVABILITY.md catalogs an `slm.` metric name that no source emits —
+# so renaming a bench, dropping a flag, or renaming a metric without
+# updating the docs breaks the build, not the reader.
 #
 # Usage: cmake -DREPO=<source root> -P check_docs.cmake
 
@@ -14,8 +14,9 @@ file(READ ${REPO}/README.md readme)
 file(READ ${REPO}/docs/BENCHMARKS.md benchdoc)
 file(READ ${REPO}/docs/OBSERVABILITY.md obsdoc)
 file(READ ${REPO}/docs/ARCHITECTURE.md archdoc)
+file(READ ${REPO}/docs/FULLKEY.md fullkeydoc)
 file(READ ${REPO}/EXPERIMENTS.md experiments)
-set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${experiments}")
+set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${experiments}")
 
 set(errors "")
 
@@ -34,15 +35,17 @@ foreach(b ${doc_benches})
   endif()
 endforeach()
 
-# 2. Every --flag documented in BENCHMARKS.md or OBSERVABILITY.md must
-#    appear literally in the CLI, the bench scaffolding, or an example.
+# 2. Every --flag documented in BENCHMARKS.md, OBSERVABILITY.md, or
+#    FULLKEY.md must appear literally in the CLI, the bench scaffolding,
+#    or an example.
 set(flag_sources "")
 foreach(src tools/slm_cli.cpp bench/bench_util.hpp
         examples/full_key_recovery.cpp)
   file(READ ${REPO}/${src} one)
   string(APPEND flag_sources "${one}\n")
 endforeach()
-string(REGEX MATCHALL "--[a-z][a-z0-9-]+" doc_flags "${benchdoc}\n${obsdoc}")
+string(REGEX MATCHALL "--[a-z][a-z0-9-]+" doc_flags
+       "${benchdoc}\n${obsdoc}\n${fullkeydoc}")
 list(REMOVE_DUPLICATES doc_flags)
 foreach(f ${doc_flags})
   string(FIND "${flag_sources}" "${f}" pos)
@@ -59,7 +62,7 @@ file(READ ${REPO}/src/core/campaign.cpp campaignsrc)
 file(READ ${REPO}/tests/regression/golden_trace_test.cpp goldensrc)
 string(APPEND flag_sources "${rootcmake}\n${obssrc}\n${campaignsrc}\n${goldensrc}\n")
 string(REGEX MATCHALL "SLM_[A-Z_]+" doc_knobs
-       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}")
+       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}")
 list(REMOVE_DUPLICATES doc_knobs)
 foreach(k ${doc_knobs})
   string(FIND "${flag_sources}" "${k}" pos)
@@ -92,23 +95,25 @@ foreach(m ${doc_metrics})
   endif()
 endforeach()
 
-# 5. The checkpoint format version documented in OBSERVABILITY.md must
-#    match kCheckpointVersion in src/core/checkpoint.hpp — bumping the
-#    binary format without re-documenting it (or vice versa) fails here.
+# 5. The checkpoint format version documented in OBSERVABILITY.md and
+#    FULLKEY.md must match kCheckpointVersion in src/core/checkpoint.hpp
+#    — bumping the binary format without re-documenting it (or vice
+#    versa) fails here.
 file(READ ${REPO}/src/core/checkpoint.hpp ckpthdr)
 string(REGEX MATCH "kCheckpointVersion = ([0-9]+)" _ "${ckpthdr}")
 set(ckpt_version "${CMAKE_MATCH_1}")
 if(ckpt_version STREQUAL "")
   string(APPEND errors "cannot find kCheckpointVersion in src/core/checkpoint.hpp\n")
 endif()
-string(REGEX MATCHALL "format version [0-9]+" doc_versions "${obsdoc}")
+string(REGEX MATCHALL "format version [0-9]+" doc_versions
+       "${obsdoc}\n${fullkeydoc}")
 list(REMOVE_DUPLICATES doc_versions)
 if(doc_versions STREQUAL "")
   string(APPEND errors "OBSERVABILITY.md no longer documents the checkpoint 'format version N'\n")
 endif()
 foreach(v ${doc_versions})
   if(NOT v STREQUAL "format version ${ckpt_version}")
-    string(APPEND errors "OBSERVABILITY.md says checkpoint '${v}' but kCheckpointVersion is ${ckpt_version}\n")
+    string(APPEND errors "OBSERVABILITY.md/FULLKEY.md say checkpoint '${v}' but kCheckpointVersion is ${ckpt_version}\n")
   endif()
 endforeach()
 
@@ -128,6 +133,27 @@ foreach(needed "--rng-contract" "SLM_RNG_CONTRACT")
 endforeach()
 if(NOT obsdoc MATCHES "slm\\.pipeline\\.")
   string(APPEND errors "OBSERVABILITY.md no longer documents the slm.pipeline.* metrics\n")
+endif()
+
+# 7. The full-key pipeline story must stay documented: FULLKEY.md has
+#    to cover the CLI surface (--full-key, --fullkey-mode, --early-exit)
+#    and the bench (bench_fullkey + its fullkey_speedup JSON field), and
+#    OBSERVABILITY.md must keep the slm.fullkey.* metric family and the
+#    per-byte convergence event in its catalogs.
+foreach(needed "--full-key" "--fullkey-mode" "--early-exit"
+        "bench_fullkey" "fullkey_speedup")
+  if(NOT fullkeydoc MATCHES "${needed}")
+    string(APPEND errors "FULLKEY.md no longer documents '${needed}'\n")
+  endif()
+endforeach()
+if(NOT obsdoc MATCHES "slm\\.fullkey\\.")
+  string(APPEND errors "OBSERVABILITY.md no longer documents the slm.fullkey.* metrics\n")
+endif()
+if(NOT obsdoc MATCHES "fullkey_byte_converged")
+  string(APPEND errors "OBSERVABILITY.md no longer documents the fullkey_byte_converged event\n")
+endif()
+if(NOT benchdoc MATCHES "bench_fullkey")
+  string(APPEND errors "BENCHMARKS.md no longer documents bench_fullkey\n")
 endif()
 
 if(NOT errors STREQUAL "")

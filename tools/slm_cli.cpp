@@ -6,6 +6,8 @@
 //   slm atpg  FILE.bench [--band LO HI]
 //   slm attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]
 //              [--traces N] [--key-byte B] [--threads N]
+//              [--full-key] [--fullkey-mode fused|farmed]
+//              [--early-exit on|off] [--early-exit-margin F]
 //              [--rng-contract v1|v2]
 //              [--checkpoint-dir D] [--resume D] [--halt-after N]
 //              [--trace-out F.jsonl]
@@ -239,13 +241,117 @@ int cmd_attack(const Args& args) {
   }
   opts.observer = observer.get();
 
+  // --full-key: one shared capture pass attacks all 16 last-round key
+  // bytes at once (docs/FULLKEY.md). --fullkey-mode farmed runs the
+  // 16-campaign oracle instead (same shared config, 16x the captures).
+  const bool full_key = args.options.count("full-key") > 0;
+  core::FullKeyOptions fk_opts;
+  if (full_key) {
+    const std::string fk_mode_s = args.get("fullkey-mode", "fused");
+    if (fk_mode_s == "farmed") {
+      fk_opts.mode = core::FullKeyMode::kFarmed;
+    } else if (fk_mode_s != "fused") {
+      throw Error("unknown --fullkey-mode '" + fk_mode_s +
+                  "' (expected fused or farmed)");
+    }
+    const std::string ee = args.get("early-exit", "on");
+    if (ee == "off" || ee == "0") {
+      fk_opts.fused.early_exit = false;
+    } else if (ee != "on" && ee != "1") {
+      throw Error("unknown --early-exit '" + ee + "' (expected on or off)");
+    }
+    fk_opts.fused.early_exit_margin =
+        args.get_d("early-exit-margin", fk_opts.fused.early_exit_margin);
+    if (fk_opts.mode == core::FullKeyMode::kFarmed &&
+        (!opts.checkpoint_dir.empty() || opts.resume ||
+         opts.halt_after_traces > 0)) {
+      throw Error("attack --fullkey-mode farmed: the farmed oracle cannot "
+                  "checkpoint — drop --checkpoint-dir/--resume/--halt-after "
+                  "or use --fullkey-mode fused");
+    }
+  }
+
   core::StealthyAttack attack(circuit);
-  std::cout << "circuit " << core::benign_circuit_name(circuit) << ", mode "
-            << core::sensor_mode_name(mode) << ", " << traces
-            << " traces, key byte " << key_byte << ", threads "
-            << core::resolve_threads(threads) << "\n";
+  if (full_key) {
+    std::cout << "circuit " << core::benign_circuit_name(circuit)
+              << ", mode " << core::sensor_mode_name(mode) << ", " << traces
+              << " traces, full key ("
+              << (fk_opts.mode == core::FullKeyMode::kFused ? "fused"
+                                                            : "farmed")
+              << "), threads " << core::resolve_threads(threads) << "\n";
+  } else {
+    std::cout << "circuit " << core::benign_circuit_name(circuit)
+              << ", mode " << core::sensor_mode_name(mode) << ", " << traces
+              << " traces, key byte " << key_byte << ", threads "
+              << core::resolve_threads(threads) << "\n";
+  }
   const auto audit = attack.check_stealthiness();
   std::cout << "bitstream check: " << audit.summary() << "\n";
+
+  if (full_key) {
+    fk_opts.run = opts;
+    core::StealthyAttack::FullKeyReport fr;
+    try {
+      fr = attack.recover_full_key(traces, mode, threads, fk_opts);
+    } catch (const core::CampaignHalted& halted) {
+      std::cout << "campaign halted after " << halted.traces()
+                << " traces; snapshot at " << halted.snapshot_path() << "\n"
+                << "resume with: slm attack --full-key --resume "
+                << opts.checkpoint_dir << "\n";
+      return 5;
+    } catch (const core::CheckpointContractMismatch& mismatch) {
+      std::cerr << "slm: error: " << mismatch.what() << "\n";
+      return 6;
+    }
+
+    if (fr.resumed_from > 0) {
+      std::cout << "resumed from trace " << fr.resumed_from << "\n";
+    }
+    std::printf("fullkey: %zu traces captured, %u thread(s), block %zu, "
+                "contract %s, %.2f s\n",
+                fr.traces_captured, fr.threads_used, fr.block_size,
+                core::rng_contract_name(fr.rng_contract),
+                fr.capture_seconds);
+    std::printf("byte  true  recovered  ok   converged\n");
+    for (const auto& b : fr.bytes) {
+      std::printf("%4zu  0x%02x       0x%02x  %s  %7zu%s\n", b.key_byte,
+                  b.true_value, b.recovered, b.success ? "yes" : "NO ",
+                  b.traces, b.early_exited ? " (early exit)" : "");
+    }
+    const crypto::Block true_lrk =
+        attack.setup().victim().cipher().last_round_key();
+    std::printf("last-round key: true %s recovered %s\n",
+                crypto::block_to_hex(true_lrk).c_str(),
+                crypto::block_to_hex(fr.last_round_key).c_str());
+    const crypto::Block true_master = crypto::recover_master_key(true_lrk);
+    std::printf("master key:     true %s recovered %s -> %s\n",
+                crypto::block_to_hex(true_master).c_str(),
+                crypto::block_to_hex(fr.master_key).c_str(),
+                fr.success ? "RECOVERED" : "not recovered");
+
+    if (observer != nullptr && observer->has_sink()) {
+      observer->write_manifest(
+          obs::JsonWriter()
+              .field("circuit", core::benign_circuit_name(circuit))
+              .field("mode", core::sensor_mode_name(mode))
+              .field("fullkey", true)
+              .field("fullkey_mode",
+                     fk_opts.mode == core::FullKeyMode::kFused ? "fused"
+                                                               : "farmed")
+              .field("traces_captured",
+                     static_cast<std::uint64_t>(fr.traces_captured))
+              .field("bytes_early_exited",
+                     static_cast<std::uint64_t>(fr.bytes_early_exited))
+              .field("master_key", crypto::block_to_hex(fr.master_key))
+              .field("success", fr.success)
+              .field("threads", static_cast<std::uint64_t>(fr.threads_used))
+              .field("block", static_cast<std::uint64_t>(fr.block_size))
+              .field("rng_contract",
+                     core::rng_contract_name(fr.rng_contract))
+              .field("capture_seconds", fr.capture_seconds));
+    }
+    return fr.success ? 0 : 4;
+  }
 
   core::KeyByteReport r;
   try {
@@ -309,6 +415,8 @@ int usage() {
          "  atpg   FILE.bench [--band-lo NS] [--band-hi NS]\n"
          "  attack [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]\n"
          "         [--traces N] [--key-byte B] [--threads N] [--block N]\n"
+         "         [--full-key] [--fullkey-mode fused|farmed]\n"
+         "         [--early-exit on|off] [--early-exit-margin F]\n"
          "         [--rng-contract v1|v2]\n"
          "         [--checkpoint-dir D] [--resume D] [--halt-after N]\n"
          "         [--trace-out F.jsonl]\n";
