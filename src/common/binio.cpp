@@ -1,5 +1,10 @@
 #include "common/binio.hpp"
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
 namespace slm {
 
 namespace {
@@ -26,6 +31,68 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
     crc = table.t[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
   }
   return crc ^ 0xffffffffu;
+}
+
+std::size_t write_framed_file(const std::string& path, const char* magic8,
+                              std::uint32_t version,
+                              const std::vector<std::uint8_t>& payload,
+                              const std::string& context) {
+  ByteWriter file;
+  file.put_bytes(reinterpret_cast<const std::uint8_t*>(magic8), 8);
+  file.put_u32(version);
+  file.put_u64(payload.size());
+  file.put_u32(crc32(payload.data(), payload.size()));
+  file.put_bytes(payload.data(), payload.size());
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    SLM_REQUIRE(static_cast<bool>(os),
+                context + ": cannot write '" + tmp_path + "'");
+    os.write(reinterpret_cast<const char*>(file.bytes().data()),
+             static_cast<std::streamsize>(file.size()));
+    os.flush();
+    SLM_REQUIRE(static_cast<bool>(os),
+                context + ": short write to '" + tmp_path + "'");
+  }
+  // Atomic replace: a reader (or a crash) sees either the old complete
+  // file or the new complete file, never a torn one.
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, path, ec);
+  SLM_REQUIRE(!ec, context + ": atomic rename to '" + path + "' failed");
+  return file.size();
+}
+
+std::optional<std::vector<std::uint8_t>> read_framed_file(
+    const std::string& path, const char* magic8, std::uint32_t version,
+    const std::string& context) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+
+  ByteReader in(bytes.data(), bytes.size());
+  char magic[8] = {};
+  in.get_bytes(reinterpret_cast<std::uint8_t*>(magic), sizeof magic);
+  SLM_REQUIRE(std::equal(magic, magic + sizeof magic, magic8),
+              context + ": bad magic in '" + path + "'");
+  const std::uint32_t file_version = in.get_u32();
+  SLM_REQUIRE(file_version == version,
+              context + ": unsupported version " +
+                  std::to_string(file_version) + " in '" + path +
+                  "' (expected " + std::to_string(version) + ")");
+  const std::uint64_t length = in.get_u64();
+  const std::uint32_t stored_crc = in.get_u32();
+  SLM_REQUIRE(length == in.remaining(),
+              context + ": truncated payload in '" + path + "'");
+  const std::uint32_t actual_crc =
+      crc32(bytes.data() + (bytes.size() - length), length);
+  SLM_REQUIRE(actual_crc == stored_crc,
+              context + ": CRC mismatch in '" + path +
+                  "' — file is corrupt");
+  std::vector<std::uint8_t> payload(bytes.end() - static_cast<long>(length),
+                                    bytes.end());
+  return payload;
 }
 
 }  // namespace slm

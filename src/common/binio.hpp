@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,33 @@ namespace slm {
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Shared framed-file envelope for the binary state formats (`SLMCKPT1`
+/// campaign checkpoints, `SLMSNAP1` fabric accumulator snapshots):
+///
+///   magic   8 bytes
+///   version u32      readers reject other versions (no silent migration)
+///   length  u64      payload byte count
+///   crc     u32      CRC-32 of the payload
+///   payload
+///
+/// The file is written to `<path>.tmp` and atomically renamed into
+/// place, so a kill at any instant (including mid-write) leaves either
+/// the previous complete file or the new complete file, never a torn
+/// one. Returns the total byte count written; throws slm::Error
+/// ("<context>: cannot write ...") on I/O failure.
+std::size_t write_framed_file(const std::string& path, const char* magic8,
+                              std::uint32_t version,
+                              const std::vector<std::uint8_t>& payload,
+                              const std::string& context);
+
+/// Read and validate a framed file. Returns nullopt when the file does
+/// not exist; throws slm::Error with a `context`-prefixed message on bad
+/// magic, version mismatch, truncated payload, or CRC failure. The
+/// returned bytes are the CRC-verified payload.
+std::optional<std::vector<std::uint8_t>> read_framed_file(
+    const std::string& path, const char* magic8, std::uint32_t version,
+    const std::string& context);
 
 /// Append-only little-endian byte buffer.
 class ByteWriter {

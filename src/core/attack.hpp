@@ -153,13 +153,14 @@ class StealthyAttack {
   bitstream::CheckReport check_stealthiness(
       const bitstream::CheckerOptions& opt = {}) const;
 
- private:
   /// Campaign configuration for one byte campaign (shared between the
-  /// serial path and the farmed full-key path).
+  /// serial path, the farmed full-key path, and fabric shard workers,
+  /// which must run the byte-for-byte identical config).
   CampaignConfig byte_campaign_config(std::size_t key_byte,
                                       std::size_t traces,
                                       SensorMode mode) const;
 
+ private:
   Calibration cal_;
   AttackSetup setup_;
   std::uint64_t seed_;

@@ -313,6 +313,7 @@ class CpaCampaign {
 
  private:
   friend class ParallelCampaign;  // reuses the capture path, shard-wise
+  friend class FabricWorker;      // same capture path over a trace range
 
   void make_voltages(const crypto::AesDatapathModel::Encryption& enc,
                      Xoshiro256& rng, std::vector<double>& v_out) {

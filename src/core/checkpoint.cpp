@@ -1,9 +1,6 @@
 #include "core/checkpoint.hpp"
 
-#include <algorithm>
 #include <filesystem>
-#include <fstream>
-#include <iterator>
 
 #include "common/binio.hpp"
 #include "core/campaign.hpp"
@@ -12,7 +9,7 @@ namespace slm::core {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'L', 'M', 'C', 'K', 'P', 'T', '1'};
+constexpr char kMagic[] = "SLMCKPT1";
 
 void put_block(ByteWriter& out, const crypto::Block& b) {
   out.put_bytes(b.data(), b.size());
@@ -176,60 +173,16 @@ std::size_t save_checkpoint(const std::string& dir,
   SLM_REQUIRE(!ec, "checkpoint: cannot create directory '" + dir + "'");
 
   const ByteWriter payload = serialize_payload(ck);
-  ByteWriter file;
-  file.put_bytes(reinterpret_cast<const std::uint8_t*>(kMagic),
-                 sizeof kMagic);
-  file.put_u32(kCheckpointVersion);
-  file.put_u64(payload.size());
-  file.put_u32(crc32(payload.bytes().data(), payload.size()));
-  file.put_bytes(payload.bytes().data(), payload.size());
-
-  const std::string final_path = checkpoint_file(dir);
-  const std::string tmp_path = final_path + ".tmp";
-  {
-    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-    SLM_REQUIRE(static_cast<bool>(os),
-                "checkpoint: cannot write '" + tmp_path + "'");
-    os.write(reinterpret_cast<const char*>(file.bytes().data()),
-             static_cast<std::streamsize>(file.size()));
-    os.flush();
-    SLM_REQUIRE(static_cast<bool>(os),
-                "checkpoint: short write to '" + tmp_path + "'");
-  }
-  // Atomic replace: a reader (or a crash) sees either the old complete
-  // snapshot or the new complete snapshot, never a torn file.
-  std::filesystem::rename(tmp_path, final_path, ec);
-  SLM_REQUIRE(!ec, "checkpoint: atomic rename to '" + final_path +
-                       "' failed");
-  return file.size();
+  return write_framed_file(checkpoint_file(dir), kMagic, kCheckpointVersion,
+                           payload.bytes(), "checkpoint");
 }
 
 std::optional<CampaignCheckpoint> load_checkpoint(const std::string& dir) {
   const std::string path = checkpoint_file(dir);
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
-  std::vector<std::uint8_t> bytes(
-      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
-
-  ByteReader in(bytes.data(), bytes.size());
-  char magic[8] = {};
-  in.get_bytes(reinterpret_cast<std::uint8_t*>(magic), sizeof magic);
-  SLM_REQUIRE(std::equal(magic, magic + sizeof magic, kMagic),
-              "checkpoint: bad magic in '" + path + "'");
-  const std::uint32_t version = in.get_u32();
-  SLM_REQUIRE(version == kCheckpointVersion,
-              "checkpoint: unsupported version " + std::to_string(version) +
-                  " in '" + path + "' (expected " +
-                  std::to_string(kCheckpointVersion) + ")");
-  const std::uint64_t length = in.get_u64();
-  const std::uint32_t stored_crc = in.get_u32();
-  SLM_REQUIRE(length == in.remaining(),
-              "checkpoint: truncated payload in '" + path + "'");
-  const std::uint32_t actual_crc =
-      crc32(bytes.data() + (bytes.size() - length), length);
-  SLM_REQUIRE(actual_crc == stored_crc,
-              "checkpoint: CRC mismatch in '" + path +
-                  "' — file is corrupt, refusing to resume");
+  const std::optional<std::vector<std::uint8_t>> payload =
+      read_framed_file(path, kMagic, kCheckpointVersion, "checkpoint");
+  if (!payload) return std::nullopt;
+  ByteReader in(payload->data(), payload->size());
   return parse_payload(in);
 }
 

@@ -15,8 +15,9 @@ file(READ ${REPO}/docs/BENCHMARKS.md benchdoc)
 file(READ ${REPO}/docs/OBSERVABILITY.md obsdoc)
 file(READ ${REPO}/docs/ARCHITECTURE.md archdoc)
 file(READ ${REPO}/docs/FULLKEY.md fullkeydoc)
+file(READ ${REPO}/docs/DISTRIBUTED.md distdoc)
 file(READ ${REPO}/EXPERIMENTS.md experiments)
-set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${experiments}")
+set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}\n${experiments}")
 
 set(errors "")
 
@@ -45,7 +46,7 @@ foreach(src tools/slm_cli.cpp bench/bench_util.hpp
   string(APPEND flag_sources "${one}\n")
 endforeach()
 string(REGEX MATCHALL "--[a-z][a-z0-9-]+" doc_flags
-       "${benchdoc}\n${obsdoc}\n${fullkeydoc}")
+       "${benchdoc}\n${obsdoc}\n${fullkeydoc}\n${distdoc}")
 list(REMOVE_DUPLICATES doc_flags)
 foreach(f ${doc_flags})
   string(FIND "${flag_sources}" "${f}" pos)
@@ -62,7 +63,7 @@ file(READ ${REPO}/src/core/campaign.cpp campaignsrc)
 file(READ ${REPO}/tests/regression/golden_trace_test.cpp goldensrc)
 string(APPEND flag_sources "${rootcmake}\n${obssrc}\n${campaignsrc}\n${goldensrc}\n")
 string(REGEX MATCHALL "SLM_[A-Z_]+" doc_knobs
-       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}")
+       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}")
 list(REMOVE_DUPLICATES doc_knobs)
 foreach(k ${doc_knobs})
   string(FIND "${flag_sources}" "${k}" pos)
@@ -83,7 +84,7 @@ foreach(src ${metric_files})
   string(APPEND metric_sources "${one}\n")
 endforeach()
 string(REGEX MATCHALL "slm\\.[a-z0-9_]+\\.[a-z0-9_.]*[a-z0-9_]" doc_metrics
-       "${obsdoc}")
+       "${obsdoc}\n${distdoc}")
 list(REMOVE_DUPLICATES doc_metrics)
 foreach(m ${doc_metrics})
   # Family entries are documented as slm.span.<name>_seconds; match on
@@ -155,6 +156,37 @@ endif()
 if(NOT benchdoc MATCHES "bench_fullkey")
   string(APPEND errors "BENCHMARKS.md no longer documents bench_fullkey\n")
 endif()
+
+# 8. The distributed-fabric story must stay documented: DISTRIBUTED.md
+#    has to cover the shard-worker CLI surface (--shard / --range /
+#    --snapshot-out / --snapshot-every / --dry-run), the SLMSNAP1 wire
+#    format, the bench (bench_fabric + its fabric_speedup JSON field),
+#    and the slm.fabric.* metric family; OBSERVABILITY.md must keep
+#    that family and the reissue event in its catalogs; and every
+#    fabric surface the docs lean on must still exist in the CLI.
+foreach(needed "--shard" "--range" "--snapshot-out" "--snapshot-every"
+        "--dry-run" "SLMSNAP1" "bench_fabric" "fabric_speedup"
+        "slm merge" "slm coordinate")
+  if(NOT distdoc MATCHES "${needed}")
+    string(APPEND errors "DISTRIBUTED.md no longer documents '${needed}'\n")
+  endif()
+endforeach()
+if(NOT distdoc MATCHES "slm\\.fabric\\.")
+  string(APPEND errors "DISTRIBUTED.md no longer mentions the slm.fabric.* metrics\n")
+endif()
+if(NOT obsdoc MATCHES "slm\\.fabric\\.")
+  string(APPEND errors "OBSERVABILITY.md no longer documents the slm.fabric.* metrics\n")
+endif()
+if(NOT obsdoc MATCHES "fabric_reissue")
+  string(APPEND errors "OBSERVABILITY.md no longer documents the fabric_reissue event\n")
+endif()
+file(READ ${REPO}/tools/slm_cli.cpp clisrc)
+foreach(surface "--shard" "--snapshot-out" "--dry-run" "SLMSNAP1")
+  string(FIND "${clisrc}\n${metric_sources}" "${surface}" pos)
+  if(pos EQUAL -1)
+    string(APPEND errors "fabric surface '${surface}' documented in DISTRIBUTED.md is gone from the sources\n")
+  endif()
+endforeach()
 
 if(NOT errors STREQUAL "")
   message(FATAL_ERROR "stale documentation references:\n${errors}")
