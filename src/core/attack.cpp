@@ -90,6 +90,7 @@ KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
   cfg.block = opts.block;
   cfg.simd = opts.simd;
   cfg.rng_contract = opts.rng_contract;
+  cfg.pool = opts.pool;
   ParallelCampaign campaign(setup_, cfg, threads);
   return report_from(key_byte, campaign.run());
 }
@@ -167,6 +168,7 @@ StealthyAttack::FullKeyReport StealthyAttack::recover_full_key(
     cfg.block = opts.run.block;
     cfg.simd = opts.run.simd;
     cfg.rng_contract = opts.run.rng_contract;
+    cfg.pool = opts.run.pool;
     ParallelCampaign campaign(setup_, cfg, threads);
     const FullKeyRunResult r = campaign.run_fullkey(opts.fused);
     report.bytes.reserve(16);

@@ -54,6 +54,11 @@ struct RunOptions {
   /// RNG determinism contract (kDefault = SLM_RNG_CONTRACT, else v2);
   /// `slm attack --rng-contract v1|v2` routes through this.
   RngContract rng_contract = RngContract::kDefault;
+  /// Externally-owned worker pool (borrowed, may be null): shard the
+  /// campaign over this pool instead of a private one, overriding the
+  /// `threads` knob. How `slm serve` multiplexes many tenants' jobs
+  /// over one shared core::ThreadPool (see CampaignConfig::pool).
+  ThreadPool* pool = nullptr;
 };
 
 /// How recover_full_key captures its traces (see docs/FULLKEY.md).

@@ -30,6 +30,8 @@ class CampaignObserver;
 
 namespace slm::core {
 
+class ThreadPool;
+
 enum class SensorMode {
   kTdcFull,         ///< TDC reading (all stages)          - Fig. 9
   kTdcSingleBit,    ///< one TDC thermometer bit           - Fig. 11
@@ -157,6 +159,14 @@ struct CampaignConfig {
   /// deterministic stand-in for kill -9 (snapshots are atomic, so a real
   /// kill at any instant leaves the same on-disk state). 0 disables.
   std::size_t halt_after_traces = 0;
+
+  /// Externally-owned worker pool (borrowed, may be null). When set,
+  /// ParallelCampaign shards over THIS pool instead of constructing a
+  /// private one — the `slm serve` daemon multiplexes every tenant's
+  /// campaigns over one shared core::ThreadPool this way. The pool's
+  /// size overrides the `threads` knob; under contract v2 the results
+  /// are bit-identical either way (thread count is repro-irrelevant).
+  ThreadPool* pool = nullptr;
 };
 
 struct CampaignResult {

@@ -153,6 +153,9 @@ ParallelCampaign::ParallelCampaign(AttackSetup& setup,
                                    const CampaignConfig& cfg,
                                    unsigned threads)
     : setup_(setup), cfg_(cfg), threads_(resolve_threads(threads)) {
+  // A borrowed pool fixes the worker count: the shard split must match
+  // the threads actually running it, or run_indexed would starve shards.
+  if (cfg_.pool != nullptr) threads_ = cfg_.pool->size();
   // Never spin up more shards than traces: each shard must own at least
   // one trace or its CpaEngine would merge as an empty no-op anyway.
   threads_ = static_cast<unsigned>(std::min<std::size_t>(
@@ -384,7 +387,11 @@ CampaignResult ParallelCampaign::run_sharded() {
   std::size_t seg_traces = traces_done;
   double seg_time = timed ? obs::monotonic_seconds() : 0.0;
 
-  ThreadPool pool(T);
+  // Shard over the caller's pool when one is borrowed (the `slm serve`
+  // daemon shares ONE pool across every tenant's campaigns); otherwise
+  // own a private pool for the duration of the run.
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool& pool = cfg_.pool != nullptr ? *cfg_.pool : owned_pool.emplace(T);
   sca::CpaEngine merged(256, samples);
   // Contract v2 chunking state: global zero-based traces [0, covered)
   // are done; each segment [covered, cp) is split into contiguous
@@ -1052,7 +1059,11 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
     if (s.converged) ++converged_count;
   }
 
-  ThreadPool pool(T);
+  // Shard over the caller's pool when one is borrowed (the `slm serve`
+  // daemon shares ONE pool across every tenant's campaigns); otherwise
+  // own a private pool for the duration of the run.
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool& pool = cfg_.pool != nullptr ? *cfg_.pool : owned_pool.emplace(T);
   std::size_t covered = traces_done;
   std::size_t merged_traces = traces_done;
   for (std::size_t cp : checkpoints) {

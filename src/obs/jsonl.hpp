@@ -11,6 +11,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace slm::obs {
 
@@ -58,6 +60,40 @@ class JsonlSink {
   std::ofstream out_;
   std::mutex m_;
   std::size_t lines_ = 0;
+};
+
+/// Parsed view of ONE JSON object — the inverse of JsonWriter, sized for
+/// the flat schemas this codebase writes (job files, JSONL events).
+/// Top-level values may be strings (escapes decoded), numbers, booleans,
+/// or null; nested objects/arrays are tolerated and kept as raw JSON
+/// text. Duplicate keys keep the LAST occurrence, like most readers.
+class FlatJson {
+ public:
+  /// Parse one complete JSON object (leading/trailing whitespace ok).
+  /// Throws slm::Error naming the offending byte offset on malformed
+  /// input — callers decide whether that is fatal (a job file) or just
+  /// a torn line to skip (tailing a live JSONL stream).
+  static FlatJson parse(std::string_view text);
+
+  bool has(std::string_view key) const;
+
+  /// Typed accessors: nullopt when the key is absent OR holds a value
+  /// of a different type. uint_field additionally rejects negatives and
+  /// non-integral numbers.
+  std::optional<std::string> string_field(std::string_view key) const;
+  std::optional<double> number_field(std::string_view key) const;
+  std::optional<std::uint64_t> uint_field(std::string_view key) const;
+  std::optional<bool> bool_field(std::string_view key) const;
+
+  /// All fields in document order as {key, raw value text} — strings
+  /// still quoted/escaped, nested structures verbatim.
+  const std::vector<std::pair<std::string, std::string>>& raw_fields() const {
+    return fields_;
+  }
+
+ private:
+  const std::string* raw_value(std::string_view key) const;
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 /// Scan a JSONL event stream for the LAST event named `event` and return

@@ -1,0 +1,87 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+namespace slm::serve {
+
+FairShareScheduler::FairShareScheduler(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::size_t FairShareScheduler::depth() const {
+  std::lock_guard<std::mutex> g(m_);
+  return queue_.size();
+}
+
+void FairShareScheduler::admit(QueuedJob job) {
+  std::lock_guard<std::mutex> g(m_);
+  if (queue_.size() >= capacity_) {
+    throw QueueFullError("queue full: " + std::to_string(queue_.size()) +
+                         "/" + std::to_string(capacity_) +
+                         " jobs queued; job '" + job.spec.id + "' rejected");
+  }
+  job.seq = next_seq_++;
+  queue_.push_back(std::move(job));
+}
+
+void FairShareScheduler::requeue(QueuedJob job) {
+  std::lock_guard<std::mutex> g(m_);
+  // seq is kept from admission; bump the counter past it anyway in case
+  // the job came from a restart recovery scan that assigned seqs itself.
+  next_seq_ = std::max(next_seq_, job.seq + 1);
+  queue_.push_back(std::move(job));
+}
+
+std::optional<QueuedJob> FairShareScheduler::next() {
+  std::lock_guard<std::mutex> g(m_);
+  if (queue_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  auto charged_of = [&](const QueuedJob& j) -> std::uint64_t {
+    const auto it = charged_.find(j.spec.tenant);
+    return it == charged_.end() ? 0 : it->second;
+  };
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const QueuedJob& a = queue_[i];
+    const QueuedJob& b = queue_[best];
+    const std::uint64_t ca = charged_of(a);
+    const std::uint64_t cb = charged_of(b);
+    if (ca != cb) {
+      if (ca < cb) best = i;
+      continue;
+    }
+    if (a.spec.priority != b.spec.priority) {
+      if (a.spec.priority > b.spec.priority) best = i;
+      continue;
+    }
+    if (a.seq < b.seq) best = i;
+  }
+  QueuedJob out = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  return out;
+}
+
+void FairShareScheduler::charge(const std::string& tenant,
+                                std::uint64_t traces) {
+  std::lock_guard<std::mutex> g(m_);
+  charged_[tenant] += traces;
+}
+
+std::vector<TenantShare> FairShareScheduler::shares() const {
+  std::lock_guard<std::mutex> g(m_);
+  std::vector<TenantShare> out;
+  auto find = [&out](const std::string& t) -> TenantShare& {
+    for (TenantShare& s : out) {
+      if (s.tenant == t) return s;
+    }
+    out.push_back(TenantShare{t, 0, 0});
+    return out.back();
+  };
+  for (const auto& [tenant, charged] : charged_) find(tenant).charged = charged;
+  for (const QueuedJob& j : queue_) ++find(j.spec.tenant).pending;
+  std::sort(out.begin(), out.end(), [](const TenantShare& a,
+                                       const TenantShare& b) {
+    return a.tenant < b.tenant;
+  });
+  return out;
+}
+
+}  // namespace slm::serve

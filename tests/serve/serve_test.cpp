@@ -1,0 +1,432 @@
+// Campaign-as-a-service: fair-share scheduling, admission control, and
+// the preempt -> resume bit-exactness bar. The headline property mirrors
+// resume_test at the daemon level: a job served in checkpoint-bounded
+// timeslices (including across a simulated daemon kill + restart) must
+// produce a result.json byte-identical to the same job served
+// uninterrupted.
+#include "serve/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/jsonl.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+
+namespace slm::serve {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+QueuedJob make_job(const std::string& id, const std::string& tenant,
+                   std::int64_t priority = 0) {
+  QueuedJob j;
+  j.spec.id = id;
+  j.spec.tenant = tenant;
+  j.spec.priority = priority;
+  return j;
+}
+
+void write_job_file(const std::string& spool, const JobSpec& spec) {
+  std::filesystem::create_directories(spool);
+  std::ofstream out(spool + "/" + spec.id + ".json", std::ios::binary);
+  out << job_to_json(spec);
+  ASSERT_TRUE(out.good());
+}
+
+JobSpec attack_spec(const std::string& id, const std::string& tenant,
+                    std::uint64_t traces, std::uint64_t key_byte) {
+  JobSpec s;
+  s.id = id;
+  s.tenant = tenant;
+  s.kind = JobKind::kAttack;
+  s.traces = traces;
+  s.key_byte = key_byte;
+  return s;
+}
+
+// ---------------------------------------------------------------------
+// FairShareScheduler
+// ---------------------------------------------------------------------
+
+TEST(FairShareSchedulerTest, LeastChargedTenantPopsFirst) {
+  FairShareScheduler sched(8);
+  sched.admit(make_job("a1", "alice"));
+  sched.admit(make_job("b1", "bob"));
+  sched.charge("alice", 1000);  // alice already got service
+
+  auto j = sched.next();
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->spec.tenant, "bob");  // bob is behind, he goes first
+}
+
+TEST(FairShareSchedulerTest, AdmissionOrderBreaksTenantTies) {
+  FairShareScheduler sched(8);
+  sched.admit(make_job("a1", "alice"));
+  sched.admit(make_job("b1", "bob"));
+  sched.admit(make_job("a2", "alice"));
+
+  // All tenants at charge 0: strict admission order.
+  EXPECT_EQ(sched.next()->spec.id, "a1");
+  EXPECT_EQ(sched.next()->spec.id, "b1");
+  EXPECT_EQ(sched.next()->spec.id, "a2");
+}
+
+TEST(FairShareSchedulerTest, PriorityOrdersWithinATenant) {
+  FairShareScheduler sched(8);
+  sched.admit(make_job("low", "alice", 0));
+  sched.admit(make_job("high", "alice", 5));
+
+  // Same tenant, same charge: the later-admitted high-priority job
+  // still jumps the earlier low-priority one.
+  EXPECT_EQ(sched.next()->spec.id, "high");
+  EXPECT_EQ(sched.next()->spec.id, "low");
+}
+
+TEST(FairShareSchedulerTest, FairnessDominatesPriority) {
+  // No cross-tenant priority inversion: a tenant cannot starve others
+  // by marking every job high priority — cumulative service decides
+  // first, priority only orders a tenant's own backlog.
+  FairShareScheduler sched(8);
+  sched.admit(make_job("loud1", "loud", 100));
+  sched.admit(make_job("loud2", "loud", 100));
+  sched.admit(make_job("quiet1", "quiet", 0));
+
+  auto first = sched.next();
+  ASSERT_TRUE(first.has_value());
+  sched.charge(first->spec.tenant, 500);
+
+  auto second = sched.next();
+  ASSERT_TRUE(second.has_value());
+  // Whoever went first, the OTHER tenant goes second.
+  EXPECT_NE(second->spec.tenant, first->spec.tenant);
+}
+
+TEST(FairShareSchedulerTest, BoundedQueueRejectsAtCapacity) {
+  FairShareScheduler sched(2);
+  sched.admit(make_job("j1", "alice"));
+  sched.admit(make_job("j2", "bob"));
+  EXPECT_EQ(sched.depth(), 2u);
+  EXPECT_THROW(sched.admit(make_job("j3", "carol")), QueueFullError);
+  EXPECT_EQ(sched.depth(), 2u);  // rejected job left no residue
+}
+
+TEST(FairShareSchedulerTest, RequeueIsCapacityExempt) {
+  FairShareScheduler sched(1);
+  sched.admit(make_job("j1", "alice"));
+  auto running = sched.next();
+  ASSERT_TRUE(running.has_value());
+  sched.admit(make_job("j2", "bob"));  // queue full again
+
+  // Preempting j1 must never bounce it — it was already admitted and
+  // holds a checkpoint.
+  running->traces_done = 500;
+  EXPECT_NO_THROW(sched.requeue(*running));
+  EXPECT_EQ(sched.depth(), 2u);
+}
+
+TEST(FairShareSchedulerTest, RequeueKeepsSeqAheadOfLaterSubmissions) {
+  FairShareScheduler sched(8);
+  sched.admit(make_job("first", "alice"));
+  auto running = sched.next();
+  ASSERT_TRUE(running.has_value());
+  sched.admit(make_job("second", "alice"));
+  sched.requeue(*running);
+
+  // The preempted job keeps its original admission slot, so at equal
+  // charge/priority it resumes before the tenant's newer job.
+  EXPECT_EQ(sched.next()->spec.id, "first");
+  EXPECT_EQ(sched.next()->spec.id, "second");
+}
+
+TEST(FairShareSchedulerTest, ScheduleIsDeterministic) {
+  auto run_once = [] {
+    FairShareScheduler sched(8);
+    sched.admit(make_job("a1", "alice"));
+    sched.admit(make_job("b1", "bob", 2));
+    sched.admit(make_job("c1", "carol"));
+    sched.admit(make_job("a2", "alice", 9));
+    std::vector<std::string> order;
+    while (auto j = sched.next()) {
+      order.push_back(j->spec.id);
+      sched.charge(j->spec.tenant, 100);
+    }
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(FairShareSchedulerTest, SharesMergeChargedAndPending) {
+  FairShareScheduler sched(8);
+  sched.admit(make_job("a1", "alice"));
+  sched.admit(make_job("a2", "alice"));
+  sched.charge("bob", 700);  // bob finished everything already
+
+  auto shares = sched.shares();
+  ASSERT_EQ(shares.size(), 2u);  // sorted by tenant name
+  EXPECT_EQ(shares[0].tenant, "alice");
+  EXPECT_EQ(shares[0].charged, 0u);
+  EXPECT_EQ(shares[0].pending, 2u);
+  EXPECT_EQ(shares[1].tenant, "bob");
+  EXPECT_EQ(shares[1].charged, 700u);
+  EXPECT_EQ(shares[1].pending, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Job specs
+// ---------------------------------------------------------------------
+
+TEST(JobSpecTest, JsonRoundTrips) {
+  JobSpec s;
+  s.id = "job_0007_eve";
+  s.tenant = "eve";
+  s.priority = -3;
+  s.kind = JobKind::kFullKey;
+  s.circuit = core::BenignCircuit::kC6288x2;
+  s.mode = core::SensorMode::kBenignHw;
+  s.traces = 12345;
+
+  const JobSpec back = parse_job_json(job_to_json(s), "test");
+  EXPECT_EQ(back.id, s.id);
+  EXPECT_EQ(back.tenant, s.tenant);
+  EXPECT_EQ(back.priority, s.priority);
+  EXPECT_EQ(back.kind, s.kind);
+  EXPECT_EQ(back.circuit, s.circuit);
+  EXPECT_EQ(back.mode, s.mode);
+  EXPECT_EQ(back.traces, s.traces);
+}
+
+TEST(JobSpecTest, RejectsBadSpecs) {
+  // Missing tenant.
+  EXPECT_THROW(parse_job_json(R"({"kind":"attack","traces":100})", "t"),
+               JobSpecError);
+  // Zero trace budget.
+  EXPECT_THROW(
+      parse_job_json(R"({"tenant":"a","kind":"attack","traces":0})", "t"),
+      JobSpecError);
+  // Unknown kind / circuit / mode.
+  EXPECT_THROW(parse_job_json(R"({"tenant":"a","kind":"dance"})", "t"),
+               JobSpecError);
+  EXPECT_THROW(parse_job_json(R"({"tenant":"a","circuit":"fpga"})", "t"),
+               JobSpecError);
+  EXPECT_THROW(parse_job_json(R"({"tenant":"a","mode":"psychic"})", "t"),
+               JobSpecError);
+  // Unknown field — typos must not be silently ignored.
+  EXPECT_THROW(parse_job_json(R"({"tenant":"a","trace":100})", "t"),
+               JobSpecError);
+  // Key byte out of range.
+  EXPECT_THROW(parse_job_json(R"({"tenant":"a","key_byte":16})", "t"),
+               JobSpecError);
+  // Fabric dispatch only exists for single-byte attack jobs.
+  EXPECT_THROW(
+      parse_job_json(R"({"tenant":"a","kind":"tvla","fabric_shards":2})", "t"),
+      JobSpecError);
+  // Malformed JSON.
+  EXPECT_THROW(parse_job_json(R"({"tenant":"a",)", "t"), Error);
+}
+
+// ---------------------------------------------------------------------
+// FlatJson (the serve-side inverse of obs::JsonWriter)
+// ---------------------------------------------------------------------
+
+TEST(FlatJsonTest, ParsesTypedFields) {
+  const auto j = obs::FlatJson::parse(
+      R"({"ev":"job_done","traces":3000,"ok":true,"margin":-0.25,)"
+      R"("note":"a\"b\\c\nd","nested":{"x":[1,2]},"gone":null})");
+  EXPECT_EQ(j.string_field("ev"), "job_done");
+  EXPECT_EQ(j.uint_field("traces"), 3000u);
+  EXPECT_EQ(j.bool_field("ok"), true);
+  EXPECT_EQ(j.number_field("margin"), -0.25);
+  EXPECT_EQ(j.string_field("note"), "a\"b\\c\nd");  // escapes decoded
+  EXPECT_TRUE(j.has("nested"));
+  EXPECT_TRUE(j.has("gone"));
+  EXPECT_FALSE(j.has("absent"));
+}
+
+TEST(FlatJsonTest, TypeMismatchesYieldNullopt) {
+  const auto j = obs::FlatJson::parse(R"({"s":"x","n":-1,"f":1.5})");
+  EXPECT_EQ(j.number_field("s"), std::nullopt);
+  EXPECT_EQ(j.string_field("n"), std::nullopt);
+  EXPECT_EQ(j.uint_field("n"), std::nullopt);  // negative
+  EXPECT_EQ(j.uint_field("f"), std::nullopt);  // non-integral
+  EXPECT_EQ(j.bool_field("s"), std::nullopt);
+}
+
+TEST(FlatJsonTest, MalformedInputThrows) {
+  EXPECT_THROW(obs::FlatJson::parse(""), Error);
+  EXPECT_THROW(obs::FlatJson::parse("[1,2]"), Error);
+  EXPECT_THROW(obs::FlatJson::parse(R"({"a":1)"), Error);
+  EXPECT_THROW(obs::FlatJson::parse(R"({"a":1} trailing)"), Error);
+  EXPECT_THROW(obs::FlatJson::parse(R"({"a" 1})"), Error);
+}
+
+// ---------------------------------------------------------------------
+// serve(): the daemon loop end to end
+// ---------------------------------------------------------------------
+
+// Small enough to run in well under a second each, large enough that a
+// 400-trace timeslice lands several checkpoint preemptions (tdc-mode
+// attacks on the ALU circuit disclose the key byte around 500 traces).
+constexpr std::uint64_t kAttackTraces = 1200;
+
+void submit_three_tenants(const std::string& spool) {
+  write_job_file(spool, attack_spec("job_a", "alice", kAttackTraces, 3));
+  write_job_file(spool, attack_spec("job_b", "bob", kAttackTraces, 5));
+  JobSpec tvla;
+  tvla.id = "job_c";
+  tvla.tenant = "carol";
+  tvla.kind = JobKind::kTvla;
+  tvla.traces = 600;
+  write_job_file(spool, tvla);
+}
+
+ServeOptions base_options(const std::string& spool,
+                          const std::string& results) {
+  ServeOptions opt;
+  opt.spool_dir = spool;
+  opt.results_dir = results;
+  opt.threads = 2;
+  opt.poll_ms = 1;
+  return opt;
+}
+
+const std::vector<std::string> kJobIds = {"job_a", "job_b", "job_c"};
+
+TEST(ServeDaemonTest, PreemptedResultsAreByteIdenticalToUninterrupted) {
+  const std::string spool_ref = fresh_dir("serve_ref_spool");
+  const std::string results_ref = fresh_dir("serve_ref_results");
+  submit_three_tenants(spool_ref);
+  const ServeReport ref = serve(base_options(spool_ref, results_ref));
+  EXPECT_EQ(ref.jobs_admitted, 3u);
+  EXPECT_EQ(ref.jobs_completed, 3u);
+  EXPECT_EQ(ref.jobs_failed, 0u);
+  EXPECT_EQ(ref.preemptions, 0u);  // no timeslice -> run to completion
+  EXPECT_FALSE(ref.halted);
+
+  const std::string spool_ts = fresh_dir("serve_ts_spool");
+  const std::string results_ts = fresh_dir("serve_ts_results");
+  submit_three_tenants(spool_ts);
+  ServeOptions opt = base_options(spool_ts, results_ts);
+  opt.timeslice_traces = 400;
+  const ServeReport ts = serve(opt);
+  EXPECT_EQ(ts.jobs_completed, 3u);
+  EXPECT_GT(ts.preemptions, 0u);  // the slicing actually happened
+  EXPECT_GT(ts.slices, 3u);
+
+  // The bar: byte-identical result files, preempted vs uninterrupted.
+  for (const auto& id : kJobIds) {
+    EXPECT_EQ(slurp(results_ts + "/" + id + "/result.json"),
+              slurp(results_ref + "/" + id + "/result.json"))
+        << id;
+  }
+}
+
+TEST(ServeDaemonTest, KilledDaemonResumesBitExactlyOnRestart) {
+  const std::string spool_ref = fresh_dir("serve_kref_spool");
+  const std::string results_ref = fresh_dir("serve_kref_results");
+  submit_three_tenants(spool_ref);
+  serve(base_options(spool_ref, results_ref));
+
+  const std::string spool = fresh_dir("serve_kill_spool");
+  const std::string results = fresh_dir("serve_kill_results");
+  submit_three_tenants(spool);
+  ServeOptions opt = base_options(spool, results);
+  opt.timeslice_traces = 400;
+  opt.max_slices = 2;  // "kill" the daemon with work still queued
+  const ServeReport killed = serve(opt);
+  EXPECT_TRUE(killed.halted);
+  EXPECT_EQ(killed.slices, 2u);
+  EXPECT_LT(killed.jobs_completed, 3u);
+
+  // Unfinished jobs are visible as job.json without result.json.
+  std::size_t unfinished = 0;
+  for (const auto& id : kJobIds) {
+    if (std::filesystem::exists(results + "/" + id + "/job.json") &&
+        !std::filesystem::exists(results + "/" + id + "/result.json")) {
+      ++unfinished;
+    }
+  }
+  EXPECT_GT(unfinished, 0u);
+
+  // Restart over the same directories: recovery re-admits every
+  // unfinished job at its checkpoint and drains.
+  ServeOptions again = base_options(spool, results);
+  again.timeslice_traces = 400;
+  const ServeReport resumed = serve(again);
+  EXPECT_EQ(resumed.jobs_recovered, unfinished);
+  EXPECT_FALSE(resumed.halted);
+  EXPECT_EQ(killed.jobs_completed + resumed.jobs_completed, 3u);
+
+  for (const auto& id : kJobIds) {
+    EXPECT_EQ(slurp(results + "/" + id + "/result.json"),
+              slurp(results_ref + "/" + id + "/result.json"))
+        << id;
+  }
+}
+
+TEST(ServeDaemonTest, MalformedSpoolFileIsRejectedNotFatal) {
+  const std::string spool = fresh_dir("serve_rej_spool");
+  const std::string results = fresh_dir("serve_rej_results");
+  std::filesystem::create_directories(spool);
+  {
+    std::ofstream bad(spool + "/job_bad.json", std::ios::binary);
+    bad << R"({"tenant":"mallory","kind":"nonsense"})";
+  }
+  write_job_file(spool, attack_spec("job_ok", "alice", kAttackTraces, 3));
+
+  const ServeReport rep = serve(base_options(spool, results));
+  EXPECT_EQ(rep.jobs_admitted, 1u);
+  EXPECT_EQ(rep.jobs_rejected, 1u);
+  EXPECT_EQ(rep.jobs_completed, 1u);
+  // Rejected files are quarantined for inspection, never deleted.
+  EXPECT_TRUE(std::filesystem::exists(spool + "/rejected/job_bad.json"));
+  EXPECT_TRUE(std::filesystem::exists(results + "/job_ok/result.json"));
+}
+
+TEST(ServeDaemonTest, StatusReflectsTheFeed) {
+  const std::string spool = fresh_dir("serve_st_spool");
+  const std::string results = fresh_dir("serve_st_results");
+  submit_three_tenants(spool);
+  ServeOptions opt = base_options(spool, results);
+  opt.timeslice_traces = 400;
+  const ServeReport rep = serve(opt);
+
+  const StatusSummary st = read_status(results, spool);
+  EXPECT_TRUE(st.found);
+  EXPECT_EQ(st.queue_depth, 0u);
+  EXPECT_EQ(st.completed, rep.jobs_completed);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_EQ(st.slices, rep.slices);
+  EXPECT_EQ(st.preemptions, rep.preemptions);
+  EXPECT_EQ(st.spool_pending, 0u);
+  ASSERT_EQ(st.tenants.size(), 3u);
+  EXPECT_EQ(st.tenants[0].tenant, "alice");
+  EXPECT_EQ(st.tenants[0].charged, kAttackTraces);
+
+  // No feed at all -> found == false, everything zero.
+  const StatusSummary none = read_status(fresh_dir("serve_st_none"), spool);
+  EXPECT_FALSE(none.found);
+}
+
+}  // namespace
+}  // namespace slm::serve

@@ -16,8 +16,10 @@ file(READ ${REPO}/docs/OBSERVABILITY.md obsdoc)
 file(READ ${REPO}/docs/ARCHITECTURE.md archdoc)
 file(READ ${REPO}/docs/FULLKEY.md fullkeydoc)
 file(READ ${REPO}/docs/DISTRIBUTED.md distdoc)
+file(READ ${REPO}/docs/SERVE.md servedoc)
+file(READ ${REPO}/docs/CLI.md clidoc)
 file(READ ${REPO}/EXPERIMENTS.md experiments)
-set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}\n${experiments}")
+set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${clidoc}\n${experiments}")
 
 set(errors "")
 
@@ -46,7 +48,7 @@ foreach(src tools/slm_cli.cpp bench/bench_util.hpp
   string(APPEND flag_sources "${one}\n")
 endforeach()
 string(REGEX MATCHALL "--[a-z][a-z0-9-]+" doc_flags
-       "${benchdoc}\n${obsdoc}\n${fullkeydoc}\n${distdoc}")
+       "${benchdoc}\n${obsdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${clidoc}")
 list(REMOVE_DUPLICATES doc_flags)
 foreach(f ${doc_flags})
   string(FIND "${flag_sources}" "${f}" pos)
@@ -63,7 +65,7 @@ file(READ ${REPO}/src/core/campaign.cpp campaignsrc)
 file(READ ${REPO}/tests/regression/golden_trace_test.cpp goldensrc)
 string(APPEND flag_sources "${rootcmake}\n${obssrc}\n${campaignsrc}\n${goldensrc}\n")
 string(REGEX MATCHALL "SLM_[A-Z_]+" doc_knobs
-       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}")
+       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${clidoc}")
 list(REMOVE_DUPLICATES doc_knobs)
 foreach(k ${doc_knobs})
   string(FIND "${flag_sources}" "${k}" pos)
@@ -78,13 +80,13 @@ endforeach()
 #    family) are checked as prefixes, which the literal FIND already is.
 set(metric_sources "")
 file(GLOB_RECURSE metric_files ${REPO}/src/obs/*.cpp ${REPO}/src/obs/*.hpp
-     ${REPO}/src/core/*.cpp)
+     ${REPO}/src/core/*.cpp ${REPO}/src/serve/*.cpp)
 foreach(src ${metric_files})
   file(READ ${src} one)
   string(APPEND metric_sources "${one}\n")
 endforeach()
 string(REGEX MATCHALL "slm\\.[a-z0-9_]+\\.[a-z0-9_.]*[a-z0-9_]" doc_metrics
-       "${obsdoc}\n${distdoc}")
+       "${obsdoc}\n${distdoc}\n${servedoc}")
 list(REMOVE_DUPLICATES doc_metrics)
 foreach(m ${doc_metrics})
   # Family entries are documented as slm.span.<name>_seconds; match on
@@ -185,6 +187,55 @@ foreach(surface "--shard" "--snapshot-out" "--dry-run" "SLMSNAP1")
   string(FIND "${clisrc}\n${metric_sources}" "${surface}" pos)
   if(pos EQUAL -1)
     string(APPEND errors "fabric surface '${surface}' documented in DISTRIBUTED.md is gone from the sources\n")
+  endif()
+endforeach()
+
+# 9. The campaign-as-a-service story must stay documented, and CLI.md
+#    must stay the ONE exit-code authority. SERVE.md has to cover the
+#    daemon surface (the three verbs, the spool/results protocol, the
+#    scheduling and preemption flags, the SLMCKPT1 resume mechanism,
+#    and the slm.serve.* metric family); OBSERVABILITY.md must keep
+#    that family and the preemption event in its catalogs; CLI.md must
+#    enumerate every verb and every exit code; and no other doc may
+#    carry its own copy of the exit-code table — that is exactly the
+#    duplication CLI.md exists to end.
+foreach(needed "slm submit" "slm serve" "slm status" "--spool" "--results"
+        "--tenant" "--priority" "--queue-cap" "--max-queue" "--timeslice"
+        "--max-slices" "--poll-ms" "--idle-polls" "--fabric-shards"
+        "SLMCKPT1" "serve_smoke" "serve.jsonl" "result.json")
+  if(NOT servedoc MATCHES "${needed}")
+    string(APPEND errors "SERVE.md no longer documents '${needed}'\n")
+  endif()
+endforeach()
+if(NOT servedoc MATCHES "slm\\.serve\\.")
+  string(APPEND errors "SERVE.md no longer documents the slm.serve.* metrics\n")
+endif()
+if(NOT obsdoc MATCHES "slm\\.serve\\.")
+  string(APPEND errors "OBSERVABILITY.md no longer documents the slm.serve.* metrics\n")
+endif()
+if(NOT obsdoc MATCHES "job_preempted")
+  string(APPEND errors "OBSERVABILITY.md no longer documents the job_preempted event\n")
+endif()
+foreach(verb gen check sta atpg attack merge coordinate submit serve status)
+  if(NOT clidoc MATCHES "slm ${verb}")
+    string(APPEND errors "CLI.md no longer documents the '${verb}' verb\n")
+  endif()
+endforeach()
+foreach(code 0 1 2 3 4 5 6 7 8 9 10 11 12 64)
+  if(NOT clidoc MATCHES "\\| ${code} \\|")
+    string(APPEND errors "CLI.md exit-code table is missing code ${code}\n")
+  endif()
+endforeach()
+set(dup_names "README.md" "docs/BENCHMARKS.md" "docs/OBSERVABILITY.md"
+    "docs/ARCHITECTURE.md" "docs/FULLKEY.md" "docs/DISTRIBUTED.md"
+    "docs/SERVE.md" "EXPERIMENTS.md")
+set(dup_vars readme benchdoc obsdoc archdoc fullkeydoc distdoc servedoc
+    experiments)
+foreach(i RANGE 7)
+  list(GET dup_names ${i} doc_name)
+  list(GET dup_vars ${i} doc_var)
+  if("${${doc_var}}" MATCHES "\\| *rc *\\| *meaning *\\|")
+    string(APPEND errors "${doc_name} duplicates the exit-code table — docs/CLI.md is the single authority\n")
   endif()
 endforeach()
 

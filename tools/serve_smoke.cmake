@@ -1,0 +1,138 @@
+# Campaign-as-a-service kill/restart drill, run as a ctest entry
+# (serve_smoke): the docs/SERVE.md walkthrough, mechanized.
+#
+# Three tenants submit jobs (two single-byte attacks plus one TVLA
+# assessment). A reference daemon drains them uninterrupted. A second
+# daemon over identical submissions is killed mid-job via --max-slices
+# (exit 12) and restarted — after the restart, every job's result.json
+# must be byte-identical to the reference run's. The admission-control
+# half proves the documented exit codes: spool backpressure (10), bad
+# job spec (11), and malformed-spool-file quarantine into rejected/.
+#
+# Usage: cmake -DSLM=<slm binary> -DWORKDIR=<scratch dir> -P serve_smoke.cmake
+
+set(dir ${WORKDIR}/serve_smoke)
+file(REMOVE_RECURSE ${dir})
+file(MAKE_DIRECTORY ${dir})
+
+function(run_slm out_var expect_rc)
+  execute_process(COMMAND ${SLM} ${ARGN}
+                  WORKING_DIRECTORY ${WORKDIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "slm ${ARGN} -> rc=${rc} (expected ${expect_rc})\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+function(require_identical a b what)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+                  RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} and ${b} are not byte-identical")
+  endif()
+endfunction()
+
+# Identically ordered submissions get identical deterministic job ids.
+function(submit_three spool)
+  run_slm(s1 0 submit --spool ${spool} --tenant alice --kind attack
+          --mode tdc --traces 3000 --key-byte 3)
+  run_slm(s2 0 submit --spool ${spool} --tenant bob --kind attack
+          --mode tdc --traces 3000 --key-byte 5)
+  run_slm(s3 0 submit --spool ${spool} --tenant carol --kind tvla
+          --mode tdc --traces 1500)
+  if(NOT s1 MATCHES "submitted job_0000_alice ")
+    message(FATAL_ERROR "submit did not assign the deterministic id:\n${s1}")
+  endif()
+endfunction()
+
+set(jobs job_0000_alice job_0001_bob job_0002_carol)
+
+# --- 1. Reference: drain the three jobs uninterrupted.
+submit_three(${dir}/spool_ref)
+run_slm(ref_out 0 serve --spool ${dir}/spool_ref --results ${dir}/ref
+        --threads 2)
+if(NOT ref_out MATCHES "serve: drained")
+  message(FATAL_ERROR "reference daemon did not drain:\n${ref_out}")
+endif()
+foreach(j ${jobs})
+  if(NOT EXISTS ${dir}/ref/${j}/result.json)
+    message(FATAL_ERROR "reference run left no result for ${j}")
+  endif()
+endforeach()
+
+# --- 2. Kill mid-job: identical submissions, preemptive timeslices, and
+#        a daemon stopped after 2 slices with work still queued (rc 12).
+submit_three(${dir}/spool_kill)
+run_slm(kill_out 12 serve --spool ${dir}/spool_kill --results ${dir}/kill
+        --threads 2 --timeslice 1000 --max-slices 2)
+if(NOT kill_out MATCHES "halted by --max-slices")
+  message(FATAL_ERROR "halted daemon did not say so:\n${kill_out}")
+endif()
+
+# The interrupted state is inspectable: unfinished jobs sit in the
+# results directory as job.json without result.json, and `slm status`
+# reads the feed without a daemon running.
+run_slm(st_out 0 status --results ${dir}/kill --spool ${dir}/spool_kill)
+if(NOT st_out MATCHES "slices 2 ")
+  message(FATAL_ERROR "status does not show the halted slice count:\n${st_out}")
+endif()
+if(NOT st_out MATCHES "alice")
+  message(FATAL_ERROR "status tenant table is missing alice:\n${st_out}")
+endif()
+
+# --- 3. Restart over the same directories: checkpoint recovery drains
+#        the backlog, and every result is byte-identical to the
+#        uninterrupted reference.
+run_slm(resume_out 0 serve --spool ${dir}/spool_kill --results ${dir}/kill
+        --threads 2 --timeslice 1000)
+if(NOT resume_out MATCHES "serve: drained")
+  message(FATAL_ERROR "restarted daemon did not drain:\n${resume_out}")
+endif()
+if(NOT resume_out MATCHES "\\(\\+[1-9] recovered\\)")
+  message(FATAL_ERROR "restart recovered nothing:\n${resume_out}")
+endif()
+foreach(j ${jobs})
+  require_identical(${dir}/kill/${j}/result.json ${dir}/ref/${j}/result.json
+                    "kill/restart result for ${j}")
+endforeach()
+
+# The daemon feed carries the whole story as JSONL events.
+file(READ ${dir}/kill/serve.jsonl feed)
+foreach(ev serve_start job_recovered job_slice_start job_preempted job_done
+        run_end)
+  if(NOT feed MATCHES "\"ev\":\"${ev}\"")
+    message(FATAL_ERROR "serve.jsonl is missing the ${ev} event")
+  endif()
+endforeach()
+
+# --- 4. Admission control. Spool backpressure: a fourth submission
+#        against a 3-deep spool with --queue-cap 3 is refused (rc 10).
+submit_three(${dir}/spool_bp)
+run_slm(bp_out 10 submit --spool ${dir}/spool_bp --tenant dave
+        --kind attack --traces 1000 --queue-cap 3)
+if(NOT bp_out MATCHES "3/3 pending")
+  message(FATAL_ERROR "backpressure refusal does not show the depth:\n${bp_out}")
+endif()
+
+# Bad job specs are refused at the submission edge (rc 11)...
+run_slm(bad_kind 11 submit --spool ${dir}/spool_bad --tenant eve
+        --kind nonsense)
+run_slm(bad_tenant 11 submit --spool ${dir}/spool_bad --kind attack)
+
+# ...and a malformed file smuggled into the spool directly is
+# quarantined by the daemon, not fatal to it.
+file(WRITE ${dir}/spool_bad/job_evil.json "{\"tenant\":\"eve\",\"kind\":\"nonsense\"}")
+run_slm(rej_out 0 serve --spool ${dir}/spool_bad --results ${dir}/bad
+        --threads 1)
+if(NOT rej_out MATCHES "1 rejected")
+  message(FATAL_ERROR "daemon did not count the rejected file:\n${rej_out}")
+endif()
+if(NOT EXISTS ${dir}/spool_bad/rejected/job_evil.json)
+  message(FATAL_ERROR "rejected job file was not quarantined")
+endif()
+
+file(REMOVE_RECURSE ${dir})
+message(STATUS "serve smoke: kill/restart byte-identical to the uninterrupted daemon for 3 tenants, exit codes 10/11/12 verified")

@@ -1,0 +1,83 @@
+# ThreadSanitizer drill for the serve scheduler, run as a ctest entry
+# (serve_tsan). Configures a scratch build of the CLI with
+# -fsanitize=thread and drains a six-job, three-tenant spool through
+# `slm serve` with a 1 ms spool poll: the watcher thread hammers the
+# shared FairShareScheduler (depth checks, admissions) while the serve
+# loop concurrently pops, requeues, and charges timeslices and the
+# report mutex collects counters — the exact surface serve_test only
+# exercises sequentially. Any data race aborts the process
+# (halt_on_error=1, exitcode=66) and fails the test. Skips gracefully
+# when the toolchain lacks TSan.
+#
+# Usage: cmake -DREPO=<source root> -DWORKDIR=<scratch dir>
+#        -DCXX=<C++ compiler> -P serve_tsan.cmake
+
+set(scratch ${WORKDIR}/serve_tsan)
+file(MAKE_DIRECTORY ${scratch})
+
+# Probe: can the toolchain compile and link a TSan binary at all?
+file(WRITE ${scratch}/probe.cpp "int main() { return 0; }\n")
+execute_process(COMMAND ${CXX} -fsanitize=thread ${scratch}/probe.cpp
+                        -o ${scratch}/probe
+                RESULT_VARIABLE probe_rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT probe_rc EQUAL 0)
+  message(STATUS "serve tsan: toolchain cannot link -fsanitize=thread, skipping")
+  return()
+endif()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -S ${REPO} -B ${scratch}/build
+                        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+                        "-DCMAKE_CXX_FLAGS=-fsanitize=thread -O1 -g"
+                        -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tsan configure failed:\n${out}\n${err}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} --build ${scratch}/build
+                        --target slm --parallel 4
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "tsan build failed:\n${out}\n${err}")
+endif()
+
+set(slm ${scratch}/build/tools/slm)
+set(ENV{TSAN_OPTIONS} "halt_on_error=1 exitcode=66")
+
+set(spool ${scratch}/spool)
+set(results ${scratch}/results)
+file(REMOVE_RECURSE ${spool} ${results})
+
+# Six short jobs across three tenants, two per tenant, so the fair-share
+# argmin scan, the requeue path, and the charge map all stay busy.
+foreach(pair "alice;3" "bob;5" "carol;7" "alice;1" "bob;9" "carol;11")
+  list(GET pair 0 tenant)
+  list(GET pair 1 byte)
+  execute_process(COMMAND ${slm} submit --spool ${spool} --tenant ${tenant}
+                          --kind attack --mode tdc --traces 600
+                          --key-byte ${byte}
+                  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tsan submit -> rc=${rc}\n${out}\n${err}")
+  endif()
+endforeach()
+
+# --poll-ms 1 keeps the watcher thread scanning (and taking the
+# scheduler mutex) concurrently with every slice the serve loop runs;
+# --timeslice 200 forces preempt/requeue traffic on the same queue.
+execute_process(COMMAND ${slm} serve --spool ${spool} --results ${results}
+                        --threads 2 --timeslice 200 --poll-ms 1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "tsan serve run -> rc=${rc} (rc 66 means ThreadSanitizer "
+          "reported a data race)\n${out}\n${err}")
+endif()
+foreach(job job_0000_alice job_0001_bob job_0002_carol
+        job_0003_alice job_0004_bob job_0005_carol)
+  if(NOT EXISTS ${results}/${job}/result.json)
+    message(FATAL_ERROR "tsan serve run left no result for ${job}")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${spool} ${results})
+message(STATUS "serve tsan: spool watcher vs serve loop is race-clean across 6 jobs / 3 tenants")

@@ -14,6 +14,7 @@
 //
 // Circuits are exchanged in ISCAS .bench format, so the checker/STA/ATPG
 // subcommands also work on external netlists.
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -32,6 +33,8 @@
 #include "core/fabric.hpp"
 #include "core/parallel.hpp"
 #include "obs/observer.hpp"
+#include "serve/daemon.hpp"
+#include "serve/job.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/generators/adder.hpp"
 #include "netlist/generators/c6288.hpp"
@@ -677,6 +680,151 @@ int cmd_coordinate(const Args& args) {
   return 0;
 }
 
+// Campaign-as-a-service verbs (docs/SERVE.md): submit writes a job file
+// into the spool, serve is the resident multi-tenant scheduler, status
+// summarizes the daemon's JSONL feed. Exit codes: 10 = job rejected
+// (queue/spool full), 11 = bad job spec, 12 = serve stopped by
+// --max-slices with work remaining (see docs/CLI.md).
+
+int cmd_submit(const Args& args) {
+  const std::string spool = args.get("spool", "");
+  if (spool.empty()) throw Error("submit: need --spool DIR");
+  std::filesystem::create_directories(spool);
+
+  serve::JobSpec spec;
+  spec.tenant = args.get("tenant", "");
+  spec.priority = static_cast<std::int64_t>(args.get_d("priority", 0));
+  spec.kind = serve::job_kind_from_name(args.get("kind", "attack"), "submit");
+  spec.circuit =
+      serve::circuit_from_name(args.get("circuit", "alu"), "submit");
+  spec.mode = serve::mode_from_name(args.get("mode", "tdc"), "submit");
+  spec.traces = args.get_n("traces", 20000);
+  spec.key_byte = args.get_n("key-byte", 3);
+  spec.fabric_shards =
+      static_cast<unsigned>(args.get_n("fabric-shards", 0));
+
+  // Backpressure starts at the submission edge: the spool is the
+  // queue's antechamber, so a tenant hits the bounded-queue refusal
+  // (exit 10) here instead of silently deepening the backlog.
+  const std::size_t cap =
+      args.get_n("queue-cap", serve::kDefaultQueueCapacity);
+  std::size_t pending = 0;
+  for (const auto& e : std::filesystem::directory_iterator(spool)) {
+    if (e.is_regular_file() && e.path().extension() == ".json") ++pending;
+  }
+  if (pending >= cap) {
+    throw serve::QueueFullError(
+        "submit: spool holds " + std::to_string(pending) + "/" +
+        std::to_string(cap) + " pending job(s); try again later");
+  }
+
+  // Deterministic ids from a per-spool sequence file: two identically
+  // ordered submission batches produce identical ids (and therefore
+  // byte-identical result files — serve_smoke relies on it).
+  std::string id = args.get("id", "");
+  if (id.empty()) {
+    const std::filesystem::path seq_file =
+        std::filesystem::path(spool) / ".seq";
+    std::size_t seq = 0;
+    if (std::ifstream sf(seq_file); sf) sf >> seq;
+    std::string tenant_tag;
+    for (const char c : spec.tenant) {
+      tenant_tag += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "job_%04zu_", seq);
+    id = buf + tenant_tag;
+    std::ofstream(seq_file, std::ios::trunc) << (seq + 1) << "\n";
+  }
+  spec.id = id;
+
+  // One validation authority: round-trip through the daemon's own
+  // parser, so submit can never write a file serve would reject.
+  const std::string json = serve::job_to_json(spec);
+  (void)serve::parse_job_json(json, "submit");
+
+  const std::filesystem::path file =
+      std::filesystem::path(spool) / (id + ".json");
+  if (std::filesystem::exists(file)) {
+    throw serve::JobSpecError("submit: job id '" + id +
+                              "' already queued in " + spool);
+  }
+  const std::filesystem::path tmp = file.string() + ".tmp";
+  std::ofstream(tmp, std::ios::trunc) << json << "\n";
+  std::filesystem::rename(tmp, file);
+  std::printf("submitted %s (tenant %s, %s, %llu traces) -> %s\n",
+              id.c_str(), spec.tenant.c_str(),
+              serve::job_kind_name(spec.kind),
+              static_cast<unsigned long long>(spec.traces),
+              file.string().c_str());
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServeOptions so;
+  so.spool_dir = args.get("spool", "");
+  so.results_dir = args.get("results", "");
+  if (so.spool_dir.empty() || so.results_dir.empty()) {
+    throw Error("serve: need --spool DIR and --results DIR");
+  }
+  so.max_queue = args.get_n("max-queue", serve::kDefaultQueueCapacity);
+  so.timeslice_traces = args.get_n("timeslice", 0);
+  so.threads = static_cast<unsigned>(args.get_n("threads", 1));
+  so.max_slices = args.get_n("max-slices", 0);
+  so.poll_ms = args.get_n("poll-ms", 25);
+  so.idle_polls = args.get_n("idle-polls", 2);
+  so.slm_binary = args.get("slm-bin", "");
+  if (so.slm_binary.empty()) {
+    std::error_code ec;
+    const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec) so.slm_binary = self.string();
+  }
+
+  const serve::ServeReport rep = serve::serve(so);
+  std::printf("serve: %zu slice(s): %zu admitted (+%zu recovered), "
+              "%zu completed, %zu failed, %zu rejected, %zu preemption(s)\n",
+              rep.slices, rep.jobs_admitted, rep.jobs_recovered,
+              rep.jobs_completed, rep.jobs_failed, rep.jobs_rejected,
+              rep.preemptions);
+  if (rep.halted) {
+    std::printf("serve: halted by --max-slices with work remaining; "
+                "restart with the same --spool/--results to resume\n");
+    return 12;
+  }
+  std::printf("serve: drained\n");
+  return 0;
+}
+
+int cmd_status(const Args& args) {
+  const std::string results = args.get("results", "");
+  if (results.empty()) throw Error("status: need --results DIR");
+  const serve::StatusSummary s =
+      serve::read_status(results, args.get("spool", ""));
+  if (!s.found) {
+    std::printf("status: no serve feed at %s/serve.jsonl\n",
+                results.c_str());
+    return 1;
+  }
+  std::printf("queue depth: %llu   spool pending: %llu   running: %s\n",
+              static_cast<unsigned long long>(s.queue_depth),
+              static_cast<unsigned long long>(s.spool_pending),
+              s.running_job.empty() ? "-" : s.running_job.c_str());
+  std::printf("slices %llu  completed %llu  failed %llu  rejected %llu  "
+              "preempted %llu\n",
+              static_cast<unsigned long long>(s.slices),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.failed),
+              static_cast<unsigned long long>(s.rejected),
+              static_cast<unsigned long long>(s.preemptions));
+  std::printf("%-16s %12s %8s\n", "tenant", "charged", "pending");
+  for (const serve::StatusTenant& t : s.tenants) {
+    std::printf("%-16s %12llu %8llu\n", t.tenant.c_str(),
+                static_cast<unsigned long long>(t.charged),
+                static_cast<unsigned long long>(t.pending));
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage: slm <command> [options]\n"
@@ -698,7 +846,15 @@ int usage() {
          "  coordinate --work-dir D [--shards N] [--traces N]\n"
          "         [--snapshot-every N] [--kill-shard I --kill-after N]\n"
          "         [--max-reissues K] [--slm-bin PATH] [--trace-out F]\n"
-         "         [+ the attack config flags, forwarded to workers]\n";
+         "         [+ the attack config flags, forwarded to workers]\n"
+         "  submit --spool D --tenant T [--kind attack|full-key|tvla]\n"
+         "         [--priority P] [--circuit alu|c6288] [--mode M]\n"
+         "         [--traces N] [--key-byte B] [--fabric-shards N]\n"
+         "         [--queue-cap N] [--id ID]\n"
+         "  serve  --spool D --results D [--max-queue N] [--timeslice N]\n"
+         "         [--threads N] [--max-slices N] [--poll-ms MS]\n"
+         "         [--idle-polls N] [--slm-bin PATH]\n"
+         "  status --results D [--spool D]\n";
   return 64;
 }
 
@@ -716,7 +872,16 @@ int main(int argc, char** argv) {
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "coordinate") return cmd_coordinate(args);
+    if (cmd == "submit") return cmd_submit(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "status") return cmd_status(args);
     return usage();
+  } catch (const serve::QueueFullError& e) {
+    std::cerr << "slm: error: " << e.what() << "\n";
+    return 10;
+  } catch (const serve::JobSpecError& e) {
+    std::cerr << "slm: error: " << e.what() << "\n";
+    return 11;
   } catch (const core::SnapshotFormatError& e) {
     std::cerr << "slm: error: " << e.what() << "\n";
     return 7;
