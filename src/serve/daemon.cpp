@@ -358,49 +358,61 @@ ServeReport serve(const ServeOptions& opt) {
           std::lock_guard<std::mutex> g(rep_m);
           ++rep.jobs_rejected;
         };
-        JobSpec spec;
+        // Nothing may escape this thread — an uncaught exception here is
+        // std::terminate for the whole daemon — so every failure mode
+        // maps to a rejection: malformed specs, a full queue, and
+        // filesystem errors while staging the job directory.
         try {
-          spec = load_job_file(f.string());
+          JobSpec spec = load_job_file(f.string());
+          // Cheap early refusal; NOT a capacity guarantee. The serve
+          // loop's capacity-exempt requeue() can refill the queue between
+          // this check and the try_admit below, so admission itself must
+          // (and does) re-check under the scheduler lock.
+          if (sched.depth() >= sched.capacity()) {
+            reject("queue_full");
+            continue;
+          }
+          QueuedJob qj;
+          qj.spec = spec;
+          qj.dir = (results / spec.id).string();
+          if (fs::exists(qj.dir)) {
+            reject("duplicate_id");
+            continue;
+          }
+          // Admit order matters for crash safety: job.json lands in the
+          // results dir FIRST (the restart scan's source of truth), the
+          // in-memory admit is second (it can still refuse — see above —
+          // in which case the staged directory is undone), and the spool
+          // file goes away last.
+          fs::create_directories(qj.dir);
+          write_atomic(qj.dir + "/job.json", job_to_json(spec));
+          if (!sched.try_admit(qj)) {
+            std::error_code ec;
+            fs::remove_all(qj.dir, ec);  // a later resubmit is no duplicate
+            reject("queue_full");
+            continue;
+          }
+          std::error_code ec;
+          fs::remove(f, ec);
+          m.add("slm.serve.jobs_admitted_total");
+          m.set("slm.serve.queue_depth", static_cast<double>(sched.depth()));
+          ob.event("job_admitted",
+                   obs::JsonWriter()
+                       .field("job", spec.id)
+                       .field("tenant", spec.tenant)
+                       .field("priority", spec.priority)
+                       .field("kind", job_kind_name(spec.kind))
+                       .field("traces", spec.traces)
+                       .field("queue_depth",
+                              static_cast<std::uint64_t>(sched.depth())));
+          {
+            std::lock_guard<std::mutex> g(rep_m);
+            ++rep.jobs_admitted;
+          }
         } catch (const JobSpecError&) {
           reject("bad_spec");
-          continue;
-        }
-        // Backpressure: the watcher is the only thread that grows the
-        // queue, so depth can only shrink between this check and the
-        // admit below — admit() cannot throw here.
-        if (sched.depth() >= sched.capacity()) {
-          reject("queue_full");
-          continue;
-        }
-        QueuedJob qj;
-        qj.spec = spec;
-        qj.dir = (results / spec.id).string();
-        if (fs::exists(qj.dir)) {
-          reject("duplicate_id");
-          continue;
-        }
-        // Admit order matters for crash safety: job.json lands in the
-        // results dir FIRST (the restart scan's source of truth), the
-        // spool file goes away second, the in-memory admit is last.
-        fs::create_directories(qj.dir);
-        write_atomic(qj.dir + "/job.json", job_to_json(spec));
-        std::error_code ec;
-        fs::remove(f, ec);
-        sched.admit(qj);
-        m.add("slm.serve.jobs_admitted_total");
-        m.set("slm.serve.queue_depth", static_cast<double>(sched.depth()));
-        ob.event("job_admitted",
-                 obs::JsonWriter()
-                     .field("job", spec.id)
-                     .field("tenant", spec.tenant)
-                     .field("priority", spec.priority)
-                     .field("kind", job_kind_name(spec.kind))
-                     .field("traces", spec.traces)
-                     .field("queue_depth",
-                            static_cast<std::uint64_t>(sched.depth())));
-        {
-          std::lock_guard<std::mutex> g(rep_m);
-          ++rep.jobs_admitted;
+        } catch (const std::exception&) {
+          reject("admit_error");
         }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(opt.poll_ms));
@@ -409,15 +421,23 @@ ServeReport serve(const ServeOptions& opt) {
 
   emit_state("");
 
+  bool max_slices_tripped = false;
   while (true) {
     {
       std::lock_guard<std::mutex> g(rep_m);
-      if (opt.max_slices > 0 && rep.slices >= opt.max_slices) break;
+      if (opt.max_slices > 0 && rep.slices >= opt.max_slices) {
+        max_slices_tripped = true;
+        break;
+      }
     }
     std::optional<QueuedJob> job = sched.next();
     if (!job) {
+      // Idle-drain exit only after a fresh rescan of our own: a job file
+      // landing just after the watcher's last scan must keep the loop
+      // alive (the watcher admits it next poll), not be mislabeled as a
+      // halt or silently stranded.
       if (empty_scans.load(std::memory_order_acquire) >= opt.idle_polls &&
-          sched.empty()) {
+          sched.empty() && spool_files(spool).empty()) {
         break;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(opt.poll_ms));
@@ -506,7 +526,13 @@ ServeReport serve(const ServeOptions& opt) {
   stop.store(true, std::memory_order_release);
   watcher.join();
 
-  rep.halted = !sched.empty() || !spool_files(spool).empty();
+  // `halted` is reserved for the max-slices path (CLI exit 12). Files
+  // that slipped into the spool between the idle-drain rescan and the
+  // watcher stopping are reported separately as spool_remaining — they
+  // are not lost, the next serve() over the same spool admits them.
+  rep.spool_remaining = spool_files(spool).size();
+  rep.halted =
+      max_slices_tripped && (!sched.empty() || rep.spool_remaining > 0);
   emit_state("");
   ob.write_manifest(
       obs::JsonWriter()
@@ -517,7 +543,9 @@ ServeReport serve(const ServeOptions& opt) {
           .field("failed", static_cast<std::uint64_t>(rep.jobs_failed))
           .field("preemptions", static_cast<std::uint64_t>(rep.preemptions))
           .field("slices", static_cast<std::uint64_t>(rep.slices))
-          .field("halted", rep.halted));
+          .field("halted", rep.halted)
+          .field("spool_remaining",
+                 static_cast<std::uint64_t>(rep.spool_remaining)));
   return rep;
 }
 

@@ -73,7 +73,13 @@ struct ServeReport {
   std::size_t jobs_failed = 0;
   std::size_t preemptions = 0;
   std::size_t slices = 0;
-  bool halted = false;  ///< max_slices tripped with work remaining
+  /// true ONLY when max_slices tripped with work remaining (CLI exit
+  /// 12); a drained exit never sets it, even if spool_remaining > 0.
+  bool halted = false;
+  /// Job files still in the spool at exit that no rejection accounts
+  /// for — arrivals that raced the shutdown. Never lost: the next
+  /// serve() over the same spool admits them.
+  std::size_t spool_remaining = 0;
 };
 
 /// Run the daemon loop until the spool drains (or max_slices trips).

@@ -1,5 +1,6 @@
 #include "serve/job.hpp"
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -7,6 +8,31 @@
 #include "obs/jsonl.hpp"
 
 namespace slm::serve {
+
+namespace {
+
+// A job id becomes a results-directory name (<results>/<id>), and the
+// spool is writable by every tenant — so anything that could escape or
+// hide inside the results tree is refused outright: path separators,
+// ".." (via the leading-dot rule), and every character outside
+// [A-Za-z0-9._-]. Mirrors the tenant-tag sanitization in `slm submit`.
+void validate_job_id(const std::string& id, const std::string& where) {
+  bool ok = !id.empty() && id.front() != '.';
+  for (const char c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+        c != '_' && c != '-') {
+      ok = false;
+      break;
+    }
+  }
+  if (!ok) {
+    throw JobSpecError(where + ": job id '" + id +
+                       "' must match [A-Za-z0-9._-]+ and not start "
+                       "with '.'");
+  }
+}
+
+}  // namespace
 
 const char* job_kind_name(JobKind k) {
   switch (k) {
@@ -94,7 +120,10 @@ JobSpec parse_job_json(std::string_view text, const std::string& where) {
   }
 
   JobSpec spec;
-  if (const auto id = obj.string_field("id")) spec.id = *id;
+  if (const auto id = obj.string_field("id")) {
+    validate_job_id(*id, where);
+    spec.id = *id;
+  }
   const auto tenant = obj.string_field("tenant");
   if (!tenant || tenant->empty()) {
     throw JobSpecError(where + ": job needs a non-empty \"tenant\"");
@@ -159,6 +188,7 @@ JobSpec load_job_file(const std::string& path) {
   JobSpec spec = parse_job_json(buf.str(), path);
   if (spec.id.empty()) {
     spec.id = std::filesystem::path(path).stem().string();
+    validate_job_id(spec.id, path);  // a stem can still be "." or ".foo"
   }
   return spec;
 }

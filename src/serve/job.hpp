@@ -64,8 +64,10 @@ struct JobSpec {
 
 /// Parse + validate one job object. `where` names the source (file
 /// path, "submit") for error messages. Throws JobSpecError on malformed
-/// JSON, unknown fields values, a missing tenant, or a zero trace
-/// budget.
+/// JSON, unknown fields values, a missing tenant, a zero trace budget,
+/// or an id that is not a safe results-directory name (must match
+/// [A-Za-z0-9._-]+ with no leading dot — ids become <results>/<id>, so
+/// separators and ".." would be path traversal from the spool).
 JobSpec parse_job_json(std::string_view text, const std::string& where);
 
 /// Read `path` and parse it; the job id becomes the file stem.

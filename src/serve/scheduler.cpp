@@ -12,15 +12,21 @@ std::size_t FairShareScheduler::depth() const {
   return queue_.size();
 }
 
-void FairShareScheduler::admit(QueuedJob job) {
+bool FairShareScheduler::try_admit(QueuedJob job) {
   std::lock_guard<std::mutex> g(m_);
-  if (queue_.size() >= capacity_) {
-    throw QueueFullError("queue full: " + std::to_string(queue_.size()) +
-                         "/" + std::to_string(capacity_) +
-                         " jobs queued; job '" + job.spec.id + "' rejected");
-  }
+  if (queue_.size() >= capacity_) return false;
   job.seq = next_seq_++;
   queue_.push_back(std::move(job));
+  return true;
+}
+
+void FairShareScheduler::admit(QueuedJob job) {
+  const std::string id = job.spec.id;
+  if (!try_admit(std::move(job))) {
+    throw QueueFullError("queue full: " + std::to_string(depth()) + "/" +
+                         std::to_string(capacity_) + " jobs queued; job '" +
+                         id + "' rejected");
+  }
 }
 
 void FairShareScheduler::requeue(QueuedJob job) {

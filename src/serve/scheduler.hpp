@@ -46,8 +46,17 @@ class FairShareScheduler {
   std::size_t depth() const;
   bool empty() const { return depth() == 0; }
 
-  /// Admit a NEW job; throws QueueFullError when `depth() == capacity`.
-  /// Assigns the admission sequence number.
+  /// Admit a NEW job unless the queue is at capacity: the check and the
+  /// insertion are one critical section, so a concurrent requeue() can
+  /// never invalidate a caller's earlier depth() reading. Returns false
+  /// (leaving the queue untouched) when full; assigns the admission
+  /// sequence number on success.
+  bool try_admit(QueuedJob job);
+
+  /// try_admit that throws QueueFullError instead of returning false —
+  /// for callers (CLI edge, tests) that want refusal as an exception.
+  /// The daemon's spool watcher must use try_admit: an exception
+  /// escaping that thread would std::terminate the whole process.
   void admit(QueuedJob job);
 
   /// Put a preempted job back. Exempt from the capacity check — the job

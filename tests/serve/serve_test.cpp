@@ -131,6 +131,26 @@ TEST(FairShareSchedulerTest, BoundedQueueRejectsAtCapacity) {
   EXPECT_EQ(sched.depth(), 2u);  // rejected job left no residue
 }
 
+TEST(FairShareSchedulerTest, TryAdmitRefusesWithoutThrowing) {
+  // The spool watcher's admission path: a refusal must come back as
+  // `false`, never as an exception (an exception escaping the watcher
+  // thread would std::terminate the daemon).
+  FairShareScheduler sched(1);
+  EXPECT_TRUE(sched.try_admit(make_job("j1", "alice")));
+  EXPECT_FALSE(sched.try_admit(make_job("j2", "bob")));
+  EXPECT_EQ(sched.depth(), 1u);
+
+  // The daemon's admission race: the loop pops (freeing a slot), the
+  // watcher's depth check passes, then the capacity-exempt requeue
+  // refills the queue. try_admit re-checks under the lock and refuses.
+  auto running = sched.next();
+  ASSERT_TRUE(running.has_value());
+  EXPECT_EQ(sched.depth(), 0u);  // a depth check would pass here...
+  sched.requeue(*running);       // ...but the preempted job returns
+  EXPECT_FALSE(sched.try_admit(make_job("j3", "carol")));
+  EXPECT_EQ(sched.next()->spec.id, "j1");
+}
+
 TEST(FairShareSchedulerTest, RequeueIsCapacityExempt) {
   FairShareScheduler sched(1);
   sched.admit(make_job("j1", "alice"));
@@ -243,6 +263,20 @@ TEST(JobSpecTest, RejectsBadSpecs) {
       JobSpecError);
   // Malformed JSON.
   EXPECT_THROW(parse_job_json(R"({"tenant":"a",)", "t"), Error);
+}
+
+TEST(JobSpecTest, RejectsPathTraversalIds) {
+  // Ids become results-directory names (<results>/<id>) and the spool
+  // is tenant-writable, so separators, "..", and hidden names must all
+  // be refused at parse time — before the daemon creates anything.
+  for (const char* id : {"../../x", "a/b", "..", "a\\b", ".hidden", ""}) {
+    const std::string json =
+        std::string(R"({"tenant":"a","id":")") + id + R"("})";
+    EXPECT_THROW(parse_job_json(json, "t"), JobSpecError) << id;
+  }
+  // The shapes `slm submit` mints stay accepted.
+  EXPECT_EQ(parse_job_json(R"({"tenant":"a","id":"job_0007_a-b.c"})", "t").id,
+            "job_0007_a-b.c");
 }
 
 // ---------------------------------------------------------------------

@@ -14,7 +14,12 @@
 //
 // Circuits are exchanged in ISCAS .bench format, so the checker/STA/ATPG
 // subcommands also work on external netlists.
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -686,10 +691,34 @@ int cmd_coordinate(const Args& args) {
 // (queue/spool full), 11 = bad job spec, 12 = serve stopped by
 // --max-slices with work remaining (see docs/CLI.md).
 
+// Exclusive flock over <spool>/.lock, held for the whole of one submit:
+// the capacity count, the .seq read-modify-write, and the claim of the
+// final spool name must be one critical section or two concurrent
+// submitters can mint the same id and silently clobber each other's
+// queued job file.
+class SpoolLock {
+ public:
+  explicit SpoolLock(const std::filesystem::path& path)
+      : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644)) {
+    if (fd_ < 0 || ::flock(fd_, LOCK_EX) != 0) {
+      const std::string why = std::strerror(errno);
+      if (fd_ >= 0) ::close(fd_);
+      throw Error("submit: cannot lock '" + path.string() + "': " + why);
+    }
+  }
+  ~SpoolLock() { ::close(fd_); }  // close releases the flock
+  SpoolLock(const SpoolLock&) = delete;
+  SpoolLock& operator=(const SpoolLock&) = delete;
+
+ private:
+  int fd_;
+};
+
 int cmd_submit(const Args& args) {
   const std::string spool = args.get("spool", "");
   if (spool.empty()) throw Error("submit: need --spool DIR");
   std::filesystem::create_directories(spool);
+  const SpoolLock lock(std::filesystem::path(spool) / ".lock");
 
   serve::JobSpec spec;
   spec.tenant = args.get("tenant", "");
@@ -745,13 +774,34 @@ int cmd_submit(const Args& args) {
 
   const std::filesystem::path file =
       std::filesystem::path(spool) / (id + ".json");
-  if (std::filesystem::exists(file)) {
-    throw serve::JobSpecError("submit: job id '" + id +
-                              "' already queued in " + spool);
+  // Write to a per-process tmp name, then link(2) it into place: the
+  // complete file appears under its final name atomically (the daemon
+  // never reads a torn job), and — unlike rename — link refuses to
+  // clobber, so a duplicate id surfaces as EEXIST instead of silently
+  // replacing another tenant's queued job.
+  const std::filesystem::path tmp =
+      file.string() + "." + std::to_string(::getpid()) + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!(os << json << "\n")) {
+      throw Error("submit: cannot write '" + tmp.string() + "'");
+    }
   }
-  const std::filesystem::path tmp = file.string() + ".tmp";
-  std::ofstream(tmp, std::ios::trunc) << json << "\n";
-  std::filesystem::rename(tmp, file);
+  if (::link(tmp.c_str(), file.c_str()) != 0) {
+    const int err = errno;
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    if (err == EEXIST) {
+      throw serve::JobSpecError("submit: job id '" + id +
+                                "' already queued in " + spool);
+    }
+    throw Error("submit: cannot create '" + file.string() +
+                "': " + std::strerror(err));
+  }
+  {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+  }
   std::printf("submitted %s (tenant %s, %s, %llu traces) -> %s\n",
               id.c_str(), spec.tenant.c_str(),
               serve::job_kind_name(spec.kind),
@@ -790,6 +840,15 @@ int cmd_serve(const Args& args) {
     std::printf("serve: halted by --max-slices with work remaining; "
                 "restart with the same --spool/--results to resume\n");
     return 12;
+  }
+  if (rep.spool_remaining > 0) {
+    // NOT the max-slices halt (exit 12): the daemon drained everything
+    // it admitted, but job file(s) arrived during shutdown.
+    std::printf("serve: drained, but %zu job file(s) arrived in the spool "
+                "during shutdown; rerun with the same --spool/--results "
+                "to admit them\n",
+                rep.spool_remaining);
+    return 0;
   }
   std::printf("serve: drained\n");
   return 0;
