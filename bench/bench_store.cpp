@@ -1,0 +1,147 @@
+// Capture-once, replay-many: one live TDC campaign captured into an
+// SLMTRC1 trace store, then replayed repeatedly through the zero-copy
+// mmap fold path. The replay must reproduce the live run bit for bit
+// (recovered byte, MTD, every checkpoint's correlations and ranks — the
+// partition-invariance contract), and the JSON reports the measured
+// wall-clock ratio as "replay_speedup". Each side pays its real cold-
+// start cost: live = build the attack setup (netlist, calibration),
+// run the sensor-selection pre-pass, simulate the physics per trace,
+// fold, and write the store; replay = mmap the store (chunk-CRC walk
+// included) and fold the stored integers. Only the CPA folds are
+// common work, so replays are expected to be >= 3x faster even at
+// smoke budgets.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/attack.hpp"
+#include "obs/metrics.hpp"
+#include "sca/model.hpp"
+#include "store/replay.hpp"
+#include "store/trace_store.hpp"
+
+using namespace slm;
+
+namespace {
+
+bool progress_equal(const std::vector<sca::CpaProgressPoint>& a,
+                    const std::vector<sca::CpaProgressPoint>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].traces != b[i].traces || a[i].max_abs_corr != b[i].max_abs_corr ||
+        a[i].best_guess != b[i].best_guess ||
+        a[i].correct_rank != b[i].correct_rank ||
+        a[i].correct_corr != b[i].correct_corr ||
+        a[i].best_wrong_corr != b[i].best_wrong_corr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t traces = bench::trace_budget(20000);
+  constexpr std::size_t kKeyByte = 3;
+  constexpr int kReplays = 5;
+  bench::print_header("Trace store replay",
+                      "live TDC capture vs zero-copy SLMTRC1 replays");
+
+  const std::string store_path = "bench_store.trc";
+  std::filesystem::remove(store_path);
+
+  // Live pass: everything a fresh analysis pays, timed from cold —
+  // attack setup (c6288 netlist build + calibration), the selection
+  // pre-pass, per-trace physics, CPA folds, and the store write.
+  const double t0 = obs::monotonic_seconds();
+  core::StealthyAttack attack(core::BenignCircuit::kC6288x2);
+  core::CampaignConfig cfg = attack.byte_campaign_config(
+      kKeyByte, traces, core::SensorMode::kTdcFull);
+  cfg.rng_contract = core::RngContract::kV2;
+  cfg.store_out = store_path;
+  core::CpaCampaign campaign(attack.setup(), cfg);
+  const core::CampaignResult live = campaign.run();
+  const double live_seconds = obs::monotonic_seconds() - t0;
+  std::printf("circuit c6288, mode tdc-full, %zu traces, key byte %zu\n",
+              traces, kKeyByte);
+  std::printf("live capture+attack: %.3f s (%.0f traces/sec), store %s\n\n",
+              live_seconds, static_cast<double>(traces) / live_seconds,
+              std::filesystem::exists(store_path) ? "written" : "MISSING");
+
+  // Replay passes: each run re-opens the store (mmap + chunk-CRC walk
+  // included — the full cost a later analysis pays) and folds at the
+  // live schedule. Best-of-N damps scheduler noise.
+  const std::vector<std::size_t> checkpoints =
+      core::checkpoint_schedule(cfg.checkpoints, traces);
+  const std::uint8_t correct_guess =
+      sca::LastRoundBitModel(kKeyByte, cfg.target_bit)
+          .correct_guess(attack.setup().victim().cipher().last_round_key());
+  store::ReplayAttackResult replay;
+  double best_replay = 0.0;
+  std::uintmax_t store_bytes = 0;
+  for (int i = 0; i < kReplays; ++i) {
+    const double r0 = obs::monotonic_seconds();
+    store::TraceStoreReader reader(store_path);
+    replay = store::replay_attack(reader, checkpoints, correct_guess);
+    const double secs = obs::monotonic_seconds() - r0;
+    if (i == 0 || secs < best_replay) best_replay = secs;
+    store_bytes = reader.file_bytes();
+  }
+  const double replay_speedup =
+      best_replay > 0.0 ? live_seconds / best_replay : 0.0;
+  std::printf("replay x%d: best %.4f s (%.0f traces/sec), store %ju bytes\n",
+              kReplays, best_replay,
+              static_cast<double>(traces) / best_replay,
+              static_cast<std::uintmax_t>(store_bytes));
+  std::printf("replay speedup: %.1fx (live %.3f s / best replay %.4f s)\n\n",
+              replay_speedup, live_seconds, best_replay);
+
+  bench::ShapeChecks checks;
+  checks.expect("store written", std::filesystem::exists(store_path) &&
+                                     store_bytes > 0);
+  checks.expect("replay folds every stored trace",
+                replay.traces == live.traces_run);
+  checks.expect("replay recovers the identical byte",
+                replay.recovered_guess == live.recovered_guess &&
+                    replay.correct_guess == live.correct_guess &&
+                    replay.key_recovered == live.key_recovered);
+  checks.expect("replay MTD identical",
+                replay.mtd.disclosed() == live.mtd.disclosed() &&
+                    (!replay.mtd.disclosed() ||
+                     *replay.mtd.traces == *live.mtd.traces));
+  checks.expect("replay progress bit-identical",
+                progress_equal(replay.progress, live.progress));
+  checks.expect("replay_speedup >= 3x", replay_speedup >= 3.0);
+  if (bench::full_shape_budget(traces)) {
+    checks.expect("key recovered at full budget", live.key_recovered);
+  }
+
+  std::FILE* f = std::fopen("BENCH_store.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"store\",\n"
+                 "  \"traces\": %zu,\n"
+                 "  \"store_bytes\": %ju,\n"
+                 "  \"live_seconds\": %.6f,\n"
+                 "  \"replay_runs\": %d,\n"
+                 "  \"replay_seconds\": %.6f,\n"
+                 "  \"replay_speedup\": %.3f,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"key_recovered\": %s\n"
+                 "}\n",
+                 traces, static_cast<std::uintmax_t>(store_bytes),
+                 live_seconds, kReplays, best_replay, replay_speedup,
+                 progress_equal(replay.progress, live.progress) ? "true"
+                                                                : "false",
+                 live.key_recovered ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote BENCH_store.json\n");
+  }
+
+  std::filesystem::remove(store_path);
+  return checks.finish();
+}

@@ -24,13 +24,18 @@ struct Crc32Table {
 
 }  // namespace
 
-std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t size) {
   static const Crc32Table table;
-  std::uint32_t crc = 0xffffffffu;
+  std::uint32_t c = crc ^ 0xffffffffu;
   for (std::size_t i = 0; i < size; ++i) {
-    crc = table.t[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    c = table.t[(c ^ data[i]) & 0xffu] ^ (c >> 8);
   }
-  return crc ^ 0xffffffffu;
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  return crc32_update(0, data, size);
 }
 
 std::size_t write_framed_file(const std::string& path, const char* magic8,

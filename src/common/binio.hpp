@@ -18,6 +18,13 @@ namespace slm {
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
 
+/// Incremental CRC-32: pass the previous return value (0 to start) to
+/// chain spans — crc32_update(crc32_update(0, a, na), b, nb) equals
+/// crc32 of a‖b. The trace store uses this to checksum each chunk's
+/// slices of several columns without concatenating them.
+std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t size);
+
 /// Shared framed-file envelope for the binary state formats (`SLMCKPT1`
 /// campaign checkpoints, `SLMSNAP1` fabric accumulator snapshots):
 ///

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/error.hpp"
 #include "core/parallel.hpp"
 
 namespace slm::core {
@@ -91,6 +92,7 @@ KeyByteReport StealthyAttack::recover_key_byte(std::size_t key_byte,
   cfg.simd = opts.simd;
   cfg.rng_contract = opts.rng_contract;
   cfg.pool = opts.pool;
+  cfg.store_out = opts.store_out;
   ParallelCampaign campaign(setup_, cfg, threads);
   return report_from(key_byte, campaign.run());
 }
@@ -169,6 +171,7 @@ StealthyAttack::FullKeyReport StealthyAttack::recover_full_key(
     cfg.simd = opts.run.simd;
     cfg.rng_contract = opts.run.rng_contract;
     cfg.pool = opts.run.pool;
+    cfg.store_out = opts.run.store_out;
     ParallelCampaign campaign(setup_, cfg, threads);
     const FullKeyRunResult r = campaign.run_fullkey(opts.fused);
     report.bytes.reserve(16);
@@ -199,6 +202,9 @@ StealthyAttack::FullKeyReport StealthyAttack::recover_full_key(
     report.resumed_from = r.resumed_from;
     report.snapshot_path = r.snapshot_path;
   } else {
+    SLM_REQUIRE(opts.run.store_out.empty(),
+                "store_out: the farmed full-key oracle captures 16 "
+                "separate trace streams — use the fused engine");
     // Farmed oracle: 16 single-byte campaigns over the SAME shared
     // config, each on a fresh, identically-seeded platform replica —
     // per-byte results are independent of worker scheduling AND of the

@@ -59,6 +59,11 @@ struct RunOptions {
   /// `threads` knob. How `slm serve` multiplexes many tenants' jobs
   /// over one shared core::ThreadPool (see CampaignConfig::pool).
   ThreadPool* pool = nullptr;
+  /// Non-empty: also persist every captured trace to an SLMTRC1 store
+  /// at this path (`slm capture --store-out`; see docs/STORE.md).
+  /// Incompatible with resume; only the fused full-key engine honours
+  /// it (the farmed oracle captures 16 separate streams).
+  std::string store_out;
 };
 
 /// How recover_full_key captures its traces (see docs/FULLKEY.md).

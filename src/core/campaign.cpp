@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 
 #include <string>
@@ -15,6 +16,7 @@
 #include "core/parallel.hpp"
 #include "obs/observer.hpp"
 #include "sca/selection.hpp"
+#include "store/trace_store.hpp"
 
 namespace slm::core {
 
@@ -45,6 +47,14 @@ std::vector<std::size_t> default_checkpoints(std::size_t traces) {
   }
   out.push_back(traces);
   return out;
+}
+
+std::vector<std::size_t> checkpoint_schedule(
+    const std::vector<std::size_t>& requested, std::size_t traces) {
+  auto checkpoints =
+      requested.empty() ? default_checkpoints(traces) : requested;
+  std::sort(checkpoints.begin(), checkpoints.end());
+  return checkpoints;
 }
 
 std::size_t resolve_block(std::size_t requested) {
@@ -128,6 +138,64 @@ CpaCampaign::CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg)
 
   response_ = pdn::CycleResponseMatrix::build(cal.pdn, sample_times_,
                                               cycle_starts, cyc);
+}
+
+store::StoreIdentity CpaCampaign::store_identity(store::StoreKind kind,
+                                                 std::size_t traces) const {
+  store::StoreIdentity id;
+  id.kind = static_cast<std::uint8_t>(kind);
+  id.circuit = static_cast<std::uint8_t>(setup_.circuit_kind());
+  id.mode = static_cast<std::uint8_t>(cfg_.mode);
+  id.rng_contract =
+      resolve_contract(cfg_.rng_contract) == RngContract::kV1 ? 1 : 2;
+  id.seed = cfg_.seed;
+  id.trace_count = traces;
+  id.samples = sample_times_.size();
+  id.target_key_byte = cfg_.target_key_byte;
+  id.target_bit = cfg_.target_bit;
+
+  // Everything else that shapes the captured readings or their labels:
+  // sampling window, requested endpoint bit (pre-resolution, so capture
+  // and replay hash the same value), selection knobs, fence config, and
+  // the victim's key via its last round key.
+  ByteWriter w;
+  w.put_f64(cfg_.window_start_ns);
+  w.put_f64(cfg_.window_end_ns);
+  w.put_u64(static_cast<std::uint64_t>(cfg_.single_bit));
+  w.put_u64(cfg_.selection_traces);
+  w.put_f64(cfg_.selection_min_variance);
+  w.put_u64(cfg_.selection_top_k);
+  w.put_f64(cfg_.fence.base_current_a);
+  w.put_f64(cfg_.fence.random_current_a);
+  w.put_u64(cfg_.fence.seed);
+  const crypto::Block lrk = setup_.victim().cipher().last_round_key();
+  w.put_bytes(lrk.data(), lrk.size());
+  id.config_hash = crc32(w.bytes().data(), w.size());
+  return id;
+}
+
+void finalize_trace_store(store::TraceStoreWriter& writer,
+                          obs::CampaignObserver* observer) {
+  const double t0 = obs::monotonic_seconds();
+  const auto stats = writer.finalize();
+  const double seconds = obs::monotonic_seconds() - t0;
+  log_info() << "store: wrote " << writer.path() << " (" << stats.traces
+             << " traces, " << stats.chunks << " chunks, "
+             << stats.bytes_written << " bytes)";
+  if (observer != nullptr) {
+    observer->metrics().add("slm.store.traces_written",
+                            static_cast<double>(stats.traces));
+    observer->metrics().add("slm.store.bytes_written",
+                            static_cast<double>(stats.bytes_written));
+    observer->metrics().observe("slm.store.write_seconds", seconds);
+    observer->event("store_write",
+                    obs::JsonWriter()
+                        .field("path", writer.path())
+                        .field("traces", static_cast<std::uint64_t>(stats.traces))
+                        .field("bytes",
+                               static_cast<std::uint64_t>(stats.bytes_written))
+                        .field("seconds", seconds));
+  }
 }
 
 void CpaCampaign::make_voltages(
@@ -298,8 +366,15 @@ void CpaCampaign::resolve_sensor_bits(CampaignResult* result) {
 
 sca::WelchTTest CpaCampaign::run_tvla(std::size_t traces_per_population) {
   SLM_REQUIRE(traces_per_population >= 2, "run_tvla: too few traces");
+  std::unique_ptr<store::TraceStoreWriter> store_writer;
+  if (!cfg_.store_out.empty()) {
+    store_writer = std::make_unique<store::TraceStoreWriter>(
+        cfg_.store_out,
+        store_identity(store::StoreKind::kTvla, 2 * traces_per_population));
+  }
   CampaignResult scratch;
   resolve_sensor_bits(&scratch);
+  if (store_writer) store_writer->set_resolved_single_bit(cfg_.single_bit);
 
   sca::WelchTTest ttest(sample_times_.size());
   Xoshiro256 rng(cfg_.seed ^ 0x77a1u);
@@ -317,7 +392,12 @@ sca::WelchTTest CpaCampaign::run_tvla(std::size_t traces_per_population) {
     make_voltages(enc, rng, v);
     read_sensor(v, scratch.bits_of_interest, rng, y);
     ttest.add(fixed, y);
+    if (store_writer) {
+      store_writer->record_meta(t, pt, enc.ciphertext);
+      store_writer->record_readings(t, y.data());
+    }
   }
+  if (store_writer) finalize_trace_store(*store_writer, cfg_.observer);
   return ttest;
 }
 
@@ -378,6 +458,21 @@ CampaignResult CpaCampaign::run() {
   result.correct_guess =
       model.correct_guess(setup_.victim().cipher().last_round_key());
 
+  // The store fingerprint hashes the *requested* endpoint bit, so the
+  // writer is created before bit resolution mutates cfg_.single_bit —
+  // a replay-side CpaCampaign never resolves and must hash the same
+  // value. Resume is refused: a resumed run does not regenerate the
+  // traces already captured, so the store would be silently short.
+  std::unique_ptr<store::TraceStoreWriter> store_writer;
+  if (!cfg_.store_out.empty()) {
+    SLM_REQUIRE(!cfg_.resume,
+                "store_out: cannot combine with resume — traces captured "
+                "before the snapshot would be missing from the store");
+    store_writer = std::make_unique<store::TraceStoreWriter>(
+        cfg_.store_out,
+        store_identity(store::StoreKind::kByteCampaign, cfg_.traces));
+  }
+
   {
     const auto sel_start = std::chrono::steady_clock::now();
     std::optional<obs::CampaignObserver::Span> span;
@@ -389,11 +484,9 @@ CampaignResult CpaCampaign::run() {
             .count();
   }
   result.single_bit = cfg_.single_bit;
+  if (store_writer) store_writer->set_resolved_single_bit(cfg_.single_bit);
 
-  auto checkpoints =
-      cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)
-                               : cfg_.checkpoints;
-  std::sort(checkpoints.begin(), checkpoints.end());
+  auto checkpoints = checkpoint_schedule(cfg_.checkpoints, cfg_.traces);
   std::size_t next_cp = 0;
 
   // RNG determinism contract (DESIGN.md §7/§12). v1: one sequential
@@ -627,6 +720,10 @@ CampaignResult CpaCampaign::run() {
                                   samples * dps);
       slab.clsv[b] = model.class_value(enc.ciphertext);
       slab.clsb[b] = model.class_bit(enc.ciphertext);
+      // Meta lands from the producer thread, readings from the consumer:
+      // disjoint columns, and the writer's completeness counter is only
+      // advanced by record_readings on the consumer side.
+      if (store_writer) store_writer->record_meta(g, pt, enc.ciphertext);
     }
   };
   // The pool is declared AFTER the slabs and the register chain so its
@@ -700,6 +797,10 @@ CampaignResult CpaCampaign::run() {
         model.hypotheses(enc.ciphertext, h);
         engine.add_trace(h, y);
       }
+      if (store_writer) {
+        store_writer->record_meta(t - 1, pt, enc.ciphertext);
+        store_writer->record_readings(t - 1, y.data());
+      }
     } else if (pipelined) {
       // The producer already has (or is still generating) this span's
       // slab; wait for it, immediately hand the producer the next span,
@@ -727,6 +828,9 @@ CampaignResult CpaCampaign::run() {
                                       slab.zblk.data(), yblk.data(), simd);
       t1 = timed ? obs::monotonic_seconds() : 0.0;
       cls.add_block(slab.clsv.data(), slab.clsb.data(), yblk.data(), bn);
+      if (store_writer) {
+        store_writer->record_readings_block(t - 1, yblk.data(), bn);
+      }
       if (timed) {
         ob->metrics().add("slm.pipeline.blocks_total");
         ob->metrics().observe("slm.pipeline.gen_wait_seconds", gen_wait);
@@ -792,6 +896,9 @@ CampaignResult CpaCampaign::run() {
           clsv[b] = model.class_value(enc.ciphertext);
           clsb[b] = model.class_bit(enc.ciphertext);
         }
+        if (store_writer) {
+          store_writer->record_meta(t - 1 + b, pt, enc.ciphertext);
+        }
       }
       // Compute pass: RNG-free lane-parallel kernels over the block.
       if (defer_hw) {
@@ -807,6 +914,9 @@ CampaignResult CpaCampaign::run() {
         cls.add_block(clsv.data(), clsb.data(), yblk.data(), bn);
       } else {
         engine.add_traces(hblk.data(), yblk.data(), bn);
+      }
+      if (store_writer) {
+        store_writer->record_readings_block(t - 1, yblk.data(), bn);
       }
     }
     if (timed) {
@@ -941,6 +1051,8 @@ CampaignResult CpaCampaign::run() {
     if (timed) cpa_s += obs::monotonic_seconds() - f0;
   }
 
+  if (store_writer) finalize_trace_store(*store_writer, ob);
+
   result.kernel_seconds = kernel_s;
   result.cpa_seconds = cpa_s;
   result.checkpoint_io_seconds = ckpt_io_s;
@@ -971,20 +1083,6 @@ CampaignResult CpaCampaign::run() {
   return result;
 }
 
-// Attacker-observable winner margin of a progress point: |r| of the
-// leading guess minus |r| of the runner-up. Unlike best_wrong_corr this
-// needs no knowledge of the correct key, so early exit can key off it.
-static double winner_margin(const sca::CpaProgressPoint& p) {
-  const double best = p.max_abs_corr[p.best_guess];
-  double second = 0.0;
-  for (std::size_t k = 0; k < p.max_abs_corr.size(); ++k) {
-    if (k != p.best_guess && p.max_abs_corr[k] > second) {
-      second = p.max_abs_corr[k];
-    }
-  }
-  return best - second;
-}
-
 FullKeyRunResult CpaCampaign::run_fullkey(const FullKeyConfig& fk) {
   const auto wall_start = std::chrono::steady_clock::now();
   obs::CampaignObserver* const ob = cfg_.observer;
@@ -1007,6 +1105,17 @@ FullKeyRunResult CpaCampaign::run_fullkey(const FullKeyConfig& fk) {
     result.bytes[j].correct = models[j].correct_guess(lrk);
   }
 
+  // Created before bit resolution so the fingerprint hashes the
+  // requested endpoint bit (see run()).
+  std::unique_ptr<store::TraceStoreWriter> store_writer;
+  if (!cfg_.store_out.empty()) {
+    SLM_REQUIRE(!cfg_.resume,
+                "store_out: cannot combine with resume — traces captured "
+                "before the snapshot would be missing from the store");
+    store_writer = std::make_unique<store::TraceStoreWriter>(
+        cfg_.store_out, store_identity(store::StoreKind::kFullKey, cfg_.traces));
+  }
+
   {
     const auto sel_start = std::chrono::steady_clock::now();
     std::optional<obs::CampaignObserver::Span> span;
@@ -1020,11 +1129,9 @@ FullKeyRunResult CpaCampaign::run_fullkey(const FullKeyConfig& fk) {
             .count();
   }
   result.single_bit = cfg_.single_bit;
+  if (store_writer) store_writer->set_resolved_single_bit(cfg_.single_bit);
 
-  auto checkpoints =
-      cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)
-                               : cfg_.checkpoints;
-  std::sort(checkpoints.begin(), checkpoints.end());
+  auto checkpoints = checkpoint_schedule(cfg_.checkpoints, cfg_.traces);
   std::size_t next_cp = 0;
 
   const RngContract contract = resolve_contract(cfg_.rng_contract);
@@ -1239,6 +1346,9 @@ FullKeyRunResult CpaCampaign::run_fullkey(const FullKeyConfig& fk) {
         clsv[b * kBytes + j] = models[j].class_value(enc.ciphertext);
         clsb[b * kBytes + j] = models[j].class_bit(enc.ciphertext);
       }
+      if (store_writer) {
+        store_writer->record_meta(t - 1 + b, pt, enc.ciphertext);
+      }
     }
     // Compute pass: RNG-free block kernels, then one fused accumulate.
     if (defer_hw) {
@@ -1251,6 +1361,9 @@ FullKeyRunResult CpaCampaign::run_fullkey(const FullKeyConfig& fk) {
     }
     const double t1 = timed ? obs::monotonic_seconds() : 0.0;
     acc.add_block(clsv.data(), clsb.data(), yblk.data(), bn);
+    if (store_writer) {
+      store_writer->record_readings_block(t - 1, yblk.data(), bn);
+    }
     if (timed) {
       const double t2 = obs::monotonic_seconds();
       kernel_s += t1 - t0;
@@ -1271,7 +1384,7 @@ FullKeyRunResult CpaCampaign::run_fullkey(const FullKeyConfig& fk) {
         const sca::CpaEngine folded = acc.fold(j, models[j].pattern().data());
         sca::CpaProgressPoint p =
             sca::snapshot_progress(folded, result.bytes[j].correct);
-        const double margin = winner_margin(p);
+        const double margin = sca::winner_margin(p);
         const bool qualify = fk.early_exit &&
                              done >= fk.early_exit_min_traces &&
                              state[j].prev_best == p.best_guess &&
@@ -1430,6 +1543,8 @@ FullKeyRunResult CpaCampaign::run_fullkey(const FullKeyConfig& fk) {
   for (std::size_t j = 0; j < kBytes; ++j) {
     result.bytes[j].mtd = sca::estimate_mtd(result.bytes[j].progress);
   }
+
+  if (store_writer) finalize_trace_store(*store_writer, ob);
 
   result.kernel_seconds = kernel_s;
   result.cpa_seconds = cpa_s;

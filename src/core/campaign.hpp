@@ -28,6 +28,12 @@ namespace slm::obs {
 class CampaignObserver;
 }
 
+namespace slm::store {
+enum class StoreKind : std::uint8_t;
+struct StoreIdentity;
+class TraceStoreWriter;
+}
+
 namespace slm::core {
 
 class ThreadPool;
@@ -159,6 +165,14 @@ struct CampaignConfig {
   /// deterministic stand-in for kill -9 (snapshots are atomic, so a real
   /// kill at any instant leaves the same on-disk state). 0 disables.
   std::size_t halt_after_traces = 0;
+
+  /// Capture-once trace store (docs/STORE.md): when set, the campaign
+  /// records every trace's readings, plaintext and ciphertext and writes
+  /// a fingerprinted `SLMTRC1` file here on completion (atomic rename),
+  /// for `slm attack --from-store` replay at fold speed. Incompatible
+  /// with `resume` (a resumed run never regenerates the earlier traces);
+  /// a halted run destroys the writer and leaves no store file.
+  std::string store_out;
 
   /// Externally-owned worker pool (borrowed, may be null). When set,
   /// ParallelCampaign shards over THIS pool instead of constructing a
@@ -321,6 +335,13 @@ class CpaCampaign {
   /// same physics as run() but needs no key hypothesis at all.
   sca::WelchTTest run_tvla(std::size_t traces_per_population);
 
+  /// The `SLMTRC1` fingerprint this campaign's capture would stamp into
+  /// a store of `traces` traces: (seed, resolved rng contract, trace
+  /// count, CRC-32 of the attack/sensor config). Replay builds the same
+  /// identity from its own flags and refuses a store that differs.
+  store::StoreIdentity store_identity(store::StoreKind kind,
+                                      std::size_t traces) const;
+
  private:
   friend class ParallelCampaign;  // reuses the capture path, shard-wise
   friend class FabricWorker;      // same capture path over a trace range
@@ -373,6 +394,18 @@ class CpaCampaign {
 
 /// Default log-spaced checkpoint schedule up to `traces`.
 std::vector<std::size_t> default_checkpoints(std::size_t traces);
+
+/// The sorted checkpoint schedule the serial engines fold at for this
+/// config: `requested` when non-empty, else default_checkpoints(traces).
+/// Store replay folds at the same counts to stay bit-identical.
+std::vector<std::size_t> checkpoint_schedule(
+    const std::vector<std::size_t>& requested, std::size_t traces);
+
+/// Finalize a capture's trace-store writer and emit the slm.store.*
+/// write metrics and the store_write event (shared by the serial and
+/// sharded engines).
+void finalize_trace_store(store::TraceStoreWriter& writer,
+                          obs::CampaignObserver* observer);
 
 /// Default trace-block size of the block-batched pipeline: big enough to
 /// amortize kernel dispatch and fill the SIMD lanes, small enough that a

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "core/checkpoint.hpp"
 #include "obs/observer.hpp"
 #include "sca/model.hpp"
+#include "store/trace_store.hpp"
 
 namespace slm::core {
 
@@ -191,6 +193,21 @@ CampaignResult ParallelCampaign::run_sharded() {
   result.correct_guess =
       model.correct_guess(setup_.victim().cipher().last_round_key());
 
+  // Trace store: same fingerprint rule as the serial engine — created
+  // before bit resolution so the hash covers the requested endpoint bit.
+  // Shards write disjoint rows of the store's columns, so no locking.
+  std::unique_ptr<store::TraceStoreWriter> store_writer;
+  if (!cfg_.store_out.empty()) {
+    SLM_REQUIRE(!cfg_.resume,
+                "store_out: cannot combine with resume — traces captured "
+                "before the snapshot would be missing from the store");
+    store_writer = std::make_unique<store::TraceStoreWriter>(
+        cfg_.store_out,
+        campaign.store_identity(store::StoreKind::kByteCampaign,
+                                cfg_.traces));
+    store_writer->set_capture_threads(threads_);
+  }
+
   // Selection pre-pass runs serially, exactly as in the serial campaign;
   // it resolves kAutoBit into campaign.cfg_ for read_sensor below.
   {
@@ -204,6 +221,9 @@ CampaignResult ParallelCampaign::run_sharded() {
             .count();
   }
   result.single_bit = campaign.cfg_.single_bit;
+  if (store_writer) {
+    store_writer->set_resolved_single_bit(campaign.cfg_.single_bit);
+  }
 
   auto schedule = cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)
                                            : cfg_.checkpoints;
@@ -512,6 +532,12 @@ CampaignResult ParallelCampaign::run_sharded() {
                 sh.clsv[b] = model.class_value(enc.ciphertext);
                 sh.clsb[b] = model.class_bit(enc.ciphertext);
               }
+              // v2 shards own contiguous global ranges, so both columns
+              // land at gb with no cross-shard interleaving.
+              if (store_writer) {
+                store_writer->record_meta(gb, pt, enc.ciphertext);
+                if (!blocked) store_writer->record_readings(gb, sh.y.data());
+              }
             }
             if (blocked) {
               if (defer_hw) {
@@ -533,6 +559,9 @@ CampaignResult ParallelCampaign::run_sharded() {
                 sh.engine.add_traces(sh.hblk.data(), sh.yblk.data(), bn);
               }
               ++sh.blocks;
+              if (store_writer) {
+                store_writer->record_readings_block(g, sh.yblk.data(), bn);
+              }
             }
             sh.position += bn;
             g += bn;
@@ -581,6 +610,13 @@ CampaignResult ParallelCampaign::run_sharded() {
               t1 = timed ? obs::monotonic_seconds() : 0.0;
               model.hypotheses(enc.ciphertext, sh.h);
               sh.engine.add_trace(sh.h, sh.y);
+            }
+            // v1 round-robin ownership: shard i's p-th trace is global
+            // trace p*T + i (zero-based).
+            if (store_writer) {
+              const std::size_t g = sh.position * T + i;
+              store_writer->record_meta(g, pt, enc.ciphertext);
+              store_writer->record_readings(g, sh.y.data());
             }
           } else {
             // Generation pass: all RNG consumption, per-trace order —
@@ -631,6 +667,10 @@ CampaignResult ParallelCampaign::run_sharded() {
                 sh.clsv[b] = model.class_value(enc.ciphertext);
                 sh.clsb[b] = model.class_bit(enc.ciphertext);
               }
+              if (store_writer) {
+                store_writer->record_meta((sh.position + b) * T + i, pt,
+                                          enc.ciphertext);
+              }
             }
             // Compute pass: RNG-free lane-parallel kernels.
             if (defer_hw) {
@@ -651,6 +691,13 @@ CampaignResult ParallelCampaign::run_sharded() {
               sh.engine.add_traces(sh.hblk.data(), sh.yblk.data(), bn);
             }
             ++sh.blocks;
+            // v1 blocked rows scatter stride-T into the global order.
+            if (store_writer) {
+              for (std::size_t b = 0; b < bn; ++b) {
+                store_writer->record_readings((sh.position + b) * T + i,
+                                              sh.yblk.data() + b * samples);
+              }
+            }
           }
           sh.position += bn;
           if (timed) {
@@ -802,6 +849,8 @@ CampaignResult ParallelCampaign::run_sharded() {
     }
   }
 
+  if (store_writer) finalize_trace_store(*store_writer, ob);
+
   result.traces_run = merged.trace_count();
   result.final_max_abs_corr = merged.max_abs_correlation();
   result.recovered_guess = static_cast<std::uint8_t>(merged.best_guess());
@@ -838,23 +887,6 @@ FullKeyRunResult ParallelCampaign::run_fullkey(const FullKeyConfig& fk) {
   return result;
 }
 
-namespace {
-
-// Attacker-observable winner margin (|r| lead of the best guess over the
-// runner-up) — same definition as the serial full-key engine's.
-double fullkey_winner_margin(const sca::CpaProgressPoint& p) {
-  const double best = p.max_abs_corr[p.best_guess];
-  double second = 0.0;
-  for (std::size_t k = 0; k < p.max_abs_corr.size(); ++k) {
-    if (k != p.best_guess && p.max_abs_corr[k] > second) {
-      second = p.max_abs_corr[k];
-    }
-  }
-  return best - second;
-}
-
-}  // namespace
-
 FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
     const FullKeyConfig& fk) {
   CpaCampaign campaign(setup_, cfg_);
@@ -874,6 +906,18 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
     result.bytes[j].correct = models[j].correct_guess(lrk);
   }
 
+  // Trace store, fingerprinted before bit resolution (see run_sharded).
+  std::unique_ptr<store::TraceStoreWriter> store_writer;
+  if (!cfg_.store_out.empty()) {
+    SLM_REQUIRE(!cfg_.resume,
+                "store_out: cannot combine with resume — traces captured "
+                "before the snapshot would be missing from the store");
+    store_writer = std::make_unique<store::TraceStoreWriter>(
+        cfg_.store_out,
+        campaign.store_identity(store::StoreKind::kFullKey, cfg_.traces));
+    store_writer->set_capture_threads(threads_);
+  }
+
   {
     const auto sel_start = std::chrono::steady_clock::now();
     std::optional<obs::CampaignObserver::Span> span;
@@ -887,6 +931,9 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
             .count();
   }
   result.single_bit = campaign.cfg_.single_bit;
+  if (store_writer) {
+    store_writer->set_resolved_single_bit(campaign.cfg_.single_bit);
+  }
 
   auto schedule = cfg_.checkpoints.empty() ? default_checkpoints(cfg_.traces)
                                            : cfg_.checkpoints;
@@ -1174,6 +1221,10 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
                 label(enc.ciphertext, sh.clsv.data() + b * kBytes,
                       sh.clsb.data() + b * kBytes);
               }
+              if (store_writer) {
+                store_writer->record_meta(gb, pt, enc.ciphertext);
+                if (!blocked) store_writer->record_readings(gb, sh.y.data());
+              }
             }
             if (blocked) {
               if (defer_hw) {
@@ -1191,6 +1242,9 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
               sh.mb.add_block(sh.clsv.data(), sh.clsb.data(),
                               sh.yblk.data(), bn);
               ++sh.blocks;
+              if (store_writer) {
+                store_writer->record_readings_block(g, sh.yblk.data(), bn);
+              }
             }
             sh.position += bn;
             g += bn;
@@ -1237,6 +1291,12 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
             label(enc.ciphertext, v16, b16);
             t1 = timed ? obs::monotonic_seconds() : 0.0;
             sh.mb.add_trace(v16, b16, sh.y);
+            // v1 round-robin: shard i's p-th trace is global p*T + i.
+            if (store_writer) {
+              const std::size_t g = sh.position * T + i;
+              store_writer->record_meta(g, pt, enc.ciphertext);
+              store_writer->record_readings(g, sh.y.data());
+            }
           } else {
             for (std::size_t b = 0; b < bn; ++b) {
               crypto::Block pt;
@@ -1274,6 +1334,10 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
               }
               label(enc.ciphertext, sh.clsv.data() + b * kBytes,
                     sh.clsb.data() + b * kBytes);
+              if (store_writer) {
+                store_writer->record_meta((sh.position + b) * T + i, pt,
+                                          enc.ciphertext);
+              }
             }
             if (defer_hw) {
               campaign.response_.voltages_block(sh.icblk.data(), bn, block,
@@ -1289,6 +1353,12 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
             sh.mb.add_block(sh.clsv.data(), sh.clsb.data(), sh.yblk.data(),
                             bn);
             ++sh.blocks;
+            if (store_writer) {
+              for (std::size_t b = 0; b < bn; ++b) {
+                store_writer->record_readings((sh.position + b) * T + i,
+                                              sh.yblk.data() + b * samples);
+              }
+            }
           }
           sh.position += bn;
           if (timed) {
@@ -1325,7 +1395,7 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
             merged.fold(j, models[j].pattern().data());
         sca::CpaProgressPoint p =
             sca::snapshot_progress(folded, result.bytes[j].correct);
-        const double margin = fullkey_winner_margin(p);
+        const double margin = sca::winner_margin(p);
         const bool qualify = fk.early_exit &&
                              cp >= fk.early_exit_min_traces &&
                              state[j].prev_best == p.best_guess &&
@@ -1487,6 +1557,8 @@ FullKeyRunResult ParallelCampaign::run_fullkey_sharded(
     }
     br.mtd = sca::estimate_mtd(br.progress);
   }
+
+  if (store_writer) finalize_trace_store(*store_writer, ob);
 
   result.traces_run = merged_traces;
   result.checkpoint_io_seconds = ckpt_io_s;

@@ -23,4 +23,15 @@ MtdResult estimate_mtd(const std::vector<CpaProgressPoint>& progress) {
   return result;
 }
 
+double winner_margin(const CpaProgressPoint& p) {
+  const double best = p.max_abs_corr[p.best_guess];
+  double second = 0.0;
+  for (std::size_t k = 0; k < p.max_abs_corr.size(); ++k) {
+    if (k != p.best_guess && p.max_abs_corr[k] > second) {
+      second = p.max_abs_corr[k];
+    }
+  }
+  return best - second;
+}
+
 }  // namespace slm::sca

@@ -25,4 +25,10 @@ struct MtdResult {
 
 MtdResult estimate_mtd(const std::vector<CpaProgressPoint>& progress);
 
+/// Attacker-observable winner margin of a progress point: |r| of the
+/// leading guess minus |r| of the runner-up. Unlike best_wrong_corr this
+/// needs no knowledge of the correct key, so full-key early exit (and
+/// store replay, which must reproduce its decisions) can key off it.
+double winner_margin(const CpaProgressPoint& p);
+
 }  // namespace slm::sca

@@ -1,0 +1,244 @@
+#include "store/replay.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "sca/model.hpp"
+#include "sca/tvla.hpp"
+
+namespace slm::store {
+
+namespace {
+
+// Walk [from, to) in store-chunk-aligned blocks. Any regrouping of the
+// add_block calls lands on bit-identical accumulator sums (partition
+// invariance, sca/cpa.hpp), so chunk-sized blocks are purely a cache
+// choice — the chunk-boundary-invariance test pins that the results do
+// not depend on it.
+template <typename AddBlock>
+void feed_blocks(const TraceStoreReader& store, std::size_t from,
+                 std::size_t to, AddBlock&& add) {
+  const std::size_t chunk = store.chunk_traces();
+  std::size_t t = from;
+  while (t < to) {
+    const std::size_t end = std::min(to, (t / chunk + 1) * chunk);
+    add(t, end - t);
+    t = end;
+  }
+}
+
+void require_kind(const TraceStoreReader& store, StoreKind want) {
+  if (store.kind() == want) return;
+  throw StoreMismatch("store replay: '" + store.path() + "' holds a " +
+                      std::string(store_kind_name(store.kind())) +
+                      " capture, not a " + store_kind_name(want) + " one");
+}
+
+void note_replay(obs::CampaignObserver* ob, const char* kind,
+                 std::size_t traces, double seconds) {
+  if (ob == nullptr) return;
+  ob->metrics().add("slm.store.traces_replayed",
+                    static_cast<double>(traces));
+  ob->metrics().observe("slm.store.replay_seconds", seconds);
+  ob->event("store_replay",
+            obs::JsonWriter()
+                .field("kind", kind)
+                .field("traces", static_cast<std::uint64_t>(traces))
+                .field("seconds", seconds));
+}
+
+}  // namespace
+
+ReplayAttackResult replay_attack(const TraceStoreReader& store,
+                                 const std::vector<std::size_t>& checkpoints,
+                                 std::uint8_t correct_guess,
+                                 obs::CampaignObserver* observer) {
+  require_kind(store, StoreKind::kByteCampaign);
+  const double t0 = obs::monotonic_seconds();
+  const StoreIdentity& id = store.identity();
+  const std::size_t n = store.trace_count();
+
+  sca::LastRoundBitModel model(id.target_key_byte, id.target_bit);
+  sca::XorClassCpa cls(store.samples());
+  std::vector<std::uint8_t> v(store.chunk_traces());
+  std::vector<std::uint8_t> b(store.chunk_traces());
+  const auto add = [&](std::size_t first, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const crypto::Block ct = store.ciphertext(first + i);
+      v[i] = model.class_value(ct);
+      b[i] = model.class_bit(ct);
+    }
+    cls.add_block(v.data(), b.data(), store.readings(first), count);
+  };
+
+  ReplayAttackResult result;
+  result.correct_guess = correct_guess;
+  std::size_t done = 0;
+  for (const std::size_t cp : checkpoints) {
+    // The live loop only folds at checkpoints it actually reaches, in
+    // ascending order; everything else never produces a progress point.
+    if (cp == 0 || cp > n || cp < done) continue;
+    feed_blocks(store, done, cp, add);
+    done = cp;
+    const sca::CpaEngine folded = cls.fold(model.pattern().data());
+    result.progress.push_back(sca::snapshot_progress(folded, correct_guess));
+  }
+  if (result.progress.empty() || result.progress.back().traces != n) {
+    feed_blocks(store, done, n, add);
+    done = n;
+    const sca::CpaEngine folded = cls.fold(model.pattern().data());
+    result.progress.push_back(sca::snapshot_progress(folded, correct_guess));
+  }
+
+  result.traces = n;
+  result.recovered_guess =
+      static_cast<std::uint8_t>(result.progress.back().best_guess);
+  result.key_recovered = result.recovered_guess == correct_guess;
+  result.mtd = sca::estimate_mtd(result.progress);
+  result.replay_seconds = obs::monotonic_seconds() - t0;
+  note_replay(observer, "attack", n, result.replay_seconds);
+  return result;
+}
+
+ReplayFullKeyResult replay_fullkey(const TraceStoreReader& store,
+                                   const std::vector<std::size_t>& checkpoints,
+                                   const crypto::Block& true_last_round_key,
+                                   const ReplayFullKeyOptions& opts,
+                                   obs::CampaignObserver* observer) {
+  require_kind(store, StoreKind::kFullKey);
+  const double t0 = obs::monotonic_seconds();
+  constexpr std::size_t kBytes = sca::MultiByteCpa::kBytes;
+  const StoreIdentity& id = store.identity();
+  const std::size_t n = store.trace_count();
+
+  std::vector<sca::LastRoundBitModel> models;
+  models.reserve(kBytes);
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    models.emplace_back(j, id.target_bit);
+  }
+
+  ReplayFullKeyResult result;
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    result.bytes[j].correct = models[j].correct_guess(true_last_round_key);
+  }
+
+  sca::MultiByteCpa acc(store.samples());
+  std::vector<std::uint8_t> clsv(store.chunk_traces() * kBytes);
+  std::vector<std::uint8_t> clsb(store.chunk_traces() * kBytes);
+  const auto add = [&](std::size_t first, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const crypto::Block ct = store.ciphertext(first + i);
+      for (std::size_t j = 0; j < kBytes; ++j) {
+        clsv[i * kBytes + j] = models[j].class_value(ct);
+        clsb[i * kBytes + j] = models[j].class_bit(ct);
+      }
+    }
+    acc.add_block(clsv.data(), clsb.data(), store.readings(first), count);
+  };
+
+  // Per-byte early-exit bookkeeping, identical to the live engines'.
+  struct ByteState {
+    bool converged = false;
+    std::size_t stable = 0;
+    std::size_t prev_best = 256;  // 256 = no previous checkpoint yet
+  };
+  std::array<ByteState, kBytes> state;
+
+  std::size_t done = 0;
+  const auto fold_at = [&](std::size_t traces_done) {
+    for (std::size_t j = 0; j < kBytes; ++j) {
+      if (state[j].converged) continue;
+      const sca::CpaEngine folded = acc.fold(j, models[j].pattern().data());
+      sca::CpaProgressPoint p =
+          sca::snapshot_progress(folded, result.bytes[j].correct);
+      const double margin = sca::winner_margin(p);
+      const bool qualify = opts.early_exit &&
+                           traces_done >= opts.early_exit_min_traces &&
+                           state[j].prev_best == p.best_guess &&
+                           margin >= opts.early_exit_margin;
+      if (qualify) {
+        ++state[j].stable;
+      } else {
+        state[j].stable = 0;
+      }
+      state[j].prev_best = p.best_guess;
+      result.bytes[j].progress.push_back(std::move(p));
+      if (qualify && state[j].stable >= opts.early_exit_stable) {
+        const sca::CpaProgressPoint& fp = result.bytes[j].progress.back();
+        ReplayFullKeyByte& br = result.bytes[j];
+        state[j].converged = true;
+        br.recovered = static_cast<std::uint8_t>(fp.best_guess);
+        br.traces = traces_done;
+        br.final_max_abs_corr = fp.max_abs_corr;
+        br.early_exited = true;
+        br.success = br.recovered == br.correct;
+      }
+    }
+  };
+
+  for (const std::size_t cp : checkpoints) {
+    if (cp == 0 || cp > n || cp < done) continue;
+    feed_blocks(store, done, cp, add);
+    done = cp;
+    fold_at(cp);
+  }
+  // The live capture pass always runs to the full trace count even when
+  // every byte froze early; feed the tail so unfrozen folds see all n.
+  feed_blocks(store, done, n, add);
+  done = n;
+
+  for (std::size_t j = 0; j < kBytes; ++j) {
+    ReplayFullKeyByte& br = result.bytes[j];
+    if (!state[j].converged) {
+      const sca::CpaEngine folded = acc.fold(j, models[j].pattern().data());
+      if (br.progress.empty() || br.progress.back().traces != n) {
+        br.progress.push_back(sca::snapshot_progress(folded, br.correct));
+      }
+      const sca::CpaProgressPoint& fp = br.progress.back();
+      br.recovered = static_cast<std::uint8_t>(fp.best_guess);
+      br.traces = n;
+      br.final_max_abs_corr = fp.max_abs_corr;
+      br.success = br.recovered == br.correct;
+    }
+    br.mtd = sca::estimate_mtd(br.progress);
+    result.recovered_last_round_key[j] = br.recovered;
+    if (br.early_exited) ++result.bytes_early_exited;
+  }
+  result.success = std::all_of(result.bytes.begin(), result.bytes.end(),
+                               [](const ReplayFullKeyByte& br) {
+                                 return br.success;
+                               });
+  result.traces = n;
+  result.replay_seconds = obs::monotonic_seconds() - t0;
+  note_replay(observer, "full-key", n, result.replay_seconds);
+  return result;
+}
+
+ReplayTvlaResult replay_tvla(const TraceStoreReader& store,
+                             obs::CampaignObserver* observer) {
+  require_kind(store, StoreKind::kTvla);
+  const double t0 = obs::monotonic_seconds();
+  const std::size_t n = store.trace_count();
+
+  sca::WelchTTest ttest(store.samples());
+  std::vector<double> y(store.samples());
+  for (std::size_t t = 0; t < n; ++t) {
+    std::memcpy(y.data(), store.readings(t), y.size() * sizeof(double));
+    ttest.add((t % 2) == 0, y);
+  }
+
+  ReplayTvlaResult result;
+  result.max_abs_t = ttest.max_abs_t();
+  result.leakage_detected = ttest.leakage_detected();
+  result.fixed_traces = ttest.fixed_traces();
+  result.random_traces = ttest.random_traces();
+  result.traces = n;
+  result.replay_seconds = obs::monotonic_seconds() - t0;
+  note_replay(observer, "tvla", n, result.replay_seconds);
+  return result;
+}
+
+}  // namespace slm::store

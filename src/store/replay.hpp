@@ -1,0 +1,102 @@
+// Replay a captured `SLMTRC1` store through the CPA / TVLA folds
+// without regenerating a single trace (docs/STORE.md). The class labels
+// come from the stored ciphertexts alone (sca::LastRoundBitModel never
+// consults the plaintext), the readings feed the accumulators straight
+// out of the mmap, and the folds run at the same checkpoint trace
+// counts as the live engines — so by the partition-invariance argument
+// in sca/cpa.hpp every progress point, rank, and correlation is
+// bit-identical to the live capture that wrote the store.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/aes128.hpp"
+#include "sca/cpa.hpp"
+#include "sca/mtd.hpp"
+#include "store/trace_store.hpp"
+
+namespace slm::obs {
+class CampaignObserver;
+}
+
+namespace slm::store {
+
+/// Replay of a single-byte campaign store — mirrors the fields of
+/// core::CampaignResult that replay can reproduce.
+struct ReplayAttackResult {
+  std::vector<sca::CpaProgressPoint> progress;
+  sca::MtdResult mtd;
+  std::uint8_t correct_guess = 0;
+  std::uint8_t recovered_guess = 0;
+  bool key_recovered = false;
+  std::size_t traces = 0;
+  double replay_seconds = 0.0;
+};
+
+/// Fold a byte-campaign store at the given checkpoint trace counts.
+/// `checkpoints` must be the schedule the live campaign used
+/// (core::checkpoint_schedule); entries past the store's trace count
+/// are ignored, exactly as the live loop never reaches them.
+ReplayAttackResult replay_attack(const TraceStoreReader& store,
+                                 const std::vector<std::size_t>& checkpoints,
+                                 std::uint8_t correct_guess,
+                                 obs::CampaignObserver* observer = nullptr);
+
+/// Early-exit knobs, defaults matching core::FullKeyConfig.
+struct ReplayFullKeyOptions {
+  bool early_exit = true;
+  double early_exit_margin = 0.08;
+  std::size_t early_exit_stable = 2;
+  std::size_t early_exit_min_traces = 1000;
+};
+
+/// Per-byte replay outcome — mirrors core::FullKeyByteResult.
+struct ReplayFullKeyByte {
+  std::uint8_t correct = 0;
+  std::uint8_t recovered = 0;
+  bool success = false;
+  bool early_exited = false;
+  std::size_t traces = 0;
+  std::vector<double> final_max_abs_corr;
+  std::vector<sca::CpaProgressPoint> progress;
+  sca::MtdResult mtd;
+};
+
+struct ReplayFullKeyResult {
+  std::array<ReplayFullKeyByte, sca::MultiByteCpa::kBytes> bytes;
+  crypto::Block recovered_last_round_key{};
+  bool success = false;  ///< all sixteen bytes recovered
+  std::size_t bytes_early_exited = 0;
+  std::size_t traces = 0;
+  double replay_seconds = 0.0;
+};
+
+/// Replay a fused full-key store, reproducing the live engines'
+/// per-byte early-exit decisions (same margin, stability and minimum-
+/// trace gates, evaluated at the same checkpoints).
+ReplayFullKeyResult replay_fullkey(const TraceStoreReader& store,
+                                   const std::vector<std::size_t>& checkpoints,
+                                   const crypto::Block& true_last_round_key,
+                                   const ReplayFullKeyOptions& opts = {},
+                                   obs::CampaignObserver* observer = nullptr);
+
+struct ReplayTvlaResult {
+  double max_abs_t = 0.0;
+  bool leakage_detected = false;
+  std::size_t fixed_traces = 0;
+  std::size_t random_traces = 0;
+  std::size_t traces = 0;
+  double replay_seconds = 0.0;
+};
+
+/// Replay a TVLA store: trace 2k is the fixed population, 2k+1 the
+/// random one (the interleaving run_tvla captures), streamed through
+/// Welch's t-test in stored order so the online moments match the live
+/// pass bit for bit.
+ReplayTvlaResult replay_tvla(const TraceStoreReader& store,
+                             obs::CampaignObserver* observer = nullptr);
+
+}  // namespace slm::store

@@ -1,0 +1,202 @@
+// Corruption battery for the shared framed-file envelope
+// (common/binio): every way a framed file can be structurally bad —
+// missing, short header, wrong magic, wrong version, truncated payload,
+// flipped CRC or payload byte — must surface as a typed, context-
+// prefixed error, never a misparse. The trace store, checkpoints and
+// snapshots all stand on this envelope.
+#include "common/binio.hpp"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace slm {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("slm_binio_") + name + "_" +
+           std::to_string(::getpid())))
+      .string();
+}
+
+std::vector<std::uint8_t> sample_payload() {
+  std::vector<std::uint8_t> p;
+  for (int i = 0; i < 100; ++i) p.push_back(static_cast<std::uint8_t>(i));
+  return p;
+}
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(is)),
+                                   std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+}
+
+// Expects an slm::Error whose message contains `needle` — the battery
+// pins the *specific* diagnosis, not just "something threw".
+template <typename Fn>
+void expect_error_containing(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected slm::Error containing '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name) : path(temp_path(name)) {}
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+TEST(BinioFramedTest, RoundTripReturnsPayloadAndByteCount) {
+  TempFile f("roundtrip");
+  const auto payload = sample_payload();
+  const std::size_t written =
+      write_framed_file(f.path, "SLMTEST1", 3, payload, "test");
+  EXPECT_EQ(written, 24 + payload.size());  // 8 magic + 4 + 8 + 4 header
+
+  const auto back = read_framed_file(f.path, "SLMTEST1", 3, "test");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+TEST(BinioFramedTest, MissingFileIsNullopt) {
+  const auto r =
+      read_framed_file(temp_path("nonexistent"), "SLMTEST1", 1, "test");
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(BinioFramedTest, WrongMagicRejected) {
+  TempFile f("magic");
+  write_framed_file(f.path, "SLMTEST1", 1, sample_payload(), "test");
+  expect_error_containing(
+      [&] { (void)read_framed_file(f.path, "SLMOTHER", 1, "test"); },
+      "bad magic in");
+}
+
+TEST(BinioFramedTest, WrongVersionRejected) {
+  TempFile f("version");
+  write_framed_file(f.path, "SLMTEST1", 7, sample_payload(), "test");
+  expect_error_containing(
+      [&] { (void)read_framed_file(f.path, "SLMTEST1", 8, "test"); },
+      "unsupported version 7");
+}
+
+TEST(BinioFramedTest, TruncatedPayloadRejected) {
+  TempFile f("truncated");
+  write_framed_file(f.path, "SLMTEST1", 1, sample_payload(), "test");
+  auto bytes = slurp(f.path);
+  bytes.resize(bytes.size() - 10);  // header intact, payload short
+  spit(f.path, bytes);
+  expect_error_containing(
+      [&] { (void)read_framed_file(f.path, "SLMTEST1", 1, "test"); },
+      "truncated payload in");
+}
+
+TEST(BinioFramedTest, ExtraTrailingBytesRejected) {
+  // length != remaining also catches a file that GREW — trailing
+  // garbage is as suspect as truncation.
+  TempFile f("trailing");
+  write_framed_file(f.path, "SLMTEST1", 1, sample_payload(), "test");
+  auto bytes = slurp(f.path);
+  bytes.push_back(0xab);
+  spit(f.path, bytes);
+  expect_error_containing(
+      [&] { (void)read_framed_file(f.path, "SLMTEST1", 1, "test"); },
+      "truncated payload in");
+}
+
+TEST(BinioFramedTest, FlippedCrcByteRejected) {
+  TempFile f("crcflip");
+  write_framed_file(f.path, "SLMTEST1", 1, sample_payload(), "test");
+  auto bytes = slurp(f.path);
+  bytes[20] ^= 0x01;  // stored CRC lives at envelope offset 20..23
+  spit(f.path, bytes);
+  expect_error_containing(
+      [&] { (void)read_framed_file(f.path, "SLMTEST1", 1, "test"); },
+      "CRC mismatch in");
+}
+
+TEST(BinioFramedTest, FlippedPayloadByteRejected) {
+  TempFile f("payloadflip");
+  write_framed_file(f.path, "SLMTEST1", 1, sample_payload(), "test");
+  auto bytes = slurp(f.path);
+  bytes[24 + 50] ^= 0x80;
+  spit(f.path, bytes);
+  expect_error_containing(
+      [&] { (void)read_framed_file(f.path, "SLMTEST1", 1, "test"); },
+      "CRC mismatch in");
+}
+
+TEST(BinioFramedTest, ShortHeaderRejected) {
+  // A file shorter than the 24-byte envelope dies in the bounds-checked
+  // ByteReader, not in a wild read.
+  TempFile f("shorthdr");
+  spit(f.path, std::vector<std::uint8_t>{'S', 'L', 'M', 'T', 'E'});
+  expect_error_containing(
+      [&] { (void)read_framed_file(f.path, "SLMTEST1", 1, "test"); },
+      "truncated input");
+}
+
+TEST(BinioFramedTest, EmptyFileRejected) {
+  TempFile f("empty");
+  spit(f.path, {});
+  expect_error_containing(
+      [&] { (void)read_framed_file(f.path, "SLMTEST1", 1, "test"); },
+      "truncated input");
+}
+
+TEST(BinioFramedTest, EmptyPayloadRoundTrips) {
+  TempFile f("emptypayload");
+  write_framed_file(f.path, "SLMTEST1", 1, {}, "test");
+  const auto back = read_framed_file(f.path, "SLMTEST1", 1, "test");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(BinioFramedTest, ErrorMessagesCarryContext) {
+  TempFile f("context");
+  write_framed_file(f.path, "SLMTEST1", 1, sample_payload(), "test");
+  expect_error_containing(
+      [&] {
+        (void)read_framed_file(f.path, "SLMOTHER", 1, "trace store");
+      },
+      "trace store:");
+}
+
+TEST(BinioFramedTest, Crc32UpdateChainsLikeOneShot) {
+  // The trace store checksums each chunk's slices of several columns
+  // incrementally; chaining must equal the one-shot CRC of the
+  // concatenation.
+  const auto payload = sample_payload();
+  const std::uint32_t one_shot = crc32(payload.data(), payload.size());
+  std::uint32_t chained = 0;
+  chained = crc32_update(chained, payload.data(), 13);
+  chained = crc32_update(chained, payload.data() + 13, 29);
+  chained = crc32_update(chained, payload.data() + 42,
+                         payload.size() - 42);
+  EXPECT_EQ(chained, one_shot);
+
+  // Empty spans are identity.
+  EXPECT_EQ(crc32_update(one_shot, payload.data(), 0), one_shot);
+}
+
+}  // namespace
+}  // namespace slm

@@ -153,6 +153,122 @@ TEST(JsonlSinkTest, UnopenablePathThrows) {
   EXPECT_THROW(JsonlSink("/nonexistent-dir-xyz/out.jsonl"), slm::Error);
 }
 
+// FlatJson edge cases: escape decoding, nested structure preservation,
+// empty values, and the malformed-input battery. FlatJson parses every
+// job file and tailed JSONL event, so a misparse here corrupts a
+// tenant's campaign spec silently.
+TEST(FlatJsonTest, EscapedQuotesAndBackslashesDecode) {
+  const FlatJson j = FlatJson::parse(
+      "{\"k\":\"a\\\"b\\\\c\",\"path\":\"C:\\\\tmp\\\\x\"}");
+  EXPECT_EQ(j.string_field("k"), "a\"b\\c");
+  EXPECT_EQ(j.string_field("path"), "C:\\tmp\\x");
+}
+
+TEST(FlatJsonTest, AllSimpleEscapesDecode) {
+  const FlatJson j =
+      FlatJson::parse("{\"k\":\"\\n\\r\\t\\b\\f\\/\\u0041\\u000a\"}");
+  EXPECT_EQ(j.string_field("k"), "\n\r\t\b\f/A\n");
+}
+
+TEST(FlatJsonTest, RoundTripsJsonWriterEscaping) {
+  const std::string nasty = "quote\" slash\\ nl\n tab\t ctl\x01 end";
+  const std::string json =
+      JsonWriter().field("s", std::string_view(nasty)).str();
+  EXPECT_EQ(FlatJson::parse(json).string_field("s"), nasty);
+}
+
+TEST(FlatJsonTest, NestedBracesAndBracketsKeptRaw) {
+  const FlatJson j = FlatJson::parse(
+      "{\"a\":{\"x\":1,\"y\":[1,2,{\"z\":3}]},\"b\":[[],{}],\"c\":2}");
+  ASSERT_TRUE(j.has("a"));
+  EXPECT_EQ(j.raw_fields()[0].second, "{\"x\":1,\"y\":[1,2,{\"z\":3}]}");
+  EXPECT_EQ(j.raw_fields()[1].second, "[[],{}]");
+  EXPECT_EQ(j.number_field("c"), 2.0);
+  // Nested values are raw-only: the typed accessors refuse them.
+  EXPECT_FALSE(j.string_field("a").has_value());
+  EXPECT_FALSE(j.number_field("a").has_value());
+}
+
+TEST(FlatJsonTest, BracesInsideStringsDoNotConfuseNesting) {
+  const FlatJson j = FlatJson::parse(
+      "{\"a\":{\"s\":\"}}}{\",\"t\":\"\\\"}\"},\"b\":true}");
+  EXPECT_EQ(j.raw_fields()[0].second, "{\"s\":\"}}}{\",\"t\":\"\\\"}\"}");
+  EXPECT_EQ(j.bool_field("b"), true);
+}
+
+TEST(FlatJsonTest, EmptyValues) {
+  const FlatJson j =
+      FlatJson::parse("{\"s\":\"\",\"o\":{},\"a\":[],\"n\":null}");
+  ASSERT_TRUE(j.string_field("s").has_value());
+  EXPECT_EQ(*j.string_field("s"), "");
+  EXPECT_EQ(j.raw_fields()[1].second, "{}");
+  EXPECT_EQ(j.raw_fields()[2].second, "[]");
+  EXPECT_EQ(j.raw_fields()[3].second, "null");
+  EXPECT_FALSE(j.string_field("n").has_value());
+  EXPECT_FALSE(j.number_field("n").has_value());
+  EXPECT_FALSE(j.bool_field("n").has_value());
+}
+
+TEST(FlatJsonTest, EmptyObjectAndWhitespaceForms) {
+  EXPECT_TRUE(FlatJson::parse("{}").raw_fields().empty());
+  EXPECT_TRUE(FlatJson::parse("  {\n}\t ").raw_fields().empty());
+  const FlatJson j = FlatJson::parse(" { \"a\" : 1 , \"b\" : \"x\" } ");
+  EXPECT_EQ(j.number_field("a"), 1.0);
+  EXPECT_EQ(j.string_field("b"), "x");
+}
+
+TEST(FlatJsonTest, DuplicateKeysKeepLast) {
+  const FlatJson j = FlatJson::parse("{\"k\":1,\"k\":2,\"k\":\"three\"}");
+  EXPECT_EQ(j.raw_fields().size(), 1u);
+  EXPECT_EQ(j.string_field("k"), "three");
+}
+
+TEST(FlatJsonTest, TypedAccessorsRejectWrongTypes) {
+  const FlatJson j = FlatJson::parse(
+      "{\"s\":\"5\",\"n\":5,\"neg\":-2,\"frac\":1.5,\"b\":true,"
+      "\"bs\":\"true\"}");
+  EXPECT_FALSE(j.number_field("s").has_value());  // quoted number
+  EXPECT_FALSE(j.string_field("n").has_value());  // bare number
+  EXPECT_EQ(j.number_field("n"), 5.0);
+  EXPECT_EQ(j.uint_field("n"), 5u);
+  EXPECT_FALSE(j.uint_field("neg").has_value());
+  EXPECT_FALSE(j.uint_field("frac").has_value());
+  EXPECT_EQ(j.bool_field("b"), true);
+  EXPECT_FALSE(j.bool_field("bs").has_value());  // quoted "true"
+  EXPECT_FALSE(j.bool_field("n").has_value());
+}
+
+TEST(FlatJsonTest, MalformedInputsThrow) {
+  const char* bad[] = {
+      "",                         // no object at all
+      "   ",                      // whitespace only
+      "[1,2]",                    // not an object
+      "{\"a\":1",                 // unterminated object
+      "{\"a\":}",                 // missing value
+      "{\"a\" 1}",                // missing colon
+      "{\"a\":1,}",               // trailing comma
+      "{\"a\":\"x}",              // unterminated string
+      "{\"a\":\"x\\\"}",          // escape eats the closing quote
+      "{\"a\":\"\\q\"}",          // unknown escape
+      "{\"a\":\"\\u00\"}",        // truncated \u escape
+      "{\"a\":\"\\u00g1\"}",      // bad \u hex digit
+      "{\"a\":{\"b\":1}",         // unbalanced nesting
+      "{\"a\":1}extra",           // trailing content
+      "{\"a\":1}{\"b\":2}",       // two objects on one line
+      "{a:1}",                    // unquoted key
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW((void)FlatJson::parse(text), slm::Error) << text;
+  }
+}
+
+TEST(FlatJsonTest, WideUnicodeEscapeSubstitutes) {
+  // The decoder substitutes '?' outside ASCII rather than growing a
+  // UTF-8 encoder nothing writes.
+  EXPECT_EQ(FlatJson::parse("{\"k\":\"\\u00e9\\u4e2d\"}").string_field("k"),
+            "??");
+}
+
 TEST(CampaignObserverTest, MetricsOnlyObserverHasNoSink) {
   CampaignObserver ob;
   EXPECT_FALSE(ob.has_sink());

@@ -17,9 +17,10 @@ file(READ ${REPO}/docs/ARCHITECTURE.md archdoc)
 file(READ ${REPO}/docs/FULLKEY.md fullkeydoc)
 file(READ ${REPO}/docs/DISTRIBUTED.md distdoc)
 file(READ ${REPO}/docs/SERVE.md servedoc)
+file(READ ${REPO}/docs/STORE.md storedoc)
 file(READ ${REPO}/docs/CLI.md clidoc)
 file(READ ${REPO}/EXPERIMENTS.md experiments)
-set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${clidoc}\n${experiments}")
+set(docs "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${storedoc}\n${clidoc}\n${experiments}")
 
 set(errors "")
 
@@ -48,7 +49,7 @@ foreach(src tools/slm_cli.cpp bench/bench_util.hpp
   string(APPEND flag_sources "${one}\n")
 endforeach()
 string(REGEX MATCHALL "--[a-z][a-z0-9-]+" doc_flags
-       "${benchdoc}\n${obsdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${clidoc}")
+       "${benchdoc}\n${obsdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${storedoc}\n${clidoc}")
 list(REMOVE_DUPLICATES doc_flags)
 foreach(f ${doc_flags})
   string(FIND "${flag_sources}" "${f}" pos)
@@ -65,7 +66,7 @@ file(READ ${REPO}/src/core/campaign.cpp campaignsrc)
 file(READ ${REPO}/tests/regression/golden_trace_test.cpp goldensrc)
 string(APPEND flag_sources "${rootcmake}\n${obssrc}\n${campaignsrc}\n${goldensrc}\n")
 string(REGEX MATCHALL "SLM_[A-Z_]+" doc_knobs
-       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${clidoc}")
+       "${readme}\n${benchdoc}\n${obsdoc}\n${archdoc}\n${fullkeydoc}\n${distdoc}\n${servedoc}\n${storedoc}\n${clidoc}")
 list(REMOVE_DUPLICATES doc_knobs)
 foreach(k ${doc_knobs})
   string(FIND "${flag_sources}" "${k}" pos)
@@ -80,13 +81,13 @@ endforeach()
 #    family) are checked as prefixes, which the literal FIND already is.
 set(metric_sources "")
 file(GLOB_RECURSE metric_files ${REPO}/src/obs/*.cpp ${REPO}/src/obs/*.hpp
-     ${REPO}/src/core/*.cpp ${REPO}/src/serve/*.cpp)
+     ${REPO}/src/core/*.cpp ${REPO}/src/serve/*.cpp ${REPO}/src/store/*.cpp)
 foreach(src ${metric_files})
   file(READ ${src} one)
   string(APPEND metric_sources "${one}\n")
 endforeach()
 string(REGEX MATCHALL "slm\\.[a-z0-9_]+\\.[a-z0-9_.]*[a-z0-9_]" doc_metrics
-       "${obsdoc}\n${distdoc}\n${servedoc}")
+       "${obsdoc}\n${distdoc}\n${servedoc}\n${storedoc}")
 list(REMOVE_DUPLICATES doc_metrics)
 foreach(m ${doc_metrics})
   # Family entries are documented as slm.span.<name>_seconds; match on
@@ -216,26 +217,63 @@ endif()
 if(NOT obsdoc MATCHES "job_preempted")
   string(APPEND errors "OBSERVABILITY.md no longer documents the job_preempted event\n")
 endif()
-foreach(verb gen check sta atpg attack merge coordinate submit serve status)
+foreach(verb gen check sta atpg attack capture tvla merge coordinate submit
+        serve status)
   if(NOT clidoc MATCHES "slm ${verb}")
     string(APPEND errors "CLI.md no longer documents the '${verb}' verb\n")
   endif()
 endforeach()
-foreach(code 0 1 2 3 4 5 6 7 8 9 10 11 12 64)
+foreach(code 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 64)
   if(NOT clidoc MATCHES "\\| ${code} \\|")
     string(APPEND errors "CLI.md exit-code table is missing code ${code}\n")
   endif()
 endforeach()
 set(dup_names "README.md" "docs/BENCHMARKS.md" "docs/OBSERVABILITY.md"
     "docs/ARCHITECTURE.md" "docs/FULLKEY.md" "docs/DISTRIBUTED.md"
-    "docs/SERVE.md" "EXPERIMENTS.md")
+    "docs/SERVE.md" "docs/STORE.md" "EXPERIMENTS.md")
 set(dup_vars readme benchdoc obsdoc archdoc fullkeydoc distdoc servedoc
-    experiments)
-foreach(i RANGE 7)
+    storedoc experiments)
+foreach(i RANGE 8)
   list(GET dup_names ${i} doc_name)
   list(GET dup_vars ${i} doc_var)
   if("${${doc_var}}" MATCHES "\\| *rc *\\| *meaning *\\|")
     string(APPEND errors "${doc_name} duplicates the exit-code table — docs/CLI.md is the single authority\n")
+  endif()
+endforeach()
+
+# 10. The capture-once/replay-many story must stay documented: STORE.md
+#     has to cover the replay surface (--store-out / --from-store, the
+#     capture and tvla verbs, the SLMTRC1 wire format, the bench and its
+#     replay_speedup JSON field, and the store_smoke drill);
+#     OBSERVABILITY.md must keep the slm.store.* metric family and both
+#     store events in its catalogs; and every store surface the docs
+#     lean on must still exist in the sources.
+foreach(needed "--store-out" "--from-store" "slm capture" "slm tvla"
+        "SLMTRC1" "bench_store" "replay_speedup" "store_smoke"
+        "exit code 13" "exit code 14")
+  if(NOT storedoc MATCHES "${needed}")
+    string(APPEND errors "STORE.md no longer documents '${needed}'\n")
+  endif()
+endforeach()
+if(NOT storedoc MATCHES "slm\\.store\\.")
+  string(APPEND errors "STORE.md no longer mentions the slm.store.* metrics\n")
+endif()
+foreach(metric "slm.store.traces_written" "slm.store.bytes_written"
+        "slm.store.write_seconds" "slm.store.traces_replayed"
+        "slm.store.replay_seconds")
+  if(NOT obsdoc MATCHES "${metric}")
+    string(APPEND errors "OBSERVABILITY.md no longer documents the ${metric} metric\n")
+  endif()
+endforeach()
+foreach(ev store_write store_replay)
+  if(NOT obsdoc MATCHES "${ev}")
+    string(APPEND errors "OBSERVABILITY.md no longer documents the ${ev} event\n")
+  endif()
+endforeach()
+foreach(surface "--store-out" "--from-store" "SLMTRC1")
+  string(FIND "${clisrc}\n${metric_sources}" "${surface}" pos)
+  if(pos EQUAL -1)
+    string(APPEND errors "store surface '${surface}' documented in STORE.md is gone from the sources\n")
   endif()
 endforeach()
 

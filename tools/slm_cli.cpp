@@ -11,6 +11,10 @@
 //              [--rng-contract v1|v2]
 //              [--checkpoint-dir D] [--resume D] [--halt-after N]
 //              [--trace-out F.jsonl]
+//              [--store-out F.trc | --from-store F.trc]
+//   slm capture --store-out F.trc [--tvla] [+ attack/tvla flags]
+//   slm tvla   [--circuit C] [--mode M] [--traces N-per-population]
+//              [--store-out F.trc | --from-store F.trc]
 //
 // Circuits are exchanged in ISCAS .bench format, so the checker/STA/ATPG
 // subcommands also work on external netlists.
@@ -40,6 +44,8 @@
 #include "obs/observer.hpp"
 #include "serve/daemon.hpp"
 #include "serve/job.hpp"
+#include "store/replay.hpp"
+#include "store/trace_store.hpp"
 #include "netlist/bench_format.hpp"
 #include "netlist/generators/adder.hpp"
 #include "netlist/generators/c6288.hpp"
@@ -181,19 +187,52 @@ int cmd_atpg(const Args& args) {
   return pair.endpoints_in_band > 0 ? 0 : 3;
 }
 
+// Circuit / sensor-mode flags shared by the attack, capture and tvla
+// verbs (one parse, identical vocabulary everywhere).
+core::BenignCircuit parse_circuit(const Args& args) {
+  const std::string s = args.get("circuit", "alu");
+  return s == "c6288" ? core::BenignCircuit::kC6288x2
+                      : core::BenignCircuit::kAlu;
+}
+
+core::SensorMode parse_mode(const Args& args, const char* dflt) {
+  const std::string mode_s = args.get("mode", dflt);
+  if (mode_s == "tdc") return core::SensorMode::kTdcFull;
+  if (mode_s == "tdc-bit") return core::SensorMode::kTdcSingleBit;
+  if (mode_s == "hw") return core::SensorMode::kBenignHw;
+  if (mode_s == "bit") return core::SensorMode::kBenignSingleBit;
+  if (mode_s == "ro") return core::SensorMode::kRoCounter;
+  throw Error("unknown --mode '" + mode_s + "'");
+}
+
+core::RngContract parse_rng_contract(const Args& args) {
+  // RNG determinism contract (DESIGN.md §12): v2 (the default) derives
+  // every trace's randomness from (seed, trace index) — bit-identical
+  // for any --threads/--block; v1 is the legacy sequential-stream
+  // contract that reproduces the pre-v2 fixtures.
+  const std::string contract_s = args.get("rng-contract", "");
+  if (contract_s == "v1" || contract_s == "1") return core::RngContract::kV1;
+  if (contract_s == "v2" || contract_s == "2") return core::RngContract::kV2;
+  if (!contract_s.empty()) {
+    throw Error("unknown --rng-contract '" + contract_s +
+                "' (expected v1 or v2)");
+  }
+  return core::RngContract::kDefault;
+}
+
+// Observability: --trace-out wins over the SLM_TRACE environment knob;
+// either attaches a metrics registry + JSONL event sink.
+std::unique_ptr<obs::CampaignObserver> make_observer(const Args& args) {
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    return std::make_unique<obs::CampaignObserver>(trace_out);
+  }
+  return obs::observer_from_env();
+}
+
 int cmd_attack(const Args& args) {
-  const std::string circuit_s = args.get("circuit", "alu");
-  const core::BenignCircuit circuit = circuit_s == "c6288"
-                                          ? core::BenignCircuit::kC6288x2
-                                          : core::BenignCircuit::kAlu;
-  const std::string mode_s = args.get("mode", "hw");
-  core::SensorMode mode = core::SensorMode::kBenignHw;
-  if (mode_s == "tdc") mode = core::SensorMode::kTdcFull;
-  else if (mode_s == "tdc-bit") mode = core::SensorMode::kTdcSingleBit;
-  else if (mode_s == "hw") mode = core::SensorMode::kBenignHw;
-  else if (mode_s == "bit") mode = core::SensorMode::kBenignSingleBit;
-  else if (mode_s == "ro") mode = core::SensorMode::kRoCounter;
-  else throw Error("unknown --mode '" + mode_s + "'");
+  const core::BenignCircuit circuit = parse_circuit(args);
+  const core::SensorMode mode = parse_mode(args, "hw");
 
   const std::size_t traces = args.get_n("traces", 150000);
   const std::size_t key_byte = args.get_n("key-byte", 3);
@@ -225,31 +264,33 @@ int cmd_attack(const Args& args) {
   // any value is bit-identical, including across a kill/resume pair).
   // SLM_SIMD=0 in the environment selects the scalar block kernels.
   opts.block = args.get_n("block", 0);
+  opts.rng_contract = parse_rng_contract(args);
 
-  // RNG determinism contract (DESIGN.md §12): v2 (the default) derives
-  // every trace's randomness from (seed, trace index) — bit-identical
-  // for any --threads/--block; v1 is the legacy sequential-stream
-  // contract that reproduces the pre-v2 fixtures.
-  const std::string contract_s = args.get("rng-contract", "");
-  if (contract_s == "v1" || contract_s == "1") {
-    opts.rng_contract = core::RngContract::kV1;
-  } else if (contract_s == "v2" || contract_s == "2") {
-    opts.rng_contract = core::RngContract::kV2;
-  } else if (!contract_s.empty()) {
-    throw Error("unknown --rng-contract '" + contract_s +
-                "' (expected v1 or v2)");
-  }
-
-  // Observability: --trace-out wins over the SLM_TRACE environment knob;
-  // either attaches a metrics registry + JSONL event sink.
-  std::unique_ptr<obs::CampaignObserver> observer;
-  const std::string trace_out = args.get("trace-out", "");
-  if (!trace_out.empty()) {
-    observer = std::make_unique<obs::CampaignObserver>(trace_out);
-  } else {
-    observer = obs::observer_from_env();
-  }
+  std::unique_ptr<obs::CampaignObserver> observer = make_observer(args);
   opts.observer = observer.get();
+
+  // Capture-once, replay-many (docs/STORE.md): --store-out additionally
+  // persists every captured trace into an SLMTRC1 store; --from-store
+  // replays a store through the CPA folds at fold speed instead of
+  // capturing anything at all.
+  opts.store_out = args.get("store-out", "");
+  const std::string from_store = args.get("from-store", "");
+  if (!from_store.empty() && !opts.store_out.empty()) {
+    throw Error("attack: --from-store replays an existing store — it "
+                "cannot also capture one; drop --store-out");
+  }
+  if (!from_store.empty() &&
+      (!opts.checkpoint_dir.empty() || opts.resume ||
+       opts.halt_after_traces > 0)) {
+    throw Error("attack --from-store: replay never captures, so there is "
+                "nothing to checkpoint — drop --checkpoint-dir/--resume/"
+                "--halt-after");
+  }
+  if (!opts.store_out.empty() && opts.resume) {
+    throw Error("attack --store-out: cannot combine with --resume — traces "
+                "captured before the snapshot would be missing from the "
+                "store");
+  }
 
   // --full-key: one shared capture pass attacks all 16 last-round key
   // bytes at once (docs/FULLKEY.md). --fullkey-mode farmed runs the
@@ -298,6 +339,11 @@ int cmd_attack(const Args& args) {
                   "--shard/--dry-run) cannot combine with --checkpoint-dir/"
                   "--resume — prefix snapshots are the fabric's own resume "
                   "mechanism");
+    }
+    if (!opts.store_out.empty() || !from_store.empty()) {
+      throw Error("attack: the fabric worker flags cannot combine with "
+                  "--store-out/--from-store — shard snapshots already "
+                  "persist the accumulators (slm merge folds them)");
     }
     if (full_key && fk_opts.mode == core::FullKeyMode::kFarmed) {
       throw Error("attack: fabric workers run the fused full-key engine; "
@@ -377,6 +423,81 @@ int cmd_attack(const Args& args) {
   }
 
   core::StealthyAttack attack(circuit);
+
+  // Replay path (docs/STORE.md): fold the stored readings through the
+  // same CPA engines at the same checkpoint schedule the live capture
+  // used — bit-identical results (partition invariance, sca/cpa.hpp)
+  // without regenerating a single trace. The store's fingerprint must
+  // match the campaign these flags resolve to (exit 14 otherwise).
+  if (!from_store.empty()) {
+    if (full_key && fk_opts.mode == core::FullKeyMode::kFarmed) {
+      throw Error("attack --from-store: replay folds the fused full-key "
+                  "store; drop --fullkey-mode farmed");
+    }
+    store::TraceStoreReader reader(from_store);
+    const std::size_t rtraces = reader.trace_count();
+    core::CampaignConfig cfg =
+        full_key ? attack.fullkey_campaign_config(rtraces, mode)
+                 : attack.byte_campaign_config(key_byte, rtraces, mode);
+    cfg.rng_contract = opts.rng_contract;
+    cfg.observer = observer.get();
+    core::CpaCampaign campaign(attack.setup(), cfg);
+    const store::StoreKind kind = full_key ? store::StoreKind::kFullKey
+                                           : store::StoreKind::kByteCampaign;
+    reader.identity().require_compatible(
+        campaign.store_identity(kind, rtraces), "attack --from-store");
+    const std::vector<std::size_t> checkpoints =
+        core::checkpoint_schedule(cfg.checkpoints, rtraces);
+    const crypto::Block true_lrk =
+        attack.setup().victim().cipher().last_round_key();
+    std::cout << "replaying " << store::store_kind_name(reader.kind())
+              << " store " << from_store << ": " << rtraces << " traces, "
+              << reader.samples() << " sample(s), " << reader.chunk_count()
+              << " chunk(s)\n";
+
+    if (full_key) {
+      store::ReplayFullKeyOptions ropts;
+      ropts.early_exit = fk_opts.fused.early_exit;
+      ropts.early_exit_margin = fk_opts.fused.early_exit_margin;
+      ropts.early_exit_stable = fk_opts.fused.early_exit_stable;
+      ropts.early_exit_min_traces = fk_opts.fused.early_exit_min_traces;
+      const store::ReplayFullKeyResult fr = store::replay_fullkey(
+          reader, checkpoints, true_lrk, ropts, observer.get());
+      std::printf("fullkey replay: %zu traces folded, %.2f s\n", fr.traces,
+                  fr.replay_seconds);
+      std::printf("byte  true  recovered  ok   converged\n");
+      for (std::size_t b = 0; b < fr.bytes.size(); ++b) {
+        const store::ReplayFullKeyByte& br = fr.bytes[b];
+        std::printf("%4zu  0x%02x       0x%02x  %s  %7zu%s\n", b, br.correct,
+                    br.recovered, br.success ? "yes" : "NO ", br.traces,
+                    br.early_exited ? " (early exit)" : "");
+      }
+      std::printf("last-round key: true %s recovered %s\n",
+                  crypto::block_to_hex(true_lrk).c_str(),
+                  crypto::block_to_hex(fr.recovered_last_round_key).c_str());
+      const crypto::Block true_master = crypto::recover_master_key(true_lrk);
+      const crypto::Block recovered_master =
+          crypto::recover_master_key(fr.recovered_last_round_key);
+      std::printf("master key:     true %s recovered %s -> %s\n",
+                  crypto::block_to_hex(true_master).c_str(),
+                  crypto::block_to_hex(recovered_master).c_str(),
+                  fr.success ? "RECOVERED" : "not recovered");
+      return fr.success ? 0 : 4;
+    }
+
+    sca::LastRoundBitModel model(key_byte, cfg.target_bit);
+    const store::ReplayAttackResult r = store::replay_attack(
+        reader, checkpoints, model.correct_guess(true_lrk), observer.get());
+    std::printf("replay: %zu traces folded, %.2f s\n", r.traces,
+                r.replay_seconds);
+    std::printf("true 0x%02x recovered 0x%02x -> %s", r.correct_guess,
+                r.recovered_guess,
+                r.key_recovered ? "RECOVERED" : "not recovered");
+    if (r.mtd.disclosed()) std::printf(" (~%zu traces)", *r.mtd.traces);
+    std::printf("\n");
+    return r.key_recovered ? 0 : 4;
+  }
+
   if (full_key) {
     std::cout << "circuit " << core::benign_circuit_name(circuit)
               << ", mode " << core::sensor_mode_name(mode) << ", " << traces
@@ -508,6 +629,85 @@ int cmd_attack(const Args& args) {
             .field("capture_seconds", r.capture_seconds));
   }
   return r.success ? 0 : 4;
+}
+
+// `slm tvla` — non-specific leakage assessment with the configured
+// sensor: fixed-vs-random plaintext populations through Welch's t-test
+// per sample point, no key hypothesis at all (sca/tvla.hpp). --store-out
+// captures the interleaved populations into an SLMTRC1 store;
+// --from-store replays one at fold speed. Exit 0 = leakage evidence
+// (max |t| > 4.5), 4 = none.
+int cmd_tvla(const Args& args) {
+  const core::BenignCircuit circuit = parse_circuit(args);
+  const core::SensorMode mode = parse_mode(args, "tdc");
+  const std::size_t tpp = args.get_n("traces", 2000);  // per population
+  const std::size_t key_byte = args.get_n("key-byte", 3);
+  const core::RngContract contract = parse_rng_contract(args);
+  std::unique_ptr<obs::CampaignObserver> observer = make_observer(args);
+
+  const std::string store_out = args.get("store-out", "");
+  const std::string from_store = args.get("from-store", "");
+  if (!store_out.empty() && !from_store.empty()) {
+    throw Error("tvla: --from-store replays an existing store — it cannot "
+                "also capture one; drop --store-out");
+  }
+
+  core::StealthyAttack attack(circuit);
+
+  if (!from_store.empty()) {
+    store::TraceStoreReader reader(from_store);
+    const std::size_t total = reader.trace_count();
+    // The capture interleaves fixed/random, so the per-population count
+    // is half the store; the identity check rejects non-TVLA stores
+    // (kind is a fingerprinted field).
+    core::CampaignConfig cfg =
+        attack.byte_campaign_config(key_byte, total / 2, mode);
+    cfg.rng_contract = contract;
+    cfg.observer = observer.get();
+    core::CpaCampaign campaign(attack.setup(), cfg);
+    reader.identity().require_compatible(
+        campaign.store_identity(store::StoreKind::kTvla, total),
+        "tvla --from-store");
+    const store::ReplayTvlaResult r =
+        store::replay_tvla(reader, observer.get());
+    std::printf("tvla replay: %zu fixed + %zu random traces, %.2f s\n",
+                r.fixed_traces, r.random_traces, r.replay_seconds);
+    std::printf("max |t| = %.2f (threshold %.1f) -> %s\n", r.max_abs_t,
+                sca::WelchTTest::kThreshold,
+                r.leakage_detected ? "LEAKAGE" : "no leakage evidence");
+    return r.leakage_detected ? 0 : 4;
+  }
+
+  core::CampaignConfig cfg = attack.byte_campaign_config(key_byte, tpp, mode);
+  cfg.rng_contract = contract;
+  cfg.observer = observer.get();
+  cfg.store_out = store_out;
+  core::CpaCampaign campaign(attack.setup(), cfg);
+  std::cout << "circuit " << core::benign_circuit_name(circuit) << ", mode "
+            << core::sensor_mode_name(mode) << ", " << tpp
+            << " traces per population\n";
+  const sca::WelchTTest tt = campaign.run_tvla(tpp);
+  std::printf("max |t| = %.2f (threshold %.1f) -> %s\n", tt.max_abs_t(),
+              sca::WelchTTest::kThreshold,
+              tt.leakage_detected() ? "LEAKAGE" : "no leakage evidence");
+  return tt.leakage_detected() ? 0 : 4;
+}
+
+// `slm capture` — capture-only front end (docs/STORE.md): run the
+// configured campaign and persist its traces into an SLMTRC1 store for
+// later `--from-store` replay. Sugar for `slm attack/tvla --store-out`
+// (the attack still runs and reports — capture IS the campaign; the
+// store is the reusable byproduct). `--tvla` captures the fixed-vs-
+// random populations instead of an attack stream.
+int cmd_capture(const Args& args) {
+  if (args.get("store-out", "").empty()) {
+    throw Error("capture: need --store-out FILE.trc");
+  }
+  if (!args.get("from-store", "").empty()) {
+    throw Error("capture: --from-store is a replay flag — use `slm attack "
+                "--from-store` or `slm tvla --from-store`");
+  }
+  return args.options.count("tvla") > 0 ? cmd_tvla(args) : cmd_attack(args);
 }
 
 // `slm merge SNAP... [--out F] [--report]` — offline snapshot folding:
@@ -899,8 +1099,14 @@ int usage() {
          "         [--rng-contract v1|v2]\n"
          "         [--checkpoint-dir D] [--resume D] [--halt-after N]\n"
          "         [--trace-out F.jsonl]\n"
+         "         [--store-out F.trc | --from-store F.trc]\n"
          "         [--shard I/N | --range A:B] [--snapshot-out F.snap]\n"
          "         [--snapshot-every N] [--dry-run]\n"
+         "  capture --store-out F.trc [--tvla] [+ attack/tvla flags]\n"
+         "  tvla   [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]\n"
+         "         [--traces N-per-population] [--key-byte B]\n"
+         "         [--rng-contract v1|v2] [--trace-out F.jsonl]\n"
+         "         [--store-out F.trc | --from-store F.trc]\n"
          "  merge  SNAP... [--out F.snap] [--report]\n"
          "  coordinate --work-dir D [--shards N] [--traces N]\n"
          "         [--snapshot-every N] [--kill-shard I --kill-after N]\n"
@@ -929,6 +1135,8 @@ int main(int argc, char** argv) {
     if (cmd == "sta") return cmd_sta(args);
     if (cmd == "atpg") return cmd_atpg(args);
     if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "capture") return cmd_capture(args);
+    if (cmd == "tvla") return cmd_tvla(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "coordinate") return cmd_coordinate(args);
     if (cmd == "submit") return cmd_submit(args);
@@ -950,6 +1158,12 @@ int main(int argc, char** argv) {
   } catch (const core::SnapshotRangeError& e) {
     std::cerr << "slm: error: " << e.what() << "\n";
     return 9;
+  } catch (const store::StoreFormatError& e) {
+    std::cerr << "slm: error: " << e.what() << "\n";
+    return 13;
+  } catch (const store::StoreMismatch& e) {
+    std::cerr << "slm: error: " << e.what() << "\n";
+    return 14;
   } catch (const std::exception& e) {
     std::cerr << "slm: error: " << e.what() << "\n";
     return 1;
