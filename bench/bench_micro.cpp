@@ -22,6 +22,7 @@
 #include "pdn/cycle_response.hpp"
 #include "pdn/rlc.hpp"
 #include "sca/cpa.hpp"
+#include "sca/fold_kernels.hpp"
 #include "sca/model.hpp"
 #include "timing/timed_sim.hpp"
 
@@ -234,11 +235,16 @@ void BM_CpaAddTrace(benchmark::State& state) {
   Xoshiro256 rng(2);
   crypto::Block ct;
   std::vector<std::uint8_t> h;
+  // Integer readings: the fold engines accumulate in exact int64 and
+  // refuse fractional samples (sca/fold_kernels.hpp).
   std::vector<double> y(10, 0.0);
   for (auto _ : state) {
+    if (engine.trace_count() >= sca::kMaxFoldTraces) {
+      engine = sca::CpaEngine(256, 10);  // stay inside the overflow budget
+    }
     for (auto& b : ct) b = static_cast<std::uint8_t>(rng.next());
     model.hypotheses(ct, h);
-    for (auto& s : y) s = rng.uniform();
+    for (auto& s : y) s = static_cast<double>(rng.next() & 0x3ffu);
     engine.add_trace(h, y);
   }
   benchmark::DoNotOptimize(engine.correlation(0, 0));
@@ -259,10 +265,13 @@ void BM_CpaAddTraces(benchmark::State& state) {
     model.hypotheses(ct, h);
     std::memcpy(hblk.data() + t * 256, h.data(), 256);
     for (std::size_t s = 0; s < kSamples; ++s) {
-      yblk[t * kSamples + s] = rng.uniform();
+      yblk[t * kSamples + s] = static_cast<double>(rng.next() & 0x3ffu);
     }
   }
   for (auto _ : state) {
+    if (engine.trace_count() + kMicroBlock > sca::kMaxFoldTraces) {
+      engine = sca::CpaEngine(256, kSamples);
+    }
     engine.add_traces(hblk.data(), yblk.data(), kMicroBlock);
   }
   benchmark::DoNotOptimize(engine.correlation(0, 0));
@@ -277,6 +286,9 @@ void BM_XorClassAddTrace(benchmark::State& state) {
   Xoshiro256 rng(2);
   std::vector<double> y(kSamples, 0.0);
   for (auto _ : state) {
+    if (cls.trace_count() >= sca::kMaxFoldTraces) {
+      cls = sca::XorClassCpa(kSamples);
+    }
     const auto v = static_cast<std::uint8_t>(rng.next());
     const auto b = static_cast<std::uint8_t>(rng.next() & 1u);
     for (auto& s : y) s = static_cast<double>(rng.next() & 0xffu);
@@ -301,6 +313,9 @@ void BM_XorClassAddBlock(benchmark::State& state) {
     }
   }
   for (auto _ : state) {
+    if (cls.trace_count() + kMicroBlock > sca::kMaxFoldTraces) {
+      cls = sca::XorClassCpa(kSamples);
+    }
     cls.add_block(vblk.data(), bblk.data(), yblk.data(), kMicroBlock);
   }
   benchmark::DoNotOptimize(cls.trace_count());
@@ -308,6 +323,132 @@ void BM_XorClassAddBlock(benchmark::State& state) {
                           static_cast<std::int64_t>(kMicroBlock));
 }
 BENCHMARK(BM_XorClassAddBlock);
+
+// --- Integer fold engine: dispatch levels vs the retired FP floor ------
+//
+// The headline perf claim of the int64 conversion (DESIGN.md §11): the
+// CPA fold no longer has to replay one strictly-ordered double
+// accumulation chain per accumulator, so the hot add loops can run
+// vector-wide. BM_ClassFoldDoubleRef reproduces the retired engine's
+// per-trace double loops verbatim (FP addition is non-associative, so
+// that serial order WAS the spec); the I64 variants drive the same
+// XorClassCpa::add_block through each dispatch level via the test hook.
+// items_per_second is traces/sec — the ratio Avx2 (or the machine's
+// best level) over DoubleRef is the ">= 2x fold throughput" acceptance
+// number, and Scalar over DoubleRef isolates how much of it is the
+// integer conversion alone.
+
+struct FoldBenchData {
+  std::vector<std::uint8_t> v, b;
+  std::vector<double> y;
+};
+
+FoldBenchData make_fold_data() {
+  FoldBenchData d;
+  Xoshiro256 rng(2);
+  d.v.resize(kMicroBlock);
+  d.b.resize(kMicroBlock);
+  d.y.resize(kMicroBlock * kMicroSamples);
+  for (std::size_t t = 0; t < kMicroBlock; ++t) {
+    d.v[t] = static_cast<std::uint8_t>(rng.next());
+    d.b[t] = static_cast<std::uint8_t>(rng.next() & 1u);
+    for (std::size_t s = 0; s < kMicroSamples; ++s) {
+      d.y[t * kMicroSamples + s] = static_cast<double>(rng.next() & 0x3ffu);
+    }
+  }
+  return d;
+}
+
+void BM_ClassFoldDoubleRef(benchmark::State& state) {
+  const FoldBenchData d = make_fold_data();
+  // Verbatim reproduction of the retired XorClassCpa::add_block: double
+  // accumulators fed per trace, plus the stable counting sort the FP
+  // engine needed so every per-row addition order matched the per-trace
+  // scatter (FP addition is non-associative — the order WAS the spec).
+  constexpr std::size_t kClasses = 512;
+  std::vector<double> sum_y(kMicroSamples, 0.0);
+  std::vector<double> sum_yy(kMicroSamples, 0.0);
+  std::vector<double> class_n(kClasses, 0.0);
+  std::vector<double> class_y(kClasses * kMicroSamples, 0.0);
+  std::vector<std::uint32_t> head, order, cursor;
+  for (auto _ : state) {
+    for (std::size_t t = 0; t < kMicroBlock; ++t) {
+      const double* yt = d.y.data() + t * kMicroSamples;
+      for (std::size_t s = 0; s < kMicroSamples; ++s) {
+        const double ys = yt[s];
+        sum_y[s] += ys;
+        sum_yy[s] += ys * ys;
+      }
+    }
+    head.assign(kClasses + 1, 0);
+    order.resize(kMicroBlock);
+    for (std::size_t t = 0; t < kMicroBlock; ++t) {
+      const std::size_t cls =
+          (static_cast<std::size_t>(d.v[t]) << 1) | d.b[t];
+      ++head[cls + 1];
+    }
+    for (std::size_t c = 0; c < kClasses; ++c) head[c + 1] += head[c];
+    cursor.assign(head.begin(), head.end() - 1);
+    for (std::size_t t = 0; t < kMicroBlock; ++t) {
+      const std::size_t cls =
+          (static_cast<std::size_t>(d.v[t]) << 1) | d.b[t];
+      order[cursor[cls]++] = static_cast<std::uint32_t>(t);
+    }
+    for (std::size_t cls = 0; cls < kClasses; ++cls) {
+      const std::uint32_t lo = head[cls];
+      const std::uint32_t hi = head[cls + 1];
+      if (lo == hi) continue;
+      class_n[cls] += static_cast<double>(hi - lo);
+      double* row = &class_y[cls * kMicroSamples];
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        const double* yt =
+            d.y.data() + static_cast<std::size_t>(order[i]) * kMicroSamples;
+        for (std::size_t s = 0; s < kMicroSamples; ++s) row[s] += yt[s];
+      }
+    }
+    benchmark::DoNotOptimize(sum_y[0]);
+    benchmark::DoNotOptimize(class_y[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMicroBlock));
+}
+BENCHMARK(BM_ClassFoldDoubleRef);
+
+void class_fold_i64_bench(benchmark::State& state,
+                          sca::DispatchLevel level) {
+  if (level > sca::detect_dispatch()) {
+    state.SkipWithError("dispatch level not supported by this CPU");
+    return;
+  }
+  sca::force_dispatch_for_testing(level);
+  const FoldBenchData d = make_fold_data();
+  sca::XorClassCpa cls(kMicroSamples);
+  for (auto _ : state) {
+    if (cls.trace_count() + kMicroBlock > sca::kMaxFoldTraces) {
+      cls = sca::XorClassCpa(kMicroSamples);
+    }
+    cls.add_block(d.v.data(), d.b.data(), d.y.data(), kMicroBlock);
+  }
+  benchmark::DoNotOptimize(cls.trace_count());
+  sca::clear_forced_dispatch_for_testing();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMicroBlock));
+}
+
+void BM_ClassFoldI64Scalar(benchmark::State& state) {
+  class_fold_i64_bench(state, sca::DispatchLevel::kScalar);
+}
+BENCHMARK(BM_ClassFoldI64Scalar);
+
+void BM_ClassFoldI64Sse2(benchmark::State& state) {
+  class_fold_i64_bench(state, sca::DispatchLevel::kSse2);
+}
+BENCHMARK(BM_ClassFoldI64Sse2);
+
+void BM_ClassFoldI64Avx2(benchmark::State& state) {
+  class_fold_i64_bench(state, sca::DispatchLevel::kAvx2);
+}
+BENCHMARK(BM_ClassFoldI64Avx2);
 
 // --- RNG contract v2: per-trace stream derivation and pipelining -------
 //

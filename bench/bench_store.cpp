@@ -99,6 +99,43 @@ int main() {
   std::printf("replay speedup: %.1fx (live %.3f s / best replay %.4f s)\n\n",
               replay_speedup, live_seconds, best_replay);
 
+  // Fused one-pass sweep vs three sequential single-analysis sweeps.
+  // Sequential models an operator running attack, full-key, and TVLA as
+  // three separate jobs over the same store: each pays its own open
+  // (mmap + chunk-CRC walk) and its own column sweep. Fused is one
+  // replay_all call: one open, one sweep, all three folds fed from the
+  // same cache-resident blocks. The fold work is identical on both
+  // sides, so the ratio isolates what the fusion buys.
+  const crypto::Block true_key =
+      attack.setup().victim().cipher().last_round_key();
+  store::ReplayAllResult fused;
+  double best_seq = 0.0, best_fused = 0.0;
+  for (int i = 0; i < kReplays; ++i) {
+    double s0 = obs::monotonic_seconds();
+    for (int section = 0; section < 3; ++section) {
+      store::TraceStoreReader reader(store_path);
+      store::ReplayAllOptions one;
+      one.attack = section == 0;
+      one.fullkey = section == 1;
+      one.tvla = section == 2;
+      store::replay_all(reader, checkpoints, true_key, one);
+    }
+    const double seq_secs = obs::monotonic_seconds() - s0;
+    if (i == 0 || seq_secs < best_seq) best_seq = seq_secs;
+
+    s0 = obs::monotonic_seconds();
+    store::TraceStoreReader reader(store_path);
+    fused = store::replay_all(reader, checkpoints, true_key);
+    const double fused_secs = obs::monotonic_seconds() - s0;
+    if (i == 0 || fused_secs < best_fused) best_fused = fused_secs;
+  }
+  const double fused_replay_speedup =
+      best_fused > 0.0 ? best_seq / best_fused : 0.0;
+  std::printf(
+      "fused one-pass x%d: best %.4f s vs 3 sequential sweeps %.4f s "
+      "(%.2fx)\n\n",
+      kReplays, best_fused, best_seq, fused_replay_speedup);
+
   bench::ShapeChecks checks;
   checks.expect("store written", std::filesystem::exists(store_path) &&
                                      store_bytes > 0);
@@ -115,6 +152,12 @@ int main() {
   checks.expect("replay progress bit-identical",
                 progress_equal(replay.progress, live.progress));
   checks.expect("replay_speedup >= 3x", replay_speedup >= 3.0);
+  checks.expect("fused sweep beats three sequential sweeps",
+                fused_replay_speedup > 1.0);
+  checks.expect("fused attack section bit-identical",
+                fused.has_attack &&
+                    fused.attack.recovered_guess == live.recovered_guess &&
+                    progress_equal(fused.attack.progress, live.progress));
   if (bench::full_shape_budget(traces)) {
     checks.expect("key recovered at full budget", live.key_recovered);
   }
@@ -130,11 +173,15 @@ int main() {
                  "  \"replay_runs\": %d,\n"
                  "  \"replay_seconds\": %.6f,\n"
                  "  \"replay_speedup\": %.3f,\n"
+                 "  \"sequential_sweep_seconds\": %.6f,\n"
+                 "  \"fused_sweep_seconds\": %.6f,\n"
+                 "  \"fused_replay_speedup\": %.3f,\n"
                  "  \"bit_identical\": %s,\n"
                  "  \"key_recovered\": %s\n"
                  "}\n",
                  traces, static_cast<std::uintmax_t>(store_bytes),
                  live_seconds, kReplays, best_replay, replay_speedup,
+                 best_seq, best_fused, fused_replay_speedup,
                  progress_equal(replay.progress, live.progress) ? "true"
                                                                 : "false",
                  live.key_recovered ? "true" : "false");

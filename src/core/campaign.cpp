@@ -15,6 +15,7 @@
 #include "core/checkpoint.hpp"
 #include "core/parallel.hpp"
 #include "obs/observer.hpp"
+#include "sca/fold_kernels.hpp"
 #include "sca/selection.hpp"
 #include "store/trace_store.hpp"
 
@@ -68,8 +69,11 @@ std::size_t resolve_block(std::size_t requested) {
 
 bool resolve_simd(bool requested) {
   if (!requested) return false;
-  if (const char* env = std::getenv("SLM_SIMD")) return std::atoi(env) != 0;
-  return true;
+  // SLM_SIMD names a fold dispatch level now (sca/fold_kernels.hpp:
+  // 0/scalar, sse2, avx2, unset = auto). The scalar level also forces
+  // the scalar sensor kernels, preserving the historical SLM_SIMD=0
+  // behavior; any vector level leaves the batch kernels on.
+  return sca::active_dispatch() != sca::DispatchLevel::kScalar;
 }
 
 // Whether the serial engine's v2 generate/compute overlap should run.
@@ -113,6 +117,9 @@ RngContract resolve_contract(RngContract requested) {
 CpaCampaign::CpaCampaign(AttackSetup& setup, const CampaignConfig& cfg)
     : setup_(setup), cfg_(cfg) {
   SLM_REQUIRE(cfg_.traces > 0, "CpaCampaign: zero traces");
+  // Refuse up front any budget whose worst-case integer sums could
+  // overflow the int64 fold accumulators.
+  sca::require_fold_budget(cfg_.traces, "CpaCampaign");
   if (cfg_.fence.random_current_a > 0.0 || cfg_.fence.base_current_a > 0.0) {
     fence_.emplace(cfg_.fence);
   }
@@ -366,6 +373,7 @@ void CpaCampaign::resolve_sensor_bits(CampaignResult* result) {
 
 sca::WelchTTest CpaCampaign::run_tvla(std::size_t traces_per_population) {
   SLM_REQUIRE(traces_per_population >= 2, "run_tvla: too few traces");
+  sca::require_fold_budget(2 * traces_per_population, "run_tvla");
   std::unique_ptr<store::TraceStoreWriter> store_writer;
   if (!cfg_.store_out.empty()) {
     store_writer = std::make_unique<store::TraceStoreWriter>(

@@ -126,11 +126,13 @@ struct CampaignConfig {
   /// value yields bit-identical results and snapshots.
   std::size_t block = 0;
 
-  /// Lane-parallel dispatch for the block kernels. false — or SLM_SIMD=0
-  /// in the environment — forces the per-lane scalar reference loops.
-  /// Results are bit-identical either way (the lanes replay the scalar
-  /// FP expression sequence); the knob exists to isolate vectorizer
-  /// miscompiles and to measure the SIMD win.
+  /// Lane-parallel dispatch for the block kernels. false — or
+  /// SLM_SIMD=0/scalar in the environment — forces the per-lane scalar
+  /// reference loops; SLM_SIMD also selects the fold dispatch level
+  /// (sca/fold_kernels.hpp: scalar, sse2, avx2, unset = auto). Results
+  /// are bit-identical at every level — the fold accumulators are exact
+  /// int64 sums, so lane width never matters; the knob exists to
+  /// isolate vectorizer miscompiles and to measure the SIMD win.
   bool simd = true;
 
   std::uint64_t seed = 0xc0ffee;
@@ -416,8 +418,9 @@ inline constexpr std::size_t kDefaultBlockTraces = 64;
 /// SLM_BLOCK environment variable, else kDefaultBlockTraces.
 std::size_t resolve_block(std::size_t requested);
 
-/// CampaignConfig::simd resolution: an explicit `false` wins, else
-/// SLM_SIMD=0 in the environment forces the scalar fallback.
+/// CampaignConfig::simd resolution: an explicit `false` wins, else the
+/// SLM_SIMD dispatch level decides (the scalar level — SLM_SIMD=0 or
+/// SLM_SIMD=scalar — forces the scalar sensor fallback).
 bool resolve_simd(bool requested);
 
 }  // namespace slm::core

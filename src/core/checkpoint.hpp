@@ -17,7 +17,13 @@
 //   crc     u32                        CRC-32 of the payload
 //   payload                            header + shards + progress,
 //                                      little-endian, raw IEEE-754
-//                                      doubles (see checkpoint.cpp)
+//                                      doubles (see checkpoint.cpp).
+//                                      The engines accumulate in int64
+//                                      now; the sums bridge through
+//                                      these double fields exactly
+//                                      (every in-budget sum < 2^53), so
+//                                      the format and old snapshots are
+//                                      unchanged — no version bump.
 //
 // Durability contract: snapshots are written to `<dir>/campaign.ckpt`
 // via a temp file + atomic rename, so the file is always either the

@@ -4,16 +4,41 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "sca/fold_kernels.hpp"
 
 namespace slm::sca {
+namespace {
+
+// Per-thread staging scratch for the double -> int64 conversion: the
+// readings and their squares are materialized once per block, so the
+// dispatched hot loops are pure integer adds (no multiply — AVX2 has no
+// 64x64 product).
+struct StagedBlock {
+  const std::int64_t* y;
+  const std::int64_t* yy;
+};
+
+StagedBlock stage_block(const FoldKernels& k, const double* y,
+                        std::size_t n) {
+  thread_local std::vector<std::int64_t> yi;
+  thread_local std::vector<std::int64_t> yyi;
+  if (yi.size() < n) {
+    yi.resize(n);
+    yyi.resize(n);
+  }
+  k.stage_i64(y, n, yi.data(), yyi.data());
+  return {yi.data(), yyi.data()};
+}
+
+}  // namespace
 
 CpaEngine::CpaEngine(std::size_t guess_count, std::size_t sample_count)
     : guesses_(guess_count),
       samples_(sample_count),
-      sum_y_(sample_count, 0.0),
-      sum_yy_(sample_count, 0.0),
-      sum_h_(guess_count, 0.0),
-      sum_hy_(guess_count * sample_count, 0.0) {
+      sum_y_(sample_count, 0),
+      sum_yy_(sample_count, 0),
+      sum_h_(guess_count, 0),
+      sum_hy_(guess_count * sample_count, 0) {
   SLM_REQUIRE(guess_count > 0 && sample_count > 0,
               "CpaEngine: empty dimensions");
 }
@@ -22,42 +47,35 @@ void CpaEngine::add_trace(const std::vector<std::uint8_t>& h,
                           const std::vector<double>& y) {
   SLM_REQUIRE(h.size() == guesses_, "CpaEngine: hypothesis count mismatch");
   SLM_REQUIRE(y.size() == samples_, "CpaEngine: sample count mismatch");
+  require_fold_budget(n_ + 1, "CpaEngine");
+  const FoldKernels& k = active_kernels();
+  const StagedBlock st = stage_block(k, y.data(), samples_);
   ++n_;
-  for (std::size_t s = 0; s < samples_; ++s) {
-    sum_y_[s] += y[s];
-    sum_yy_[s] += y[s] * y[s];
-  }
-  for (std::size_t k = 0; k < guesses_; ++k) {
-    if (h[k]) {
-      sum_h_[k] += 1.0;
-      double* row = &sum_hy_[k * samples_];
-      for (std::size_t s = 0; s < samples_; ++s) row[s] += y[s];
+  k.add2_i64(sum_y_.data(), sum_yy_.data(), st.y, st.yy, samples_);
+  for (std::size_t g = 0; g < guesses_; ++g) {
+    if (h[g]) {
+      sum_h_[g] += 1;
+      k.add_i64(&sum_hy_[g * samples_], st.y, samples_);
     }
   }
 }
 
 void CpaEngine::add_traces(const std::uint8_t* h, const double* y,
                            std::size_t count) {
+  require_fold_budget(n_ + count, "CpaEngine");
+  const FoldKernels& k = active_kernels();
+  const StagedBlock st = stage_block(k, y, count * samples_);
   n_ += count;
-  // Trace-major per-sample sums: each sum_y_/sum_yy_ slot accumulates in
-  // block order, exactly as repeated add_trace calls would.
-  for (std::size_t t = 0; t < count; ++t) {
-    const double* yt = y + t * samples_;
-    for (std::size_t s = 0; s < samples_; ++s) {
-      sum_y_[s] += yt[s];
-      sum_yy_[s] += yt[s] * yt[s];
-    }
-  }
-  // Guess-major rank-K update: row k stays hot while the block's
-  // contributing traces are applied in order — same per-slot addition
-  // sequence as the per-trace scatter, ~samples_ doubles of working set.
-  for (std::size_t k = 0; k < guesses_; ++k) {
-    double* row = &sum_hy_[k * samples_];
+  k.sum_cols2_i64(sum_y_.data(), sum_yy_.data(), st.y, st.yy, count,
+                  samples_);
+  // Guess-major rank-K update: row g stays hot while the block's
+  // contributing traces are applied — ~samples_ int64s of working set.
+  for (std::size_t g = 0; g < guesses_; ++g) {
+    std::int64_t* row = &sum_hy_[g * samples_];
     for (std::size_t t = 0; t < count; ++t) {
-      if (h[t * guesses_ + k]) {
-        sum_h_[k] += 1.0;
-        const double* yt = y + t * samples_;
-        for (std::size_t s = 0; s < samples_; ++s) row[s] += yt[s];
+      if (h[t * guesses_ + g]) {
+        sum_h_[g] += 1;
+        k.add_i64(row, st.y + t * samples_, samples_);
       }
     }
   }
@@ -66,27 +84,30 @@ void CpaEngine::add_traces(const std::uint8_t* h, const double* y,
 void CpaEngine::merge(const CpaEngine& other) {
   SLM_REQUIRE(other.guesses_ == guesses_ && other.samples_ == samples_,
               "CpaEngine::merge: dimension mismatch");
+  require_fold_budget(n_ + other.n_, "CpaEngine::merge");
+  const FoldKernels& k = active_kernels();
   n_ += other.n_;
-  for (std::size_t s = 0; s < samples_; ++s) {
-    sum_y_[s] += other.sum_y_[s];
-    sum_yy_[s] += other.sum_yy_[s];
-  }
-  for (std::size_t k = 0; k < guesses_; ++k) sum_h_[k] += other.sum_h_[k];
-  for (std::size_t i = 0; i < sum_hy_.size(); ++i) {
-    sum_hy_[i] += other.sum_hy_[i];
-  }
+  k.add2_i64(sum_y_.data(), sum_yy_.data(), other.sum_y_.data(),
+             other.sum_yy_.data(), samples_);
+  k.add_i64(sum_h_.data(), other.sum_h_.data(), guesses_);
+  k.add_i64(sum_hy_.data(), other.sum_hy_.data(), sum_hy_.size());
 }
 
 double CpaEngine::correlation(std::size_t guess, std::size_t sample) const {
   SLM_REQUIRE(guess < guesses_ && sample < samples_,
               "CpaEngine::correlation: index out of range");
   if (n_ < 2) return 0.0;
+  // Read-out happens in double on the exact integer sums — every cast is
+  // exact below 2^53 (overflow budget), and the expression is verbatim
+  // the legacy all-double engine's, so the result is bit-identical to
+  // every artifact that engine produced.
   const double n = static_cast<double>(n_);
-  const double sh = sum_h_[guess];
-  const double sy = sum_y_[sample];
-  const double cov = n * sum_hy_[guess * samples_ + sample] - sh * sy;
+  const double sh = static_cast<double>(sum_h_[guess]);
+  const double sy = static_cast<double>(sum_y_[sample]);
+  const double cov =
+      n * static_cast<double>(sum_hy_[guess * samples_ + sample]) - sh * sy;
   const double var_h = n * sh - sh * sh;  // h is binary: sum_hh == sum_h
-  const double var_y = n * sum_yy_[sample] - sy * sy;
+  const double var_y = n * static_cast<double>(sum_yy_[sample]) - sy * sy;
   const double denom = std::sqrt(var_h * var_y);
   return denom > 0.0 ? cov / denom : 0.0;
 }
@@ -122,10 +143,10 @@ void CpaEngine::save(ByteWriter& out) const {
   out.put_u64(guesses_);
   out.put_u64(samples_);
   out.put_u64(n_);
-  out.put_f64_vector(sum_y_);
-  out.put_f64_vector(sum_yy_);
-  out.put_f64_vector(sum_h_);
-  out.put_f64_vector(sum_hy_);
+  out.put_f64_vector(sums_to_f64_exact(sum_y_, "CpaEngine::save"));
+  out.put_f64_vector(sums_to_f64_exact(sum_yy_, "CpaEngine::save"));
+  out.put_f64_vector(sums_to_f64_exact(sum_h_, "CpaEngine::save"));
+  out.put_f64_vector(sums_to_f64_exact(sum_hy_, "CpaEngine::save"));
 }
 
 void CpaEngine::load(ByteReader& in) {
@@ -134,10 +155,10 @@ void CpaEngine::load(ByteReader& in) {
   SLM_REQUIRE(guesses == guesses_ && samples == samples_,
               "CpaEngine::load: dimension mismatch");
   n_ = in.get_u64();
-  sum_y_ = in.get_f64_vector();
-  sum_yy_ = in.get_f64_vector();
-  sum_h_ = in.get_f64_vector();
-  sum_hy_ = in.get_f64_vector();
+  sum_y_ = sums_from_f64_exact(in.get_f64_vector(), "CpaEngine::load");
+  sum_yy_ = sums_from_f64_exact(in.get_f64_vector(), "CpaEngine::load");
+  sum_h_ = sums_from_f64_exact(in.get_f64_vector(), "CpaEngine::load");
+  sum_hy_ = sums_from_f64_exact(in.get_f64_vector(), "CpaEngine::load");
   SLM_REQUIRE(sum_y_.size() == samples_ && sum_yy_.size() == samples_ &&
                   sum_h_.size() == guesses_ &&
                   sum_hy_.size() == guesses_ * samples_,
@@ -146,10 +167,10 @@ void CpaEngine::load(ByteReader& in) {
 
 XorClassCpa::XorClassCpa(std::size_t sample_count)
     : samples_(sample_count),
-      sum_y_(sample_count, 0.0),
-      sum_yy_(sample_count, 0.0),
-      class_n_(kClasses, 0.0),
-      class_y_(kClasses * sample_count, 0.0) {
+      sum_y_(sample_count, 0),
+      sum_yy_(sample_count, 0),
+      class_n_(kClasses, 0),
+      class_y_(kClasses * sample_count, 0) {
   SLM_REQUIRE(sample_count > 0, "XorClassCpa: empty sample dimension");
 }
 
@@ -157,94 +178,70 @@ void XorClassCpa::add_trace(std::uint8_t v, std::uint8_t b,
                             const std::vector<double>& y) {
   SLM_REQUIRE(y.size() == samples_, "XorClassCpa: sample count mismatch");
   SLM_REQUIRE(b <= 1, "XorClassCpa: class bit must be 0/1");
+  require_fold_budget(n_ + 1, "XorClassCpa");
+  const FoldKernels& k = active_kernels();
+  const StagedBlock st = stage_block(k, y.data(), samples_);
   ++n_;
   const std::size_t cls = (static_cast<std::size_t>(v) << 1) | b;
-  class_n_[cls] += 1.0;
-  double* row = &class_y_[cls * samples_];
-  for (std::size_t s = 0; s < samples_; ++s) {
-    const double ys = y[s];
-    sum_y_[s] += ys;
-    sum_yy_[s] += ys * ys;
-    row[s] += ys;
-  }
+  class_n_[cls] += 1;
+  k.add2_i64(sum_y_.data(), sum_yy_.data(), st.y, st.yy, samples_);
+  k.add_i64(&class_y_[cls * samples_], st.y, samples_);
 }
 
 void XorClassCpa::add_block(const std::uint8_t* v, const std::uint8_t* b,
                             const double* y, std::size_t count) {
+  // Budget and class bits before any accumulator mutation: an
+  // over-budget count is refused without touching the (possibly
+  // smaller) input arrays, and a bad class bit leaves the sums intact.
+  require_fold_budget(n_ + count, "XorClassCpa");
+  thread_local std::vector<std::uint32_t> cls_idx;
+  cls_idx.resize(count);
   for (std::size_t t = 0; t < count; ++t) {
     SLM_REQUIRE(b[t] <= 1, "XorClassCpa: class bit must be 0/1");
+    cls_idx[t] =
+        static_cast<std::uint32_t>((static_cast<std::size_t>(v[t]) << 1) |
+                                   b[t]);
   }
+  const FoldKernels& k = active_kernels();
+  const StagedBlock st = stage_block(k, y, count * samples_);
   n_ += count;
-  for (std::size_t t = 0; t < count; ++t) {
-    const double* yt = y + t * samples_;
-    for (std::size_t s = 0; s < samples_; ++s) {
-      const double ys = yt[s];
-      sum_y_[s] += ys;
-      sum_yy_[s] += ys * ys;
-    }
-  }
-  // Stable counting sort of the block's traces by class: head_/next_
-  // style chains would do, but for <= a few hundred traces two passes
-  // over a 512-entry histogram are cheaper and keep block order within
-  // each class — the property bit-exactness needs per-row addition order
-  // to match the per-trace scatter.
-  thread_local std::vector<std::uint32_t> head;
-  thread_local std::vector<std::uint32_t> order;
-  head.assign(kClasses + 1, 0);
-  order.resize(count);
-  for (std::size_t t = 0; t < count; ++t) {
-    const std::size_t cls = (static_cast<std::size_t>(v[t]) << 1) | b[t];
-    ++head[cls + 1];
-  }
-  for (std::size_t c = 0; c < kClasses; ++c) head[c + 1] += head[c];
-  thread_local std::vector<std::uint32_t> cursor;
-  cursor.assign(head.begin(), head.end() - 1);
-  for (std::size_t t = 0; t < count; ++t) {
-    const std::size_t cls = (static_cast<std::size_t>(v[t]) << 1) | b[t];
-    order[cursor[cls]++] = static_cast<std::uint32_t>(t);
-  }
-  for (std::size_t cls = 0; cls < kClasses; ++cls) {
-    const std::uint32_t lo = head[cls];
-    const std::uint32_t hi = head[cls + 1];
-    if (lo == hi) continue;
-    class_n_[cls] += static_cast<double>(hi - lo);
-    double* row = &class_y_[cls * samples_];
-    for (std::uint32_t i = lo; i < hi; ++i) {
-      const double* yt = y + static_cast<std::size_t>(order[i]) * samples_;
-      for (std::size_t s = 0; s < samples_; ++s) row[s] += yt[s];
-    }
-  }
+  // Column sums once per block (the running sums stay in registers
+  // across all `count` traces), then one scatter call for the class
+  // rank-K update — exact integer addition makes any per-trace scatter
+  // order produce the same accumulator bits, so no bucketing is needed.
+  k.sum_cols2_i64(sum_y_.data(), sum_yy_.data(), st.y, st.yy, count,
+                  samples_);
+  for (std::size_t t = 0; t < count; ++t) class_n_[cls_idx[t]] += 1;
+  k.scatter_rows_i64(class_y_.data(), st.y, cls_idx.data(), count, samples_);
 }
 
 void XorClassCpa::merge(const XorClassCpa& other) {
   SLM_REQUIRE(other.samples_ == samples_, "XorClassCpa::merge: mismatch");
+  require_fold_budget(n_ + other.n_, "XorClassCpa::merge");
+  const FoldKernels& k = active_kernels();
   n_ += other.n_;
-  for (std::size_t s = 0; s < samples_; ++s) {
-    sum_y_[s] += other.sum_y_[s];
-    sum_yy_[s] += other.sum_yy_[s];
-  }
-  for (std::size_t c = 0; c < kClasses; ++c) class_n_[c] += other.class_n_[c];
-  for (std::size_t i = 0; i < class_y_.size(); ++i) {
-    class_y_[i] += other.class_y_[i];
-  }
+  k.add2_i64(sum_y_.data(), sum_yy_.data(), other.sum_y_.data(),
+             other.sum_yy_.data(), samples_);
+  k.add_i64(class_n_.data(), other.class_n_.data(), kClasses);
+  k.add_i64(class_y_.data(), other.class_y_.data(), class_y_.size());
 }
 
 CpaEngine XorClassCpa::fold(const std::uint8_t* pattern256) const {
+  const FoldKernels& kn = active_kernels();
   CpaEngine e(256, samples_);
   e.n_ = n_;
   e.sum_y_ = sum_y_;
   e.sum_yy_ = sum_yy_;
   for (std::size_t k = 0; k < 256; ++k) {
-    double sh = 0.0;
-    double* row = &e.sum_hy_[k * samples_];
+    std::int64_t sh = 0;
+    std::int64_t* row = &e.sum_hy_[k * samples_];
     for (std::size_t v = 0; v < 256; ++v) {
       // h = pattern[v ^ k] ^ b: only the b that makes h == 1 contributes.
       const std::size_t b = pattern256[v ^ k] ? 0u : 1u;
       const std::size_t cls = (v << 1) | b;
-      if (class_n_[cls] == 0.0) continue;
+      if (class_n_[cls] == 0) continue;
       sh += class_n_[cls];
-      const double* src = &class_y_[cls * samples_];
-      for (std::size_t s = 0; s < samples_; ++s) row[s] += src[s];
+      kn.add_i64(row, &class_y_[cls * samples_], samples_);
     }
     e.sum_h_[k] = sh;
   }
@@ -254,20 +251,20 @@ CpaEngine XorClassCpa::fold(const std::uint8_t* pattern256) const {
 void XorClassCpa::save(ByteWriter& out) const {
   out.put_u64(samples_);
   out.put_u64(n_);
-  out.put_f64_vector(sum_y_);
-  out.put_f64_vector(sum_yy_);
-  out.put_f64_vector(class_n_);
-  out.put_f64_vector(class_y_);
+  out.put_f64_vector(sums_to_f64_exact(sum_y_, "XorClassCpa::save"));
+  out.put_f64_vector(sums_to_f64_exact(sum_yy_, "XorClassCpa::save"));
+  out.put_f64_vector(sums_to_f64_exact(class_n_, "XorClassCpa::save"));
+  out.put_f64_vector(sums_to_f64_exact(class_y_, "XorClassCpa::save"));
 }
 
 void XorClassCpa::load(ByteReader& in) {
   const std::uint64_t samples = in.get_u64();
   SLM_REQUIRE(samples == samples_, "XorClassCpa::load: dimension mismatch");
   n_ = in.get_u64();
-  sum_y_ = in.get_f64_vector();
-  sum_yy_ = in.get_f64_vector();
-  class_n_ = in.get_f64_vector();
-  class_y_ = in.get_f64_vector();
+  sum_y_ = sums_from_f64_exact(in.get_f64_vector(), "XorClassCpa::load");
+  sum_yy_ = sums_from_f64_exact(in.get_f64_vector(), "XorClassCpa::load");
+  class_n_ = sums_from_f64_exact(in.get_f64_vector(), "XorClassCpa::load");
+  class_y_ = sums_from_f64_exact(in.get_f64_vector(), "XorClassCpa::load");
   SLM_REQUIRE(sum_y_.size() == samples_ && sum_yy_.size() == samples_ &&
                   class_n_.size() == kClasses &&
                   class_y_.size() == kClasses * samples_,
@@ -276,10 +273,10 @@ void XorClassCpa::load(ByteReader& in) {
 
 MultiByteCpa::MultiByteCpa(std::size_t sample_count)
     : samples_(sample_count),
-      sum_y_(sample_count, 0.0),
-      sum_yy_(sample_count, 0.0),
-      class_n_(kBytes * kClasses, 0.0),
-      class_y_(kBytes * kClasses * sample_count, 0.0) {
+      sum_y_(sample_count, 0),
+      sum_yy_(sample_count, 0),
+      class_n_(kBytes * kClasses, 0),
+      class_y_(kBytes * kClasses * sample_count, 0) {
   SLM_REQUIRE(sample_count > 0, "MultiByteCpa: empty sample dimension");
 }
 
@@ -289,108 +286,83 @@ void MultiByteCpa::add_trace(const std::uint8_t* v16, const std::uint8_t* b16,
   for (std::size_t j = 0; j < kBytes; ++j) {
     SLM_REQUIRE(b16[j] <= 1, "MultiByteCpa: class bit must be 0/1");
   }
+  require_fold_budget(n_ + 1, "MultiByteCpa");
+  const FoldKernels& k = active_kernels();
+  const StagedBlock st = stage_block(k, y.data(), samples_);
   ++n_;
-  for (std::size_t s = 0; s < samples_; ++s) {
-    const double ys = y[s];
-    sum_y_[s] += ys;
-    sum_yy_[s] += ys * ys;
-  }
+  k.add2_i64(sum_y_.data(), sum_yy_.data(), st.y, st.yy, samples_);
   for (std::size_t j = 0; j < kBytes; ++j) {
     const std::size_t cls = (static_cast<std::size_t>(v16[j]) << 1) | b16[j];
-    class_n_[j * kClasses + cls] += 1.0;
-    double* row = &class_y_[(j * kClasses + cls) * samples_];
-    for (std::size_t s = 0; s < samples_; ++s) row[s] += y[s];
+    class_n_[j * kClasses + cls] += 1;
+    k.add_i64(&class_y_[(j * kClasses + cls) * samples_], st.y, samples_);
   }
 }
 
 void MultiByteCpa::add_block(const std::uint8_t* v, const std::uint8_t* b,
                              const double* y, std::size_t count) {
-  for (std::size_t i = 0; i < count * kBytes; ++i) {
-    SLM_REQUIRE(b[i] <= 1, "MultiByteCpa: class bit must be 0/1");
-  }
-  n_ += count;
+  require_fold_budget(n_ + count, "MultiByteCpa");
+  // Class indices for all 16 bytes up front, byte-major — the pass
+  // doubles as the class-bit validation, completed before any
+  // accumulator is touched.
+  thread_local std::vector<std::uint32_t> cls_idx;
+  cls_idx.resize(kBytes * count);
   for (std::size_t t = 0; t < count; ++t) {
-    const double* yt = y + t * samples_;
-    for (std::size_t s = 0; s < samples_; ++s) {
-      const double ys = yt[s];
-      sum_y_[s] += ys;
-      sum_yy_[s] += ys * ys;
+    for (std::size_t j = 0; j < kBytes; ++j) {
+      SLM_REQUIRE(b[t * kBytes + j] <= 1,
+                  "MultiByteCpa: class bit must be 0/1");
+      cls_idx[j * count + t] = static_cast<std::uint32_t>(
+          (static_cast<std::size_t>(v[t * kBytes + j]) << 1) |
+          b[t * kBytes + j]);
     }
   }
-  // Per byte, the same stable counting sort XorClassCpa::add_block runs:
-  // bucket the block's traces by that byte's class, then update each
-  // touched class row once with its traces in block order. Every byte
-  // slice therefore sees the per-trace addition sequence exactly, while
-  // each 512 x S tile stays cache-resident for the whole block.
-  thread_local std::vector<std::uint32_t> head;
-  thread_local std::vector<std::uint32_t> order;
-  thread_local std::vector<std::uint32_t> cursor;
+  const FoldKernels& k = active_kernels();
+  const StagedBlock st = stage_block(k, y, count * samples_);
+  n_ += count;
+  k.sum_cols2_i64(sum_y_.data(), sum_yy_.data(), st.y, st.yy, count,
+                  samples_);
+  // Per byte, one scatter call over that byte's 512 x S class tile —
+  // the tile stays cache-resident for the whole block, and exact
+  // integer addition makes the scatter order irrelevant to the bits.
   for (std::size_t j = 0; j < kBytes; ++j) {
-    head.assign(kClasses + 1, 0);
-    order.resize(count);
-    for (std::size_t t = 0; t < count; ++t) {
-      const std::size_t cls =
-          (static_cast<std::size_t>(v[t * kBytes + j]) << 1) | b[t * kBytes + j];
-      ++head[cls + 1];
-    }
-    for (std::size_t c = 0; c < kClasses; ++c) head[c + 1] += head[c];
-    cursor.assign(head.begin(), head.end() - 1);
-    for (std::size_t t = 0; t < count; ++t) {
-      const std::size_t cls =
-          (static_cast<std::size_t>(v[t * kBytes + j]) << 1) | b[t * kBytes + j];
-      order[cursor[cls]++] = static_cast<std::uint32_t>(t);
-    }
-    double* cn = &class_n_[j * kClasses];
-    double* cy = &class_y_[j * kClasses * samples_];
-    for (std::size_t cls = 0; cls < kClasses; ++cls) {
-      const std::uint32_t lo = head[cls];
-      const std::uint32_t hi = head[cls + 1];
-      if (lo == hi) continue;
-      cn[cls] += static_cast<double>(hi - lo);
-      double* row = cy + cls * samples_;
-      for (std::uint32_t i = lo; i < hi; ++i) {
-        const double* yt = y + static_cast<std::size_t>(order[i]) * samples_;
-        for (std::size_t s = 0; s < samples_; ++s) row[s] += yt[s];
-      }
-    }
+    const std::uint32_t* cj = &cls_idx[j * count];
+    std::int64_t* cn = &class_n_[j * kClasses];
+    for (std::size_t t = 0; t < count; ++t) cn[cj[t]] += 1;
+    k.scatter_rows_i64(&class_y_[j * kClasses * samples_], st.y, cj, count,
+                       samples_);
   }
 }
 
 void MultiByteCpa::merge(const MultiByteCpa& other) {
   SLM_REQUIRE(other.samples_ == samples_, "MultiByteCpa::merge: mismatch");
+  require_fold_budget(n_ + other.n_, "MultiByteCpa::merge");
+  const FoldKernels& k = active_kernels();
   n_ += other.n_;
-  for (std::size_t s = 0; s < samples_; ++s) {
-    sum_y_[s] += other.sum_y_[s];
-    sum_yy_[s] += other.sum_yy_[s];
-  }
-  for (std::size_t c = 0; c < class_n_.size(); ++c) {
-    class_n_[c] += other.class_n_[c];
-  }
-  for (std::size_t i = 0; i < class_y_.size(); ++i) {
-    class_y_[i] += other.class_y_[i];
-  }
+  k.add2_i64(sum_y_.data(), sum_yy_.data(), other.sum_y_.data(),
+             other.sum_yy_.data(), samples_);
+  k.add_i64(class_n_.data(), other.class_n_.data(), class_n_.size());
+  k.add_i64(class_y_.data(), other.class_y_.data(), class_y_.size());
 }
 
 CpaEngine MultiByteCpa::fold(std::size_t byte,
                              const std::uint8_t* pattern256) const {
   SLM_REQUIRE(byte < kBytes, "MultiByteCpa::fold: byte out of range");
+  const FoldKernels& kn = active_kernels();
   CpaEngine e(256, samples_);
   e.n_ = n_;
   e.sum_y_ = sum_y_;
   e.sum_yy_ = sum_yy_;
-  const double* cn = &class_n_[byte * kClasses];
-  const double* cy = &class_y_[byte * kClasses * samples_];
+  const std::int64_t* cn = &class_n_[byte * kClasses];
+  const std::int64_t* cy = &class_y_[byte * kClasses * samples_];
   for (std::size_t k = 0; k < 256; ++k) {
-    double sh = 0.0;
-    double* row = &e.sum_hy_[k * samples_];
+    std::int64_t sh = 0;
+    std::int64_t* row = &e.sum_hy_[k * samples_];
     for (std::size_t v = 0; v < 256; ++v) {
       // h = pattern[v ^ k] ^ b: only the b that makes h == 1 contributes.
       const std::size_t b = pattern256[v ^ k] ? 0u : 1u;
       const std::size_t cls = (v << 1) | b;
-      if (cn[cls] == 0.0) continue;
+      if (cn[cls] == 0) continue;
       sh += cn[cls];
-      const double* src = cy + cls * samples_;
-      for (std::size_t s = 0; s < samples_; ++s) row[s] += src[s];
+      kn.add_i64(row, cy + cls * samples_, samples_);
     }
     e.sum_h_[k] = sh;
   }
@@ -400,20 +372,20 @@ CpaEngine MultiByteCpa::fold(std::size_t byte,
 void MultiByteCpa::save(ByteWriter& out) const {
   out.put_u64(samples_);
   out.put_u64(n_);
-  out.put_f64_vector(sum_y_);
-  out.put_f64_vector(sum_yy_);
-  out.put_f64_vector(class_n_);
-  out.put_f64_vector(class_y_);
+  out.put_f64_vector(sums_to_f64_exact(sum_y_, "MultiByteCpa::save"));
+  out.put_f64_vector(sums_to_f64_exact(sum_yy_, "MultiByteCpa::save"));
+  out.put_f64_vector(sums_to_f64_exact(class_n_, "MultiByteCpa::save"));
+  out.put_f64_vector(sums_to_f64_exact(class_y_, "MultiByteCpa::save"));
 }
 
 void MultiByteCpa::load(ByteReader& in) {
   const std::uint64_t samples = in.get_u64();
   SLM_REQUIRE(samples == samples_, "MultiByteCpa::load: dimension mismatch");
   n_ = in.get_u64();
-  sum_y_ = in.get_f64_vector();
-  sum_yy_ = in.get_f64_vector();
-  class_n_ = in.get_f64_vector();
-  class_y_ = in.get_f64_vector();
+  sum_y_ = sums_from_f64_exact(in.get_f64_vector(), "MultiByteCpa::load");
+  sum_yy_ = sums_from_f64_exact(in.get_f64_vector(), "MultiByteCpa::load");
+  class_n_ = sums_from_f64_exact(in.get_f64_vector(), "MultiByteCpa::load");
+  class_y_ = sums_from_f64_exact(in.get_f64_vector(), "MultiByteCpa::load");
   SLM_REQUIRE(sum_y_.size() == samples_ && sum_yy_.size() == samples_ &&
                   class_n_.size() == kBytes * kClasses &&
                   class_y_.size() == kBytes * kClasses * samples_,

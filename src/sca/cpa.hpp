@@ -6,17 +6,21 @@
 // 256-guess x S-sample update costs ~128*S additions. 500k-trace
 // campaigns finish in seconds.
 //
-// Partition invariance (load-bearing for RNG contract v2): sensor
-// readings are integer-valued counts, the binary hypotheses are 0/1,
-// and every running sum here is a sum of products of those integers —
-// each partial sum stays an exactly representable integer far below
-// 2^53, so IEEE-754 addition never rounds and the sums are associative
-// in practice. That is why the engines may split a campaign's traces
-// across any thread count, block size or serial/sharded engine and
-// still land on bit-identical accumulators: the set of addends is fixed
-// by (seed, trace_index) under contract v2, and exact integer addition
-// makes the order and grouping irrelevant. Campaign.ThreadAndBlockInvariant
-// pins this property.
+// Integer-exact contract (load-bearing for RNG contract v2 and for the
+// SIMD dispatch in sca/fold_kernels.hpp): sensor readings are
+// integer-valued counts with |y| <= 2^20 and the binary hypotheses are
+// 0/1, so every running sum is an exact int64 — accumulation IS integer
+// arithmetic, not floating point that happens to stay exact. Addition
+// order and grouping are therefore irrelevant by construction: any
+// thread count, block size, vector width or serial/sharded engine lands
+// on bit-identical accumulator state, and the AVX2/SSE2/scalar kernels
+// are interchangeable. Correlations are evaluated at read-out time by
+// casting the exact integer sums to double (exact below 2^53 — the
+// overflow budget in fold_kernels.hpp keeps them there) and running the
+// same double expression the legacy all-double engine used, so read-outs
+// are bit-identical to every artifact the old engine produced.
+// Campaign.ThreadAndBlockInvariant and tests/sca/fold_dispatch_test.cpp
+// pin this property.
 #pragma once
 
 #include <cstdint>
@@ -35,22 +39,25 @@ class CpaEngine {
   std::size_t trace_count() const { return n_; }
 
   /// One trace: binary hypothesis per guess, measurement per sample.
+  /// Readings must be integer-valued (|y| <= 2^20); throws otherwise,
+  /// and throws before touching any accumulator when the trace would
+  /// exceed the overflow budget (fold_kernels.hpp).
   void add_trace(const std::vector<std::uint8_t>& h,
                  const std::vector<double>& y);
 
   /// A block of `count` traces at once: h is count x guess_count
   /// hypothesis rows, y is count x sample_count reading rows, both
-  /// trace-major. The per-sample sums stream trace-major and the
-  /// per-guess rank-K update runs guess-major with the block's traces
-  /// applied in order, so every accumulator slot sees the same addition
-  /// sequence as `count` add_trace calls — bit-identical sums, but each
-  /// sum_hy_ row stays cache-resident for the whole block.
+  /// trace-major. The readings are staged to int64 (values and squares)
+  /// once, then the per-sample sums and the guess-major rank-K update
+  /// run through the dispatched vector kernels — exact integer addition
+  /// makes the result identical to `count` add_trace calls at any lane
+  /// width, while each sum_hy_ row stays cache-resident for the block.
   void add_traces(const std::uint8_t* h, const double* y, std::size_t count);
 
   /// Fold another engine's traces into this one. The running sums are
-  /// plain sums, so merging N shard engines that together saw the same
-  /// traces as one serial engine reproduces the serial sums exactly
-  /// (same additions, shard-major order). Dimensions must match.
+  /// plain integer sums, so merging N shard engines that together saw
+  /// the same traces as one serial engine reproduces the serial sums
+  /// exactly. Dimensions must match.
   void merge(const CpaEngine& other);
 
   /// Pearson r for (guess, sample); 0 until enough traces.
@@ -66,10 +73,13 @@ class CpaEngine {
   /// Rank of a guess under max-abs correlation (0 = best).
   std::size_t rank_of(std::size_t guess) const;
 
-  /// Serialize / restore the running sums bit-exactly (raw IEEE-754
-  /// doubles). load() requires matching dimensions — checkpoints carry
-  /// them in their header — and makes this engine indistinguishable
-  /// from the one that was saved. Used by core/checkpoint.
+  /// Serialize / restore the running sums bit-exactly. The on-disk
+  /// fields stay IEEE-754 doubles (no format bump): in-budget integer
+  /// sums are below 2^53, so the int64 <-> double bridge is exact and
+  /// verified in both directions. load() requires matching dimensions —
+  /// checkpoints carry them in their header — and makes this engine
+  /// indistinguishable from the one that was saved. Used by
+  /// core/checkpoint.
   void save(ByteWriter& out) const;
   void load(ByteReader& in);
 
@@ -80,10 +90,10 @@ class CpaEngine {
   std::size_t guesses_;
   std::size_t samples_;
   std::size_t n_ = 0;
-  std::vector<double> sum_y_;    // [s]
-  std::vector<double> sum_yy_;   // [s]
-  std::vector<double> sum_h_;    // [k] (h binary: sum_hh == sum_h)
-  std::vector<double> sum_hy_;   // [k * samples_ + s]
+  std::vector<std::int64_t> sum_y_;    // [s]
+  std::vector<std::int64_t> sum_yy_;   // [s]
+  std::vector<std::int64_t> sum_h_;    // [k] (h binary: sum_hh == sum_h)
+  std::vector<std::int64_t> sum_hy_;   // [k * samples_ + s]
 };
 
 /// Class-binned CPA accumulator for hypothesis families of the shape
@@ -98,11 +108,11 @@ class CpaEngine {
 /// reconstructs the full CpaEngine sums from the class sums in one
 /// 256 x 512 pass per checkpoint.
 ///
-/// Exactness: sensor readings are integer-valued (see DESIGN.md's
-/// determinism contract), so every accumulated double is an integer far
-/// below 2^53 and the regrouped summation is bit-identical to the
-/// trace-order sums CpaEngine would have produced — fold() output is
-/// indistinguishable from the reference path.
+/// Exactness: the accumulators are exact int64 sums of integer readings
+/// (see the contract at the top of this header), so the regrouped
+/// summation is identical to the trace-order sums CpaEngine would have
+/// produced — not merely close, the same bits, at every dispatch level.
+/// fold() output is indistinguishable from the reference path.
 class XorClassCpa {
  public:
   explicit XorClassCpa(std::size_t sample_count);
@@ -115,13 +125,12 @@ class XorClassCpa {
                  const std::vector<double>& y);
 
   /// A block of `count` traces at once: per-trace class values/bits and
-  /// trace-major count x sample_count readings. Traces are bucketed by
-  /// class with a stable counting sort, then each touched class row is
-  /// updated once with its traces in block order — every reading sum
-  /// sees the same addition sequence as `count` add_trace calls, and the
-  /// class counts are small integers (exact under any regrouping), so
-  /// the sums are bit-identical while the scatter becomes a cache-blocked
-  /// (class, sample) rank-K update.
+  /// trace-major count x sample_count readings. The readings are staged
+  /// to int64 once, the unclassed sums fold in one column sweep, and
+  /// each trace's staged row is scattered into its class row through
+  /// the dispatched kernels — exact integer addition makes the scatter
+  /// order irrelevant (no bucketing pass needed), and the class rows
+  /// stay cache-resident.
   void add_block(const std::uint8_t* v, const std::uint8_t* b,
                  const double* y, std::size_t count);
 
@@ -141,10 +150,10 @@ class XorClassCpa {
 
   std::size_t samples_;
   std::size_t n_ = 0;
-  std::vector<double> sum_y_;      // [s]
-  std::vector<double> sum_yy_;     // [s]
-  std::vector<double> class_n_;    // [class]
-  std::vector<double> class_y_;    // [class * samples_ + s]
+  std::vector<std::int64_t> sum_y_;      // [s]
+  std::vector<std::int64_t> sum_yy_;     // [s]
+  std::vector<std::int64_t> class_n_;    // [class]
+  std::vector<std::int64_t> class_y_;    // [class * samples_ + s]
 };
 
 /// Sixteen XorClassCpa accumulators fused behind one capture stream: the
@@ -159,12 +168,11 @@ class XorClassCpa {
 /// fold(byte, ...) reads one contiguous 512 x S tile, the same shape the
 /// cache-blocked XorClassCpa::add_block pass was tuned for.
 ///
-/// Exactness: each byte's slice sees exactly the addition sequence a
-/// standalone XorClassCpa fed the same (v, b, y) stream would see, and
-/// all addends are exact integers (see the partition-invariance note at
-/// the top of this header), so fold(byte, pattern) is bit-identical to
-/// the standalone engine's fold — the property the fused-vs-farmed
-/// equivalence tests pin.
+/// Exactness: each byte's slice holds exactly the integer sums a
+/// standalone XorClassCpa fed the same (v, b, y) stream would hold
+/// (exact int64 addition is order-free), so fold(byte, pattern) is
+/// bit-identical to the standalone engine's fold — the property the
+/// fused-vs-farmed equivalence tests pin.
 class MultiByteCpa {
  public:
   static constexpr std::size_t kBytes = 16;
@@ -181,10 +189,11 @@ class MultiByteCpa {
 
   /// A block of `count` traces: v and b are count x 16 trace-major label
   /// rows (v[t * 16 + byte]), y is count x sample_count trace-major
-  /// readings. Per byte this runs the same stable counting sort as
-  /// XorClassCpa::add_block, so each byte slice is bit-identical to
-  /// `count` add_trace calls while the (class, sample) scatter stays
-  /// cache-blocked.
+  /// readings. The readings are staged to int64 once and each byte's
+  /// class rows take one dispatched scatter pass over the staged block
+  /// (same kernels as XorClassCpa::add_block), so each byte slice holds
+  /// the same exact sums as `count` add_trace calls while the
+  /// (class, sample) scatter stays cache-blocked.
   void add_block(const std::uint8_t* v, const std::uint8_t* b,
                  const double* y, std::size_t count);
 
@@ -205,10 +214,10 @@ class MultiByteCpa {
 
   std::size_t samples_;
   std::size_t n_ = 0;
-  std::vector<double> sum_y_;      // [s], shared across bytes
-  std::vector<double> sum_yy_;     // [s], shared across bytes
-  std::vector<double> class_n_;    // [byte * kClasses + class]
-  std::vector<double> class_y_;    // [(byte * kClasses + class) * samples_ + s]
+  std::vector<std::int64_t> sum_y_;    // [s], shared across bytes
+  std::vector<std::int64_t> sum_yy_;   // [s], shared across bytes
+  std::vector<std::int64_t> class_n_;  // [byte * kClasses + class]
+  std::vector<std::int64_t> class_y_;  // [(byte * kClasses + class) * samples_ + s]
 };
 
 /// One checkpoint of a CPA campaign's convergence (Figs. 9b-18b).

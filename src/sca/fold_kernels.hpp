@@ -1,0 +1,134 @@
+// Runtime-dispatched integer fold kernels for the CPA / TVLA engines.
+//
+// The analysis layer accumulates in int64_t (sca/cpa.hpp): sensor
+// readings are integer-valued by contract, so the running sums are
+// exact integers and addition is genuinely associative — any vector
+// width, block size or thread partition lands on the same accumulator
+// bits. That frees the hot add loops from the old "replay the exact
+// scalar FP expression sequence" constraint: the kernels here are
+// selected once per process (AVX2 / SSE2 / scalar) and every level is
+// bit-identical by construction, with the scalar level kept as the
+// equivalence oracle (tests/sca/fold_dispatch_test.cpp pins it).
+//
+// Dispatch is resolved at startup from the CPU and the SLM_SIMD knob:
+//   SLM_SIMD=0 | scalar   force the scalar reference kernels
+//   SLM_SIMD=sse2         force the 2-lane SSE2 kernels
+//   SLM_SIMD=avx2         force the 4-lane AVX2 kernels (refused if the
+//                         CPU lacks AVX2)
+//   unset / other         auto-detect the best level the CPU supports
+// The same parse feeds core::resolve_simd, so SLM_SIMD=0 still selects
+// the scalar capture kernels exactly as before.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slm::sca {
+
+enum class DispatchLevel : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+const char* dispatch_level_name(DispatchLevel level);
+
+// --- Overflow budget ----------------------------------------------------
+//
+// sum_yy grows fastest: after n traces of readings bounded by
+// kMaxAbsReading it can reach n * kMaxAbsReading^2. Capping the trace
+// budget at kMaxFoldTraces keeps that worst case at 2^62 < 2^63, so the
+// int64 accumulators can never overflow (overflow would be UB, not a
+// wrong number). Campaigns beyond the budget are refused up front, and
+// the engines enforce the same bound incrementally.
+inline constexpr std::int64_t kMaxAbsReading = std::int64_t{1} << 20;
+inline constexpr std::size_t kMaxFoldTraces =
+    static_cast<std::size_t>((std::uint64_t{1} << 62) /
+                             static_cast<std::uint64_t>(kMaxAbsReading *
+                                                        kMaxAbsReading));
+
+/// Throws slm::Error when `traces` exceeds the integer-accumulator
+/// overflow budget. `who` names the refusing subsystem in the message.
+void require_fold_budget(std::size_t traces, const char* who);
+
+// --- Kernels ------------------------------------------------------------
+
+/// One dispatch level's kernel table. All levels compute identical
+/// accumulator bits (exact integer addition is associative); they differ
+/// only in lane width.
+struct FoldKernels {
+  DispatchLevel level;
+  /// dst[i] += src[i] for i in [0, n).
+  void (*add_i64)(std::int64_t* dst, const std::int64_t* src, std::size_t n);
+  /// dst_y[i] += y[i] and dst_yy[i] += yy[i] for i in [0, n) — the
+  /// paired sum / sum-of-squares row update.
+  void (*add2_i64)(std::int64_t* dst_y, std::int64_t* dst_yy,
+                   const std::int64_t* y, const std::int64_t* yy,
+                   std::size_t n);
+  /// Stage a readings block for the integer fold (same contract as
+  /// stage_readings_i64, which is the scalar reference). The AVX2 level
+  /// converts and validates 4 lanes at a time; every level produces the
+  /// same bytes or throws the same error.
+  void (*stage_i64)(const double* y, std::size_t n, std::int64_t* yi,
+                    std::int64_t* yyi);
+  /// Column sums over a trace-major block: for s in [0, n),
+  /// dst_y[s] += sum_t y[t*n + s] and dst_yy[s] += sum_t yy[t*n + s]
+  /// for t in [0, count). One call replaces `count` add2_i64 calls and
+  /// keeps the running sums in registers across the whole block.
+  void (*sum_cols2_i64)(std::int64_t* dst_y, std::int64_t* dst_yy,
+                        const std::int64_t* y, const std::int64_t* yy,
+                        std::size_t count, std::size_t n);
+  /// Row scatter over a trace-major block: for r in [0, rows),
+  /// dst[cls[r]*n + i] += src[r*n + i] for i in [0, n). The class-row
+  /// rank-K update of XorClassCpa / MultiByteCpa as one call per block.
+  void (*scatter_rows_i64)(std::int64_t* dst, const std::int64_t* src,
+                           const std::uint32_t* cls, std::size_t rows,
+                           std::size_t n);
+};
+
+/// Best level the running CPU supports.
+DispatchLevel detect_dispatch();
+
+/// The process-wide level: SLM_SIMD if set, else detect_dispatch().
+/// Resolved once on first use.
+DispatchLevel active_dispatch();
+
+/// Kernel table for an explicit level (the property test drives every
+/// level through this regardless of the active one). Requesting a level
+/// the CPU cannot run throws.
+const FoldKernels& kernels(DispatchLevel level);
+
+/// Kernel table for active_dispatch().
+const FoldKernels& active_kernels();
+
+/// Test hook: override active_dispatch() for the rest of the process
+/// (or until cleared). Lets one test binary exercise every level
+/// end-to-end without re-execing under a different SLM_SIMD.
+void force_dispatch_for_testing(DispatchLevel level);
+void clear_forced_dispatch_for_testing();
+
+/// Stage one trace-major block of readings for the integer fold:
+/// yi[i] = (int64) y[i] and yyi[i] = yi[i]^2. Enforces the engine
+/// contract — every reading must be integer-valued with magnitude at
+/// most kMaxAbsReading — and throws on the first violation, before any
+/// accumulator is touched.
+void stage_readings_i64(const double* y, std::size_t n, std::int64_t* yi,
+                        std::int64_t* yyi);
+
+// --- Serialization bridge ----------------------------------------------
+//
+// Checkpoints / snapshots keep their on-disk double fields (no format
+// bump): every in-budget integer sum is far below 2^53, so the
+// int64 <-> double casts are exact. Both directions verify the exact
+// round trip and throw rather than silently losing a bit.
+
+/// int64 sums -> the exact doubles the legacy engines would have held.
+std::vector<double> sums_to_f64_exact(const std::vector<std::int64_t>& v,
+                                      const char* who);
+
+/// Stored doubles -> int64 sums; refuses non-integral values.
+std::vector<std::int64_t> sums_from_f64_exact(const std::vector<double>& v,
+                                              const char* who);
+
+}  // namespace slm::sca

@@ -18,6 +18,8 @@
 #include "core/parallel.hpp"
 #include "crypto/aes128.hpp"
 #include "obs/jsonl.hpp"
+#include "store/replay.hpp"
+#include "store/trace_store.hpp"
 
 namespace slm::serve {
 
@@ -187,6 +189,69 @@ SliceOutcome run_fabric_slice(const QueuedJob& job,
   return out;
 }
 
+/// kAnalyze: one fused one-pass replay of the job's SLMTRC1 store
+/// (store::replay_all), campaign inferred from the store identity the
+/// same way `slm analyze` does. No capture, no checkpoints — the sweep
+/// runs at fold speed, so the slice is non-preemptible by construction.
+SliceOutcome run_analyze_slice(const QueuedJob& job,
+                               obs::CampaignObserver* job_ob) {
+  const JobSpec& spec = job.spec;
+  store::TraceStoreReader reader(spec.store);
+  const store::StoreIdentity& id = reader.identity();
+  const store::StoreKind kind = reader.kind();
+  const std::size_t n = reader.trace_count();
+  const auto circuit = static_cast<core::BenignCircuit>(id.circuit);
+  const auto mode = static_cast<core::SensorMode>(id.mode);
+  const std::size_t key_byte = static_cast<std::size_t>(id.target_key_byte);
+
+  core::StealthyAttack attack(circuit);
+  core::CampaignConfig cfg =
+      kind == store::StoreKind::kFullKey
+          ? attack.fullkey_campaign_config(n, mode)
+          : attack.byte_campaign_config(
+                key_byte, kind == store::StoreKind::kTvla ? n / 2 : n, mode);
+  cfg.rng_contract = id.rng_contract == 1 ? core::RngContract::kV1
+                                          : core::RngContract::kV2;
+  core::CpaCampaign campaign(attack.setup(), cfg);
+  reader.identity().require_compatible(campaign.store_identity(kind, n),
+                                       "serve analyze job " + spec.id);
+
+  store::ReplayAllOptions aopts;
+  if (kind == store::StoreKind::kTvla) {
+    aopts.attack = false;
+    aopts.fullkey = false;
+  }
+  const store::ReplayAllResult ar = store::replay_all(
+      reader, core::checkpoint_schedule(cfg.checkpoints, n),
+      attack.setup().victim().cipher().last_round_key(), aopts, job_ob);
+
+  SliceOutcome out;
+  out.completed = true;
+  out.traces_done = n;
+  obs::JsonWriter w = result_header(spec);
+  w.field("store_kind", store::store_kind_name(kind))
+      .field("store_traces", static_cast<std::uint64_t>(n));
+  if (ar.has_attack) {
+    w.field("attack_recovered", hex_byte(ar.attack.recovered_guess))
+        .field("attack_success", ar.attack.key_recovered);
+  }
+  if (ar.has_fullkey) {
+    w.field("master_key",
+            crypto::block_to_hex(crypto::recover_master_key(
+                ar.fullkey.recovered_last_round_key)))
+        .field("fullkey_success", ar.fullkey.success);
+  }
+  if (ar.has_tvla) {
+    w.field("leakage_detected", ar.tvla.leakage_detected)
+        .field("max_abs_t", hexfloat(ar.tvla.max_abs_t));
+  }
+  out.success = kind == store::StoreKind::kTvla ? ar.tvla.leakage_detected
+                                                : ar.fullkey.success;
+  w.field("success", out.success);
+  out.result_json = w.str();
+  return out;
+}
+
 /// Where a slice must stop so the job yields after ~`timeslice` more
 /// traces: 0 (run to completion) when no other work is queued, when
 /// timeslicing is off, or when the first checkpoint past the budget is
@@ -196,7 +261,8 @@ SliceOutcome run_fabric_slice(const QueuedJob& job,
 std::uint64_t slice_halt_point(const JobSpec& spec, std::uint64_t traces_done,
                                std::uint64_t timeslice, bool others_waiting) {
   if (timeslice == 0 || !others_waiting) return 0;
-  if (spec.kind == JobKind::kTvla || spec.fabric_shards > 0) {
+  if (spec.kind == JobKind::kTvla || spec.kind == JobKind::kAnalyze ||
+      spec.fabric_shards > 0) {
     return 0;  // non-preemptible: no checkpoint support / own processes
   }
   const std::uint64_t want = traces_done + timeslice;
@@ -462,6 +528,8 @@ ServeReport serve(const ServeOptions& opt) {
       obs::CampaignObserver job_ob(job->dir + "/events.jsonl");
       if (spec.kind == JobKind::kTvla) {
         out = run_tvla_slice(*job, &job_ob);
+      } else if (spec.kind == JobKind::kAnalyze) {
+        out = run_analyze_slice(*job, &job_ob);
       } else if (spec.fabric_shards > 0) {
         m.add("slm.serve.fabric_jobs_total");
         out = run_fabric_slice(*job, opt.slm_binary, &job_ob);

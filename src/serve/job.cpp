@@ -42,6 +42,8 @@ const char* job_kind_name(JobKind k) {
       return "full-key";
     case JobKind::kTvla:
       return "tvla";
+    case JobKind::kAnalyze:
+      return "analyze";
   }
   return "?";
 }
@@ -50,8 +52,9 @@ JobKind job_kind_from_name(std::string_view name, const std::string& where) {
   if (name == "attack") return JobKind::kAttack;
   if (name == "full-key") return JobKind::kFullKey;
   if (name == "tvla") return JobKind::kTvla;
+  if (name == "analyze") return JobKind::kAnalyze;
   throw JobSpecError(where + ": unknown job kind '" + std::string(name) +
-                     "' (want attack | full-key | tvla)");
+                     "' (want attack | full-key | tvla | analyze)");
 }
 
 core::BenignCircuit circuit_from_name(std::string_view name,
@@ -103,7 +106,7 @@ JobSpec parse_job_json(std::string_view text, const std::string& where) {
 
   static constexpr std::string_view kKnown[] = {
       "id",     "tenant", "priority", "kind",          "circuit",
-      "mode",   "traces", "key_byte", "fabric_shards",
+      "mode",   "traces", "key_byte", "fabric_shards", "store",
   };
   for (const auto& [key, value] : obj.raw_fields()) {
     bool known = false;
@@ -177,6 +180,18 @@ JobSpec parse_job_json(std::string_view text, const std::string& where) {
     }
     spec.fabric_shards = static_cast<unsigned>(*f);
   }
+  if (obj.has("store")) {
+    const auto s = obj.string_field("store");
+    if (!s) throw JobSpecError(where + ": \"store\" must be a string");
+    if (!s->empty() && spec.kind != JobKind::kAnalyze) {
+      throw JobSpecError(where + ": store only applies to analyze jobs");
+    }
+    spec.store = *s;
+  }
+  if (spec.kind == JobKind::kAnalyze && spec.store.empty()) {
+    throw JobSpecError(where +
+                       ": analyze jobs need a non-empty \"store\" path");
+  }
   return spec;
 }
 
@@ -204,6 +219,7 @@ std::string job_to_json(const JobSpec& spec) {
       .field("traces", static_cast<std::uint64_t>(spec.traces))
       .field("key_byte", static_cast<std::uint64_t>(spec.key_byte))
       .field("fabric_shards", static_cast<std::uint64_t>(spec.fabric_shards));
+  if (!spec.store.empty()) w.field("store", spec.store);
   return w.str();
 }
 

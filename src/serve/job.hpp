@@ -37,6 +37,8 @@ enum class JobKind {
   kAttack,   ///< single last-round key byte, CPA
   kFullKey,  ///< fused 16-byte campaign (recover_full_key)
   kTvla,     ///< Welch t-test leakage assessment (non-preemptible)
+  kAnalyze,  ///< fused one-pass replay of an SLMTRC1 store
+             ///< (store::replay_all; non-preemptible)
 };
 
 const char* job_kind_name(JobKind k);
@@ -60,6 +62,10 @@ struct JobSpec {
   /// `core::fabric` worker subprocesses and fold their SLMSNAP1
   /// snapshots instead of running in-process (non-preemptible).
   unsigned fabric_shards = 0;
+  /// kAnalyze only (required there): path to the SLMTRC1 store the
+  /// fused one-pass replay sweeps. The store's own identity supplies
+  /// circuit/mode/traces; the spec fields are informational.
+  std::string store;
 };
 
 /// Parse + validate one job object. `where` names the source (file
@@ -77,8 +83,9 @@ JobSpec load_job_file(const std::string& path);
 std::string job_to_json(const JobSpec& spec);
 
 /// Name <-> enum helpers shared with the CLI ("attack" / "full-key" /
-/// "tvla"; circuits "alu" / "c6288"; modes "tdc" / "tdc-bit" / "hw" /
-/// "bit" / "ro"). The from_* directions throw JobSpecError.
+/// "tvla" / "analyze"; circuits "alu" / "c6288"; modes "tdc" /
+/// "tdc-bit" / "hw" / "bit" / "ro"). The from_* directions throw
+/// JobSpecError.
 JobKind job_kind_from_name(std::string_view name, const std::string& where);
 core::BenignCircuit circuit_from_name(std::string_view name,
                                       const std::string& where);

@@ -99,4 +99,48 @@ struct ReplayTvlaResult {
 ReplayTvlaResult replay_tvla(const TraceStoreReader& store,
                              obs::CampaignObserver* observer = nullptr);
 
+/// Which analyses the fused one-pass sweep feeds. The defaults run
+/// everything the store kind supports.
+struct ReplayAllOptions {
+  bool attack = true;   ///< target-byte CPA progress + MTD
+  bool fullkey = true;  ///< all sixteen last-round bytes, early exit
+  bool tvla = true;     ///< Welch t-test (see ReplayAllResult::tvla)
+  ReplayFullKeyOptions fullkey_opts;
+};
+
+/// Results of one fused sweep. Only the sections whose `has_*` flag is
+/// set are populated; each is bit-identical to what the corresponding
+/// single-analysis replay_* computes for the same store (the attack
+/// fold comes from MultiByteCpa::fold(target_byte), which the
+/// multibyte_cpa_test equivalence property pins to a standalone
+/// XorClassCpa). For attack-kind stores the TVLA section is a
+/// *specific* t-test: populations partitioned by the target leakage
+/// model's predicted class bit (fixed_traces = bit 0, random_traces =
+/// bit 1) instead of the capture-interleaved fixed/random split a
+/// kTvla store holds.
+struct ReplayAllResult {
+  bool has_attack = false;
+  bool has_fullkey = false;
+  bool has_tvla = false;
+  ReplayAttackResult attack;
+  ReplayFullKeyResult fullkey;
+  ReplayTvlaResult tvla;
+  std::size_t traces = 0;
+  double replay_seconds = 0.0;  ///< the whole one-pass sweep
+};
+
+/// Fused one-pass replay (docs/STORE.md): sweep the mmap'd store ONCE
+/// and feed every requested fold from the same cache-resident column
+/// blocks, instead of one sweep per analysis. Attack-kind stores
+/// (kByteCampaign and kFullKey — the labels derive from the stored
+/// ciphertexts alone) support all three analyses; kTvla stores support
+/// only the tvla section (parity-partitioned, exactly replay_tvla) and
+/// throw StoreMismatch if attack or fullkey is requested. `checkpoints`
+/// is only consulted by the attack/fullkey sections.
+ReplayAllResult replay_all(const TraceStoreReader& store,
+                           const std::vector<std::size_t>& checkpoints,
+                           const crypto::Block& true_last_round_key,
+                           const ReplayAllOptions& opts = {},
+                           obs::CampaignObserver* observer = nullptr);
+
 }  // namespace slm::store

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -180,7 +181,9 @@ TEST(CpaProperty, EngineMatchesBruteForceRecomputation) {
     for (auto& b : h) b = rng.coin() ? 1 : 0;
     std::vector<double> y(samples);
     for (std::size_t s = 0; s < samples; ++s) {
-      y[s] = 0.1 * h[(s * 3) % guesses] + normal(rng);
+      // The fold engine accumulates exact integers, so emit integer-valued
+      // readings: a scaled leak plus quantized Gaussian noise.
+      y[s] = std::round(10.0 * h[(s * 3) % guesses] + 100.0 * normal(rng));
     }
     engine.add_trace(h, y);
     hs.push_back(std::move(h));

@@ -1,11 +1,11 @@
 // Property tests for the cache-blocked CPA accumulators (DESIGN.md §11):
 // CpaEngine::add_traces and XorClassCpa::add_block must be bit-identical
 // to the equivalent sequence of per-trace add_trace calls — for random
-// dimensions, random block sizes (including ragged tails and block 1),
-// and arbitrary (non-integer) readings, because the blocked updates
-// preserve the per-memory-location addition order rather than relying on
-// integer exactness. Merge-order tests use integer-valued readings, as
-// the shard-merge exactness argument does.
+// dimensions and random block sizes (including ragged tails and block
+// 1). Readings are integer-valued (negative values included), which is
+// the engine contract: the int64 accumulators make any regrouping
+// exact, so blocked, per-trace, and merged paths all land on the same
+// bits. Dispatch-level invariance is pinned by fold_dispatch_test.
 #include <cstring>
 #include <vector>
 
@@ -31,16 +31,15 @@ std::vector<std::uint8_t> state_bytes(const XorClassCpa& c) {
   return w.bytes();
 }
 
-// Fill a trace-major hypothesis/reading block with arbitrary doubles
-// (readings deliberately non-integer: the blocked paths must match by
-// addition order alone).
+// Fill a trace-major hypothesis/reading block with integer-valued
+// readings, negatives included (the engine contract).
 void random_traces(Xoshiro256& rng, std::size_t guesses, std::size_t samples,
                    std::size_t count, std::vector<std::uint8_t>& h,
                    std::vector<double>& y) {
   h.resize(count * guesses);
   y.resize(count * samples);
   for (auto& b : h) b = rng.coin() ? 1 : 0;
-  for (auto& s : y) s = rng.uniform() * 3.0 - 1.5;
+  for (auto& s : y) s = static_cast<double>(rng.uniform_int(64)) - 24.0;
 }
 
 TEST(CpaEngineBlock, AddTracesMatchesAddTraceBitForBit) {
@@ -109,7 +108,7 @@ TEST(XorClassCpaBlock, AddBlockMatchesAddTraceBitForBit) {
     std::vector<double> y(traces * samples);
     for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform_int(256));
     for (auto& x : b) x = rng.coin() ? 1 : 0;
-    for (auto& s : y) s = rng.uniform() * 5.0 - 2.5;
+    for (auto& s : y) s = static_cast<double>(rng.uniform_int(128)) - 48.0;
 
     XorClassCpa ref(samples);
     std::vector<double> yt(samples);

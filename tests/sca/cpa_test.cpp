@@ -11,14 +11,15 @@ namespace {
 
 TEST(CpaEngine, MatchesOnlineCorrelation) {
   Xoshiro256 rng(1);
-  const auto& normal = FastNormal::instance();
   CpaEngine engine(4, 2);
   std::vector<OnlineCorrelation> ref(8);  // guess-major [k*2+s]
   for (int t = 0; t < 5000; ++t) {
     std::vector<std::uint8_t> h(4);
     for (auto& b : h) b = rng.coin() ? 1 : 0;
-    std::vector<double> y{h[0] * 0.5 + normal(rng),
-                          h[2] * 0.2 + normal(rng)};
+    // Integer-valued readings, as the engine contract requires.
+    std::vector<double> y{
+        static_cast<double>(h[0] * 3 + rng.uniform_int(9)),
+        static_cast<double>(h[2] * 2 + rng.uniform_int(9))};
     engine.add_trace(h, y);
     for (int k = 0; k < 4; ++k) {
       for (int s = 0; s < 2; ++s) {
@@ -36,15 +37,17 @@ TEST(CpaEngine, MatchesOnlineCorrelation) {
 
 TEST(CpaEngine, RecoversInjectedLeakage) {
   Xoshiro256 rng(2);
-  const auto& normal = FastNormal::instance();
   CpaEngine engine(16, 3);
   const std::size_t secret = 11;
   for (int t = 0; t < 20000; ++t) {
     std::vector<std::uint8_t> h(16);
     for (auto& b : h) b = rng.coin() ? 1 : 0;
-    // Sample 1 leaks the secret guess's hypothesis.
-    std::vector<double> y{normal(rng), h[secret] * 0.3 + normal(rng),
-                          normal(rng)};
+    // Sample 1 leaks the secret guess's hypothesis (integer counts,
+    // like a TDC reading with a data-dependent depth shift).
+    std::vector<double> y{
+        static_cast<double>(rng.uniform_int(32)),
+        static_cast<double>(h[secret] * 4 + rng.uniform_int(32)),
+        static_cast<double>(rng.uniform_int(32))};
     engine.add_trace(h, y);
   }
   EXPECT_EQ(engine.best_guess(), secret);
@@ -55,13 +58,13 @@ TEST(CpaEngine, RecoversInjectedLeakage) {
 
 TEST(CpaEngine, NegativeLeakageFoundViaAbs) {
   Xoshiro256 rng(3);
-  const auto& normal = FastNormal::instance();
   CpaEngine engine(8, 1);
   const std::size_t secret = 5;
   for (int t = 0; t < 20000; ++t) {
     std::vector<std::uint8_t> h(8);
     for (auto& b : h) b = rng.coin() ? 1 : 0;
-    std::vector<double> y{-0.4 * h[secret] + normal(rng)};
+    std::vector<double> y{
+        static_cast<double>(rng.uniform_int(32)) - 4.0 * h[secret]};
     engine.add_trace(h, y);
   }
   EXPECT_EQ(engine.best_guess(), secret);
@@ -91,6 +94,17 @@ TEST(CpaEngine, Validation) {
   EXPECT_THROW(engine.add_trace({1, 0}, {1.0}), slm::Error);
   EXPECT_THROW((void)engine.correlation(2, 0), slm::Error);
   EXPECT_THROW((void)engine.rank_of(9), slm::Error);
+}
+
+// The integer-exact contract is enforced, not assumed: non-integer or
+// out-of-range readings are refused before any accumulator is touched.
+TEST(CpaEngine, IntegerContractEnforced) {
+  CpaEngine engine(2, 2);
+  EXPECT_THROW(engine.add_trace({1, 0}, {0.5, 1.0}), slm::Error);
+  EXPECT_THROW(engine.add_trace({1, 0}, {1.0, 2097152.0}), slm::Error);
+  EXPECT_EQ(engine.trace_count(), 0u);
+  engine.add_trace({1, 0}, {1048576.0, -1048576.0});  // |y| = 2^20 is in range
+  EXPECT_EQ(engine.trace_count(), 1u);
 }
 
 // N shard engines fed round-robin must merge to the exact serial
@@ -238,12 +252,11 @@ TEST(XorClassCpa, Validation) {
 
 TEST(SnapshotProgress, RanksAndMargins) {
   Xoshiro256 rng(4);
-  const auto& normal = FastNormal::instance();
   CpaEngine engine(4, 1);
   for (int t = 0; t < 10000; ++t) {
     std::vector<std::uint8_t> h(4);
     for (auto& b : h) b = rng.coin() ? 1 : 0;
-    engine.add_trace(h, {0.5 * h[2] + normal(rng)});
+    engine.add_trace(h, {static_cast<double>(3 * h[2] + rng.uniform_int(16))});
   }
   const auto p = snapshot_progress(engine, 2);
   EXPECT_EQ(p.traces, 10000u);

@@ -1,0 +1,299 @@
+// Property suite for the runtime-dispatched integer fold kernels
+// (sca/fold_kernels.hpp): every dispatch level the CPU can run — scalar,
+// SSE2, AVX2 — must produce byte-identical accumulator state and
+// identical correlation/t-statistic read-outs over randomized readings
+// and block sizes. The scalar level is the oracle; the wider levels are
+// only allowed to be faster. Also pins the overflow-budget guard: adds
+// that could push the int64 sums past 2^62 are refused before any
+// accumulator (or input buffer) is touched.
+#include "sca/fold_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/binio.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sca/cpa.hpp"
+#include "sca/tvla.hpp"
+
+namespace slm::sca {
+namespace {
+
+std::vector<DispatchLevel> runnable_levels() {
+  std::vector<DispatchLevel> out{DispatchLevel::kScalar};
+  if (detect_dispatch() >= DispatchLevel::kSse2) {
+    out.push_back(DispatchLevel::kSse2);
+  }
+  if (detect_dispatch() >= DispatchLevel::kAvx2) {
+    out.push_back(DispatchLevel::kAvx2);
+  }
+  return out;
+}
+
+// RAII guard: force one level for a scope, always restore auto after.
+struct ForcedLevel {
+  explicit ForcedLevel(DispatchLevel level) {
+    force_dispatch_for_testing(level);
+  }
+  ~ForcedLevel() { clear_forced_dispatch_for_testing(); }
+};
+
+template <typename Engine>
+std::vector<std::uint8_t> state_bytes(const Engine& e) {
+  ByteWriter w;
+  e.save(w);
+  return w.bytes();
+}
+
+TEST(FoldDispatch, ReportsRunnableLevels) {
+  const auto levels = runnable_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), DispatchLevel::kScalar);
+  for (const DispatchLevel l : levels) {
+    EXPECT_EQ(kernels(l).level, l);
+    EXPECT_NE(dispatch_level_name(l), std::string("unknown"));
+  }
+  // The active level is always runnable.
+  EXPECT_LE(active_dispatch(), detect_dispatch());
+}
+
+// Raw kernels: dst += src at every level and every length (odd tails
+// included) lands on the same bytes as the scalar oracle.
+TEST(FoldDispatch, RawKernelsMatchScalarOracle) {
+  Xoshiro256 rng(101);
+  const auto levels = runnable_levels();
+  for (std::size_t n = 1; n <= 37; ++n) {
+    std::vector<std::int64_t> src(n), src2(n), base(n), base2(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      src[i] = static_cast<std::int64_t>(rng.uniform_int(1 << 20)) - (1 << 19);
+      src2[i] = src[i] * src[i];
+      base[i] = static_cast<std::int64_t>(rng.uniform_int(1 << 20));
+      base2[i] = static_cast<std::int64_t>(rng.uniform_int(1 << 20));
+    }
+    std::vector<std::int64_t> want = base, want2 = base2;
+    kernels(DispatchLevel::kScalar).add_i64(want.data(), src.data(), n);
+    kernels(DispatchLevel::kScalar)
+        .add2_i64(want2.data(), want2.data(), src.data(), src2.data(), 0);
+    for (const DispatchLevel l : levels) {
+      std::vector<std::int64_t> got = base;
+      kernels(l).add_i64(got.data(), src.data(), n);
+      ASSERT_EQ(got, want) << "add_i64 level " << dispatch_level_name(l)
+                           << " n " << n;
+      std::vector<std::int64_t> gy = base, gyy = base2;
+      std::vector<std::int64_t> wy = base, wyy = base2;
+      kernels(DispatchLevel::kScalar)
+          .add2_i64(wy.data(), wyy.data(), src.data(), src2.data(), n);
+      kernels(l).add2_i64(gy.data(), gyy.data(), src.data(), src2.data(), n);
+      ASSERT_EQ(gy, wy) << "add2_i64 level " << dispatch_level_name(l);
+      ASSERT_EQ(gyy, wyy) << "add2_i64 level " << dispatch_level_name(l);
+    }
+  }
+}
+
+// Block kernels: column sums, row scatter, and the staging conversion
+// at every level and every (count, n) shape — odd tails included —
+// match the scalar oracle byte for byte.
+TEST(FoldDispatch, BlockKernelsMatchScalarOracle) {
+  Xoshiro256 rng(105);
+  const auto levels = runnable_levels();
+  for (const std::size_t n : {1ul, 2ul, 3ul, 4ul, 7ul, 16ul, 33ul}) {
+    for (const std::size_t count : {1ul, 5ul, 64ul}) {
+      std::vector<std::int64_t> y(count * n), yy(count * n);
+      std::vector<std::uint32_t> cls(count);
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        y[i] = static_cast<std::int64_t>(rng.uniform_int(1 << 20)) -
+               (1 << 19);
+        yy[i] = y[i] * y[i];
+      }
+      for (auto& c : cls) c = rng.uniform_int(8);
+      std::vector<std::int64_t> wy(n, 3), wyy(n, 5), wrows(8 * n, 7);
+      kernels(DispatchLevel::kScalar)
+          .sum_cols2_i64(wy.data(), wyy.data(), y.data(), yy.data(), count,
+                         n);
+      kernels(DispatchLevel::kScalar)
+          .scatter_rows_i64(wrows.data(), y.data(), cls.data(), count, n);
+      for (const DispatchLevel l : levels) {
+        std::vector<std::int64_t> gy(n, 3), gyy(n, 5), grows(8 * n, 7);
+        kernels(l).sum_cols2_i64(gy.data(), gyy.data(), y.data(), yy.data(),
+                                 count, n);
+        kernels(l).scatter_rows_i64(grows.data(), y.data(), cls.data(),
+                                    count, n);
+        ASSERT_EQ(gy, wy) << "sum_cols2 level " << dispatch_level_name(l)
+                          << " n " << n << " count " << count;
+        ASSERT_EQ(gyy, wyy) << "sum_cols2 level " << dispatch_level_name(l);
+        ASSERT_EQ(grows, wrows)
+            << "scatter_rows level " << dispatch_level_name(l) << " n " << n
+            << " count " << count;
+      }
+    }
+  }
+}
+
+// Staging: every level converts the same bytes, and every level refuses
+// fractional or out-of-range readings (the AVX2 lane path must fall
+// back to the scalar stager for the exact per-element error).
+TEST(FoldDispatch, StagingIdenticalAndValidatedAcrossLevels) {
+  Xoshiro256 rng(106);
+  for (const std::size_t n : {1ul, 3ul, 4ul, 5ul, 8ul, 31ul}) {
+    std::vector<double> y(n);
+    for (auto& s : y) {
+      s = static_cast<double>(rng.uniform_int(1 << 21)) -
+          static_cast<double>(1 << 20);
+    }
+    std::vector<std::int64_t> wi(n), wii(n);
+    stage_readings_i64(y.data(), n, wi.data(), wii.data());
+    for (const DispatchLevel l : runnable_levels()) {
+      std::vector<std::int64_t> gi(n, -1), gii(n, -1);
+      kernels(l).stage_i64(y.data(), n, gi.data(), gii.data());
+      ASSERT_EQ(gi, wi) << "stage level " << dispatch_level_name(l);
+      ASSERT_EQ(gii, wii) << "stage level " << dispatch_level_name(l);
+
+      for (const double bad :
+           {0.5, static_cast<double>((1 << 20) + 1), -1048577.0}) {
+        std::vector<double> v(n, 1.0);
+        v[n / 2] = bad;
+        EXPECT_THROW(
+            kernels(l).stage_i64(v.data(), n, gi.data(), gii.data()),
+            slm::Error)
+            << "level " << dispatch_level_name(l) << " bad " << bad;
+      }
+    }
+  }
+}
+
+// The full class-binned engine: randomized traces pushed through every
+// dispatch level and a spread of block sizes must serialize to the same
+// bytes and fold to the same correlations.
+TEST(FoldDispatch, XorClassStateAndReadoutsIdenticalAcrossLevels) {
+  constexpr std::size_t kSamples = 7;
+  constexpr std::size_t kTraces = 500;
+  Xoshiro256 rng(102);
+  std::vector<std::uint8_t> v(kTraces), b(kTraces);
+  std::vector<double> y(kTraces * kSamples);
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto& x : b) x = rng.coin() ? 1 : 0;
+  for (auto& s : y) s = static_cast<double>(rng.uniform_int(4096)) - 1024.0;
+  std::uint8_t pattern[256];
+  for (auto& p : pattern) p = rng.coin() ? 1 : 0;
+
+  std::vector<std::uint8_t> want_state;
+  std::vector<double> want_corr;
+  const std::size_t blocks[] = {1, 3, 32, kTraces};
+  for (const DispatchLevel l : runnable_levels()) {
+    for (const std::size_t block : blocks) {
+      ForcedLevel forced(l);
+      XorClassCpa cls(kSamples);
+      for (std::size_t t = 0; t < kTraces; t += block) {
+        const std::size_t bn = std::min(block, kTraces - t);
+        cls.add_block(v.data() + t, b.data() + t, y.data() + t * kSamples,
+                      bn);
+      }
+      const auto state = state_bytes(cls);
+      const CpaEngine folded = cls.fold(pattern);
+      const auto corr = folded.max_abs_correlation();
+      if (want_state.empty()) {
+        want_state = state;
+        want_corr = corr;
+        continue;
+      }
+      ASSERT_EQ(state, want_state)
+          << "level " << dispatch_level_name(l) << " block " << block;
+      ASSERT_EQ(corr, want_corr)
+          << "level " << dispatch_level_name(l) << " block " << block;
+    }
+  }
+}
+
+// Same property for the general engine's trace-major block path and the
+// fused 16-byte accumulator.
+TEST(FoldDispatch, EngineBlocksIdenticalAcrossLevels) {
+  constexpr std::size_t kGuesses = 32;
+  constexpr std::size_t kSamples = 5;
+  constexpr std::size_t kTraces = 300;
+  Xoshiro256 rng(103);
+  std::vector<std::uint8_t> h(kTraces * kGuesses);
+  std::vector<std::uint8_t> v(kTraces * MultiByteCpa::kBytes);
+  std::vector<std::uint8_t> mb_b(kTraces * MultiByteCpa::kBytes);
+  std::vector<double> y(kTraces * kSamples);
+  for (auto& x : h) x = rng.coin() ? 1 : 0;
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform_int(256));
+  for (auto& x : mb_b) x = rng.coin() ? 1 : 0;
+  for (auto& s : y) s = static_cast<double>(rng.uniform_int(512));
+
+  std::vector<std::uint8_t> want_engine, want_multi;
+  for (const DispatchLevel l : runnable_levels()) {
+    for (const std::size_t block : {1ul, 17ul, kTraces}) {
+      ForcedLevel forced(l);
+      CpaEngine e(kGuesses, kSamples);
+      MultiByteCpa m(kSamples);
+      for (std::size_t t = 0; t < kTraces; t += block) {
+        const std::size_t bn = std::min(block, kTraces - t);
+        e.add_traces(h.data() + t * kGuesses, y.data() + t * kSamples, bn);
+        m.add_block(v.data() + t * MultiByteCpa::kBytes,
+                    mb_b.data() + t * MultiByteCpa::kBytes,
+                    y.data() + t * kSamples, bn);
+      }
+      const auto es = state_bytes(e);
+      const auto ms = state_bytes(m);
+      if (want_engine.empty()) {
+        want_engine = es;
+        want_multi = ms;
+        continue;
+      }
+      ASSERT_EQ(es, want_engine)
+          << "level " << dispatch_level_name(l) << " block " << block;
+      ASSERT_EQ(ms, want_multi)
+          << "level " << dispatch_level_name(l) << " block " << block;
+    }
+  }
+}
+
+// Welch t read-outs never move with the dispatch level either.
+TEST(FoldDispatch, WelchTIdenticalAcrossLevels) {
+  constexpr std::size_t kSamples = 6;
+  Xoshiro256 rng(104);
+  std::vector<std::vector<double>> traces(400);
+  for (auto& tr : traces) {
+    tr.resize(kSamples);
+    for (auto& s : tr) s = static_cast<double>(rng.uniform_int(64));
+  }
+  std::vector<double> want;
+  for (const DispatchLevel l : runnable_levels()) {
+    ForcedLevel forced(l);
+    WelchTTest t(kSamples);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      t.add((i % 2) == 0, traces[i]);
+    }
+    std::vector<double> got(kSamples);
+    for (std::size_t s = 0; s < kSamples; ++s) got[s] = t.t_statistic(s);
+    if (want.empty()) {
+      want = got;
+      continue;
+    }
+    ASSERT_EQ(got, want) << "level " << dispatch_level_name(l);
+  }
+}
+
+// Overflow budget: campaigns whose worst-case sum_yy could exceed 2^62
+// are refused up front, and the engines refuse incrementally — before
+// reading a single input byte, so a huge `count` with a small buffer
+// throws instead of scanning.
+TEST(FoldDispatch, OverflowBudgetRefused) {
+  EXPECT_EQ(kMaxFoldTraces, std::size_t{1} << 22);
+  EXPECT_NO_THROW(require_fold_budget(kMaxFoldTraces, "test"));
+  EXPECT_THROW(require_fold_budget(kMaxFoldTraces + 1, "test"), slm::Error);
+
+  const double y1[1] = {1.0};
+  const std::uint8_t l1[MultiByteCpa::kBytes] = {};
+  CpaEngine e(2, 1);
+  EXPECT_THROW(e.add_traces(l1, y1, kMaxFoldTraces + 1), slm::Error);
+  EXPECT_EQ(e.trace_count(), 0u);
+  XorClassCpa c(1);
+  EXPECT_THROW(c.add_block(l1, l1, y1, kMaxFoldTraces + 1), slm::Error);
+  EXPECT_EQ(c.trace_count(), 0u);
+}
+
+}  // namespace
+}  // namespace slm::sca

@@ -33,20 +33,19 @@ std::vector<std::uint8_t> state_bytes(const MultiByteCpa& m) {
   return w.bytes();
 }
 
-// Trace-major label rows (v[t*16+j], b[t*16+j]) plus readings; readings
-// deliberately non-integer unless `integer` — the blocked paths must
-// match by addition order alone.
+// Trace-major label rows (v[t*16+j], b[t*16+j]) plus integer-valued
+// readings (negative values included) — the engine contract; exact
+// int64 accumulation makes the blocked/merged paths bit-identical.
 void random_traces(Xoshiro256& rng, std::size_t samples, std::size_t count,
                    std::vector<std::uint8_t>& v, std::vector<std::uint8_t>& b,
-                   std::vector<double>& y, bool integer = false) {
+                   std::vector<double>& y) {
   v.resize(count * kBytes);
   b.resize(count * kBytes);
   y.resize(count * samples);
   for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform_int(256));
   for (auto& x : b) x = rng.coin() ? 1 : 0;
   for (auto& s : y) {
-    s = integer ? static_cast<double>(rng.uniform_int(96))
-                : rng.uniform() * 5.0 - 2.5;
+    s = static_cast<double>(rng.uniform_int(96)) - 32.0;
   }
 }
 
@@ -123,7 +122,7 @@ TEST(MultiByteCpa, MergedShardsFoldBitForBit) {
   Xoshiro256 rng(43);
   std::vector<std::uint8_t> v, b;
   std::vector<double> y;
-  random_traces(rng, kSamples, kTraces, v, b, y, /*integer=*/true);
+  random_traces(rng, kSamples, kTraces, v, b, y);
 
   MultiByteCpa serial(kSamples);
   std::vector<double> yt(kSamples);

@@ -12,11 +12,11 @@ namespace {
 
 TEST(WelchTTest, NoLeakageStaysBelowThreshold) {
   Xoshiro256 rng(1);
-  const auto& normal = FastNormal::instance();
   WelchTTest t(4);
   for (int i = 0; i < 5000; ++i) {
+    // Integer readings, as the fold contract requires.
     std::vector<double> s(4);
-    for (auto& x : s) x = normal(rng);
+    for (auto& x : s) x = static_cast<double>(rng.uniform_int(16));
     t.add(i % 2 == 0, s);
   }
   EXPECT_LT(t.max_abs_t(), WelchTTest::kThreshold);
@@ -25,14 +25,13 @@ TEST(WelchTTest, NoLeakageStaysBelowThreshold) {
 
 TEST(WelchTTest, MeanShiftDetected) {
   Xoshiro256 rng(2);
-  const auto& normal = FastNormal::instance();
   WelchTTest t(3);
   for (int i = 0; i < 5000; ++i) {
     const bool fixed = i % 2 == 0;
     std::vector<double> s(3);
-    s[0] = normal(rng);
-    s[1] = normal(rng) + (fixed ? 0.3 : 0.0);  // leaky point
-    s[2] = normal(rng);
+    s[0] = static_cast<double>(rng.uniform_int(16));
+    s[1] = static_cast<double>(rng.uniform_int(16) + (fixed ? 4 : 0));
+    s[2] = static_cast<double>(rng.uniform_int(16));
     t.add(fixed, s);
   }
   EXPECT_TRUE(t.leakage_detected());
@@ -54,9 +53,9 @@ TEST(WelchTTest, ZeroUntilBothPopulated) {
   t.add(true, {1.0});
   t.add(true, {2.0});
   EXPECT_EQ(t.t_statistic(0), 0.0);
-  t.add(false, {1.5});
+  t.add(false, {1.0});
   EXPECT_EQ(t.t_statistic(0), 0.0);  // random population still n=1
-  t.add(false, {1.6});
+  t.add(false, {3.0});
   EXPECT_NE(t.t_statistic(0), 0.0);
   EXPECT_EQ(t.fixed_traces(), 2u);
   EXPECT_EQ(t.random_traces(), 2u);
@@ -67,6 +66,9 @@ TEST(WelchTTest, Validation) {
   WelchTTest t(2);
   EXPECT_THROW(t.add(true, {1.0}), slm::Error);
   EXPECT_THROW((void)t.t_statistic(2), slm::Error);
+  // Non-integer readings violate the exact-fold contract.
+  EXPECT_THROW(t.add(true, {0.5, 1.0}), slm::Error);
+  EXPECT_EQ(t.fixed_traces(), 0u);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/attack.hpp"
 #include "obs/jsonl.hpp"
 #include "serve/job.hpp"
 #include "serve/scheduler.hpp"
@@ -236,6 +237,24 @@ TEST(JobSpecTest, JsonRoundTrips) {
   EXPECT_EQ(back.traces, s.traces);
 }
 
+TEST(JobSpecTest, AnalyzeJobsRoundTripTheStorePath) {
+  JobSpec s;
+  s.id = "job_0009_eve";
+  s.tenant = "eve";
+  s.kind = JobKind::kAnalyze;
+  s.store = "results/eve/run.trc";
+
+  const JobSpec back = parse_job_json(job_to_json(s), "test");
+  EXPECT_EQ(back.kind, JobKind::kAnalyze);
+  EXPECT_EQ(back.store, s.store);
+
+  // Pre-analyze specs never carried a "store" field; their serialized
+  // form must stay byte-stable, so the field is emitted only when set.
+  JobSpec legacy;
+  legacy.tenant = "bob";
+  EXPECT_EQ(job_to_json(legacy).find("store"), std::string::npos);
+}
+
 TEST(JobSpecTest, RejectsBadSpecs) {
   // Missing tenant.
   EXPECT_THROW(parse_job_json(R"({"kind":"attack","traces":100})", "t"),
@@ -260,6 +279,13 @@ TEST(JobSpecTest, RejectsBadSpecs) {
   // Fabric dispatch only exists for single-byte attack jobs.
   EXPECT_THROW(
       parse_job_json(R"({"tenant":"a","kind":"tvla","fabric_shards":2})", "t"),
+      JobSpecError);
+  // Analyze jobs replay a store — the path is mandatory, and no other
+  // kind accepts one.
+  EXPECT_THROW(parse_job_json(R"({"tenant":"a","kind":"analyze"})", "t"),
+               JobSpecError);
+  EXPECT_THROW(
+      parse_job_json(R"({"tenant":"a","kind":"attack","store":"x.trc"})", "t"),
       JobSpecError);
   // Malformed JSON.
   EXPECT_THROW(parse_job_json(R"({"tenant":"a",)", "t"), Error);
@@ -435,6 +461,71 @@ TEST(ServeDaemonTest, MalformedSpoolFileIsRejectedNotFatal) {
   // Rejected files are quarantined for inspection, never deleted.
   EXPECT_TRUE(std::filesystem::exists(spool + "/rejected/job_bad.json"));
   EXPECT_TRUE(std::filesystem::exists(results + "/job_ok/result.json"));
+}
+
+TEST(ServeDaemonTest, AnalyzeJobsReplayAStoreDeterministically) {
+  // Capture a byte-campaign store under the exact defaults the daemon
+  // reconstructs from the store identity, then serve an analyze job
+  // against it twice: both runs must complete and write byte-identical
+  // result files (the fused replay is a pure function of the store).
+  const std::string store_path =
+      fresh_dir("serve_analyze_capture") + ".trc";
+  std::filesystem::remove(store_path);
+  core::StealthyAttack attack(core::BenignCircuit::kAlu);
+  core::CampaignConfig cfg =
+      attack.byte_campaign_config(3, 600, core::SensorMode::kTdcFull);
+  cfg.store_out = store_path;
+  core::CpaCampaign capture(attack.setup(), cfg);
+  capture.run();
+  ASSERT_TRUE(std::filesystem::exists(store_path));
+
+  JobSpec spec;
+  spec.id = "job_an";
+  spec.tenant = "dora";
+  spec.kind = JobKind::kAnalyze;
+  spec.store = store_path;
+
+  std::vector<std::string> results_json;
+  for (const char* tag : {"serve_an1", "serve_an2"}) {
+    const std::string spool = fresh_dir(std::string(tag) + "_spool");
+    const std::string results = fresh_dir(std::string(tag) + "_results");
+    write_job_file(spool, spec);
+    const ServeReport rep = serve(base_options(spool, results));
+    EXPECT_EQ(rep.jobs_admitted, 1u);
+    EXPECT_EQ(rep.jobs_completed, 1u);
+    EXPECT_EQ(rep.jobs_failed, 0u);
+    results_json.push_back(slurp(results + "/job_an/result.json"));
+  }
+  EXPECT_EQ(results_json[0], results_json[1]);
+  // The fused pass ran all three analyses over the one store sweep.
+  EXPECT_NE(results_json[0].find("\"store_kind\":\"byte-campaign\""),
+            std::string::npos);
+  EXPECT_NE(results_json[0].find("attack_recovered"), std::string::npos);
+  EXPECT_NE(results_json[0].find("master_key"), std::string::npos);
+  EXPECT_NE(results_json[0].find("leakage_detected"), std::string::npos);
+  std::filesystem::remove(store_path);
+}
+
+TEST(ServeDaemonTest, AnalyzeJobWithMissingStoreFailsNotFatal) {
+  const std::string spool = fresh_dir("serve_anbad_spool");
+  const std::string results = fresh_dir("serve_anbad_results");
+  JobSpec spec;
+  spec.id = "job_ghost";
+  spec.tenant = "eve";
+  spec.kind = JobKind::kAnalyze;
+  spec.store = fresh_dir("serve_anbad") + "/no_such.trc";
+  write_job_file(spool, spec);
+  write_job_file(spool, attack_spec("job_ok", "alice", kAttackTraces, 3));
+
+  const ServeReport rep = serve(base_options(spool, results));
+  EXPECT_EQ(rep.jobs_admitted, 2u);
+  EXPECT_EQ(rep.jobs_failed, 1u);
+  EXPECT_EQ(rep.jobs_completed, 1u);
+  EXPECT_TRUE(std::filesystem::exists(results + "/job_ok/result.json"));
+  // The failed job still writes a record (so restart never retries it
+  // forever), marked failed.
+  EXPECT_NE(slurp(results + "/job_ghost/result.json").find("\"failed\":true"),
+            std::string::npos);
 }
 
 TEST(ServeDaemonTest, StatusReflectsTheFeed) {

@@ -21,6 +21,7 @@
 #include "crypto/aes128.hpp"
 #include "gtest/gtest.h"
 #include "sca/model.hpp"
+#include "sca/tvla.hpp"
 #include "store/replay.hpp"
 
 namespace slm::store {
@@ -267,6 +268,141 @@ TEST(StoreReplayTest, TvlaReplaysBitIdentically) {
   EXPECT_EQ(replay.random_traces, live.random_traces());
   EXPECT_EQ(replay.max_abs_t, live.max_abs_t());  // bit-exact double
   EXPECT_EQ(replay.leakage_detected, live.leakage_detected());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Fused one-pass replay: replay_all must reproduce each single-analysis
+// replay bit for bit from ONE sweep of the store.
+
+TEST(StoreReplayTest, FusedReplayMatchesSingleAnalysisBitIdentically) {
+  const std::string path = temp_path("store_fused_byte.trc");
+  std::remove(path.c_str());
+
+  core::CampaignConfig cfg = small_config(500);
+  cfg.checkpoints = {100, 250, 500};
+  cfg.store_out = path;
+  core::AttackSetup setup(core::BenignCircuit::kAlu,
+                          core::Calibration::paper_defaults());
+  const core::CampaignResult live = core::CpaCampaign(setup, cfg).run();
+  const crypto::Block lrk = setup.victim().cipher().last_round_key();
+
+  TraceStoreReader reader(path);
+  const auto checkpoints =
+      core::checkpoint_schedule(cfg.checkpoints, cfg.traces);
+  const ReplayAttackResult single =
+      replay_attack(reader, checkpoints, live.correct_guess);
+
+  // Attack + specific TVLA, no full key: the attack fold takes the
+  // XorClassCpa path and must equal the single-analysis replay exactly.
+  ReplayAllOptions opts;
+  opts.fullkey = false;
+  const ReplayAllResult fused = replay_all(reader, checkpoints, lrk, opts);
+  ASSERT_TRUE(fused.has_attack);
+  ASSERT_FALSE(fused.has_fullkey);
+  ASSERT_TRUE(fused.has_tvla);
+  expect_progress_equal(fused.attack.progress, single.progress);
+  EXPECT_EQ(fused.attack.correct_guess, single.correct_guess);
+  EXPECT_EQ(fused.attack.recovered_guess, single.recovered_guess);
+  EXPECT_EQ(fused.attack.key_recovered, single.key_recovered);
+  EXPECT_EQ(fused.attack.mtd.traces, single.mtd.traces);
+
+  // The specific t-test section against an independent per-trace oracle:
+  // populations partitioned by the target model's predicted class bit.
+  const StoreIdentity& id = reader.identity();
+  sca::LastRoundBitModel model(id.target_key_byte, id.target_bit);
+  sca::WelchTTest oracle(reader.samples());
+  for (std::size_t t = 0; t < reader.trace_count(); ++t) {
+    oracle.add(model.class_bit(reader.ciphertext(t)) == 0,
+               reader.readings(t));
+  }
+  EXPECT_EQ(fused.tvla.max_abs_t, oracle.max_abs_t());
+  EXPECT_EQ(fused.tvla.fixed_traces, oracle.fixed_traces());
+  EXPECT_EQ(fused.tvla.random_traces, oracle.random_traces());
+  EXPECT_EQ(fused.tvla.leakage_detected, oracle.leakage_detected());
+
+  // With full key riding along, the attack fold comes from the fused
+  // 16-byte tile instead — still bit-identical (multibyte equivalence).
+  const ReplayAllResult everything = replay_all(reader, checkpoints, lrk);
+  ASSERT_TRUE(everything.has_attack && everything.has_fullkey &&
+              everything.has_tvla);
+  expect_progress_equal(everything.attack.progress, single.progress);
+  EXPECT_EQ(everything.tvla.max_abs_t, fused.tvla.max_abs_t);
+  const std::size_t target = static_cast<std::size_t>(id.target_key_byte);
+  EXPECT_EQ(everything.fullkey.bytes[target].recovered,
+            everything.attack.recovered_guess);
+  std::remove(path.c_str());
+}
+
+TEST(StoreReplayTest, FusedReplayMatchesFullKeyReplayBitIdentically) {
+  const std::string path = temp_path("store_fused_fullkey.trc");
+  std::remove(path.c_str());
+
+  core::CampaignConfig cfg = small_config(600);
+  cfg.window_start_ns = 370.0;
+  cfg.window_end_ns = 470.0;
+  cfg.store_out = path;
+  core::AttackSetup setup(core::BenignCircuit::kAlu,
+                          core::Calibration::paper_defaults());
+  core::CpaCampaign campaign(setup, cfg);
+  (void)campaign.run_fullkey(core::FullKeyConfig{});
+  const crypto::Block lrk = setup.victim().cipher().last_round_key();
+
+  TraceStoreReader reader(path);
+  const auto checkpoints =
+      core::checkpoint_schedule(cfg.checkpoints, cfg.traces);
+  const ReplayFullKeyResult single =
+      replay_fullkey(reader, checkpoints, lrk);
+  const ReplayAllResult fused = replay_all(reader, checkpoints, lrk);
+  ASSERT_TRUE(fused.has_fullkey);
+  for (std::size_t b = 0; b < 16; ++b) {
+    const ReplayFullKeyByte& sb = single.bytes[b];
+    const ReplayFullKeyByte& fb = fused.fullkey.bytes[b];
+    EXPECT_EQ(fb.correct, sb.correct) << "byte " << b;
+    EXPECT_EQ(fb.recovered, sb.recovered) << "byte " << b;
+    EXPECT_EQ(fb.success, sb.success) << "byte " << b;
+    EXPECT_EQ(fb.early_exited, sb.early_exited) << "byte " << b;
+    EXPECT_EQ(fb.traces, sb.traces) << "byte " << b;
+    EXPECT_EQ(fb.final_max_abs_corr, sb.final_max_abs_corr) << "byte " << b;
+    expect_progress_equal(fb.progress, sb.progress);
+  }
+  EXPECT_EQ(fused.fullkey.success, single.success);
+  EXPECT_EQ(fused.fullkey.recovered_last_round_key,
+            single.recovered_last_round_key);
+  EXPECT_EQ(fused.fullkey.bytes_early_exited, single.bytes_early_exited);
+  std::remove(path.c_str());
+}
+
+TEST(StoreReplayTest, FusedReplayOnTvlaStore) {
+  const std::string path = temp_path("store_fused_tvla.trc");
+  std::remove(path.c_str());
+
+  core::CampaignConfig cfg = small_config(200);
+  cfg.store_out = path;
+  core::AttackSetup setup(core::BenignCircuit::kAlu,
+                          core::Calibration::paper_defaults());
+  core::CpaCampaign campaign(setup, cfg);
+  (void)campaign.run_tvla(150);
+  const crypto::Block lrk = setup.victim().cipher().last_round_key();
+
+  TraceStoreReader reader(path);
+  const ReplayTvlaResult single = replay_tvla(reader);
+
+  // Key-hypothesis analyses need ciphertext labels a TVLA capture has
+  // no campaign contract for — asking is a mismatch, not a silent skip.
+  EXPECT_THROW(replay_all(reader, {}, lrk), StoreMismatch);
+
+  ReplayAllOptions opts;
+  opts.attack = false;
+  opts.fullkey = false;
+  const ReplayAllResult fused = replay_all(reader, {}, lrk, opts);
+  ASSERT_TRUE(fused.has_tvla);
+  EXPECT_FALSE(fused.has_attack);
+  EXPECT_FALSE(fused.has_fullkey);
+  EXPECT_EQ(fused.tvla.max_abs_t, single.max_abs_t);
+  EXPECT_EQ(fused.tvla.fixed_traces, single.fixed_traces);
+  EXPECT_EQ(fused.tvla.random_traces, single.random_traces);
+  EXPECT_EQ(fused.tvla.leakage_detected, single.leakage_detected);
   std::remove(path.c_str());
 }
 

@@ -217,8 +217,8 @@ endif()
 if(NOT obsdoc MATCHES "job_preempted")
   string(APPEND errors "OBSERVABILITY.md no longer documents the job_preempted event\n")
 endif()
-foreach(verb gen check sta atpg attack capture tvla merge coordinate submit
-        serve status)
+foreach(verb gen check sta atpg attack capture analyze tvla merge coordinate
+        submit serve status)
   if(NOT clidoc MATCHES "slm ${verb}")
     string(APPEND errors "CLI.md no longer documents the '${verb}' verb\n")
   endif()
@@ -276,6 +276,48 @@ foreach(surface "--store-out" "--from-store" "SLMTRC1")
     string(APPEND errors "store surface '${surface}' documented in STORE.md is gone from the sources\n")
   endif()
 endforeach()
+
+# 11. The integer-exact fold engine and the fused one-pass replay must
+#     stay documented: STORE.md has to cover the fused surface (the
+#     analyze verb, --fused-tvla, replay_all, the analyze job kind, the
+#     fused_replay_speedup JSON field, and the fold_ubsan drill);
+#     BENCHMARKS.md has to keep the dispatch-level story (SLM_SIMD
+#     spellings, the BM_ClassFold* fold table, fold_dispatch_test) and
+#     the undefined sanitizer mode; CLI.md must list the analyze job
+#     kind and the submit --store flag; and every fused surface the
+#     docs lean on must still exist in the sources.
+foreach(needed "slm analyze" "--fused-tvla" "replay_all"
+        "fused_replay_speedup" "fold_ubsan" "\"kind\": \"analyze\"")
+  if(NOT storedoc MATCHES "${needed}")
+    string(APPEND errors "STORE.md no longer documents '${needed}'\n")
+  endif()
+endforeach()
+foreach(needed "SLM_SIMD" "scalar" "sse2" "avx2" "BM_ClassFold"
+        "fold_dispatch_test" "fused_replay_speedup" "undefined")
+  if(NOT benchdoc MATCHES "${needed}")
+    string(APPEND errors "BENCHMARKS.md no longer documents '${needed}'\n")
+  endif()
+endforeach()
+foreach(needed "slm analyze" "--fused-tvla" "analyze" "--store ")
+  if(NOT clidoc MATCHES "${needed}")
+    string(APPEND errors "CLI.md no longer documents '${needed}'\n")
+  endif()
+endforeach()
+foreach(surface "--fused-tvla" "replay_all" "cmd_analyze")
+  string(FIND "${clisrc}\n${metric_sources}" "${surface}" pos)
+  if(pos EQUAL -1)
+    string(APPEND errors "fused-replay surface '${surface}' documented in STORE.md is gone from the sources\n")
+  endif()
+endforeach()
+if(NOT EXISTS ${REPO}/tests/sca/fold_dispatch_test.cpp)
+  string(APPEND errors "BENCHMARKS.md points at fold_dispatch_test but tests/sca/fold_dispatch_test.cpp is gone\n")
+endif()
+if(NOT EXISTS ${REPO}/tools/fold_ubsan.cmake)
+  string(APPEND errors "STORE.md points at the fold_ubsan drill but tools/fold_ubsan.cmake is gone\n")
+endif()
+if(NOT EXISTS ${REPO}/tools/bench_report.cmake)
+  string(APPEND errors "the bench_smoke_report ctest entry needs tools/bench_report.cmake, which is gone\n")
+endif()
 
 if(NOT errors STREQUAL "")
   message(FATAL_ERROR "stale documentation references:\n${errors}")

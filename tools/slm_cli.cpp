@@ -11,8 +11,9 @@
 //              [--rng-contract v1|v2]
 //              [--checkpoint-dir D] [--resume D] [--halt-after N]
 //              [--trace-out F.jsonl]
-//              [--store-out F.trc | --from-store F.trc]
+//              [--store-out F.trc | --from-store F.trc [--fused-tvla]]
 //   slm capture --store-out F.trc [--tvla] [+ attack/tvla flags]
+//   slm analyze --from-store F.trc [--trace-out F.jsonl]
 //   slm tvla   [--circuit C] [--mode M] [--traces N-per-population]
 //              [--store-out F.trc | --from-store F.trc]
 //
@@ -31,6 +32,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -291,6 +293,14 @@ int cmd_attack(const Args& args) {
                 "captured before the snapshot would be missing from the "
                 "store");
   }
+  // --fused-tvla rides the replay sweep (docs/STORE.md): the same
+  // one-pass fold additionally feeds a specific Welch t-test partitioned
+  // by the target leakage model's predicted class bit.
+  const bool fused_tvla = args.options.count("fused-tvla") > 0;
+  if (fused_tvla && from_store.empty()) {
+    throw Error("attack --fused-tvla: fuses the t-test into the "
+                "--from-store replay pass — add --from-store F.trc");
+  }
 
   // --full-key: one shared capture pass attacks all 16 last-round key
   // bytes at once (docs/FULLKEY.md). --fullkey-mode farmed runs the
@@ -461,10 +471,22 @@ int cmd_attack(const Args& args) {
       ropts.early_exit_margin = fk_opts.fused.early_exit_margin;
       ropts.early_exit_stable = fk_opts.fused.early_exit_stable;
       ropts.early_exit_min_traces = fk_opts.fused.early_exit_min_traces;
-      const store::ReplayFullKeyResult fr = store::replay_fullkey(
-          reader, checkpoints, true_lrk, ropts, observer.get());
-      std::printf("fullkey replay: %zu traces folded, %.2f s\n", fr.traces,
-                  fr.replay_seconds);
+      store::ReplayFullKeyResult fr;
+      std::optional<store::ReplayTvlaResult> tv;
+      if (fused_tvla) {
+        store::ReplayAllOptions aopts;
+        aopts.attack = false;
+        aopts.fullkey_opts = ropts;
+        const store::ReplayAllResult ar = store::replay_all(
+            reader, checkpoints, true_lrk, aopts, observer.get());
+        fr = ar.fullkey;
+        tv = ar.tvla;
+      } else {
+        fr = store::replay_fullkey(reader, checkpoints, true_lrk, ropts,
+                                   observer.get());
+      }
+      std::printf("fullkey replay: %zu traces folded, %.2f s%s\n", fr.traces,
+                  fr.replay_seconds, fused_tvla ? " (fused tvla)" : "");
       std::printf("byte  true  recovered  ok   converged\n");
       for (std::size_t b = 0; b < fr.bytes.size(); ++b) {
         const store::ReplayFullKeyByte& br = fr.bytes[b];
@@ -482,19 +504,42 @@ int cmd_attack(const Args& args) {
                   crypto::block_to_hex(true_master).c_str(),
                   crypto::block_to_hex(recovered_master).c_str(),
                   fr.success ? "RECOVERED" : "not recovered");
+      if (tv) {
+        std::printf("specific tvla: max |t| = %.2f (threshold %.1f) -> %s\n",
+                    tv->max_abs_t, sca::WelchTTest::kThreshold,
+                    tv->leakage_detected ? "LEAKAGE"
+                                         : "no leakage evidence");
+      }
       return fr.success ? 0 : 4;
     }
 
     sca::LastRoundBitModel model(key_byte, cfg.target_bit);
-    const store::ReplayAttackResult r = store::replay_attack(
-        reader, checkpoints, model.correct_guess(true_lrk), observer.get());
-    std::printf("replay: %zu traces folded, %.2f s\n", r.traces,
-                r.replay_seconds);
+    store::ReplayAttackResult r;
+    std::optional<store::ReplayTvlaResult> tv;
+    if (fused_tvla) {
+      store::ReplayAllOptions aopts;
+      aopts.fullkey = false;
+      const store::ReplayAllResult ar = store::replay_all(
+          reader, checkpoints, true_lrk, aopts, observer.get());
+      r = ar.attack;
+      tv = ar.tvla;
+    } else {
+      r = store::replay_attack(reader, checkpoints,
+                               model.correct_guess(true_lrk),
+                               observer.get());
+    }
+    std::printf("replay: %zu traces folded, %.2f s%s\n", r.traces,
+                r.replay_seconds, fused_tvla ? " (fused tvla)" : "");
     std::printf("true 0x%02x recovered 0x%02x -> %s", r.correct_guess,
                 r.recovered_guess,
                 r.key_recovered ? "RECOVERED" : "not recovered");
     if (r.mtd.disclosed()) std::printf(" (~%zu traces)", *r.mtd.traces);
     std::printf("\n");
+    if (tv) {
+      std::printf("specific tvla: max |t| = %.2f (threshold %.1f) -> %s\n",
+                  tv->max_abs_t, sca::WelchTTest::kThreshold,
+                  tv->leakage_detected ? "LEAKAGE" : "no leakage evidence");
+    }
     return r.key_recovered ? 0 : 4;
   }
 
@@ -708,6 +753,101 @@ int cmd_capture(const Args& args) {
                 "--from-store` or `slm tvla --from-store`");
   }
   return args.options.count("tvla") > 0 ? cmd_tvla(args) : cmd_attack(args);
+}
+
+// `slm analyze` — fused one-pass store analytics (docs/STORE.md): sweep
+// an SLMTRC1 store ONCE and feed every analysis its kind supports from
+// the same cache-resident column blocks — target-byte attack, all-16-
+// bytes full key, and the Welch t-test — instead of one replay pass per
+// analysis. The campaign is inferred from the store identity (circuit,
+// mode, target byte, contract); the reconstructed fingerprint must
+// still match (exit 14), so analyze never mislabels a store captured
+// under non-default config. Exit 0 = full key recovered (attack-kind
+// stores) / leakage evidence (tvla stores), 4 otherwise.
+int cmd_analyze(const Args& args) {
+  std::string from_store = args.get("from-store", "");
+  if (from_store.empty() && !args.positional.empty()) {
+    from_store = args.positional[0];
+  }
+  if (from_store.empty()) throw Error("analyze: need --from-store F.trc");
+  std::unique_ptr<obs::CampaignObserver> observer = make_observer(args);
+
+  store::TraceStoreReader reader(from_store);
+  const store::StoreIdentity& id = reader.identity();
+  const store::StoreKind kind = reader.kind();
+  const std::size_t n = reader.trace_count();
+  const auto circuit = static_cast<core::BenignCircuit>(id.circuit);
+  const auto mode = static_cast<core::SensorMode>(id.mode);
+  const std::size_t key_byte = static_cast<std::size_t>(id.target_key_byte);
+
+  core::StealthyAttack attack(circuit);
+  core::CampaignConfig cfg =
+      kind == store::StoreKind::kFullKey
+          ? attack.fullkey_campaign_config(n, mode)
+          : attack.byte_campaign_config(
+                key_byte, kind == store::StoreKind::kTvla ? n / 2 : n, mode);
+  cfg.rng_contract = id.rng_contract == 1 ? core::RngContract::kV1
+                                          : core::RngContract::kV2;
+  cfg.observer = observer.get();
+  core::CpaCampaign campaign(attack.setup(), cfg);
+  reader.identity().require_compatible(campaign.store_identity(kind, n),
+                                       "analyze");
+  const std::vector<std::size_t> checkpoints =
+      core::checkpoint_schedule(cfg.checkpoints, n);
+  const crypto::Block true_lrk =
+      attack.setup().victim().cipher().last_round_key();
+
+  std::cout << "analyzing " << store::store_kind_name(kind) << " store "
+            << from_store << ": " << n << " traces, " << reader.samples()
+            << " sample(s), circuit " << core::benign_circuit_name(circuit)
+            << ", mode " << core::sensor_mode_name(mode) << "\n";
+
+  store::ReplayAllOptions aopts;
+  if (kind == store::StoreKind::kTvla) {
+    aopts.attack = false;
+    aopts.fullkey = false;
+  }
+  const store::ReplayAllResult ar =
+      store::replay_all(reader, checkpoints, true_lrk, aopts, observer.get());
+  std::printf("fused pass: %zu traces, one sweep, %.2f s\n", ar.traces,
+              ar.replay_seconds);
+
+  if (ar.has_attack) {
+    const store::ReplayAttackResult& r = ar.attack;
+    std::printf("attack byte %zu: true 0x%02x recovered 0x%02x -> %s",
+                key_byte, r.correct_guess, r.recovered_guess,
+                r.key_recovered ? "RECOVERED" : "not recovered");
+    if (r.mtd.disclosed()) std::printf(" (~%zu traces)", *r.mtd.traces);
+    std::printf("\n");
+  }
+  if (ar.has_fullkey) {
+    const store::ReplayFullKeyResult& fr = ar.fullkey;
+    std::printf("byte  true  recovered  ok   converged\n");
+    for (std::size_t b = 0; b < fr.bytes.size(); ++b) {
+      const store::ReplayFullKeyByte& br = fr.bytes[b];
+      std::printf("%4zu  0x%02x       0x%02x  %s  %7zu%s\n", b, br.correct,
+                  br.recovered, br.success ? "yes" : "NO ", br.traces,
+                  br.early_exited ? " (early exit)" : "");
+    }
+    const crypto::Block true_master = crypto::recover_master_key(true_lrk);
+    const crypto::Block recovered_master =
+        crypto::recover_master_key(fr.recovered_last_round_key);
+    std::printf("master key: true %s recovered %s -> %s\n",
+                crypto::block_to_hex(true_master).c_str(),
+                crypto::block_to_hex(recovered_master).c_str(),
+                fr.success ? "RECOVERED" : "not recovered");
+  }
+  if (ar.has_tvla) {
+    std::printf("%stvla: max |t| = %.2f (threshold %.1f) -> %s\n",
+                kind == store::StoreKind::kTvla ? "" : "specific ",
+                ar.tvla.max_abs_t, sca::WelchTTest::kThreshold,
+                ar.tvla.leakage_detected ? "LEAKAGE"
+                                         : "no leakage evidence");
+  }
+  if (kind == store::StoreKind::kTvla) {
+    return ar.tvla.leakage_detected ? 0 : 4;
+  }
+  return ar.fullkey.success ? 0 : 4;
 }
 
 // `slm merge SNAP... [--out F] [--report]` — offline snapshot folding:
@@ -931,6 +1071,7 @@ int cmd_submit(const Args& args) {
   spec.key_byte = args.get_n("key-byte", 3);
   spec.fabric_shards =
       static_cast<unsigned>(args.get_n("fabric-shards", 0));
+  spec.store = args.get("store", "");
 
   // Backpressure starts at the submission edge: the spool is the
   // queue's antechamber, so a tenant hits the bounded-queue refusal
@@ -1099,10 +1240,11 @@ int usage() {
          "         [--rng-contract v1|v2]\n"
          "         [--checkpoint-dir D] [--resume D] [--halt-after N]\n"
          "         [--trace-out F.jsonl]\n"
-         "         [--store-out F.trc | --from-store F.trc]\n"
+         "         [--store-out F.trc | --from-store F.trc [--fused-tvla]]\n"
          "         [--shard I/N | --range A:B] [--snapshot-out F.snap]\n"
          "         [--snapshot-every N] [--dry-run]\n"
          "  capture --store-out F.trc [--tvla] [+ attack/tvla flags]\n"
+         "  analyze --from-store F.trc [--trace-out F.jsonl]\n"
          "  tvla   [--circuit alu|c6288] [--mode tdc|tdc-bit|hw|bit|ro]\n"
          "         [--traces N-per-population] [--key-byte B]\n"
          "         [--rng-contract v1|v2] [--trace-out F.jsonl]\n"
@@ -1112,10 +1254,11 @@ int usage() {
          "         [--snapshot-every N] [--kill-shard I --kill-after N]\n"
          "         [--max-reissues K] [--slm-bin PATH] [--trace-out F]\n"
          "         [+ the attack config flags, forwarded to workers]\n"
-         "  submit --spool D --tenant T [--kind attack|full-key|tvla]\n"
+         "  submit --spool D --tenant T\n"
+         "         [--kind attack|full-key|tvla|analyze]\n"
          "         [--priority P] [--circuit alu|c6288] [--mode M]\n"
          "         [--traces N] [--key-byte B] [--fabric-shards N]\n"
-         "         [--queue-cap N] [--id ID]\n"
+         "         [--store F.trc] [--queue-cap N] [--id ID]\n"
          "  serve  --spool D --results D [--max-queue N] [--timeslice N]\n"
          "         [--threads N] [--max-slices N] [--poll-ms MS]\n"
          "         [--idle-polls N] [--slm-bin PATH]\n"
@@ -1136,6 +1279,7 @@ int main(int argc, char** argv) {
     if (cmd == "atpg") return cmd_atpg(args);
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "capture") return cmd_capture(args);
+    if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "tvla") return cmd_tvla(args);
     if (cmd == "merge") return cmd_merge(args);
     if (cmd == "coordinate") return cmd_coordinate(args);
